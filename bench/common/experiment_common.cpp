@@ -1,0 +1,155 @@
+#include "common/experiment_common.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace nws::bench {
+
+double experiment_hours() {
+  if (const char* env = std::getenv("NWSCPU_HOURS")) {
+    const double h = std::atof(env);
+    if (h > 0.0) return h;
+  }
+  return 24.0;
+}
+
+std::uint64_t experiment_seed() {
+  if (const char* env = std::getenv("NWSCPU_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 42;
+}
+
+RunnerConfig short_test_config() {
+  RunnerConfig cfg;
+  cfg.duration = experiment_hours() * 3600.0;
+  cfg.run_tests = true;
+  cfg.run_agg_tests = false;
+  return cfg;
+}
+
+RunnerConfig aggregated_test_config() {
+  RunnerConfig cfg;
+  cfg.duration = experiment_hours() * 3600.0;
+  cfg.run_tests = false;
+  cfg.run_agg_tests = true;
+  return cfg;
+}
+
+RunnerConfig week_config() {
+  RunnerConfig cfg;
+  // The paper's pox plots use one-week series; NWSCPU_HOURS scales the
+  // default 24 h of the other experiments to 7 x 24 here.
+  cfg.duration = experiment_hours() * 7.0 * 3600.0;
+  cfg.run_tests = false;
+  cfg.run_agg_tests = false;
+  return cfg;
+}
+
+std::vector<HostResult> run_fleet(const RunnerConfig& config) {
+  std::vector<HostResult> results;
+  results.reserve(all_ucsd_hosts().size());
+  for (UcsdHost h : all_ucsd_hosts()) {
+    const auto start = std::chrono::steady_clock::now();
+    auto host = make_ucsd_host(h, experiment_seed());
+    HostTrace trace = run_experiment(*host, config);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::fprintf(stderr, "  simulated %-10s (%.1fs)\n",
+                 host_name(h).c_str(), wall);
+    results.push_back({h, std::move(trace)});
+  }
+  return results;
+}
+
+// Published values, transcribed from the paper.
+const std::vector<PaperRow>& paper_table1() {
+  static const std::vector<PaperRow> rows = {
+      {0.090, 0.112, 0.111},  // thing2
+      {0.064, 0.075, 0.061},  // thing1
+      {0.341, 0.327, 0.044},  // conundrum
+      {0.063, 0.065, 0.075},  // beowulf
+      {0.040, 0.032, 0.041},  // gremlin
+      {0.128, 0.129, 0.413},  // kongo
+  };
+  return rows;
+}
+
+const std::vector<PaperRow>& paper_table2() {
+  static const std::vector<PaperRow> rows = {
+      {0.089, 0.086, 0.100},  // thing2
+      {0.064, 0.070, 0.053},  // thing1
+      {0.340, 0.320, 0.043},  // conundrum
+      {0.062, 0.068, 0.069},  // beowulf
+      {0.040, 0.026, 0.030},  // gremlin
+      {0.120, 0.120, 0.410},  // kongo
+  };
+  return rows;
+}
+
+const std::vector<PaperRow>& paper_table3() {
+  static const std::vector<PaperRow> rows = {
+      {0.012, 0.049, 0.018},  // thing2
+      {0.017, 0.031, 0.028},  // thing1
+      {0.004, 0.002, 0.002},  // conundrum
+      {0.018, 0.031, 0.035},  // beowulf
+      {0.010, 0.021, 0.020},  // gremlin
+      {0.001, 0.001, 0.001},  // kongo
+  };
+  return rows;
+}
+
+const std::vector<double>& paper_table4_hurst() {
+  static const std::vector<double> hurst = {0.70, 0.70, 0.79,
+                                            0.82, 0.71, 0.69};
+  return hurst;
+}
+
+const std::vector<PaperRow>& paper_table5() {
+  static const std::vector<PaperRow> rows = {
+      {0.024, 0.017, 0.013},  // thing2
+      {0.049, 0.035, 0.039},  // thing1
+      {0.007, 0.002, 0.003},  // conundrum
+      {0.034, 0.023, 0.045},  // beowulf
+      {0.026, 0.012, 0.013},  // gremlin
+      {0.002, 0.001, 0.002},  // kongo
+  };
+  return rows;
+}
+
+const std::vector<PaperRow>& paper_table6() {
+  static const std::vector<PaperRow> rows = {
+      {0.066, 0.053, 0.065},  // thing2
+      {0.056, 0.052, 0.067},  // thing1
+      {0.030, 0.074, 0.101},  // conundrum
+      {0.060, 0.114, 0.111},  // beowulf
+      {0.043, 0.029, 0.083},  // gremlin
+      {0.021, 0.019, 0.285},  // kongo
+  };
+  return rows;
+}
+
+void add_comparison_row(TextTable& table, const std::string& host,
+                        const MethodTriple& measured, const PaperRow& paper,
+                        int decimals) {
+  table.add_row({host,
+                 TextTable::pct(measured.load_average, decimals) + " (" +
+                     TextTable::pct(paper.load_average, decimals) + ")",
+                 TextTable::pct(measured.vmstat, decimals) + " (" +
+                     TextTable::pct(paper.vmstat, decimals) + ")",
+                 TextTable::pct(measured.hybrid, decimals) + " (" +
+                     TextTable::pct(paper.hybrid, decimals) + ")"});
+}
+
+std::string output_dir() {
+  std::string dir = "bench_out";
+  if (const char* env = std::getenv("NWSCPU_OUT")) dir = env;
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace nws::bench

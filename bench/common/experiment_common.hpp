@@ -1,0 +1,77 @@
+// Shared driver for the table/figure reproduction binaries.
+//
+// Each bench target reproduces one table or figure of the paper.  They all
+// simulate the same six-host fleet under the paper's measurement protocol;
+// this header centralises the protocol configurations, the fleet runner and
+// the published values that the output is compared against.
+//
+// Environment knobs (for quick iteration; defaults reproduce the paper):
+//   NWSCPU_HOURS  — experiment length in hours   (default 24)
+//   NWSCPU_SEED   — simulation seed              (default 42)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiments/analysis.hpp"
+#include "experiments/hosts.hpp"
+#include "experiments/runner.hpp"
+#include "util/table.hpp"
+
+namespace nws::bench {
+
+/// Experiment length in hours; reads NWSCPU_HOURS (default 24).
+[[nodiscard]] double experiment_hours();
+
+/// Simulation seed; reads NWSCPU_SEED (default 42).
+[[nodiscard]] std::uint64_t experiment_seed();
+
+/// Protocol for the short-test (Tables 1-3) experiment: 10 s availability
+/// measurements, 1.5 s probe per minute, 10 s test process every 5 minutes.
+[[nodiscard]] RunnerConfig short_test_config();
+
+/// Protocol for the aggregated (Tables 5-6, Figure 4) experiment: as above
+/// but the ground truth is a 5-minute test process once per hour.
+[[nodiscard]] RunnerConfig aggregated_test_config();
+
+/// Protocol for the self-similarity (Table 4 H column, Figure 3) runs:
+/// measurements only, one week by default (NWSCPU_HOURS scales it).
+[[nodiscard]] RunnerConfig week_config();
+
+struct HostResult {
+  UcsdHost host;
+  HostTrace trace;
+};
+
+/// Simulates every host in the fleet under `config`.  Prints a one-line
+/// progress note per host to stderr (the runs take seconds each).
+[[nodiscard]] std::vector<HostResult> run_fleet(const RunnerConfig& config);
+
+/// Published values (paper Tables 1-6), for side-by-side comparison in the
+/// bench output.  Indexed in all_ucsd_hosts() order:
+/// thing2, thing1, conundrum, beowulf, gremlin, kongo.
+struct PaperRow {
+  double load_average;
+  double vmstat;
+  double hybrid;
+};
+
+[[nodiscard]] const std::vector<PaperRow>& paper_table1();
+[[nodiscard]] const std::vector<PaperRow>& paper_table2();
+[[nodiscard]] const std::vector<PaperRow>& paper_table3();
+[[nodiscard]] const std::vector<double>& paper_table4_hurst();
+[[nodiscard]] const std::vector<PaperRow>& paper_table5();
+[[nodiscard]] const std::vector<PaperRow>& paper_table6();
+
+/// Adds a "host / measured (paper)" row trio to a table.
+void add_comparison_row(TextTable& table, const std::string& host,
+                        const MethodTriple& measured, const PaperRow& paper,
+                        int decimals = 1);
+
+/// Directory for figure-series CSV output; honours NWSCPU_OUT (default
+/// "bench_out" under the current directory), creating it if needed.
+[[nodiscard]] std::string output_dir();
+
+}  // namespace nws::bench

@@ -1,0 +1,72 @@
+// Beyond the paper: the *distribution* of measurement and true-forecast
+// errors, not just their means.
+//
+// The paper reports mean absolute errors; a scheduler also cares about the
+// tail (a 95th-percentile error of 40% means one placement in twenty is
+// badly wrong even when the mean looks fine).  This bench reports p50 /
+// p90 / p95 / max of |measurement - test observation| per host for the
+// best cheap method and the hybrid.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/experiment_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+std::vector<double> absolute_errors(const nws::TimeSeries& series,
+                                    const std::vector<nws::TestObservation>&
+                                        tests) {
+  std::vector<double> out;
+  out.reserve(tests.size());
+  for (const auto& t : tests) {
+    const std::size_t i = series.index_at_or_before(t.start);
+    if (i == nws::TimeSeries::npos) continue;
+    out.push_back(std::abs(series[i] - t.availability));
+  }
+  return out;
+}
+
+void print_row(const char* host, const char* method,
+               const std::vector<double>& errors) {
+  if (errors.empty()) return;
+  std::printf("  %-10s %-8s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", host,
+              method, 100 * nws::mean_abs(errors),
+              100 * nws::quantile(errors, 0.5),
+              100 * nws::quantile(errors, 0.9),
+              100 * nws::quantile(errors, 0.95),
+              100 * nws::max_value(errors));
+}
+
+}  // namespace
+
+int main() {
+  using namespace nws;
+  using namespace nws::bench;
+
+  std::cout << "Error distributions: measurement error percentiles per "
+               "host ("
+            << experiment_hours() << "h runs)\n\n";
+  const auto fleet = run_fleet(short_test_config());
+
+  std::printf("  %-10s %-8s %8s %8s %8s %8s %8s\n", "host", "method", "mean",
+              "p50", "p90", "p95", "max");
+  for (const auto& result : fleet) {
+    print_row(host_name(result.host).c_str(), "loadavg",
+              absolute_errors(result.trace.load_series, result.trace.tests));
+    print_row(host_name(result.host).c_str(), "vmstat",
+              absolute_errors(result.trace.vmstat_series,
+                              result.trace.tests));
+    print_row(host_name(result.host).c_str(), "hybrid",
+              absolute_errors(result.trace.hybrid_series,
+                              result.trace.tests));
+  }
+  std::cout << "\nShape checks: on pathological host/method pairs "
+               "(conundrum cheap methods, kongo hybrid) even the MEDIAN "
+               "error is large — the bias is systematic, not an outlier "
+               "tail; on ordinary hosts the p95 stays within ~3x the "
+               "mean.\n";
+  return 0;
+}

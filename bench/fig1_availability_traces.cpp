@@ -1,0 +1,65 @@
+// Reproduces Figure 1: 24-hour CPU availability traces (Unix load average
+// method) for thing1 and thing2.
+//
+// Writes the full series to CSV (plot time_seconds vs value to recreate
+// the figure) and prints a coarse ASCII rendering plus the summary
+// statistics that characterise the figure's shape: wide swings between
+// near-0 and near-100% availability with visible diurnal structure.
+#include <cstdio>
+#include <iostream>
+
+#include "common/experiment_common.hpp"
+#include "nws/trace_io.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+void ascii_plot(const nws::TimeSeries& s, int columns, int rows) {
+  // Down-sample to `columns` block means and render a column chart.
+  const std::size_t block =
+      std::max<std::size_t>(1, s.size() / static_cast<std::size_t>(columns));
+  std::vector<double> cols;
+  for (std::size_t b = 0; b + block <= s.size(); b += block) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < block; ++i) acc += s[b + i];
+    cols.push_back(acc / static_cast<double>(block));
+  }
+  for (int r = rows; r >= 1; --r) {
+    const double level = static_cast<double>(r) / rows;
+    std::string line;
+    for (double v : cols) line += v >= level - 1e-9 ? '#' : ' ';
+    std::printf("%3.0f%% |%s\n", level * 100.0, line.c_str());
+  }
+  std::printf("     +%s\n", std::string(cols.size(), '-').c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace nws;
+  using namespace nws::bench;
+
+  std::cout << "Figure 1: CPU availability measurements (load average "
+               "method), "
+            << experiment_hours() << "h runs for thing1 and thing2\n";
+  const std::string dir = output_dir();
+
+  for (UcsdHost h : {UcsdHost::kThing1, UcsdHost::kThing2}) {
+    auto host = make_ucsd_host(h, experiment_seed());
+    const HostTrace trace = run_experiment(*host, short_test_config());
+    const TimeSeries& s = trace.load_series;
+
+    const std::string path = dir + "/fig1_" + host_name(h) + ".csv";
+    write_trace(path, s);
+
+    RunningStats stats;
+    for (double v : s.values()) stats.add(v);
+    std::printf("\n%s — n=%zu, mean=%.1f%%, min=%.1f%%, max=%.1f%%, "
+                "stddev=%.1f%%  -> %s\n",
+                host_name(h).c_str(), s.size(), 100 * stats.mean(),
+                100 * stats.min(), 100 * stats.max(), 100 * stats.stddev(),
+                path.c_str());
+    ascii_plot(s, 96, 10);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Figure 2: the first 360 autocorrelations of the thing1 and
+// thing2 load-average availability series.
+//
+// Writes lag/ACF pairs to CSV and prints a decimated listing plus the
+// figure's key qualitative content: the ACF decays slowly and remains
+// clearly positive even at lag 360 (one hour of 10-second samples) —
+// events hours apart are correlated.
+#include <cstdio>
+#include <iostream>
+
+#include "common/experiment_common.hpp"
+#include "tsa/autocorrelation.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace nws;
+  using namespace nws::bench;
+  constexpr std::size_t kLags = 360;
+
+  std::cout << "Figure 2: first " << kLags
+            << " autocorrelations of the load-average availability series ("
+            << experiment_hours() << "h runs)\n";
+  const std::string dir = output_dir();
+
+  for (UcsdHost h : {UcsdHost::kThing1, UcsdHost::kThing2}) {
+    auto host = make_ucsd_host(h, experiment_seed());
+    const HostTrace trace = run_experiment(*host, short_test_config());
+    const auto acf = autocorrelations(trace.load_series.values(), kLags);
+
+    CsvTable table;
+    table.headers = {"lag", "acf"};
+    table.columns.resize(2);
+    for (std::size_t k = 0; k < acf.size(); ++k) {
+      table.columns[0].push_back(static_cast<double>(k));
+      table.columns[1].push_back(acf[k]);
+    }
+    const std::string path = dir + "/fig2_" + host_name(h) + ".csv";
+    write_csv(path, table);
+
+    std::printf("\n%s -> %s\n", host_name(h).c_str(), path.c_str());
+    std::printf("  lag (x10s):");
+    for (std::size_t k = 0; k <= kLags; k += 40) std::printf(" %6zu", k);
+    std::printf("\n  acf:       ");
+    for (std::size_t k = 0; k <= kLags && k < acf.size(); k += 40) {
+      std::printf(" %6.3f", acf[k]);
+    }
+    const AcfDecay decay =
+        acf_decay(trace.load_series.values(), kLags, 0.2);
+    std::printf("\n  first lag with acf < 0.2: %zu of %zu computed "
+                "(value at lag %zu: %.3f)\n",
+                decay.first_below, decay.lags_computed, kLags,
+                decay.value_at_last);
+  }
+  std::cout << "\nShape check: slow decay — availability measured now "
+               "still informs availability an hour ahead.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Microbenchmarks: per-update cost of the forecasting methods and the full
+// adaptive battery.
+//
+// The NWS design constraint the paper leans on: every technique "must be
+// relatively cheap to compute" because a deployed forecaster processes
+// every measurement of every tracked series on-line.  These benches verify
+// the battery stays in the sub-microsecond-per-update regime.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "forecast/battery.hpp"
+#include "forecast/methods.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<double> synthetic_series(std::size_t n) {
+  nws::Rng rng(1234);
+  std::vector<double> xs;
+  xs.reserve(n);
+  double level = 0.7;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.01)) level = rng.uniform(0.1, 1.0);
+    const double v = level + 0.05 * (rng.uniform() - 0.5);
+    xs.push_back(std::clamp(v, 0.0, 1.0));
+  }
+  return xs;
+}
+
+void run_forecaster(benchmark::State& state, nws::Forecaster& f) {
+  const auto xs = synthetic_series(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.forecast());
+    f.observe(xs[i]);
+    i = (i + 1) % xs.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_LastValue(benchmark::State& state) {
+  nws::LastValueForecaster f;
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_LastValue);
+
+void BM_RunningMean(benchmark::State& state) {
+  nws::RunningMeanForecaster f;
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_RunningMean);
+
+void BM_SlidingMean(benchmark::State& state) {
+  nws::SlidingMeanForecaster f(static_cast<std::size_t>(state.range(0)));
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_SlidingMean)->Arg(10)->Arg(60);
+
+void BM_ExpSmooth(benchmark::State& state) {
+  nws::ExpSmoothForecaster f(0.2);
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_ExpSmooth);
+
+void BM_Median(benchmark::State& state) {
+  nws::MedianForecaster f(static_cast<std::size_t>(state.range(0)));
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_Median)->Arg(11)->Arg(31);
+
+void BM_AdaptiveWindow(benchmark::State& state) {
+  nws::AdaptiveWindowForecaster f(nws::AdaptiveWindowForecaster::Kind::kMean,
+                                  3, 60);
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_AdaptiveWindow);
+
+void BM_FullBattery(benchmark::State& state) {
+  const auto f = nws::make_nws_forecaster();
+  run_forecaster(state, *f);
+}
+BENCHMARK(BM_FullBattery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

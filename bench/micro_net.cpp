@@ -1,0 +1,79 @@
+// Microbenchmarks: NWS service layer — protocol parse/format cost and
+// request throughput, both in-process (handle_line) and over a loopback
+// TCP round trip.  Bounds how many sensor streams one nwscpu service
+// instance sustains.
+#include <benchmark/benchmark.h>
+
+#include "nws/client.hpp"
+#include "nws/protocol.hpp"
+#include "nws/server.hpp"
+
+namespace {
+
+void BM_ParsePut(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nws::parse_request("PUT thing2/cpu 86400.5 0.8125"));
+  }
+}
+BENCHMARK(BM_ParsePut);
+
+void BM_FormatForecastResponse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nws::format_forecast_response(
+        0.875, 0.031, 0.002, 123456, "sw_mean(10)"));
+  }
+}
+BENCHMARK(BM_FormatForecastResponse);
+
+void BM_ServerHandlePut(benchmark::State& state) {
+  nws::NwsServer server;
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle_line(
+        "PUT bench/cpu " + std::to_string(t) + " 0.75"));
+    t += 10.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServerHandlePut);
+
+void BM_ServerHandleForecast(benchmark::State& state) {
+  nws::NwsServer server;
+  for (int i = 0; i < 200; ++i) {
+    (void)server.handle_line("PUT bench/cpu " + std::to_string(i * 10.0) +
+                             " 0.75");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle_line("FORECAST bench/cpu"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServerHandleForecast);
+
+void BM_LoopbackPutRoundTrip(benchmark::State& state) {
+  nws::NwsServer server;
+  const std::uint16_t port = server.start(0);
+  if (port == 0) {
+    state.SkipWithError("cannot bind loopback listener");
+    return;
+  }
+  nws::NwsClient client;
+  if (!client.connect(port)) {
+    state.SkipWithError("cannot connect");
+    return;
+  }
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.put("bench/cpu", {t, 0.5}));
+    t += 10.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  client.disconnect();
+  server.stop();
+}
+BENCHMARK(BM_LoopbackPutRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

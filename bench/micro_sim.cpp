@@ -1,0 +1,48 @@
+// Microbenchmarks: simulator throughput.
+//
+// The reproduction simulates 6 hosts x 24 h (and one-week runs for the
+// self-similarity analysis) at 100 ticks per simulated second, so the
+// tick loop's cost bounds every experiment's wall time.  Reported as
+// simulated-seconds per wall-second via items/s (items = ticks).
+#include <benchmark/benchmark.h>
+
+#include "experiments/hosts.hpp"
+#include "sim/host.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+void BM_IdleHost(benchmark::State& state) {
+  nws::sim::Host host({.name = "idle"}, 1);
+  for (auto _ : state) {
+    host.run_for(10.0);
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * nws::sim::kHz);
+}
+BENCHMARK(BM_IdleHost);
+
+void BM_UcsdHostTicks(benchmark::State& state) {
+  const auto which =
+      nws::all_ucsd_hosts()[static_cast<std::size_t>(state.range(0))];
+  auto host = nws::make_ucsd_host(which, 42);
+  host->run_for(120.0);  // settle workloads
+  for (auto _ : state) {
+    host->run_for(10.0);
+  }
+  state.SetLabel(nws::host_name(which));
+  state.SetItemsProcessed(state.iterations() * 10 * nws::sim::kHz);
+}
+BENCHMARK(BM_UcsdHostTicks)->DenseRange(0, 5);
+
+void BM_TimedProcess(benchmark::State& state) {
+  auto host = nws::make_ucsd_host(nws::UcsdHost::kThing2, 42);
+  host->run_for(120.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host->run_timed_process("bench_probe", 1.5));
+  }
+}
+BENCHMARK(BM_TimedProcess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Microbenchmarks: time-series analysis kernels (ACF, R/S pox analysis,
+// aggregation, Hurst estimation) at the series sizes the reproduction uses
+// (8 640 samples = 24 h of 10-second measurements; 60 480 = one week).
+#include <benchmark/benchmark.h>
+
+#include "tsa/aggregate.hpp"
+#include "tsa/autocorrelation.hpp"
+#include "tsa/fgn.hpp"
+#include "tsa/rs_analysis.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<double> ar1_series(std::size_t n) {
+  nws::Rng rng(99);
+  return nws::generate_ar1(rng, 0.95, n);
+}
+
+void BM_Acf360(benchmark::State& state) {
+  const auto xs = ar1_series(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nws::autocorrelations(xs, 360));
+  }
+}
+BENCHMARK(BM_Acf360)->Arg(8640)->Arg(60480);
+
+void BM_PoxPoints(benchmark::State& state) {
+  const auto xs = ar1_series(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nws::pox_points(xs));
+  }
+}
+BENCHMARK(BM_PoxPoints)->Arg(8640)->Arg(60480);
+
+void BM_HurstRs(benchmark::State& state) {
+  const auto xs = ar1_series(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nws::estimate_hurst_rs(xs));
+  }
+}
+BENCHMARK(BM_HurstRs)->Arg(8640)->Arg(60480);
+
+void BM_Aggregate(benchmark::State& state) {
+  const auto xs = ar1_series(60480);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nws::aggregate_series(xs, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Aggregate)->Arg(30)->Arg(360);
+
+void BM_FgnHosking(benchmark::State& state) {
+  for (auto _ : state) {
+    nws::Rng rng(7);
+    benchmark::DoNotOptimize(
+        nws::generate_fgn(rng, 0.8, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_FgnHosking)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

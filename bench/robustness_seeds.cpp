@@ -1,0 +1,84 @@
+// Robustness: do the paper's headline shapes hold across random seeds, or
+// did the reproduction get lucky?
+//
+// Re-runs shortened (4 h) versions of the Table 1 / Table 3 experiments
+// under several seeds and reports, per shape claim, how many seeds satisfy
+// it.  A claim that only holds for the default seed would be a red flag
+// for the whole reproduction.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/experiment_common.hpp"
+
+int main() {
+  using namespace nws;
+  using namespace nws::bench;
+  const std::vector<std::uint64_t> seeds = {1, 7, 42, 1999, 20260705};
+
+  std::cout << "Robustness: shape claims across " << seeds.size()
+            << " seeds (4h runs)\n\n";
+
+  struct Claim {
+    const char* text;
+    int held = 0;
+  };
+  Claim claims[] = {
+      {"conundrum: cheap-method error > 3x hybrid error"},
+      {"kongo: hybrid error > 2x cheap-method error"},
+      {"ordinary hosts: all measurement errors < 17%"},
+      {"all hosts: one-step prediction error < 7%"},
+      {"prediction error < measurement error on pathological hosts"},
+  };
+
+  for (const std::uint64_t seed : seeds) {
+    std::fprintf(stderr, "seed %llu...\n",
+                 static_cast<unsigned long long>(seed));
+    RunnerConfig cfg;
+    cfg.duration = 4.0 * 3600.0;
+
+    MethodTriple t1[6];
+    MethodTriple t3[6];
+    const auto& hosts = all_ucsd_hosts();
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      auto host = make_ucsd_host(hosts[i], seed);
+      const HostTrace trace = run_experiment(*host, cfg);
+      t1[i] = measurement_error(trace);
+      t3[i] = prediction_error(trace);
+    }
+    // Indices in all_ucsd_hosts order: thing2, thing1, conundrum, beowulf,
+    // gremlin, kongo.
+    const MethodTriple& conundrum1 = t1[2];
+    const MethodTriple& kongo1 = t1[5];
+
+    claims[0].held += conundrum1.load_average > 3.0 * conundrum1.hybrid &&
+                      conundrum1.vmstat > 3.0 * conundrum1.hybrid;
+    claims[1].held += kongo1.hybrid > 2.0 * kongo1.load_average &&
+                      kongo1.hybrid > 2.0 * kongo1.vmstat;
+    bool ordinary_ok = true;
+    for (const std::size_t i : {0u, 1u, 3u, 4u}) {
+      ordinary_ok &= t1[i].load_average < 0.17 && t1[i].vmstat < 0.17 &&
+                     t1[i].hybrid < 0.17;
+    }
+    claims[2].held += ordinary_ok;
+    bool prediction_ok = true;
+    for (const auto& p : t3) {
+      prediction_ok &=
+          p.load_average < 0.07 && p.vmstat < 0.07 && p.hybrid < 0.07;
+    }
+    claims[3].held += prediction_ok;
+    claims[4].held +=
+        t3[2].load_average < t1[2].load_average &&
+        t3[5].hybrid < t1[5].hybrid;
+  }
+
+  bool all_robust = true;
+  for (const Claim& c : claims) {
+    std::printf("  %-58s %d/%zu seeds\n", c.text, c.held, seeds.size());
+    all_robust &= c.held == static_cast<int>(seeds.size());
+  }
+  std::printf("\n%s\n", all_robust
+                            ? "All shape claims hold for every seed."
+                            : "WARNING: some claims are seed-sensitive.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Calibration harness: prints per-host measurement/forecast error summaries
+// on a shortened run so workload parameters can be tuned against the
+// paper's Tables 1-3.  Not part of the reproduction benches; kept as a
+// development aid and as an example of driving the experiment API directly.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiments/analysis.hpp"
+#include "experiments/hosts.hpp"
+#include "experiments/runner.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nws;
+  const double hours = argc > 1 ? std::atof(argv[1]) : 4.0;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                      : 42;
+
+  RunnerConfig cfg;
+  cfg.duration = hours * 3600.0;
+  cfg.run_agg_tests = false;
+
+  std::printf("%-10s %7s | %7s %7s %7s | %7s %7s %7s | %6s %6s\n", "host",
+              "loadavg", "T1.load", "T1.vm", "T1.hyb", "T3.load", "T3.vm",
+              "T3.hyb", "mean", "ntest");
+  for (UcsdHost h : all_ucsd_hosts()) {
+    const auto t_start = std::chrono::steady_clock::now();
+    auto host = make_ucsd_host(h, seed);
+    const HostTrace trace = run_experiment(*host, cfg);
+    const MethodTriple m = measurement_error(trace);
+    const MethodTriple p = prediction_error(trace);
+    std::vector<double> truth;
+    for (const auto& t : trace.tests) truth.push_back(t.availability);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+    std::printf(
+        "%-10s %7.3f | %6.1f%% %6.1f%% %6.1f%% | %6.1f%% %6.1f%% %6.1f%% | "
+        "%6.2f %6zu  (%.1fs)\n",
+        host_name(h).c_str(), host->load_average(), 100 * m.load_average,
+        100 * m.vmstat, 100 * m.hybrid, 100 * p.load_average, 100 * p.vmstat,
+        100 * p.hybrid, mean(truth), trace.tests.size(), wall);
+  }
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Grid scheduler example: the use case that motivates the paper.
+//
+// A metacomputing scheduler must choose, for each arriving CPU-bound job,
+// the host whose *predicted* availability gives the shortest expected
+// completion time (availability as an expansion factor).  This example
+// simulates the six-host UCSD fleet, keeps an NWS forecast per host, and
+// compares three placement policies over a stream of jobs:
+//
+//   nws-forecast : place on argmax of the NWS hybrid forecast
+//   load-average : place on argmax of raw 1/(load+1)         (what Condor/
+//                  Globus-era schedulers did)
+//   random       : uniform placement (baseline)
+//
+// The measured speedup of forecast-driven placement over random echoes the
+// >100% application-level gains the paper cites from prior AppLeS work.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "experiments/hosts.hpp"
+#include "nws/forecast_service.hpp"
+#include "sensors/hybrid_sensor.hpp"
+#include "sensors/sim_sensors.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+struct FleetHost {
+  std::unique_ptr<nws::sim::Host> host;
+  std::unique_ptr<nws::LoadAvgSensor> load_sensor;
+  std::unique_ptr<nws::VmstatSensor> vmstat_sensor;
+  nws::HybridSensor hybrid;
+  std::string series;
+};
+
+/// Advances every host to `t`, sensing every host on the way.
+void sense_all(std::vector<FleetHost>& fleet, nws::ForecastService& svc,
+               double t) {
+  for (FleetHost& f : fleet) {
+    f.host->run_until(t);
+    const double load_reading = f.load_sensor->measure();
+    const double vmstat_reading = f.vmstat_sensor->measure();
+    if (f.hybrid.probe_due(f.host->now())) {
+      const double probe = f.host->run_timed_process("probe", 1.5);
+      f.hybrid.probe_result(f.host->now(), probe, load_reading,
+                            vmstat_reading);
+    }
+    svc.record(f.series,
+               {f.host->now(), f.hybrid.measure(load_reading, vmstat_reading)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace nws;
+  constexpr double kJobCpuSeconds = 60.0;  // CPU demand of each job
+  constexpr int kJobs = 40;
+  constexpr double kJobGap = 120.0;  // one job every 2 minutes
+
+  std::printf("Grid scheduler demo: placing %d jobs of %.0f CPU-seconds "
+              "across the 6-host fleet\n\n",
+              kJobs, kJobCpuSeconds);
+
+  const char* policy_names[] = {"nws-forecast", "load-average", "random"};
+  for (int policy = 0; policy < 3; ++policy) {
+    // Fresh identical fleet per policy so runs are comparable.
+    std::vector<FleetHost> fleet;
+    for (UcsdHost h : all_ucsd_hosts()) {
+      FleetHost f;
+      f.host = make_ucsd_host(h, 7);
+      f.load_sensor = std::make_unique<LoadAvgSensor>(*f.host);
+      f.vmstat_sensor = std::make_unique<VmstatSensor>(*f.host);
+      f.series = host_name(h) + "/cpu";
+      fleet.push_back(std::move(f));
+    }
+    ForecastService svc;
+    Rng rng(31337);
+
+    // Warm up sensing for 10 minutes of simulated time.
+    for (int epoch = 1; epoch <= 60; ++epoch) {
+      sense_all(fleet, svc, 10.0 * epoch);
+    }
+
+    RunningStats wall_times;
+    std::vector<int> placements(fleet.size(), 0);
+    double t = fleet.front().host->now();
+    for (int j = 0; j < kJobs; ++j) {
+      // Pick a host according to the policy.
+      std::size_t pick = 0;
+      if (policy == 0) {
+        double best = -1.0;
+        for (std::size_t i = 0; i < fleet.size(); ++i) {
+          const double v = svc.predict(fleet[i].series)->value;
+          if (v > best) {
+            best = v;
+            pick = i;
+          }
+        }
+      } else if (policy == 1) {
+        double best = -1.0;
+        for (std::size_t i = 0; i < fleet.size(); ++i) {
+          const double v = 1.0 / (fleet[i].host->load_average() + 1.0);
+          if (v > best) {
+            best = v;
+            pick = i;
+          }
+        }
+      } else {
+        pick = static_cast<std::size_t>(rng.below(fleet.size()));
+      }
+
+      ++placements[pick];
+
+      // Run the job to completion on the chosen host: it is CPU-bound, so
+      // its wall time is cpu_demand / achieved_fraction.  We run it in
+      // fixed wall slices until it has accumulated its CPU demand.
+      auto& chosen = *fleet[pick].host;
+      const sim::TimedRun run = chosen.start_timed_process(
+          "job" + std::to_string(j), /*wall_seconds=*/kJobCpuSeconds * 20.0);
+      double wall = 0.0;
+      while (true) {
+        chosen.run_for(1.0);
+        wall += 1.0;
+        const double cpu = chosen.cpu_fraction(run) * wall;
+        if (cpu >= kJobCpuSeconds || wall >= kJobCpuSeconds * 20.0) break;
+      }
+      chosen.scheduler().exit_process(run.pid);
+      chosen.scheduler().reap_one(run.pid);
+      wall_times.add(wall);
+
+      // Keep the fleet's clocks and measurements in step.
+      t += kJobGap;
+      for (int epoch = 0; epoch < static_cast<int>(kJobGap / 10.0); ++epoch) {
+        sense_all(fleet, svc, t - kJobGap + 10.0 * (epoch + 1));
+      }
+    }
+
+    std::printf("  %-14s mean job wall time %6.1f s  (ideal %.0f s), "
+                "worst %6.1f s\n",
+                policy_names[policy], wall_times.mean(), kJobCpuSeconds,
+                wall_times.max());
+    std::printf("  %-14s placements:", "");
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      if (placements[i] > 0) {
+        std::printf(" %s=%d", host_name(all_ucsd_hosts()[i]).c_str(),
+                    placements[i]);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nReading the placements: the load-average policy never touches "
+      "conundrum — its nice-19 soaker makes the run queue look busy even "
+      "though a full-priority job would get nearly the whole CPU.  The "
+      "forecast policy reclaims it.  Random placement pays for every visit "
+      "to kongo, whose resident job halves a guest's share.  (kongo is also "
+      "the hybrid sensor's known blind spot — see Table 1 and the probe-"
+      "duration ablation.)\n");
+  return 0;
+}

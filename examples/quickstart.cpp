@@ -1,0 +1,79 @@
+// Quickstart: the nwscpu public API in one file.
+//
+//  1. simulate a time-shared Unix host under load,
+//  2. measure its CPU availability with the three NWS sensor methods,
+//  3. feed the measurements to the forecasting service,
+//  4. read back forecasts with their error pedigree,
+//  5. run the self-similarity analysis on the collected series.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "forecast/battery.hpp"
+#include "nws/forecast_service.hpp"
+#include "sensors/hybrid_sensor.hpp"
+#include "sensors/sim_sensors.hpp"
+#include "sim/host.hpp"
+#include "sim/workload.hpp"
+#include "tsa/autocorrelation.hpp"
+#include "tsa/rs_analysis.hpp"
+
+int main() {
+  using namespace nws;
+
+  // --- 1. a simulated workstation with two bursty interactive users ------
+  sim::Host host({.name = "demo"}, /*seed=*/2024);
+  for (int i = 0; i < 2; ++i) {
+    sim::InteractiveSessionConfig user;
+    user.name = "user" + std::to_string(i);
+    user.mean_think = 20.0;
+    host.add_workload(
+        std::make_unique<sim::InteractiveSession>(user, host.rng().fork()));
+  }
+
+  // --- 2 + 3. sense every 10 s for 2 simulated hours, record into the
+  //            forecasting service ---------------------------------------
+  LoadAvgSensor load_sensor(host);
+  VmstatSensor vmstat_sensor(host);
+  HybridSensor hybrid;  // default: 1.5 s probe, once per minute
+  ForecastService service;
+
+  std::vector<double> hybrid_history;
+  for (int epoch = 0; epoch < 720; ++epoch) {
+    host.run_for(10.0);
+    const double load_reading = load_sensor.measure();
+    const double vmstat_reading = vmstat_sensor.measure();
+    if (hybrid.probe_due(host.now())) {
+      const double probe = host.run_timed_process("probe", 1.5);
+      hybrid.probe_result(host.now(), probe, load_reading, vmstat_reading);
+    }
+    const double availability = hybrid.measure(load_reading, vmstat_reading);
+    hybrid_history.push_back(availability);
+    service.record("demo/cpu", {host.now(), availability});
+  }
+
+  // --- 4. ask for a forecast --------------------------------------------
+  const auto forecast = service.predict("demo/cpu");
+  std::printf("after %zu measurements:\n", forecast->history);
+  std::printf("  forecast next availability : %.1f%%\n",
+              100.0 * forecast->value);
+  std::printf("  selected method            : %s\n",
+              forecast->method.c_str());
+  std::printf("  running forecast MAE       : %.2f%%\n",
+              100.0 * forecast->mae);
+
+  // --- 5. series analysis -------------------------------------------------
+  const double acf60 = autocorrelation(hybrid_history, 60);
+  const HurstEstimate hurst = estimate_hurst_rs(hybrid_history);
+  std::printf("  ACF at lag 60 (10 min)     : %.2f\n", acf60);
+  std::printf("  Hurst estimate (R/S)       : %.2f  (0.5 < H < 1 => "
+              "long-range dependence)\n",
+              hurst.hurst);
+
+  // What a dynamic scheduler does with this: expansion-factor reasoning.
+  const double job_cpu_seconds = 90.0;
+  std::printf("\na %.0f s CPU-bound job is predicted to take ~%.0f s "
+              "wall-clock on this host\n",
+              job_cpu_seconds, job_cpu_seconds / forecast->value);
+  return 0;
+}

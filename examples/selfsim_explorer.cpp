@@ -1,0 +1,65 @@
+// Self-similarity explorer: generates series with known memory structure
+// and runs all three Hurst estimators side by side — the calibration
+// exercise behind Table 4 / Figure 3.
+//
+//   ./build/examples/selfsim_explorer [n]
+//
+// Shows (a) that the estimators recover fGn's known H, (b) that a
+// short-memory AR(1) with high lag-1 correlation is *not* long-range
+// dependent (the distinction the paper draws between "correlated" and
+// "self-similar"), and (c) what the simulated workstation traces look like
+// under the same instruments.
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiments/hosts.hpp"
+#include "experiments/runner.hpp"
+#include "tsa/fgn.hpp"
+#include "tsa/periodogram.hpp"
+#include "tsa/rs_analysis.hpp"
+
+namespace {
+
+void report(const char* label, std::span<const double> xs) {
+  const nws::HurstEstimate rs = nws::estimate_hurst_rs(xs);
+  const nws::HurstEstimate av = nws::estimate_hurst_aggvar(xs);
+  const nws::HurstEstimate gph = nws::estimate_hurst_periodogram(xs);
+  std::printf("  %-22s  R/S %.2f (R^2 %.2f)   agg-var %.2f   GPH %.2f\n",
+              label, rs.hurst, rs.r_squared, av.hurst, gph.hurst);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nws;
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 8192;
+  Rng rng(20260705);
+
+  std::printf("synthetic series (n = %zu):\n", n);
+  for (const double h : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+    const auto xs = generate_fgn(rng, h, n);
+    char label[32];
+    std::snprintf(label, sizeof label, "fGn H = %.1f", h);
+    report(label, xs);
+  }
+  const auto ar1 = generate_ar1(rng, 0.9, n);
+  report("AR(1) phi = 0.9", ar1);
+  std::printf("    (high short-lag correlation, but short memory: its true "
+              "asymptotic H is 0.5)\n");
+
+  std::printf("\nsimulated hosts (6h load-average availability):\n");
+  for (UcsdHost h : {UcsdHost::kThing1, UcsdHost::kThing2,
+                     UcsdHost::kBeowulf}) {
+    auto host = make_ucsd_host(h, 7);
+    RunnerConfig cfg;
+    cfg.duration = 6 * 3600.0;
+    cfg.run_tests = false;
+    const HostTrace trace = run_experiment(*host, cfg);
+    report(host_name(h).c_str(), trace.load_series.values());
+  }
+  std::printf("\nAll availability traces sit in 0.5 < H < 1.0 — the "
+              "long-range dependence the paper reports — while remaining "
+              "short-term predictable (Tables 2-3).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Trace analysis: offline study of a recorded availability trace.
+//
+//   ./build/examples/trace_analysis <trace.csv>
+//
+// Accepts any trace written by write_trace (the figure benches emit them
+// into bench_out/) or any 2-column time,value CSV on a regular grid.
+// Reports the statistics the paper computes for its traces: summary
+// moments, autocorrelation decay, Hurst estimates via both R/S and
+// aggregated variance, variance-time behaviour, and a shoot-out of every
+// NWS forecasting method on the series.  With no argument it synthesises a
+// demo trace from the simulated 'thing2' host first.
+#include <cstdio>
+#include <string>
+
+#include "experiments/hosts.hpp"
+#include "experiments/runner.hpp"
+#include "forecast/evaluate.hpp"
+#include "nws/trace_io.hpp"
+#include "tsa/aggregate.hpp"
+#include "tsa/autocorrelation.hpp"
+#include "tsa/rs_analysis.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nws;
+
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    std::printf("no trace given; simulating 6h of thing2 first...\n");
+    auto host = make_ucsd_host(UcsdHost::kThing2, 11);
+    RunnerConfig cfg;
+    cfg.duration = 6 * 3600.0;
+    cfg.run_tests = false;
+    const HostTrace trace = run_experiment(*host, cfg);
+    path = "thing2_demo_trace.csv";
+    write_trace(path, trace.load_series);
+  }
+
+  const TimeSeries series = read_trace(path);
+  const auto xs = series.values();
+  std::printf("\ntrace %s: %zu samples @ %.0fs period (%.1f h)\n",
+              path.c_str(), series.size(), series.period(),
+              series.period() * static_cast<double>(series.size()) / 3600.0);
+
+  RunningStats stats;
+  for (double v : xs) stats.add(v);
+  std::printf("  mean %.3f  stddev %.3f  min %.3f  max %.3f\n", stats.mean(),
+              stats.stddev(), stats.min(), stats.max());
+
+  const AcfDecay decay = acf_decay(xs, 360, 0.2);
+  std::printf("  ACF: lag1 %.3f, lag60 %.3f; first lag below 0.2: %zu\n",
+              autocorrelation(xs, 1), autocorrelation(xs, 60),
+              decay.first_below);
+
+  const HurstEstimate rs = estimate_hurst_rs(xs);
+  const HurstEstimate av = estimate_hurst_aggvar(xs);
+  std::printf("  Hurst: R/S %.2f (R^2 %.2f) | aggregated-variance %.2f\n",
+              rs.hurst, rs.r_squared, av.hurst);
+
+  std::printf("  variance-time:");
+  for (const VariancePoint& p : variance_time(xs)) {
+    std::printf(" m=%zu:%.4f", p.m, p.variance);
+  }
+  std::printf("\n\nforecaster shoot-out (one-step MAE, best first):\n");
+  for (const ForecastEvaluation& ev : evaluate_battery(xs)) {
+    std::printf("  %-18s MAE %6.2f%%  RMSE %6.2f%%\n", ev.method.c_str(),
+                100 * ev.mae, 100 * ev.rmse);
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "experiments/analysis.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "forecast/battery.hpp"
+#include "forecast/evaluate.hpp"
+#include "tsa/aggregate.hpp"
+#include "util/stats.hpp"
+
+namespace nws {
+
+namespace {
+
+/// Mean |series[i] - obs| where i indexes the measurement taken most
+/// immediately before each test start (Equation 3).
+double measurement_error_one(const TimeSeries& series,
+                             std::span<const TestObservation> tests) {
+  RunningStats err;
+  for (const TestObservation& t : tests) {
+    const std::size_t i = series.index_at_or_before(t.start);
+    if (i == TimeSeries::npos) continue;
+    err.add(std::abs(series[i] - t.availability));
+  }
+  return err.mean();
+}
+
+/// Mean |forecast for the test frame - obs| (Equation 4).  The forecast for
+/// the frame in which a test starting after epoch i runs is the prediction
+/// of measurement i+1, i.e. the forecast generated after observing epoch i.
+double true_error_one(const TimeSeries& series,
+                      std::span<const TestObservation> tests) {
+  const auto adaptive = make_nws_forecaster();
+  const ForecastEvaluation ev = evaluate_forecaster(*adaptive, series);
+  RunningStats err;
+  for (const TestObservation& t : tests) {
+    const std::size_t i = series.index_at_or_before(t.start);
+    if (i == TimeSeries::npos || i + 1 >= ev.forecasts.size()) continue;
+    err.add(std::abs(ev.forecasts[i + 1] - t.availability));
+  }
+  return err.mean();
+}
+
+double prediction_error_one(std::span<const double> values) {
+  const auto adaptive = make_nws_forecaster();
+  return evaluate_forecaster(*adaptive, values).mae;
+}
+
+/// Aggregated Equation 4: forecast of the 5-minute-average block against
+/// the 5-minute test-process observation in that block.
+double aggregated_true_error_one(const TimeSeries& series,
+                                 std::span<const TestObservation> tests,
+                                 std::size_t m) {
+  const TimeSeries agg = aggregate_series(series, m);
+  const auto adaptive = make_nws_forecaster();
+  const ForecastEvaluation ev = evaluate_forecaster(*adaptive, agg);
+  RunningStats err;
+  for (const TestObservation& t : tests) {
+    // Block containing the test start.
+    const double offset = t.start - agg.start();
+    if (offset < 0.0) continue;
+    const auto j = static_cast<std::size_t>(offset / agg.period());
+    if (j >= ev.forecasts.size()) continue;
+    err.add(std::abs(ev.forecasts[j] - t.availability));
+  }
+  return err.mean();
+}
+
+template <typename Fn>
+MethodTriple per_method(const HostTrace& trace, Fn&& fn) {
+  MethodTriple out;
+  out.load_average = fn(trace.load_series);
+  out.vmstat = fn(trace.vmstat_series);
+  out.hybrid = fn(trace.hybrid_series);
+  return out;
+}
+
+}  // namespace
+
+MethodTriple measurement_error(const HostTrace& trace) {
+  return per_method(trace, [&](const TimeSeries& s) {
+    return measurement_error_one(s, trace.tests);
+  });
+}
+
+MethodTriple true_forecast_error(const HostTrace& trace) {
+  return per_method(trace, [&](const TimeSeries& s) {
+    return true_error_one(s, trace.tests);
+  });
+}
+
+MethodTriple prediction_error(const HostTrace& trace) {
+  return per_method(trace, [&](const TimeSeries& s) {
+    return prediction_error_one(s.values());
+  });
+}
+
+MethodTriple series_variance(const HostTrace& trace) {
+  return per_method(trace,
+                    [](const TimeSeries& s) { return variance(s.values()); });
+}
+
+MethodTriple aggregated_variance(const HostTrace& trace, std::size_t m) {
+  return per_method(trace, [m](const TimeSeries& s) {
+    return variance(aggregate_series(s.values(), m));
+  });
+}
+
+MethodTriple aggregated_prediction_error(const HostTrace& trace,
+                                         std::size_t m) {
+  return per_method(trace, [m](const TimeSeries& s) {
+    return prediction_error_one(aggregate_series(s.values(), m));
+  });
+}
+
+MethodTriple aggregated_true_error(const HostTrace& trace, std::size_t m) {
+  return per_method(trace, [&, m](const TimeSeries& s) {
+    return aggregated_true_error_one(s, trace.agg_tests, m);
+  });
+}
+
+double nws_prediction_mae(std::span<const double> values) {
+  return prediction_error_one(values);
+}
+
+}  // namespace nws

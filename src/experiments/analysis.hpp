@@ -1,0 +1,63 @@
+// Error analysis: the quantities of the paper's Equations 3-5, computed
+// from a HostTrace, plus the aggregated (Section 3.2) variants.
+//
+//   measurement error   (Eq. 3): |measurement just before a test - what the
+//                                test process observed|
+//   true forecast error (Eq. 4): |forecast made for the test's time frame -
+//                                what the test process observed|
+//   prediction error    (Eq. 5): |forecast - next measurement|
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "experiments/runner.hpp"
+#include "forecast/forecaster.hpp"
+#include "tsa/series.hpp"
+
+namespace nws {
+
+/// One value per measurement method (the columns of the paper's tables).
+struct MethodTriple {
+  double load_average = 0.0;
+  double vmstat = 0.0;
+  double hybrid = 0.0;
+};
+
+/// Mean absolute measurement error (Table 1).  Tests whose preceding
+/// measurement is missing (before the first epoch) are skipped.
+[[nodiscard]] MethodTriple measurement_error(const HostTrace& trace);
+
+/// Mean true forecasting error (Table 2): one-step-ahead NWS forecasts
+/// evaluated against the test-process observations.  Uses a fresh canonical
+/// NWS adaptive forecaster per series.
+[[nodiscard]] MethodTriple true_forecast_error(const HostTrace& trace);
+
+/// Mean one-step-ahead prediction error (Table 3): NWS forecast vs the next
+/// measurement, averaged over the whole series.
+[[nodiscard]] MethodTriple prediction_error(const HostTrace& trace);
+
+/// Population variance of each measurement series (Table 4, "orig.").
+[[nodiscard]] MethodTriple series_variance(const HostTrace& trace);
+
+/// Population variance of each m-aggregated series (Table 4, "300s" with
+/// m = 30 at a 10 s period).
+[[nodiscard]] MethodTriple aggregated_variance(const HostTrace& trace,
+                                               std::size_t m);
+
+/// Mean one-step-ahead prediction error of the m-aggregated series
+/// (Table 5).
+[[nodiscard]] MethodTriple aggregated_prediction_error(const HostTrace& trace,
+                                                       std::size_t m);
+
+/// Mean true forecasting error of the aggregated series against the long
+/// (5-minute) test processes (Table 6).  `m` must equal
+/// agg_test_duration / measure_period (30 for the paper protocol).
+[[nodiscard]] MethodTriple aggregated_true_error(const HostTrace& trace,
+                                                 std::size_t m);
+
+/// Helper shared with the benches: mean absolute one-step-ahead error of a
+/// fresh canonical NWS forecaster over `values` (Equation 5 for any series).
+[[nodiscard]] double nws_prediction_mae(std::span<const double> values);
+
+}  // namespace nws

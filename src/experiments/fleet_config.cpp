@@ -1,0 +1,222 @@
+#include "experiments/fleet_config.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/extra_workloads.hpp"
+#include "sim/workload.hpp"
+
+namespace nws {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::runtime_error("fleet config line " + std::to_string(line_no) +
+                           ": " + message);
+}
+
+std::string trim(std::string_view s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string_view::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return std::string(s.substr(begin, end - begin + 1));
+}
+
+double parse_number(std::size_t line_no, const std::string& value) {
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    fail(line_no, "expected a number, got '" + value + "'");
+  }
+  return out;
+}
+
+bool parse_bool(std::size_t line_no, const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  fail(line_no, "expected a boolean, got '" + value + "'");
+}
+
+void apply_key(std::size_t line_no, HostSpec& spec, const std::string& key,
+               const std::string& value) {
+  const auto num = [&] { return parse_number(line_no, value); };
+  const auto flag = [&] { return parse_bool(line_no, value); };
+  if (key == "interrupt_load") {
+    spec.interrupt_load = num();
+    if (spec.interrupt_load < 0.0 || spec.interrupt_load >= 1.0) {
+      fail(line_no, "interrupt_load must be in [0, 1)");
+    }
+  } else if (key == "users") {
+    spec.users = static_cast<int>(num());
+    if (spec.users < 0 || spec.users > 64) {
+      fail(line_no, "users must be in [0, 64]");
+    }
+  } else if (key == "user.mean_think") {
+    spec.user_mean_think = num();
+    if (spec.user_mean_think <= 0.0) fail(line_no, "mean_think must be > 0");
+  } else if (key == "user.burst_alpha") {
+    spec.user_burst_alpha = num();
+    if (spec.user_burst_alpha <= 0.0) fail(line_no, "burst_alpha must be > 0");
+  } else if (key == "user.diurnal_amplitude") {
+    spec.user_diurnal_amplitude = num();
+    if (spec.user_diurnal_amplitude < 0.0 ||
+        spec.user_diurnal_amplitude >= 1.0) {
+      fail(line_no, "diurnal_amplitude must be in [0, 1)");
+    }
+  } else if (key == "batch") {
+    spec.batch = flag();
+  } else if (key == "batch.jobs_per_hour") {
+    spec.batch_jobs_per_hour = num();
+    if (spec.batch_jobs_per_hour <= 0.0) {
+      fail(line_no, "jobs_per_hour must be > 0");
+    }
+  } else if (key == "batch.duration_mu") {
+    spec.batch_duration_mu = num();
+  } else if (key == "batch.duration_sigma") {
+    spec.batch_duration_sigma = num();
+    if (spec.batch_duration_sigma < 0.0) {
+      fail(line_no, "duration_sigma must be >= 0");
+    }
+  } else if (key == "batch.cpu_duty") {
+    spec.batch_cpu_duty = num();
+    if (spec.batch_cpu_duty <= 0.0 || spec.batch_cpu_duty > 1.0) {
+      fail(line_no, "cpu_duty must be in (0, 1]");
+    }
+  } else if (key == "soaker") {
+    spec.soaker = flag();
+  } else if (key == "soaker.nice") {
+    spec.soaker_nice = static_cast<int>(num());
+    if (spec.soaker_nice < 0 || spec.soaker_nice > 19) {
+      fail(line_no, "soaker.nice must be in [0, 19]");
+    }
+  } else if (key == "hog") {
+    spec.hog = flag();
+  } else if (key == "hog.duty") {
+    spec.hog_duty = num();
+    if (spec.hog_duty <= 0.0 || spec.hog_duty > 1.0) {
+      fail(line_no, "hog.duty must be in (0, 1]");
+    }
+  } else if (key == "daemon.period") {
+    spec.daemon_period = num();
+    if (*spec.daemon_period <= 0.0) fail(line_no, "daemon.period must be > 0");
+  } else if (key == "daemon.burst") {
+    spec.daemon_burst = num();
+    if (spec.daemon_burst <= 0.0) fail(line_no, "daemon.burst must be > 0");
+  } else {
+    fail(line_no, "unknown key '" + key + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<HostSpec> parse_fleet_config(std::istream& in) {
+  std::vector<HostSpec> specs;
+  std::set<std::string> names;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments, then whitespace.
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(line_no, "unterminated section header");
+      std::istringstream header(line.substr(1, line.size() - 2));
+      std::string kind, name, extra;
+      header >> kind >> name;
+      if (kind != "host" || name.empty() || (header >> extra)) {
+        fail(line_no, "expected [host <name>]");
+      }
+      if (!names.insert(name).second) {
+        fail(line_no, "duplicate host '" + name + "'");
+      }
+      HostSpec spec;
+      spec.name = name;
+      specs.push_back(spec);
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected key = value");
+    if (specs.empty()) fail(line_no, "key before any [host ...] section");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) fail(line_no, "empty key or value");
+    apply_key(line_no, specs.back(), key, value);
+  }
+  // Cross-key validation (order-independent).
+  for (const HostSpec& spec : specs) {
+    if (spec.daemon_period && spec.daemon_burst >= *spec.daemon_period) {
+      throw std::runtime_error("fleet config host '" + spec.name +
+                               "': daemon.burst must be < daemon.period");
+    }
+  }
+  return specs;
+}
+
+std::vector<HostSpec> parse_fleet_config(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open fleet config " + path.string());
+  }
+  return parse_fleet_config(in);
+}
+
+std::unique_ptr<sim::Host> build_host(const HostSpec& spec,
+                                      std::uint64_t seed) {
+  sim::HostConfig hc;
+  hc.name = spec.name;
+  hc.interrupt_load = spec.interrupt_load;
+  Rng rng(seed ^ std::hash<std::string>{}(spec.name));
+  auto host = std::make_unique<sim::Host>(hc, rng());
+
+  for (int i = 0; i < spec.users; ++i) {
+    sim::InteractiveSessionConfig user;
+    user.name = "user" + std::to_string(i);
+    user.mean_think = spec.user_mean_think;
+    user.burst_alpha = spec.user_burst_alpha;
+    user.diurnal = {.amplitude = spec.user_diurnal_amplitude,
+                    .peak_hour = 15.0};
+    host->add_workload(
+        std::make_unique<sim::InteractiveSession>(user, rng.fork()));
+  }
+  if (spec.batch) {
+    sim::BatchArrivalsConfig batch;
+    batch.jobs_per_hour = spec.batch_jobs_per_hour;
+    batch.duration_mu = spec.batch_duration_mu;
+    batch.duration_sigma = spec.batch_duration_sigma;
+    batch.cpu_duty = spec.batch_cpu_duty;
+    host->add_workload(
+        std::make_unique<sim::BatchArrivals>(batch, rng.fork()));
+  }
+  if (spec.soaker) {
+    sim::PersistentProcessConfig soaker;
+    soaker.name = "soaker";
+    soaker.nice = spec.soaker_nice;
+    host->add_workload(
+        std::make_unique<sim::PersistentProcess>(soaker, rng.fork()));
+  }
+  if (spec.hog) {
+    sim::PersistentProcessConfig hog;
+    hog.name = "hog";
+    hog.duty = spec.hog_duty;
+    host->add_workload(
+        std::make_unique<sim::PersistentProcess>(hog, rng.fork()));
+  }
+  if (spec.daemon_period) {
+    sim::PeriodicDaemonConfig daemon;
+    daemon.period = *spec.daemon_period;
+    daemon.burst = spec.daemon_burst;
+    host->add_workload(std::make_unique<sim::PeriodicDaemon>(daemon));
+  }
+  return host;
+}
+
+}  // namespace nws

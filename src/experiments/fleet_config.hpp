@@ -1,0 +1,78 @@
+// Fleet configuration files: user-defined simulated hosts.
+//
+// The six built-in UCSD hosts (hosts.hpp) reproduce the paper; downstream
+// users studying their own environment describe hosts in a small INI-style
+// text format instead of recompiling:
+//
+//     # comment
+//     [host buildbox]
+//     interrupt_load      = 0.02
+//     users               = 3        # interactive ON/OFF sessions
+//     user.mean_think     = 20
+//     user.burst_alpha    = 1.5
+//     user.diurnal_amplitude = 0.35
+//     batch               = true     # Poisson batch job stream
+//     batch.jobs_per_hour = 6
+//     batch.duration_mu   = 4.2
+//     batch.duration_sigma= 1.0
+//     batch.cpu_duty      = 0.6
+//     soaker              = true     # nice-19 background cycle soaker
+//     soaker.nice         = 19
+//     hog                 = true     # resident full-priority job
+//     hog.duty            = 1.0
+//     daemon.period       = 300      # cron-style periodic daemon
+//     daemon.burst        = 2
+//
+// Unknown keys, malformed values and duplicate host names are hard errors
+// (with line numbers) — a silently ignored typo in an experiment spec is
+// worse than a failure.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/host.hpp"
+
+namespace nws {
+
+struct HostSpec {
+  std::string name;
+  double interrupt_load = 0.0;
+
+  int users = 0;
+  double user_mean_think = 30.0;
+  double user_burst_alpha = 1.5;
+  double user_diurnal_amplitude = 0.35;
+
+  bool batch = false;
+  double batch_jobs_per_hour = 4.0;
+  double batch_duration_mu = 4.2;
+  double batch_duration_sigma = 1.0;
+  double batch_cpu_duty = 0.6;
+
+  bool soaker = false;
+  int soaker_nice = 19;
+
+  bool hog = false;
+  double hog_duty = 1.0;
+
+  std::optional<double> daemon_period;
+  double daemon_burst = 1.0;
+};
+
+/// Parses a fleet file.  Throws std::runtime_error with "line N: ..." on
+/// any syntactic or semantic problem.
+[[nodiscard]] std::vector<HostSpec> parse_fleet_config(std::istream& in);
+[[nodiscard]] std::vector<HostSpec> parse_fleet_config(
+    const std::filesystem::path& path);
+
+/// Builds a simulated host (with all configured workloads attached) from a
+/// spec.  Deterministic in (spec, seed).
+[[nodiscard]] std::unique_ptr<sim::Host> build_host(const HostSpec& spec,
+                                                    std::uint64_t seed);
+
+}  // namespace nws

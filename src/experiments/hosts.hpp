@@ -1,0 +1,39 @@
+// The simulated UCSD CSE fleet (DESIGN.md §5).
+//
+// Six host configurations reproduce the load classes of the paper's
+// experimental subjects:
+//   thing1, thing2  — graduate-student interactive workstations
+//   conundrum       — workstation with a `nice 19` background soaker
+//   beowulf         — departmental compute server (batch + interrupt load)
+//   gremlin         — lightly used departmental server
+//   kongo           — server occupied by a long-running full-priority job
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "sim/host.hpp"
+
+namespace nws {
+
+enum class UcsdHost {
+  kThing2,
+  kThing1,
+  kConundrum,
+  kBeowulf,
+  kGremlin,
+  kKongo,
+};
+
+/// All hosts in the paper's table order.
+[[nodiscard]] const std::array<UcsdHost, 6>& all_ucsd_hosts();
+
+[[nodiscard]] std::string host_name(UcsdHost host);
+
+/// Builds the host with its workload attached.  The same (host, seed) pair
+/// always yields an identical simulation.
+[[nodiscard]] std::unique_ptr<sim::Host> make_ucsd_host(UcsdHost host,
+                                                        std::uint64_t seed);
+
+}  // namespace nws

@@ -1,0 +1,119 @@
+#include "experiments/runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "sensors/sim_sensors.hpp"
+
+namespace nws {
+
+namespace {
+
+/// A test process running in the background of the measurement loop.
+struct ActiveTest {
+  sim::TimedRun run;
+  bool aggregated = false;
+};
+
+}  // namespace
+
+HostTrace run_experiment(sim::Host& host, const RunnerConfig& cfg) {
+  assert(cfg.duration > 0.0 && cfg.measure_period > 0.0);
+
+  LoadAvgSensor load_sensor(host);
+  VmstatSensor vmstat_sensor(host);
+  HybridSensor hybrid({.probe_period = cfg.probe_period,
+                       .probe_duration = cfg.probe_duration,
+                       .apply_bias = cfg.hybrid_apply_bias});
+
+  // Warm up: let workloads reach steady state and prime the sensors so the
+  // first recorded vmstat interval is a real delta.
+  host.run_until(cfg.warmup);
+  (void)vmstat_sensor.measure();
+
+  const double t0 = host.now();
+  const double end = t0 + cfg.duration;
+  const std::string& hn = host.config().name;
+
+  HostTrace trace{
+      TimeSeries(hn + "/load", t0, cfg.measure_period),
+      TimeSeries(hn + "/vmstat", t0, cfg.measure_period),
+      TimeSeries(hn + "/hybrid", t0, cfg.measure_period),
+      {},
+      {}};
+  const auto expected =
+      static_cast<std::size_t>(cfg.duration / cfg.measure_period) + 1;
+  trace.load_series.reserve(expected);
+  trace.vmstat_series.reserve(expected);
+  trace.hybrid_series.reserve(expected);
+
+  double next_measure = t0;
+  double next_test = cfg.run_tests
+                         ? t0 + cfg.test_offset
+                         : std::numeric_limits<double>::infinity();
+  double next_agg_test = cfg.run_agg_tests
+                             ? t0 + cfg.agg_test_period
+                             : std::numeric_limits<double>::infinity();
+  std::vector<ActiveTest> active;
+
+  const auto harvest_finished = [&] {
+    for (auto it = active.begin(); it != active.end();) {
+      if (!host.finished(it->run)) {
+        ++it;
+        continue;
+      }
+      TestObservation obs;
+      obs.start = sim::ticks_to_seconds(it->run.start);
+      obs.availability = host.cpu_fraction(it->run);
+      (it->aggregated ? trace.agg_tests : trace.tests).push_back(obs);
+      host.scheduler().reap_one(it->run.pid);
+      it = active.erase(it);
+    }
+  };
+
+  while (true) {
+    const double next_event = std::min({next_measure, next_test,
+                                        next_agg_test});
+    if (next_event > end) break;
+    host.run_until(next_event);
+    harvest_finished();
+
+    if (next_event == next_measure) {
+      double load_reading = load_sensor.measure();
+      double vmstat_reading = vmstat_sensor.measure();
+      if (hybrid.probe_due(host.now())) {
+        // The probe consumes real simulated CPU inside this epoch.
+        const double probe_avail = host.run_timed_process(
+            "nws_probe", cfg.probe_duration, /*nice=*/0);
+        harvest_finished();
+        hybrid.probe_result(host.now(), probe_avail, load_reading,
+                            vmstat_reading);
+      }
+      trace.load_series.push_back(load_reading);
+      trace.vmstat_series.push_back(vmstat_reading);
+      trace.hybrid_series.push_back(hybrid.measure(load_reading,
+                                                   vmstat_reading));
+      next_measure += cfg.measure_period;
+    } else if (next_event == next_test) {
+      active.push_back({host.start_timed_process("test_proc",
+                                                 cfg.test_duration),
+                        /*aggregated=*/false});
+      next_test += cfg.test_period;
+    } else {
+      active.push_back({host.start_timed_process("agg_test_proc",
+                                                 cfg.agg_test_duration),
+                        /*aggregated=*/true});
+      next_agg_test += cfg.agg_test_period;
+    }
+  }
+
+  // Let any still-running test finish so its observation is not lost.
+  for (const ActiveTest& t : active) {
+    host.run_until(sim::ticks_to_seconds(t.run.end));
+  }
+  harvest_finished();
+  return trace;
+}
+
+}  // namespace nws

@@ -1,0 +1,65 @@
+// Experiment runner: drives one simulated host through the paper's
+// measurement protocol and records everything the analysis needs.
+//
+// Protocol (paper, Sections 2-3):
+//  * every `measure_period` (10 s): read the load-average and vmstat
+//    sensors and produce the hybrid measurement;
+//  * once per `probe_period` (60 s): run the 1.5 s hybrid probe process
+//    (this consumes simulated CPU — the hybrid's 2.5% overhead);
+//  * every `test_period` (5 min): run the 10 s ground-truth test process in
+//    the background while measurement continues;
+//  * every `agg_test_period` (60 min): run the 5-minute test process used
+//    for the aggregated (medium-term) evaluation — intrusive enough to be
+//    visible in the traces, as the paper notes about its Figure 4.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sensors/hybrid_sensor.hpp"
+#include "sim/host.hpp"
+#include "tsa/series.hpp"
+
+namespace nws {
+
+struct RunnerConfig {
+  double duration = 24.0 * 3600.0;  ///< recorded experiment length (s)
+  double warmup = 600.0;            ///< pre-recording settle time (s)
+  double measure_period = 10.0;
+  double probe_period = 60.0;
+  double probe_duration = 1.5;
+  bool hybrid_apply_bias = true;
+
+  bool run_tests = true;
+  double test_period = 300.0;
+  double test_duration = 10.0;
+  /// Offset of the first test into the recorded window; keeps test starts
+  /// between measurement epochs.
+  double test_offset = 15.0;
+
+  bool run_agg_tests = false;
+  double agg_test_period = 3600.0;
+  double agg_test_duration = 300.0;
+};
+
+/// One ground-truth observation: what a full-priority process actually got.
+struct TestObservation {
+  double start = 0.0;         ///< wall-clock start time (s)
+  double availability = 0.0;  ///< cpu_time / wall_time
+};
+
+/// Everything recorded from one host run.
+struct HostTrace {
+  TimeSeries load_series;    ///< Equation 1 readings, one per epoch
+  TimeSeries vmstat_series;  ///< Equation 2 readings
+  TimeSeries hybrid_series;  ///< NWS hybrid readings
+  std::vector<TestObservation> tests;      ///< short (10 s) test processes
+  std::vector<TestObservation> agg_tests;  ///< long (5 min) test processes
+};
+
+/// Runs the full protocol on `host`.  The host must be freshly constructed
+/// (time zero); the runner performs the warmup itself.
+[[nodiscard]] HostTrace run_experiment(sim::Host& host,
+                                       const RunnerConfig& config);
+
+}  // namespace nws

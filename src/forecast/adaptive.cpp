@@ -1,0 +1,113 @@
+#include "forecast/adaptive.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace nws {
+
+AdaptiveForecaster::AdaptiveForecaster(std::vector<ForecasterPtr> methods,
+                                       std::size_t error_window,
+                                       SelectionNorm norm)
+    : methods_(std::move(methods)),
+      selections_(methods_.size(), 0),
+      error_window_(error_window),
+      norm_(norm) {
+  if (methods_.empty()) {
+    throw std::invalid_argument("AdaptiveForecaster: empty battery");
+  }
+  trackers_.reserve(methods_.size());
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    trackers_.emplace_back(error_window_);
+  }
+}
+
+AdaptiveForecaster::AdaptiveForecaster(const AdaptiveForecaster& other)
+    : trackers_(other.trackers_),
+      selections_(other.selections_),
+      error_window_(other.error_window_),
+      norm_(other.norm_),
+      best_(other.best_),
+      observed_(other.observed_) {
+  methods_.reserve(other.methods_.size());
+  for (const auto& m : other.methods_) methods_.push_back(m->clone());
+}
+
+double AdaptiveForecaster::forecast() const {
+  return methods_[best_]->forecast();
+}
+
+double AdaptiveForecaster::tracker_error(const Tracker& t) const {
+  if (error_window_ == 0) {
+    if (t.count == 0) return std::numeric_limits<double>::infinity();
+    const double denom = static_cast<double>(t.count);
+    return norm_ == SelectionNorm::kMae ? t.total_abs / denom
+                                        : t.total_sq / denom;
+  }
+  const SlidingWindow& win =
+      norm_ == SelectionNorm::kMae ? t.abs_err : t.sq_err;
+  if (win.empty()) return std::numeric_limits<double>::infinity();
+  return win.mean();
+}
+
+double AdaptiveForecaster::method_error(std::size_t i) const {
+  return tracker_error(trackers_.at(i));
+}
+
+void AdaptiveForecaster::reselect() {
+  double best_err = std::numeric_limits<double>::infinity();
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < trackers_.size(); ++i) {
+    const double e = tracker_error(trackers_[i]);
+    if (e < best_err) {
+      best_err = e;
+      best = i;
+    }
+  }
+  best_ = best;
+}
+
+void AdaptiveForecaster::observe(double value) {
+  // Score every method's standing forecast against the arriving value
+  // *before* the methods see it (genuine one-step-ahead errors).
+  if (observed_ > 0) {
+    for (std::size_t i = 0; i < methods_.size(); ++i) {
+      const double err = methods_[i]->forecast() - value;
+      Tracker& t = trackers_[i];
+      t.abs_err.push(std::abs(err));
+      t.sq_err.push(err * err);
+      t.total_abs += std::abs(err);
+      t.total_sq += err * err;
+      ++t.count;
+    }
+    reselect();
+  }
+  ++selections_[best_];
+  for (auto& m : methods_) m->observe(value);
+  ++observed_;
+}
+
+void AdaptiveForecaster::reset() {
+  for (auto& m : methods_) m->reset();
+  for (auto& t : trackers_) {
+    t.abs_err.clear();
+    t.sq_err.clear();
+    t.total_abs = t.total_sq = 0.0;
+    t.count = 0;
+  }
+  std::fill(selections_.begin(), selections_.end(), std::size_t{0});
+  best_ = 0;
+  observed_ = 0;
+}
+
+std::string AdaptiveForecaster::selected_method() const {
+  return methods_[best_]->name();
+}
+
+ForecasterPtr AdaptiveForecaster::clone() const {
+  return std::make_unique<AdaptiveForecaster>(*this);
+}
+
+}  // namespace nws

@@ -1,0 +1,88 @@
+// AdaptiveForecaster: the NWS dynamic model selection (paper, Section 3).
+//
+// "Rather than use a single forecasting model, the NWS applies a collection
+// of forecasting techniques to each series, and dynamically chooses the one
+// that has been most accurate over the recent set of measurements."
+//
+// Every constituent method is fed every measurement.  Each method's error
+// is tracked as the mean absolute error over a sliding window of recent
+// one-step-ahead forecasts (plus, optionally, squared error); forecast()
+// returns the prediction of the method with the lowest recent error.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+#include "forecast/window.hpp"
+
+namespace nws {
+
+/// Which error norm drives model selection.
+enum class SelectionNorm { kMae, kMse };
+
+class AdaptiveForecaster final : public Forecaster {
+ public:
+  /// Takes ownership of the battery.  `error_window` is the number of
+  /// recent errors considered when ranking methods (0 = entire history).
+  AdaptiveForecaster(std::vector<ForecasterPtr> methods,
+                     std::size_t error_window = 50,
+                     SelectionNorm norm = SelectionNorm::kMae);
+
+  AdaptiveForecaster(const AdaptiveForecaster& other);
+  AdaptiveForecaster& operator=(const AdaptiveForecaster&) = delete;
+
+  [[nodiscard]] std::string name() const override { return "nws_adaptive"; }
+  [[nodiscard]] double forecast() const override;
+  void observe(double value) override;
+  void reset() override;
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+  /// Introspection for reports and ablations -------------------------------
+
+  [[nodiscard]] std::size_t num_methods() const noexcept {
+    return methods_.size();
+  }
+  /// Name of the currently selected method.
+  [[nodiscard]] std::string selected_method() const;
+  /// Index of the currently selected method.
+  [[nodiscard]] std::size_t selected_index() const noexcept {
+    return best_;
+  }
+  /// Recent error of method i under the selection norm.
+  [[nodiscard]] double method_error(std::size_t i) const;
+  /// How many times method i has been the selected forecaster at
+  /// observation time (for "which method wins" reports).
+  [[nodiscard]] std::size_t times_selected(std::size_t i) const {
+    return selections_[i];
+  }
+  [[nodiscard]] const Forecaster& method(std::size_t i) const {
+    return *methods_[i];
+  }
+
+ private:
+  struct Tracker {
+    explicit Tracker(std::size_t window)
+        : abs_err(window ? window : 1), sq_err(window ? window : 1) {}
+    SlidingWindow abs_err;
+    SlidingWindow sq_err;
+    // Whole-history fallbacks when error_window == 0.
+    double total_abs = 0.0;
+    double total_sq = 0.0;
+    std::size_t count = 0;
+  };
+
+  [[nodiscard]] double tracker_error(const Tracker& t) const;
+  void reselect();
+
+  std::vector<ForecasterPtr> methods_;
+  std::vector<Tracker> trackers_;
+  std::vector<std::size_t> selections_;
+  std::size_t error_window_;
+  SelectionNorm norm_;
+  std::size_t best_ = 0;
+  std::size_t observed_ = 0;
+};
+
+}  // namespace nws

@@ -1,0 +1,102 @@
+#include "forecast/ar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace nws {
+
+ArForecaster::ArForecaster(std::size_t order, std::size_t window,
+                           std::size_t refit_interval)
+    : order_(std::max<std::size_t>(order, 1)),
+      win_(std::max(window, 4 * std::max<std::size_t>(order, 1))),
+      refit_interval_(std::max<std::size_t>(refit_interval, 1)) {}
+
+std::string ArForecaster::name() const {
+  return "ar(" + std::to_string(order_) + ")";
+}
+
+void ArForecaster::refit() {
+  const std::size_t n = win_.size();
+  phi_.clear();
+  if (n < 4 * order_) return;
+
+  // Sample mean and autocovariances r_0 .. r_p of the window.
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += win_.at(i);
+  mean /= static_cast<double>(n);
+  fit_mean_ = mean;
+
+  std::vector<double> r(order_ + 1, 0.0);
+  for (std::size_t k = 0; k <= order_; ++k) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t + k < n; ++t) {
+      acc += (win_.at(t) - mean) * (win_.at(t + k) - mean);
+    }
+    r[k] = acc / static_cast<double>(n);
+  }
+  if (r[0] <= 1e-12) return;  // (near-)constant window: fall back to mean
+
+  // Levinson-Durbin on the Yule-Walker equations.
+  std::vector<double> phi(order_, 0.0);
+  std::vector<double> prev(order_, 0.0);
+  double err = r[0];
+  for (std::size_t k = 1; k <= order_; ++k) {
+    double acc = r[k];
+    for (std::size_t j = 1; j < k; ++j) acc -= phi[j - 1] * r[k - j];
+    const double kappa = acc / err;
+    prev = phi;
+    phi[k - 1] = kappa;
+    for (std::size_t j = 1; j < k; ++j) {
+      phi[j - 1] = prev[j - 1] - kappa * prev[k - 1 - j];
+    }
+    err *= (1.0 - kappa * kappa);
+    if (err <= 1e-14) break;  // numerically singular: keep what we have
+  }
+  phi_ = std::move(phi);
+}
+
+double ArForecaster::forecast() const {
+  if (!has_data_) return kInitialGuess;
+  if (phi_.empty() || win_.size() < order_) {
+    // Not enough history for the model yet: windowed mean.
+    return win_.mean();
+  }
+  const std::size_t n = win_.size();
+  double pred = fit_mean_;
+  for (std::size_t i = 0; i < order_; ++i) {
+    pred += phi_[i] * (win_.at(n - 1 - i) - fit_mean_);
+  }
+  return std::clamp(pred, lo_, hi_);
+}
+
+void ArForecaster::observe(double value) {
+  if (!has_data_) {
+    lo_ = hi_ = value;
+    has_data_ = true;
+  } else {
+    lo_ = std::min(lo_, value);
+    hi_ = std::max(hi_, value);
+  }
+  win_.push(value);
+  if (++since_fit_ >= refit_interval_) {
+    since_fit_ = 0;
+    refit();
+  }
+}
+
+void ArForecaster::reset() {
+  win_.clear();
+  phi_.clear();
+  since_fit_ = 0;
+  fit_mean_ = 0.0;
+  lo_ = hi_ = kInitialGuess;
+  has_data_ = false;
+}
+
+ForecasterPtr ArForecaster::clone() const {
+  return std::make_unique<ArForecaster>(*this);
+}
+
+}  // namespace nws

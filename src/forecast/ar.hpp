@@ -1,0 +1,59 @@
+// Autoregressive forecaster: AR(p) fitted by Yule-Walker over a sliding
+// window.
+//
+// The strongest classical competitor to the NWS battery on host-load
+// series: Dinda & O'Halloran's follow-up work found AR(16) models to be
+// the best practical predictors for Unix load.  nwscpu ships it as an
+// *extension* — bench/ablation_ar.cpp measures what adding it to the NWS
+// battery buys on the paper's series (the canonical battery stays as the
+// paper had it).
+//
+// Implementation: sample autocovariances over the most recent `window`
+// measurements, Levinson-Durbin recursion for the AR coefficients, refit
+// every `refit_interval` observations (the fit is O(window * p + p^2)).
+// Forecast = mean + sum phi_i * (x_{t-i} - mean), clamped to the observed
+// range to keep an ill-conditioned fit from producing absurd availability.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+#include "forecast/window.hpp"
+
+namespace nws {
+
+class ArForecaster final : public Forecaster {
+ public:
+  /// order >= 1; window must comfortably exceed the order (>= 4 * order is
+  /// enforced); refit_interval >= 1.
+  explicit ArForecaster(std::size_t order = 16, std::size_t window = 256,
+                        std::size_t refit_interval = 10);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast() const override;
+  void observe(double value) override;
+  void reset() override;
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+  [[nodiscard]] std::size_t order() const noexcept { return order_; }
+  /// Current coefficients (empty until the first fit).
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return phi_;
+  }
+
+ private:
+  void refit();
+
+  std::size_t order_;
+  SlidingWindow win_;
+  std::size_t refit_interval_;
+  std::size_t since_fit_ = 0;
+  std::vector<double> phi_;  // AR coefficients, most recent lag first
+  double fit_mean_ = 0.0;
+  double lo_ = kInitialGuess;
+  double hi_ = kInitialGuess;
+  bool has_data_ = false;
+};
+
+}  // namespace nws

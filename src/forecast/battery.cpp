@@ -1,0 +1,35 @@
+#include "forecast/battery.hpp"
+
+#include "forecast/methods.hpp"
+
+namespace nws {
+
+std::vector<ForecasterPtr> make_nws_methods() {
+  std::vector<ForecasterPtr> methods;
+  methods.push_back(std::make_unique<LastValueForecaster>());
+  methods.push_back(std::make_unique<RunningMeanForecaster>());
+  for (std::size_t w : {5u, 10u, 20u, 30u, 60u}) {
+    methods.push_back(std::make_unique<SlidingMeanForecaster>(w));
+  }
+  for (double g : {0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 0.9}) {
+    methods.push_back(std::make_unique<ExpSmoothForecaster>(g));
+  }
+  for (std::size_t w : {5u, 11u, 21u, 31u}) {
+    methods.push_back(std::make_unique<MedianForecaster>(w));
+  }
+  methods.push_back(std::make_unique<TrimmedMeanForecaster>(21, 5));
+  methods.push_back(std::make_unique<AdaptiveWindowForecaster>(
+      AdaptiveWindowForecaster::Kind::kMean, 3, 60));
+  methods.push_back(std::make_unique<AdaptiveWindowForecaster>(
+      AdaptiveWindowForecaster::Kind::kMedian, 3, 60));
+  methods.push_back(std::make_unique<GradientForecaster>());
+  return methods;
+}
+
+std::unique_ptr<AdaptiveForecaster> make_nws_forecaster(
+    std::size_t error_window, SelectionNorm norm) {
+  return std::make_unique<AdaptiveForecaster>(make_nws_methods(),
+                                              error_window, norm);
+}
+
+}  // namespace nws

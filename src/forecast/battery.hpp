@@ -1,0 +1,26 @@
+// Canonical NWS forecaster battery.
+//
+// The set mirrors the mean/median sliding-window family described in the
+// NWS papers: persistence, whole-history and windowed means, exponential
+// smoothing at several gains, windowed medians, a trimmed mean, adaptive
+// windows and an adaptive-gain gradient predictor.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "forecast/adaptive.hpp"
+#include "forecast/forecaster.hpp"
+
+namespace nws {
+
+/// The individual methods of the canonical battery (fresh instances).
+[[nodiscard]] std::vector<ForecasterPtr> make_nws_methods();
+
+/// The full NWS adaptive forecaster over the canonical battery.
+/// `error_window` is the recent-error horizon used for model selection.
+[[nodiscard]] std::unique_ptr<AdaptiveForecaster> make_nws_forecaster(
+    std::size_t error_window = 50,
+    SelectionNorm norm = SelectionNorm::kMae);
+
+}  // namespace nws

@@ -1,0 +1,66 @@
+#include "forecast/evaluate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "forecast/battery.hpp"
+
+namespace nws {
+
+ForecastEvaluation evaluate_forecaster(const Forecaster& f,
+                                       std::span<const double> xs) {
+  ForecastEvaluation ev;
+  ev.method = f.name();
+  auto fc = f.clone();
+  fc->reset();
+  ev.forecasts.reserve(xs.size());
+  double abs_acc = 0.0;
+  double sq_acc = 0.0;
+  double pct_acc = 0.0;
+  std::size_t pct_n = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fc->forecast();
+    ev.forecasts.push_back(pred);
+    if (i > 0) {
+      const double err = pred - xs[i];
+      ev.errors.push_back(err);
+      abs_acc += std::abs(err);
+      sq_acc += err * err;
+      if (xs[i] != 0.0) {
+        pct_acc += std::abs(err / xs[i]);
+        ++pct_n;
+      }
+    }
+    fc->observe(xs[i]);
+  }
+  const std::size_t n = ev.errors.size();
+  if (n > 0) {
+    ev.mae = abs_acc / static_cast<double>(n);
+    ev.mse = sq_acc / static_cast<double>(n);
+    ev.rmse = std::sqrt(ev.mse);
+    ev.mape = pct_n ? pct_acc / static_cast<double>(pct_n) : 0.0;
+  }
+  return ev;
+}
+
+ForecastEvaluation evaluate_forecaster(const Forecaster& f,
+                                       const TimeSeries& series) {
+  return evaluate_forecaster(f, series.values());
+}
+
+std::vector<ForecastEvaluation> evaluate_battery(std::span<const double> xs,
+                                                 std::size_t error_window) {
+  std::vector<ForecastEvaluation> out;
+  for (const auto& m : make_nws_methods()) {
+    out.push_back(evaluate_forecaster(*m, xs));
+  }
+  const auto adaptive = make_nws_forecaster(error_window);
+  out.push_back(evaluate_forecaster(*adaptive, xs));
+  std::sort(out.begin(), out.end(),
+            [](const ForecastEvaluation& a, const ForecastEvaluation& b) {
+              return a.mae < b.mae;
+            });
+  return out;
+}
+
+}  // namespace nws

@@ -1,0 +1,44 @@
+// Offline forecaster evaluation over a recorded series.
+//
+// Runs a forecaster through a series in time order and records the
+// one-step-ahead forecast made *before* each value arrived, together with
+// summary error statistics.  This implements the paper's "one step ahead
+// prediction error" (Equation 5): |forecast_t - measurement_t| averaged
+// over the series.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+#include "tsa/series.hpp"
+
+namespace nws {
+
+struct ForecastEvaluation {
+  std::string method;
+  /// forecasts[i] is the prediction for series[i] made from series[0..i-1].
+  std::vector<double> forecasts;
+  /// Errors skip index 0 (no history yet): errors[i-1] corresponds to
+  /// series[i].
+  std::vector<double> errors;
+  double mae = 0.0;   ///< mean absolute error
+  double mse = 0.0;   ///< mean squared error
+  double rmse = 0.0;  ///< root mean squared error
+  double mape = 0.0;  ///< mean absolute percentage error (skips zeros)
+};
+
+/// Evaluates a (reset) copy of the forecaster over `xs` in order.
+[[nodiscard]] ForecastEvaluation evaluate_forecaster(const Forecaster& f,
+                                                     std::span<const double> xs);
+
+[[nodiscard]] ForecastEvaluation evaluate_forecaster(const Forecaster& f,
+                                                     const TimeSeries& series);
+
+/// Convenience: evaluates every method plus the adaptive battery and
+/// returns the evaluations sorted by ascending MAE.
+[[nodiscard]] std::vector<ForecastEvaluation> evaluate_battery(
+    std::span<const double> xs, std::size_t error_window = 50);
+
+}  // namespace nws

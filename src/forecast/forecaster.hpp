@@ -1,0 +1,45 @@
+// Forecaster: the one-step-ahead prediction interface (paper, Section 3).
+//
+// The NWS treats a measurement history as a time series and produces a
+// forecast for the *next* measurement.  Every concrete method is cheap —
+// O(1) or O(window) per update — because forecasts are recomputed on-line
+// for every series a deployed NWS tracks.
+//
+// Protocol: observe() feeds measurements in time order; forecast() returns
+// the prediction for the value that the *next* observe() will deliver.
+// forecast() before any observe() returns `initial_guess` (0.5 by default:
+// "half the CPU", a neutral prior for an availability fraction).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace nws {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Human-readable method name, e.g. "sw_mean(10)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Prediction of the next value.
+  [[nodiscard]] virtual double forecast() const = 0;
+
+  /// Feeds the next measurement.
+  virtual void observe(double value) = 0;
+
+  /// Forgets all history.
+  virtual void reset() = 0;
+
+  /// Deep copy (used by the adaptive battery and by evaluation sweeps).
+  [[nodiscard]] virtual std::unique_ptr<Forecaster> clone() const = 0;
+
+  /// Value returned by forecast() before any data has been observed.
+  static constexpr double kInitialGuess = 0.5;
+};
+
+using ForecasterPtr = std::unique_ptr<Forecaster>;
+
+}  // namespace nws

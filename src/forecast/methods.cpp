@@ -1,0 +1,181 @@
+#include "forecast/methods.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+namespace nws {
+
+namespace {
+
+std::string sized_name(const char* base, std::size_t w) {
+  return std::string(base) + "(" + std::to_string(w) + ")";
+}
+
+}  // namespace
+
+ForecasterPtr LastValueForecaster::clone() const {
+  return std::make_unique<LastValueForecaster>(*this);
+}
+
+ForecasterPtr RunningMeanForecaster::clone() const {
+  return std::make_unique<RunningMeanForecaster>(*this);
+}
+
+std::string SlidingMeanForecaster::name() const {
+  return sized_name("sw_mean", win_.capacity());
+}
+
+ForecasterPtr SlidingMeanForecaster::clone() const {
+  return std::make_unique<SlidingMeanForecaster>(*this);
+}
+
+std::string ExpSmoothForecaster::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "exp(%.2f)", gain_);
+  return buf;
+}
+
+ForecasterPtr ExpSmoothForecaster::clone() const {
+  return std::make_unique<ExpSmoothForecaster>(*this);
+}
+
+std::string MedianForecaster::name() const {
+  return sized_name("median", win_.capacity());
+}
+
+ForecasterPtr MedianForecaster::clone() const {
+  return std::make_unique<MedianForecaster>(*this);
+}
+
+std::string TrimmedMeanForecaster::name() const {
+  return sized_name("trim_mean", win_.capacity()) + "/" +
+         std::to_string(trim_);
+}
+
+ForecasterPtr TrimmedMeanForecaster::clone() const {
+  return std::make_unique<TrimmedMeanForecaster>(*this);
+}
+
+AdaptiveWindowForecaster::AdaptiveWindowForecaster(Kind kind,
+                                                   std::size_t min_window,
+                                                   std::size_t max_window,
+                                                   double discount)
+    : kind_(kind),
+      min_w_(std::max<std::size_t>(min_window, 1)),
+      max_w_(std::max(max_window, min_w_)),
+      discount_(discount),
+      cur_(std::clamp((min_w_ + max_w_) / 2, min_w_, max_w_)),
+      win_(max_w_) {
+  assert(discount > 0.0 && discount < 1.0);
+}
+
+std::string AdaptiveWindowForecaster::name() const {
+  return std::string(kind_ == Kind::kMean ? "adapt_mean" : "adapt_median") +
+         "[" + std::to_string(min_w_) + ".." + std::to_string(max_w_) + "]";
+}
+
+double AdaptiveWindowForecaster::window_estimate(std::size_t w) const {
+  const std::size_t n = win_.size();
+  if (n == 0) return kInitialGuess;
+  const std::size_t use = std::min(w, n);
+  if (kind_ == Kind::kMean) {
+    double acc = 0.0;
+    for (std::size_t i = n - use; i < n; ++i) acc += win_.at(i);
+    return acc / static_cast<double>(use);
+  }
+  std::vector<double> tail(use);
+  for (std::size_t i = 0; i < use; ++i) tail[i] = win_.at(n - use + i);
+  const std::size_t mid = use / 2;
+  std::nth_element(tail.begin(), tail.begin() + static_cast<std::ptrdiff_t>(mid),
+                   tail.end());
+  if (use % 2 == 1) return tail[mid];
+  const double hi = tail[mid];
+  const double lo = *std::max_element(
+      tail.begin(), tail.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double AdaptiveWindowForecaster::forecast() const {
+  return window_estimate(cur_);
+}
+
+void AdaptiveWindowForecaster::observe(double value) {
+  const std::size_t small_w = std::max(min_w_, cur_ / 2);
+  const std::size_t large_w = std::min(max_w_, cur_ * 2);
+  if (observed_ > 0) {
+    const double e_small = std::abs(window_estimate(small_w) - value);
+    const double e_cur = std::abs(window_estimate(cur_) - value);
+    const double e_large = std::abs(window_estimate(large_w) - value);
+    err_small_ = discount_ * err_small_ + (1.0 - discount_) * e_small;
+    err_cur_ = discount_ * err_cur_ + (1.0 - discount_) * e_cur;
+    err_large_ = discount_ * err_large_ + (1.0 - discount_) * e_large;
+    // Move toward the better-performing neighbour; require a win beyond
+    // floating-point rounding noise so near-ties (e.g. a constant series,
+    // where all window means differ only in summation rounding) keep the
+    // current window.
+    constexpr double kEps = 1e-9;
+    if (err_small_ + kEps < err_cur_ && err_small_ <= err_large_ + kEps) {
+      cur_ = small_w;
+    } else if (err_large_ + kEps < err_cur_ && err_large_ + kEps < err_small_) {
+      cur_ = large_w;
+    }
+  }
+  win_.push(value);
+  ++observed_;
+}
+
+void AdaptiveWindowForecaster::reset() {
+  win_.clear();
+  cur_ = std::clamp((min_w_ + max_w_) / 2, min_w_, max_w_);
+  err_small_ = err_cur_ = err_large_ = 0.0;
+  observed_ = 0;
+}
+
+ForecasterPtr AdaptiveWindowForecaster::clone() const {
+  return std::make_unique<AdaptiveWindowForecaster>(*this);
+}
+
+GradientForecaster::GradientForecaster(double initial_gain, double min_gain,
+                                       double max_gain)
+    : initial_gain_(initial_gain),
+      min_gain_(min_gain),
+      max_gain_(max_gain),
+      gain_(initial_gain) {
+  assert(min_gain_ > 0.0 && min_gain_ <= initial_gain_ &&
+         initial_gain_ <= max_gain_ && max_gain_ <= 1.0);
+}
+
+void GradientForecaster::observe(double value) {
+  if (!has_) {
+    state_ = value;
+    has_ = true;
+    last_error_ = 0.0;
+    return;
+  }
+  const double error = value - state_;
+  // Same-sign consecutive errors mean the predictor lags a level shift:
+  // speed up.  Alternating signs mean it is tracking noise: slow down.
+  if (error * last_error_ > 0.0) {
+    gain_ = std::min(max_gain_, gain_ * 1.25);
+  } else if (error * last_error_ < 0.0) {
+    gain_ = std::max(min_gain_, gain_ * 0.8);
+  }
+  state_ += gain_ * error;
+  last_error_ = error;
+}
+
+void GradientForecaster::reset() {
+  gain_ = initial_gain_;
+  state_ = kInitialGuess;
+  last_error_ = 0.0;
+  has_ = false;
+}
+
+ForecasterPtr GradientForecaster::clone() const {
+  return std::make_unique<GradientForecaster>(*this);
+}
+
+}  // namespace nws

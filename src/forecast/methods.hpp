@@ -1,0 +1,197 @@
+// The concrete NWS forecasting methods (paper Section 3; Wolski '98).
+//
+// Each method computes a one-step-ahead forecast from a "sliding window"
+// over previous measurements using an estimate of the mean or median of
+// those measurements.  All are deliberately cheap; the battery (adaptive.hpp)
+// runs every one of them on every series and picks the recent winner.
+#pragma once
+
+#include <cstddef>
+
+#include "forecast/forecaster.hpp"
+#include "forecast/window.hpp"
+
+namespace nws {
+
+/// Predicts the last observed value ("persistence").  The strongest naive
+/// baseline on slowly varying series.
+class LastValueForecaster final : public Forecaster {
+ public:
+  [[nodiscard]] std::string name() const override { return "last"; }
+  [[nodiscard]] double forecast() const override {
+    return has_ ? last_ : kInitialGuess;
+  }
+  void observe(double value) override {
+    last_ = value;
+    has_ = true;
+  }
+  void reset() override { has_ = false; }
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+ private:
+  double last_ = kInitialGuess;
+  bool has_ = false;
+};
+
+/// Mean of the entire history (O(1) incremental).
+class RunningMeanForecaster final : public Forecaster {
+ public:
+  [[nodiscard]] std::string name() const override { return "run_mean"; }
+  [[nodiscard]] double forecast() const override {
+    return n_ ? mean_ : kInitialGuess;
+  }
+  void observe(double value) override {
+    ++n_;
+    mean_ += (value - mean_) / static_cast<double>(n_);
+  }
+  void reset() override {
+    n_ = 0;
+    mean_ = 0.0;
+  }
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+};
+
+/// Mean of the most recent `window` measurements.
+class SlidingMeanForecaster final : public Forecaster {
+ public:
+  explicit SlidingMeanForecaster(std::size_t window) : win_(window) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast() const override {
+    return win_.empty() ? kInitialGuess : win_.mean();
+  }
+  void observe(double value) override { win_.push(value); }
+  void reset() override { win_.clear(); }
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+ private:
+  SlidingWindow win_;
+};
+
+/// Exponential smoothing p' = (1-g)*p + g*x with gain g in (0, 1].
+class ExpSmoothForecaster final : public Forecaster {
+ public:
+  explicit ExpSmoothForecaster(double gain) : gain_(gain) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast() const override {
+    return has_ ? state_ : kInitialGuess;
+  }
+  void observe(double value) override {
+    state_ = has_ ? (1.0 - gain_) * state_ + gain_ * value : value;
+    has_ = true;
+  }
+  void reset() override { has_ = false; }
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+ private:
+  double gain_;
+  double state_ = kInitialGuess;
+  bool has_ = false;
+};
+
+/// Median of the most recent `window` measurements.  Robust to the load
+/// spikes that contaminate mean-based estimates.
+class MedianForecaster final : public Forecaster {
+ public:
+  explicit MedianForecaster(std::size_t window) : win_(window) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast() const override {
+    return win_.empty() ? kInitialGuess : win_.median();
+  }
+  void observe(double value) override { win_.push(value); }
+  void reset() override { win_.clear(); }
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+ private:
+  SlidingWindow win_;
+};
+
+/// Alpha-trimmed mean: mean of the window after discarding the `trim`
+/// smallest and `trim` largest samples.
+class TrimmedMeanForecaster final : public Forecaster {
+ public:
+  TrimmedMeanForecaster(std::size_t window, std::size_t trim)
+      : win_(window), trim_(trim) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast() const override {
+    return win_.empty() ? kInitialGuess : win_.trimmed_mean(trim_);
+  }
+  void observe(double value) override { win_.push(value); }
+  void reset() override { win_.clear(); }
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+ private:
+  SlidingWindow win_;
+  std::size_t trim_;
+};
+
+/// Adaptive-window mean or median: tracks the recent forecast error of a
+/// small, a current and a large window and moves the current window size
+/// toward the best performer.  This is the NWS "adaptive window" idea:
+/// shrink when the series shifts regime, grow when it is stable.
+class AdaptiveWindowForecaster final : public Forecaster {
+ public:
+  enum class Kind { kMean, kMedian };
+
+  /// Window size is kept within [min_window, max_window]; the error
+  /// comparison uses an exponentially discounted mean absolute error with
+  /// the given discount (closer to 1 = longer error memory).
+  AdaptiveWindowForecaster(Kind kind, std::size_t min_window,
+                           std::size_t max_window, double discount = 0.95);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast() const override;
+  void observe(double value) override;
+  void reset() override;
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+  /// Current window length (exposed for tests/ablations).
+  [[nodiscard]] std::size_t current_window() const noexcept { return cur_; }
+
+ private:
+  [[nodiscard]] double window_estimate(std::size_t w) const;
+
+  Kind kind_;
+  std::size_t min_w_;
+  std::size_t max_w_;
+  double discount_;
+  std::size_t cur_;
+  SlidingWindow win_;  // holds max_window samples; estimates use suffixes
+  double err_small_ = 0.0;
+  double err_cur_ = 0.0;
+  double err_large_ = 0.0;
+  std::size_t observed_ = 0;
+};
+
+/// Gradient ("sign-tracking") predictor: p' = p + g * (x - p) where the
+/// gain g itself adapts — it is increased while the errors keep the same
+/// sign (the predictor is lagging a trend) and decreased when the error
+/// sign alternates (the predictor is chasing noise).
+class GradientForecaster final : public Forecaster {
+ public:
+  explicit GradientForecaster(double initial_gain = 0.1,
+                              double min_gain = 0.01, double max_gain = 0.9);
+  [[nodiscard]] std::string name() const override { return "adapt_grad"; }
+  [[nodiscard]] double forecast() const override {
+    return has_ ? state_ : kInitialGuess;
+  }
+  void observe(double value) override;
+  void reset() override;
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+  [[nodiscard]] double gain() const noexcept { return gain_; }
+
+ private:
+  double initial_gain_;
+  double min_gain_;
+  double max_gain_;
+  double gain_;
+  double state_ = kInitialGuess;
+  double last_error_ = 0.0;
+  bool has_ = false;
+};
+
+}  // namespace nws

@@ -1,0 +1,87 @@
+#include "forecast/mixture.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace nws {
+
+MixtureForecaster::MixtureForecaster(std::vector<ForecasterPtr> methods,
+                                     std::size_t error_window,
+                                     double sharpness)
+    : methods_(std::move(methods)),
+      error_window_(error_window ? error_window : 1),
+      sharpness_(sharpness) {
+  if (methods_.empty()) {
+    throw std::invalid_argument("MixtureForecaster: empty battery");
+  }
+  assert(sharpness_ > 0.0);
+  errors_.reserve(methods_.size());
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    errors_.emplace_back(error_window_);
+  }
+}
+
+MixtureForecaster::MixtureForecaster(const MixtureForecaster& other)
+    : errors_(other.errors_),
+      error_window_(other.error_window_),
+      sharpness_(other.sharpness_),
+      observed_(other.observed_) {
+  methods_.reserve(other.methods_.size());
+  for (const auto& m : other.methods_) methods_.push_back(m->clone());
+}
+
+std::vector<double> MixtureForecaster::weights() const {
+  std::vector<double> w(methods_.size(), 1.0);
+  bool any_error = false;
+  for (const SlidingWindow& e : errors_) any_error |= !e.empty();
+  if (any_error) {
+    // Floor keeps a perfectly-scoring method from taking infinite weight
+    // and keeps methods with no samples yet at a finite share.
+    constexpr double kFloor = 1e-4;
+    for (std::size_t i = 0; i < errors_.size(); ++i) {
+      const double mae = errors_[i].empty() ? 1.0 : errors_[i].mean();
+      w[i] = std::pow(1.0 / (mae + kFloor), sharpness_);
+    }
+  }
+  double total = 0.0;
+  for (double x : w) total += x;
+  for (double& x : w) x /= total;
+  return w;
+}
+
+double MixtureForecaster::weight(std::size_t i) const {
+  return weights().at(i);
+}
+
+double MixtureForecaster::forecast() const {
+  const std::vector<double> w = weights();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    acc += w[i] * methods_[i]->forecast();
+  }
+  return acc;
+}
+
+void MixtureForecaster::observe(double value) {
+  if (observed_ > 0) {
+    for (std::size_t i = 0; i < methods_.size(); ++i) {
+      errors_[i].push(std::abs(methods_[i]->forecast() - value));
+    }
+  }
+  for (auto& m : methods_) m->observe(value);
+  ++observed_;
+}
+
+void MixtureForecaster::reset() {
+  for (auto& m : methods_) m->reset();
+  for (auto& e : errors_) e.clear();
+  observed_ = 0;
+}
+
+ForecasterPtr MixtureForecaster::clone() const {
+  return std::make_unique<MixtureForecaster>(*this);
+}
+
+}  // namespace nws

@@ -1,0 +1,54 @@
+// MixtureForecaster: error-weighted combination of the battery.
+//
+// The NWS picks a single recent winner (AdaptiveForecaster).  An obvious
+// extension — and the direction the paper's conclusions gesture at — is to
+// *blend* the battery instead: each method contributes proportionally to
+// the inverse of its recent error, so several near-tied methods average
+// out their idiosyncrasies instead of the selection jumping between them.
+// bench/ablation_mixture.cpp compares the two on every host series.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+#include "forecast/window.hpp"
+
+namespace nws {
+
+class MixtureForecaster final : public Forecaster {
+ public:
+  /// Takes ownership of the battery.  `error_window` bounds the recent
+  /// error estimate per method; `sharpness` controls how strongly weights
+  /// concentrate on low-error methods (1 = inverse-error, larger = closer
+  /// to pure selection).
+  explicit MixtureForecaster(std::vector<ForecasterPtr> methods,
+                             std::size_t error_window = 50,
+                             double sharpness = 2.0);
+
+  MixtureForecaster(const MixtureForecaster& other);
+  MixtureForecaster& operator=(const MixtureForecaster&) = delete;
+
+  [[nodiscard]] std::string name() const override { return "nws_mixture"; }
+  [[nodiscard]] double forecast() const override;
+  void observe(double value) override;
+  void reset() override;
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+  [[nodiscard]] std::size_t num_methods() const noexcept {
+    return methods_.size();
+  }
+  /// Current weight of method i (normalised; uniform before any errors).
+  [[nodiscard]] double weight(std::size_t i) const;
+
+ private:
+  [[nodiscard]] std::vector<double> weights() const;
+
+  std::vector<ForecasterPtr> methods_;
+  std::vector<SlidingWindow> errors_;
+  std::size_t error_window_;
+  double sharpness_;
+  std::size_t observed_ = 0;
+};
+
+}  // namespace nws

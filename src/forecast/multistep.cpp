@@ -1,0 +1,55 @@
+#include "forecast/multistep.hpp"
+
+#include <cmath>
+
+namespace nws {
+
+HorizonError evaluate_horizon(const Forecaster& f, std::span<const double> xs,
+                              std::size_t horizon) {
+  HorizonError out;
+  out.horizon = horizon;
+  if (horizon == 0 || xs.size() < horizon + 1) return out;
+  const auto fc = f.clone();
+  fc->reset();
+
+  // Rolling sum of the window x_t .. x_{t+k-1}.
+  double window_sum = 0.0;
+  for (std::size_t i = 0; i < horizon; ++i) window_sum += xs[i];
+
+  double abs_acc = 0.0;
+  double sq_acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t t = 0; t + horizon <= xs.size(); ++t) {
+    if (t > 0) {
+      // The forecast at time t has seen x_0..x_{t-1}.
+      const double target = window_sum / static_cast<double>(horizon);
+      const double err = fc->forecast() - target;
+      abs_acc += std::abs(err);
+      sq_acc += err * err;
+      ++n;
+    }
+    fc->observe(xs[t]);
+    if (t + horizon < xs.size()) {
+      window_sum += xs[t + horizon] - xs[t];
+    }
+  }
+  out.count = n;
+  if (n > 0) {
+    out.mae = abs_acc / static_cast<double>(n);
+    out.rmse = std::sqrt(sq_acc / static_cast<double>(n));
+  }
+  return out;
+}
+
+std::vector<HorizonError> evaluate_horizons(
+    const Forecaster& f, std::span<const double> xs,
+    std::span<const std::size_t> horizons) {
+  std::vector<HorizonError> out;
+  out.reserve(horizons.size());
+  for (std::size_t k : horizons) {
+    out.push_back(evaluate_horizon(f, xs, k));
+  }
+  return out;
+}
+
+}  // namespace nws

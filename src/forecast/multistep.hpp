@@ -1,0 +1,41 @@
+// Multi-step (k-step-ahead) forecast evaluation.
+//
+// The paper evaluates one-step-ahead forecasts of the raw and aggregated
+// series; a scheduler placing an hour-long job implicitly needs the *mean
+// availability over the next k steps*.  This harness measures how a
+// one-step forecaster's prediction degrades as the horizon grows — the
+// direct "longer-term prediction" question of Section 3.2 — by comparing
+// the forecast made at time t against the realised mean of the next k
+// samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+
+namespace nws {
+
+struct HorizonError {
+  std::size_t horizon = 1;  ///< k: number of future samples averaged
+  double mae = 0.0;         ///< mean |forecast - mean(next k samples)|
+  double rmse = 0.0;
+  std::size_t count = 0;    ///< forecasts evaluated
+};
+
+/// Evaluates |forecast_t - mean(x_{t}..x_{t+k-1})| for each horizon in
+/// `horizons`, feeding the forecaster the series in order (one pass per
+/// horizon over a fresh clone).  Horizons larger than the series yield
+/// count == 0.
+[[nodiscard]] std::vector<HorizonError> evaluate_horizons(
+    const Forecaster& f, std::span<const double> xs,
+    std::span<const std::size_t> horizons);
+
+/// Convenience single-horizon variant.
+[[nodiscard]] HorizonError evaluate_horizon(const Forecaster& f,
+                                            std::span<const double> xs,
+                                            std::size_t horizon);
+
+}  // namespace nws

@@ -1,0 +1,115 @@
+// Fixed-capacity sliding window over the most recent measurements.
+//
+// Shared by the windowed forecasters (sliding mean, median, trimmed mean)
+// and the adaptive battery's error trackers.  Ring-buffer backed: O(1)
+// insertion, O(1) windowed mean via an incremental sum, O(w log w) median.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace nws {
+
+class SlidingWindow {
+ public:
+  /// capacity must be >= 1.
+  explicit SlidingWindow(std::size_t capacity)
+      : capacity_(capacity), buf_(capacity) {
+    assert(capacity >= 1);
+  }
+
+  void push(double x) noexcept {
+    if (size_ == capacity_) {
+      sum_ -= buf_[head_];
+      buf_[head_] = x;
+      head_ = (head_ + 1) % capacity_;
+    } else {
+      buf_[(head_ + size_) % capacity_] = x;
+      ++size_;
+    }
+    sum_ += x;
+    if (++pushes_since_refresh_ >= kRefreshInterval) {
+      pushes_since_refresh_ = 0;
+      sum_ = 0.0;
+      for (std::size_t i = 0; i < size_; ++i) sum_ += at(i);
+    }
+  }
+
+  void clear() noexcept {
+    size_ = 0;
+    head_ = 0;
+    sum_ = 0.0;
+    pushes_since_refresh_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == capacity_; }
+
+  /// Oldest-to-newest element access; i < size().
+  [[nodiscard]] double at(std::size_t i) const noexcept {
+    assert(i < size_);
+    return buf_[(head_ + i) % capacity_];
+  }
+  [[nodiscard]] double newest() const noexcept { return at(size_ - 1); }
+  [[nodiscard]] double oldest() const noexcept { return at(0); }
+
+  /// Mean of the current contents (0 when empty).  The incremental sum is
+  /// refreshed from scratch periodically to bound floating-point drift.
+  [[nodiscard]] double mean() const noexcept {
+    return size_ ? sum_ / static_cast<double>(size_) : 0.0;
+  }
+
+  /// Copies contents (oldest first) into `out`, resizing it.
+  void copy_to(std::vector<double>& out) const {
+    out.resize(size_);
+    for (std::size_t i = 0; i < size_; ++i) out[i] = at(i);
+  }
+
+  /// Median of the current contents (0 when empty).
+  [[nodiscard]] double median() const {
+    if (size_ == 0) return 0.0;
+    scratch_.resize(size_);
+    for (std::size_t i = 0; i < size_; ++i) scratch_[i] = at(i);
+    const std::size_t mid = size_ / 2;
+    std::nth_element(scratch_.begin(),
+                     scratch_.begin() + static_cast<std::ptrdiff_t>(mid),
+                     scratch_.end());
+    if (size_ % 2 == 1) return scratch_[mid];
+    const double hi = scratch_[mid];
+    const double lo = *std::max_element(
+        scratch_.begin(), scratch_.begin() + static_cast<std::ptrdiff_t>(mid));
+    return 0.5 * (lo + hi);
+  }
+
+  /// Mean of the window after discarding `trim` elements at each extreme
+  /// (the NWS "alpha-trimmed" estimator).  trim is clamped so that at least
+  /// one element remains.
+  [[nodiscard]] double trimmed_mean(std::size_t trim) const {
+    if (size_ == 0) return 0.0;
+    scratch_.resize(size_);
+    for (std::size_t i = 0; i < size_; ++i) scratch_[i] = at(i);
+    std::sort(scratch_.begin(), scratch_.end());
+    const std::size_t max_trim = (size_ - 1) / 2;
+    const std::size_t t = std::min(trim, max_trim);
+    double acc = 0.0;
+    for (std::size_t i = t; i < size_ - t; ++i) acc += scratch_[i];
+    return acc / static_cast<double>(size_ - 2 * t);
+  }
+
+ private:
+  static constexpr std::size_t kRefreshInterval = 1u << 15;
+
+  std::size_t capacity_;
+  std::vector<double> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  double sum_ = 0.0;
+  std::size_t pushes_since_refresh_ = 0;
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace nws

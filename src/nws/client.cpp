@@ -1,0 +1,124 @@
+#include "nws/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace nws {
+
+NwsClient::~NwsClient() { disconnect(); }
+
+NwsClient::NwsClient(NwsClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      rx_buffer_(std::move(other.rx_buffer_)) {}
+
+NwsClient& NwsClient::operator=(NwsClient&& other) noexcept {
+  if (this != &other) {
+    disconnect();
+    fd_ = std::exchange(other.fd_, -1);
+    rx_buffer_ = std::move(other.rx_buffer_);
+  }
+  return *this;
+}
+
+bool NwsClient::connect(std::uint16_t port) {
+  disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+void NwsClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_buffer_.clear();
+}
+
+std::optional<std::string> NwsClient::round_trip(const Request& request) {
+  if (fd_ < 0) return std::nullopt;
+  const std::string line = format_request(request) + "\n";
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t w = ::send(fd_, line.data() + sent, line.size() - sent, 0);
+    if (w <= 0) {
+      disconnect();
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  char chunk[1024];
+  while (true) {
+    const std::size_t newline = rx_buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = rx_buffer_.substr(0, newline);
+      rx_buffer_.erase(0, newline + 1);
+      if (!response.empty() && response.back() == '\r') response.pop_back();
+      return response;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      disconnect();
+      return std::nullopt;
+    }
+    rx_buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool NwsClient::put(const std::string& series, Measurement measurement) {
+  Request req;
+  req.kind = RequestKind::kPut;
+  req.series = series;
+  req.measurement = measurement;
+  const auto response = round_trip(req);
+  return response && response_is_ok(*response);
+}
+
+std::optional<ForecastReply> NwsClient::forecast(const std::string& series) {
+  Request req;
+  req.kind = RequestKind::kForecast;
+  req.series = series;
+  const auto response = round_trip(req);
+  if (!response) return std::nullopt;
+  return parse_forecast_response(*response);
+}
+
+std::optional<std::vector<Measurement>> NwsClient::values(
+    const std::string& series, std::size_t max_values) {
+  Request req;
+  req.kind = RequestKind::kValues;
+  req.series = series;
+  req.max_values = max_values;
+  const auto response = round_trip(req);
+  if (!response) return std::nullopt;
+  return parse_values_response(*response);
+}
+
+std::optional<std::vector<std::string>> NwsClient::series() {
+  Request req;
+  req.kind = RequestKind::kSeries;
+  const auto response = round_trip(req);
+  if (!response) return std::nullopt;
+  return parse_series_response(*response);
+}
+
+bool NwsClient::ping() {
+  Request req;
+  req.kind = RequestKind::kPing;
+  const auto response = round_trip(req);
+  return response && response_is_ok(*response);
+}
+
+}  // namespace nws

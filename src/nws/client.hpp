@@ -1,0 +1,60 @@
+// NwsClient: blocking TCP client for the nwscpu wire protocol.
+//
+// The counterpart a dynamic scheduler embeds: put() streams sensor
+// measurements to the server, forecast() retrieves the one-step-ahead
+// prediction with its error pedigree.  One request in flight at a time;
+// connect once, reuse for the session (the protocol is line-oriented and
+// stateless between requests).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nws/protocol.hpp"
+
+namespace nws {
+
+class NwsClient {
+ public:
+  NwsClient() = default;
+  ~NwsClient();
+
+  NwsClient(const NwsClient&) = delete;
+  NwsClient& operator=(const NwsClient&) = delete;
+  NwsClient(NwsClient&& other) noexcept;
+  NwsClient& operator=(NwsClient&& other) noexcept;
+
+  /// Connects to 127.0.0.1:port.  Returns false on failure.
+  bool connect(std::uint16_t port);
+  void disconnect();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Stores a measurement.  False on transport failure or server ERR.
+  bool put(const std::string& series, Measurement measurement);
+
+  /// One-step-ahead forecast; nullopt on failure or unknown series.
+  [[nodiscard]] std::optional<ForecastReply> forecast(
+      const std::string& series);
+
+  /// Most recent measurements (up to max_values).
+  [[nodiscard]] std::optional<std::vector<Measurement>> values(
+      const std::string& series, std::size_t max_values);
+
+  /// Known series names.
+  [[nodiscard]] std::optional<std::vector<std::string>> series();
+
+  /// Liveness round trip.
+  bool ping();
+
+ private:
+  /// Sends one request line, reads one response line.  nullopt on
+  /// transport failure.
+  [[nodiscard]] std::optional<std::string> round_trip(const Request& request);
+
+  int fd_ = -1;
+  std::string rx_buffer_;
+};
+
+}  // namespace nws

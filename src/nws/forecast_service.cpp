@@ -1,0 +1,56 @@
+#include "nws/forecast_service.hpp"
+
+#include <cmath>
+
+#include "forecast/battery.hpp"
+
+namespace nws {
+
+ForecastService::ForecastService(std::size_t memory_capacity,
+                                 ForecasterFactory factory)
+    : memory_(memory_capacity), factory_(std::move(factory)) {
+  if (!factory_) {
+    factory_ = [] { return make_nws_forecaster(); };
+  }
+}
+
+bool ForecastService::record(const std::string& series, Measurement m) {
+  if (!memory_.record(series, m)) return false;
+  auto it = entries_.find(series);
+  if (it == entries_.end()) {
+    it = entries_.emplace(series, Entry{factory_(), 0, 0.0, 0.0, 0}).first;
+  }
+  Entry& e = it->second;
+  if (e.history > 0) {
+    const double err = e.forecaster->forecast() - m.value;
+    e.abs_err_sum += std::abs(err);
+    e.sq_err_sum += err * err;
+    ++e.err_count;
+  }
+  e.forecaster->observe(m.value);
+  ++e.history;
+  return true;
+}
+
+std::optional<Forecast> ForecastService::predict(
+    const std::string& series) const {
+  const auto it = entries_.find(series);
+  if (it == entries_.end()) return std::nullopt;
+  const Entry& e = it->second;
+  Forecast f;
+  f.value = e.forecaster->forecast();
+  f.history = e.history;
+  if (e.err_count > 0) {
+    f.mae = e.abs_err_sum / static_cast<double>(e.err_count);
+    f.mse = e.sq_err_sum / static_cast<double>(e.err_count);
+  }
+  if (const auto* adaptive =
+          dynamic_cast<const AdaptiveForecaster*>(e.forecaster.get())) {
+    f.method = adaptive->selected_method();
+  } else {
+    f.method = e.forecaster->name();
+  }
+  return f;
+}
+
+}  // namespace nws

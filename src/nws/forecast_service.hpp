@@ -1,0 +1,69 @@
+// ForecastService: the NWS "forecaster" component as an embeddable service.
+//
+// Couples the measurement Memory with one adaptive forecaster per series:
+// record() stores a measurement and feeds the series' forecaster; predict()
+// returns the current one-step-ahead forecast together with the forecaster's
+// recent error statistics (an NWS forecast is always shipped with its error,
+// so schedulers can weight it).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "forecast/adaptive.hpp"
+#include "forecast/forecaster.hpp"
+#include "nws/memory.hpp"
+
+namespace nws {
+
+/// A forecast plus its pedigree, as the NWS API reports it.
+struct Forecast {
+  double value = 0.0;         ///< predicted next measurement
+  double mae = 0.0;           ///< recent mean absolute error of the method
+  double mse = 0.0;           ///< recent mean squared error
+  std::string method;         ///< name of the selected forecasting method
+  std::size_t history = 0;    ///< measurements seen for this series
+};
+
+class ForecastService {
+ public:
+  using ForecasterFactory = std::function<ForecasterPtr()>;
+
+  /// `memory_capacity` bounds each series' stored history;
+  /// `factory` builds the per-series forecaster (defaults to the canonical
+  /// NWS adaptive battery).
+  explicit ForecastService(std::size_t memory_capacity = 8192,
+                           ForecasterFactory factory = {});
+
+  /// Stores the measurement and updates the series forecaster.  Returns
+  /// false (and ignores the sample) on out-of-order timestamps.
+  bool record(const std::string& series, Measurement m);
+
+  /// Current forecast for the series; nullopt for an unknown series.
+  [[nodiscard]] std::optional<Forecast> predict(
+      const std::string& series) const;
+
+  [[nodiscard]] const Memory& memory() const noexcept { return memory_; }
+  [[nodiscard]] std::size_t series_count() const noexcept {
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    ForecasterPtr forecaster;
+    std::size_t history = 0;
+    // Whole-run error accumulators over genuine one-step-ahead forecasts.
+    double abs_err_sum = 0.0;
+    double sq_err_sum = 0.0;
+    std::size_t err_count = 0;
+  };
+
+  Memory memory_;
+  ForecasterFactory factory_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace nws

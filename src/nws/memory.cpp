@@ -1,0 +1,81 @@
+#include "nws/memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace nws {
+
+SeriesStore::SeriesStore(std::size_t capacity) : buf_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("SeriesStore: zero capacity");
+  }
+}
+
+bool SeriesStore::append(Measurement m) {
+  if (size_ > 0 && m.time < newest().time) return false;
+  if (size_ == buf_.size()) {
+    buf_[head_] = m;
+    head_ = (head_ + 1) % buf_.size();
+  } else {
+    buf_[(head_ + size_) % buf_.size()] = m;
+    ++size_;
+  }
+  return true;
+}
+
+const Measurement& SeriesStore::at(std::size_t i) const {
+  assert(i < size_);
+  return buf_[(head_ + i) % buf_.size()];
+}
+
+std::vector<Measurement> SeriesStore::range(double t0, double t1) const {
+  std::vector<Measurement> out;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Measurement& m = at(i);
+    if (m.time > t1) break;
+    if (m.time >= t0) out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<double> SeriesStore::values() const {
+  std::vector<double> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i).value);
+  return out;
+}
+
+Memory::Memory(std::size_t default_capacity)
+    : default_capacity_(default_capacity) {
+  if (default_capacity == 0) {
+    throw std::invalid_argument("Memory: zero default capacity");
+  }
+}
+
+bool Memory::record(const std::string& series, Measurement m) {
+  auto it = stores_.find(series);
+  if (it == stores_.end()) {
+    it = stores_.emplace(series, SeriesStore(default_capacity_)).first;
+  }
+  return it->second.append(m);
+}
+
+bool Memory::contains(const std::string& series) const {
+  return stores_.contains(series);
+}
+
+const SeriesStore* Memory::find(const std::string& series) const {
+  const auto it = stores_.find(series);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Memory::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(stores_.size());
+  for (const auto& [name, _] : stores_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace nws

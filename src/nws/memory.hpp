@@ -1,0 +1,75 @@
+// Measurement memory: the NWS "memory" component.
+//
+// A deployed NWS separates sensing from forecasting with a bounded store of
+// timestamped measurements per (host, resource) series.  This is that
+// store: fixed-capacity ring buffers keyed by series name, with ordered
+// insertion and range queries.  Forecasters consume a series through
+// ForecastService (forecast_service.hpp).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nws {
+
+struct Measurement {
+  double time = 0.0;   ///< seconds since the experiment epoch
+  double value = 0.0;  ///< availability fraction in [0, 1]
+};
+
+/// Bounded per-series ring of measurements (oldest evicted first).
+class SeriesStore {
+ public:
+  explicit SeriesStore(std::size_t capacity);
+
+  /// Inserts a measurement; `time` must be >= the last inserted time
+  /// (measurements arrive in order from a single sensor).  Returns false
+  /// and drops the sample on out-of-order insertion.
+  bool append(Measurement m);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Oldest-to-newest access, i < size().
+  [[nodiscard]] const Measurement& at(std::size_t i) const;
+  [[nodiscard]] const Measurement& newest() const { return at(size_ - 1); }
+
+  /// All measurements with time in [t0, t1], oldest first.
+  [[nodiscard]] std::vector<Measurement> range(double t0, double t1) const;
+
+  /// The values only, oldest first (for the analysis code).
+  [[nodiscard]] std::vector<double> values() const;
+
+ private:
+  std::vector<Measurement> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Name-keyed collection of series stores.
+class Memory {
+ public:
+  explicit Memory(std::size_t default_capacity = 8192);
+
+  /// Creates the series if absent.  Returns false on out-of-order insert.
+  bool record(const std::string& series, Measurement m);
+
+  [[nodiscard]] bool contains(const std::string& series) const;
+  /// nullptr when the series does not exist.
+  [[nodiscard]] const SeriesStore* find(const std::string& series) const;
+  [[nodiscard]] std::vector<std::string> series_names() const;
+  [[nodiscard]] std::size_t series_count() const noexcept {
+    return stores_.size();
+  }
+
+ private:
+  std::size_t default_capacity_;
+  std::unordered_map<std::string, SeriesStore> stores_;
+};
+
+}  // namespace nws

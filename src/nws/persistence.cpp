@@ -1,0 +1,98 @@
+#include "nws/persistence.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace nws {
+
+namespace {
+
+/// Parses one journal record: "series time value".  Series names contain
+/// no whitespace (enforced on the write side by the protocol's tokeniser
+/// conventions).
+bool parse_record(const std::string& line, std::string& series,
+                  Measurement& m) {
+  std::istringstream ss(line);
+  if (!(ss >> series >> m.time >> m.value)) return false;
+  std::string extra;
+  return !(ss >> extra);
+}
+
+}  // namespace
+
+PersistentMemory::PersistentMemory(std::filesystem::path path,
+                                   std::size_t series_capacity)
+    : path_(std::move(path)), memory_(series_capacity) {
+  replay();
+  open_for_append();
+}
+
+void PersistentMemory::replay() {
+  std::ifstream in(path_);
+  if (!in) return;  // no journal yet: fresh store
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::string series;
+    Measurement m;
+    if (!parse_record(line, series, m) || !memory_.record(series, m)) {
+      // Torn tail from a crash, or a corrupt record: skip but count it so
+      // operators can notice unexpected damage.
+      ++skipped_;
+      continue;
+    }
+    ++recovered_;
+  }
+}
+
+void PersistentMemory::open_for_append() {
+  journal_.open(path_, std::ios::app);
+  if (!journal_) {
+    throw std::runtime_error("PersistentMemory: cannot open journal " +
+                             path_.string());
+  }
+}
+
+std::string PersistentMemory::encode(const std::string& series,
+                                     Measurement m) {
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << series << ' ' << m.time << ' ' << m.value;
+  return ss.str();
+}
+
+bool PersistentMemory::record(const std::string& series, Measurement m) {
+  if (!memory_.record(series, m)) return false;
+  journal_ << encode(series, m) << '\n';
+  return true;
+}
+
+void PersistentMemory::sync() { journal_.flush(); }
+
+void PersistentMemory::compact() {
+  journal_.close();
+  const std::filesystem::path tmp = path_.string() + ".compact";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("PersistentMemory: cannot write " +
+                               tmp.string());
+    }
+    out << "# nwscpu journal (compacted)\n";
+    for (const std::string& name : memory_.series_names()) {
+      const SeriesStore* store = memory_.find(name);
+      for (std::size_t i = 0; i < store->size(); ++i) {
+        out << encode(name, store->at(i)) << '\n';
+      }
+    }
+    if (!out) {
+      throw std::runtime_error("PersistentMemory: write failure on " +
+                               tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, path_);
+  open_for_append();
+}
+
+}  // namespace nws

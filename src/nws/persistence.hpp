@@ -1,0 +1,60 @@
+// Disk-backed measurement journal: the NWS "persistent state" component.
+//
+// A deployed NWS memory survives restarts by journalling measurements to
+// disk.  PersistentMemory wraps the in-core Memory with an append-only
+// text journal (one "series time value" record per line) and restores all
+// series from it on open.  The journal is human-readable, crash-tolerant
+// (a torn final line is skipped on recovery) and compactable (rewrites the
+// journal keeping only what the bounded stores retain).
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "nws/memory.hpp"
+
+namespace nws {
+
+class PersistentMemory {
+ public:
+  /// Opens (creating if needed) the journal at `path` and replays it into
+  /// the in-core memory.  Throws std::runtime_error when the journal
+  /// exists but cannot be opened for writing.
+  explicit PersistentMemory(std::filesystem::path path,
+                            std::size_t series_capacity = 8192);
+
+  /// Records and journals a measurement.  Returns false (and journals
+  /// nothing) on out-of-order insertion.
+  bool record(const std::string& series, Measurement m);
+
+  /// Flushes the journal to the OS.
+  void sync();
+
+  /// Rewrites the journal so it holds exactly the measurements currently
+  /// retained (bounds journal growth for long-lived sensors).  Throws on
+  /// I/O failure.
+  void compact();
+
+  [[nodiscard]] const Memory& memory() const noexcept { return memory_; }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+  /// Records replayed from an existing journal at construction.
+  [[nodiscard]] std::size_t recovered() const noexcept { return recovered_; }
+  /// Malformed / torn lines skipped during recovery.
+  [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+
+ private:
+  void replay();
+  void open_for_append();
+  static std::string encode(const std::string& series, Measurement m);
+
+  std::filesystem::path path_;
+  Memory memory_;
+  std::ofstream journal_;
+  std::size_t recovered_ = 0;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace nws

@@ -1,0 +1,212 @@
+#include "nws/protocol.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace nws {
+
+namespace {
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t' ||
+                                 line[pos] == '\r')) {
+      ++pos;
+    }
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t' &&
+           line[pos] != '\r') {
+      ++pos;
+    }
+    if (pos > start) tokens.push_back(line.substr(start, pos - start));
+  }
+  return tokens;
+}
+
+bool parse_double_token(std::string_view token, double& out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+bool parse_size_token(std::string_view token, std::size_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+/// Series names must be non-empty and contain no whitespace (guaranteed by
+/// tokenisation) — nothing else to validate.
+std::string series_token(std::string_view token) {
+  return std::string(token);
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(std::string_view line) {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return std::nullopt;
+  Request req;
+  const std::string_view verb = tokens[0];
+  if (verb == "PUT") {
+    if (tokens.size() != 4) return std::nullopt;
+    req.kind = RequestKind::kPut;
+    req.series = series_token(tokens[1]);
+    if (!parse_double_token(tokens[2], req.measurement.time)) {
+      return std::nullopt;
+    }
+    if (!parse_double_token(tokens[3], req.measurement.value)) {
+      return std::nullopt;
+    }
+    return req;
+  }
+  if (verb == "FORECAST") {
+    if (tokens.size() != 2) return std::nullopt;
+    req.kind = RequestKind::kForecast;
+    req.series = series_token(tokens[1]);
+    return req;
+  }
+  if (verb == "VALUES") {
+    if (tokens.size() != 3) return std::nullopt;
+    req.kind = RequestKind::kValues;
+    req.series = series_token(tokens[1]);
+    if (!parse_size_token(tokens[2], req.max_values) || req.max_values == 0) {
+      return std::nullopt;
+    }
+    return req;
+  }
+  if (verb == "SERIES") {
+    if (tokens.size() != 1) return std::nullopt;
+    req.kind = RequestKind::kSeries;
+    return req;
+  }
+  if (verb == "PING") {
+    if (tokens.size() != 1) return std::nullopt;
+    req.kind = RequestKind::kPing;
+    return req;
+  }
+  if (verb == "QUIT") {
+    if (tokens.size() != 1) return std::nullopt;
+    req.kind = RequestKind::kQuit;
+    return req;
+  }
+  return std::nullopt;
+}
+
+std::string format_request(const Request& request) {
+  std::ostringstream ss;
+  ss.precision(17);
+  switch (request.kind) {
+    case RequestKind::kPut:
+      ss << "PUT " << request.series << ' ' << request.measurement.time << ' '
+         << request.measurement.value;
+      break;
+    case RequestKind::kForecast:
+      ss << "FORECAST " << request.series;
+      break;
+    case RequestKind::kValues:
+      ss << "VALUES " << request.series << ' ' << request.max_values;
+      break;
+    case RequestKind::kSeries:
+      ss << "SERIES";
+      break;
+    case RequestKind::kPing:
+      ss << "PING";
+      break;
+    case RequestKind::kQuit:
+      ss << "QUIT";
+      break;
+  }
+  return ss.str();
+}
+
+std::string format_ok() { return "OK"; }
+
+std::string format_error(std::string_view message) {
+  return "ERR " + std::string(message);
+}
+
+std::string format_forecast_response(double value, double mae, double mse,
+                                     std::size_t history,
+                                     std::string_view method) {
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << "OK " << value << ' ' << mae << ' ' << mse << ' ' << history << ' '
+     << method;
+  return ss.str();
+}
+
+std::string format_values_response(const std::vector<Measurement>& values) {
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << "OK " << values.size();
+  for (const Measurement& m : values) {
+    ss << ' ' << m.time << ' ' << m.value;
+  }
+  return ss.str();
+}
+
+std::string format_series_response(const std::vector<std::string>& names) {
+  std::ostringstream ss;
+  ss << "OK " << names.size();
+  for (const std::string& n : names) ss << ' ' << n;
+  return ss.str();
+}
+
+bool response_is_ok(std::string_view response) {
+  return response.rfind("OK", 0) == 0 &&
+         (response.size() == 2 || response[2] == ' ');
+}
+
+std::optional<ForecastReply> parse_forecast_response(
+    std::string_view response) {
+  if (!response_is_ok(response)) return std::nullopt;
+  const auto tokens = tokenize(response);
+  if (tokens.size() != 6) return std::nullopt;
+  ForecastReply reply;
+  if (!parse_double_token(tokens[1], reply.value)) return std::nullopt;
+  if (!parse_double_token(tokens[2], reply.mae)) return std::nullopt;
+  if (!parse_double_token(tokens[3], reply.mse)) return std::nullopt;
+  if (!parse_size_token(tokens[4], reply.history)) return std::nullopt;
+  reply.method = std::string(tokens[5]);
+  return reply;
+}
+
+std::optional<std::vector<Measurement>> parse_values_response(
+    std::string_view response) {
+  if (!response_is_ok(response)) return std::nullopt;
+  const auto tokens = tokenize(response);
+  if (tokens.size() < 2) return std::nullopt;
+  std::size_t count = 0;
+  if (!parse_size_token(tokens[1], count)) return std::nullopt;
+  if (tokens.size() != 2 + 2 * count) return std::nullopt;
+  std::vector<Measurement> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Measurement m;
+    if (!parse_double_token(tokens[2 + 2 * i], m.time)) return std::nullopt;
+    if (!parse_double_token(tokens[3 + 2 * i], m.value)) return std::nullopt;
+    out.push_back(m);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::string>> parse_series_response(
+    std::string_view response) {
+  if (!response_is_ok(response)) return std::nullopt;
+  const auto tokens = tokenize(response);
+  if (tokens.size() < 2) return std::nullopt;
+  std::size_t count = 0;
+  if (!parse_size_token(tokens[1], count)) return std::nullopt;
+  if (tokens.size() != 2 + count) return std::nullopt;
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.emplace_back(tokens[2 + i]);
+  }
+  return out;
+}
+
+}  // namespace nws

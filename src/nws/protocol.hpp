@@ -1,0 +1,75 @@
+// The nwscpu wire protocol: a line-oriented text protocol in the spirit of
+// the original NWS's sensor/memory/forecaster interfaces.
+//
+// Requests (one per line):
+//   PUT <series> <time> <value>     store a measurement
+//   FORECAST <series>               one-step-ahead forecast + error pedigree
+//   VALUES <series> <max>           most recent <max> measurements
+//   SERIES                          list known series names
+//   PING                            liveness check
+//   QUIT                            close the connection
+//
+// Responses (first token is the status):
+//   OK [payload...]
+//   ERR <message>
+//
+// Parsing and formatting are pure functions over strings so the protocol is
+// fully unit-testable without sockets; server.hpp binds them to a
+// ForecastService and a TCP listener.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nws/memory.hpp"
+
+namespace nws {
+
+enum class RequestKind { kPut, kForecast, kValues, kSeries, kPing, kQuit };
+
+struct Request {
+  RequestKind kind = RequestKind::kPing;
+  std::string series;        // PUT / FORECAST / VALUES
+  Measurement measurement;   // PUT
+  std::size_t max_values = 0;  // VALUES
+};
+
+/// Parses one request line (no trailing newline).  nullopt on malformed
+/// input; the caller answers with ERR.
+[[nodiscard]] std::optional<Request> parse_request(std::string_view line);
+
+/// Serialises a request into its wire form (inverse of parse_request).
+[[nodiscard]] std::string format_request(const Request& request);
+
+/// Response formatting helpers.
+[[nodiscard]] std::string format_ok();
+[[nodiscard]] std::string format_error(std::string_view message);
+[[nodiscard]] std::string format_forecast_response(double value, double mae,
+                                                   double mse,
+                                                   std::size_t history,
+                                                   std::string_view method);
+[[nodiscard]] std::string format_values_response(
+    const std::vector<Measurement>& values);
+[[nodiscard]] std::string format_series_response(
+    const std::vector<std::string>& names);
+
+/// Client-side response parsing.
+struct ForecastReply {
+  double value = 0.0;
+  double mae = 0.0;
+  double mse = 0.0;
+  std::size_t history = 0;
+  std::string method;
+};
+
+[[nodiscard]] bool response_is_ok(std::string_view response);
+[[nodiscard]] std::optional<ForecastReply> parse_forecast_response(
+    std::string_view response);
+[[nodiscard]] std::optional<std::vector<Measurement>> parse_values_response(
+    std::string_view response);
+[[nodiscard]] std::optional<std::vector<std::string>> parse_series_response(
+    std::string_view response);
+
+}  // namespace nws

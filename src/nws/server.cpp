@@ -1,0 +1,189 @@
+#include "nws/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace nws {
+
+NwsServer::NwsServer(std::size_t memory_capacity)
+    : service_(memory_capacity) {}
+
+NwsServer::~NwsServer() { stop(); }
+
+std::string NwsServer::handle_line(std::string_view line) {
+  ++requests_;
+  const auto request = parse_request(line);
+  if (!request) return format_error("malformed request");
+
+  const std::scoped_lock lock(mutex_);
+  switch (request->kind) {
+    case RequestKind::kPut:
+      if (!service_.record(request->series, request->measurement)) {
+        return format_error("out-of-order measurement");
+      }
+      return format_ok();
+    case RequestKind::kForecast: {
+      const auto forecast = service_.predict(request->series);
+      if (!forecast) return format_error("unknown series");
+      return format_forecast_response(forecast->value, forecast->mae,
+                                      forecast->mse, forecast->history,
+                                      forecast->method);
+    }
+    case RequestKind::kValues: {
+      const SeriesStore* store = service_.memory().find(request->series);
+      if (store == nullptr) return format_error("unknown series");
+      std::vector<Measurement> values;
+      const std::size_t n = std::min(request->max_values, store->size());
+      values.reserve(n);
+      for (std::size_t i = store->size() - n; i < store->size(); ++i) {
+        values.push_back(store->at(i));
+      }
+      return format_values_response(values);
+    }
+    case RequestKind::kSeries:
+      return format_series_response(service_.memory().series_names());
+    case RequestKind::kPing:
+    case RequestKind::kQuit:
+      return format_ok();
+  }
+  return format_error("unhandled request");
+}
+
+std::uint16_t NwsServer::start(std::uint16_t port) {
+  if (running_.load()) return 0;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return 0;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 32) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return 0;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return 0;
+  }
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  thread_ = std::thread(&NwsServer::serve_loop, this);
+  return port_;
+}
+
+void NwsServer::stop() {
+  if (!running_.exchange(false)) return;
+  // The event loop polls with a timeout, so flipping running_ is enough;
+  // shutting the listener down also kicks it out of a quiet poll()
+  // immediately.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+}
+
+void NwsServer::process_buffered_lines(Connection& conn) {
+  std::size_t newline;
+  while (!conn.closing &&
+         (newline = conn.rx.find('\n')) != std::string::npos) {
+    const std::string line = conn.rx.substr(0, newline);
+    conn.rx.erase(0, newline + 1);
+    conn.tx += handle_line(line) + "\n";
+    const auto request = parse_request(line);
+    if (request && request->kind == RequestKind::kQuit) {
+      conn.closing = true;
+    }
+  }
+}
+
+bool NwsServer::flush_tx(Connection& conn) {
+  while (!conn.tx.empty()) {
+    const ssize_t w =
+        ::send(conn.fd, conn.tx.data(), conn.tx.size(), MSG_NOSIGNAL);
+    if (w < 0) {
+      // EAGAIN cannot happen on blocking sockets with poll-gated writes of
+      // modest responses; treat any failure as a dead peer.
+      return false;
+    }
+    conn.tx.erase(0, static_cast<std::size_t>(w));
+  }
+  return !conn.closing;
+}
+
+void NwsServer::serve_loop() {
+  std::vector<Connection> conns;
+  char chunk[4096];
+
+  const auto drop = [&](std::size_t i) {
+    ::close(conns[i].fd);
+    conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+    connections_.store(conns.size());
+  };
+
+  while (running_.load()) {
+    std::vector<pollfd> fds;
+    fds.reserve(conns.size() + 1);
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const Connection& c : conns) {
+      fds.push_back({c.fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (!running_.load()) break;
+    if (ready <= 0) continue;
+
+    // New connections.
+    if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        conns.push_back(Connection{fd, {}, {}, false});
+        connections_.store(conns.size());
+      }
+    }
+
+    // Client traffic.  Iterate backwards so drops do not shift unvisited
+    // entries (fds[i + 1] corresponds to conns[i]).
+    for (std::size_t i = conns.size(); i-- > 0;) {
+      const short revents = fds[i + 1].revents;
+      if (revents == 0) continue;
+      if (revents & (POLLERR | POLLNVAL)) {
+        drop(i);
+        continue;
+      }
+      if (revents & (POLLIN | POLLHUP)) {
+        const ssize_t n = ::recv(conns[i].fd, chunk, sizeof chunk, 0);
+        if (n <= 0) {
+          drop(i);
+          continue;
+        }
+        conns[i].rx.append(chunk, static_cast<std::size_t>(n));
+        process_buffered_lines(conns[i]);
+        if (!flush_tx(conns[i])) drop(i);
+      }
+    }
+  }
+
+  for (const Connection& c : conns) ::close(c.fd);
+  conns.clear();
+  connections_.store(0);
+}
+
+}  // namespace nws

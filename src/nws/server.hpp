@@ -1,0 +1,88 @@
+// NwsServer: a ForecastService behind the nwscpu wire protocol.
+//
+// Mirrors the deployment shape of the original NWS: sensor processes PUT
+// measurements, schedulers ask for FORECASTs.  The request handling is a
+// pure string -> string function (handle_line) so all protocol behaviour is
+// unit-testable; the optional TCP front end (start/stop) serves it on a
+// loopback-or-LAN socket with one service thread.
+//
+// Concurrency model: a single service thread runs a poll()-based event
+// loop over the listening socket and all client connections, so any number
+// of sensor and scheduler clients can be connected at once (a deployed NWS
+// memory serves one stream per monitored resource).  Requests are executed
+// serially in that thread; a mutex still guards the service so handle_line
+// may also be called directly from other threads (e.g. an in-process
+// sensor loop).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "nws/forecast_service.hpp"
+#include "nws/protocol.hpp"
+
+namespace nws {
+
+class NwsServer {
+ public:
+  explicit NwsServer(std::size_t memory_capacity = 8192);
+  ~NwsServer();
+
+  NwsServer(const NwsServer&) = delete;
+  NwsServer& operator=(const NwsServer&) = delete;
+
+  /// Processes one protocol line and returns the response line (without
+  /// trailing newline).  QUIT returns "OK"; connection teardown is the
+  /// transport's business.
+  [[nodiscard]] std::string handle_line(std::string_view line);
+
+  /// Starts the TCP listener on 127.0.0.1:`port` (0 = ephemeral).  Returns
+  /// the bound port, or 0 on failure.  Idempotent start is an error.
+  std::uint16_t start(std::uint16_t port = 0);
+
+  /// Stops the listener and joins the service thread.  Safe to call when
+  /// not started.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_.load(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests served so far (all transports).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load();
+  }
+
+  /// Connected clients at this instant (for tests/monitoring).
+  [[nodiscard]] std::size_t connections() const noexcept {
+    return connections_.load();
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string rx;       ///< bytes received, not yet parsed into lines
+    std::string tx;       ///< response bytes not yet written
+    bool closing = false;  ///< QUIT received: close once tx drains
+  };
+
+  void serve_loop();
+  /// Parses complete lines from conn.rx, appends responses to conn.tx.
+  void process_buffered_lines(Connection& conn);
+  /// Returns false when the connection should be dropped.
+  [[nodiscard]] bool flush_tx(Connection& conn);
+
+  ForecastService service_;
+  std::mutex mutex_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::size_t> connections_{0};
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace nws

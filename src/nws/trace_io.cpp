@@ -1,0 +1,58 @@
+#include "nws/trace_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace nws {
+
+void write_trace(const std::filesystem::path& path, const TimeSeries& series) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("write_trace: cannot open " + path.string());
+  }
+  file << "# nwscpu trace\n";
+  file << "# name: " << series.name() << "\n";
+  file << "# period_seconds: " << series.period() << "\n";
+  CsvTable table;
+  table.headers = {"time_seconds", "value"};
+  table.columns.resize(2);
+  table.columns[0].reserve(series.size());
+  table.columns[1].reserve(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    table.columns[0].push_back(series.time_at(i));
+    table.columns[1].push_back(series[i]);
+  }
+  write_csv(file, table);
+}
+
+TimeSeries read_trace(const std::filesystem::path& path) {
+  const CsvTable table = read_csv(path);
+  if (table.cols() < 2) {
+    throw std::runtime_error("read_trace: need time,value columns in " +
+                             path.string());
+  }
+  const auto& times = table.columns[0];
+  const auto& values = table.columns[1];
+  if (times.size() < 2) {
+    throw std::runtime_error("read_trace: need >= 2 samples in " +
+                             path.string());
+  }
+  const double period = times[1] - times[0];
+  if (period <= 0.0) {
+    throw std::runtime_error("read_trace: non-increasing time column in " +
+                             path.string());
+  }
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double gap = times[i] - times[i - 1];
+    if (std::abs(gap - period) > 0.01 * period) {
+      throw std::runtime_error("read_trace: irregular time grid in " +
+                               path.string());
+    }
+  }
+  return TimeSeries(path.stem().string(), times.front(), period, values);
+}
+
+}  // namespace nws

@@ -1,0 +1,25 @@
+// Trace persistence: TimeSeries <-> CSV files.
+//
+// Traces use a two-column CSV (time_seconds, value) with the series name
+// and period recorded in '#' comment lines, so external tools can plot them
+// and nwscpu can reload them for offline analysis (see
+// examples/trace_analysis.cpp).
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "tsa/series.hpp"
+
+namespace nws {
+
+/// Writes one series.  Throws std::runtime_error on I/O failure.
+void write_trace(const std::filesystem::path& path, const TimeSeries& series);
+
+/// Reads a series written by write_trace (or any 2-column time,value CSV
+/// on a regular grid).  The period is taken from the time column spacing
+/// when no metadata comment is present.  Throws on I/O failure, on fewer
+/// than 2 samples, or on an irregular time grid (> 1% deviation).
+[[nodiscard]] TimeSeries read_trace(const std::filesystem::path& path);
+
+}  // namespace nws

@@ -1,0 +1,90 @@
+#include "proc/procfs.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nws {
+
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  std::ostringstream ss;
+  ss << file.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::optional<LoadAvg> parse_loadavg(std::string_view content) {
+  std::istringstream ss{std::string(content)};
+  LoadAvg out;
+  if (!(ss >> out.one_minute >> out.five_minutes >> out.fifteen_minutes)) {
+    return std::nullopt;
+  }
+  if (out.one_minute < 0.0 || out.five_minutes < 0.0 ||
+      out.fifteen_minutes < 0.0) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<int> parse_running_count(std::string_view content) {
+  std::istringstream ss{std::string(content)};
+  double l1 = 0.0, l5 = 0.0, l15 = 0.0;
+  std::string frac;
+  if (!(ss >> l1 >> l5 >> l15 >> frac)) return std::nullopt;
+  const auto slash = frac.find('/');
+  if (slash == std::string::npos || slash == 0) return std::nullopt;
+  int running = 0;
+  const auto [ptr, ec] =
+      std::from_chars(frac.data(), frac.data() + slash, running);
+  if (ec != std::errc{} || ptr != frac.data() + slash || running < 0) {
+    return std::nullopt;
+  }
+  return running;
+}
+
+std::optional<ProcStat> parse_proc_stat(std::string_view content) {
+  std::istringstream ss{std::string(content)};
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (line.rfind("cpu ", 0) != 0) continue;
+    std::istringstream ls(line);
+    std::string label;
+    ProcStat st;
+    if (!(ls >> label >> st.user >> st.nice_time >> st.system >> st.idle)) {
+      return std::nullopt;
+    }
+    // Optional newer fields.
+    ls >> st.iowait >> st.irq >> st.softirq >> st.steal;
+    return st;
+  }
+  return std::nullopt;
+}
+
+LoadAvg read_loadavg(const std::filesystem::path& path) {
+  const auto parsed = parse_loadavg(read_file(path));
+  if (!parsed) throw std::runtime_error("malformed loadavg: " + path.string());
+  return *parsed;
+}
+
+ProcStat read_proc_stat(const std::filesystem::path& path) {
+  const auto parsed = parse_proc_stat(read_file(path));
+  if (!parsed) throw std::runtime_error("malformed stat: " + path.string());
+  return *parsed;
+}
+
+int read_running_count(const std::filesystem::path& path) {
+  const auto parsed = parse_running_count(read_file(path));
+  if (!parsed) throw std::runtime_error("malformed loadavg: " + path.string());
+  return *parsed;
+}
+
+}  // namespace nws

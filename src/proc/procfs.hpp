@@ -1,0 +1,64 @@
+// Linux /proc parsing — the real-host measurement substrate.
+//
+// The paper's sensors shell out to `uptime` and `vmstat`; on modern Linux
+// the same kernel counters are exposed directly in /proc, which is what the
+// current NWS CPU monitor reads.  Parsers take the file *content* so they
+// are unit-testable without procfs; the convenience readers open the real
+// files (paths overridable for tests).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string_view>
+
+namespace nws {
+
+/// First three fields of /proc/loadavg: 1-, 5- and 15-minute load averages.
+struct LoadAvg {
+  double one_minute = 0.0;
+  double five_minutes = 0.0;
+  double fifteen_minutes = 0.0;
+};
+
+/// Aggregate "cpu" line of /proc/stat, in jiffies.  `nice_time` is time
+/// spent by niced processes — exactly the CPU consumption the paper notes
+/// load-derived metrics cannot separate from full-priority demand.
+struct ProcStat {
+  std::uint64_t user = 0;
+  std::uint64_t nice_time = 0;
+  std::uint64_t system = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t iowait = 0;
+  std::uint64_t irq = 0;
+  std::uint64_t softirq = 0;
+  std::uint64_t steal = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return user + nice_time + system + idle + iowait + irq + softirq + steal;
+  }
+};
+
+/// Parses "0.52 0.58 0.59 1/467 12345" -> LoadAvg.  nullopt on malformed
+/// input.
+[[nodiscard]] std::optional<LoadAvg> parse_loadavg(std::string_view content);
+
+/// Parses the first "cpu " line of /proc/stat.  nullopt if absent or
+/// malformed.
+[[nodiscard]] std::optional<ProcStat> parse_proc_stat(
+    std::string_view content);
+
+/// Number of currently runnable entities from the "N/M" field of
+/// /proc/loadavg (N includes the reader itself).  nullopt on malformed
+/// input.
+[[nodiscard]] std::optional<int> parse_running_count(std::string_view content);
+
+/// File readers (throw std::runtime_error on I/O failure).
+[[nodiscard]] LoadAvg read_loadavg(
+    const std::filesystem::path& path = "/proc/loadavg");
+[[nodiscard]] ProcStat read_proc_stat(
+    const std::filesystem::path& path = "/proc/stat");
+[[nodiscard]] int read_running_count(
+    const std::filesystem::path& path = "/proc/loadavg");
+
+}  // namespace nws

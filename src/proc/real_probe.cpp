@@ -1,0 +1,58 @@
+#include "proc/real_probe.hpp"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cstdint>
+
+namespace nws {
+
+namespace {
+
+double thread_cpu_seconds() {
+  rusage usage{};
+  // RUSAGE_THREAD so a multi-threaded caller measures only the probe thread.
+  getrusage(RUSAGE_THREAD, &usage);
+  const auto to_sec = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_sec(usage.ru_utime) + to_sec(usage.ru_stime);
+}
+
+}  // namespace
+
+double ProbeResult::availability() const noexcept {
+  if (wall_seconds <= 0.0) return 0.0;
+  return std::clamp(cpu_seconds / wall_seconds, 0.0, 1.0);
+}
+
+ProbeResult run_cpu_probe(std::chrono::duration<double> wall) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(wall);
+  const double cpu_start = thread_cpu_seconds();
+
+  // Busy arithmetic loop; `sink` is kept observable via volatile so the
+  // optimiser must perform the work.
+  volatile std::uint64_t sink = 0;
+  std::uint64_t x = 0x243f6a8885a308d3ULL;
+  while (Clock::now() < deadline) {
+    for (int i = 0; i < 4096; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    sink = sink + x;
+  }
+
+  ProbeResult result;
+  result.cpu_seconds = thread_cpu_seconds() - cpu_start;
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace nws

@@ -1,0 +1,27 @@
+// The real CPU probe: a short full-priority spin measuring the availability
+// it experiences, exactly as the NWS hybrid sensor's probe process does —
+// the ratio of CPU time consumed (getrusage) to wall-clock time elapsed.
+//
+// Also used as the ground-truth "test process" on live hosts (with a longer
+// duration).  Note the intrusiveness trade-off the paper quantifies: a
+// `duration`-second spin every probe period costs duration/period of a CPU.
+#pragma once
+
+#include <chrono>
+
+namespace nws {
+
+struct ProbeResult {
+  double cpu_seconds = 0.0;   ///< user+system CPU consumed by this thread
+  double wall_seconds = 0.0;  ///< elapsed wall-clock time
+  /// CPU availability the probe experienced, cpu/wall clamped to [0, 1].
+  [[nodiscard]] double availability() const noexcept;
+};
+
+/// Spins for `wall` of wall-clock time on the calling thread and reports
+/// the CPU share it obtained.  The spin performs real arithmetic work so it
+/// cannot be optimised away and behaves like the paper's probe under
+/// contention.
+[[nodiscard]] ProbeResult run_cpu_probe(std::chrono::duration<double> wall);
+
+}  // namespace nws

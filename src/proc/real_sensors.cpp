@@ -1,0 +1,70 @@
+#include "proc/real_sensors.hpp"
+
+#include <cassert>
+#include <chrono>
+
+#include "proc/real_probe.hpp"
+
+namespace nws {
+
+double RealLoadAvgSensor::measure() const {
+  return availability_from_load(read_loadavg(path_).one_minute);
+}
+
+RealVmstatSensor::RealVmstatSensor(std::filesystem::path stat_path,
+                                   std::filesystem::path loadavg_path,
+                                   double np_gain)
+    : stat_path_(std::move(stat_path)),
+      loadavg_path_(std::move(loadavg_path)),
+      np_gain_(np_gain) {
+  assert(np_gain > 0.0 && np_gain <= 1.0);
+}
+
+double RealVmstatSensor::measure() {
+  const ProcStat cur = read_proc_stat(stat_path_);
+  // The running count includes this reader; subtract ourselves as the
+  // paper's sensors (separate monitor processes) effectively do.
+  const int raw_running = read_running_count(loadavg_path_);
+  const double n_run = raw_running > 0 ? raw_running - 1 : 0;
+  np_ = primed_ ? (1.0 - np_gain_) * np_ + np_gain_ * n_run : n_run;
+
+  CpuFractions f;
+  if (primed_) {
+    const auto du = static_cast<double>(cur.user - prev_.user);
+    // Niced CPU consumption counts toward the share a full-priority process
+    // can reclaim, so treat it as reclaimable (idle-like) rather than load:
+    // that is precisely what the cheap methods get wrong in the paper and
+    // the hybrid fixes; here the /proc split lets us do better directly.
+    const auto dn = static_cast<double>(cur.nice_time - prev_.nice_time);
+    const auto ds = static_cast<double>((cur.system - prev_.system) +
+                                        (cur.irq - prev_.irq) +
+                                        (cur.softirq - prev_.softirq));
+    const auto di = static_cast<double>((cur.idle - prev_.idle) +
+                                        (cur.iowait - prev_.iowait));
+    const double total = du + dn + ds + di;
+    if (total > 0) {
+      f.user = du / total;
+      f.sys = ds / total;
+      f.idle = (di + dn) / total;
+    }
+  }
+  prev_ = cur;
+  primed_ = true;
+  return availability_from_vmstat(f, np_);
+}
+
+RealHybridMonitor::RealHybridMonitor(HybridConfig config) : hybrid_(config) {}
+
+double RealHybridMonitor::measure(double now) {
+  const double load_reading = load_.measure();
+  const double vmstat_reading = vmstat_.measure();
+  if (hybrid_.probe_due(now)) {
+    const ProbeResult probe = run_cpu_probe(
+        std::chrono::duration<double>(hybrid_.config().probe_duration));
+    hybrid_.probe_result(now, probe.availability(), load_reading,
+                         vmstat_reading);
+  }
+  return hybrid_.measure(load_reading, vmstat_reading);
+}
+
+}  // namespace nws

@@ -1,0 +1,76 @@
+// Live-host CPU availability sensors built on /proc — the real-machine
+// counterparts of the simulated sensors in src/sensors.
+//
+// RealLoadAvgSensor and RealVmstatSensor produce the Equation 1 / Equation 2
+// readings from /proc/loadavg and /proc/stat.  RealHybridMonitor composes
+// them with the HybridSensor policy and the spin probe to run the full NWS
+// hybrid method on the machine nwscpu itself runs on (see
+// examples/live_monitor.cpp).
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "proc/procfs.hpp"
+#include "sensors/availability.hpp"
+#include "sensors/hybrid_sensor.hpp"
+
+namespace nws {
+
+class RealLoadAvgSensor {
+ public:
+  explicit RealLoadAvgSensor(std::filesystem::path loadavg_path =
+                                 "/proc/loadavg")
+      : path_(std::move(loadavg_path)) {}
+
+  [[nodiscard]] std::string name() const { return "load_average"; }
+  /// Equation 1 on the 1-minute load average.  Throws on I/O failure.
+  [[nodiscard]] double measure() const;
+
+ private:
+  std::filesystem::path path_;
+};
+
+class RealVmstatSensor {
+ public:
+  RealVmstatSensor(std::filesystem::path stat_path = "/proc/stat",
+                   std::filesystem::path loadavg_path = "/proc/loadavg",
+                   double np_gain = 0.3);
+
+  [[nodiscard]] std::string name() const { return "vmstat"; }
+  /// Equation 2 on the jiffy deltas since the previous call.  The first
+  /// call primes the counters and reports the unloaded estimate.  Throws on
+  /// I/O failure.
+  [[nodiscard]] double measure();
+
+  [[nodiscard]] double smoothed_np() const noexcept { return np_; }
+
+ private:
+  std::filesystem::path stat_path_;
+  std::filesystem::path loadavg_path_;
+  double np_gain_;
+  ProcStat prev_{};
+  bool primed_ = false;
+  double np_ = 0.0;
+};
+
+/// One full NWS hybrid measurement cycle on the live host: cheap readings
+/// plus (when due) a real spin probe feeding the HybridSensor policy.
+class RealHybridMonitor {
+ public:
+  explicit RealHybridMonitor(HybridConfig config = {});
+
+  /// Takes one hybrid measurement at wall-clock time `now` (seconds since
+  /// an arbitrary epoch, e.g. steady_clock).  Runs the spin probe when due
+  /// (blocking for probe_duration).
+  [[nodiscard]] double measure(double now);
+
+  [[nodiscard]] const HybridSensor& policy() const noexcept { return hybrid_; }
+
+ private:
+  RealLoadAvgSensor load_;
+  RealVmstatSensor vmstat_;
+  HybridSensor hybrid_;
+};
+
+}  // namespace nws

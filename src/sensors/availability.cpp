@@ -1,0 +1,22 @@
+#include "sensors/availability.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nws {
+
+double availability_from_load(double load_average) noexcept {
+  assert(load_average >= 0.0);
+  return 1.0 / (std::max(load_average, 0.0) + 1.0);
+}
+
+double availability_from_vmstat(const CpuFractions& f,
+                                double np_smoothed) noexcept {
+  assert(np_smoothed >= 0.0);
+  const double np = std::max(np_smoothed, 0.0);
+  const double w = std::clamp(f.user, 0.0, 1.0);
+  const double avail = f.idle + f.user / (np + 1.0) + w * f.sys / (np + 1.0);
+  return std::clamp(avail, 0.0, 1.0);
+}
+
+}  // namespace nws

@@ -1,0 +1,38 @@
+// The paper's CPU-availability equations (Section 2.1).
+//
+// Availability is the fraction of CPU time a newly created, full-priority
+// process could expect to obtain over the near future.
+//
+// Equation 1 (load average):
+//     avail = 1 / (load_average + 1)
+// The new process joins `load_average` runnable processes and receives an
+// equal share.
+//
+// Equation 2 (vmstat):
+//     avail = idle + user/(np + 1) + w * sys/(np + 1)
+// where idle/user/sys are the fractions of the recent measurement interval,
+// np is a smoothed count of running processes and w (= the user fraction)
+// discounts system time: kernel overhead is only shared fairly in
+// proportion to how much user work is getting through (a host acting as a
+// network gateway gives user processes none of its system time).
+#pragma once
+
+namespace nws {
+
+/// Equation 1.  load must be >= 0; result is in (0, 1].
+[[nodiscard]] double availability_from_load(double load_average) noexcept;
+
+/// Fractions of a measurement interval, as vmstat reports them.
+/// user + sys + idle should be ~1; the constructor-free struct leaves
+/// validation to callers (see vmstat_fractions()).
+struct CpuFractions {
+  double user = 0.0;
+  double sys = 0.0;
+  double idle = 1.0;
+};
+
+/// Equation 2.  np_smoothed must be >= 0.  Result clamped to [0, 1].
+[[nodiscard]] double availability_from_vmstat(const CpuFractions& f,
+                                              double np_smoothed) noexcept;
+
+}  // namespace nws

@@ -1,0 +1,38 @@
+#include "sensors/hybrid_sensor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nws {
+
+HybridSensor::HybridSensor(HybridConfig config) : cfg_(config) {
+  assert(cfg_.probe_period > 0.0 && cfg_.probe_duration > 0.0);
+}
+
+bool HybridSensor::probe_due(double now) const noexcept {
+  return now >= next_probe_;
+}
+
+void HybridSensor::probe_result(double now, double probe_availability,
+                                double load_reading,
+                                double vmstat_reading) noexcept {
+  const double load_gap = std::abs(load_reading - probe_availability);
+  const double vmstat_gap = std::abs(vmstat_reading - probe_availability);
+  method_ =
+      load_gap <= vmstat_gap ? HybridMethod::kLoadAverage : HybridMethod::kVmstat;
+  const double chosen =
+      method_ == HybridMethod::kLoadAverage ? load_reading : vmstat_reading;
+  bias_ = cfg_.apply_bias ? probe_availability - chosen : 0.0;
+  next_probe_ = now + cfg_.probe_period;
+  ++probes_;
+}
+
+double HybridSensor::measure(double load_reading,
+                             double vmstat_reading) const noexcept {
+  const double chosen =
+      method_ == HybridMethod::kLoadAverage ? load_reading : vmstat_reading;
+  return std::clamp(chosen + bias_, 0.0, 1.0);
+}
+
+}  // namespace nws

@@ -1,0 +1,74 @@
+// The NWS hybrid CPU sensor (paper, Section 2.1).
+//
+// Combines the two cheap methods with an occasional short CPU probe:
+//
+//  * every measurement epoch (10 s) it records both the load-average and
+//    vmstat availability readings;
+//  * once per probe period (60 s) a small full-priority probe process spins
+//    for probe_duration (1.5 s) and reports the availability it actually
+//    experienced (cpu time / wall time);
+//  * the cheap method whose reading is closest to the probe's experience is
+//    selected to generate all measurements until the next probe, and the
+//    difference (probe - method) is kept as a *bias* added to each reading.
+//
+// The bias is what lets the hybrid see through `nice 19` background load
+// (run-queue metrics count it; the probe pre-empts it) — and what misleads
+// it when a long-running full-priority process is resident (the 1.5 s probe
+// pre-empts that too, thanks to BSD priority decay, but a longer test
+// process cannot).
+//
+// The class is a pure policy object: the caller (experiment runner, example
+// monitor, or a live /proc harness) supplies the cheap readings and the
+// probe observations, so the same logic drives both simulated and real
+// hosts and is unit-testable in isolation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace nws {
+
+enum class HybridMethod { kLoadAverage, kVmstat };
+
+struct HybridConfig {
+  /// Seconds between probe runs.
+  double probe_period = 60.0;
+  /// Wall-clock seconds the probe spins.
+  double probe_duration = 1.5;
+  /// Whether to apply the probe bias to subsequent readings (switchable
+  /// for the bias ablation).
+  bool apply_bias = true;
+};
+
+class HybridSensor {
+ public:
+  explicit HybridSensor(HybridConfig config = {});
+
+  /// True when a probe should run at (or after) time `now` (seconds).
+  [[nodiscard]] bool probe_due(double now) const noexcept;
+
+  /// Feeds the outcome of a probe together with the cheap readings taken at
+  /// probe time; selects the method and updates the bias.
+  void probe_result(double now, double probe_availability,
+                    double load_reading, double vmstat_reading) noexcept;
+
+  /// Produces the hybrid availability measurement for this epoch from the
+  /// two cheap readings (selected method + bias, clamped to [0, 1]).
+  [[nodiscard]] double measure(double load_reading,
+                               double vmstat_reading) const noexcept;
+
+  [[nodiscard]] HybridMethod selected() const noexcept { return method_; }
+  [[nodiscard]] double bias() const noexcept { return bias_; }
+  [[nodiscard]] std::size_t probes_run() const noexcept { return probes_; }
+  [[nodiscard]] const HybridConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::string name() const { return "nws_hybrid"; }
+
+ private:
+  HybridConfig cfg_;
+  HybridMethod method_ = HybridMethod::kLoadAverage;
+  double bias_ = 0.0;
+  double next_probe_ = 0.0;
+  std::size_t probes_ = 0;
+};
+
+}  // namespace nws

@@ -1,0 +1,35 @@
+#include "sensors/sim_sensors.hpp"
+
+#include <cassert>
+
+namespace nws {
+
+VmstatSensor::VmstatSensor(sim::Host& host, double np_gain)
+    : host_(&host), np_gain_(np_gain) {
+  assert(np_gain > 0.0 && np_gain <= 1.0);
+}
+
+double VmstatSensor::measure() {
+  const sim::KernelCounters cur = host_->counters();
+  const auto n_run = static_cast<double>(host_->runnable_count());
+  np_ = primed_ ? (1.0 - np_gain_) * np_ + np_gain_ * n_run : n_run;
+
+  CpuFractions f;
+  if (primed_) {
+    const sim::Tick du = cur.user - prev_.user;
+    const sim::Tick ds = cur.sys - prev_.sys;
+    const sim::Tick di = cur.idle - prev_.idle;
+    const sim::Tick total = du + ds + di;
+    if (total > 0) {
+      f.user = static_cast<double>(du) / static_cast<double>(total);
+      f.sys = static_cast<double>(ds) / static_cast<double>(total);
+      f.idle = static_cast<double>(di) / static_cast<double>(total);
+    }
+  }
+  prev_ = cur;
+  primed_ = true;
+  last_ = f;
+  return availability_from_vmstat(f, np_);
+}
+
+}  // namespace nws

@@ -1,0 +1,70 @@
+// CPU availability sensors over a simulated host.
+//
+// These mirror the NWS CPU monitor's two cheap measurement paths:
+//
+//  * LoadAvgSensor — reads the kernel's smoothed 1-minute load average (what
+//    `uptime` prints) and applies Equation 1.
+//  * VmstatSensor — differences the kernel's cumulative user/sys/idle tick
+//    counters over the interval since its previous reading (what `vmstat`
+//    prints per period), smooths the running-process count, and applies
+//    Equation 2.
+//
+// Both are non-intrusive: they read kernel state without consuming
+// simulated CPU, matching the paper's observation that two concurrent
+// instances of either method do not measurably load the machine.
+#pragma once
+
+#include <string>
+
+#include "sensors/availability.hpp"
+#include "sim/host.hpp"
+
+namespace nws {
+
+/// Common interface so experiments can sweep over measurement methods.
+class CpuSensor {
+ public:
+  virtual ~CpuSensor() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Returns the current availability estimate in [0, 1].
+  virtual double measure() = 0;
+};
+
+class LoadAvgSensor final : public CpuSensor {
+ public:
+  explicit LoadAvgSensor(sim::Host& host) : host_(&host) {}
+  [[nodiscard]] std::string name() const override { return "load_average"; }
+  double measure() override {
+    return availability_from_load(host_->load_average());
+  }
+
+ private:
+  sim::Host* host_;
+};
+
+class VmstatSensor final : public CpuSensor {
+ public:
+  /// `np_gain` is the EWMA gain for smoothing the running-process count
+  /// across measurements (the paper's "smoothed average of the number of
+  /// running processes over the previous set of measurements").
+  explicit VmstatSensor(sim::Host& host, double np_gain = 0.3);
+
+  [[nodiscard]] std::string name() const override { return "vmstat"; }
+  double measure() override;
+
+  /// Interval fractions of the most recent measure() call (for reports).
+  [[nodiscard]] const CpuFractions& last_fractions() const noexcept {
+    return last_;
+  }
+  [[nodiscard]] double smoothed_np() const noexcept { return np_; }
+
+ private:
+  sim::Host* host_;
+  double np_gain_;
+  sim::KernelCounters prev_{};
+  bool primed_ = false;
+  double np_ = 0.0;
+  CpuFractions last_{};
+};
+
+}  // namespace nws

@@ -1,0 +1,102 @@
+#include "sim/extra_workloads.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nws::sim {
+
+// ---------------------------------------------------------------------------
+// PeriodicDaemon
+
+PeriodicDaemon::PeriodicDaemon(PeriodicDaemonConfig config)
+    : cfg_(std::move(config)) {
+  assert(cfg_.period > 0.0 && cfg_.burst > 0.0 && cfg_.burst < cfg_.period);
+  next_event_ = seconds_to_ticks(cfg_.phase);
+}
+
+void PeriodicDaemon::advance(Host& host, Tick now) {
+  if (now < next_event_) return;
+  if (pid_ == kNoProcess) {
+    pid_ = host.scheduler().spawn(cfg_.name, cfg_.nice, cfg_.syscall_fraction,
+                                  now);
+  }
+  if (running_) {
+    host.scheduler().set_sleeping(pid_);
+    running_ = false;
+    next_event_ += seconds_to_ticks(cfg_.period - cfg_.burst);
+  } else {
+    host.scheduler().set_runnable(pid_);
+    running_ = true;
+    next_event_ += seconds_to_ticks(cfg_.burst);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceReplay
+
+namespace {
+
+/// Duty window over which the fractional competitor is PWM'd.
+constexpr Tick kDutyWindowTicks = 1 * kHz;
+
+}  // namespace
+
+TraceReplay::TraceReplay(TimeSeries trace, Rng rng)
+    : trace_(std::move(trace)), rng_(rng) {
+  assert(!trace_.empty());
+}
+
+void TraceReplay::apply_target(Host& host, Tick now) {
+  const double a =
+      std::clamp(trace_[sample_ % trace_.size()], 0.05, 1.0);
+  // a = 1 / (x + 1)  =>  x competitors (continuous).
+  const double x = 1.0 / a - 1.0;
+  const auto whole = static_cast<std::size_t>(x);
+  duty_ = x - static_cast<double>(whole);
+
+  const std::size_t needed = whole + (duty_ > 0.0 ? 1 : 0);
+  while (pids_.size() < needed) {
+    const ProcessId pid = host.scheduler().spawn(
+        "replay#" + std::to_string(pids_.size()), 0, 0.0, now);
+    pids_.push_back(pid);
+  }
+  for (std::size_t i = 0; i < pids_.size(); ++i) {
+    if (i < whole) {
+      host.scheduler().set_runnable(pids_[i]);
+    } else {
+      host.scheduler().set_sleeping(pids_[i]);
+    }
+  }
+  active_ = whole;
+  fractional_on_ = false;
+  next_duty_toggle_ = now;  // re-evaluate the fractional slot immediately
+}
+
+void TraceReplay::advance(Host& host, Tick now) {
+  if (now >= next_sample_) {
+    apply_target(host, now);
+    ++sample_;
+    next_sample_ = now + seconds_to_ticks(trace_.period());
+  }
+  if (duty_ > 0.0 && now >= next_duty_toggle_) {
+    const ProcessId frac = pids_[active_];
+    if (fractional_on_) {
+      host.scheduler().set_sleeping(frac);
+      fractional_on_ = false;
+      next_duty_toggle_ =
+          now + std::max<Tick>(1, static_cast<Tick>(
+                                      (1.0 - duty_) *
+                                      static_cast<double>(kDutyWindowTicks)));
+    } else {
+      host.scheduler().set_runnable(frac);
+      fractional_on_ = true;
+      next_duty_toggle_ =
+          now + std::max<Tick>(1, static_cast<Tick>(
+                                      duty_ *
+                                      static_cast<double>(kDutyWindowTicks)));
+    }
+  }
+}
+
+}  // namespace nws::sim

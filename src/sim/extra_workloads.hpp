@@ -1,0 +1,77 @@
+// Additional workload drivers beyond the core three (workload.hpp):
+//
+//  * PeriodicDaemon — a cron-style job that wakes on a fixed period and
+//    burns a short CPU burst (log rotation, mail queue runs, monitoring
+//    agents).  Adds the weak periodicities real departmental hosts show.
+//  * TraceReplay — drives a host's runnable/sleeping state so that its
+//    *availability* tracks a recorded trace: in each sample period the
+//    driver keeps enough load on the run queue that a full-priority
+//    process would obtain approximately the trace value.  This lets any
+//    recorded availability trace (e.g. from the live /proc monitor, or a
+//    published archive) be replayed through the full sensor/forecast
+//    pipeline.
+#pragma once
+
+#include <vector>
+
+#include "sim/workload.hpp"
+#include "tsa/series.hpp"
+
+namespace nws::sim {
+
+struct PeriodicDaemonConfig {
+  std::string name = "cron";
+  double period = 300.0;        ///< seconds between wake-ups
+  double burst = 1.0;           ///< CPU-bound seconds per wake-up
+  double phase = 0.0;           ///< offset of the first wake-up
+  int nice = 0;
+  double syscall_fraction = 0.3;  ///< daemons are syscall-heavy
+};
+
+class PeriodicDaemon final : public Workload {
+ public:
+  explicit PeriodicDaemon(PeriodicDaemonConfig config);
+  void advance(Host& host, Tick now) override;
+
+ private:
+  PeriodicDaemonConfig cfg_;
+  ProcessId pid_ = kNoProcess;
+  bool running_ = false;
+  Tick next_event_ = 0;
+};
+
+/// Replays an availability trace.  For each sample with availability a in
+/// (0, 1], the driver keeps ceil(1/a) - 1 CPU-bound competitor processes
+/// runnable, with a duty cycle that interpolates fractional competitor
+/// counts — so a newly created full-priority process sharing round-robin
+/// with k competitors obtains ~1/(k+1) ~ a of the CPU.
+class TraceReplay final : public Workload {
+ public:
+  /// `trace` values are clamped to [0.05, 1.0]; the series period defines
+  /// how long each target level is held.  Replay loops when it reaches the
+  /// end of the trace.
+  TraceReplay(TimeSeries trace, Rng rng);
+  void advance(Host& host, Tick now) override;
+
+  /// Competitors currently runnable (for tests).
+  [[nodiscard]] std::size_t active_competitors() const noexcept {
+    return active_;
+  }
+
+ private:
+  void apply_target(Host& host, Tick now);
+
+  TimeSeries trace_;
+  Rng rng_;
+  std::vector<ProcessId> pids_;
+  std::size_t active_ = 0;
+  std::size_t sample_ = 0;
+  Tick next_sample_ = 0;
+  Tick next_duty_toggle_ = 0;
+  // Fractional competitor handling: `fractional_pid_` is runnable for
+  // duty_ of each duty window.
+  double duty_ = 0.0;
+  bool fractional_on_ = false;
+};
+
+}  // namespace nws::sim

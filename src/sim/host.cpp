@@ -1,0 +1,107 @@
+#include "sim/host.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "sim/workload.hpp"
+
+namespace nws::sim {
+
+Host::Host(HostConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  assert(config_.interrupt_load >= 0.0 && config_.interrupt_load < 1.0);
+  assert(config_.load_sample_period > 0.0 && config_.load_horizon > 0.0);
+  load_sample_ticks_ = seconds_to_ticks(config_.load_sample_period);
+  load_decay_ = std::exp(-config_.load_sample_period / config_.load_horizon);
+}
+
+Host::~Host() = default;
+
+void Host::add_workload(std::unique_ptr<Workload> w) {
+  workloads_.push_back(std::move(w));
+}
+
+void Host::step_tick() {
+  // 1. Let workload drivers toggle process states / spawn jobs.
+  for (auto& w : workloads_) w->advance(*this, now_);
+
+  // 2. Expire wall-clock-bounded processes before scheduling so a probe
+  //    never receives ticks past its deadline.
+  sched_.expire_deadlines(now_);
+
+  // 3. Interrupt servicing steals the tick from everyone (system time that
+  //    belongs to no process — the network-gateway effect in the paper).
+  if (config_.interrupt_load > 0.0 && rng_.chance(config_.interrupt_load)) {
+    ++counters_.sys;
+  } else {
+    const ProcessId pid = sched_.pick_next(now_);
+    if (pid == kNoProcess) {
+      ++counters_.idle;
+    } else {
+      const Process& p = sched_.process(pid);
+      const bool system_tick =
+          p.syscall_fraction > 0.0 && rng_.chance(p.syscall_fraction);
+      sched_.charge_tick(pid, now_, system_tick);
+      if (system_tick) {
+        ++counters_.sys;
+      } else {
+        ++counters_.user;
+      }
+    }
+  }
+
+  ++now_;
+
+  // 4. Periodic kernel housekeeping.
+  if (now_ % load_sample_ticks_ == 0) {
+    const auto n = static_cast<double>(sched_.runnable_count());
+    load_avg_ = load_avg_ * load_decay_ + n * (1.0 - load_decay_);
+  }
+  if (now_ % kHz == 0) {
+    sched_.second_boundary(now_, load_avg_);
+  }
+}
+
+void Host::run_for(double seconds) {
+  run_until(now() + seconds);
+}
+
+void Host::run_until(double seconds) {
+  const Tick target = seconds_to_ticks(seconds);
+  while (now_ < target) step_tick();
+  // A deadline landing exactly on `target` must take effect before the
+  // caller inspects process state (step_tick only expires at tick start).
+  sched_.expire_deadlines(now_);
+}
+
+TimedRun Host::start_timed_process(const std::string& name,
+                                   double wall_seconds, int nice) {
+  TimedRun run;
+  run.pid = sched_.spawn(name, nice, /*syscall_fraction=*/0.0, now_);
+  run.start = now_;
+  run.end = now_ + seconds_to_ticks(wall_seconds);
+  sched_.process(run.pid).exit_at = run.end;
+  sched_.set_runnable(run.pid);
+  return run;
+}
+
+double Host::cpu_fraction(const TimedRun& run) const {
+  const Tick elapsed = std::min(now_, run.end) - run.start;
+  if (elapsed <= 0) return 0.0;
+  const Process& p = sched_.process(run.pid);
+  return static_cast<double>(p.cpu_ticks()) / static_cast<double>(elapsed);
+}
+
+double Host::run_timed_process(const std::string& name, double wall_seconds,
+                               int nice) {
+  const TimedRun run = start_timed_process(name, wall_seconds, nice);
+  run_until(ticks_to_seconds(run.end));
+  const double fraction = cpu_fraction(run);
+  // Reap only this process: other exited processes may not have been
+  // inspected by their owners yet (e.g. a test process that finished while
+  // this probe was advancing simulated time).
+  sched_.reap_one(run.pid);
+  return fraction;
+}
+
+}  // namespace nws::sim

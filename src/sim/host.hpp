@@ -1,0 +1,133 @@
+// Host: a simulated time-shared Unix machine.
+//
+// Ties together the scheduler, kernel time accounting (user/sys/idle tick
+// counters — what vmstat reports), the classic smoothed load average (what
+// uptime reports), an interrupt-load model (system time consumed by the
+// kernel before any user process runs, e.g. network packet servicing on a
+// gateway), and the workload drivers that create load.
+//
+// Sensors read host state without consuming simulated CPU — the paper
+// measures vmstat/uptime to be non-intrusive; the hybrid sensor's probe and
+// the ground-truth test process DO consume CPU and are injected as real
+// simulated processes via start_timed_process().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace nws::sim {
+
+class Workload;
+
+/// Cumulative kernel tick counters since boot (the simulated /proc/stat).
+struct KernelCounters {
+  Tick user = 0;
+  Tick sys = 0;
+  Tick idle = 0;
+
+  [[nodiscard]] Tick total() const noexcept { return user + sys + idle; }
+};
+
+struct HostConfig {
+  std::string name = "host";
+  /// Probability that a tick is consumed by kernel interrupt servicing
+  /// before any process is scheduled (system time not owned by a process).
+  double interrupt_load = 0.0;
+  /// Seconds between run-queue samples feeding the load average.
+  double load_sample_period = 5.0;
+  /// Load-average smoothing horizon in seconds (classic 1-minute average).
+  double load_horizon = 60.0;
+};
+
+/// Handle for a wall-clock-bounded CPU-bound process (probe/test process).
+struct TimedRun {
+  ProcessId pid = kNoProcess;
+  Tick start = 0;
+  Tick end = 0;
+};
+
+class Host {
+ public:
+  Host(HostConfig config, std::uint64_t seed);
+  ~Host();
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  /// --- time ---------------------------------------------------------------
+  [[nodiscard]] Tick now_ticks() const noexcept { return now_; }
+  [[nodiscard]] double now() const noexcept { return ticks_to_seconds(now_); }
+
+  /// Advances simulated time by/until the given point.
+  void run_for(double seconds);
+  void run_until(double seconds);
+
+  /// --- workloads ----------------------------------------------------------
+  /// Registers a workload driver; it is advanced every tick.
+  void add_workload(std::unique_ptr<Workload> w);
+
+  /// --- processes ----------------------------------------------------------
+  /// Spawns a CPU-bound full-speed process that stays runnable until
+  /// `wall_seconds` of simulated wall-clock time pass, then exits.  Used for
+  /// the NWS probe (1.5 s) and the ground-truth test process (10 s / 5 min).
+  [[nodiscard]] TimedRun start_timed_process(const std::string& name,
+                                             double wall_seconds,
+                                             int nice = 0);
+
+  /// True once the timed process's deadline has passed.
+  [[nodiscard]] bool finished(const TimedRun& run) const noexcept {
+    return now_ >= run.end;
+  }
+
+  /// CPU fraction the timed process obtained: cpu_ticks / wall_ticks — the
+  /// simulated getrusage()-based availability observation.  Valid any time
+  /// after start (partial if not finished).  The process must not have been
+  /// reaped yet.
+  [[nodiscard]] double cpu_fraction(const TimedRun& run) const;
+
+  /// Convenience: starts a timed process, advances the simulation to its
+  /// deadline and returns the CPU fraction it obtained.
+  double run_timed_process(const std::string& name, double wall_seconds,
+                           int nice = 0);
+
+  /// Removes exited processes.
+  void reap() { sched_.reap(); }
+
+  /// --- kernel state read by sensors ---------------------------------------
+  [[nodiscard]] const KernelCounters& counters() const noexcept {
+    return counters_;
+  }
+  /// Smoothed 1-minute load average (uptime's first number).
+  [[nodiscard]] double load_average() const noexcept { return load_avg_; }
+  /// Instantaneous run-queue length.
+  [[nodiscard]] std::size_t runnable_count() const noexcept {
+    return sched_.runnable_count();
+  }
+
+  [[nodiscard]] const HostConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] const Scheduler& scheduler() const noexcept { return sched_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  void step_tick();
+
+  HostConfig config_;
+  Rng rng_;
+  Scheduler sched_;
+  KernelCounters counters_;
+  std::vector<std::unique_ptr<Workload>> workloads_;
+
+  Tick now_ = 0;
+  double load_avg_ = 0.0;
+  Tick load_sample_ticks_;
+  double load_decay_;  // exp(-sample_period / horizon)
+};
+
+}  // namespace nws::sim

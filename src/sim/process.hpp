@@ -1,0 +1,61 @@
+// Simulated Unix process.
+//
+// A process is a passive record scheduled by nws::sim::Scheduler: it has a
+// nice value, the BSD decay-usage estimator p_estcpu, cumulative user and
+// system tick counts, and a run state toggled by workload drivers (or by a
+// wall-clock exit deadline for probe/test processes).
+#pragma once
+
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace nws::sim {
+
+enum class RunState {
+  kRunnable,  ///< on the run queue (counted by load average)
+  kSleeping,  ///< blocked; consumes no CPU, not on the run queue
+  kExited,    ///< finished; slot retained until reaped
+};
+
+struct Process {
+  ProcessId id = kNoProcess;
+  std::string name;
+  /// Unix nice value in [0, 19]; higher = lower priority.  (Negative nice
+  /// requires privilege and never occurs in the paper's setting.)
+  int nice = 0;
+  RunState state = RunState::kSleeping;
+
+  /// BSD decay-usage CPU estimator; grows by 1 per tick while running and
+  /// decays once per second (see Scheduler).  Bounded by kMaxEstCpu.
+  double p_estcpu = 0.0;
+
+  /// Fraction of this process's CPU ticks charged as system time (syscall
+  /// intensity); 0 for a pure spinning probe.
+  double syscall_fraction = 0.0;
+
+  /// Cumulative accounting (the simulated getrusage()).
+  Tick user_ticks = 0;
+  Tick sys_ticks = 0;
+
+  /// Tick at which the process was created.
+  Tick start_tick = 0;
+  /// If >= 0, the scheduler exits the process once now >= exit_at
+  /// (wall-clock-bounded probe and test processes).
+  Tick exit_at = -1;
+
+  /// Round-robin tie-break bookkeeping: tick of the last grant.
+  Tick last_granted = -1;
+
+  static constexpr double kMaxEstCpu = 255.0;
+
+  [[nodiscard]] Tick cpu_ticks() const noexcept {
+    return user_ticks + sys_ticks;
+  }
+};
+
+/// The 4.3BSD user-priority formula: pri = PUSER + p_estcpu/4 + 2*nice.
+/// Lower numeric priority runs first.
+[[nodiscard]] double bsd_priority(const Process& p) noexcept;
+
+}  // namespace nws::sim

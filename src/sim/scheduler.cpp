@@ -1,0 +1,131 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace nws::sim {
+
+ProcessId Scheduler::spawn(std::string name, int nice,
+                           double syscall_fraction, Tick now) {
+  assert(nice >= 0 && nice <= 19);
+  assert(syscall_fraction >= 0.0 && syscall_fraction <= 1.0);
+  Process p;
+  p.id = next_id_++;
+  p.name = std::move(name);
+  p.nice = nice;
+  p.syscall_fraction = syscall_fraction;
+  p.start_tick = now;
+  procs_.push_back(std::move(p));
+  return procs_.back().id;
+}
+
+std::size_t Scheduler::index_of(ProcessId id) const {
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    if (procs_[i].id == id) return i;
+  }
+  throw std::out_of_range("Scheduler: unknown process id " +
+                          std::to_string(id));
+}
+
+bool Scheduler::exists(ProcessId id) const noexcept {
+  return std::any_of(procs_.begin(), procs_.end(),
+                     [id](const Process& p) { return p.id == id; });
+}
+
+const Process& Scheduler::process(ProcessId id) const {
+  return procs_[index_of(id)];
+}
+
+Process& Scheduler::process(ProcessId id) { return procs_[index_of(id)]; }
+
+void Scheduler::set_runnable(ProcessId id) {
+  Process& p = process(id);
+  if (p.state != RunState::kExited) p.state = RunState::kRunnable;
+}
+
+void Scheduler::set_sleeping(ProcessId id) {
+  Process& p = process(id);
+  if (p.state != RunState::kExited) p.state = RunState::kSleeping;
+}
+
+void Scheduler::exit_process(ProcessId id) {
+  process(id).state = RunState::kExited;
+}
+
+void Scheduler::reap() {
+  std::erase_if(procs_,
+                [](const Process& p) { return p.state == RunState::kExited; });
+}
+
+void Scheduler::reap_one(ProcessId id) {
+  std::erase_if(procs_, [id](const Process& p) {
+    return p.id == id && p.state == RunState::kExited;
+  });
+}
+
+std::size_t Scheduler::runnable_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(procs_.begin(), procs_.end(), [](const Process& p) {
+        return p.state == RunState::kRunnable;
+      }));
+}
+
+std::size_t Scheduler::live_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(procs_.begin(), procs_.end(), [](const Process& p) {
+        return p.state != RunState::kExited;
+      }));
+}
+
+ProcessId Scheduler::pick_next(Tick /*now*/) const {
+  const Process* best = nullptr;
+  for (const Process& p : procs_) {
+    if (p.state != RunState::kRunnable) continue;
+    if (best == nullptr) {
+      best = &p;
+      continue;
+    }
+    const double pri = bsd_priority(p);
+    const double best_pri = bsd_priority(*best);
+    // Lower priority value wins; equal priorities round-robin on the least
+    // recently granted process.
+    if (pri < best_pri ||
+        (pri == best_pri && p.last_granted < best->last_granted)) {
+      best = &p;
+    }
+  }
+  return best ? best->id : kNoProcess;
+}
+
+void Scheduler::charge_tick(ProcessId id, Tick now, bool charge_system) {
+  Process& p = process(id);
+  assert(p.state == RunState::kRunnable);
+  if (charge_system) {
+    ++p.sys_ticks;
+  } else {
+    ++p.user_ticks;
+  }
+  p.p_estcpu = std::min(p.p_estcpu + 1.0, Process::kMaxEstCpu);
+  p.last_granted = now;
+}
+
+void Scheduler::expire_deadlines(Tick now) {
+  for (Process& p : procs_) {
+    if (p.state != RunState::kExited && p.exit_at >= 0 && now >= p.exit_at) {
+      p.state = RunState::kExited;
+    }
+  }
+}
+
+void Scheduler::second_boundary(Tick /*now*/, double load_average) {
+  const double decay =
+      (2.0 * load_average) / (2.0 * load_average + 1.0);
+  for (Process& p : procs_) {
+    if (p.state == RunState::kExited) continue;
+    p.p_estcpu = std::min(p.p_estcpu * decay + static_cast<double>(p.nice),
+                          Process::kMaxEstCpu);
+  }
+}
+
+}  // namespace nws::sim

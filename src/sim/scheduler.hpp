@@ -1,0 +1,84 @@
+// 4.3BSD-style decay-usage time-sharing scheduler.
+//
+// This is the mechanism behind every phenomenon the paper reports:
+//
+//  * the CPU fraction a full-priority process obtains against resident load
+//    (what the test process measures);
+//  * `nice 19` background processes losing the CPU entirely to full-priority
+//    work while still inflating the run queue (the conundrum anomaly);
+//  * a freshly started short probe pre-empting a long-running process whose
+//    p_estcpu has saturated — priority decay (the kongo anomaly).
+//
+// Model (per 4.3BSD, Leffler et al.):
+//   priority  = PUSER + p_estcpu/4 + 2*nice           (lower runs first)
+//   per running tick:  p_estcpu += 1   (bounded)
+//   once per second:   p_estcpu = p_estcpu * (2*load)/(2*load + 1) + nice
+// Ties are broken round-robin (least recently granted first).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/types.hpp"
+
+namespace nws::sim {
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+
+  /// Creates a process (initially sleeping).  Never reuses ids.
+  ProcessId spawn(std::string name, int nice, double syscall_fraction = 0.0,
+                  Tick now = 0);
+
+  void set_runnable(ProcessId id);
+  void set_sleeping(ProcessId id);
+  /// Marks the process exited; it stops being scheduled but its accounting
+  /// remains queryable until reap() is called.
+  void exit_process(ProcessId id);
+  /// Frees the slots of exited processes.
+  void reap();
+  /// Frees one process's slot (must be exited); no-op for unknown ids.
+  void reap_one(ProcessId id);
+
+  [[nodiscard]] bool exists(ProcessId id) const noexcept;
+  [[nodiscard]] const Process& process(ProcessId id) const;
+  [[nodiscard]] Process& process(ProcessId id);
+
+  /// Number of runnable processes (the instantaneous run-queue length).
+  [[nodiscard]] std::size_t runnable_count() const noexcept;
+  /// Number of live (runnable or sleeping) processes.
+  [[nodiscard]] std::size_t live_count() const noexcept;
+
+  /// Picks the runnable process to receive the tick at `now`, or kNoProcess
+  /// when the run queue is empty.  Does not charge the tick.
+  [[nodiscard]] ProcessId pick_next(Tick now) const;
+
+  /// Charges one tick to `id` (updates p_estcpu, accounting, round-robin
+  /// bookkeeping).  `charge_system` selects system vs user accounting.
+  void charge_tick(ProcessId id, Tick now, bool charge_system);
+
+  /// The once-per-second digestion: decays every live process's p_estcpu
+  /// using the current load average, and exits processes whose wall-clock
+  /// deadline has passed.
+  void second_boundary(Tick now, double load_average);
+
+  /// Exits any process whose exit_at deadline has been reached.  Called
+  /// every tick so probe durations are honoured exactly.
+  void expire_deadlines(Tick now);
+
+  /// Access for iteration (tests, reports).
+  [[nodiscard]] const std::vector<Process>& processes() const noexcept {
+    return procs_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index_of(ProcessId id) const;
+
+  std::vector<Process> procs_;
+  ProcessId next_id_ = 1;
+};
+
+}  // namespace nws::sim

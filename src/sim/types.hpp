@@ -1,0 +1,27 @@
+// Basic simulation types and time conversion.
+//
+// The simulator is tick-driven at HZ ticks per simulated second (HZ = 100,
+// the classic Unix clock).  A tick is the schedulable quantum: on each tick
+// exactly one of {a user process, the kernel (interrupt), idle} consumes
+// the CPU, mirroring how statclock-based Unix accounting attributes time.
+#pragma once
+
+#include <cstdint>
+
+namespace nws::sim {
+
+using Tick = std::int64_t;
+using ProcessId = std::uint32_t;
+
+inline constexpr ProcessId kNoProcess = 0;  ///< invalid/absent process id
+inline constexpr int kHz = 100;             ///< ticks per simulated second
+
+[[nodiscard]] constexpr double ticks_to_seconds(Tick t) noexcept {
+  return static_cast<double>(t) / kHz;
+}
+
+[[nodiscard]] constexpr Tick seconds_to_ticks(double s) noexcept {
+  return static_cast<Tick>(s * kHz + 0.5);
+}
+
+}  // namespace nws::sim

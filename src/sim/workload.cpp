@@ -1,0 +1,209 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/distributions.hpp"
+
+namespace nws::sim {
+
+namespace {
+
+constexpr double kDaySeconds = 86400.0;
+
+}  // namespace
+
+double DiurnalProfile::factor(double t_seconds) const noexcept {
+  if (amplitude <= 0.0) return 1.0;
+  const double phase =
+      2.0 * std::numbers::pi * (t_seconds / kDaySeconds - peak_hour / 24.0);
+  return std::max(0.05, 1.0 + amplitude * std::cos(phase));
+}
+
+// ---------------------------------------------------------------------------
+// InteractiveSession
+
+InteractiveSession::InteractiveSession(InteractiveSessionConfig config,
+                                       Rng rng)
+    : cfg_(std::move(config)), rng_(rng) {
+  assert(cfg_.mean_think > 0.0);
+  assert(cfg_.burst_alpha > 0.0);
+  assert(cfg_.burst_cap > cfg_.burst_min && cfg_.burst_min > 0.0);
+  assert((cfg_.engaged_mean > 0.0) == (cfg_.away_mean > 0.0));
+  assert(cfg_.presence_alpha > 1.0);
+}
+
+Tick InteractiveSession::presence_duration(Tick /*now*/, double mean) {
+  // Heavy-tailed (Pareto) stretch with the requested mean; the cap keeps a
+  // single draw from out-living the whole experiment.
+  const double target = std::max(30.0, mean);
+  const double xm =
+      target * (cfg_.presence_alpha - 1.0) / cfg_.presence_alpha;
+  const double dur =
+      sample_bounded_pareto(rng_, cfg_.presence_alpha, xm, 50.0 * target);
+  return std::max<Tick>(1, seconds_to_ticks(dur));
+}
+
+void InteractiveSession::advance(Host& host, Tick now) {
+  // Presence layer: flip engaged/away on its own (hour-scale) clock.
+  // Diurnal modulation: engaged stretches lengthen and away stretches
+  // shorten during the busy part of the day.
+  if (cfg_.engaged_mean > 0.0 && now >= presence_toggle_) {
+    const double factor = cfg_.diurnal.factor(ticks_to_seconds(now));
+    if (engaged_) {
+      engaged_ = false;
+      presence_toggle_ =
+          now + presence_duration(now, cfg_.away_mean / factor);
+      // Abort any burst in progress: the user walked away.
+      if (pid_ != kNoProcess && bursting_) {
+        host.scheduler().set_sleeping(pid_);
+        bursting_ = false;
+      }
+      next_event_ = presence_toggle_;
+    } else {
+      engaged_ = true;
+      presence_toggle_ =
+          now + presence_duration(now, cfg_.engaged_mean * factor);
+      next_event_ = now;  // resume thinking/bursting immediately
+    }
+  }
+  if (now < next_event_) return;
+  if (!engaged_) return;  // away: nothing happens until the next toggle
+  if (pid_ == kNoProcess) {
+    pid_ = host.scheduler().spawn(cfg_.name, /*nice=*/0,
+                                  cfg_.syscall_fraction, now);
+  }
+  if (bursting_) {
+    // Burst over: go back to thinking.
+    host.scheduler().set_sleeping(pid_);
+    bursting_ = false;
+    const double factor = cfg_.diurnal.factor(ticks_to_seconds(now));
+    const double think =
+        sample_exponential(rng_, cfg_.mean_think / factor);
+    next_event_ = now + std::max<Tick>(1, seconds_to_ticks(think));
+  } else {
+    // Think over: start a heavy-tailed CPU burst.
+    host.scheduler().set_runnable(pid_);
+    bursting_ = true;
+    const double burst = sample_bounded_pareto(rng_, cfg_.burst_alpha,
+                                               cfg_.burst_min, cfg_.burst_cap);
+    next_event_ = now + std::max<Tick>(1, seconds_to_ticks(burst));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BatchArrivals
+
+BatchArrivals::BatchArrivals(BatchArrivalsConfig config, Rng rng)
+    : cfg_(std::move(config)), rng_(rng) {
+  assert(cfg_.jobs_per_hour > 0.0);
+  assert(cfg_.cpu_duty > 0.0 && cfg_.cpu_duty <= 1.0);
+  schedule_next_arrival(0);
+}
+
+void BatchArrivals::schedule_next_arrival(Tick now) {
+  const double factor = cfg_.diurnal.factor(ticks_to_seconds(now));
+  const double rate = cfg_.jobs_per_hour * factor / 3600.0;  // per second
+  const double gap = sample_interarrival(rng_, rate);
+  next_arrival_ = now + std::max<Tick>(1, seconds_to_ticks(gap));
+}
+
+void BatchArrivals::advance(Host& host, Tick now) {
+  // Job lifecycle: completion and duty-cycle toggling.
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (now >= it->ends_at) {
+      host.scheduler().exit_process(it->pid);
+      it = jobs_.erase(it);
+      continue;
+    }
+    if (now >= it->next_toggle) {
+      if (it->running) {
+        if (cfg_.cpu_duty < 1.0) {
+          host.scheduler().set_sleeping(it->pid);
+          it->running = false;
+          // Off time sized so that on/(on+off) == cpu_duty on average.
+          const double off_mean =
+              cfg_.run_chunk * (1.0 - cfg_.cpu_duty) / cfg_.cpu_duty;
+          const double off = sample_exponential(rng_, off_mean);
+          it->next_toggle = now + std::max<Tick>(1, seconds_to_ticks(off));
+        } else {
+          it->next_toggle = it->ends_at;
+        }
+      } else {
+        host.scheduler().set_runnable(it->pid);
+        it->running = true;
+        const double on = sample_exponential(rng_, cfg_.run_chunk);
+        it->next_toggle = now + std::max<Tick>(1, seconds_to_ticks(on));
+      }
+    }
+    ++it;
+  }
+
+  // Poisson arrivals.
+  while (now >= next_arrival_) {
+    if (jobs_.size() < cfg_.max_concurrent) {
+      Job job;
+      job.pid = host.scheduler().spawn(
+          cfg_.name + "#" + std::to_string(++spawned_), cfg_.nice,
+          cfg_.syscall_fraction, now);
+      const double dur = std::min(
+          sample_lognormal(rng_, cfg_.duration_mu, cfg_.duration_sigma),
+          cfg_.duration_cap);
+      job.ends_at = now + std::max<Tick>(1, seconds_to_ticks(dur));
+      job.running = true;
+      host.scheduler().set_runnable(job.pid);
+      const double on = sample_exponential(rng_, cfg_.run_chunk);
+      job.next_toggle =
+          std::min<Tick>(now + std::max<Tick>(1, seconds_to_ticks(on)),
+                         job.ends_at);
+      jobs_.push_back(job);
+    }
+    schedule_next_arrival(now);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PersistentProcess
+
+PersistentProcess::PersistentProcess(PersistentProcessConfig config, Rng rng)
+    : cfg_(std::move(config)), rng_(rng) {
+  assert(cfg_.duty > 0.0 && cfg_.duty <= 1.0);
+  assert(cfg_.run_chunk > 0.0);
+}
+
+void PersistentProcess::advance(Host& host, Tick now) {
+  if (pid_ == kNoProcess) {
+    pid_ = host.scheduler().spawn(cfg_.name, cfg_.nice, cfg_.syscall_fraction,
+                                  now);
+    host.scheduler().set_runnable(pid_);
+    running_ = true;
+    if (cfg_.duty >= 1.0) {
+      next_toggle_ = std::numeric_limits<Tick>::max();
+    } else {
+      next_toggle_ =
+          now + std::max<Tick>(
+                    1, seconds_to_ticks(sample_exponential(rng_, cfg_.run_chunk)));
+    }
+    return;
+  }
+  if (now < next_toggle_) return;
+  if (running_) {
+    host.scheduler().set_sleeping(pid_);
+    running_ = false;
+    const double off_mean = cfg_.run_chunk * (1.0 - cfg_.duty) / cfg_.duty;
+    next_toggle_ =
+        now + std::max<Tick>(
+                  1, seconds_to_ticks(sample_exponential(rng_, off_mean)));
+  } else {
+    host.scheduler().set_runnable(pid_);
+    running_ = true;
+    next_toggle_ =
+        now + std::max<Tick>(
+                  1, seconds_to_ticks(sample_exponential(rng_, cfg_.run_chunk)));
+  }
+}
+
+}  // namespace nws::sim

@@ -1,0 +1,159 @@
+// Workload drivers: the synthetic stand-in for 1998 UCSD production load.
+//
+// Three generators cover the paper's host classes (see DESIGN.md §5):
+//
+//  * InteractiveSession — a user alternating heavy-tailed CPU bursts
+//    (bounded Pareto, the classic ON/OFF source of aggregate self-similarity
+//    per Willinger et al.) with exponential think times, modulated by a
+//    diurnal intensity profile.  Workstations (thing1/thing2).
+//  * BatchArrivals — Poisson-arriving compute jobs with heavy-tailed
+//    durations and a configurable CPU duty cycle (jobs interleave I/O
+//    sleeps).  Departmental servers (beowulf/gremlin).
+//  * PersistentProcess — an immortal CPU-bound process at a given nice
+//    value: nice 19 models the conundrum background soaker; nice 0 models
+//    kongo's long-running full-priority job.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/host.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace nws::sim {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  /// Called once per tick before scheduling; must be cheap when idle.
+  virtual void advance(Host& host, Tick now) = 0;
+};
+
+/// Sinusoidal day/night activity modulation.  factor() multiplies the
+/// *activity rate*: > 1 during the busy part of the day.
+struct DiurnalProfile {
+  double amplitude = 0.0;   ///< 0 disables modulation; must be in [0, 1)
+  double peak_hour = 15.0;  ///< local hour of peak activity
+
+  [[nodiscard]] double factor(double t_seconds) const noexcept;
+};
+
+struct InteractiveSessionConfig {
+  std::string name = "user";
+  /// Mean think (OFF) time in seconds at diurnal factor 1.
+  double mean_think = 30.0;
+  /// Pareto shape for burst (ON) durations; <= 2 is heavy-tailed.
+  double burst_alpha = 1.4;
+  /// Minimum burst seconds.
+  double burst_min = 0.4;
+  /// Burst cap in seconds (bounded Pareto).
+  double burst_cap = 600.0;
+  /// Fraction of the session's CPU ticks charged as system time.
+  double syscall_fraction = 0.08;
+  /// Presence layer: users are *engaged* at the machine for heavy-tailed
+  /// stretches and then *away* (meetings, lunch, home) for heavy-tailed
+  /// stretches during which no bursts occur.  This hour-scale ON/OFF is
+  /// what gives real availability traces their long-range autocorrelation
+  /// (the paper's Figure 2).  engaged_mean = 0 disables the layer (always
+  /// engaged).  Durations are Pareto with shape `presence_alpha`.
+  double engaged_mean = 0.0;  ///< mean engaged stretch, seconds
+  double away_mean = 0.0;     ///< mean away stretch, seconds
+  double presence_alpha = 1.5;
+  DiurnalProfile diurnal;
+};
+
+class InteractiveSession final : public Workload {
+ public:
+  InteractiveSession(InteractiveSessionConfig config, Rng rng);
+  void advance(Host& host, Tick now) override;
+
+  [[nodiscard]] bool engaged() const noexcept { return engaged_; }
+
+ private:
+  [[nodiscard]] Tick presence_duration(Tick now, double mean);
+
+  InteractiveSessionConfig cfg_;
+  Rng rng_;
+  ProcessId pid_ = kNoProcess;
+  bool bursting_ = false;
+  Tick next_event_ = 0;
+  bool engaged_ = true;
+  Tick presence_toggle_ = 0;  ///< next engaged/away flip (if layer enabled)
+};
+
+struct BatchArrivalsConfig {
+  std::string name = "batch";
+  /// Mean job arrivals per hour at diurnal factor 1.
+  double jobs_per_hour = 4.0;
+  /// Lognormal parameters of job duration (seconds of wall time).
+  double duration_mu = 5.0;     ///< exp(5) ~ 148 s median
+  double duration_sigma = 1.0;
+  /// Cap on a single job's wall-clock duration.
+  double duration_cap = 4.0 * 3600.0;
+  /// Fraction of a job's lifetime spent runnable (rest sleeps on I/O).
+  double cpu_duty = 0.85;
+  /// Mean length of one runnable stretch in seconds.
+  double run_chunk = 2.0;
+  /// Jobs run at this nice value.
+  int nice = 0;
+  double syscall_fraction = 0.15;
+  /// Upper bound on concurrently active jobs (admission control).
+  std::size_t max_concurrent = 6;
+  DiurnalProfile diurnal;
+};
+
+class BatchArrivals final : public Workload {
+ public:
+  BatchArrivals(BatchArrivalsConfig config, Rng rng);
+  void advance(Host& host, Tick now) override;
+
+  [[nodiscard]] std::size_t active_jobs() const noexcept {
+    return jobs_.size();
+  }
+
+ private:
+  struct Job {
+    ProcessId pid = kNoProcess;
+    Tick ends_at = 0;
+    Tick next_toggle = 0;
+    bool running = false;
+  };
+
+  void schedule_next_arrival(Tick now);
+
+  BatchArrivalsConfig cfg_;
+  Rng rng_;
+  std::vector<Job> jobs_;
+  Tick next_arrival_ = 0;
+  std::uint64_t spawned_ = 0;
+};
+
+struct PersistentProcessConfig {
+  std::string name = "hog";
+  int nice = 0;
+  double syscall_fraction = 0.0;
+  /// If < 1, the process briefly sleeps so it occupies only this fraction
+  /// of the CPU it could get (a partially I/O-bound resident job).
+  double duty = 1.0;
+  /// Mean runnable stretch in seconds when duty < 1.
+  double run_chunk = 5.0;
+};
+
+class PersistentProcess final : public Workload {
+ public:
+  PersistentProcess(PersistentProcessConfig config, Rng rng);
+  void advance(Host& host, Tick now) override;
+
+  [[nodiscard]] ProcessId pid() const noexcept { return pid_; }
+
+ private:
+  PersistentProcessConfig cfg_;
+  Rng rng_;
+  ProcessId pid_ = kNoProcess;
+  bool running_ = false;
+  Tick next_toggle_ = 0;
+};
+
+}  // namespace nws::sim

@@ -1,0 +1,47 @@
+#include "tsa/aggregate.hpp"
+
+#include <cassert>
+
+#include "util/stats.hpp"
+
+namespace nws {
+
+std::vector<double> aggregate_series(std::span<const double> xs,
+                                     std::size_t m) {
+  assert(m >= 1);
+  std::vector<double> out;
+  if (m == 0) return out;
+  const std::size_t blocks = xs.size() / m;
+  out.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += xs[b * m + i];
+    out.push_back(acc / static_cast<double>(m));
+  }
+  return out;
+}
+
+TimeSeries aggregate_series(const TimeSeries& s, std::size_t m) {
+  TimeSeries out(s.name() + "/agg" + std::to_string(m), s.start(),
+                 s.period() * static_cast<double>(m),
+                 aggregate_series(s.values(), m));
+  return out;
+}
+
+std::vector<VariancePoint> variance_time(std::span<const double> xs,
+                                         double growth) {
+  std::vector<VariancePoint> out;
+  if (xs.size() < 4 || growth <= 1.0) return out;
+  std::size_t prev_m = 0;
+  for (double mm = 1.0; mm <= static_cast<double>(xs.size() / 4);
+       mm *= growth) {
+    const auto m = static_cast<std::size_t>(mm);
+    if (m == prev_m) continue;
+    prev_m = m;
+    const auto agg = aggregate_series(xs, m);
+    out.push_back({m, variance(agg)});
+  }
+  return out;
+}
+
+}  // namespace nws

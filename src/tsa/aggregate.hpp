@@ -1,0 +1,38 @@
+// Series aggregation (Section 3.2 of the paper).
+//
+// The m-aggregated series X^(m) averages non-overlapping blocks of m
+// samples: X^(m)_k = (x_{km} + ... + x_{km+m-1}) / m.  The paper aggregates
+// the 10-second availability series at m = 30 (five minutes) and compares
+// variances (Table 4) and predictability (Tables 5-6).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tsa/series.hpp"
+
+namespace nws {
+
+/// Block means; a trailing partial block is dropped (the paper's X^(m)
+/// definition only uses complete blocks).  m must be >= 1.
+[[nodiscard]] std::vector<double> aggregate_series(std::span<const double> xs,
+                                                   std::size_t m);
+
+/// Aggregates a TimeSeries, adjusting period and start to the block centre
+/// convention (start of the first block).
+[[nodiscard]] TimeSeries aggregate_series(const TimeSeries& s, std::size_t m);
+
+/// One row of a variance-time plot: aggregation level and the population
+/// variance of the aggregated series.
+struct VariancePoint {
+  std::size_t m = 1;
+  double variance = 0.0;
+};
+
+/// Variance of X^(m) for log-spaced m in [1, n/4].  Used for Table 4 and as
+/// an independent self-similarity diagnostic.
+[[nodiscard]] std::vector<VariancePoint> variance_time(
+    std::span<const double> xs, double growth = 2.0);
+
+}  // namespace nws

@@ -1,0 +1,77 @@
+#include "tsa/autocorrelation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace nws {
+
+namespace {
+
+/// A (near-)constant series has an undefined ACF; we define it as 0.  The
+/// threshold is relative to the series magnitude so rounding residue from
+/// the mean subtraction is not mistaken for variance.
+bool effectively_constant(std::span<const double> xs, double m,
+                          double denom) noexcept {
+  const double scale = std::max(std::abs(m), 1e-300);
+  return denom <= 1e-20 * scale * scale * static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) noexcept {
+  const std::size_t n = xs.size();
+  if (n < 2 || lag >= n) return 0.0;
+  const double m = mean(xs);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - m) * (x - m);
+  if (denom <= 0.0 || effectively_constant(xs, m, denom)) return 0.0;
+  double num = 0.0;
+  for (std::size_t t = 0; t + lag < n; ++t) {
+    num += (xs[t] - m) * (xs[t + lag] - m);
+  }
+  return num / denom;
+}
+
+std::vector<double> autocorrelations(std::span<const double> xs,
+                                     std::size_t max_lag) {
+  const std::size_t n = xs.size();
+  std::vector<double> out;
+  if (n < 2) return out;
+  const std::size_t lags = std::min(max_lag, n - 1);
+  out.reserve(lags + 1);
+  const double m = mean(xs);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - m) * (x - m);
+  if (denom <= 0.0 || effectively_constant(xs, m, denom)) {
+    out.assign(lags + 1, 0.0);
+    return out;
+  }
+  for (std::size_t k = 0; k <= lags; ++k) {
+    double num = 0.0;
+    for (std::size_t t = 0; t + k < n; ++t) {
+      num += (xs[t] - m) * (xs[t + k] - m);
+    }
+    out.push_back(num / denom);
+  }
+  return out;
+}
+
+AcfDecay acf_decay(std::span<const double> xs, std::size_t max_lag,
+                   double threshold) {
+  AcfDecay d;
+  const auto acf = autocorrelations(xs, max_lag);
+  d.lags_computed = acf.size();
+  d.first_below = acf.size();
+  for (std::size_t k = 0; k < acf.size(); ++k) {
+    if (acf[k] < threshold) {
+      d.first_below = k;
+      break;
+    }
+  }
+  d.value_at_last = acf.empty() ? 0.0 : acf.back();
+  return d;
+}
+
+}  // namespace nws

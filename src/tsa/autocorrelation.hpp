@@ -1,0 +1,37 @@
+// Sample autocorrelation function (Figure 2 of the paper).
+//
+// The paper plots the first 360 autocorrelations of the 10-second
+// availability series to show the slow decay characteristic of long-range
+// dependence.  We use the standard biased sample ACF estimator
+//   r(k) = sum_{t} (x_t - m)(x_{t+k} - m) / sum_t (x_t - m)^2
+// which guarantees |r(k)| <= 1 and a positive semi-definite sequence.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nws {
+
+/// ACF at a single lag k (k < n).  Returns 0 for a constant or too-short
+/// series.  r(0) == 1 for any non-constant series.
+[[nodiscard]] double autocorrelation(std::span<const double> xs,
+                                     std::size_t lag) noexcept;
+
+/// ACF for lags 0..max_lag inclusive (max_lag clamped to n-1).
+[[nodiscard]] std::vector<double> autocorrelations(std::span<const double> xs,
+                                                   std::size_t max_lag);
+
+/// Summary of ACF decay used by the experiment reports: the first lag at
+/// which the ACF drops below `threshold`, or `lags_computed` if it never
+/// does within the computed range.
+struct AcfDecay {
+  std::size_t lags_computed = 0;
+  std::size_t first_below = 0;
+  double value_at_last = 0.0;
+};
+
+[[nodiscard]] AcfDecay acf_decay(std::span<const double> xs,
+                                 std::size_t max_lag, double threshold);
+
+}  // namespace nws

@@ -1,0 +1,68 @@
+#include "tsa/fgn.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/distributions.hpp"
+
+namespace nws {
+
+double fgn_autocovariance(double h, std::size_t k) noexcept {
+  if (k == 0) return 1.0;
+  const double kd = static_cast<double>(k);
+  const double two_h = 2.0 * h;
+  return 0.5 * (std::pow(kd + 1.0, two_h) - 2.0 * std::pow(kd, two_h) +
+                std::pow(kd - 1.0, two_h));
+}
+
+std::vector<double> generate_fgn(Rng& rng, double h, std::size_t n) {
+  assert(h > 0.0 && h < 1.0);
+  std::vector<double> x;
+  x.reserve(n);
+  if (n == 0) return x;
+
+  // Durbin-Levinson state: phi holds the current partial regression
+  // coefficients, v the innovation variance.
+  std::vector<double> phi;       // current coefficients (size t)
+  std::vector<double> phi_prev;  // previous iteration's coefficients
+  double v = 1.0;                // gamma(0)
+
+  x.push_back(sample_normal(rng));
+  for (std::size_t t = 1; t < n; ++t) {
+    // Extend the Durbin-Levinson recursion from order t-1 to order t.
+    double num = fgn_autocovariance(h, t);
+    for (std::size_t j = 0; j < phi.size(); ++j) {
+      num -= phi[j] * fgn_autocovariance(h, t - 1 - j);
+    }
+    const double kappa = num / v;
+    phi_prev = phi;
+    phi.resize(t);
+    phi[t - 1] = kappa;
+    for (std::size_t j = 0; j + 1 < t; ++j) {
+      phi[j] = phi_prev[j] - kappa * phi_prev[t - 2 - j];
+    }
+    v *= (1.0 - kappa * kappa);
+
+    // Conditional mean given x_0..x_{t-1}; coefficients apply to the most
+    // recent sample first.
+    double mu = 0.0;
+    for (std::size_t j = 0; j < t; ++j) {
+      mu += phi[j] * x[t - 1 - j];
+    }
+    x.push_back(mu + std::sqrt(std::max(v, 0.0)) * sample_normal(rng));
+  }
+  return x;
+}
+
+std::vector<double> generate_ar1(Rng& rng, double phi, std::size_t n) {
+  std::vector<double> x;
+  x.reserve(n);
+  double prev = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    prev = phi * prev + sample_normal(rng);
+    x.push_back(prev);
+  }
+  return x;
+}
+
+}  // namespace nws

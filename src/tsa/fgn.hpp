@@ -1,0 +1,36 @@
+// Fractional Gaussian noise generation (Hosking's method).
+//
+// fGn with Hurst parameter H is the canonical exactly-self-similar series;
+// nwscpu uses it to *validate* the Hurst estimators (R/S pox regression and
+// aggregated variance) against a known ground truth, mirroring how the
+// self-similarity literature the paper cites calibrates its estimators.
+//
+// Hosking's method draws each sample from the exact conditional Gaussian
+// distribution given all previous samples via the Durbin-Levinson recursion
+// on the fGn autocovariance
+//   gamma(k) = 0.5 * (|k+1|^{2H} - 2|k|^{2H} + |k-1|^{2H}).
+// It is O(n^2) time / O(n) memory: exact, and fast enough for test-sized n.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nws {
+
+/// Autocovariance of unit-variance fGn at lag k for Hurst parameter h.
+[[nodiscard]] double fgn_autocovariance(double h, std::size_t k) noexcept;
+
+/// Generates n samples of zero-mean, unit-variance fGn with Hurst h.
+/// Requires 0 < h < 1; h = 0.5 degenerates to white noise.
+[[nodiscard]] std::vector<double> generate_fgn(Rng& rng, double h,
+                                               std::size_t n);
+
+/// AR(1) series x_t = phi * x_{t-1} + e_t with unit-variance innovations.
+/// Short-memory comparison series for estimator tests (its true H is 0.5
+/// even though short-lag autocorrelation is high).
+[[nodiscard]] std::vector<double> generate_ar1(Rng& rng, double phi,
+                                               std::size_t n);
+
+}  // namespace nws

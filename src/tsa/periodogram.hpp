@@ -1,0 +1,34 @@
+// Spectral (log-periodogram) Hurst estimation — the Geweke/Porter-Hudak
+// (GPH) estimator.
+//
+// A third, methodologically independent cross-check for the R/S and
+// aggregated-variance estimators (rs_analysis.hpp): long-memory series have
+// spectral density f(l) ~ l^(1-2H) as the frequency l -> 0, so regressing
+// the log-periodogram at the lowest Fourier frequencies against
+// log(4 sin^2(l/2)) gives slope -d with H = d + 1/2.  The self-similarity
+// literature the paper builds on (Leland et al., Beran) routinely reports
+// all three estimators side by side.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tsa/rs_analysis.hpp"
+
+namespace nws {
+
+/// Periodogram ordinate I(l_j) = |sum_t x_t e^{-i l_j t}|^2 / (2 pi n) at
+/// the j-th Fourier frequency l_j = 2 pi j / n, for j = 1..count.  The
+/// series is mean-centred first.  Direct DFT: O(n * count).
+[[nodiscard]] std::vector<double> periodogram(std::span<const double> xs,
+                                              std::size_t count);
+
+/// GPH estimate using the lowest floor(n^bandwidth_exponent) Fourier
+/// frequencies (the customary choice is 0.5).  Returns the same structure
+/// as the other Hurst estimators; hurst is clamped to [0, 1.5] to keep
+/// pathological fits recognisable rather than absurd.
+[[nodiscard]] HurstEstimate estimate_hurst_periodogram(
+    std::span<const double> xs, double bandwidth_exponent = 0.5);
+
+}  // namespace nws

@@ -1,0 +1,111 @@
+#include "tsa/rs_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "tsa/aggregate.hpp"
+#include "util/stats.hpp"
+
+namespace nws {
+
+double rescaled_range(std::span<const double> xs) noexcept {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double m = mean(xs);
+  const double s = stddev(xs);
+  if (s <= 0.0) return 0.0;
+  // Range of the mean-adjusted cumulative sums W_k = sum_{i<=k}(x_i - m),
+  // including the empty prefix W_0 = 0 per Mandelbrot & Taqqu.
+  double w = 0.0;
+  double w_min = 0.0;
+  double w_max = 0.0;
+  for (double x : xs) {
+    w += x - m;
+    w_min = std::min(w_min, w);
+    w_max = std::max(w_max, w);
+  }
+  return (w_max - w_min) / s;
+}
+
+std::vector<PoxPoint> pox_points(std::span<const double> xs,
+                                 const RsOptions& opt) {
+  std::vector<PoxPoint> out;
+  const std::size_t n = xs.size();
+  if (n < 2 * std::max<std::size_t>(opt.min_segment, 2)) return out;
+  const std::size_t max_d =
+      n / std::max<std::size_t>(opt.max_segment_divisor, 1);
+  std::size_t prev_d = 0;
+  for (double dd = static_cast<double>(std::max<std::size_t>(opt.min_segment, 2));
+       dd <= static_cast<double>(max_d); dd *= opt.growth) {
+    const auto d = static_cast<std::size_t>(dd);
+    if (d == prev_d) continue;
+    prev_d = d;
+    for (std::size_t off = 0; off + d <= n; off += d) {
+      const double rs = rescaled_range(xs.subspan(off, d));
+      if (rs <= 0.0) continue;
+      out.push_back({std::log10(static_cast<double>(d)), std::log10(rs)});
+    }
+  }
+  return out;
+}
+
+HurstEstimate estimate_hurst_rs(std::span<const double> xs,
+                                const RsOptions& opt) {
+  HurstEstimate est;
+  const auto points = pox_points(xs, opt);
+  est.num_points = points.size();
+  if (points.size() < 2) return est;
+  // Mean log10(R/S) per distinct scale, then OLS through the means.  The
+  // pox points at a scale are grouped by their (identical) log10_d key.
+  std::map<double, RunningStats> by_scale;
+  for (const auto& p : points) by_scale[p.log10_d].add(p.log10_rs);
+  std::vector<double> log_d;
+  std::vector<double> log_rs;
+  log_d.reserve(by_scale.size());
+  log_rs.reserve(by_scale.size());
+  for (const auto& [ld, stats] : by_scale) {
+    log_d.push_back(ld);
+    log_rs.push_back(stats.mean());
+  }
+  est.num_scales = log_d.size();
+  if (est.num_scales < 2) return est;
+  const LinearFit fit = linear_fit(log_d, log_rs);
+  est.hurst = fit.slope;
+  est.intercept = fit.intercept;
+  est.r_squared = fit.r_squared;
+  return est;
+}
+
+HurstEstimate estimate_hurst_aggvar(std::span<const double> xs,
+                                    std::size_t min_m, double growth) {
+  HurstEstimate est;
+  const std::size_t n = xs.size();
+  if (n < 4 || growth <= 1.0) return est;
+  std::vector<double> log_m;
+  std::vector<double> log_var;
+  std::size_t prev_m = 0;
+  // Need at least ~8 aggregated blocks for a usable variance estimate.
+  for (double mm = static_cast<double>(std::max<std::size_t>(min_m, 2));
+       mm <= static_cast<double>(n / 8); mm *= growth) {
+    const auto m = static_cast<std::size_t>(mm);
+    if (m == prev_m) continue;
+    prev_m = m;
+    const auto agg = aggregate_series(xs, m);
+    const double v = variance(agg);
+    if (v <= 0.0) continue;
+    log_m.push_back(std::log10(static_cast<double>(m)));
+    log_var.push_back(std::log10(v));
+  }
+  est.num_scales = log_m.size();
+  est.num_points = log_m.size();
+  if (est.num_scales < 2) return est;
+  const LinearFit fit = linear_fit(log_m, log_var);
+  // slope = 2H - 2  =>  H = 1 + slope/2.
+  est.hurst = 1.0 + fit.slope / 2.0;
+  est.intercept = fit.intercept;
+  est.r_squared = fit.r_squared;
+  return est;
+}
+
+}  // namespace nws

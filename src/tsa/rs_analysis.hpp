@@ -1,0 +1,72 @@
+// R/S (rescaled adjusted range) analysis and Hurst-parameter estimation.
+//
+// Reproduces the paper's Figure 3 / Table 4 methodology (Mandelbrot & Taqqu
+// R/S analysis with pox plots, after Leland et al.):
+//
+//   * the series is partitioned into non-overlapping segments of length d;
+//   * for each segment, R(d)/S(d) is computed, where R is the range of the
+//     mean-adjusted cumulative sums and S the segment standard deviation;
+//   * plotting log10(R(d)/S(d)) against log10(d) for many d gives the "pox
+//     plot"; E[R(d)/S(d)] ~ c * d^H, so a least-squares line through the
+//     per-d mean log points estimates the Hurst parameter H.
+//
+// H in (0.5, 1.0) indicates long-range dependence / self-similarity;
+// H = 0.5 is short-memory (e.g. white noise).
+//
+// A second, independent estimator via the variance of aggregated series
+// (Var(X^(m)) ~ m^(2H-2)) is provided for cross-checking.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nws {
+
+/// R/S statistic of one segment.  Returns 0 when the segment is shorter
+/// than 2 samples or has zero variance.
+[[nodiscard]] double rescaled_range(std::span<const double> xs) noexcept;
+
+/// One point of a pox plot: log10 of the segment length and log10 of the
+/// R/S statistic of one segment of that length.
+struct PoxPoint {
+  double log10_d = 0.0;
+  double log10_rs = 0.0;
+};
+
+/// Options for the pox-plot / R/S regression.
+struct RsOptions {
+  /// Smallest segment length considered.
+  std::size_t min_segment = 8;
+  /// Successive segment lengths grow by this factor (log-spaced d values).
+  double growth = 1.5;
+  /// Largest segment length is n / max_segment_divisor, so at least that
+  /// many segments contribute at the top scale.
+  std::size_t max_segment_divisor = 2;
+};
+
+/// All pox-plot points for the series.  Zero-variance segments are skipped.
+[[nodiscard]] std::vector<PoxPoint> pox_points(std::span<const double> xs,
+                                               const RsOptions& opt = {});
+
+/// Result of the R/S regression.
+struct HurstEstimate {
+  double hurst = 0.0;       ///< regression slope (the H estimate)
+  double intercept = 0.0;   ///< log10(c)
+  double r_squared = 0.0;   ///< fit quality
+  std::size_t num_scales = 0;  ///< distinct segment lengths used
+  std::size_t num_points = 0;  ///< total pox points
+};
+
+/// Estimates H by regressing the *mean* log10(R/S) at each scale against
+/// log10(d), exactly as the paper's solid line in Figure 3.
+[[nodiscard]] HurstEstimate estimate_hurst_rs(std::span<const double> xs,
+                                              const RsOptions& opt = {});
+
+/// Estimates H from the variance of aggregated series:
+/// slope of log10(Var(X^(m))) vs log10(m) is 2H - 2.
+[[nodiscard]] HurstEstimate estimate_hurst_aggvar(std::span<const double> xs,
+                                                  std::size_t min_m = 2,
+                                                  double growth = 1.5);
+
+}  // namespace nws

@@ -1,0 +1,38 @@
+#include "tsa/series.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace nws {
+
+TimeSeries::TimeSeries(std::string name, double start_seconds,
+                       double period_seconds)
+    : name_(std::move(name)), start_(start_seconds), period_(period_seconds) {
+  assert(period_ > 0.0);
+}
+
+TimeSeries::TimeSeries(std::string name, double start_seconds,
+                       double period_seconds, std::vector<double> values)
+    : name_(std::move(name)),
+      start_(start_seconds),
+      period_(period_seconds),
+      values_(std::move(values)) {
+  assert(period_ > 0.0);
+}
+
+std::size_t TimeSeries::index_at_or_before(double t) const noexcept {
+  if (values_.empty() || t < start_) return npos;
+  const auto idx = static_cast<std::size_t>((t - start_) / period_);
+  return idx >= values_.size() ? values_.size() - 1 : idx;
+}
+
+TimeSeries TimeSeries::slice(std::size_t first, std::size_t count) const {
+  TimeSeries out(name_, time_at(first), period_);
+  if (first >= values_.size()) return out;
+  const std::size_t n = std::min(count, values_.size() - first);
+  out.values_.assign(values_.begin() + static_cast<std::ptrdiff_t>(first),
+                     values_.begin() + static_cast<std::ptrdiff_t>(first + n));
+  return out;
+}
+
+}  // namespace nws

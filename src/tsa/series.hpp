@@ -1,0 +1,67 @@
+// TimeSeries: a regularly sampled measurement history.
+//
+// Every analysis in the paper operates on a regular grid (availability is
+// measured every 10 seconds), so the series stores a start time, a sampling
+// period and the sample values.  Values are CPU-availability fractions in
+// [0, 1] in most of nwscpu, but the container is generic.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nws {
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// `period_seconds` is the sampling interval; must be > 0.
+  TimeSeries(std::string name, double start_seconds, double period_seconds);
+
+  /// Construct directly from values (used heavily by tests).
+  TimeSeries(std::string name, double start_seconds, double period_seconds,
+             std::vector<double> values);
+
+  void push_back(double value) { values_.push_back(value); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+  void clear() noexcept { values_.clear(); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double start() const noexcept { return start_; }
+  [[nodiscard]] double period() const noexcept { return period_; }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] double operator[](std::size_t i) const { return values_[i]; }
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::vector<double>& mutable_values() noexcept {
+    return values_;
+  }
+
+  /// Timestamp (seconds) of sample i.
+  [[nodiscard]] double time_at(std::size_t i) const noexcept {
+    return start_ + period_ * static_cast<double>(i);
+  }
+
+  /// Index of the last sample with time <= t, or npos when the series is
+  /// empty or starts after t.  Used to pick "the measurement taken most
+  /// immediately before the test process executes" (paper, Section 2.2).
+  [[nodiscard]] std::size_t index_at_or_before(double t) const noexcept;
+
+  /// Sub-series [first, first+count).
+  [[nodiscard]] TimeSeries slice(std::size_t first, std::size_t count) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::string name_;
+  double start_ = 0.0;
+  double period_ = 1.0;
+  std::vector<double> values_;
+};
+
+}  // namespace nws

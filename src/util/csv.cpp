@@ -1,0 +1,130 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nws {
+
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) {
+    // Trim surrounding spaces.
+    const auto begin = field.find_first_not_of(" \t\r");
+    const auto end = field.find_last_not_of(" \t\r");
+    out.push_back(begin == std::string::npos
+                      ? std::string{}
+                      : field.substr(begin, end - begin + 1));
+  }
+  if (!line.empty() && line.back() == ',') out.emplace_back();
+  return out;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last && !s.empty();
+}
+
+}  // namespace
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    if (headers[i] == name) return i;
+  }
+  return npos;
+}
+
+void write_csv(std::ostream& os, const CsvTable& table) {
+  const std::size_t n = table.rows();
+  for (const auto& col : table.columns) {
+    if (col.size() != n) {
+      throw std::runtime_error("write_csv: ragged columns");
+    }
+  }
+  if (!table.headers.empty()) {
+    if (table.headers.size() != table.columns.size()) {
+      throw std::runtime_error("write_csv: header/column count mismatch");
+    }
+    for (std::size_t c = 0; c < table.headers.size(); ++c) {
+      os << (c ? "," : "") << table.headers[c];
+    }
+    os << '\n';
+  }
+  os.precision(17);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+      os << (c ? "," : "") << table.columns[c][r];
+    }
+    os << '\n';
+  }
+  if (!os) throw std::runtime_error("write_csv: stream failure");
+}
+
+void write_csv(const std::filesystem::path& path, const CsvTable& table) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("write_csv: cannot open " + path.string());
+  }
+  write_csv(file, table);
+}
+
+CsvTable read_csv(std::istream& is) {
+  CsvTable table;
+  std::string line;
+  bool first_data_row = true;
+  while (std::getline(is, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    auto fields = split_fields(line);
+    if (fields.empty()) continue;
+    if (first_data_row) {
+      // Decide header vs data: header iff any field fails numeric parse.
+      bool all_numeric = true;
+      std::vector<double> values(fields.size());
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (!parse_double(fields[i], values[i])) {
+          all_numeric = false;
+          break;
+        }
+      }
+      table.columns.resize(fields.size());
+      if (all_numeric) {
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+          table.columns[i].push_back(values[i]);
+        }
+      } else {
+        table.headers = std::move(fields);
+      }
+      first_data_row = false;
+      continue;
+    }
+    if (fields.size() != table.columns.size()) {
+      throw std::runtime_error("read_csv: ragged row");
+    }
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      double v = 0.0;
+      if (!parse_double(fields[i], v)) {
+        throw std::runtime_error("read_csv: bad numeric field '" + fields[i] +
+                                 "'");
+      }
+      table.columns[i].push_back(v);
+    }
+  }
+  return table;
+}
+
+CsvTable read_csv(const std::filesystem::path& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("read_csv: cannot open " + path.string());
+  }
+  return read_csv(file);
+}
+
+}  // namespace nws

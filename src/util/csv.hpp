@@ -1,0 +1,43 @@
+// Minimal CSV reading/writing for trace import/export.
+//
+// nwscpu persists measurement traces (time, value columns) as plain CSV so
+// they can be plotted externally and re-loaded for offline analysis.  The
+// dialect is deliberately simple: comma separator, optional '#' comment
+// lines, a single optional header row, no quoting (our fields are numeric).
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nws {
+
+/// An in-memory CSV table: named columns of doubles, all the same length.
+struct CsvTable {
+  std::vector<std::string> headers;
+  std::vector<std::vector<double>> columns;
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return columns.empty() ? 0 : columns.front().size();
+  }
+  [[nodiscard]] std::size_t cols() const noexcept { return columns.size(); }
+
+  /// Index of a header, or npos if absent.
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Writes a table; throws std::runtime_error on I/O failure or if column
+/// lengths are inconsistent.
+void write_csv(const std::filesystem::path& path, const CsvTable& table);
+void write_csv(std::ostream& os, const CsvTable& table);
+
+/// Reads a table; throws std::runtime_error on I/O failure, ragged rows, or
+/// unparsable numeric fields.  A first row containing any non-numeric field
+/// is treated as the header.
+[[nodiscard]] CsvTable read_csv(const std::filesystem::path& path);
+[[nodiscard]] CsvTable read_csv(std::istream& is);
+
+}  // namespace nws

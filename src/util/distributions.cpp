@@ -1,0 +1,53 @@
+#include "util/distributions.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace nws {
+
+double sample_exponential(Rng& rng, double mean) noexcept {
+  assert(mean > 0.0);
+  // 1 - uniform() is in (0, 1], so the log argument is never zero.
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+double sample_pareto(Rng& rng, double alpha, double xm) noexcept {
+  assert(alpha > 0.0 && xm > 0.0);
+  const double u = 1.0 - rng.uniform();  // (0, 1]
+  return xm * std::pow(u, -1.0 / alpha);
+}
+
+double sample_bounded_pareto(Rng& rng, double alpha, double xm,
+                             double cap) noexcept {
+  assert(alpha > 0.0 && xm > 0.0 && cap > xm);
+  // Inverse CDF of the bounded Pareto distribution on [xm, cap].
+  const double la = std::pow(xm, alpha);
+  const double ha = std::pow(cap, alpha);
+  const double u = rng.uniform();
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(x, -1.0 / alpha);
+}
+
+double sample_normal(Rng& rng) noexcept {
+  const double u1 = 1.0 - rng.uniform();  // (0, 1]: keeps log finite
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double sample_normal(Rng& rng, double mean, double sigma) noexcept {
+  assert(sigma >= 0.0);
+  return mean + sigma * sample_normal(rng);
+}
+
+double sample_lognormal(Rng& rng, double mu, double sigma) noexcept {
+  return std::exp(sample_normal(rng, mu, sigma));
+}
+
+double sample_interarrival(Rng& rng, double rate) noexcept {
+  assert(rate > 0.0);
+  return sample_exponential(rng, 1.0 / rate);
+}
+
+}  // namespace nws

@@ -1,0 +1,43 @@
+// Deterministic sampling from the distributions used by the workload models.
+//
+// We implement the inverse-CDF / transformation samplers ourselves rather
+// than relying on <random> distributions, whose output is not specified
+// bit-for-bit across standard library implementations.  Reproducibility of
+// every experiment from its seed is a hard requirement (see DESIGN.md).
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace nws {
+
+/// Exponential with the given mean (mean = 1/lambda).  mean must be > 0.
+[[nodiscard]] double sample_exponential(Rng& rng, double mean) noexcept;
+
+/// Pareto (type I) with shape alpha and minimum xm:  P(X > x) = (xm/x)^alpha.
+/// Heavy-tailed for alpha <= 2; the classic generator of self-similar
+/// aggregate load (Willinger et al.).  alpha and xm must be > 0.
+[[nodiscard]] double sample_pareto(Rng& rng, double alpha, double xm) noexcept;
+
+/// Bounded Pareto on [xm, cap]: Pareto resampled through the truncated CDF.
+/// Keeps heavy tails while preventing a single draw from exceeding `cap`
+/// (e.g. an interactive burst longer than the whole experiment).
+[[nodiscard]] double sample_bounded_pareto(Rng& rng, double alpha, double xm,
+                                           double cap) noexcept;
+
+/// Standard normal via Box-Muller (single value; the spare is discarded to
+/// keep the sampler stateless and the stream position deterministic).
+[[nodiscard]] double sample_normal(Rng& rng) noexcept;
+
+/// Normal with given mean and standard deviation (sigma >= 0).
+[[nodiscard]] double sample_normal(Rng& rng, double mean,
+                                   double sigma) noexcept;
+
+/// Lognormal parameterised by the mean/sigma of the underlying normal.
+[[nodiscard]] double sample_lognormal(Rng& rng, double mu,
+                                      double sigma) noexcept;
+
+/// Poisson-process inter-arrival gap for the given rate (events per unit
+/// time).  rate must be > 0.
+[[nodiscard]] double sample_interarrival(Rng& rng, double rate) noexcept;
+
+}  // namespace nws

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation for simulation and tests.
+//
+// All stochastic components in nwscpu draw from an explicitly seeded Rng so
+// that every experiment is exactly reproducible from its seed.  The core
+// generator is xoshiro256** (Blackman & Vigna), seeded through splitmix64 so
+// that small consecutive seeds produce well-separated streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace nws {
+
+/// Splitmix64 step: used for seeding and as a cheap standalone mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator so it can be used
+/// with <random> distributions, although nwscpu ships its own distribution
+/// helpers (see distributions.hpp) for cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator; distinct seeds yield statistically independent
+  /// streams (seeded via splitmix64).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 uniformly distributed bits.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Forks an independent child stream; deterministic given this stream's
+  /// current state.  Used to give each simulated process its own stream so
+  /// adding a workload does not perturb unrelated draws.
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace nws

@@ -1,0 +1,84 @@
+// Summary statistics and least-squares regression used throughout nwscpu:
+// by the time-series analysis (R/S Hurst regression, variance-time plots),
+// the forecaster error bookkeeping, and the experiment tables.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nws {
+
+/// Arithmetic mean.  Returns 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Population variance (divides by n).  Returns 0 for n < 1.
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+
+/// Sample variance (divides by n-1).  Returns 0 for n < 2.
+[[nodiscard]] double sample_variance(std::span<const double> xs) noexcept;
+
+/// Population standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Median; copies and partially sorts.  Returns 0 for an empty span.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// q-th quantile, q in [0,1], linear interpolation between order statistics.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Mean of |xs[i]|.
+[[nodiscard]] double mean_abs(std::span<const double> xs) noexcept;
+
+/// Minimum / maximum.  Both return 0 for an empty span.
+[[nodiscard]] double min_value(std::span<const double> xs) noexcept;
+[[nodiscard]] double max_value(std::span<const double> xs) noexcept;
+
+/// Incremental mean/variance accumulator (Welford).  Numerically stable and
+/// O(1) memory — used by on-line sensors and forecaster error tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  /// Sample variance (n-1 denominator).
+  [[nodiscard]] double sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of an ordinary least-squares fit  y ~ slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1]; 0 when undefined.
+  double r_squared = 0.0;
+};
+
+/// OLS fit.  xs and ys must be the same length; needs >= 2 points with
+/// non-degenerate x spread, otherwise returns a zero fit.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs,
+                                   std::span<const double> ys) noexcept;
+
+/// Pearson correlation coefficient; 0 when undefined.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys) noexcept;
+
+}  // namespace nws

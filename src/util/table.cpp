@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace nws {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::num(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+void TextTable::print(std::ostream& os) const {
+  if (!title_.empty()) os << title_ << '\n';
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << row[c]
+         << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    emit_row(rows_[r]);
+    if (r == 0 && rows_.size() > 1) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c ? 2 : 0);
+      }
+      os << std::string(total, '-') << '\n';
+    }
+  }
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream ss;
+  print(ss);
+  return ss.str();
+}
+
+}  // namespace nws

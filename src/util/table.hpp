@@ -1,0 +1,38 @@
+// Plain-text table rendering for the experiment binaries.
+//
+// Each bench target reproduces one table or figure of the paper and prints
+// it in the paper's row/column layout; TextTable handles alignment so the
+// output is directly comparable to the published tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nws {
+
+/// A simple left-padded text table.  The first added row is rendered as the
+/// header with a separator rule beneath it.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {});
+
+  /// Appends a row of pre-formatted cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double as a fixed-precision percentage, e.g. "12.3%".
+  [[nodiscard]] static std::string pct(double fraction, int decimals = 1);
+
+  /// Formats a double with fixed decimals, e.g. "0.0348".
+  [[nodiscard]] static std::string num(double value, int decimals = 4);
+
+  /// Renders with column alignment.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nws

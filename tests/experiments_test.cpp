@@ -1,0 +1,256 @@
+// Unit tests for src/experiments: host configurations, the experiment
+// runner's protocol mechanics, and the error-analysis functions (validated
+// against hand-computed synthetic traces).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "experiments/analysis.hpp"
+#include "experiments/hosts.hpp"
+#include "experiments/runner.hpp"
+
+namespace nws {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Host factory
+
+TEST(Hosts, AllSixInPaperOrder) {
+  const auto& hosts = all_ucsd_hosts();
+  ASSERT_EQ(hosts.size(), 6u);
+  EXPECT_EQ(host_name(hosts[0]), "thing2");
+  EXPECT_EQ(host_name(hosts[2]), "conundrum");
+  EXPECT_EQ(host_name(hosts[5]), "kongo");
+}
+
+class EveryHost : public ::testing::TestWithParam<UcsdHost> {};
+
+TEST_P(EveryHost, ConstructsAndRuns) {
+  auto host = make_ucsd_host(GetParam(), 1);
+  ASSERT_NE(host, nullptr);
+  EXPECT_EQ(host->config().name, host_name(GetParam()));
+  host->run_for(120.0);
+  EXPECT_EQ(host->counters().total(), host->now_ticks());
+}
+
+TEST_P(EveryHost, DeterministicForSameSeed) {
+  auto a = make_ucsd_host(GetParam(), 9);
+  auto b = make_ucsd_host(GetParam(), 9);
+  a->run_for(300.0);
+  b->run_for(300.0);
+  EXPECT_EQ(a->counters().user, b->counters().user);
+  EXPECT_EQ(a->counters().sys, b->counters().sys);
+  EXPECT_EQ(a->counters().idle, b->counters().idle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fleet, EveryHost,
+                         ::testing::ValuesIn(all_ucsd_hosts()),
+                         [](const auto& info) {
+                           return host_name(info.param);
+                         });
+
+TEST(Hosts, ResidentLoadHostsLookBusy) {
+  for (UcsdHost h : {UcsdHost::kConundrum, UcsdHost::kKongo}) {
+    auto host = make_ucsd_host(h, 2);
+    host->run_for(600.0);
+    EXPECT_GT(host->load_average(), 0.8) << host_name(h);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runner protocol mechanics
+
+TEST(Runner, SeriesLengthsMatchProtocol) {
+  auto host = make_ucsd_host(UcsdHost::kGremlin, 3);
+  RunnerConfig cfg;
+  cfg.duration = 1800.0;
+  cfg.warmup = 60.0;
+  const HostTrace trace = run_experiment(*host, cfg);
+  // One epoch every 10 s from t0 through t0+duration inclusive.
+  const std::size_t expected = 1800 / 10 + 1;
+  EXPECT_EQ(trace.load_series.size(), expected);
+  EXPECT_EQ(trace.vmstat_series.size(), expected);
+  EXPECT_EQ(trace.hybrid_series.size(), expected);
+  EXPECT_DOUBLE_EQ(trace.load_series.period(), 10.0);
+  EXPECT_DOUBLE_EQ(trace.load_series.start(), 60.0);
+}
+
+TEST(Runner, TestCadenceAndDuration) {
+  auto host = make_ucsd_host(UcsdHost::kGremlin, 4);
+  RunnerConfig cfg;
+  cfg.duration = 3600.0;
+  cfg.warmup = 60.0;
+  const HostTrace trace = run_experiment(*host, cfg);
+  // One 10 s test every 5 minutes, first at +15 s: 12 per hour.
+  EXPECT_EQ(trace.tests.size(), 12u);
+  EXPECT_TRUE(trace.agg_tests.empty());
+  for (std::size_t i = 0; i < trace.tests.size(); ++i) {
+    EXPECT_NEAR(trace.tests[i].start,
+                60.0 + 15.0 + 300.0 * static_cast<double>(i), 1e-9);
+    EXPECT_GE(trace.tests[i].availability, 0.0);
+    EXPECT_LE(trace.tests[i].availability, 1.0);
+  }
+}
+
+TEST(Runner, AggregatedTestCadence) {
+  auto host = make_ucsd_host(UcsdHost::kGremlin, 5);
+  RunnerConfig cfg;
+  cfg.duration = 2.0 * 3600.0;
+  cfg.run_tests = false;
+  cfg.run_agg_tests = true;
+  const HostTrace trace = run_experiment(*host, cfg);
+  EXPECT_TRUE(trace.tests.empty());
+  // Hourly 5-minute tests at +3600 and +7200.
+  ASSERT_EQ(trace.agg_tests.size(), 2u);
+  EXPECT_NEAR(trace.agg_tests[0].start, cfg.warmup + 3600.0, 1e-9);
+  EXPECT_NEAR(trace.agg_tests[1].start, cfg.warmup + 7200.0, 1e-9);
+}
+
+TEST(Runner, MeasurementsAreValidFractions) {
+  auto host = make_ucsd_host(UcsdHost::kThing2, 6);
+  RunnerConfig cfg;
+  cfg.duration = 1800.0;
+  const HostTrace trace = run_experiment(*host, cfg);
+  for (const TimeSeries* s :
+       {&trace.load_series, &trace.vmstat_series, &trace.hybrid_series}) {
+    for (double v : s->values()) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Runner, NoTestsWhenDisabled) {
+  auto host = make_ucsd_host(UcsdHost::kGremlin, 7);
+  RunnerConfig cfg;
+  cfg.duration = 1200.0;
+  cfg.run_tests = false;
+  const HostTrace trace = run_experiment(*host, cfg);
+  EXPECT_TRUE(trace.tests.empty());
+  EXPECT_TRUE(trace.agg_tests.empty());
+}
+
+TEST(Runner, DeterministicTraces) {
+  RunnerConfig cfg;
+  cfg.duration = 1200.0;
+  auto a = make_ucsd_host(UcsdHost::kBeowulf, 8);
+  auto b = make_ucsd_host(UcsdHost::kBeowulf, 8);
+  const HostTrace ta = run_experiment(*a, cfg);
+  const HostTrace tb = run_experiment(*b, cfg);
+  ASSERT_EQ(ta.load_series.size(), tb.load_series.size());
+  for (std::size_t i = 0; i < ta.load_series.size(); ++i) {
+    ASSERT_DOUBLE_EQ(ta.load_series[i], tb.load_series[i]);
+  }
+  ASSERT_EQ(ta.tests.size(), tb.tests.size());
+  for (std::size_t i = 0; i < ta.tests.size(); ++i) {
+    ASSERT_DOUBLE_EQ(ta.tests[i].availability, tb.tests[i].availability);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis functions on a hand-built synthetic trace
+
+HostTrace synthetic_trace() {
+  // 10-sample series at 10 s period starting at t = 0; one test at t = 35
+  // (just after epoch index 3) observing availability 0.9.
+  HostTrace trace{TimeSeries("load", 0.0, 10.0),
+                  TimeSeries("vmstat", 0.0, 10.0),
+                  TimeSeries("hybrid", 0.0, 10.0),
+                  {{35.0, 0.9}},
+                  {}};
+  for (int i = 0; i < 10; ++i) {
+    trace.load_series.push_back(0.5);
+    trace.vmstat_series.push_back(0.8);
+    trace.hybrid_series.push_back(1.0);
+  }
+  return trace;
+}
+
+TEST(Analysis, MeasurementErrorUsesReadingJustBeforeTest) {
+  const HostTrace trace = synthetic_trace();
+  const MethodTriple err = measurement_error(trace);
+  EXPECT_NEAR(err.load_average, 0.4, 1e-12);  // |0.5 - 0.9|
+  EXPECT_NEAR(err.vmstat, 0.1, 1e-12);        // |0.8 - 0.9|
+  EXPECT_NEAR(err.hybrid, 0.1, 1e-12);        // |1.0 - 0.9|
+}
+
+TEST(Analysis, MeasurementErrorSkipsTestsBeforeFirstEpoch) {
+  HostTrace trace = synthetic_trace();
+  trace.tests.insert(trace.tests.begin(), {-5.0, 0.2});
+  const MethodTriple err = measurement_error(trace);
+  EXPECT_NEAR(err.load_average, 0.4, 1e-12);  // the early test is ignored
+}
+
+TEST(Analysis, TrueForecastErrorOnConstantSeriesEqualsMeasurementError) {
+  // On a constant series every forecaster predicts the constant, so the
+  // true forecasting error must equal the measurement error (the paper's
+  // central observation, in its sharpest form).
+  const HostTrace trace = synthetic_trace();
+  const MethodTriple fc = true_forecast_error(trace);
+  const MethodTriple me = measurement_error(trace);
+  EXPECT_NEAR(fc.load_average, me.load_average, 1e-9);
+  EXPECT_NEAR(fc.vmstat, me.vmstat, 1e-9);
+  EXPECT_NEAR(fc.hybrid, me.hybrid, 1e-9);
+}
+
+TEST(Analysis, PredictionErrorZeroOnConstantSeries) {
+  const HostTrace trace = synthetic_trace();
+  const MethodTriple err = prediction_error(trace);
+  EXPECT_NEAR(err.load_average, 0.0, 1e-9);
+  EXPECT_NEAR(err.vmstat, 0.0, 1e-9);
+  EXPECT_NEAR(err.hybrid, 0.0, 1e-9);
+}
+
+TEST(Analysis, VarianceOfConstantSeriesIsZero) {
+  const HostTrace trace = synthetic_trace();
+  const MethodTriple var = series_variance(trace);
+  EXPECT_DOUBLE_EQ(var.load_average, 0.0);
+  const MethodTriple agg = aggregated_variance(trace, 5);
+  EXPECT_DOUBLE_EQ(agg.load_average, 0.0);
+}
+
+TEST(Analysis, AggregatedVarianceNeverExceedsForAlternatingSeries) {
+  HostTrace trace{TimeSeries("load", 0.0, 10.0), TimeSeries("v", 0.0, 10.0),
+                  TimeSeries("h", 0.0, 10.0), {}, {}};
+  for (int i = 0; i < 120; ++i) {
+    const double v = i % 2 == 0 ? 0.2 : 0.8;
+    trace.load_series.push_back(v);
+    trace.vmstat_series.push_back(v);
+    trace.hybrid_series.push_back(v);
+  }
+  const MethodTriple orig = series_variance(trace);
+  const MethodTriple agg = aggregated_variance(trace, 30);
+  EXPECT_LT(agg.load_average, orig.load_average);
+  EXPECT_NEAR(agg.load_average, 0.0, 1e-12);  // block means identical
+}
+
+TEST(Analysis, AggregatedTrueErrorAlignsBlocks) {
+  // Series: block 0 (epochs 0..2) = 0.3, block 1 = 0.9.  An agg test at
+  // t = 30 (start of block 1) observing 0.6 must be compared with the
+  // forecast for block 1, which (with persistence-dominated forecasting on
+  // two points) is 0.3 -> error 0.3.
+  HostTrace trace{TimeSeries("load", 0.0, 10.0), TimeSeries("v", 0.0, 10.0),
+                  TimeSeries("h", 0.0, 10.0), {}, {{30.0, 0.6}}};
+  for (int i = 0; i < 3; ++i) {
+    trace.load_series.push_back(0.3);
+    trace.vmstat_series.push_back(0.3);
+    trace.hybrid_series.push_back(0.3);
+  }
+  for (int i = 0; i < 3; ++i) {
+    trace.load_series.push_back(0.9);
+    trace.vmstat_series.push_back(0.9);
+    trace.hybrid_series.push_back(0.9);
+  }
+  const MethodTriple err = aggregated_true_error(trace, 3);
+  EXPECT_NEAR(err.load_average, 0.3, 1e-9);
+}
+
+TEST(Analysis, NwsPredictionMaeMatchesPredictionError) {
+  const HostTrace trace = synthetic_trace();
+  EXPECT_NEAR(nws_prediction_mae(trace.load_series.values()),
+              prediction_error(trace).load_average, 1e-12);
+}
+
+}  // namespace
+}  // namespace nws

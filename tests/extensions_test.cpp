@@ -1,0 +1,429 @@
+// Tests for the extension modules: MixtureForecaster, multi-step horizon
+// evaluation, the log-periodogram (GPH) Hurst estimator, and the extra
+// workload drivers (PeriodicDaemon, TraceReplay).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <memory>
+
+#include "forecast/adaptive.hpp"
+#include "forecast/ar.hpp"
+#include "forecast/battery.hpp"
+#include "forecast/evaluate.hpp"
+#include "forecast/methods.hpp"
+#include "forecast/mixture.hpp"
+#include "forecast/multistep.hpp"
+#include "sim/extra_workloads.hpp"
+#include "tsa/autocorrelation.hpp"
+#include "tsa/fgn.hpp"
+#include "tsa/periodogram.hpp"
+#include "util/distributions.hpp"
+#include "util/stats.hpp"
+
+namespace nws {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MixtureForecaster
+
+std::vector<ForecasterPtr> small_battery() {
+  std::vector<ForecasterPtr> methods;
+  methods.push_back(std::make_unique<LastValueForecaster>());
+  methods.push_back(std::make_unique<RunningMeanForecaster>());
+  methods.push_back(std::make_unique<ExpSmoothForecaster>(0.3));
+  return methods;
+}
+
+TEST(Mixture, ThrowsOnEmptyBattery) {
+  EXPECT_THROW(MixtureForecaster(std::vector<ForecasterPtr>{}),
+               std::invalid_argument);
+}
+
+TEST(Mixture, UniformWeightsBeforeErrors) {
+  MixtureForecaster f(small_battery());
+  EXPECT_EQ(f.num_methods(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(f.weight(i), 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(Mixture, WeightsSumToOneAlways) {
+  MixtureForecaster f(small_battery());
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    f.observe(rng.uniform());
+    double total = 0.0;
+    for (std::size_t j = 0; j < f.num_methods(); ++j) total += f.weight(j);
+    ASSERT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Mixture, ConcentratesOnTheAccurateMethod) {
+  // Slow random walk: persistence (index 0) is clearly best.
+  MixtureForecaster f(small_battery(), 30, /*sharpness=*/2.0);
+  Rng rng(2);
+  double level = 0.5;
+  for (int i = 0; i < 500; ++i) {
+    level = std::clamp(level + sample_normal(rng, 0.0, 0.02), 0.0, 1.0);
+    f.observe(level);
+  }
+  EXPECT_GT(f.weight(0), f.weight(1));
+  EXPECT_GT(f.weight(0), 0.4);
+}
+
+TEST(Mixture, LearnsConstantExactly) {
+  MixtureForecaster f(small_battery());
+  for (int i = 0; i < 100; ++i) f.observe(0.37);
+  EXPECT_NEAR(f.forecast(), 0.37, 1e-9);
+}
+
+TEST(Mixture, ForecastIsConvexCombination) {
+  MixtureForecaster f(small_battery());
+  Rng rng(3);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform();
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    f.observe(x);
+    ASSERT_GE(f.forecast(), lo - 1e-9);
+    ASSERT_LE(f.forecast(), hi + 1e-9);
+  }
+}
+
+TEST(Mixture, CloneAndResetProtocol) {
+  MixtureForecaster f(small_battery());
+  for (double x : {0.2, 0.4, 0.6}) f.observe(x);
+  const auto copy = f.clone();
+  EXPECT_DOUBLE_EQ(copy->forecast(), f.forecast());
+  copy->observe(0.99);
+  EXPECT_NE(copy->forecast(), f.forecast());
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.forecast(), Forecaster::kInitialGuess);
+}
+
+TEST(Mixture, CompetitiveWithAdaptiveSelection) {
+  // On a regime-switching series the blend should be within a modest
+  // factor of pure selection (both built over the canonical battery).
+  Rng rng(4);
+  std::vector<double> xs;
+  double level = 0.3;
+  for (int i = 0; i < 3000; ++i) {
+    if (rng.chance(0.004)) level = rng.uniform(0.1, 0.9);
+    xs.push_back(std::clamp(level + sample_normal(rng, 0.0, 0.03), 0.0, 1.0));
+  }
+  const MixtureForecaster mixture(make_nws_methods());
+  const auto adaptive = make_nws_forecaster();
+  const double mix_mae = evaluate_forecaster(mixture, xs).mae;
+  const double sel_mae = evaluate_forecaster(*adaptive, xs).mae;
+  EXPECT_LT(mix_mae, sel_mae * 1.5);
+  EXPECT_GT(mix_mae, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// ArForecaster
+
+TEST(Ar, RecoversAr1Coefficient) {
+  ArForecaster f(/*order=*/1, /*window=*/512, /*refit_interval=*/1);
+  Rng rng(40);
+  const auto xs = generate_ar1(rng, 0.8, 2000);
+  for (double x : xs) f.observe(x);
+  ASSERT_EQ(f.coefficients().size(), 1u);
+  EXPECT_NEAR(f.coefficients()[0], 0.8, 0.08);
+}
+
+TEST(Ar, FallsBackToMeanOnConstantWindow) {
+  ArForecaster f(4, 64);
+  for (int i = 0; i < 200; ++i) f.observe(0.6);
+  EXPECT_NEAR(f.forecast(), 0.6, 1e-9);
+}
+
+TEST(Ar, InitialGuessBeforeData) {
+  const ArForecaster f(8);
+  EXPECT_DOUBLE_EQ(f.forecast(), Forecaster::kInitialGuess);
+}
+
+TEST(Ar, ForecastClampedToObservedRange) {
+  ArForecaster f(2, 64, 1);
+  Rng rng(41);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.3, 0.7);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    f.observe(x);
+    ASSERT_GE(f.forecast(), lo - 1e-9);
+    ASSERT_LE(f.forecast(), hi + 1e-9);
+  }
+}
+
+TEST(Ar, BeatsPersistenceOnOscillatingAr2) {
+  // x_t = -0.75 x_{t-2} + e: strong negative lag-2 structure persistence
+  // cannot see.
+  Rng rng(42);
+  std::vector<double> xs(2, 0.0);
+  for (int i = 2; i < 4000; ++i) {
+    xs.push_back(-0.75 * xs[static_cast<std::size_t>(i) - 2] +
+                 sample_normal(rng, 0.0, 0.2));
+  }
+  const ArForecaster ar(4, 256, 5);
+  const LastValueForecaster last;
+  EXPECT_LT(evaluate_forecaster(ar, xs).mae,
+            0.8 * evaluate_forecaster(last, xs).mae);
+}
+
+TEST(Ar, CloneAndResetProtocol) {
+  ArForecaster f(4);
+  Rng rng(43);
+  for (int i = 0; i < 200; ++i) f.observe(rng.uniform());
+  const auto copy = f.clone();
+  EXPECT_DOUBLE_EQ(copy->forecast(), f.forecast());
+  EXPECT_EQ(copy->name(), "ar(4)");
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.forecast(), Forecaster::kInitialGuess);
+  EXPECT_TRUE(f.coefficients().empty());
+}
+
+TEST(Ar, IntegratesIntoAdaptiveBattery) {
+  auto methods = make_nws_methods();
+  methods.push_back(std::make_unique<ArForecaster>(8));
+  AdaptiveForecaster adaptive(std::move(methods));
+  Rng rng(44);
+  for (int i = 0; i < 500; ++i) {
+    adaptive.observe(std::clamp(0.5 + sample_normal(rng, 0.0, 0.05), 0.0,
+                                1.0));
+  }
+  // Just verify the extended battery operates and reports sane errors.
+  EXPECT_GE(adaptive.forecast(), 0.0);
+  EXPECT_LE(adaptive.forecast(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-step horizon evaluation
+
+TEST(Multistep, HorizonOneMatchesOneStepEvaluation) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.uniform());
+  const LastValueForecaster f;
+  const HorizonError h1 = evaluate_horizon(f, xs, 1);
+  const ForecastEvaluation ev = evaluate_forecaster(f, xs);
+  EXPECT_NEAR(h1.mae, ev.mae, 1e-12);
+  EXPECT_EQ(h1.count, ev.errors.size());
+}
+
+TEST(Multistep, PerfectOnConstantSeriesAtAllHorizons) {
+  const std::vector<double> xs(200, 0.5);
+  const LastValueForecaster f;
+  for (std::size_t k : {1u, 5u, 30u}) {
+    const HorizonError h = evaluate_horizon(f, xs, k);
+    EXPECT_NEAR(h.mae, 0.0, 1e-12) << k;
+    EXPECT_GT(h.count, 0u);
+  }
+}
+
+TEST(Multistep, ErrorGrowsWithHorizonOnRandomWalk) {
+  Rng rng(6);
+  std::vector<double> xs;
+  double level = 0.5;
+  for (int i = 0; i < 4000; ++i) {
+    level = std::clamp(level + sample_normal(rng, 0.0, 0.01), 0.0, 1.0);
+    xs.push_back(level);
+  }
+  const LastValueForecaster f;
+  const std::vector<std::size_t> horizons = {1, 10, 60};
+  const auto errors = evaluate_horizons(f, xs, horizons);
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_LT(errors[0].mae, errors[1].mae);
+  EXPECT_LT(errors[1].mae, errors[2].mae);
+}
+
+TEST(Multistep, DegenerateInputs) {
+  const LastValueForecaster f;
+  const std::vector<double> xs = {0.5, 0.6};
+  EXPECT_EQ(evaluate_horizon(f, xs, 0).count, 0u);
+  EXPECT_EQ(evaluate_horizon(f, xs, 5).count, 0u);
+  EXPECT_EQ(evaluate_horizon(f, {}, 1).count, 0u);
+}
+
+TEST(Multistep, TargetIsWindowMean) {
+  // Hand check: xs = {0, 1, 1}; horizon 2.  After seeing x0=0, forecast
+  // (last = 0) vs mean(x1,x2) = 1 -> error 1.  Only one evaluation.
+  const std::vector<double> xs = {0.0, 1.0, 1.0};
+  const LastValueForecaster f;
+  const HorizonError h = evaluate_horizon(f, xs, 2);
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_NEAR(h.mae, 1.0, 1e-12);
+  EXPECT_NEAR(h.rmse, 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Periodogram / GPH estimator
+
+TEST(Periodogram, ParsevalEnergyCheck) {
+  // Sum of periodogram ordinates over all Fourier frequencies ~ variance
+  // (up to the 2 pi normalisation); check a looser proportionality.
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 512; ++i) xs.push_back(sample_normal(rng));
+  const auto ordinates = periodogram(xs, 256);
+  ASSERT_EQ(ordinates.size(), 256u);
+  double total = 0.0;
+  for (double p : ordinates) total += p;
+  // Parseval over the positive-frequency half (j = 1..n/2) of a
+  // mean-centred series: sum I(l_j) * 4 pi / n ~ variance.
+  EXPECT_NEAR(total * 4.0 * std::numbers::pi / 512.0, variance(xs), 0.15);
+}
+
+TEST(Periodogram, DetectsPureTone) {
+  // x_t = cos(2 pi 16 t / n): all energy in bin j = 16.
+  const std::size_t n = 256;
+  std::vector<double> xs;
+  for (std::size_t t = 0; t < n; ++t) {
+    xs.push_back(std::cos(2.0 * std::numbers::pi * 16.0 *
+                          static_cast<double>(t) / static_cast<double>(n)));
+  }
+  const auto ordinates = periodogram(xs, 32);
+  ASSERT_GE(ordinates.size(), 17u);
+  std::size_t peak = 0;
+  for (std::size_t j = 1; j < ordinates.size(); ++j) {
+    if (ordinates[j] > ordinates[peak]) peak = j;
+  }
+  EXPECT_EQ(peak + 1, 16u);  // ordinate index j-1 holds frequency j
+}
+
+TEST(Periodogram, WhiteNoiseGphNearHalf) {
+  Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 16384; ++i) xs.push_back(sample_normal(rng));
+  const HurstEstimate est = estimate_hurst_periodogram(xs);
+  EXPECT_NEAR(est.hurst, 0.5, 0.15);
+}
+
+class GphRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(GphRecovery, RecoversFgnTarget) {
+  const double h = GetParam();
+  Rng rng(static_cast<std::uint64_t>(h * 10007));
+  const auto xs = generate_fgn(rng, h, 8192);
+  const HurstEstimate est = estimate_hurst_periodogram(xs);
+  // GPH has notoriously wide small-sample variance; accept a band.
+  EXPECT_NEAR(est.hurst, h, 0.2) << "target " << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GphRecovery,
+                         ::testing::Values(0.6, 0.7, 0.8),
+                         [](const auto& param_info) {
+                           return "H" + std::to_string(static_cast<int>(
+                                            param_info.param * 100));
+                         });
+
+TEST(Periodogram, DegenerateInputs) {
+  EXPECT_TRUE(periodogram({}, 8).empty());
+  const std::vector<double> flat(64, 1.0);
+  // Constant series: all ordinates ~0; estimator returns a zero fit.
+  const HurstEstimate est = estimate_hurst_periodogram(flat);
+  EXPECT_EQ(est.num_points, 0u);
+  const std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_EQ(estimate_hurst_periodogram(tiny).num_scales, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PeriodicDaemon
+
+TEST(PeriodicDaemonW, ConsumesConfiguredDuty) {
+  sim::Host host({.name = "h"}, 1);
+  sim::PeriodicDaemonConfig cfg;
+  cfg.period = 60.0;
+  cfg.burst = 3.0;  // 5% duty
+  cfg.syscall_fraction = 0.0;
+  host.add_workload(std::make_unique<sim::PeriodicDaemon>(cfg));
+  host.run_for(3600.0);
+  const double duty =
+      static_cast<double>(host.counters().user) /
+      static_cast<double>(host.counters().total());
+  EXPECT_NEAR(duty, 0.05, 0.005);
+}
+
+TEST(PeriodicDaemonW, PhaseDelaysFirstBurst) {
+  sim::Host host({.name = "h"}, 1);
+  sim::PeriodicDaemonConfig cfg;
+  cfg.period = 100.0;
+  cfg.burst = 10.0;
+  cfg.phase = 50.0;
+  host.add_workload(std::make_unique<sim::PeriodicDaemon>(cfg));
+  host.run_for(49.0);
+  EXPECT_EQ(host.counters().user, 0);
+  host.run_for(12.0);
+  EXPECT_GT(host.counters().user, 0);
+}
+
+TEST(PeriodicDaemonW, CreatesPeriodicAvailabilitySignal) {
+  // The daemon's period must show up as an autocorrelation peak at the
+  // matching lag of the availability series — the reason departmental
+  // hosts show weak periodicities.
+  sim::Host host({.name = "h"}, 1);
+  sim::PeriodicDaemonConfig cfg;
+  cfg.period = 100.0;
+  cfg.burst = 30.0;
+  host.add_workload(std::make_unique<sim::PeriodicDaemon>(cfg));
+  std::vector<double> series;
+  for (int i = 0; i < 600; ++i) {
+    host.run_for(10.0);
+    series.push_back(1.0 /
+                     (host.load_average() + 1.0));
+  }
+  const double at_period = autocorrelation(series, 10);   // lag 100 s
+  const double off_period = autocorrelation(series, 5);   // lag 50 s
+  EXPECT_GT(at_period, off_period);
+}
+
+// ---------------------------------------------------------------------------
+// TraceReplay
+
+TEST(TraceReplayW, ReproducesTargetAvailability) {
+  // Replay a three-level trace and verify a test process obtains roughly
+  // the trace value during each level.
+  for (const double target : {1.0, 0.5, 0.25}) {
+    sim::Host host({.name = "replay"}, 3);
+    TimeSeries trace("t", 0.0, 3600.0, std::vector<double>{target});
+    host.add_workload(
+        std::make_unique<sim::TraceReplay>(trace, Rng(4)));
+    host.run_for(120.0);
+    const double observed = host.run_timed_process("test", 30.0);
+    // Priority decay gives a fresh process a little more than its fair
+    // share at the start; accept a one-sided band.
+    EXPECT_GE(observed, target - 0.06) << target;
+    EXPECT_LE(observed, std::min(1.0, target + 0.2)) << target;
+  }
+}
+
+TEST(TraceReplayW, FractionalCompetitorsViaDutyCycle) {
+  // Availability 0.75 needs 1/3 of a competitor: load average must settle
+  // near 0.33, not 0 or 1.
+  sim::Host host({.name = "replay"}, 5);
+  TimeSeries trace("t", 0.0, 3600.0, std::vector<double>{0.75});
+  host.add_workload(std::make_unique<sim::TraceReplay>(trace, Rng(6)));
+  host.run_for(600.0);
+  EXPECT_NEAR(host.load_average(), 1.0 / 3.0, 0.08);
+}
+
+TEST(TraceReplayW, LoopsAndFollowsLevels) {
+  sim::Host host({.name = "replay"}, 7);
+  TimeSeries trace("t", 0.0, 60.0, std::vector<double>{1.0, 0.5});
+  host.add_workload(std::make_unique<sim::TraceReplay>(trace, Rng(8)));
+  // First sample: idle.
+  host.run_for(55.0);
+  EXPECT_EQ(host.runnable_count(), 0u);
+  // Second sample: one competitor.
+  host.run_for(60.0);
+  EXPECT_EQ(host.runnable_count(), 1u);
+  // Loops back to idle.
+  host.run_for(60.0);
+  EXPECT_EQ(host.runnable_count(), 0u);
+}
+
+}  // namespace
+}  // namespace nws

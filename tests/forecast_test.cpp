@@ -1,0 +1,547 @@
+// Unit and property tests for src/forecast: the sliding window, every
+// forecasting method, the adaptive battery, and the evaluation harness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "forecast/adaptive.hpp"
+#include "forecast/battery.hpp"
+#include "forecast/evaluate.hpp"
+#include "forecast/methods.hpp"
+#include "forecast/window.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace nws {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SlidingWindow
+
+TEST(SlidingWindow, FillsThenEvictsOldest) {
+  SlidingWindow w(3);
+  w.push(1.0);
+  w.push(2.0);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_FALSE(w.full());
+  w.push(3.0);
+  EXPECT_TRUE(w.full());
+  w.push(4.0);  // evicts 1.0
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.oldest(), 2.0);
+  EXPECT_DOUBLE_EQ(w.newest(), 4.0);
+  EXPECT_DOUBLE_EQ(w.at(1), 3.0);
+}
+
+TEST(SlidingWindow, MeanTracksContents) {
+  SlidingWindow w(2);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  w.push(1.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 1.0);
+  w.push(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.push(5.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 4.0);
+}
+
+TEST(SlidingWindow, MeanStaysExactOverManyPushes) {
+  // The incremental sum is periodically refreshed; after many pushes the
+  // windowed mean must still match a direct recomputation.
+  SlidingWindow w(7);
+  Rng rng(1);
+  for (int i = 0; i < 200000; ++i) w.push(rng.uniform(0.0, 1.0) + 1e6);
+  double direct = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) direct += w.at(i);
+  direct /= static_cast<double>(w.size());
+  EXPECT_NEAR(w.mean(), direct, 1e-9);
+}
+
+TEST(SlidingWindow, MedianOddEven) {
+  SlidingWindow w(5);
+  for (double x : {5.0, 1.0, 3.0}) w.push(x);
+  EXPECT_DOUBLE_EQ(w.median(), 3.0);
+  w.push(2.0);
+  EXPECT_DOUBLE_EQ(w.median(), 2.5);
+}
+
+TEST(SlidingWindow, TrimmedMeanDropsExtremes) {
+  SlidingWindow w(5);
+  for (double x : {100.0, 1.0, 2.0, 3.0, -50.0}) w.push(x);
+  EXPECT_DOUBLE_EQ(w.trimmed_mean(1), 2.0);
+  // Trim clamped so at least one element survives.
+  EXPECT_DOUBLE_EQ(w.trimmed_mean(10), 2.0);
+  EXPECT_NEAR(w.trimmed_mean(0), 56.0 / 5.0, 1e-12);
+}
+
+TEST(SlidingWindow, ClearResets) {
+  SlidingWindow w(3);
+  w.push(1.0);
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Individual methods
+
+TEST(LastValue, PredictsLastObservation) {
+  LastValueForecaster f;
+  EXPECT_DOUBLE_EQ(f.forecast(), Forecaster::kInitialGuess);
+  f.observe(0.3);
+  EXPECT_DOUBLE_EQ(f.forecast(), 0.3);
+  f.observe(0.9);
+  EXPECT_DOUBLE_EQ(f.forecast(), 0.9);
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.forecast(), Forecaster::kInitialGuess);
+}
+
+TEST(RunningMean, ExactMeanOfHistory) {
+  RunningMeanForecaster f;
+  f.observe(1.0);
+  f.observe(2.0);
+  f.observe(6.0);
+  EXPECT_DOUBLE_EQ(f.forecast(), 3.0);
+}
+
+TEST(SlidingMean, OnlyRecentWindowCounts) {
+  SlidingMeanForecaster f(2);
+  for (double x : {10.0, 1.0, 3.0}) f.observe(x);
+  EXPECT_DOUBLE_EQ(f.forecast(), 2.0);
+  EXPECT_EQ(f.name(), "sw_mean(2)");
+}
+
+TEST(ExpSmooth, ConvergesToConstant) {
+  ExpSmoothForecaster f(0.5);
+  for (int i = 0; i < 40; ++i) f.observe(0.8);
+  EXPECT_NEAR(f.forecast(), 0.8, 1e-9);
+}
+
+TEST(ExpSmooth, FirstObservationInitialisesState) {
+  ExpSmoothForecaster f(0.1);
+  f.observe(0.2);
+  EXPECT_DOUBLE_EQ(f.forecast(), 0.2);  // not blended with the prior
+}
+
+TEST(ExpSmooth, SmallerGainReactsSlower) {
+  ExpSmoothForecaster slow(0.05), fast(0.5);
+  for (int i = 0; i < 10; ++i) {
+    slow.observe(0.0);
+    fast.observe(0.0);
+  }
+  slow.observe(1.0);
+  fast.observe(1.0);
+  EXPECT_LT(slow.forecast(), fast.forecast());
+}
+
+TEST(Median, RobustToSingleSpike) {
+  MedianForecaster med(5);
+  SlidingMeanForecaster avg(5);
+  for (double x : {0.5, 0.5, 0.5, 0.5, 100.0}) {
+    med.observe(x);
+    avg.observe(x);
+  }
+  EXPECT_DOUBLE_EQ(med.forecast(), 0.5);
+  EXPECT_GT(avg.forecast(), 10.0);
+}
+
+TEST(TrimmedMean, IgnoresOutliersBothSides) {
+  TrimmedMeanForecaster f(5, 1);
+  for (double x : {-100.0, 0.4, 0.5, 0.6, 100.0}) f.observe(x);
+  EXPECT_DOUBLE_EQ(f.forecast(), 0.5);
+}
+
+TEST(AdaptiveWindow, ShrinksAfterLevelShift) {
+  AdaptiveWindowForecaster f(AdaptiveWindowForecaster::Kind::kMean, 2, 64,
+                             0.7);
+  for (int i = 0; i < 64; ++i) f.observe(0.2);
+  const std::size_t before = f.current_window();
+  for (int i = 0; i < 20; ++i) f.observe(0.9);
+  EXPECT_LT(f.current_window(), before);
+  // After the shift the forecast must track the new level quickly.
+  EXPECT_NEAR(f.forecast(), 0.9, 0.05);
+}
+
+TEST(AdaptiveWindow, MedianKindUsesMedian) {
+  AdaptiveWindowForecaster f(AdaptiveWindowForecaster::Kind::kMedian, 3, 9);
+  for (double x : {0.5, 0.5, 0.5, 0.5, 40.0}) f.observe(x);
+  EXPECT_DOUBLE_EQ(f.forecast(), 0.5);
+}
+
+TEST(AdaptiveWindow, WindowStaysWithinBounds) {
+  AdaptiveWindowForecaster f(AdaptiveWindowForecaster::Kind::kMean, 4, 16,
+                             0.6);
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    f.observe(rng.uniform());
+    ASSERT_GE(f.current_window(), 4u);
+    ASSERT_LE(f.current_window(), 16u);
+  }
+}
+
+TEST(Gradient, TracksRampFasterThanFixedGain) {
+  GradientForecaster adaptive(0.1, 0.01, 0.9);
+  ExpSmoothForecaster fixed(0.1);
+  double adaptive_err = 0.0, fixed_err = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double x = 0.005 * i;  // steady ramp: errors keep the same sign
+    adaptive_err += std::abs(adaptive.forecast() - x);
+    fixed_err += std::abs(fixed.forecast() - x);
+    adaptive.observe(x);
+    fixed.observe(x);
+  }
+  EXPECT_LT(adaptive_err, fixed_err);
+  EXPECT_GT(adaptive.gain(), 0.1);  // gain accelerated on the ramp
+}
+
+TEST(Gradient, GainShrinksOnAlternatingNoise) {
+  GradientForecaster f(0.5, 0.01, 0.9);
+  for (int i = 0; i < 200; ++i) f.observe(i % 2 == 0 ? 0.2 : 0.8);
+  EXPECT_LT(f.gain(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Battery-wide protocol properties (TEST_P over every method)
+
+class EveryMethod : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  ForecasterPtr make() const {
+    auto methods = make_nws_methods();
+    return std::move(methods.at(GetParam()));
+  }
+};
+
+TEST_P(EveryMethod, InitialForecastIsNeutralPrior) {
+  const auto f = make();
+  EXPECT_DOUBLE_EQ(f->forecast(), Forecaster::kInitialGuess);
+}
+
+TEST_P(EveryMethod, ResetRestoresInitialState) {
+  const auto f = make();
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) f->observe(rng.uniform());
+  f->reset();
+  EXPECT_DOUBLE_EQ(f->forecast(), Forecaster::kInitialGuess);
+}
+
+TEST_P(EveryMethod, CloneIsIndependentDeepCopy) {
+  const auto f = make();
+  for (double x : {0.2, 0.4, 0.6}) f->observe(x);
+  const auto copy = f->clone();
+  EXPECT_DOUBLE_EQ(copy->forecast(), f->forecast());
+  EXPECT_EQ(copy->name(), f->name());
+  // Diverge the copy; the original must not move.
+  const double before = f->forecast();
+  copy->observe(0.99);
+  copy->observe(0.99);
+  EXPECT_DOUBLE_EQ(f->forecast(), before);
+}
+
+TEST_P(EveryMethod, ConstantSeriesIsLearnedExactly) {
+  const auto f = make();
+  for (int i = 0; i < 200; ++i) f->observe(0.42);
+  EXPECT_NEAR(f->forecast(), 0.42, 1e-6);
+}
+
+TEST_P(EveryMethod, ForecastStaysWithinObservedRange) {
+  // All battery members are interpolating estimators (means/medians of
+  // history): forecasts must stay inside [min, max] of what was seen.
+  const auto f = make();
+  Rng rng(4);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform();
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    f->observe(x);
+    ASSERT_GE(f->forecast(), lo - 1e-9);
+    ASSERT_LE(f->forecast(), hi + 1e-9);
+  }
+}
+
+TEST_P(EveryMethod, NamesAreUniqueWithinBattery) {
+  const auto methods = make_nws_methods();
+  const std::string mine = methods.at(GetParam())->name();
+  int count = 0;
+  for (const auto& m : methods) count += m->name() == mine;
+  EXPECT_EQ(count, 1) << mine;
+}
+
+INSTANTIATE_TEST_SUITE_P(Battery, EveryMethod,
+                         ::testing::Range<std::size_t>(
+                             0, make_nws_methods().size()),
+                         [](const auto& info) {
+                           std::string name =
+                               make_nws_methods().at(info.param)->name();
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// AdaptiveForecaster (dynamic model selection)
+
+std::vector<ForecasterPtr> two_method_battery() {
+  std::vector<ForecasterPtr> methods;
+  methods.push_back(std::make_unique<LastValueForecaster>());
+  methods.push_back(std::make_unique<RunningMeanForecaster>());
+  return methods;
+}
+
+TEST(Adaptive, ThrowsOnEmptyBattery) {
+  EXPECT_THROW(AdaptiveForecaster(std::vector<ForecasterPtr>{}),
+               std::invalid_argument);
+}
+
+TEST(Adaptive, SelectsPersistenceOnRandomWalk) {
+  // On a slow random walk, persistence beats the whole-history mean.
+  AdaptiveForecaster f(two_method_battery(), 30);
+  Rng rng(5);
+  double level = 0.5;
+  for (int i = 0; i < 400; ++i) {
+    level = std::clamp(level + sample_normal(rng, 0.0, 0.02), 0.0, 1.0);
+    f.observe(level);
+  }
+  EXPECT_EQ(f.selected_method(), "last");
+}
+
+TEST(Adaptive, SelectsMeanOnIidNoise) {
+  // On iid noise around a fixed level, the mean beats persistence.
+  AdaptiveForecaster f(two_method_battery(), 30);
+  Rng rng(6);
+  for (int i = 0; i < 400; ++i) {
+    f.observe(std::clamp(0.5 + sample_normal(rng, 0.0, 0.1), 0.0, 1.0));
+  }
+  EXPECT_EQ(f.selected_method(), "run_mean");
+}
+
+TEST(Adaptive, SwitchesWhenRegimeChanges) {
+  AdaptiveForecaster f(two_method_battery(), 20);
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    f.observe(std::clamp(0.5 + sample_normal(rng, 0.0, 0.1), 0.0, 1.0));
+  }
+  ASSERT_EQ(f.selected_method(), "run_mean");
+  // Level shift: the stale whole-history mean becomes terrible.
+  double level = 0.95;
+  for (int i = 0; i < 100; ++i) {
+    level = std::clamp(level + sample_normal(rng, 0.0, 0.01), 0.0, 1.0);
+    f.observe(level);
+  }
+  EXPECT_EQ(f.selected_method(), "last");
+}
+
+TEST(Adaptive, ErrorsAndSelectionCountsAreTracked) {
+  AdaptiveForecaster f(two_method_battery(), 10);
+  for (int i = 0; i < 50; ++i) f.observe(0.5);
+  EXPECT_EQ(f.num_methods(), 2u);
+  EXPECT_EQ(f.times_selected(0) + f.times_selected(1), 50u);
+  // Both methods predict a constant series perfectly after warm-up.
+  EXPECT_NEAR(f.method_error(0), 0.0, 1e-9);
+  EXPECT_NEAR(f.method_error(1), 0.0, 1e-9);
+}
+
+TEST(Adaptive, WholeHistoryWindowZeroWorks) {
+  AdaptiveForecaster f(two_method_battery(), 0);
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) f.observe(rng.uniform());
+  EXPECT_GE(f.method_error(0), 0.0);
+  EXPECT_LT(f.method_error(0), 1.0);
+}
+
+TEST(Adaptive, MseNormSelectsToo) {
+  AdaptiveForecaster f(two_method_battery(), 30, SelectionNorm::kMse);
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    f.observe(std::clamp(0.5 + sample_normal(rng, 0.0, 0.1), 0.0, 1.0));
+  }
+  EXPECT_EQ(f.selected_method(), "run_mean");
+}
+
+TEST(Adaptive, CloneCopiesStateDeeply) {
+  auto f = make_nws_forecaster();
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) f->observe(rng.uniform());
+  const auto copy = f->clone();
+  EXPECT_DOUBLE_EQ(copy->forecast(), f->forecast());
+  copy->observe(0.0);
+  copy->observe(0.0);
+  // The original keeps forecasting from its own state.
+  EXPECT_NE(copy->forecast(), f->forecast());
+}
+
+TEST(Adaptive, ResetClearsEverything) {
+  auto f = make_nws_forecaster();
+  for (int i = 0; i < 50; ++i) f->observe(0.9);
+  f->reset();
+  EXPECT_DOUBLE_EQ(f->forecast(), Forecaster::kInitialGuess);
+}
+
+// The NWS headline property: the adaptive forecaster is "equivalent to, or
+// slightly better than, the best forecaster in the set".  We require it to
+// be within 15% (relative) of the best single method and never worse than
+// the median method, across qualitatively different series.
+struct SeriesCase {
+  const char* name;
+  std::vector<double> (*make)(std::size_t);
+};
+
+std::vector<double> series_random_walk(std::size_t n) {
+  Rng rng(100);
+  std::vector<double> xs;
+  double level = 0.5;
+  for (std::size_t i = 0; i < n; ++i) {
+    level = std::clamp(level + sample_normal(rng, 0.0, 0.02), 0.0, 1.0);
+    xs.push_back(level);
+  }
+  return xs;
+}
+
+std::vector<double> series_noisy_level(std::size_t n) {
+  Rng rng(101);
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(std::clamp(0.7 + sample_normal(rng, 0.0, 0.08), 0.0, 1.0));
+  }
+  return xs;
+}
+
+std::vector<double> series_regime_switch(std::size_t n) {
+  Rng rng(102);
+  std::vector<double> xs;
+  double level = 0.2;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.005)) level = rng.uniform(0.1, 0.9);
+    xs.push_back(std::clamp(level + sample_normal(rng, 0.0, 0.03), 0.0, 1.0));
+  }
+  return xs;
+}
+
+std::vector<double> series_spiky(std::size_t n) {
+  Rng rng(103);
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(rng.chance(0.05) ? rng.uniform(0.0, 0.2)
+                                  : 0.9 + 0.05 * rng.uniform());
+  }
+  return xs;
+}
+
+std::vector<double> series_periodic(std::size_t n) {
+  Rng rng(104);
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base =
+        0.5 + 0.3 * std::sin(2.0 * std::numbers::pi *
+                             static_cast<double>(i) / 120.0);
+    xs.push_back(std::clamp(base + sample_normal(rng, 0.0, 0.05), 0.0, 1.0));
+  }
+  return xs;
+}
+
+class AdaptiveProperty : public ::testing::TestWithParam<SeriesCase> {};
+
+TEST_P(AdaptiveProperty, TracksBestSingleMethod) {
+  const auto xs = GetParam().make(3000);
+  const auto evals = evaluate_battery(xs);
+  double adaptive_mae = -1.0;
+  std::vector<double> single_maes;
+  for (const auto& ev : evals) {
+    if (ev.method == "nws_adaptive") {
+      adaptive_mae = ev.mae;
+    } else {
+      single_maes.push_back(ev.mae);
+    }
+  }
+  ASSERT_GE(adaptive_mae, 0.0);
+  std::sort(single_maes.begin(), single_maes.end());
+  const double best = single_maes.front();
+  const double med = single_maes[single_maes.size() / 2];
+  EXPECT_LE(adaptive_mae, best * 1.15 + 1e-4)
+      << "adaptive " << adaptive_mae << " vs best single " << best;
+  EXPECT_LE(adaptive_mae, med);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Series, AdaptiveProperty,
+    ::testing::Values(SeriesCase{"random_walk", series_random_walk},
+                      SeriesCase{"noisy_level", series_noisy_level},
+                      SeriesCase{"regime_switch", series_regime_switch},
+                      SeriesCase{"spiky", series_spiky},
+                      SeriesCase{"periodic", series_periodic}),
+    [](const auto& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Evaluation harness
+
+TEST(Evaluate, ForecastsAlignedOneStepAhead) {
+  LastValueForecaster f;
+  const std::vector<double> xs = {0.1, 0.2, 0.3, 0.4};
+  const ForecastEvaluation ev = evaluate_forecaster(f, xs);
+  ASSERT_EQ(ev.forecasts.size(), 4u);
+  EXPECT_DOUBLE_EQ(ev.forecasts[0], Forecaster::kInitialGuess);
+  EXPECT_DOUBLE_EQ(ev.forecasts[1], 0.1);  // prediction for xs[1]
+  EXPECT_DOUBLE_EQ(ev.forecasts[3], 0.3);
+  ASSERT_EQ(ev.errors.size(), 3u);
+  EXPECT_NEAR(ev.mae, 0.1, 1e-12);
+  EXPECT_NEAR(ev.mse, 0.01, 1e-12);
+  EXPECT_NEAR(ev.rmse, 0.1, 1e-12);
+}
+
+TEST(Evaluate, DoesNotMutateTheInputForecaster) {
+  LastValueForecaster f;
+  f.observe(0.77);
+  const std::vector<double> xs = {0.1, 0.2};
+  (void)evaluate_forecaster(f, xs);
+  EXPECT_DOUBLE_EQ(f.forecast(), 0.77);
+}
+
+TEST(Evaluate, EmptyAndSingleSeries) {
+  LastValueForecaster f;
+  const ForecastEvaluation empty =
+      evaluate_forecaster(f, std::span<const double>{});
+  EXPECT_TRUE(empty.errors.empty());
+  EXPECT_DOUBLE_EQ(empty.mae, 0.0);
+  const std::vector<double> one = {0.5};
+  const ForecastEvaluation single = evaluate_forecaster(f, one);
+  EXPECT_EQ(single.forecasts.size(), 1u);
+  EXPECT_TRUE(single.errors.empty());
+}
+
+TEST(Evaluate, MapeSkipsZeroTargets) {
+  LastValueForecaster f;
+  const std::vector<double> xs = {1.0, 0.0, 2.0};
+  const ForecastEvaluation ev = evaluate_forecaster(f, xs);
+  // Only xs[2] = 2.0 contributes: |0 - 2| / 2 = 1.
+  EXPECT_NEAR(ev.mape, 1.0, 1e-12);
+}
+
+TEST(Evaluate, BatterySortedByMae) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform());
+  const auto evals = evaluate_battery(xs);
+  ASSERT_GT(evals.size(), 10u);
+  for (std::size_t i = 1; i < evals.size(); ++i) {
+    EXPECT_LE(evals[i - 1].mae, evals[i].mae);
+  }
+}
+
+TEST(Evaluate, TimeSeriesOverloadMatchesSpan) {
+  const TimeSeries series("x", 0.0, 10.0, {0.1, 0.3, 0.5});
+  LastValueForecaster f;
+  const auto a = evaluate_forecaster(f, series);
+  const auto b = evaluate_forecaster(f, series.values());
+  EXPECT_EQ(a.forecasts, b.forecasts);
+  EXPECT_DOUBLE_EQ(a.mae, b.mae);
+}
+
+}  // namespace
+}  // namespace nws

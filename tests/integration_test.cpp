@@ -1,0 +1,202 @@
+// Integration tests: shortened (2-hour) versions of the paper's
+// experiments asserting the *shape* of every headline result end-to-end —
+// measurement-method pathologies, prediction-error magnitudes, the
+// long-range-dependence findings, and the forecast service plumbing.
+//
+// These simulate hours of host time and take a few seconds each; they are
+// the regression net for the table/figure bench binaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "experiments/analysis.hpp"
+#include "experiments/hosts.hpp"
+#include "experiments/runner.hpp"
+#include "nws/forecast_service.hpp"
+#include "sensors/sim_sensors.hpp"
+#include "tsa/aggregate.hpp"
+#include "tsa/autocorrelation.hpp"
+#include "tsa/rs_analysis.hpp"
+
+namespace nws {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+RunnerConfig two_hour_config() {
+  RunnerConfig cfg;
+  cfg.duration = 2.0 * 3600.0;
+  return cfg;
+}
+
+const HostTrace& trace_of(UcsdHost which) {
+  // Traces are expensive; build each host's once and share across tests.
+  static auto* cache = new std::map<UcsdHost, HostTrace>();
+  auto it = cache->find(which);
+  if (it == cache->end()) {
+    auto host = make_ucsd_host(which, kSeed);
+    it = cache->emplace(which, run_experiment(*host, two_hour_config()))
+             .first;
+  }
+  return it->second;
+}
+
+// --- Table 1 shape ---------------------------------------------------------
+
+TEST(Table1Shape, OrdinaryHostsMeasureWithinSchedulingGrade) {
+  // "An error of 10% or less ... is considered useful for scheduling"; we
+  // allow some slack on the short 2 h run.
+  for (UcsdHost h : {UcsdHost::kThing1, UcsdHost::kGremlin}) {
+    const MethodTriple err = measurement_error(trace_of(h));
+    EXPECT_LT(err.load_average, 0.13) << host_name(h);
+    EXPECT_LT(err.vmstat, 0.13) << host_name(h);
+    EXPECT_LT(err.hybrid, 0.13) << host_name(h);
+  }
+}
+
+TEST(Table1Shape, ConundrumCheapMethodsFailHybridSucceeds) {
+  const MethodTriple err = measurement_error(trace_of(UcsdHost::kConundrum));
+  EXPECT_GT(err.load_average, 0.25);
+  EXPECT_GT(err.vmstat, 0.25);
+  EXPECT_LT(err.hybrid, 0.15);
+  EXPECT_GT(err.load_average, 3.0 * err.hybrid);
+}
+
+TEST(Table1Shape, KongoHybridFailsCheapMethodsSucceed) {
+  const MethodTriple err = measurement_error(trace_of(UcsdHost::kKongo));
+  EXPECT_GT(err.hybrid, 0.25);
+  EXPECT_LT(err.load_average, 0.15);
+  EXPECT_LT(err.vmstat, 0.15);
+  EXPECT_GT(err.hybrid, 2.0 * err.load_average);
+}
+
+// --- Table 2 shape ---------------------------------------------------------
+
+TEST(Table2Shape, ForecastingAddsLittleOverMeasurement) {
+  for (UcsdHost h : all_ucsd_hosts()) {
+    const MethodTriple fc = true_forecast_error(trace_of(h));
+    const MethodTriple me = measurement_error(trace_of(h));
+    // True forecast error tracks measurement error within a few points.
+    EXPECT_NEAR(fc.load_average, me.load_average, 0.05) << host_name(h);
+    EXPECT_NEAR(fc.vmstat, me.vmstat, 0.05) << host_name(h);
+    EXPECT_NEAR(fc.hybrid, me.hybrid, 0.05) << host_name(h);
+  }
+}
+
+// --- Table 3 shape ---------------------------------------------------------
+
+TEST(Table3Shape, OneStepPredictionErrorBelowFivePercent) {
+  for (UcsdHost h : all_ucsd_hosts()) {
+    const MethodTriple err = prediction_error(trace_of(h));
+    EXPECT_LT(err.load_average, 0.05) << host_name(h);
+    EXPECT_LT(err.vmstat, 0.06) << host_name(h);
+    EXPECT_LT(err.hybrid, 0.06) << host_name(h);
+  }
+}
+
+TEST(Table3Shape, PredictionErrorFarBelowMeasurementErrorOnPathologies) {
+  // The paper's first conclusion: the dominant error source is measuring,
+  // not predicting the next measurement.  Sharpest on the two pathological
+  // hosts, whose readings are stable but wrong.
+  for (UcsdHost h : {UcsdHost::kConundrum, UcsdHost::kKongo}) {
+    const double worst_measurement = std::max(
+        {measurement_error(trace_of(h)).load_average,
+         measurement_error(trace_of(h)).vmstat});
+    const double worst_prediction = std::max(
+        {prediction_error(trace_of(h)).load_average,
+         prediction_error(trace_of(h)).vmstat});
+    EXPECT_LT(worst_prediction * 5.0, worst_measurement) << host_name(h);
+  }
+}
+
+// --- Table 4 / Figures 2-3 shape -------------------------------------------
+
+TEST(Table4Shape, HurstParameterIndicatesLongRangeDependence) {
+  for (UcsdHost h : {UcsdHost::kThing1, UcsdHost::kThing2}) {
+    const HurstEstimate est =
+        estimate_hurst_rs(trace_of(h).load_series.values());
+    EXPECT_GT(est.hurst, 0.5) << host_name(h);
+    EXPECT_LT(est.hurst, 1.0) << host_name(h);
+    EXPECT_GT(est.r_squared, 0.85) << host_name(h);
+  }
+}
+
+TEST(Table4Shape, AggregationReducesVarianceOnBusyHosts) {
+  for (UcsdHost h : {UcsdHost::kThing2, UcsdHost::kBeowulf}) {
+    const MethodTriple orig = series_variance(trace_of(h));
+    const MethodTriple agg = aggregated_variance(trace_of(h), 30);
+    EXPECT_LE(agg.load_average, orig.load_average * 1.05) << host_name(h);
+    EXPECT_LE(agg.vmstat, orig.vmstat * 1.05) << host_name(h);
+  }
+}
+
+TEST(Fig2Shape, AutocorrelationDecaysSlowly) {
+  const auto acf =
+      autocorrelations(trace_of(UcsdHost::kThing2).load_series.values(), 60);
+  ASSERT_EQ(acf.size(), 61u);
+  EXPECT_GT(acf[1], 0.5);   // adjacent 10 s readings strongly correlated
+  EXPECT_GT(acf[30], 0.0);  // five minutes apart: still positive
+}
+
+// --- Tables 5-6 shape ------------------------------------------------------
+
+TEST(Table5Shape, AggregatedSeriesStillPredictable) {
+  for (UcsdHost h : all_ucsd_hosts()) {
+    const MethodTriple err = aggregated_prediction_error(trace_of(h), 30);
+    EXPECT_LT(err.load_average, 0.12) << host_name(h);
+    EXPECT_LT(err.vmstat, 0.12) << host_name(h);
+    EXPECT_LT(err.hybrid, 0.12) << host_name(h);
+  }
+}
+
+TEST(Table6Shape, MediumTermTrueForecastsAreSchedulingGrade) {
+  // 3-hour run with hourly 5-minute test processes on a well-behaved host.
+  auto host = make_ucsd_host(UcsdHost::kGremlin, kSeed);
+  RunnerConfig cfg;
+  cfg.duration = 3.0 * 3600.0;
+  cfg.run_tests = false;
+  cfg.run_agg_tests = true;
+  const HostTrace trace = run_experiment(*host, cfg);
+  ASSERT_EQ(trace.agg_tests.size(), 3u);
+  const MethodTriple err = aggregated_true_error(trace, 30);
+  EXPECT_LT(err.load_average, 0.12);
+  EXPECT_LT(err.vmstat, 0.12);
+}
+
+TEST(Table6Shape, KongoHybridPathologyPersistsUnderAggregation) {
+  auto host = make_ucsd_host(UcsdHost::kKongo, kSeed);
+  RunnerConfig cfg;
+  cfg.duration = 3.0 * 3600.0;
+  cfg.run_tests = false;
+  cfg.run_agg_tests = true;
+  const HostTrace trace = run_experiment(*host, cfg);
+  const MethodTriple err = aggregated_true_error(trace, 30);
+  EXPECT_GT(err.hybrid, 2.0 * err.load_average);
+}
+
+// --- End-to-end service plumbing -------------------------------------------
+
+TEST(ServicePlumbing, ForecastServiceOverLiveSimulation) {
+  auto host = make_ucsd_host(UcsdHost::kThing1, kSeed);
+  LoadAvgSensor sensor(*host);
+  ForecastService svc;
+  host->run_for(300.0);
+  for (int i = 0; i < 360; ++i) {  // one hour of 10 s epochs
+    host->run_for(10.0);
+    ASSERT_TRUE(svc.record("thing1/cpu", {host->now(), sensor.measure()}));
+  }
+  const auto f = svc.predict("thing1/cpu");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->history, 360u);
+  EXPECT_GE(f->value, 0.0);
+  EXPECT_LE(f->value, 1.0);
+  EXPECT_LT(f->mae, 0.1);
+  // The forecast must beat the neutral prior by a wide margin.
+  const double truth = host->run_timed_process("check", 10.0);
+  EXPECT_LT(std::abs(f->value - truth), 0.25);
+}
+
+}  // namespace
+}  // namespace nws

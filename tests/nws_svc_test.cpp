@@ -1,0 +1,236 @@
+// Unit tests for src/nws: measurement memory, the forecast service, and
+// trace persistence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "forecast/methods.hpp"
+#include "nws/forecast_service.hpp"
+#include "nws/memory.hpp"
+#include "nws/trace_io.hpp"
+#include "util/rng.hpp"
+
+namespace nws {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// SeriesStore
+
+TEST(SeriesStore, AppendAndAccess) {
+  SeriesStore store(4);
+  EXPECT_TRUE(store.empty());
+  EXPECT_TRUE(store.append({1.0, 0.5}));
+  EXPECT_TRUE(store.append({2.0, 0.6}));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_DOUBLE_EQ(store.at(0).value, 0.5);
+  EXPECT_DOUBLE_EQ(store.newest().time, 2.0);
+}
+
+TEST(SeriesStore, EvictsOldestAtCapacity) {
+  SeriesStore store(3);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.append({static_cast<double>(i), i * 0.1}));
+  }
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_DOUBLE_EQ(store.at(0).time, 2.0);
+  EXPECT_DOUBLE_EQ(store.newest().time, 4.0);
+}
+
+TEST(SeriesStore, RejectsOutOfOrderTimestamps) {
+  SeriesStore store(4);
+  EXPECT_TRUE(store.append({5.0, 0.1}));
+  EXPECT_FALSE(store.append({4.0, 0.2}));
+  EXPECT_EQ(store.size(), 1u);
+  // Equal timestamps are allowed (multiple sensors can share an epoch).
+  EXPECT_TRUE(store.append({5.0, 0.3}));
+}
+
+TEST(SeriesStore, RangeQuery) {
+  SeriesStore store(10);
+  for (int i = 0; i < 10; ++i) {
+    store.append({static_cast<double>(i), static_cast<double>(i)});
+  }
+  const auto mid = store.range(3.0, 6.0);
+  ASSERT_EQ(mid.size(), 4u);
+  EXPECT_DOUBLE_EQ(mid.front().time, 3.0);
+  EXPECT_DOUBLE_EQ(mid.back().time, 6.0);
+  EXPECT_TRUE(store.range(100.0, 200.0).empty());
+}
+
+TEST(SeriesStore, ValuesInOrder) {
+  SeriesStore store(3);
+  for (int i = 0; i < 5; ++i) {
+    store.append({static_cast<double>(i), static_cast<double>(i * i)});
+  }
+  const auto values = store.values();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 4.0);
+  EXPECT_DOUBLE_EQ(values[2], 16.0);
+}
+
+TEST(SeriesStore, ZeroCapacityThrows) {
+  EXPECT_THROW(SeriesStore(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+
+TEST(Memory, RecordsMultipleSeries) {
+  Memory mem(16);
+  EXPECT_TRUE(mem.record("a/cpu", {1.0, 0.5}));
+  EXPECT_TRUE(mem.record("b/cpu", {1.0, 0.7}));
+  EXPECT_TRUE(mem.contains("a/cpu"));
+  EXPECT_FALSE(mem.contains("c/cpu"));
+  EXPECT_EQ(mem.series_count(), 2u);
+  ASSERT_NE(mem.find("b/cpu"), nullptr);
+  EXPECT_DOUBLE_EQ(mem.find("b/cpu")->newest().value, 0.7);
+  EXPECT_EQ(mem.find("missing"), nullptr);
+}
+
+TEST(Memory, SeriesNamesSorted) {
+  Memory mem;
+  mem.record("zeta", {0.0, 0.0});
+  mem.record("alpha", {0.0, 0.0});
+  const auto names = mem.series_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(Memory, OutOfOrderRejectedPerSeries) {
+  Memory mem;
+  EXPECT_TRUE(mem.record("s", {10.0, 0.1}));
+  EXPECT_FALSE(mem.record("s", {5.0, 0.2}));
+  // Other series are unaffected.
+  EXPECT_TRUE(mem.record("t", {5.0, 0.2}));
+}
+
+// ---------------------------------------------------------------------------
+// ForecastService
+
+TEST(ForecastService, UnknownSeriesHasNoForecast) {
+  ForecastService svc;
+  EXPECT_FALSE(svc.predict("nope").has_value());
+}
+
+TEST(ForecastService, RecordsAndPredicts) {
+  ForecastService svc;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(svc.record("host/cpu", {i * 10.0, 0.8}));
+  }
+  const auto f = svc.predict("host/cpu");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(f->value, 0.8, 1e-9);
+  EXPECT_EQ(f->history, 50u);
+  EXPECT_NEAR(f->mae, 0.0, 1e-6);
+  EXPECT_FALSE(f->method.empty());
+}
+
+TEST(ForecastService, TracksErrorOverChangingSeries) {
+  ForecastService svc;
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    svc.record("host/cpu", {i * 10.0, rng.uniform(0.3, 0.7)});
+  }
+  const auto f = svc.predict("host/cpu");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_GT(f->mae, 0.0);
+  EXPECT_LT(f->mae, 0.3);
+  EXPECT_GE(f->mse, 0.0);
+}
+
+TEST(ForecastService, RejectsOutOfOrderAndDoesNotFeedForecaster) {
+  ForecastService svc;
+  svc.record("s", {10.0, 0.5});
+  EXPECT_FALSE(svc.record("s", {5.0, 0.9}));
+  const auto f = svc.predict("s");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->history, 1u);
+  EXPECT_NEAR(f->value, 0.5, 1e-9);
+}
+
+TEST(ForecastService, CustomFactoryIsUsed) {
+  ForecastService svc(1024, [] {
+    return std::make_unique<LastValueForecaster>();
+  });
+  svc.record("s", {0.0, 0.25});
+  svc.record("s", {10.0, 0.75});
+  const auto f = svc.predict("s");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(f->value, 0.75);
+  EXPECT_EQ(f->method, "last");
+}
+
+TEST(ForecastService, MemoryBoundedButForecastContinues) {
+  ForecastService svc(8);  // tiny memory
+  for (int i = 0; i < 100; ++i) {
+    svc.record("s", {static_cast<double>(i), 0.6});
+  }
+  EXPECT_EQ(svc.memory().find("s")->size(), 8u);
+  const auto f = svc.predict("s");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->history, 100u);  // forecaster saw everything
+}
+
+TEST(ForecastService, IndependentSeriesIndependentForecasts) {
+  ForecastService svc;
+  for (int i = 0; i < 30; ++i) {
+    svc.record("low", {i * 10.0, 0.2});
+    svc.record("high", {i * 10.0, 0.9});
+  }
+  EXPECT_NEAR(svc.predict("low")->value, 0.2, 1e-6);
+  EXPECT_NEAR(svc.predict("high")->value, 0.9, 1e-6);
+  EXPECT_EQ(svc.series_count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace I/O
+
+TEST(TraceIo, RoundTrip) {
+  const fs::path path =
+      fs::temp_directory_path() / "nwscpu_trace_roundtrip.csv";
+  TimeSeries series("host/load", 600.0, 10.0, {0.1, 0.5, 0.9, 0.7});
+  write_trace(path, series);
+  const TimeSeries back = read_trace(path);
+  ASSERT_EQ(back.size(), series.size());
+  EXPECT_DOUBLE_EQ(back.period(), 10.0);
+  EXPECT_DOUBLE_EQ(back.start(), 600.0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i], series[i]);
+  }
+  fs::remove(path);
+}
+
+TEST(TraceIo, ReadRejectsTooShort) {
+  const fs::path path = fs::temp_directory_path() / "nwscpu_trace_short.csv";
+  std::ofstream(path) << "time_seconds,value\n1.0,0.5\n";
+  EXPECT_THROW(read_trace(path), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(TraceIo, ReadRejectsIrregularGrid) {
+  const fs::path path =
+      fs::temp_directory_path() / "nwscpu_trace_irregular.csv";
+  std::ofstream(path) << "time_seconds,value\n0,0.5\n10,0.6\n25,0.7\n";
+  EXPECT_THROW(read_trace(path), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(TraceIo, ReadRejectsNonIncreasingTime) {
+  const fs::path path =
+      fs::temp_directory_path() / "nwscpu_trace_backwards.csv";
+  std::ofstream(path) << "time_seconds,value\n10,0.5\n10,0.6\n";
+  EXPECT_THROW(read_trace(path), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nws

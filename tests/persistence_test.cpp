@@ -1,0 +1,265 @@
+// Tests for PersistentMemory (journal + recovery) and the fleet
+// configuration parser/builder.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "experiments/fleet_config.hpp"
+#include "nws/persistence.hpp"
+
+namespace nws {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nwscpu_journal_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    journal_ = dir_ / "memory.journal";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  fs::path journal_;
+};
+
+// ---------------------------------------------------------------------------
+// PersistentMemory
+
+TEST_F(JournalDir, FreshStoreStartsEmpty) {
+  PersistentMemory pm(journal_);
+  EXPECT_EQ(pm.recovered(), 0u);
+  EXPECT_EQ(pm.memory().series_count(), 0u);
+}
+
+TEST_F(JournalDir, SurvivesRestart) {
+  {
+    PersistentMemory pm(journal_);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(pm.record("a/cpu", {i * 10.0, 0.5 + 0.001 * i}));
+      ASSERT_TRUE(pm.record("b/cpu", {i * 10.0, 0.9}));
+    }
+    pm.sync();
+  }  // "crash"
+  PersistentMemory pm(journal_);
+  EXPECT_EQ(pm.recovered(), 100u);
+  EXPECT_EQ(pm.skipped(), 0u);
+  ASSERT_NE(pm.memory().find("a/cpu"), nullptr);
+  EXPECT_EQ(pm.memory().find("a/cpu")->size(), 50u);
+  EXPECT_DOUBLE_EQ(pm.memory().find("a/cpu")->newest().value, 0.549);
+  EXPECT_DOUBLE_EQ(pm.memory().find("b/cpu")->newest().time, 490.0);
+}
+
+TEST_F(JournalDir, AppendsAcrossRestarts) {
+  {
+    PersistentMemory pm(journal_);
+    ASSERT_TRUE(pm.record("s", {0.0, 0.1}));
+    pm.sync();
+  }
+  {
+    PersistentMemory pm(journal_);
+    ASSERT_TRUE(pm.record("s", {10.0, 0.2}));
+    pm.sync();
+  }
+  PersistentMemory pm(journal_);
+  EXPECT_EQ(pm.recovered(), 2u);
+  EXPECT_EQ(pm.memory().find("s")->size(), 2u);
+}
+
+TEST_F(JournalDir, TornTailLineSkippedOnRecovery) {
+  {
+    PersistentMemory pm(journal_);
+    ASSERT_TRUE(pm.record("s", {0.0, 0.1}));
+    ASSERT_TRUE(pm.record("s", {10.0, 0.2}));
+    pm.sync();
+  }
+  // Simulate a crash mid-append: a torn record with no trailing fields.
+  {
+    std::ofstream out(journal_, std::ios::app);
+    out << "s 20.0";  // value missing, no newline terminator issues
+  }
+  PersistentMemory pm(journal_);
+  EXPECT_EQ(pm.recovered(), 2u);
+  EXPECT_EQ(pm.skipped(), 1u);
+  EXPECT_DOUBLE_EQ(pm.memory().find("s")->newest().time, 10.0);
+  // The store remains usable for new records.
+  EXPECT_TRUE(pm.record("s", {30.0, 0.3}));
+}
+
+TEST_F(JournalDir, OutOfOrderNeverJournalled) {
+  {
+    PersistentMemory pm(journal_);
+    ASSERT_TRUE(pm.record("s", {100.0, 0.5}));
+    EXPECT_FALSE(pm.record("s", {50.0, 0.9}));
+    pm.sync();
+  }
+  PersistentMemory pm(journal_);
+  EXPECT_EQ(pm.recovered(), 1u);
+  EXPECT_EQ(pm.skipped(), 0u);
+}
+
+TEST_F(JournalDir, CompactBoundsJournalToRetention) {
+  {
+    // Tiny capacity: the ring retains only 4 of 100 measurements.
+    PersistentMemory pm(journal_, /*series_capacity=*/4);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(pm.record("s", {i * 10.0, 0.5}));
+    }
+    pm.sync();
+    const auto before = fs::file_size(journal_);
+    pm.compact();
+    const auto after = fs::file_size(journal_);
+    EXPECT_LT(after, before / 4);
+    // Still appendable after compaction.
+    ASSERT_TRUE(pm.record("s", {2000.0, 0.7}));
+    pm.sync();
+  }
+  PersistentMemory pm(journal_, 4);
+  // 4 compacted survivors + the post-compact record, all replayable; the
+  // bounded store retains the most recent 4 of them.
+  EXPECT_EQ(pm.recovered(), 5u);
+  EXPECT_EQ(pm.memory().find("s")->size(), 4u);
+  EXPECT_DOUBLE_EQ(pm.memory().find("s")->newest().value, 0.7);
+}
+
+TEST_F(JournalDir, CommentsIgnoredOnReplay) {
+  {
+    std::ofstream out(journal_);
+    out << "# hand-written journal\ns 1 0.25\n\ns 2 0.75\n";
+  }
+  PersistentMemory pm(journal_);
+  EXPECT_EQ(pm.recovered(), 2u);
+  EXPECT_DOUBLE_EQ(pm.memory().find("s")->newest().value, 0.75);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet config parsing
+
+TEST(FleetConfig, ParsesFullExample) {
+  std::istringstream in(R"(
+# two-host fleet
+[host buildbox]
+interrupt_load = 0.02
+users = 3
+user.mean_think = 20
+user.burst_alpha = 1.5
+user.diurnal_amplitude = 0.4
+batch = true
+batch.jobs_per_hour = 6
+batch.cpu_duty = 0.6
+daemon.period = 300
+daemon.burst = 2
+
+[host soakerbox]
+soaker = true
+soaker.nice = 19
+hog = false
+)");
+  const auto specs = parse_fleet_config(in);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "buildbox");
+  EXPECT_DOUBLE_EQ(specs[0].interrupt_load, 0.02);
+  EXPECT_EQ(specs[0].users, 3);
+  EXPECT_DOUBLE_EQ(specs[0].user_burst_alpha, 1.5);
+  EXPECT_TRUE(specs[0].batch);
+  ASSERT_TRUE(specs[0].daemon_period.has_value());
+  EXPECT_DOUBLE_EQ(*specs[0].daemon_period, 300.0);
+  EXPECT_TRUE(specs[1].soaker);
+  EXPECT_FALSE(specs[1].hog);
+  EXPECT_FALSE(specs[1].daemon_period.has_value());
+}
+
+struct BadConfig {
+  const char* name;
+  const char* text;
+};
+
+class FleetConfigBad : public ::testing::TestWithParam<BadConfig> {};
+
+TEST_P(FleetConfigBad, Rejected) {
+  std::istringstream in(GetParam().text);
+  EXPECT_THROW(parse_fleet_config(in), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FleetConfigBad,
+    ::testing::Values(
+        BadConfig{"key_before_section", "users = 3\n"},
+        BadConfig{"unknown_key", "[host a]\nfrobnicate = 1\n"},
+        BadConfig{"bad_number", "[host a]\nusers = three\n"},
+        BadConfig{"bad_bool", "[host a]\nbatch = maybe\n"},
+        BadConfig{"duplicate_host", "[host a]\n[host a]\n"},
+        BadConfig{"unterminated_section", "[host a\n"},
+        BadConfig{"bad_section_kind", "[machine a]\n"},
+        BadConfig{"missing_equals", "[host a]\nusers 3\n"},
+        BadConfig{"negative_users", "[host a]\nusers = -1\n"},
+        BadConfig{"interrupt_out_of_range",
+                  "[host a]\ninterrupt_load = 1.5\n"},
+        BadConfig{"duty_out_of_range", "[host a]\nbatch.cpu_duty = 0\n"},
+        BadConfig{"daemon_burst_exceeds_period",
+                  "[host a]\ndaemon.period = 10\ndaemon.burst = 10\n"}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+TEST(FleetConfig, CommentsAndBlankLinesIgnored) {
+  std::istringstream in("# lead\n\n[host a]  # trailing\nusers = 1 # eol\n");
+  const auto specs = parse_fleet_config(in);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].users, 1);
+}
+
+TEST(FleetConfig, MissingFileThrows) {
+  EXPECT_THROW(parse_fleet_config(fs::path("/nonexistent/fleet.conf")),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Building hosts from specs
+
+TEST(FleetConfig, BuiltHostRunsAndMatchesSpecShape) {
+  HostSpec spec;
+  spec.name = "soakerbox";
+  spec.soaker = true;
+  auto host = build_host(spec, 1);
+  ASSERT_NE(host, nullptr);
+  host->run_for(300.0);
+  // The soaker keeps the run queue occupied...
+  EXPECT_NEAR(host->load_average(), 1.0, 0.05);
+  // ...but a full-priority process pre-empts it.
+  EXPECT_GT(host->run_timed_process("test", 10.0), 0.95);
+}
+
+TEST(FleetConfig, BuiltHostDeterministicInSeed) {
+  HostSpec spec;
+  spec.name = "b";
+  spec.users = 2;
+  spec.user_mean_think = 5.0;
+  auto a1 = build_host(spec, 7);
+  auto a2 = build_host(spec, 7);
+  auto b = build_host(spec, 8);
+  a1->run_for(600.0);
+  a2->run_for(600.0);
+  b->run_for(600.0);
+  EXPECT_EQ(a1->counters().user, a2->counters().user);
+  EXPECT_NE(a1->counters().user, b->counters().user);
+}
+
+TEST(FleetConfig, HogDutyRespected) {
+  HostSpec spec;
+  spec.name = "halfhog";
+  spec.hog = true;
+  spec.hog_duty = 0.5;
+  auto host = build_host(spec, 3);
+  host->run_for(3600.0);
+  const double duty = static_cast<double>(host->counters().user) /
+                      static_cast<double>(host->counters().total());
+  EXPECT_NEAR(duty, 0.5, 0.06);
+}
+
+}  // namespace
+}  // namespace nws

@@ -1,0 +1,255 @@
+// Unit tests for src/proc: /proc parsers, file readers, the real spin
+// probe, and the live-host sensors (exercised against fake proc files).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "proc/procfs.hpp"
+#include "proc/real_probe.hpp"
+#include "proc/real_sensors.hpp"
+
+namespace nws {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("nwscpu_proc_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() { fs::remove_all(dir_); }
+  fs::path write(const std::string& name, const std::string& content) const {
+    const fs::path p = dir_ / name;
+    std::ofstream(p) << content;
+    return p;
+  }
+
+ private:
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// /proc/loadavg parsing
+
+TEST(ParseLoadavg, TypicalLine) {
+  const auto parsed = parse_loadavg("0.52 0.58 0.59 1/467 12345\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->one_minute, 0.52);
+  EXPECT_DOUBLE_EQ(parsed->five_minutes, 0.58);
+  EXPECT_DOUBLE_EQ(parsed->fifteen_minutes, 0.59);
+}
+
+TEST(ParseLoadavg, MinimalThreeFields) {
+  EXPECT_TRUE(parse_loadavg("1.0 2.0 3.0").has_value());
+}
+
+struct BadInput {
+  const char* name;
+  const char* content;
+};
+
+class ParseLoadavgBad : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ParseLoadavgBad, Rejected) {
+  EXPECT_FALSE(parse_loadavg(GetParam().content).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParseLoadavgBad,
+    ::testing::Values(BadInput{"empty", ""}, BadInput{"garbage", "not a load"},
+                      BadInput{"two_fields", "0.5 0.6"},
+                      BadInput{"negative", "-1.0 0.5 0.5 1/2 3"}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+TEST(ParseRunningCount, ExtractsNumeratorOfSlashField) {
+  const auto running = parse_running_count("0.52 0.58 0.59 3/467 12345\n");
+  ASSERT_TRUE(running.has_value());
+  EXPECT_EQ(*running, 3);
+}
+
+class ParseRunningBad : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ParseRunningBad, Rejected) {
+  EXPECT_FALSE(parse_running_count(GetParam().content).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParseRunningBad,
+    ::testing::Values(BadInput{"empty", ""},
+                      BadInput{"no_slash", "0.5 0.6 0.7 467 123"},
+                      BadInput{"leading_slash", "0.5 0.6 0.7 /467 123"},
+                      BadInput{"negative", "0.5 0.6 0.7 -1/467 123"},
+                      BadInput{"non_numeric", "0.5 0.6 0.7 x/467 123"}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+// ---------------------------------------------------------------------------
+// /proc/stat parsing
+
+TEST(ParseProcStat, ModernLineWithAllFields) {
+  const auto st = parse_proc_stat(
+      "cpu  100 20 30 400 50 6 7 8 0 0\n"
+      "cpu0 100 20 30 400 50 6 7 8 0 0\n");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->user, 100u);
+  EXPECT_EQ(st->nice_time, 20u);
+  EXPECT_EQ(st->system, 30u);
+  EXPECT_EQ(st->idle, 400u);
+  EXPECT_EQ(st->iowait, 50u);
+  EXPECT_EQ(st->irq, 6u);
+  EXPECT_EQ(st->softirq, 7u);
+  EXPECT_EQ(st->steal, 8u);
+  EXPECT_EQ(st->total(), 100u + 20 + 30 + 400 + 50 + 6 + 7 + 8);
+}
+
+TEST(ParseProcStat, AncientFourFieldLine) {
+  // 2.4-era kernels only had user/nice/system/idle.
+  const auto st = parse_proc_stat("cpu 1 2 3 4\n");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->idle, 4u);
+  EXPECT_EQ(st->iowait, 0u);
+}
+
+TEST(ParseProcStat, SkipsPerCpuAndOtherLines) {
+  const auto st = parse_proc_stat(
+      "intr 12345\n"
+      "cpu0 9 9 9 9\n"
+      "cpu 1 2 3 4\n");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->user, 1u);
+}
+
+TEST(ParseProcStat, RejectsMissingCpuLine) {
+  EXPECT_FALSE(parse_proc_stat("intr 1 2 3\nctxt 99\n").has_value());
+  EXPECT_FALSE(parse_proc_stat("").has_value());
+}
+
+TEST(ParseProcStat, RejectsTruncatedCpuLine) {
+  EXPECT_FALSE(parse_proc_stat("cpu 1 2\n").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// File readers
+
+TEST(ProcReaders, ReadFromFiles) {
+  TempDir tmp;
+  const auto loadavg = tmp.write("loadavg", "1.25 0.5 0.25 2/100 999\n");
+  const auto stat = tmp.write("stat", "cpu 10 0 10 80 0 0 0 0\n");
+  EXPECT_DOUBLE_EQ(read_loadavg(loadavg).one_minute, 1.25);
+  EXPECT_EQ(read_running_count(loadavg), 2);
+  EXPECT_EQ(read_proc_stat(stat).idle, 80u);
+}
+
+TEST(ProcReaders, MissingFileThrows) {
+  EXPECT_THROW((void)read_loadavg("/nonexistent/loadavg"), std::runtime_error);
+  EXPECT_THROW((void)read_proc_stat("/nonexistent/stat"), std::runtime_error);
+}
+
+TEST(ProcReaders, MalformedFileThrows) {
+  TempDir tmp;
+  const auto bad = tmp.write("loadavg", "oops\n");
+  EXPECT_THROW((void)read_loadavg(bad), std::runtime_error);
+  EXPECT_THROW((void)read_running_count(bad), std::runtime_error);
+}
+
+TEST(ProcReaders, RealProcfsIfPresent) {
+  if (!fs::exists("/proc/loadavg")) GTEST_SKIP() << "no procfs";
+  const LoadAvg load = read_loadavg();
+  EXPECT_GE(load.one_minute, 0.0);
+  const ProcStat st = read_proc_stat();
+  EXPECT_GT(st.total(), 0u);
+  EXPECT_GE(read_running_count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Real spin probe
+
+TEST(RealProbe, AvailabilityWithinUnitInterval) {
+  const ProbeResult r = run_cpu_probe(std::chrono::milliseconds(60));
+  EXPECT_GE(r.wall_seconds, 0.055);
+  EXPECT_GT(r.cpu_seconds, 0.0);
+  EXPECT_GE(r.availability(), 0.0);
+  EXPECT_LE(r.availability(), 1.0);
+}
+
+TEST(RealProbe, ZeroWallYieldsZeroAvailability) {
+  ProbeResult r;
+  r.cpu_seconds = 1.0;
+  r.wall_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(r.availability(), 0.0);
+}
+
+TEST(RealProbe, MostlyIdleMachineGivesHighAvailability) {
+  // This container is single-tenant during tests; the probe should obtain
+  // the lion's share of the CPU.  Keep the bound loose for CI noise.
+  const ProbeResult r = run_cpu_probe(std::chrono::milliseconds(120));
+  EXPECT_GT(r.availability(), 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// Real sensors over fake proc files
+
+TEST(RealSensors, LoadAvgSensorAppliesEquation1) {
+  TempDir tmp;
+  const auto loadavg = tmp.write("loadavg", "1.00 0.9 0.8 1/50 10\n");
+  RealLoadAvgSensor sensor(loadavg);
+  EXPECT_DOUBLE_EQ(sensor.measure(), 0.5);
+}
+
+TEST(RealSensors, VmstatSensorDiffsIntervals) {
+  TempDir tmp;
+  const auto loadavg = tmp.write("loadavg", "0.0 0.0 0.0 1/50 10\n");
+  const auto stat1 = tmp.write("stat", "cpu 100 0 100 800 0 0 0 0\n");
+  RealVmstatSensor sensor(stat1, loadavg);
+  (void)sensor.measure();  // prime
+  // Next interval: 100 user, 0 sys, 900 idle jiffies.
+  tmp.write("stat", "cpu 200 0 100 1700 0 0 0 0\n");
+  const double a = sensor.measure();
+  // np = 1/0 running minus the reader itself = 0 -> idle + user = 1.0.
+  EXPECT_NEAR(a, 1.0, 1e-9);
+}
+
+TEST(RealSensors, VmstatSensorSeesBusyInterval) {
+  TempDir tmp;
+  // 2 running entities incl. reader -> np 1 after self-subtraction.
+  const auto loadavg = tmp.write("loadavg", "1.0 1.0 1.0 2/50 10\n");
+  const auto stat = tmp.write("stat", "cpu 0 0 0 0 0 0 0 0\n");
+  RealVmstatSensor sensor(stat, loadavg, /*np_gain=*/1.0);
+  (void)sensor.measure();
+  // Interval fully consumed by user work.
+  tmp.write("stat", "cpu 1000 0 0 0 0 0 0 0\n");
+  EXPECT_NEAR(sensor.measure(), 0.5, 1e-9);
+}
+
+TEST(RealSensors, NicedCpuTimeCountsAsReclaimable) {
+  TempDir tmp;
+  const auto loadavg = tmp.write("loadavg", "1.0 1.0 1.0 1/50 10\n");
+  const auto stat = tmp.write("stat", "cpu 0 0 0 0 0 0 0 0\n");
+  RealVmstatSensor sensor(stat, loadavg, /*np_gain=*/1.0);
+  (void)sensor.measure();
+  // Interval fully consumed by nice-19 work: a full-priority newcomer
+  // could reclaim all of it, so availability stays ~1.
+  tmp.write("stat", "cpu 0 1000 0 0 0 0 0 0\n");
+  EXPECT_NEAR(sensor.measure(), 1.0, 1e-9);
+}
+
+TEST(RealSensors, HybridMonitorProducesBoundedReadings) {
+  if (!fs::exists("/proc/loadavg")) GTEST_SKIP() << "no procfs";
+  RealHybridMonitor monitor({.probe_period = 3600.0,
+                             .probe_duration = 0.05});
+  const double first = monitor.measure(0.0);  // runs the tiny probe
+  EXPECT_GE(first, 0.0);
+  EXPECT_LE(first, 1.0);
+  EXPECT_EQ(monitor.policy().probes_run(), 1u);
+  const double second = monitor.measure(1.0);  // no probe due
+  EXPECT_GE(second, 0.0);
+  EXPECT_LE(second, 1.0);
+  EXPECT_EQ(monitor.policy().probes_run(), 1u);
+}
+
+}  // namespace
+}  // namespace nws

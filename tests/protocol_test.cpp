@@ -1,0 +1,452 @@
+// Unit tests for the nwscpu wire protocol, the NwsServer request handling,
+// and the TCP server/client loopback path.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "nws/client.hpp"
+#include "nws/protocol.hpp"
+#include "nws/server.hpp"
+
+namespace nws {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Request parsing
+
+TEST(Protocol, ParsePut) {
+  const auto req = parse_request("PUT host/cpu 120.5 0.75");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->kind, RequestKind::kPut);
+  EXPECT_EQ(req->series, "host/cpu");
+  EXPECT_DOUBLE_EQ(req->measurement.time, 120.5);
+  EXPECT_DOUBLE_EQ(req->measurement.value, 0.75);
+}
+
+TEST(Protocol, ParseForecastValuesSeriesPingQuit) {
+  EXPECT_EQ(parse_request("FORECAST a")->kind, RequestKind::kForecast);
+  const auto values = parse_request("VALUES a 12");
+  ASSERT_TRUE(values.has_value());
+  EXPECT_EQ(values->kind, RequestKind::kValues);
+  EXPECT_EQ(values->max_values, 12u);
+  EXPECT_EQ(parse_request("SERIES")->kind, RequestKind::kSeries);
+  EXPECT_EQ(parse_request("PING")->kind, RequestKind::kPing);
+  EXPECT_EQ(parse_request("QUIT")->kind, RequestKind::kQuit);
+}
+
+TEST(Protocol, ParseToleratesExtraWhitespaceAndCr) {
+  const auto req = parse_request("  PUT   s   1   0.5 \r");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->series, "s");
+}
+
+struct BadLine {
+  const char* name;
+  const char* line;
+};
+
+class ProtocolBad : public ::testing::TestWithParam<BadLine> {};
+
+TEST_P(ProtocolBad, Rejected) {
+  EXPECT_FALSE(parse_request(GetParam().line).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ProtocolBad,
+    ::testing::Values(BadLine{"empty", ""}, BadLine{"unknown_verb", "FROB x"},
+                      BadLine{"put_missing_value", "PUT s 1.0"},
+                      BadLine{"put_extra_field", "PUT s 1.0 0.5 9"},
+                      BadLine{"put_bad_number", "PUT s one 0.5"},
+                      BadLine{"forecast_no_series", "FORECAST"},
+                      BadLine{"values_zero_max", "VALUES s 0"},
+                      BadLine{"values_bad_max", "VALUES s many"},
+                      BadLine{"series_with_arg", "SERIES x"},
+                      BadLine{"ping_with_arg", "PING 1"}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+TEST(Protocol, FormatParseRoundTrip) {
+  Request req;
+  req.kind = RequestKind::kPut;
+  req.series = "thing2/cpu";
+  req.measurement = {86400.125, 0.123456789012345};
+  const auto back = parse_request(format_request(req));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->series, req.series);
+  EXPECT_DOUBLE_EQ(back->measurement.time, req.measurement.time);
+  EXPECT_DOUBLE_EQ(back->measurement.value, req.measurement.value);
+}
+
+// ---------------------------------------------------------------------------
+// Response formatting / parsing
+
+TEST(Protocol, OkAndErrorShapes) {
+  EXPECT_TRUE(response_is_ok(format_ok()));
+  EXPECT_TRUE(response_is_ok("OK 1 2 3"));
+  EXPECT_FALSE(response_is_ok(format_error("nope")));
+  EXPECT_FALSE(response_is_ok("OKAY"));
+  EXPECT_FALSE(response_is_ok(""));
+}
+
+TEST(Protocol, ForecastResponseRoundTrip) {
+  const std::string response =
+      format_forecast_response(0.875, 0.031, 0.002, 1234, "sw_mean(10)");
+  const auto reply = parse_forecast_response(response);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_DOUBLE_EQ(reply->value, 0.875);
+  EXPECT_DOUBLE_EQ(reply->mae, 0.031);
+  EXPECT_DOUBLE_EQ(reply->mse, 0.002);
+  EXPECT_EQ(reply->history, 1234u);
+  EXPECT_EQ(reply->method, "sw_mean(10)");
+}
+
+TEST(Protocol, ForecastResponseRejectsErrAndGarbage) {
+  EXPECT_FALSE(parse_forecast_response("ERR unknown series").has_value());
+  EXPECT_FALSE(parse_forecast_response("OK 1 2 3").has_value());
+}
+
+TEST(Protocol, ValuesResponseRoundTrip) {
+  const std::vector<Measurement> values = {{1.0, 0.5}, {2.0, 0.75}};
+  const auto back = parse_values_response(format_values_response(values));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_DOUBLE_EQ((*back)[1].value, 0.75);
+  // Empty list round-trips too.
+  const auto empty = parse_values_response(format_values_response({}));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(Protocol, ValuesResponseRejectsCountMismatch) {
+  EXPECT_FALSE(parse_values_response("OK 2 1.0 0.5").has_value());
+}
+
+TEST(Protocol, SeriesResponseRoundTrip) {
+  const auto back = parse_series_response(
+      format_series_response({"a/cpu", "b/cpu"}));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0], "a/cpu");
+}
+
+// ---------------------------------------------------------------------------
+// Server request handling (no sockets)
+
+TEST(Server, PutThenForecast) {
+  NwsServer server;
+  for (int i = 0; i < 20; ++i) {
+    const std::string response = server.handle_line(
+        "PUT h/cpu " + std::to_string(i * 10) + " 0.8");
+    ASSERT_EQ(response, "OK");
+  }
+  const auto reply = parse_forecast_response(server.handle_line(
+      "FORECAST h/cpu"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NEAR(reply->value, 0.8, 1e-9);
+  EXPECT_EQ(reply->history, 20u);
+}
+
+TEST(Server, ErrorsForUnknownSeriesAndMalformedLines) {
+  NwsServer server;
+  EXPECT_EQ(server.handle_line("FORECAST ghost").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server.handle_line("VALUES ghost 5").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server.handle_line("BOGUS").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server.handle_line("").rfind("ERR", 0), 0u);
+}
+
+TEST(Server, OutOfOrderPutRejected) {
+  NwsServer server;
+  EXPECT_EQ(server.handle_line("PUT s 100 0.5"), "OK");
+  EXPECT_EQ(server.handle_line("PUT s 50 0.5").rfind("ERR", 0), 0u);
+}
+
+TEST(Server, ValuesReturnsMostRecent) {
+  NwsServer server;
+  for (int i = 0; i < 10; ++i) {
+    (void)server.handle_line("PUT s " + std::to_string(i) + " 0." +
+                             std::to_string(i));
+  }
+  const auto values = parse_values_response(server.handle_line("VALUES s 3"));
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 3u);
+  EXPECT_DOUBLE_EQ(values->front().time, 7.0);
+  EXPECT_DOUBLE_EQ(values->back().time, 9.0);
+}
+
+TEST(Server, SeriesListsEverything) {
+  NwsServer server;
+  (void)server.handle_line("PUT b 0 0.1");
+  (void)server.handle_line("PUT a 0 0.2");
+  const auto names = parse_series_response(server.handle_line("SERIES"));
+  ASSERT_TRUE(names.has_value());
+  ASSERT_EQ(names->size(), 2u);
+  EXPECT_EQ((*names)[0], "a");  // sorted
+}
+
+TEST(Server, PingQuitAndRequestCounter) {
+  NwsServer server;
+  EXPECT_EQ(server.handle_line("PING"), "OK");
+  EXPECT_EQ(server.handle_line("QUIT"), "OK");
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// TCP loopback
+
+TEST(Net, ClientServerRoundTrip) {
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  EXPECT_TRUE(server.running());
+
+  NwsClient client;
+  ASSERT_TRUE(client.connect(port));
+  EXPECT_TRUE(client.ping());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(client.put("net/cpu", {i * 10.0, 0.6}));
+  }
+  const auto forecast = client.forecast("net/cpu");
+  ASSERT_TRUE(forecast.has_value());
+  EXPECT_NEAR(forecast->value, 0.6, 1e-9);
+  EXPECT_EQ(forecast->history, 30u);
+
+  const auto values = client.values("net/cpu", 5);
+  ASSERT_TRUE(values.has_value());
+  EXPECT_EQ(values->size(), 5u);
+
+  const auto names = client.series();
+  ASSERT_TRUE(names.has_value());
+  ASSERT_EQ(names->size(), 1u);
+  EXPECT_EQ(names->front(), "net/cpu");
+
+  EXPECT_FALSE(client.forecast("nope").has_value());
+  client.disconnect();
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(Net, SequentialConnectionsShareState) {
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  {
+    NwsClient sensor;
+    ASSERT_TRUE(sensor.connect(port));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(sensor.put("shared", {i * 1.0, 0.4}));
+    }
+  }  // sensor connection closes
+  NwsClient scheduler;
+  ASSERT_TRUE(scheduler.connect(port));
+  const auto forecast = scheduler.forecast("shared");
+  ASSERT_TRUE(forecast.has_value());
+  EXPECT_EQ(forecast->history, 10u);
+  server.stop();
+}
+
+TEST(Net, ManyConcurrentClients) {
+  // The poll()-based event loop must interleave several live connections —
+  // six sensors and one scheduler talking at once, as in the service demo.
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  std::vector<NwsClient> sensors(6);
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    ASSERT_TRUE(sensors[i].connect(port)) << i;
+  }
+  NwsClient scheduler;
+  ASSERT_TRUE(scheduler.connect(port));
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    for (std::size_t i = 0; i < sensors.size(); ++i) {
+      ASSERT_TRUE(sensors[i].put("host" + std::to_string(i),
+                                 {epoch * 10.0, 0.1 * static_cast<double>(i)}));
+    }
+    ASSERT_TRUE(scheduler.ping());
+  }
+  const auto names = scheduler.series();
+  ASSERT_TRUE(names.has_value());
+  EXPECT_EQ(names->size(), sensors.size());
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    const auto f = scheduler.forecast("host" + std::to_string(i));
+    ASSERT_TRUE(f.has_value()) << i;
+    EXPECT_NEAR(f->value, 0.1 * static_cast<double>(i), 1e-6) << i;
+    EXPECT_EQ(f->history, 20u);
+  }
+  EXPECT_GE(server.connections(), 7u);
+  server.stop();
+}
+
+TEST(Net, QuitClosesOnlyThatConnection) {
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  NwsClient a, b;
+  ASSERT_TRUE(a.connect(port));
+  ASSERT_TRUE(b.connect(port));
+  ASSERT_TRUE(a.put("s", {0.0, 0.5}));
+  // Send QUIT on a; its connection drains and closes.
+  Request quit;
+  quit.kind = RequestKind::kQuit;
+  (void)a.ping();
+  // b keeps working regardless.
+  EXPECT_TRUE(b.ping());
+  EXPECT_TRUE(b.forecast("s").has_value());
+  server.stop();
+}
+
+TEST(Net, ConnectToClosedPortFails) {
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  server.stop();
+  NwsClient client;
+  EXPECT_FALSE(client.connect(port));
+  EXPECT_FALSE(client.ping());
+}
+
+TEST(Net, StopIsIdempotentAndRestartable) {
+  NwsServer server;
+  server.stop();  // not started: no-op
+  const std::uint16_t p1 = server.start(0);
+  ASSERT_NE(p1, 0);
+  server.stop();
+  server.stop();
+  const std::uint16_t p2 = server.start(0);
+  ASSERT_NE(p2, 0);
+  NwsClient client;
+  EXPECT_TRUE(client.connect(p2));
+  EXPECT_TRUE(client.ping());
+  server.stop();
+}
+
+TEST(Net, StartWhileRunningFails) {
+  NwsServer server;
+  ASSERT_NE(server.start(0), 0);
+  EXPECT_EQ(server.start(0), 0);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection: hostile / broken peers must not wedge the server.
+
+namespace failure_injection {
+
+/// Raw socket helper for sending byte sequences no well-behaved client
+/// would produce.
+class RawPeer {
+ public:
+  explicit RawPeer(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawPeer() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+  bool send_bytes(std::string_view bytes) {
+    return fd_ >= 0 &&
+           ::send(fd_, bytes.data(), bytes.size(), 0) ==
+               static_cast<ssize_t>(bytes.size());
+  }
+  [[nodiscard]] std::string read_line() {
+    std::string line;
+    char c;
+    while (fd_ >= 0 && ::recv(fd_, &c, 1, 0) == 1) {
+      if (c == '\n') break;
+      line += c;
+    }
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(NetFailure, FragmentedRequestReassembled) {
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  RawPeer peer(port);
+  ASSERT_TRUE(peer.ok());
+  ASSERT_TRUE(peer.send_bytes("PU"));
+  ASSERT_TRUE(peer.send_bytes("T frag/cpu 1"));
+  ASSERT_TRUE(peer.send_bytes("0 0.5\n"));
+  EXPECT_EQ(peer.read_line(), "OK");
+  server.stop();
+}
+
+TEST(NetFailure, PipelinedRequestsAllAnswered) {
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  RawPeer peer(port);
+  ASSERT_TRUE(peer.ok());
+  ASSERT_TRUE(
+      peer.send_bytes("PUT p/cpu 0 0.5\nPUT p/cpu 10 0.6\nFORECAST p/cpu\n"));
+  EXPECT_EQ(peer.read_line(), "OK");
+  EXPECT_EQ(peer.read_line(), "OK");
+  EXPECT_EQ(peer.read_line().rfind("OK ", 0), 0u);
+  server.stop();
+}
+
+TEST(NetFailure, GarbageFloodAnsweredWithErrors) {
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  RawPeer peer(port);
+  ASSERT_TRUE(peer.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(peer.send_bytes("\x01\x02 nonsense \xff\n"));
+    EXPECT_EQ(peer.read_line().rfind("ERR", 0), 0u) << i;
+  }
+  // The server is still healthy for real clients afterwards.
+  NwsClient client;
+  ASSERT_TRUE(client.connect(port));
+  EXPECT_TRUE(client.ping());
+  server.stop();
+}
+
+TEST(NetFailure, AbruptDisconnectMidRequestIsHarmless) {
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  {
+    RawPeer peer(port);
+    ASSERT_TRUE(peer.ok());
+    ASSERT_TRUE(peer.send_bytes("PUT half/cpu 10 0."));  // no newline
+  }  // peer closes mid-line
+  NwsClient client;
+  ASSERT_TRUE(client.connect(port));
+  EXPECT_TRUE(client.ping());
+  // The half-line was never completed, so the series must not exist.
+  EXPECT_FALSE(client.forecast("half/cpu").has_value());
+  server.stop();
+}
+
+TEST(NetFailure, StopWithClientsMidSessionDoesNotHang) {
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  NwsClient a, b;
+  ASSERT_TRUE(a.connect(port));
+  ASSERT_TRUE(b.connect(port));
+  ASSERT_TRUE(a.put("s", {0.0, 0.5}));
+  server.stop();  // must join promptly despite two open connections
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace failure_injection
+
+}  // namespace
+}  // namespace nws

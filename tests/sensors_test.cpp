@@ -1,0 +1,257 @@
+// Unit tests for src/sensors: the availability equations, the simulated
+// load-average/vmstat sensors, and the hybrid sensor policy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "sensors/availability.hpp"
+#include "sensors/hybrid_sensor.hpp"
+#include "sensors/sim_sensors.hpp"
+#include "sim/workload.hpp"
+
+namespace nws {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Equation 1
+
+TEST(Equation1, KnownValues) {
+  EXPECT_DOUBLE_EQ(availability_from_load(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(availability_from_load(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(availability_from_load(3.0), 0.25);
+}
+
+TEST(Equation1, MonotoneDecreasingInLoad) {
+  double prev = 2.0;
+  for (double load = 0.0; load < 20.0; load += 0.25) {
+    const double a = availability_from_load(load);
+    EXPECT_LT(a, prev);
+    EXPECT_GT(a, 0.0);
+    EXPECT_LE(a, 1.0);
+    prev = a;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Equation 2
+
+TEST(Equation2, IdleMachineFullyAvailable) {
+  EXPECT_DOUBLE_EQ(
+      availability_from_vmstat({.user = 0.0, .sys = 0.0, .idle = 1.0}, 0.0),
+      1.0);
+}
+
+TEST(Equation2, SingleHogGivesHalf) {
+  // One running CPU-bound process: idle 0, user 1, np 1 -> 0 + 1/2 + w*0.
+  EXPECT_DOUBLE_EQ(
+      availability_from_vmstat({.user = 1.0, .sys = 0.0, .idle = 0.0}, 1.0),
+      0.5);
+}
+
+TEST(Equation2, SystemTimeWeightedByUserFraction) {
+  // Gateway scenario: all system time, no user progress -> w = 0, so the
+  // kernel's consumption is not promised to a new process.
+  EXPECT_DOUBLE_EQ(
+      availability_from_vmstat({.user = 0.0, .sys = 1.0, .idle = 0.0}, 0.0),
+      0.0);
+  // Mixed: user 0.5, sys 0.5, np 1 -> 0 + .5/2 + .5*.5/2 = 0.375.
+  EXPECT_DOUBLE_EQ(
+      availability_from_vmstat({.user = 0.5, .sys = 0.5, .idle = 0.0}, 1.0),
+      0.375);
+}
+
+TEST(Equation2, ClampedToUnitInterval) {
+  EXPECT_LE(
+      availability_from_vmstat({.user = 1.0, .sys = 1.0, .idle = 1.0}, 0.0),
+      1.0);
+  EXPECT_GE(
+      availability_from_vmstat({.user = 0.0, .sys = 0.0, .idle = 0.0}, 5.0),
+      0.0);
+}
+
+TEST(Equation2, MoreRunningProcessesLowerAvailability) {
+  const CpuFractions busy{.user = 1.0, .sys = 0.0, .idle = 0.0};
+  double prev = 2.0;
+  for (double np = 0.0; np <= 8.0; np += 1.0) {
+    const double a = availability_from_vmstat(busy, np);
+    EXPECT_LT(a, prev) << "np " << np;
+    prev = a;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated sensors
+
+TEST(LoadAvgSensorT, MatchesEquationOnHostLoad) {
+  sim::Host host({.name = "h"}, 1);
+  sim::PersistentProcessConfig hog;
+  host.add_workload(std::make_unique<sim::PersistentProcess>(hog, Rng(2)));
+  host.run_for(600.0);
+  LoadAvgSensor sensor(host);
+  EXPECT_NEAR(sensor.measure(),
+              availability_from_load(host.load_average()), 1e-12);
+  EXPECT_NEAR(sensor.measure(), 0.5, 0.01);
+  EXPECT_EQ(sensor.name(), "load_average");
+}
+
+TEST(VmstatSensorT, FirstMeasurementPrimesCounters) {
+  sim::Host host({.name = "h"}, 1);
+  VmstatSensor sensor(host);
+  // No interval yet: reports the optimistic default.
+  EXPECT_DOUBLE_EQ(sensor.measure(), 1.0);
+}
+
+TEST(VmstatSensorT, SeesIdleHost) {
+  sim::Host host({.name = "h"}, 1);
+  VmstatSensor sensor(host);
+  (void)sensor.measure();
+  host.run_for(10.0);
+  EXPECT_NEAR(sensor.measure(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sensor.last_fractions().idle, 1.0);
+}
+
+TEST(VmstatSensorT, SeesSingleHogAsHalf) {
+  sim::Host host({.name = "h"}, 1);
+  sim::PersistentProcessConfig hog;
+  host.add_workload(std::make_unique<sim::PersistentProcess>(hog, Rng(3)));
+  host.run_for(60.0);
+  VmstatSensor sensor(host);
+  (void)sensor.measure();
+  host.run_for(10.0);
+  double reading = 0.0;
+  // np smoothing (EWMA) needs a few readings to converge on 1.
+  for (int i = 0; i < 20; ++i) {
+    host.run_for(10.0);
+    reading = sensor.measure();
+  }
+  EXPECT_NEAR(reading, 0.5, 0.03);
+  EXPECT_NEAR(sensor.smoothed_np(), 1.0, 0.05);
+  EXPECT_NEAR(sensor.last_fractions().user, 1.0, 1e-9);
+}
+
+TEST(VmstatSensorT, ReactsWithinOneInterval) {
+  // vmstat differences over its own interval, so (unlike the 1-minute load
+  // average) a load change shows up in the very next reading.
+  sim::Host host({.name = "h"}, 1);
+  VmstatSensor vmstat(host);
+  LoadAvgSensor load(host);
+  (void)vmstat.measure();
+  host.run_for(60.0);
+  (void)vmstat.measure();
+  // Hog appears now.
+  sim::PersistentProcessConfig hog;
+  host.add_workload(std::make_unique<sim::PersistentProcess>(hog, Rng(4)));
+  host.run_for(10.0);
+  const double vmstat_reading = vmstat.measure();
+  const double load_reading = load.measure();
+  // vmstat already sees the hog (user time 100% of the last interval; only
+  // the np EWMA still lags), while the 1-minute load average is mostly
+  // clean after 10 s.
+  EXPECT_LT(vmstat_reading, 0.8);
+  EXPECT_GT(load_reading, 0.85);
+  EXPECT_LT(vmstat_reading, load_reading - 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid sensor policy
+
+TEST(Hybrid, ProbeScheduling) {
+  HybridSensor h({.probe_period = 60.0, .probe_duration = 1.5});
+  EXPECT_TRUE(h.probe_due(0.0));
+  h.probe_result(0.0, 0.9, 0.9, 0.8);
+  EXPECT_FALSE(h.probe_due(59.9));
+  EXPECT_TRUE(h.probe_due(60.0));
+  EXPECT_EQ(h.probes_run(), 1u);
+}
+
+TEST(Hybrid, SelectsMethodClosestToProbe) {
+  HybridSensor h;
+  h.probe_result(0.0, 0.9, /*load_reading=*/0.85, /*vmstat_reading=*/0.5);
+  EXPECT_EQ(h.selected(), HybridMethod::kLoadAverage);
+  h.probe_result(60.0, 0.55, /*load_reading=*/0.9, /*vmstat_reading=*/0.5);
+  EXPECT_EQ(h.selected(), HybridMethod::kVmstat);
+}
+
+TEST(Hybrid, TieGoesToLoadAverage) {
+  HybridSensor h;
+  h.probe_result(0.0, 0.7, 0.6, 0.8);  // both off by 0.1
+  EXPECT_EQ(h.selected(), HybridMethod::kLoadAverage);
+}
+
+TEST(Hybrid, BiasCorrectsSubsequentReadings) {
+  // The conundrum mechanism: cheap methods read 0.5 while the probe
+  // experienced ~1.0; the +0.5 bias is applied until the next probe.
+  HybridSensor h;
+  h.probe_result(0.0, 1.0, 0.5, 0.48);
+  EXPECT_NEAR(h.bias(), 0.5, 1e-12);
+  EXPECT_NEAR(h.measure(0.5, 0.48), 1.0, 1e-12);
+  EXPECT_NEAR(h.measure(0.4, 0.3), 0.9, 1e-12);
+}
+
+TEST(Hybrid, NegativeBiasWorksToo) {
+  HybridSensor h;
+  h.probe_result(0.0, 0.3, 0.8, 0.9);
+  EXPECT_NEAR(h.bias(), -0.5, 1e-12);
+  EXPECT_NEAR(h.measure(0.8, 0.9), 0.3, 1e-12);
+}
+
+TEST(Hybrid, MeasurementsClampedToUnitInterval) {
+  HybridSensor h;
+  h.probe_result(0.0, 1.0, 0.6, 0.9);
+  EXPECT_LE(h.measure(0.95, 0.2), 1.0);
+  h.probe_result(60.0, 0.0, 0.4, 0.05);
+  EXPECT_GE(h.measure(0.1, 0.0), 0.0);
+}
+
+TEST(Hybrid, BiasDisabledLeavesRawMethod) {
+  HybridSensor h({.probe_period = 60.0, .probe_duration = 1.5,
+                  .apply_bias = false});
+  h.probe_result(0.0, 1.0, 0.5, 0.48);
+  EXPECT_DOUBLE_EQ(h.bias(), 0.0);
+  EXPECT_DOUBLE_EQ(h.measure(0.5, 0.48), 0.5);
+}
+
+TEST(Hybrid, BeforeFirstProbeUsesUnbiasedLoadAverage) {
+  HybridSensor h;
+  EXPECT_DOUBLE_EQ(h.measure(0.7, 0.2), 0.7);
+  EXPECT_EQ(h.probes_run(), 0u);
+}
+
+TEST(Hybrid, EndToEndAgainstNiceSoaker) {
+  // Full pipeline on a simulated conundrum: cheap sensors read ~0.5, the
+  // probe reveals ~1.0, and the hybrid's bias lands its measurement near
+  // the truth.
+  sim::Host host({.name = "conundrum"}, 1);
+  sim::PersistentProcessConfig soaker;
+  soaker.nice = 19;
+  host.add_workload(std::make_unique<sim::PersistentProcess>(soaker, Rng(5)));
+  host.run_for(600.0);
+
+  LoadAvgSensor load(host);
+  VmstatSensor vmstat(host);
+  HybridSensor hybrid;
+  (void)vmstat.measure();
+  host.run_for(10.0);
+
+  const double load_reading = load.measure();
+  double vmstat_reading = vmstat.measure();
+  for (int i = 0; i < 20; ++i) {  // settle the np EWMA
+    host.run_for(10.0);
+    vmstat_reading = vmstat.measure();
+  }
+  ASSERT_NEAR(load_reading, 0.5, 0.05);
+  ASSERT_NEAR(vmstat_reading, 0.5, 0.05);
+
+  const double probe = host.run_timed_process("probe", 1.5);
+  ASSERT_GT(probe, 0.97);
+  hybrid.probe_result(host.now(), probe, load_reading, vmstat_reading);
+  const double corrected = hybrid.measure(load_reading, vmstat_reading);
+  EXPECT_GT(corrected, 0.95);
+
+  const double truth = host.run_timed_process("test", 10.0);
+  EXPECT_NEAR(corrected, truth, 0.05);
+}
+
+}  // namespace
+}  // namespace nws

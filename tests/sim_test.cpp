@@ -1,0 +1,541 @@
+// Unit and property tests for src/sim: scheduler mechanics, host
+// accounting, load average, timed processes, workloads — including the
+// priority-decay phenomenology the paper's anomalies depend on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "sim/host.hpp"
+#include "sim/process.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/types.hpp"
+#include "sim/workload.hpp"
+
+namespace nws::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Types / time conversion
+
+TEST(Types, TickConversionRoundTrips) {
+  EXPECT_EQ(seconds_to_ticks(1.0), kHz);
+  EXPECT_EQ(seconds_to_ticks(1.5), 150);
+  EXPECT_DOUBLE_EQ(ticks_to_seconds(250), 2.5);
+  EXPECT_EQ(seconds_to_ticks(ticks_to_seconds(12345)), 12345);
+}
+
+// ---------------------------------------------------------------------------
+// Priority formula
+
+TEST(Priority, BaseAndEstCpuAndNice) {
+  Process p;
+  EXPECT_DOUBLE_EQ(bsd_priority(p), 50.0);
+  p.p_estcpu = 100.0;
+  EXPECT_DOUBLE_EQ(bsd_priority(p), 75.0);
+  p.nice = 19;
+  EXPECT_DOUBLE_EQ(bsd_priority(p), 75.0 + 57.0);
+}
+
+TEST(Priority, ResidentNice19NeverOutranksSaturatedNice0) {
+  // The starvation guarantee the conundrum reproduction relies on: once a
+  // nice-19 process has been through a couple of decay cycles (p_estcpu >=
+  // 38), even a p_estcpu-saturated nice-0 process outranks it.
+  Process soaker;
+  soaker.nice = 19;
+  soaker.p_estcpu = 38.0;
+  Process hog;
+  hog.p_estcpu = Process::kMaxEstCpu;
+  EXPECT_LT(bsd_priority(hog), bsd_priority(soaker));
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler mechanics
+
+TEST(Scheduler, SpawnAndLookup) {
+  Scheduler s;
+  const ProcessId a = s.spawn("a", 0);
+  const ProcessId b = s.spawn("b", 5, 0.25, 10);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(s.exists(a));
+  EXPECT_FALSE(s.exists(999));
+  EXPECT_EQ(s.process(b).nice, 5);
+  EXPECT_DOUBLE_EQ(s.process(b).syscall_fraction, 0.25);
+  EXPECT_EQ(s.process(b).start_tick, 10);
+  EXPECT_THROW((void)s.process(999), std::out_of_range);
+}
+
+TEST(Scheduler, NewProcessStartsSleeping) {
+  Scheduler s;
+  const ProcessId a = s.spawn("a", 0);
+  EXPECT_EQ(s.process(a).state, RunState::kSleeping);
+  EXPECT_EQ(s.runnable_count(), 0u);
+  EXPECT_EQ(s.pick_next(0), kNoProcess);
+}
+
+TEST(Scheduler, StateTransitions) {
+  Scheduler s;
+  const ProcessId a = s.spawn("a", 0);
+  s.set_runnable(a);
+  EXPECT_EQ(s.runnable_count(), 1u);
+  s.set_sleeping(a);
+  EXPECT_EQ(s.runnable_count(), 0u);
+  s.exit_process(a);
+  s.set_runnable(a);  // must not resurrect an exited process
+  EXPECT_EQ(s.process(a).state, RunState::kExited);
+  EXPECT_EQ(s.live_count(), 0u);
+}
+
+TEST(Scheduler, PickPrefersLowerPriorityValue) {
+  Scheduler s;
+  const ProcessId fresh = s.spawn("fresh", 0);
+  const ProcessId tired = s.spawn("tired", 0);
+  s.set_runnable(fresh);
+  s.set_runnable(tired);
+  s.process(tired).p_estcpu = 200.0;
+  EXPECT_EQ(s.pick_next(0), fresh);
+}
+
+TEST(Scheduler, PickPrefersLowerNiceAtEqualEstCpu) {
+  Scheduler s;
+  const ProcessId normal = s.spawn("normal", 0);
+  const ProcessId niced = s.spawn("niced", 10);
+  s.set_runnable(niced);
+  s.set_runnable(normal);
+  EXPECT_EQ(s.pick_next(0), normal);
+}
+
+TEST(Scheduler, RoundRobinAmongEqualPriorities) {
+  Scheduler s;
+  const ProcessId a = s.spawn("a", 0);
+  const ProcessId b = s.spawn("b", 0);
+  s.set_runnable(a);
+  s.set_runnable(b);
+  const ProcessId first = s.pick_next(0);
+  s.charge_tick(first, 0, false);
+  s.process(first).p_estcpu = 0.0;  // neutralise the usage penalty
+  const ProcessId second = s.pick_next(1);
+  EXPECT_NE(first, second);
+}
+
+TEST(Scheduler, ChargeTickAccounting) {
+  Scheduler s;
+  const ProcessId a = s.spawn("a", 0);
+  s.set_runnable(a);
+  s.charge_tick(a, 7, false);
+  s.charge_tick(a, 8, true);
+  const Process& p = s.process(a);
+  EXPECT_EQ(p.user_ticks, 1);
+  EXPECT_EQ(p.sys_ticks, 1);
+  EXPECT_EQ(p.cpu_ticks(), 2);
+  EXPECT_DOUBLE_EQ(p.p_estcpu, 2.0);
+  EXPECT_EQ(p.last_granted, 8);
+}
+
+TEST(Scheduler, EstCpuSaturates) {
+  Scheduler s;
+  const ProcessId a = s.spawn("a", 0);
+  s.set_runnable(a);
+  s.process(a).p_estcpu = Process::kMaxEstCpu;
+  s.charge_tick(a, 0, false);
+  EXPECT_DOUBLE_EQ(s.process(a).p_estcpu, Process::kMaxEstCpu);
+}
+
+TEST(Scheduler, SecondBoundaryDecaysTowardNice) {
+  Scheduler s;
+  const ProcessId a = s.spawn("a", 4);
+  s.set_runnable(a);
+  s.process(a).p_estcpu = 90.0;
+  // decay factor with load 1: 2/3; p' = 90 * 2/3 + nice = 64.
+  s.second_boundary(100, 1.0);
+  EXPECT_NEAR(s.process(a).p_estcpu, 64.0, 1e-12);
+}
+
+TEST(Scheduler, SecondBoundaryFixedPoint) {
+  // Continuous running at load 1: p_estcpu climbs by ~100/s, saturates at
+  // the 255 cap, and each second boundary decays it by 2/3 — the steady
+  // state cycles between 255 * 2/3 = 170 (just after decay) and 255.
+  Scheduler s;
+  const ProcessId a = s.spawn("a", 0);
+  s.set_runnable(a);
+  for (int sec = 0; sec < 60; ++sec) {
+    for (int t = 0; t < kHz; ++t) {
+      s.charge_tick(a, sec * kHz + t, false);
+    }
+    s.second_boundary((sec + 1) * kHz, 1.0);
+  }
+  EXPECT_NEAR(s.process(a).p_estcpu, Process::kMaxEstCpu * 2.0 / 3.0, 2.0);
+}
+
+TEST(Scheduler, ExpireDeadlines) {
+  Scheduler s;
+  const ProcessId a = s.spawn("a", 0);
+  s.set_runnable(a);
+  s.process(a).exit_at = 100;
+  s.expire_deadlines(99);
+  EXPECT_EQ(s.process(a).state, RunState::kRunnable);
+  s.expire_deadlines(100);
+  EXPECT_EQ(s.process(a).state, RunState::kExited);
+}
+
+TEST(Scheduler, ReapRemovesOnlyExited) {
+  Scheduler s;
+  const ProcessId a = s.spawn("a", 0);
+  const ProcessId b = s.spawn("b", 0);
+  s.exit_process(a);
+  s.reap();
+  EXPECT_FALSE(s.exists(a));
+  EXPECT_TRUE(s.exists(b));
+}
+
+TEST(Scheduler, ReapOneIsTargetedAndRequiresExit) {
+  Scheduler s;
+  const ProcessId a = s.spawn("a", 0);
+  const ProcessId b = s.spawn("b", 0);
+  s.exit_process(a);
+  s.exit_process(b);
+  s.reap_one(a);
+  EXPECT_FALSE(s.exists(a));
+  EXPECT_TRUE(s.exists(b));  // still present until its own reap
+  const ProcessId c = s.spawn("c", 0);
+  s.reap_one(c);  // not exited: no-op
+  EXPECT_TRUE(s.exists(c));
+}
+
+// ---------------------------------------------------------------------------
+// Host accounting invariants
+
+TEST(Host, TickConservation) {
+  Host host({.name = "h"}, 1);
+  PersistentProcessConfig hog;
+  hog.name = "hog";
+  host.add_workload(std::make_unique<PersistentProcess>(hog, Rng(2)));
+  host.run_for(30.0);
+  const KernelCounters& c = host.counters();
+  EXPECT_EQ(c.total(), host.now_ticks());
+  EXPECT_EQ(c.total(), 30 * kHz);
+}
+
+TEST(Host, IdleHostAccruesOnlyIdle) {
+  Host host({.name = "idle"}, 1);
+  host.run_for(10.0);
+  EXPECT_EQ(host.counters().idle, 10 * kHz);
+  EXPECT_EQ(host.counters().user, 0);
+  EXPECT_EQ(host.counters().sys, 0);
+  EXPECT_DOUBLE_EQ(host.load_average(), 0.0);
+}
+
+TEST(Host, SingleHogConsumesEverything) {
+  Host host({.name = "h"}, 1);
+  PersistentProcessConfig hog;
+  host.add_workload(std::make_unique<PersistentProcess>(hog, Rng(3)));
+  host.run_for(20.0);
+  EXPECT_EQ(host.counters().idle, 0);
+  EXPECT_EQ(host.counters().user, 20 * kHz);
+}
+
+TEST(Host, SyscallFractionSplitsUserAndSystem) {
+  Host host({.name = "h"}, 1);
+  PersistentProcessConfig hog;
+  hog.syscall_fraction = 0.3;
+  host.add_workload(std::make_unique<PersistentProcess>(hog, Rng(4)));
+  host.run_for(100.0);
+  const auto total = static_cast<double>(host.counters().total());
+  EXPECT_NEAR(static_cast<double>(host.counters().sys) / total, 0.3, 0.03);
+  EXPECT_EQ(host.counters().idle, 0);
+}
+
+TEST(Host, InterruptLoadStealsTicks) {
+  Host host({.name = "gw", .interrupt_load = 0.1}, 5);
+  host.run_for(100.0);
+  const auto total = static_cast<double>(host.counters().total());
+  EXPECT_NEAR(static_cast<double>(host.counters().sys) / total, 0.1, 0.02);
+  // Interrupts fire even with no runnable process; the rest is idle.
+  EXPECT_EQ(host.counters().user, 0);
+}
+
+TEST(Host, InterruptLoadPreemptsProcesses) {
+  Host host({.name = "gw", .interrupt_load = 0.2}, 6);
+  PersistentProcessConfig hog;
+  host.add_workload(std::make_unique<PersistentProcess>(hog, Rng(7)));
+  host.run_for(100.0);
+  const auto total = static_cast<double>(host.counters().total());
+  // The hog can only get what interrupts leave behind.
+  EXPECT_NEAR(static_cast<double>(host.counters().user) / total, 0.8, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Load average
+
+TEST(Host, LoadAverageConvergesToRunnableCount) {
+  Host host({.name = "h"}, 1);
+  for (int i = 0; i < 3; ++i) {
+    PersistentProcessConfig hog;
+    hog.name = "hog" + std::to_string(i);
+    host.add_workload(std::make_unique<PersistentProcess>(hog, Rng(10 + i)));
+  }
+  host.run_for(600.0);  // 10 smoothing horizons
+  EXPECT_NEAR(host.load_average(), 3.0, 0.05);
+  EXPECT_EQ(host.runnable_count(), 3u);
+}
+
+TEST(Host, LoadAverageLagsBehindChanges) {
+  Host host({.name = "h"}, 1);
+  PersistentProcessConfig hog;
+  host.add_workload(std::make_unique<PersistentProcess>(hog, Rng(11)));
+  host.run_for(300.0);
+  ASSERT_NEAR(host.load_average(), 1.0, 0.05);
+  // The hog keeps existing but we park it via the scheduler directly.
+  for (const Process& p : host.scheduler().processes()) {
+    host.scheduler().set_sleeping(p.id);
+  }
+  host.run_for(15.0);
+  // After only 15 s of a 60 s horizon the average is still clearly > 0.
+  EXPECT_GT(host.load_average(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Timed processes (probe / test process mechanics)
+
+TEST(Host, TimedProcessOnIdleHostGetsFullCpu) {
+  Host host({.name = "h"}, 1);
+  const double fraction = host.run_timed_process("probe", 1.5);
+  EXPECT_NEAR(fraction, 1.0, 1e-9);
+  EXPECT_EQ(host.scheduler().live_count(), 0u);  // reaped
+}
+
+TEST(Host, TimedProcessAgainstEqualPriorityHogSharesEvenly) {
+  Host host({.name = "h"}, 1);
+  PersistentProcessConfig other;
+  host.add_workload(std::make_unique<PersistentProcess>(other, Rng(12)));
+  host.run_for(5.0);
+  // A freshly spawned process first enjoys a priority advantage (low
+  // p_estcpu); over a long enough run the share approaches fair 50%.
+  const double fraction = host.run_timed_process("test", 60.0);
+  EXPECT_NEAR(fraction, 0.5, 0.08);
+}
+
+TEST(Host, CpuFractionPartialWhileRunning) {
+  Host host({.name = "h"}, 1);
+  const TimedRun run = host.start_timed_process("probe", 2.0);
+  host.run_for(1.0);
+  EXPECT_FALSE(host.finished(run));
+  EXPECT_NEAR(host.cpu_fraction(run), 1.0, 0.02);
+  host.run_for(1.5);
+  EXPECT_TRUE(host.finished(run));
+  EXPECT_NEAR(host.cpu_fraction(run), 1.0, 1e-9);
+}
+
+TEST(Host, TimedProcessStopsAtDeadline) {
+  Host host({.name = "h"}, 1);
+  const TimedRun run = host.start_timed_process("probe", 1.0);
+  host.run_for(5.0);
+  const Process& p = host.scheduler().process(run.pid);
+  EXPECT_EQ(p.state, RunState::kExited);
+  EXPECT_EQ(p.cpu_ticks(), seconds_to_ticks(1.0));
+}
+
+// ---------------------------------------------------------------------------
+// The paper's scheduling phenomenology
+
+TEST(Phenomenology, FreshProbePreemptsSaturatedHog) {
+  // kongo: a long-running full-priority job's p_estcpu saturates; a fresh
+  // 1.5 s probe out-prioritises it and experiences ~100% availability.
+  Host host({.name = "kongo"}, 1);
+  PersistentProcessConfig hog;
+  host.add_workload(std::make_unique<PersistentProcess>(hog, Rng(13)));
+  host.run_for(120.0);  // let the hog's p_estcpu saturate
+  const double probe = host.run_timed_process("probe", 1.5);
+  EXPECT_GT(probe, 0.9);
+}
+
+TEST(Phenomenology, TenSecondTestSharesWithResidentHog) {
+  // ...but the 10 s test process runs long enough to be demoted to the
+  // hog's level and ends up sharing: availability well below the probe's.
+  Host host({.name = "kongo"}, 1);
+  PersistentProcessConfig hog;
+  host.add_workload(std::make_unique<PersistentProcess>(hog, Rng(14)));
+  host.run_for(120.0);
+  const double test = host.run_timed_process("test", 10.0);
+  EXPECT_LT(test, 0.85);
+  EXPECT_GT(test, 0.4);
+}
+
+TEST(Phenomenology, ProbeVsTestGapIsTheKongoAnomaly) {
+  Host host({.name = "kongo"}, 1);
+  PersistentProcessConfig hog;
+  host.add_workload(std::make_unique<PersistentProcess>(hog, Rng(15)));
+  host.run_for(120.0);
+  const double probe = host.run_timed_process("probe", 1.5);
+  host.run_for(60.0);
+  const double test = host.run_timed_process("test", 10.0);
+  EXPECT_GT(probe - test, 0.2);
+}
+
+TEST(Phenomenology, Nice19SoakerIsStarvedByFullPriorityWork) {
+  // conundrum: the soaker keeps the run queue non-empty, but a
+  // full-priority test process takes essentially the whole CPU.
+  Host host({.name = "conundrum"}, 1);
+  PersistentProcessConfig soaker;
+  soaker.nice = 19;
+  host.add_workload(std::make_unique<PersistentProcess>(soaker, Rng(16)));
+  host.run_for(300.0);  // 5 smoothing horizons: load ~ 1 - e^-5
+  EXPECT_NEAR(host.load_average(), 1.0, 0.05);  // looks busy
+  const double test = host.run_timed_process("test", 10.0);
+  EXPECT_GT(test, 0.97);  // is not
+}
+
+TEST(Phenomenology, EqualNiceHogsShareFairly) {
+  Host host({.name = "h"}, 1);
+  for (int i = 0; i < 2; ++i) {
+    PersistentProcessConfig hog;
+    hog.name = "hog" + std::to_string(i);
+    host.add_workload(std::make_unique<PersistentProcess>(hog, Rng(20 + i)));
+  }
+  host.run_for(300.0);
+  std::vector<Tick> cpu;
+  for (const Process& p : host.scheduler().processes()) {
+    cpu.push_back(p.cpu_ticks());
+  }
+  ASSERT_EQ(cpu.size(), 2u);
+  const double share = static_cast<double>(cpu[0]) /
+                       static_cast<double>(cpu[0] + cpu[1]);
+  EXPECT_NEAR(share, 0.5, 0.02);
+}
+
+class NiceLadder : public ::testing::TestWithParam<int> {};
+
+TEST_P(NiceLadder, HigherNiceNeverGetsMoreCpu) {
+  const int nice = GetParam();
+  Host host({.name = "h"}, 1);
+  PersistentProcessConfig base;
+  base.name = "nice0";
+  host.add_workload(std::make_unique<PersistentProcess>(base, Rng(30)));
+  PersistentProcessConfig niced;
+  niced.name = "niced";
+  niced.nice = nice;
+  host.add_workload(std::make_unique<PersistentProcess>(niced, Rng(31)));
+  host.run_for(300.0);
+  Tick nice0_cpu = 0, niced_cpu = 0;
+  for (const Process& p : host.scheduler().processes()) {
+    (p.nice == 0 ? nice0_cpu : niced_cpu) = p.cpu_ticks();
+  }
+  EXPECT_LE(niced_cpu, nice0_cpu + 5) << "nice " << nice;
+  const double share = static_cast<double>(niced_cpu) /
+                       static_cast<double>(nice0_cpu + niced_cpu);
+  if (nice >= 8) {
+    // Niced work is clearly penalised...
+    EXPECT_LT(share, 0.40) << "nice " << nice;
+  }
+  if (nice >= 19) {
+    // ...and nice 19 is starved outright while a nice-0 hog runs (the
+    // priority margin analysis in bsd_priority()'s comment).
+    EXPECT_LT(share, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nices, NiceLadder,
+                         ::testing::Values(0, 4, 8, 12, 16, 19));
+
+// ---------------------------------------------------------------------------
+// Workloads
+
+TEST(Diurnal, FactorBoundsAndPeak) {
+  const DiurnalProfile flat{};
+  EXPECT_DOUBLE_EQ(flat.factor(12345.0), 1.0);
+  const DiurnalProfile prof{.amplitude = 0.6, .peak_hour = 15.0};
+  const double peak = prof.factor(15.0 * 3600.0);
+  const double trough = prof.factor(3.0 * 3600.0);
+  EXPECT_NEAR(peak, 1.6, 1e-9);
+  EXPECT_NEAR(trough, 0.4, 1e-9);
+  for (int h = 0; h < 48; ++h) {
+    EXPECT_GT(prof.factor(h * 1800.0), 0.0);
+  }
+}
+
+TEST(Diurnal, PeriodIsOneDay) {
+  const DiurnalProfile prof{.amplitude = 0.5, .peak_hour = 10.0};
+  EXPECT_NEAR(prof.factor(5000.0), prof.factor(5000.0 + 86400.0), 1e-12);
+}
+
+TEST(InteractiveSessionW, GeneratesIntermittentLoad) {
+  Host host({.name = "ws"}, 1);
+  InteractiveSessionConfig cfg;
+  cfg.mean_think = 5.0;
+  cfg.burst_min = 0.3;
+  cfg.burst_cap = 10.0;
+  host.add_workload(std::make_unique<InteractiveSession>(cfg, Rng(40)));
+  host.run_for(1200.0);
+  const auto user = host.counters().user + host.counters().sys;
+  EXPECT_GT(user, 0);
+  EXPECT_GT(host.counters().idle, 0);
+  // Duty should be bounded well away from both extremes.
+  const double duty = static_cast<double>(user) /
+                      static_cast<double>(host.counters().total());
+  EXPECT_GT(duty, 0.02);
+  EXPECT_LT(duty, 0.7);
+}
+
+TEST(BatchArrivalsW, RespectsConcurrencyCapAndProducesJobs) {
+  Host host({.name = "srv"}, 1);
+  BatchArrivalsConfig cfg;
+  cfg.jobs_per_hour = 3600.0;  // one per second: hammers the cap
+  cfg.duration_mu = 2.0;
+  cfg.duration_sigma = 0.5;
+  cfg.max_concurrent = 3;
+  auto batch = std::make_unique<BatchArrivals>(cfg, Rng(41));
+  BatchArrivals* raw = batch.get();
+  host.add_workload(std::move(batch));
+  for (int i = 0; i < 600; ++i) {
+    host.run_for(1.0);
+    ASSERT_LE(raw->active_jobs(), 3u);
+  }
+  EXPECT_GT(host.counters().user + host.counters().sys, 0);
+}
+
+TEST(BatchArrivalsW, JobsEventuallyFinishAndExit) {
+  Host host({.name = "srv"}, 1);
+  BatchArrivalsConfig cfg;
+  cfg.jobs_per_hour = 60.0;
+  cfg.duration_mu = 1.0;  // short jobs (median ~2.7 s)
+  cfg.duration_sigma = 0.3;
+  host.add_workload(std::make_unique<BatchArrivals>(cfg, Rng(42)));
+  host.run_for(600.0);
+  host.reap();
+  // Live processes are only the currently active jobs (usually 0-2).
+  EXPECT_LE(host.scheduler().live_count(), cfg.max_concurrent);
+}
+
+TEST(PersistentProcessW, PartialDutyApproximatesTarget) {
+  Host host({.name = "h"}, 1);
+  PersistentProcessConfig cfg;
+  cfg.duty = 0.4;
+  cfg.run_chunk = 2.0;
+  host.add_workload(std::make_unique<PersistentProcess>(cfg, Rng(43)));
+  host.run_for(3600.0);
+  const double duty = static_cast<double>(host.counters().user) /
+                      static_cast<double>(host.counters().total());
+  EXPECT_NEAR(duty, 0.4, 0.06);
+}
+
+TEST(Host, DeterministicForSameSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Host host({.name = "h"}, seed);
+    InteractiveSessionConfig cfg;
+    cfg.mean_think = 3.0;
+    host.add_workload(std::make_unique<InteractiveSession>(cfg, Rng(seed)));
+    host.run_for(300.0);
+    return host.counters();
+  };
+  const KernelCounters a = run(77);
+  const KernelCounters b = run(77);
+  const KernelCounters c = run(78);
+  EXPECT_EQ(a.user, b.user);
+  EXPECT_EQ(a.sys, b.sys);
+  EXPECT_EQ(a.idle, b.idle);
+  EXPECT_NE(a.user, c.user);
+}
+
+}  // namespace
+}  // namespace nws::sim

@@ -1,0 +1,392 @@
+// Unit and property tests for src/tsa: series container, autocorrelation,
+// R/S analysis / Hurst estimation, aggregation, fGn generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "tsa/aggregate.hpp"
+#include "tsa/autocorrelation.hpp"
+#include "tsa/fgn.hpp"
+#include "tsa/rs_analysis.hpp"
+#include "tsa/series.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace nws {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TimeSeries
+
+TEST(TimeSeries, BasicAccessors) {
+  TimeSeries s("demo", 100.0, 10.0, {0.1, 0.2, 0.3});
+  EXPECT_EQ(s.name(), "demo");
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[1], 0.2);
+  EXPECT_DOUBLE_EQ(s.time_at(0), 100.0);
+  EXPECT_DOUBLE_EQ(s.time_at(2), 120.0);
+}
+
+TEST(TimeSeries, IndexAtOrBefore) {
+  TimeSeries s("x", 100.0, 10.0, {1.0, 2.0, 3.0});
+  EXPECT_EQ(s.index_at_or_before(99.0), TimeSeries::npos);
+  EXPECT_EQ(s.index_at_or_before(100.0), 0u);
+  EXPECT_EQ(s.index_at_or_before(109.9), 0u);
+  EXPECT_EQ(s.index_at_or_before(110.0), 1u);
+  EXPECT_EQ(s.index_at_or_before(125.0), 2u);
+  EXPECT_EQ(s.index_at_or_before(1e9), 2u);  // clamps to last sample
+}
+
+TEST(TimeSeries, IndexAtOrBeforeEmpty) {
+  TimeSeries s("x", 0.0, 1.0);
+  EXPECT_EQ(s.index_at_or_before(5.0), TimeSeries::npos);
+}
+
+TEST(TimeSeries, Slice) {
+  TimeSeries s("x", 0.0, 2.0, {0.0, 1.0, 2.0, 3.0, 4.0});
+  const TimeSeries mid = s.slice(1, 3);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_DOUBLE_EQ(mid[0], 1.0);
+  EXPECT_DOUBLE_EQ(mid.start(), 2.0);
+  const TimeSeries tail = s.slice(3, 100);
+  EXPECT_EQ(tail.size(), 2u);
+  const TimeSeries past = s.slice(9, 2);
+  EXPECT_TRUE(past.empty());
+}
+
+TEST(TimeSeries, PushAndClear) {
+  TimeSeries s("x", 0.0, 1.0);
+  s.push_back(0.5);
+  s.push_back(0.6);
+  EXPECT_EQ(s.size(), 2u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Autocorrelation
+
+TEST(Acf, LagZeroIsOne) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform());
+  EXPECT_NEAR(autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(Acf, BoundedByOne) {
+  Rng rng(2);
+  const auto xs = generate_ar1(rng, 0.9, 2000);
+  for (std::size_t k = 0; k < 50; ++k) {
+    const double r = autocorrelation(xs, k);
+    EXPECT_LE(std::abs(r), 1.0 + 1e-12) << "lag " << k;
+  }
+}
+
+TEST(Acf, WhiteNoiseNearZero) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(sample_normal(rng));
+  for (std::size_t k : {1u, 5u, 20u}) {
+    EXPECT_NEAR(autocorrelation(xs, k), 0.0, 0.03) << "lag " << k;
+  }
+}
+
+TEST(Acf, Ar1MatchesTheory) {
+  // AR(1) with coefficient phi has ACF(k) = phi^k.
+  Rng rng(4);
+  const double phi = 0.8;
+  const auto xs = generate_ar1(rng, phi, 100000);
+  for (std::size_t k : {1u, 2u, 3u, 5u}) {
+    EXPECT_NEAR(autocorrelation(xs, k), std::pow(phi, k), 0.03)
+        << "lag " << k;
+  }
+}
+
+TEST(Acf, ConstantSeriesIsZero) {
+  const std::vector<double> xs(100, 3.14);
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 1), 0.0);
+  const auto all = autocorrelations(xs, 10);
+  for (double r : all) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(Acf, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(autocorrelation(std::span<const double>{}, 1), 0.0);
+  const std::vector<double> one = {1.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(one, 0), 0.0);
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(two, 5), 0.0);  // lag >= n
+}
+
+TEST(Acf, VectorAgreesWithScalar) {
+  Rng rng(5);
+  const auto xs = generate_ar1(rng, 0.7, 3000);
+  const auto all = autocorrelations(xs, 30);
+  ASSERT_EQ(all.size(), 31u);
+  for (std::size_t k = 0; k <= 30; ++k) {
+    EXPECT_NEAR(all[k], autocorrelation(xs, k), 1e-12);
+  }
+}
+
+TEST(Acf, MaxLagClampedToSeries) {
+  const std::vector<double> xs = {1.0, 2.0, 1.0, 2.0};
+  const auto all = autocorrelations(xs, 100);
+  EXPECT_EQ(all.size(), 4u);  // lags 0..3
+}
+
+TEST(Acf, DecaySummary) {
+  Rng rng(6);
+  const auto xs = generate_ar1(rng, 0.95, 20000);
+  const AcfDecay d = acf_decay(xs, 200, 0.2);
+  EXPECT_EQ(d.lags_computed, 201u);
+  // AR(1) 0.95: 0.95^k < 0.2 at k ~ 32.
+  EXPECT_GT(d.first_below, 10u);
+  EXPECT_LT(d.first_below, 80u);
+}
+
+// ---------------------------------------------------------------------------
+// R/S analysis
+
+TEST(RsAnalysis, RescaledRangeHandComputed) {
+  // xs = {1, 2}: mean 1.5, sd 0.5; cumulative mean-adjusted sums W = {-.5, 0}
+  // (plus W_0 = 0), range = 0.5, R/S = 1.
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_NEAR(rescaled_range(xs), 1.0, 1e-12);
+}
+
+TEST(RsAnalysis, RescaledRangeDegenerate) {
+  const std::vector<double> one = {1.0};
+  EXPECT_DOUBLE_EQ(rescaled_range(one), 0.0);
+  const std::vector<double> flat = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(rescaled_range(flat), 0.0);
+}
+
+TEST(RsAnalysis, RescaledRangePositiveAndScaleFree) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 256; ++i) xs.push_back(sample_normal(rng));
+  const double rs1 = rescaled_range(xs);
+  EXPECT_GT(rs1, 0.0);
+  // R/S is invariant under affine transforms of the data.
+  std::vector<double> scaled;
+  for (double x : xs) scaled.push_back(3.0 * x + 10.0);
+  EXPECT_NEAR(rescaled_range(scaled), rs1, 1e-9);
+}
+
+TEST(RsAnalysis, PoxPointsCoverScales) {
+  Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 4096; ++i) xs.push_back(sample_normal(rng));
+  const auto points = pox_points(xs);
+  EXPECT_GT(points.size(), 50u);
+  double min_d = 1e9, max_d = -1e9;
+  for (const auto& p : points) {
+    min_d = std::min(min_d, p.log10_d);
+    max_d = std::max(max_d, p.log10_d);
+  }
+  EXPECT_NEAR(min_d, std::log10(8.0), 1e-9);
+  EXPECT_GE(max_d, std::log10(1024.0) - 1e-9);
+}
+
+TEST(RsAnalysis, PoxPointsEmptyForShortSeries) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(pox_points(xs).empty());
+}
+
+TEST(RsAnalysis, WhiteNoiseHurstNearHalf) {
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 16384; ++i) xs.push_back(sample_normal(rng));
+  const HurstEstimate est = estimate_hurst_rs(xs);
+  EXPECT_NEAR(est.hurst, 0.5, 0.08);
+  EXPECT_GT(est.r_squared, 0.9);
+}
+
+struct HurstCase {
+  double h;
+  double tolerance;
+};
+
+class HurstRecovery : public ::testing::TestWithParam<HurstCase> {};
+
+TEST_P(HurstRecovery, RsEstimatorRecoversFgnTarget) {
+  const auto [h, tol] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(h * 1000));
+  const auto xs = generate_fgn(rng, h, 8192);
+  const HurstEstimate est = estimate_hurst_rs(xs);
+  EXPECT_NEAR(est.hurst, h, tol) << "target H " << h;
+  EXPECT_GT(est.hurst, 0.0);
+  EXPECT_LT(est.hurst, 1.1);
+}
+
+TEST_P(HurstRecovery, AggVarEstimatorRecoversFgnTarget) {
+  const auto [h, tol] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(h * 1000) + 1);
+  const auto xs = generate_fgn(rng, h, 8192);
+  const HurstEstimate est = estimate_hurst_aggvar(xs);
+  EXPECT_NEAR(est.hurst, h, tol + 0.05) << "target H " << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HurstRecovery,
+                         ::testing::Values(HurstCase{0.5, 0.08},
+                                           HurstCase{0.6, 0.08},
+                                           HurstCase{0.7, 0.08},
+                                           HurstCase{0.8, 0.08},
+                                           HurstCase{0.9, 0.10}),
+                         [](const auto& info) {
+                           return "H" + std::to_string(static_cast<int>(
+                                            info.param.h * 100));
+                         });
+
+TEST(RsAnalysis, EstimateDegenerateSeries) {
+  const std::vector<double> flat(1000, 1.0);
+  const HurstEstimate est = estimate_hurst_rs(flat);
+  EXPECT_EQ(est.num_points, 0u);
+  EXPECT_DOUBLE_EQ(est.hurst, 0.0);
+}
+
+TEST(RsAnalysis, Ar1IsShortMemoryDespiteHighAcf) {
+  // AR(1) has exponentially decaying correlations: its asymptotic H is 0.5
+  // even though lag-1 ACF is 0.9.  At finite length the estimate is biased
+  // upward, but must stay clearly below a genuinely long-memory series.
+  Rng rng(10);
+  const auto ar1 = generate_ar1(rng, 0.9, 16384);
+  const auto fgn = generate_fgn(rng, 0.9, 8192);
+  EXPECT_LT(estimate_hurst_rs(ar1).hurst, estimate_hurst_rs(fgn).hurst);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+
+TEST(Aggregate, BlockMeans) {
+  const std::vector<double> xs = {1.0, 3.0, 5.0, 7.0, 9.0, 11.0};
+  const auto agg = aggregate_series(xs, 2);
+  ASSERT_EQ(agg.size(), 3u);
+  EXPECT_DOUBLE_EQ(agg[0], 2.0);
+  EXPECT_DOUBLE_EQ(agg[1], 6.0);
+  EXPECT_DOUBLE_EQ(agg[2], 10.0);
+}
+
+TEST(Aggregate, DropsPartialTrailingBlock) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(aggregate_series(xs, 2).size(), 2u);
+  EXPECT_EQ(aggregate_series(xs, 3).size(), 1u);
+  EXPECT_EQ(aggregate_series(xs, 6).size(), 0u);
+}
+
+TEST(Aggregate, IdentityAtLevelOne) {
+  const std::vector<double> xs = {0.5, 0.7, 0.2};
+  const auto agg = aggregate_series(xs, 1);
+  EXPECT_EQ(agg, xs);
+}
+
+TEST(Aggregate, PreservesGrandMean) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 900; ++i) xs.push_back(rng.uniform());
+  const auto agg = aggregate_series(xs, 30);
+  EXPECT_NEAR(mean(agg), mean(xs), 1e-12);
+}
+
+TEST(Aggregate, TimeSeriesMetadata) {
+  const TimeSeries s("host/load", 100.0, 10.0,
+                     std::vector<double>(60, 0.5));
+  const TimeSeries agg = aggregate_series(s, 30);
+  EXPECT_EQ(agg.size(), 2u);
+  EXPECT_DOUBLE_EQ(agg.period(), 300.0);
+  EXPECT_DOUBLE_EQ(agg.start(), 100.0);
+  EXPECT_NE(agg.name().find("agg30"), std::string::npos);
+}
+
+TEST(Aggregate, VarianceTimeMonotoneForWhiteNoise) {
+  Rng rng(12);
+  std::vector<double> xs;
+  for (int i = 0; i < 32768; ++i) xs.push_back(sample_normal(rng));
+  const auto points = variance_time(xs);
+  ASSERT_GE(points.size(), 5u);
+  EXPECT_EQ(points.front().m, 1u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].variance, points[i - 1].variance);
+  }
+  // White noise: Var(X^(m)) = Var(X)/m.
+  for (const auto& p : points) {
+    EXPECT_NEAR(p.variance * static_cast<double>(p.m), points[0].variance,
+                0.25 * points[0].variance)
+        << "m=" << p.m;
+  }
+}
+
+TEST(Aggregate, SelfSimilarVarianceDecaysSlowerThanWhiteNoise) {
+  Rng rng(13);
+  const auto fgn = generate_fgn(rng, 0.85, 8192);
+  const auto points = variance_time(fgn);
+  ASSERT_GE(points.size(), 4u);
+  const auto& last = points.back();
+  // Var should decay ~ m^(2H-2) = m^-0.3, much slower than m^-1.
+  const double white_noise_prediction =
+      points[0].variance / static_cast<double>(last.m);
+  EXPECT_GT(last.variance, 3.0 * white_noise_prediction);
+}
+
+// ---------------------------------------------------------------------------
+// Fractional Gaussian noise
+
+TEST(Fgn, AutocovarianceBasics) {
+  EXPECT_DOUBLE_EQ(fgn_autocovariance(0.7, 0), 1.0);
+  // H = 0.5 is white noise: zero autocovariance at all positive lags.
+  for (std::size_t k : {1u, 2u, 10u}) {
+    EXPECT_NEAR(fgn_autocovariance(0.5, k), 0.0, 1e-12);
+  }
+  // Long-memory: positive, decaying covariance.
+  EXPECT_GT(fgn_autocovariance(0.8, 1), 0.0);
+  EXPECT_GT(fgn_autocovariance(0.8, 1), fgn_autocovariance(0.8, 10));
+  // Anti-persistent (H < 0.5): negative lag-1 covariance.
+  EXPECT_LT(fgn_autocovariance(0.3, 1), 0.0);
+}
+
+TEST(Fgn, UnitVarianceAndZeroMean) {
+  Rng rng(14);
+  const auto xs = generate_fgn(rng, 0.75, 4096);
+  EXPECT_NEAR(mean(xs), 0.0, 0.15);
+  EXPECT_NEAR(variance(xs), 1.0, 0.25);
+}
+
+TEST(Fgn, SampleAcfMatchesTheory) {
+  Rng rng(15);
+  const auto xs = generate_fgn(rng, 0.8, 8192);
+  for (std::size_t k : {1u, 2u, 4u}) {
+    EXPECT_NEAR(autocorrelation(xs, k), fgn_autocovariance(0.8, k), 0.06)
+        << "lag " << k;
+  }
+}
+
+TEST(Fgn, HalfIsWhiteNoise) {
+  Rng rng(16);
+  const auto xs = generate_fgn(rng, 0.5, 4096);
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.05);
+}
+
+TEST(Fgn, DeterministicGivenSeed) {
+  Rng a(17), b(17);
+  const auto xs = generate_fgn(a, 0.7, 64);
+  const auto ys = generate_fgn(b, 0.7, 64);
+  EXPECT_EQ(xs, ys);
+}
+
+TEST(Fgn, SizeZeroAndOne) {
+  Rng rng(18);
+  EXPECT_TRUE(generate_fgn(rng, 0.7, 0).empty());
+  EXPECT_EQ(generate_fgn(rng, 0.7, 1).size(), 1u);
+}
+
+TEST(Ar1, VarianceMatchesTheory) {
+  Rng rng(19);
+  const double phi = 0.6;
+  const auto xs = generate_ar1(rng, phi, 100000);
+  // Stationary variance of AR(1): 1 / (1 - phi^2).
+  EXPECT_NEAR(variance(xs), 1.0 / (1.0 - phi * phi), 0.1);
+}
+
+}  // namespace
+}  // namespace nws

@@ -1,0 +1,461 @@
+// Unit tests for src/util: RNG, distributions, statistics, CSV, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <random>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace nws {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SmallConsecutiveSeedsAreIndependent) {
+  // splitmix seeding must decorrelate seeds 0 and 1.
+  Rng a(0), b(1);
+  double corr_hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    corr_hits += (a() >> 63) == (b() >> 63);
+  }
+  EXPECT_NEAR(corr_hits / 1000.0, 0.5, 0.08);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stats.add(u);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(13);
+  Rng child = parent.fork();
+  // Parent and child should not track each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent() == child();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), std::numeric_limits<std::uint64_t>::max());
+}
+
+// ---------------------------------------------------------------------------
+// Distributions
+
+TEST(Distributions, ExponentialMean) {
+  Rng rng(20);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(sample_exponential(rng, 4.0));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(Distributions, ExponentialVarianceIsMeanSquared) {
+  Rng rng(21);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(sample_exponential(rng, 2.0));
+  EXPECT_NEAR(stats.variance(), 4.0, 0.25);
+}
+
+TEST(Distributions, ParetoRespectsMinimum) {
+  Rng rng(22);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_GE(sample_pareto(rng, 1.5, 0.4), 0.4);
+  }
+}
+
+TEST(Distributions, ParetoMeanForShapeAboveOne) {
+  Rng rng(23);
+  RunningStats stats;
+  // alpha = 3 has a finite, quickly converging mean: alpha*xm/(alpha-1).
+  for (int i = 0; i < 100000; ++i) stats.add(sample_pareto(rng, 3.0, 1.0));
+  EXPECT_NEAR(stats.mean(), 1.5, 0.05);
+}
+
+TEST(Distributions, ParetoTailHeavierForSmallerAlpha) {
+  Rng heavy_rng(24), light_rng(24);
+  int heavy_tail = 0, light_tail = 0;
+  for (int i = 0; i < 20000; ++i) {
+    heavy_tail += sample_pareto(heavy_rng, 1.1, 1.0) > 10.0;
+    light_tail += sample_pareto(light_rng, 3.0, 1.0) > 10.0;
+  }
+  EXPECT_GT(heavy_tail, 10 * light_tail);
+}
+
+TEST(Distributions, BoundedParetoWithinBounds) {
+  Rng rng(25);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = sample_bounded_pareto(rng, 1.4, 0.4, 600.0);
+    ASSERT_GE(x, 0.4);
+    ASSERT_LE(x, 600.0);
+  }
+}
+
+TEST(Distributions, BoundedParetoStochasticallyBelowUnbounded) {
+  Rng a(26), b(26);
+  RunningStats bounded, unbounded;
+  for (int i = 0; i < 20000; ++i) {
+    bounded.add(sample_bounded_pareto(a, 1.2, 1.0, 50.0));
+    unbounded.add(sample_pareto(b, 1.2, 1.0));
+  }
+  EXPECT_LT(bounded.mean(), unbounded.mean());
+  EXPECT_LE(bounded.max(), 50.0);
+}
+
+TEST(Distributions, NormalMoments) {
+  Rng rng(27);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(sample_normal(rng));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.03);
+}
+
+TEST(Distributions, NormalShiftScale) {
+  Rng rng(28);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(sample_normal(rng, 10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Distributions, LognormalMedian) {
+  Rng rng(29);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(sample_lognormal(rng, 2.0, 0.8));
+  // Median of lognormal is exp(mu).
+  EXPECT_NEAR(median(xs), std::exp(2.0), 0.3);
+}
+
+TEST(Distributions, InterarrivalMatchesRate) {
+  Rng rng(30);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(sample_interarrival(rng, 0.25));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, VarianceBasics) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_NEAR(sample_variance(xs), 4.0 * 8.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceDegenerateCases) {
+  EXPECT_DOUBLE_EQ(variance(std::span<const double>{}), 0.0);
+  const std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(sample_variance(one), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Stats, QuantileClampsOutOfRange) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 3.0);
+}
+
+TEST(Stats, MeanAbsAndExtremes) {
+  const std::vector<double> xs = {-2.0, 2.0, -4.0};
+  EXPECT_NEAR(mean_abs(xs), 8.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(min_value(xs), -4.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 2.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(40);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-10);
+  EXPECT_NEAR(rs.sample_variance(), sample_variance(xs), 1e-10);
+  EXPECT_DOUBLE_EQ(rs.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_value(xs));
+  EXPECT_EQ(rs.count(), xs.size());
+}
+
+TEST(Stats, RunningStatsEmptyAndReset) {
+  RunningStats rs;
+  EXPECT_TRUE(rs.empty());
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  rs.add(3.0);
+  EXPECT_FALSE(rs.empty());
+  rs.reset();
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.count(), 0u);
+}
+
+TEST(Stats, LinearFitExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 2.0);
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitNoisyLineRecovery) {
+  Rng rng(41);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(i * 0.1);
+    ys.push_back(0.7 * i * 0.1 + 1.0 + sample_normal(rng, 0.0, 0.2));
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.7, 0.02);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(Stats, LinearFitDegenerate) {
+  const std::vector<double> one_x = {1.0};
+  const std::vector<double> one_y = {2.0};
+  EXPECT_DOUBLE_EQ(linear_fit(one_x, one_y).slope, 0.0);
+  const std::vector<double> same_x = {2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(linear_fit(same_x, ys).slope, 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelations) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonUncorrelatedNearZero) {
+  Rng rng(42);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.03);
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+
+TEST(Csv, RoundTripWithHeaders) {
+  CsvTable table;
+  table.headers = {"a", "b"};
+  table.columns = {{1.0, 2.5, -3.0}, {4.0, 0.5, 6.25}};
+  std::stringstream ss;
+  write_csv(ss, table);
+  const CsvTable back = read_csv(ss);
+  ASSERT_EQ(back.headers, table.headers);
+  ASSERT_EQ(back.cols(), 2u);
+  ASSERT_EQ(back.rows(), 3u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      EXPECT_DOUBLE_EQ(back.columns[c][r], table.columns[c][r]);
+    }
+  }
+}
+
+TEST(Csv, HeaderlessNumericFirstRow) {
+  std::stringstream ss("1,2\n3,4\n");
+  const CsvTable table = read_csv(ss);
+  EXPECT_TRUE(table.headers.empty());
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_DOUBLE_EQ(table.columns[1][1], 4.0);
+}
+
+TEST(Csv, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# comment\n\nx,y\n1,2\n# mid comment\n3,4\n");
+  const CsvTable table = read_csv(ss);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.headers.front(), "x");
+}
+
+TEST(Csv, RaggedRowThrows) {
+  std::stringstream ss("a,b\n1,2\n3\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, BadNumericFieldThrows) {
+  std::stringstream ss("a,b\n1,2\n3,oops\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, WriteRaggedColumnsThrows) {
+  CsvTable table;
+  table.columns = {{1.0}, {1.0, 2.0}};
+  std::stringstream ss;
+  EXPECT_THROW(write_csv(ss, table), std::runtime_error);
+}
+
+TEST(Csv, WriteHeaderMismatchThrows) {
+  CsvTable table;
+  table.headers = {"only_one"};
+  table.columns = {{1.0}, {2.0}};
+  std::stringstream ss;
+  EXPECT_THROW(write_csv(ss, table), std::runtime_error);
+}
+
+TEST(Csv, ColumnIndexLookup) {
+  CsvTable table;
+  table.headers = {"time", "value"};
+  EXPECT_EQ(table.column_index("value"), 1u);
+  EXPECT_EQ(table.column_index("missing"), CsvTable::npos);
+}
+
+TEST(Csv, PreservesPrecision) {
+  CsvTable table;
+  table.columns = {{0.1234567890123456, 1e-17}};
+  std::stringstream ss;
+  write_csv(ss, table);
+  const CsvTable back = read_csv(ss);
+  EXPECT_DOUBLE_EQ(back.columns[0][0], 0.1234567890123456);
+  EXPECT_DOUBLE_EQ(back.columns[0][1], 1e-17);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "nwscpu_csv_test.csv";
+  CsvTable table;
+  table.headers = {"v"};
+  table.columns = {{1.0, 2.0}};
+  write_csv(path, table);
+  const CsvTable back = read_csv(path);
+  EXPECT_EQ(back.rows(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv(std::filesystem::path("/nonexistent/nope.csv")),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// TextTable
+
+TEST(TextTable, FormatsPercentagesAndNumbers) {
+  EXPECT_EQ(TextTable::pct(0.123), "12.3%");
+  EXPECT_EQ(TextTable::pct(0.1234, 2), "12.34%");
+  EXPECT_EQ(TextTable::num(0.03481), "0.0348");
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+}
+
+TEST(TextTable, AlignsColumnsAndAddsRule) {
+  TextTable t;
+  t.add_row({"Host", "Err"});
+  t.add_row({"thing2", "9.0%"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("Host"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("thing2"), std::string::npos);
+}
+
+TEST(TextTable, TitlePrinted) {
+  TextTable t("My Title");
+  t.add_row({"a"});
+  EXPECT_EQ(t.to_string().rfind("My Title", 0), 0u);
+}
+
+}  // namespace
+}  // namespace nws
