@@ -1,9 +1,10 @@
 #include "common/experiment_common.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+
+#include "experiments/fleet.hpp"
 
 namespace nws::bench {
 
@@ -49,19 +50,21 @@ RunnerConfig week_config() {
 }
 
 std::vector<HostResult> run_fleet(const RunnerConfig& config) {
+  // One pool task per host (NWSCPU_JOBS threads; 1 = serial fallback).
+  // Each host's simulation is seeded from the (host, seed) pair, so the
+  // traces are identical to the old serial loop in fixed host order.
+  const auto& fleet = all_ucsd_hosts();
+  const std::vector<UcsdHost> order(fleet.begin(), fleet.end());
+  std::vector<HostTrace> traces = run_fleet_parallel(
+      order, experiment_seed(), config, /*jobs=*/0,
+      [](UcsdHost h, double wall) {
+        std::fprintf(stderr, "  simulated %-10s (%.1fs)\n",
+                     host_name(h).c_str(), wall);
+      });
   std::vector<HostResult> results;
-  results.reserve(all_ucsd_hosts().size());
-  for (UcsdHost h : all_ucsd_hosts()) {
-    const auto start = std::chrono::steady_clock::now();
-    auto host = make_ucsd_host(h, experiment_seed());
-    HostTrace trace = run_experiment(*host, config);
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-    std::fprintf(stderr, "  simulated %-10s (%.1fs)\n",
-                 host_name(h).c_str(), wall);
-    results.push_back({h, std::move(trace)});
+  results.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    results.push_back({order[i], std::move(traces[i])});
   }
   return results;
 }

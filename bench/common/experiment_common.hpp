@@ -8,6 +8,8 @@
 // Environment knobs (for quick iteration; defaults reproduce the paper):
 //   NWSCPU_HOURS  — experiment length in hours   (default 24)
 //   NWSCPU_SEED   — simulation seed              (default 42)
+//   NWSCPU_JOBS   — simulation threads for the fleet fan-out
+//                   (default hardware_concurrency; 1 = serial)
 #pragma once
 
 #include <cstdint>
@@ -45,8 +47,10 @@ struct HostResult {
   HostTrace trace;
 };
 
-/// Simulates every host in the fleet under `config`.  Prints a one-line
-/// progress note per host to stderr (the runs take seconds each).
+/// Simulates every host in the fleet under `config`, fanning the hosts out
+/// across NWSCPU_JOBS threads (results stay in fixed fleet order and are
+/// identical to a serial run).  Prints a one-line progress note per host
+/// to stderr as each simulation completes.
 [[nodiscard]] std::vector<HostResult> run_fleet(const RunnerConfig& config);
 
 /// Published values (paper Tables 1-6), for side-by-side comparison in the

@@ -5,12 +5,27 @@
 // relatively cheap to compute" because a deployed forecaster processes
 // every measurement of every tracked series on-line.  These benches verify
 // the battery stays in the sub-microsecond-per-update regime.
+//
+// Each order-statistic method is benchmarked twice: the production
+// incremental implementation (O(log w) treap/prefix-sum windows) and a
+// `naive::` replica of the seed implementation (full O(w log w) window
+// scan per forecast).  The BM_Naive* / BM_* pairs quantify the speedup.
+//
+// Results are also dumped as JSON to <NWSCPU_OUT or bench_out>/
+// micro_forecast.json unless the caller passes its own --benchmark_out.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
 #include <vector>
 
+#include "forecast/adaptive.hpp"
 #include "forecast/battery.hpp"
 #include "forecast/methods.hpp"
+#include "forecast/window.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -38,6 +53,160 @@ void run_forecaster(benchmark::State& state, nws::Forecaster& f) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
+
+// ---------------------------------------------------------------------------
+// Seed (pre-optimisation) replicas: every forecast() sorts/scans the window.
+// Kept here, not in the library, purely as a benchmark baseline.
+namespace naive {
+
+class MedianForecaster final : public nws::Forecaster {
+ public:
+  explicit MedianForecaster(std::size_t window) : win_(window) {}
+  [[nodiscard]] std::string name() const override { return "naive_median"; }
+  [[nodiscard]] double forecast() const override {
+    return win_.empty() ? kInitialGuess : win_.median();
+  }
+  void observe(double value) override { win_.push(value); }
+  void reset() override { win_.clear(); }
+  [[nodiscard]] nws::ForecasterPtr clone() const override {
+    return std::make_unique<MedianForecaster>(*this);
+  }
+
+ private:
+  nws::SlidingWindow win_;
+};
+
+class TrimmedMeanForecaster final : public nws::Forecaster {
+ public:
+  TrimmedMeanForecaster(std::size_t window, std::size_t trim)
+      : win_(window), trim_(trim) {}
+  [[nodiscard]] std::string name() const override { return "naive_trim"; }
+  [[nodiscard]] double forecast() const override {
+    return win_.empty() ? kInitialGuess : win_.trimmed_mean(trim_);
+  }
+  void observe(double value) override { win_.push(value); }
+  void reset() override { win_.clear(); }
+  [[nodiscard]] nws::ForecasterPtr clone() const override {
+    return std::make_unique<TrimmedMeanForecaster>(*this);
+  }
+
+ private:
+  nws::SlidingWindow win_;
+  std::size_t trim_;
+};
+
+// Seed adaptive-window forecaster: three full window scans (or
+// nth_element copies, for the median kind) per observation.
+class AdaptiveWindowForecaster final : public nws::Forecaster {
+ public:
+  enum class Kind { kMean, kMedian };
+  AdaptiveWindowForecaster(Kind kind, std::size_t min_window,
+                           std::size_t max_window, double discount = 0.95)
+      : kind_(kind),
+        min_w_(std::max<std::size_t>(min_window, 1)),
+        max_w_(std::max(max_window, min_w_)),
+        discount_(discount),
+        cur_(std::clamp((min_w_ + max_w_) / 2, min_w_, max_w_)),
+        win_(max_w_) {}
+
+  [[nodiscard]] std::string name() const override { return "naive_adapt"; }
+  [[nodiscard]] double forecast() const override {
+    return window_estimate(cur_);
+  }
+  void observe(double value) override {
+    const std::size_t small_w = std::max(min_w_, cur_ / 2);
+    const std::size_t large_w = std::min(max_w_, cur_ * 2);
+    if (observed_ > 0) {
+      const double e_small = std::abs(window_estimate(small_w) - value);
+      const double e_cur = std::abs(window_estimate(cur_) - value);
+      const double e_large = std::abs(window_estimate(large_w) - value);
+      err_small_ = discount_ * err_small_ + (1.0 - discount_) * e_small;
+      err_cur_ = discount_ * err_cur_ + (1.0 - discount_) * e_cur;
+      err_large_ = discount_ * err_large_ + (1.0 - discount_) * e_large;
+      constexpr double kEps = 1e-9;
+      if (err_small_ + kEps < err_cur_ && err_small_ <= err_large_ + kEps) {
+        cur_ = small_w;
+      } else if (err_large_ + kEps < err_cur_ &&
+                 err_large_ + kEps < err_small_) {
+        cur_ = large_w;
+      }
+    }
+    win_.push(value);
+    ++observed_;
+  }
+  void reset() override {
+    win_.clear();
+    cur_ = std::clamp((min_w_ + max_w_) / 2, min_w_, max_w_);
+    err_small_ = err_cur_ = err_large_ = 0.0;
+    observed_ = 0;
+  }
+  [[nodiscard]] nws::ForecasterPtr clone() const override {
+    return std::make_unique<AdaptiveWindowForecaster>(*this);
+  }
+
+ private:
+  [[nodiscard]] double window_estimate(std::size_t w) const {
+    const std::size_t n = win_.size();
+    if (n == 0) return kInitialGuess;
+    const std::size_t use = std::min(w, n);
+    if (kind_ == Kind::kMean) {
+      double acc = 0.0;
+      for (std::size_t i = n - use; i < n; ++i) acc += win_.at(i);
+      return acc / static_cast<double>(use);
+    }
+    std::vector<double> tail(use);
+    for (std::size_t i = 0; i < use; ++i) tail[i] = win_.at(n - use + i);
+    const std::size_t mid = use / 2;
+    std::nth_element(tail.begin(),
+                     tail.begin() + static_cast<std::ptrdiff_t>(mid),
+                     tail.end());
+    if (use % 2 == 1) return tail[mid];
+    const double hi = tail[mid];
+    const double lo = *std::max_element(
+        tail.begin(), tail.begin() + static_cast<std::ptrdiff_t>(mid));
+    return 0.5 * (lo + hi);
+  }
+
+  Kind kind_;
+  std::size_t min_w_;
+  std::size_t max_w_;
+  double discount_;
+  std::size_t cur_;
+  nws::SlidingWindow win_;
+  double err_small_ = 0.0;
+  double err_cur_ = 0.0;
+  double err_large_ = 0.0;
+  std::size_t observed_ = 0;
+};
+
+// The canonical battery with every order-statistic method replaced by its
+// seed replica (means and smoothers are identical either way, so the
+// comparison isolates the window-structure change plus window sharing).
+std::vector<nws::ForecasterPtr> make_battery_methods() {
+  std::vector<nws::ForecasterPtr> methods;
+  methods.push_back(std::make_unique<nws::LastValueForecaster>());
+  methods.push_back(std::make_unique<nws::RunningMeanForecaster>());
+  for (std::size_t w : {5u, 10u, 20u, 30u, 60u}) {
+    methods.push_back(std::make_unique<nws::SlidingMeanForecaster>(w));
+  }
+  for (double g : {0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 0.9}) {
+    methods.push_back(std::make_unique<nws::ExpSmoothForecaster>(g));
+  }
+  for (std::size_t w : {5u, 11u, 21u, 31u}) {
+    methods.push_back(std::make_unique<MedianForecaster>(w));
+  }
+  methods.push_back(std::make_unique<TrimmedMeanForecaster>(21, 5));
+  methods.push_back(std::make_unique<AdaptiveWindowForecaster>(
+      AdaptiveWindowForecaster::Kind::kMean, 3, 60));
+  methods.push_back(std::make_unique<AdaptiveWindowForecaster>(
+      AdaptiveWindowForecaster::Kind::kMedian, 3, 60));
+  methods.push_back(std::make_unique<nws::GradientForecaster>());
+  return methods;
+}
+
+}  // namespace naive
+
+// ---------------------------------------------------------------------------
 
 void BM_LastValue(benchmark::State& state) {
   nws::LastValueForecaster f;
@@ -67,7 +236,26 @@ void BM_Median(benchmark::State& state) {
   nws::MedianForecaster f(static_cast<std::size_t>(state.range(0)));
   run_forecaster(state, f);
 }
-BENCHMARK(BM_Median)->Arg(11)->Arg(31);
+BENCHMARK(BM_Median)->Arg(11)->Arg(21)->Arg(31);
+
+void BM_NaiveMedian(benchmark::State& state) {
+  naive::MedianForecaster f(static_cast<std::size_t>(state.range(0)));
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_NaiveMedian)->Arg(11)->Arg(21)->Arg(31);
+
+void BM_TrimmedMean(benchmark::State& state) {
+  nws::TrimmedMeanForecaster f(static_cast<std::size_t>(state.range(0)), 5);
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_TrimmedMean)->Arg(21)->Arg(31);
+
+void BM_NaiveTrimmedMean(benchmark::State& state) {
+  naive::TrimmedMeanForecaster f(static_cast<std::size_t>(state.range(0)),
+                                 5);
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_NaiveTrimmedMean)->Arg(21)->Arg(31);
 
 void BM_AdaptiveWindow(benchmark::State& state) {
   nws::AdaptiveWindowForecaster f(nws::AdaptiveWindowForecaster::Kind::kMean,
@@ -76,12 +264,64 @@ void BM_AdaptiveWindow(benchmark::State& state) {
 }
 BENCHMARK(BM_AdaptiveWindow);
 
+void BM_AdaptiveWindowMedian(benchmark::State& state) {
+  nws::AdaptiveWindowForecaster f(
+      nws::AdaptiveWindowForecaster::Kind::kMedian, 3, 60);
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_AdaptiveWindowMedian);
+
+void BM_NaiveAdaptiveWindow(benchmark::State& state) {
+  naive::AdaptiveWindowForecaster f(
+      naive::AdaptiveWindowForecaster::Kind::kMean, 3, 60);
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_NaiveAdaptiveWindow);
+
+void BM_NaiveAdaptiveWindowMedian(benchmark::State& state) {
+  naive::AdaptiveWindowForecaster f(
+      naive::AdaptiveWindowForecaster::Kind::kMedian, 3, 60);
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_NaiveAdaptiveWindowMedian);
+
 void BM_FullBattery(benchmark::State& state) {
   const auto f = nws::make_nws_forecaster();
   run_forecaster(state, *f);
 }
 BENCHMARK(BM_FullBattery);
 
+void BM_NaiveFullBattery(benchmark::State& state) {
+  nws::AdaptiveForecaster f(naive::make_battery_methods());
+  run_forecaster(state, f);
+}
+BENCHMARK(BM_NaiveFullBattery);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: mirror BENCHMARK_MAIN() but default --benchmark_out to a
+// JSON dump under NWSCPU_OUT (default bench_out/) so speedup numbers are
+// captured by default without shell redirection.
+int main(int argc, char** argv) {
+  bool user_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) user_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!user_out) {
+    std::string dir = "bench_out";
+    if (const char* env = std::getenv("NWSCPU_OUT")) dir = env;
+    std::filesystem::create_directories(dir);
+    out_flag = "--benchmark_out=" + dir + "/micro_forecast.json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/experiment_common.hpp"
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace nws;
@@ -31,20 +32,34 @@ int main() {
       {"prediction error < measurement error on pathological hosts"},
   };
 
-  for (const std::uint64_t seed : seeds) {
-    std::fprintf(stderr, "seed %llu...\n",
-                 static_cast<unsigned long long>(seed));
-    RunnerConfig cfg;
-    cfg.duration = 4.0 * 3600.0;
+  // Every (seed, host) cell is an independent deterministic simulation:
+  // fan the full cross product out across NWSCPU_JOBS threads and keep
+  // the claim evaluation (below) serial and in seed order.
+  const auto& hosts = all_ucsd_hosts();
+  RunnerConfig cfg;
+  cfg.duration = 4.0 * 3600.0;
+  struct Cell {
+    MethodTriple t1;
+    MethodTriple t3;
+  };
+  std::vector<Cell> cells(seeds.size() * hosts.size());
+  std::fprintf(stderr, "simulating %zu seed x host runs across %zu threads\n",
+               cells.size(),
+               std::min(ThreadPool::default_jobs(), cells.size()));
+  parallel_for(cells.size(), [&](std::size_t k) {
+    const std::uint64_t seed = seeds[k / hosts.size()];
+    const UcsdHost h = hosts[k % hosts.size()];
+    auto host = make_ucsd_host(h, seed);
+    const HostTrace trace = run_experiment(*host, cfg);
+    cells[k] = {measurement_error(trace), prediction_error(trace)};
+  });
 
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
     MethodTriple t1[6];
     MethodTriple t3[6];
-    const auto& hosts = all_ucsd_hosts();
     for (std::size_t i = 0; i < hosts.size(); ++i) {
-      auto host = make_ucsd_host(hosts[i], seed);
-      const HostTrace trace = run_experiment(*host, cfg);
-      t1[i] = measurement_error(trace);
-      t3[i] = prediction_error(trace);
+      t1[i] = cells[s * hosts.size() + i].t1;
+      t3[i] = cells[s * hosts.size() + i].t3;
     }
     // Indices in all_ucsd_hosts order: thing2, thing1, conundrum, beowulf,
     // gremlin, kongo.

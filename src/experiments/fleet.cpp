@@ -1,0 +1,36 @@
+#include "experiments/fleet.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace nws {
+
+std::vector<HostTrace> run_fleet_parallel(const std::vector<UcsdHost>& hosts,
+                                          std::uint64_t seed,
+                                          const RunnerConfig& config,
+                                          std::size_t jobs,
+                                          const FleetProgress& progress) {
+  std::vector<HostTrace> traces(hosts.size());
+  std::mutex progress_mu;
+  parallel_for(
+      hosts.size(),
+      [&](std::size_t i) {
+        const auto start = std::chrono::steady_clock::now();
+        auto host = make_ucsd_host(hosts[i], seed);
+        traces[i] = run_experiment(*host, config);
+        if (progress) {
+          const double wall =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+          std::lock_guard<std::mutex> lock(progress_mu);
+          progress(hosts[i], wall);
+        }
+      },
+      jobs);
+  return traces;
+}
+
+}  // namespace nws

@@ -1,0 +1,37 @@
+// Parallel fleet execution: one simulation task per host.
+//
+// Each (host, seed) simulation is fully deterministic and independent —
+// make_ucsd_host() derives every host's RNG stream from the (host, seed)
+// pair — so the fleet fans out across a thread pool with no shared
+// mutable state.  Results are written into a host-indexed vector, which
+// makes the output identical to the serial loop regardless of completion
+// order or job count; a test pins this byte-for-byte.
+//
+// Job count: explicit `jobs` argument, else the NWSCPU_JOBS environment
+// variable, else hardware_concurrency.  jobs == 1 runs inline (serial
+// fallback, no threads spawned).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "experiments/hosts.hpp"
+#include "experiments/runner.hpp"
+
+namespace nws {
+
+/// Invoked (serialised, from worker threads) as each host's simulation
+/// completes: the host and the wall-clock seconds its simulation took.
+using FleetProgress = std::function<void(UcsdHost, double)>;
+
+/// Simulates every host in `hosts` under `config` with the same protocol
+/// and seed derivation as the serial loop (make_ucsd_host(h, seed) per
+/// host), one pool task per host.  The returned traces are in `hosts`
+/// order and identical to a serial run for the same seed.
+[[nodiscard]] std::vector<HostTrace> run_fleet_parallel(
+    const std::vector<UcsdHost>& hosts, std::uint64_t seed,
+    const RunnerConfig& config, std::size_t jobs = 0,
+    const FleetProgress& progress = {});
+
+}  // namespace nws

@@ -1,23 +1,32 @@
 #include "forecast/battery.hpp"
 
 #include "forecast/methods.hpp"
+#include "forecast/shared_window.hpp"
 
 namespace nws {
 
 std::vector<ForecasterPtr> make_nws_methods() {
+  // Every windowed method below looks at a suffix of the same series, and
+  // the suffixes nest inside the longest window (60): back them all with
+  // one SharedMeasurementWindow instead of a ring buffer per method.
+  // Sliding means of any width are O(1) cumulative-sum reads; each
+  // distinct median/trimmed window length gets one order-statistic tree
+  // (median(21) and trim_mean(21)/5 share theirs).
+  auto shared = std::make_shared<SharedMeasurementWindow>(60);
   std::vector<ForecasterPtr> methods;
   methods.push_back(std::make_unique<LastValueForecaster>());
   methods.push_back(std::make_unique<RunningMeanForecaster>());
   for (std::size_t w : {5u, 10u, 20u, 30u, 60u}) {
-    methods.push_back(std::make_unique<SlidingMeanForecaster>(w));
+    methods.push_back(std::make_unique<SharedTailMeanForecaster>(shared, w));
   }
   for (double g : {0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 0.9}) {
     methods.push_back(std::make_unique<ExpSmoothForecaster>(g));
   }
   for (std::size_t w : {5u, 11u, 21u, 31u}) {
-    methods.push_back(std::make_unique<MedianForecaster>(w));
+    methods.push_back(std::make_unique<SharedTailMedianForecaster>(shared, w));
   }
-  methods.push_back(std::make_unique<TrimmedMeanForecaster>(21, 5));
+  methods.push_back(
+      std::make_unique<SharedTailTrimmedMeanForecaster>(shared, 21, 5));
   methods.push_back(std::make_unique<AdaptiveWindowForecaster>(
       AdaptiveWindowForecaster::Kind::kMean, 3, 60));
   methods.push_back(std::make_unique<AdaptiveWindowForecaster>(

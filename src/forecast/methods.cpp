@@ -68,7 +68,10 @@ AdaptiveWindowForecaster::AdaptiveWindowForecaster(Kind kind,
       max_w_(std::max(max_window, min_w_)),
       discount_(discount),
       cur_(std::clamp((min_w_ + max_w_) / 2, min_w_, max_w_)),
-      win_(max_w_) {
+      ring_(max_w_),
+      small_os_(small_window()),
+      cur_os_(cur_),
+      large_os_(large_window()) {
   assert(discount > 0.0 && discount < 1.0);
 }
 
@@ -77,38 +80,38 @@ std::string AdaptiveWindowForecaster::name() const {
          "[" + std::to_string(min_w_) + ".." + std::to_string(max_w_) + "]";
 }
 
-double AdaptiveWindowForecaster::window_estimate(std::size_t w) const {
-  const std::size_t n = win_.size();
+double AdaptiveWindowForecaster::window_estimate(const SuffixOrderStat& os,
+                                                 std::size_t w) const {
+  const std::size_t n = ring_.size();
   if (n == 0) return kInitialGuess;
-  const std::size_t use = std::min(w, n);
-  if (kind_ == Kind::kMean) {
-    double acc = 0.0;
-    for (std::size_t i = n - use; i < n; ++i) acc += win_.at(i);
-    return acc / static_cast<double>(use);
-  }
-  std::vector<double> tail(use);
-  for (std::size_t i = 0; i < use; ++i) tail[i] = win_.at(n - use + i);
-  const std::size_t mid = use / 2;
-  std::nth_element(tail.begin(), tail.begin() + static_cast<std::ptrdiff_t>(mid),
-                   tail.end());
-  if (use % 2 == 1) return tail[mid];
-  const double hi = tail[mid];
-  const double lo = *std::max_element(
-      tail.begin(), tail.begin() + static_cast<std::ptrdiff_t>(mid));
-  return 0.5 * (lo + hi);
+  if (kind_ == Kind::kMean) return ring_.tail_mean(std::min(w, n));
+  // The suffix tree already holds exactly the last min(w, n) samples.
+  return os.median();
 }
 
 double AdaptiveWindowForecaster::forecast() const {
-  return window_estimate(cur_);
+  return window_estimate(cur_os_, cur_);
+}
+
+void AdaptiveWindowForecaster::sync_trees(double value) {
+  if (kind_ != Kind::kMedian) return;
+  small_os_.set_length(small_window(), ring_);
+  cur_os_.set_length(cur_, ring_);
+  large_os_.set_length(large_window(), ring_);
+  small_os_.before_push(ring_, value);
+  cur_os_.before_push(ring_, value);
+  large_os_.before_push(ring_, value);
 }
 
 void AdaptiveWindowForecaster::observe(double value) {
-  const std::size_t small_w = std::max(min_w_, cur_ / 2);
-  const std::size_t large_w = std::min(max_w_, cur_ * 2);
   if (observed_ > 0) {
-    const double e_small = std::abs(window_estimate(small_w) - value);
-    const double e_cur = std::abs(window_estimate(cur_) - value);
-    const double e_large = std::abs(window_estimate(large_w) - value);
+    // The trees were targeted at small/cur/large when the previous sample
+    // was pushed, so each estimate is a direct O(log w) (or O(1)) query.
+    const double e_small =
+        std::abs(window_estimate(small_os_, small_window()) - value);
+    const double e_cur = std::abs(window_estimate(cur_os_, cur_) - value);
+    const double e_large =
+        std::abs(window_estimate(large_os_, large_window()) - value);
     err_small_ = discount_ * err_small_ + (1.0 - discount_) * e_small;
     err_cur_ = discount_ * err_cur_ + (1.0 - discount_) * e_cur;
     err_large_ = discount_ * err_large_ + (1.0 - discount_) * e_large;
@@ -117,19 +120,26 @@ void AdaptiveWindowForecaster::observe(double value) {
     // where all window means differ only in summation rounding) keep the
     // current window.
     constexpr double kEps = 1e-9;
+    const std::size_t small_w = small_window();
+    const std::size_t large_w = large_window();
     if (err_small_ + kEps < err_cur_ && err_small_ <= err_large_ + kEps) {
       cur_ = small_w;
     } else if (err_large_ + kEps < err_cur_ && err_large_ + kEps < err_small_) {
       cur_ = large_w;
     }
   }
-  win_.push(value);
+  // Retarget the suffix trees at the (possibly moved) windows and push.
+  sync_trees(value);
+  ring_.push(value);
   ++observed_;
 }
 
 void AdaptiveWindowForecaster::reset() {
-  win_.clear();
+  ring_.clear();
   cur_ = std::clamp((min_w_ + max_w_) / 2, min_w_, max_w_);
+  small_os_.reset(small_window());
+  cur_os_.reset(cur_);
+  large_os_.reset(large_window());
   err_small_ = err_cur_ = err_large_ = 0.0;
   observed_ = 0;
 }

@@ -6,9 +6,11 @@
 // runs every one of them on every series and picks the recent winner.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 
 #include "forecast/forecaster.hpp"
+#include "forecast/order_stat_window.hpp"
 #include "forecast/window.hpp"
 
 namespace nws {
@@ -93,7 +95,9 @@ class ExpSmoothForecaster final : public Forecaster {
 };
 
 /// Median of the most recent `window` measurements.  Robust to the load
-/// spikes that contaminate mean-based estimates.
+/// spikes that contaminate mean-based estimates.  Backed by an
+/// OrderStatWindow: observe() and forecast() are O(log w), with no
+/// per-call sort, copy or allocation.
 class MedianForecaster final : public Forecaster {
  public:
   explicit MedianForecaster(std::size_t window) : win_(window) {}
@@ -106,11 +110,12 @@ class MedianForecaster final : public Forecaster {
   [[nodiscard]] ForecasterPtr clone() const override;
 
  private:
-  SlidingWindow win_;
+  OrderStatWindow win_;
 };
 
 /// Alpha-trimmed mean: mean of the window after discarding the `trim`
-/// smallest and `trim` largest samples.
+/// smallest and `trim` largest samples.  O(log w) per observe+forecast via
+/// the order-statistic tree's rank-range sums.
 class TrimmedMeanForecaster final : public Forecaster {
  public:
   TrimmedMeanForecaster(std::size_t window, std::size_t trim)
@@ -124,7 +129,7 @@ class TrimmedMeanForecaster final : public Forecaster {
   [[nodiscard]] ForecasterPtr clone() const override;
 
  private:
-  SlidingWindow win_;
+  OrderStatWindow win_;
   std::size_t trim_;
 };
 
@@ -132,6 +137,13 @@ class TrimmedMeanForecaster final : public Forecaster {
 /// small, a current and a large window and moves the current window size
 /// toward the best performer.  This is the NWS "adaptive window" idea:
 /// shrink when the series shifts regime, grow when it is stable.
+///
+/// Incremental hot path: one ValueRing holds the last max_window samples
+/// (tail means for any of the three candidate windows are O(1) cumulative
+/// sum reads), and — for the median kind — three SuffixOrderStat trees
+/// slave themselves to the small/current/large suffixes, so each observe()
+/// is O(log w) instead of three full-window scans with sorts.  When the
+/// current window adapts, the trees retarget incrementally from the ring.
 class AdaptiveWindowForecaster final : public Forecaster {
  public:
   enum class Kind { kMean, kMedian };
@@ -152,14 +164,29 @@ class AdaptiveWindowForecaster final : public Forecaster {
   [[nodiscard]] std::size_t current_window() const noexcept { return cur_; }
 
  private:
-  [[nodiscard]] double window_estimate(std::size_t w) const;
+  [[nodiscard]] std::size_t small_window() const noexcept {
+    return std::max(min_w_, cur_ / 2);
+  }
+  [[nodiscard]] std::size_t large_window() const noexcept {
+    return std::min(max_w_, cur_ * 2);
+  }
+  /// Estimate over the last min(w, size) samples: tail mean (kMean) or the
+  /// suffix tree's median (kMedian).
+  [[nodiscard]] double window_estimate(const SuffixOrderStat& os,
+                                       std::size_t w) const;
+  /// Points the suffix trees at the current small/cur/large lengths and
+  /// feeds them the arriving sample (median kind only).
+  void sync_trees(double value);
 
   Kind kind_;
   std::size_t min_w_;
   std::size_t max_w_;
   double discount_;
   std::size_t cur_;
-  SlidingWindow win_;  // holds max_window samples; estimates use suffixes
+  ValueRing ring_;  // holds max_window samples; estimates use suffixes
+  SuffixOrderStat small_os_;
+  SuffixOrderStat cur_os_;
+  SuffixOrderStat large_os_;
   double err_small_ = 0.0;
   double err_cur_ = 0.0;
   double err_large_ = 0.0;

@@ -1,0 +1,123 @@
+#include "forecast/order_stat_window.hpp"
+
+#include <algorithm>
+
+namespace nws {
+
+namespace detail {
+
+OrderStatIndex::OrderStatIndex(std::size_t capacity_hint) {
+  sorted_.reserve(capacity_hint);
+}
+
+void OrderStatIndex::insert(double x) {
+  const auto pos = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  sorted_.insert(pos, x);
+  total_ += x;
+  if (++mutations_since_rebase_ >= kRebaseInterval) rebase();
+}
+
+bool OrderStatIndex::erase(double x) {
+  const auto pos = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+  if (pos == sorted_.end() || *pos != x) return false;
+  sorted_.erase(pos);
+  total_ -= x;
+  if (++mutations_since_rebase_ >= kRebaseInterval) rebase();
+  return true;
+}
+
+void OrderStatIndex::clear() noexcept {
+  sorted_.clear();
+  total_ = 0.0;
+  mutations_since_rebase_ = 0;
+}
+
+double OrderStatIndex::sum_smallest(std::size_t k) const noexcept {
+  if (k > sorted_.size()) k = sorted_.size();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) acc += sorted_[i];
+  return acc;
+}
+
+double OrderStatIndex::median() const noexcept {
+  const std::size_t n = sorted_.size();
+  if (n == 0) return 0.0;
+  const std::size_t mid = n / 2;
+  if (n % 2 == 1) return sorted_[mid];
+  return 0.5 * (sorted_[mid - 1] + sorted_[mid]);
+}
+
+double OrderStatIndex::trimmed_mean(std::size_t trim) const noexcept {
+  const std::size_t n = sorted_.size();
+  if (n == 0) return 0.0;
+  const std::size_t max_trim = (n - 1) / 2;
+  const std::size_t t = trim < max_trim ? trim : max_trim;
+  // total_ minus O(t) reads off the sorted ends; t is small (<= 5 in the
+  // canonical battery), so this stays cheap for any window size.
+  double cut = 0.0;
+  for (std::size_t i = 0; i < t; ++i) {
+    cut += sorted_[i] + sorted_[n - 1 - i];
+  }
+  return (total_ - cut) / static_cast<double>(n - 2 * t);
+}
+
+void OrderStatIndex::rebase() noexcept {
+  mutations_since_rebase_ = 0;
+  double acc = 0.0;
+  for (const double v : sorted_) acc += v;
+  total_ = acc;
+}
+
+}  // namespace detail
+
+void ValueRing::push(double x) noexcept {
+  total_ += x;
+  if (size_ == capacity_) {
+    cum_prior_ = cum_[head_];
+    buf_[head_] = x;
+    cum_[head_] = total_;
+    head_ = (head_ + 1) % capacity_;
+  } else {
+    const std::size_t slot = (head_ + size_) % capacity_;
+    buf_[slot] = x;
+    cum_[slot] = total_;
+    ++size_;
+  }
+  if (++pushes_since_rebase_ >= kRebaseInterval) rebase();
+}
+
+void ValueRing::clear() noexcept {
+  head_ = 0;
+  size_ = 0;
+  total_ = 0.0;
+  cum_prior_ = 0.0;
+  pushes_since_rebase_ = 0;
+}
+
+double ValueRing::tail_sum(std::size_t k) const noexcept {
+  if (k > size_) k = size_;
+  if (k == 0) return 0.0;
+  const double before =
+      k == size_ ? cum_prior_ : cum_[(head_ + (size_ - k - 1)) % capacity_];
+  return total_ - before;
+}
+
+double ValueRing::tail_mean(std::size_t k) const noexcept {
+  if (k > size_) k = size_;
+  if (k == 0) return 0.0;
+  return tail_sum(k) / static_cast<double>(k);
+}
+
+void ValueRing::rebase() noexcept {
+  pushes_since_rebase_ = 0;
+  cum_prior_ = 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t slot = (head_ + i) % capacity_;
+    acc += buf_[slot];
+    cum_[slot] = acc;
+  }
+  total_ = acc;
+}
+
+}  // namespace nws

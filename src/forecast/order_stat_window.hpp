@@ -1,0 +1,237 @@
+// Incremental order statistics over sliding measurement windows.
+//
+// The NWS design constraint is that every forecasting technique "must be
+// relatively cheap to compute": a deployed forecaster processes every
+// measurement of every tracked series on-line.  SlidingWindow (window.hpp)
+// pays O(w log w) per median/trimmed-mean call (copy + sort).  The classes
+// here make the same queries O(log w) per *push* with no per-call
+// allocation:
+//
+//   OrderStatIndex   — sorted multiset index with a running total:
+//                      insert/erase locate by binary search, k-th smallest
+//                      and the median are O(1) reads, trimmed sums are
+//                      O(trim) reads off the sorted ends.
+//   ValueRing        — ring buffer with running cumulative sums: O(1)
+//                      tail-window means for arbitrary suffix lengths.
+//   SuffixOrderStat  — an OrderStatIndex slaved to the most recent L
+//                      elements of a ValueRing; L can be retargeted
+//                      incrementally (the adaptive-window forecaster moves
+//                      it as its window adapts).
+//   OrderStatWindow  — SlidingWindow-compatible facade combining a
+//                      ValueRing with a full-window OrderStatIndex.
+//
+// Numerical notes: median() and kth() return exact element values and are
+// bit-identical to a sort-based recompute.  Sums (mean, trimmed mean) are
+// maintained incrementally — the index keeps a running total that is
+// rebased from the raw values periodically, like the ring's cumulative
+// sums — so they agree with a naive left-to-right summation to within
+// summation-reordering rounding (~1 ulp of the window sum), not
+// bit-for-bit.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nws {
+
+namespace detail {
+
+/// Sorted multiset index of doubles with a running total.  insert/erase
+/// find their position by binary search (O(log n) comparisons) and shift
+/// the tail of one contiguous array — for forecaster-sized windows this is
+/// a short memmove, far cheaper than any pointer- or pool-based tree, and
+/// a warmed-up index never allocates.  kth()/median() are O(1) array
+/// reads; trimmed sums read O(trim) elements off the sorted ends.  The
+/// running total is rebased from the raw values periodically to bound
+/// floating-point drift.
+class OrderStatIndex {
+ public:
+  explicit OrderStatIndex(std::size_t capacity_hint = 0);
+
+  void insert(double x);
+  /// Removes one instance of x; returns false if absent.
+  bool erase(double x);
+  /// Empties the index, keeping array capacity.
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+
+  /// k-th smallest element, 0-based; k must be < size().
+  [[nodiscard]] double kth(std::size_t k) const noexcept {
+    return sorted_[k];
+  }
+  /// Sum of the k smallest elements (k clamped to size()).  O(k).
+  [[nodiscard]] double sum_smallest(std::size_t k) const noexcept;
+
+  /// Median of the contents (0 when empty); exact element values.
+  [[nodiscard]] double median() const noexcept;
+  /// Mean after discarding `trim` elements at each extreme, clamped so at
+  /// least one element remains (the NWS alpha-trimmed estimator).
+  [[nodiscard]] double trimmed_mean(std::size_t trim) const noexcept;
+
+ private:
+  static constexpr std::size_t kRebaseInterval = 1u << 15;
+
+  void rebase() noexcept;
+
+  std::vector<double> sorted_;
+  double total_ = 0.0;
+  std::size_t mutations_since_rebase_ = 0;
+};
+
+}  // namespace detail
+
+/// Ring buffer over the most recent `capacity` values with running
+/// cumulative sums: any tail (suffix) sum or mean is O(1).  The cumulative
+/// sums are rebased from the raw values periodically to bound
+/// floating-point drift, exactly like SlidingWindow's incremental mean.
+class ValueRing {
+ public:
+  explicit ValueRing(std::size_t capacity)
+      : capacity_(capacity), buf_(capacity), cum_(capacity) {
+    assert(capacity >= 1);
+  }
+
+  void push(double x) noexcept;
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == capacity_; }
+
+  /// Oldest-to-newest element access; i < size().
+  [[nodiscard]] double at(std::size_t i) const noexcept {
+    assert(i < size_);
+    return buf_[(head_ + i) % capacity_];
+  }
+  [[nodiscard]] double newest() const noexcept { return at(size_ - 1); }
+  [[nodiscard]] double oldest() const noexcept { return at(0); }
+
+  /// Sum of the most recent k elements (k clamped to size()).  O(1).
+  [[nodiscard]] double tail_sum(std::size_t k) const noexcept;
+  /// Mean of the most recent k elements (0 when empty).  O(1).
+  [[nodiscard]] double tail_mean(std::size_t k) const noexcept;
+  [[nodiscard]] double mean() const noexcept { return tail_mean(size_); }
+
+ private:
+  static constexpr std::size_t kRebaseInterval = 1u << 15;
+
+  void rebase() noexcept;
+
+  std::size_t capacity_;
+  std::vector<double> buf_;
+  std::vector<double> cum_;  // cumulative total as of each slot's push
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  double total_ = 0.0;      // cumulative total as of the newest push
+  double cum_prior_ = 0.0;  // cumulative total just before the oldest
+  std::size_t pushes_since_rebase_ = 0;
+};
+
+/// Order statistics over the most recent length() elements of a ValueRing.
+/// The owner must call before_push(ring, x) immediately before every
+/// ring.push(x) so the index tracks the suffix incrementally: O(log w) per
+/// step.  length() can be retargeted at any time; the adjustment reuses
+/// the ring's history and costs O(delta * log w).
+class SuffixOrderStat {
+ public:
+  explicit SuffixOrderStat(std::size_t length)
+      : length_(length < 1 ? 1 : length), index_(length_) {}
+
+  /// Syncs the index for the arrival of x: evicts the element leaving the
+  /// suffix (if it is full) and inserts x.  Call before ring.push(x).
+  void before_push(const ValueRing& ring, double x) {
+    if (index_.size() == length_) {
+      index_.erase(ring.at(ring.size() - length_));
+    }
+    index_.insert(x);
+  }
+
+  /// Retargets the tracked suffix length, pulling any newly covered
+  /// elements from (or returning shed elements to) the ring's history.
+  void set_length(std::size_t length, const ValueRing& ring) {
+    length_ = length < 1 ? 1 : length;
+    const std::size_t n = ring.size();
+    while (index_.size() > length_) {
+      index_.erase(ring.at(n - index_.size()));
+    }
+    const std::size_t want = length_ < n ? length_ : n;
+    while (index_.size() < want) {
+      index_.insert(ring.at(n - index_.size() - 1));
+    }
+  }
+
+  /// Empties the index and adopts a (possibly new) length; for reset()
+  /// paths where the backing ring is cleared too.
+  void reset(std::size_t length) noexcept {
+    length_ = length < 1 ? 1 : length;
+    index_.clear();
+  }
+
+  [[nodiscard]] std::size_t length() const noexcept { return length_; }
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return index_.empty(); }
+  [[nodiscard]] double median() const noexcept { return index_.median(); }
+  [[nodiscard]] double trimmed_mean(std::size_t trim) const noexcept {
+    return index_.trimmed_mean(trim);
+  }
+  [[nodiscard]] double kth(std::size_t k) const noexcept {
+    return index_.kth(k);
+  }
+
+ private:
+  std::size_t length_;
+  detail::OrderStatIndex index_;
+};
+
+/// Drop-in replacement for SlidingWindow where order statistics are on the
+/// hot path: push is O(log w) and median()/trimmed_mean() are O(log w)
+/// queries with no per-call copy, sort or allocation.
+class OrderStatWindow {
+ public:
+  explicit OrderStatWindow(std::size_t capacity)
+      : ring_(capacity), index_(capacity) {}
+
+  void push(double x) {
+    if (ring_.full()) index_.erase(ring_.oldest());
+    index_.insert(x);
+    ring_.push(x);
+  }
+
+  void clear() noexcept {
+    ring_.clear();
+    index_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.capacity();
+  }
+  [[nodiscard]] bool empty() const noexcept { return ring_.empty(); }
+  [[nodiscard]] bool full() const noexcept { return ring_.full(); }
+  [[nodiscard]] double at(std::size_t i) const noexcept { return ring_.at(i); }
+  [[nodiscard]] double newest() const noexcept { return ring_.newest(); }
+  [[nodiscard]] double oldest() const noexcept { return ring_.oldest(); }
+
+  [[nodiscard]] double mean() const noexcept { return ring_.mean(); }
+  [[nodiscard]] double tail_mean(std::size_t k) const noexcept {
+    return ring_.tail_mean(k);
+  }
+  [[nodiscard]] double median() const noexcept { return index_.median(); }
+  [[nodiscard]] double trimmed_mean(std::size_t trim) const noexcept {
+    return index_.trimmed_mean(trim);
+  }
+  [[nodiscard]] double kth(std::size_t k) const noexcept {
+    return index_.kth(k);
+  }
+
+ private:
+  ValueRing ring_;
+  detail::OrderStatIndex index_;
+};
+
+}  // namespace nws

@@ -1,0 +1,100 @@
+#include "forecast/shared_window.hpp"
+
+namespace nws {
+
+std::size_t SharedMeasurementWindow::tracker_for(std::size_t length) {
+  for (std::size_t i = 0; i < trackers_.size(); ++i) {
+    if (trackers_[i].length() == length) return i;
+  }
+  trackers_.emplace_back(length);
+  // Late registration: adopt whatever history the ring already holds.
+  trackers_.back().set_length(length, ring_);
+  return trackers_.size() - 1;
+}
+
+void SharedMeasurementWindow::observe(std::uint64_t* seen, double x) {
+  ++*seen;
+  if (*seen <= ticks_) return;  // a sibling already recorded this tick
+  for (SuffixOrderStat& t : trackers_) t.before_push(ring_, x);
+  ring_.push(x);
+  ++ticks_;
+  *seen = ticks_;  // heals desync if a sibling reset the window
+}
+
+void SharedMeasurementWindow::clear() noexcept {
+  ring_.clear();
+  for (SuffixOrderStat& t : trackers_) t.reset(t.length());
+  ticks_ = 0;
+}
+
+namespace {
+
+std::string sized_name(const char* base, std::size_t w) {
+  return std::string(base) + "(" + std::to_string(w) + ")";
+}
+
+SharedWindowPtr detached_copy(const SharedWindowPtr& win) {
+  return std::make_shared<SharedMeasurementWindow>(*win);
+}
+
+}  // namespace
+
+std::string SharedTailMeanForecaster::name() const {
+  return sized_name("sw_mean", window_);
+}
+
+void SharedTailMeanForecaster::reset() {
+  seen_ = 0;
+  win_->clear();
+}
+
+ForecasterPtr SharedTailMeanForecaster::clone() const {
+  auto copy = std::make_unique<SharedTailMeanForecaster>(*this);
+  copy->win_ = detached_copy(win_);
+  return copy;
+}
+
+SharedTailMedianForecaster::SharedTailMedianForecaster(SharedWindowPtr win,
+                                                       std::size_t window)
+    : win_(std::move(win)),
+      window_(window),
+      tracker_(win_->tracker_for(window)) {}
+
+std::string SharedTailMedianForecaster::name() const {
+  return sized_name("median", window_);
+}
+
+void SharedTailMedianForecaster::reset() {
+  seen_ = 0;
+  win_->clear();
+}
+
+ForecasterPtr SharedTailMedianForecaster::clone() const {
+  auto copy = std::make_unique<SharedTailMedianForecaster>(*this);
+  copy->win_ = detached_copy(win_);
+  return copy;
+}
+
+SharedTailTrimmedMeanForecaster::SharedTailTrimmedMeanForecaster(
+    SharedWindowPtr win, std::size_t window, std::size_t trim)
+    : win_(std::move(win)),
+      window_(window),
+      trim_(trim),
+      tracker_(win_->tracker_for(window)) {}
+
+std::string SharedTailTrimmedMeanForecaster::name() const {
+  return sized_name("trim_mean", window_) + "/" + std::to_string(trim_);
+}
+
+void SharedTailTrimmedMeanForecaster::reset() {
+  seen_ = 0;
+  win_->clear();
+}
+
+ForecasterPtr SharedTailTrimmedMeanForecaster::clone() const {
+  auto copy = std::make_unique<SharedTailTrimmedMeanForecaster>(*this);
+  copy->win_ = detached_copy(win_);
+  return copy;
+}
+
+}  // namespace nws

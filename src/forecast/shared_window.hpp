@@ -1,0 +1,143 @@
+// SharedMeasurementWindow: one measurement history backing a whole battery.
+//
+// Every windowed method in the canonical NWS battery — sw_mean(5..60),
+// median(5..31), trim_mean(21)/5 — observes the *same* series, and their
+// windows nest: each is a suffix of the last 60 measurements.  Instead of
+// one ring buffer per method (the seed layout), the battery keeps a single
+// ValueRing plus one SuffixOrderStat per distinct order-statistic window
+// length; sliding means of any width fall out of the ring's cumulative
+// sums in O(1), and medians/trimmed means are O(log w) tree queries.
+//
+// Lockstep contract: forecasters sharing a window must observe the same
+// series in the same order (each value once per method).  The canonical
+// battery guarantees this — AdaptiveForecaster feeds every method every
+// measurement — and the window dedupes the pushes with a tick counter.
+// clone() of a sharing forecaster detaches it onto a private deep copy of
+// the window, so clones are fully independent (evaluation sweeps clone
+// single methods out of the battery and drive them on other series).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+#include "forecast/order_stat_window.hpp"
+
+namespace nws {
+
+class SharedMeasurementWindow {
+ public:
+  /// `capacity` must cover the longest window of any sharing forecaster.
+  explicit SharedMeasurementWindow(std::size_t capacity) : ring_(capacity) {}
+
+  /// Returns the id of the order-statistic tracker for windows of `length`
+  /// measurements, registering one if no sharing method asked for that
+  /// length yet (median(21) and trim_mean(21) share a tracker).
+  std::size_t tracker_for(std::size_t length);
+
+  /// Advances the window to this observer's next tick.  The first sharing
+  /// method to report a tick pushes the value; the rest are no-ops.
+  /// `seen` is the caller's private tick counter and is kept in sync.
+  void observe(std::uint64_t* seen, double x);
+
+  /// Forgets all measurements (tracker registrations survive).  Idempotent
+  /// so that every sharing method's reset() can call it.
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+
+  /// Mean of the last min(w, size()) measurements.  O(1).
+  [[nodiscard]] double tail_mean(std::size_t w) const noexcept {
+    return ring_.tail_mean(w);
+  }
+  /// Median of the tracker's window.  O(log w).
+  [[nodiscard]] double median(std::size_t tracker) const noexcept {
+    return trackers_[tracker].median();
+  }
+  /// Alpha-trimmed mean of the tracker's window.  O(log w).
+  [[nodiscard]] double trimmed_mean(std::size_t tracker,
+                                    std::size_t trim) const noexcept {
+    return trackers_[tracker].trimmed_mean(trim);
+  }
+
+ private:
+  ValueRing ring_;
+  std::vector<SuffixOrderStat> trackers_;
+  std::uint64_t ticks_ = 0;
+};
+
+using SharedWindowPtr = std::shared_ptr<SharedMeasurementWindow>;
+
+/// Mean of the most recent `window` measurements, read out of a shared
+/// window's cumulative sums.  Same forecasts and name ("sw_mean(w)") as
+/// SlidingMeanForecaster, up to summation-order rounding.
+class SharedTailMeanForecaster final : public Forecaster {
+ public:
+  SharedTailMeanForecaster(SharedWindowPtr win, std::size_t window)
+      : win_(std::move(win)), window_(window) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast() const override {
+    return win_->size() == 0 ? kInitialGuess : win_->tail_mean(window_);
+  }
+  void observe(double value) override { win_->observe(&seen_, value); }
+  void reset() override;
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+ private:
+  SharedWindowPtr win_;
+  std::size_t window_;
+  std::uint64_t seen_ = 0;
+};
+
+/// Median of the most recent `window` measurements via a shared suffix
+/// tracker.  Same forecasts and name ("median(w)") as MedianForecaster.
+class SharedTailMedianForecaster final : public Forecaster {
+ public:
+  SharedTailMedianForecaster(SharedWindowPtr win, std::size_t window);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast() const override {
+    return win_->size() == 0 ? kInitialGuess : win_->median(tracker_);
+  }
+  void observe(double value) override { win_->observe(&seen_, value); }
+  void reset() override;
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+ private:
+  SharedWindowPtr win_;
+  std::size_t window_;
+  std::size_t tracker_;
+  std::uint64_t seen_ = 0;
+};
+
+/// Alpha-trimmed mean over a shared suffix tracker; reuses the median
+/// tracker of the same window length.  Name matches TrimmedMeanForecaster
+/// ("trim_mean(w)/t").
+class SharedTailTrimmedMeanForecaster final : public Forecaster {
+ public:
+  SharedTailTrimmedMeanForecaster(SharedWindowPtr win, std::size_t window,
+                                  std::size_t trim);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast() const override {
+    return win_->size() == 0 ? kInitialGuess
+                             : win_->trimmed_mean(tracker_, trim_);
+  }
+  void observe(double value) override { win_->observe(&seen_, value); }
+  void reset() override;
+  [[nodiscard]] ForecasterPtr clone() const override;
+
+ private:
+  SharedWindowPtr win_;
+  std::size_t window_;
+  std::size_t trim_;
+  std::size_t tracker_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace nws

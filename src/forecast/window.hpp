@@ -32,8 +32,12 @@ class SlidingWindow {
     sum_ += x;
     if (++pushes_since_refresh_ >= kRefreshInterval) {
       pushes_since_refresh_ = 0;
+      // Single linear pass over the raw buffer: when the window is not yet
+      // full the live elements are buf_[0, size_) (head_ only advances on
+      // eviction), and when it is full size_ == capacity_ covers the whole
+      // buffer — no modulo indexing needed either way.
       sum_ = 0.0;
-      for (std::size_t i = 0; i < size_; ++i) sum_ += at(i);
+      for (std::size_t i = 0; i < size_; ++i) sum_ += buf_[i];
     }
   }
 
@@ -42,6 +46,10 @@ class SlidingWindow {
     head_ = 0;
     sum_ = 0.0;
     pushes_since_refresh_ = 0;
+    // Release the median/trimmed-mean scratch allocation too: a cleared
+    // window should not pin capacity from past use.  (swap idiom rather
+    // than shrink_to_fit: guaranteed deallocation, cannot throw.)
+    std::vector<double>().swap(scratch_);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }

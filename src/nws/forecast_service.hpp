@@ -5,6 +5,12 @@
 // returns the current one-step-ahead forecast together with the forecaster's
 // recent error statistics (an NWS forecast is always shipped with its error,
 // so schedulers can weight it).
+//
+// Per-series update cost is dominated by the battery, whose order-statistic
+// windows (median / trimmed mean / adaptive window) are incremental —
+// O(log w) per measurement against shared windows, no per-call sort or
+// copy (see forecast/order_stat_window.hpp) — so a service instance can
+// track many series at measurement rate.
 #pragma once
 
 #include <functional>

@@ -1,0 +1,69 @@
+// A small reusable thread pool for the experiment layer.
+//
+// The paper's fleet experiments simulate six independent hosts (and the
+// robustness sweep crosses them with several seeds); every simulation is
+// self-contained — own RNG, own workload — so they parallelise trivially.
+// The pool is deliberately minimal: a fixed set of workers, a FIFO task
+// queue, and wait_idle() as the only synchronisation primitive callers
+// need.  Job counts come from the NWSCPU_JOBS environment variable
+// (default: hardware_concurrency), and parallel_for() degrades to a plain
+// serial loop at 1 job so single-threaded runs have zero threading
+// overhead and identical behaviour.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nws {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = default_jobs()).
+  explicit ThreadPool(std::size_t threads);
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw; wrap risky work in try/catch
+  /// (parallel_for does this for its callers).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Worker count from NWSCPU_JOBS (>= 1), else hardware_concurrency().
+  [[nodiscard]] static std::size_t default_jobs() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: stop or queue non-empty
+  std::condition_variable idle_cv_;  // wait_idle: queue drained, none active
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(0) .. fn(n-1) across `jobs` threads (0 = default_jobs(), capped
+/// at n).  Indices are claimed dynamically, so uneven task costs balance;
+/// results must be written to index-addressed storage by the caller, which
+/// makes the output independent of completion order.  With jobs <= 1 the
+/// calls happen inline on the calling thread (serial fallback).  The first
+/// exception thrown by any index is rethrown after all work finishes.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t jobs = 0);
+
+}  // namespace nws

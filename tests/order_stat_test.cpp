@@ -1,0 +1,266 @@
+// Randomized equivalence tests for the incremental order-statistic windows
+// (order_stat_window.hpp) and the shared-window battery forecasters.
+//
+// Numerical contract under test (see order_stat_window.hpp): medians and
+// k-th order statistics are exact element values — bit-identical to a
+// sort-based recompute — while sums (mean, trimmed mean, tail mean) are
+// maintained structurally and may differ from naive left-to-right
+// summation by reordering rounding, so they are compared to 1e-9.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "forecast/battery.hpp"
+#include "forecast/methods.hpp"
+#include "forecast/order_stat_window.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr double kSumTol = 1e-9;
+
+// Duplicate-heavy random value: quantised to two decimals half the time so
+// the treap's multiset paths (equal keys) get real coverage.
+double draw(nws::Rng& rng) {
+  const double v = rng.uniform(0.0, 1.0);
+  return rng.chance(0.5) ? std::round(v * 100.0) / 100.0 : v;
+}
+
+struct Brute {
+  std::size_t capacity;
+  std::deque<double> vals;
+
+  void push(double x) {
+    if (vals.size() == capacity) vals.pop_front();
+    vals.push_back(x);
+  }
+  void clear() { vals.clear(); }
+
+  [[nodiscard]] std::vector<double> sorted() const {
+    std::vector<double> s(vals.begin(), vals.end());
+    std::sort(s.begin(), s.end());
+    return s;
+  }
+  [[nodiscard]] double median() const {
+    const auto s = sorted();
+    const std::size_t n = s.size();
+    const std::size_t mid = n / 2;
+    return n % 2 == 1 ? s[mid] : 0.5 * (s[mid - 1] + s[mid]);
+  }
+  [[nodiscard]] double trimmed_mean(std::size_t trim) const {
+    auto s = sorted();
+    const std::size_t n = s.size();
+    const std::size_t t = std::min(trim, (n - 1) / 2);
+    double acc = 0.0;
+    for (std::size_t i = t; i < n - t; ++i) acc += s[i];
+    return acc / static_cast<double>(n - 2 * t);
+  }
+  [[nodiscard]] double tail_mean(std::size_t k) const {
+    const std::size_t n = vals.size();
+    const std::size_t use = std::min(k, n);
+    double acc = 0.0;
+    for (std::size_t i = n - use; i < n; ++i) acc += vals[i];
+    return acc / static_cast<double>(use);
+  }
+};
+
+TEST(OrderStatWindow, MatchesBruteForceOverRandomStream) {
+  nws::Rng rng(20260806);
+  for (const std::size_t cap : {1u, 2u, 3u, 5u, 8u, 31u, 64u}) {
+    nws::OrderStatWindow win(cap);
+    Brute ref{cap, {}};
+    for (std::size_t step = 0; step < 1500; ++step) {
+      if (rng.chance(0.002)) {  // mixed window fills: occasional restart
+        win.clear();
+        ref.clear();
+      }
+      const double x = draw(rng);
+      win.push(x);
+      ref.push(x);
+
+      ASSERT_EQ(win.size(), ref.vals.size());
+      // Order statistics: exact.
+      EXPECT_DOUBLE_EQ(win.median(), ref.median())
+          << "cap=" << cap << " step=" << step;
+      const auto s = ref.sorted();
+      const std::size_t k = rng.below(s.size());
+      EXPECT_DOUBLE_EQ(win.kth(k), s[k]) << "cap=" << cap << " step=" << step;
+      // Sums: summation-order tolerance.
+      for (const std::size_t trim : {0u, 1u, 5u}) {
+        EXPECT_NEAR(win.trimmed_mean(trim), ref.trimmed_mean(trim), kSumTol)
+            << "cap=" << cap << " step=" << step << " trim=" << trim;
+      }
+      const std::size_t tail = 1 + rng.below(cap);
+      EXPECT_NEAR(win.tail_mean(tail), ref.tail_mean(tail), kSumTol)
+          << "cap=" << cap << " step=" << step << " tail=" << tail;
+      EXPECT_NEAR(win.mean(), ref.tail_mean(ref.vals.size()), kSumTol);
+    }
+  }
+}
+
+TEST(OrderStatWindow, ExtremeOutliersKeepMedianExact) {
+  // Values spanning eight orders of magnitude: a regime where naive
+  // incremental sums lose digits but order statistics must stay exact.
+  nws::Rng rng(7);
+  nws::OrderStatWindow win(31);
+  Brute ref{31, {}};
+  for (std::size_t step = 0; step < 2000; ++step) {
+    const double x =
+        rng.chance(0.1) ? rng.uniform(-1e8, 1e8) : rng.uniform(-1.0, 1.0);
+    win.push(x);
+    ref.push(x);
+    EXPECT_DOUBLE_EQ(win.median(), ref.median()) << "step=" << step;
+  }
+}
+
+TEST(SuffixOrderStat, TracksRetargetedSuffixExactly) {
+  nws::Rng rng(99);
+  nws::ValueRing ring(64);
+  nws::SuffixOrderStat suffix(8);
+  std::deque<double> history;  // everything still in the ring
+
+  for (std::size_t step = 0; step < 4000; ++step) {
+    if (rng.chance(0.05)) {
+      const std::size_t len = 1 + rng.below(64);
+      suffix.set_length(len, ring);
+    }
+    if (rng.chance(0.002)) {
+      ring.clear();
+      history.clear();
+      suffix.reset(suffix.length());
+    }
+    const double x = draw(rng);
+    suffix.before_push(ring, x);
+    ring.push(x);
+    if (history.size() == 64) history.pop_front();
+    history.push_back(x);
+
+    const std::size_t want = std::min(suffix.length(), history.size());
+    ASSERT_EQ(suffix.size(), want) << "step=" << step;
+    std::vector<double> tail(history.end() - static_cast<std::ptrdiff_t>(want),
+                             history.end());
+    std::sort(tail.begin(), tail.end());
+    const std::size_t mid = want / 2;
+    const double ref_median =
+        want % 2 == 1 ? tail[mid] : 0.5 * (tail[mid - 1] + tail[mid]);
+    EXPECT_DOUBLE_EQ(suffix.median(), ref_median) << "step=" << step;
+  }
+}
+
+// The ported adaptive-window median forecaster must make bit-identical
+// forecasts (and therefore identical window-size decisions) to the seed
+// implementation, replicated here over a plain deque.
+TEST(AdaptiveWindowForecaster, MedianKindMatchesNaiveReference) {
+  struct NaiveAdaptive {
+    std::size_t min_w = 0, max_w = 0, cur = 0;
+    double discount = 0.95;
+    std::deque<double> win = {};
+    double err_small = 0, err_cur = 0, err_large = 0;
+    std::size_t observed = 0;
+
+    [[nodiscard]] double estimate(std::size_t w) const {
+      const std::size_t n = win.size();
+      if (n == 0) return nws::Forecaster::kInitialGuess;
+      const std::size_t use = std::min(w, n);
+      std::vector<double> tail(win.end() - static_cast<std::ptrdiff_t>(use),
+                               win.end());
+      std::sort(tail.begin(), tail.end());
+      const std::size_t mid = use / 2;
+      return use % 2 == 1 ? tail[mid] : 0.5 * (tail[mid - 1] + tail[mid]);
+    }
+    [[nodiscard]] double forecast() const { return estimate(cur); }
+    void observe(double value) {
+      const std::size_t small_w = std::max(min_w, cur / 2);
+      const std::size_t large_w = std::min(max_w, cur * 2);
+      if (observed > 0) {
+        const double e_small = std::abs(estimate(small_w) - value);
+        const double e_cur = std::abs(estimate(cur) - value);
+        const double e_large = std::abs(estimate(large_w) - value);
+        err_small = discount * err_small + (1.0 - discount) * e_small;
+        err_cur = discount * err_cur + (1.0 - discount) * e_cur;
+        err_large = discount * err_large + (1.0 - discount) * e_large;
+        constexpr double kEps = 1e-9;
+        if (err_small + kEps < err_cur && err_small <= err_large + kEps) {
+          cur = small_w;
+        } else if (err_large + kEps < err_cur &&
+                   err_large + kEps < err_small) {
+          cur = large_w;
+        }
+      }
+      if (win.size() == max_w) win.pop_front();
+      win.push_back(value);
+      ++observed;
+    }
+  };
+
+  nws::Rng rng(4242);
+  nws::AdaptiveWindowForecaster fast(
+      nws::AdaptiveWindowForecaster::Kind::kMedian, 3, 60);
+  NaiveAdaptive ref{3, 60, std::clamp<std::size_t>((3 + 60) / 2, 3, 60)};
+
+  double level = 0.7;
+  for (std::size_t step = 0; step < 5000; ++step) {
+    EXPECT_DOUBLE_EQ(fast.forecast(), ref.forecast()) << "step=" << step;
+    EXPECT_EQ(fast.current_window(), ref.cur) << "step=" << step;
+    if (rng.chance(0.01)) level = rng.uniform(0.1, 1.0);
+    const double x =
+        std::clamp(level + 0.05 * (rng.uniform() - 0.5), 0.0, 1.0);
+    fast.observe(x);
+    ref.observe(x);
+    if (step == 2500) {  // reset mid-stream and keep comparing
+      fast.reset();
+      ref = NaiveAdaptive{3, 60, std::clamp<std::size_t>((3 + 60) / 2, 3, 60)};
+    }
+  }
+}
+
+// The canonical battery shares one measurement window across all sliding
+// means, medians and the trimmed mean.  Sharing must not change any
+// forecast relative to standalone (private-window) instances.
+TEST(SharedBattery, MatchesStandaloneForecastersByName) {
+  auto shared = nws::make_nws_methods();
+
+  std::map<std::string, nws::ForecasterPtr> standalone;
+  for (const std::size_t w : {5u, 10u, 20u, 30u, 60u}) {
+    auto f = std::make_unique<nws::SlidingMeanForecaster>(w);
+    standalone[f->name()] = std::move(f);
+  }
+  for (const std::size_t w : {5u, 11u, 21u, 31u}) {
+    auto f = std::make_unique<nws::MedianForecaster>(w);
+    standalone[f->name()] = std::move(f);
+  }
+  {
+    auto f = std::make_unique<nws::TrimmedMeanForecaster>(21, 5);
+    standalone[f->name()] = std::move(f);
+  }
+
+  nws::Rng rng(31337);
+  std::size_t matched = 0;
+  for (std::size_t step = 0; step < 3000; ++step) {
+    const double x = draw(rng);
+    for (const auto& m : shared) {
+      const auto it = standalone.find(m->name());
+      if (it == standalone.end()) continue;
+      const bool is_median = m->name().rfind("median", 0) == 0;
+      if (is_median) {
+        EXPECT_DOUBLE_EQ(m->forecast(), it->second->forecast())
+            << m->name() << " step=" << step;
+      } else {
+        EXPECT_NEAR(m->forecast(), it->second->forecast(), kSumTol)
+            << m->name() << " step=" << step;
+      }
+      ++matched;
+    }
+    for (const auto& m : shared) m->observe(x);
+    for (const auto& [name, f] : standalone) f->observe(x);
+  }
+  // 5 means + 4 medians + 1 trimmed mean compared on every step.
+  EXPECT_EQ(matched, 10u * 3000u);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Tests for the thread pool (util/thread_pool.hpp) and the parallel fleet
+// runner (experiments/fleet.hpp).
+//
+// The load-bearing property is determinism: run_fleet_parallel must be
+// byte-identical to the serial host loop for a fixed seed, regardless of
+// job count or completion order.  The bench tables and robustness sweep
+// rely on this to stay reproducible after the fan-out.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "experiments/fleet.hpp"
+#include "experiments/hosts.hpp"
+#include "experiments/runner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    nws::ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+    // The destructor must also drain anything submitted after wait_idle.
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 150);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  nws::parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  }, 8);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SerialFallbackMatchesParallelResult) {
+  constexpr std::size_t kN = 1000;
+  std::vector<double> serial(kN), parallel(kN);
+  const auto fill = [](std::vector<double>& out) {
+    return [&out](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5 + 0.25;
+    };
+  };
+  nws::parallel_for(kN, fill(serial), 1);
+  nws::parallel_for(kN, fill(parallel), 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, ParallelForHandlesZeroAndTinyRanges) {
+  int calls = 0;
+  nws::parallel_for(0, [&](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  nws::parallel_for(1, [&](std::size_t) { ++one; }, 4);
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionFromWorkers) {
+  EXPECT_THROW(
+      nws::parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        },
+                        4),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultJobsHonoursEnvVariable) {
+  const char* old = std::getenv("NWSCPU_JOBS");
+  const std::string saved = old ? old : "";
+
+  ::setenv("NWSCPU_JOBS", "3", 1);
+  EXPECT_EQ(nws::ThreadPool::default_jobs(), 3u);
+  ::setenv("NWSCPU_JOBS", "0", 1);  // nonsense values fall back
+  EXPECT_GE(nws::ThreadPool::default_jobs(), 1u);
+  ::unsetenv("NWSCPU_JOBS");
+  EXPECT_GE(nws::ThreadPool::default_jobs(), 1u);
+
+  if (old) {
+    ::setenv("NWSCPU_JOBS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("NWSCPU_JOBS");
+  }
+}
+
+void expect_series_identical(const nws::TimeSeries& a,
+                             const nws::TimeSeries& b) {
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.start(), b.start());
+  EXPECT_EQ(a.period(), b.period());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << a.name() << " sample " << i;
+  }
+}
+
+void expect_trace_identical(const nws::HostTrace& a, const nws::HostTrace& b) {
+  expect_series_identical(a.load_series, b.load_series);
+  expect_series_identical(a.vmstat_series, b.vmstat_series);
+  expect_series_identical(a.hybrid_series, b.hybrid_series);
+  ASSERT_EQ(a.tests.size(), b.tests.size());
+  for (std::size_t i = 0; i < a.tests.size(); ++i) {
+    ASSERT_EQ(a.tests[i].start, b.tests[i].start);
+    ASSERT_EQ(a.tests[i].availability, b.tests[i].availability);
+  }
+  ASSERT_EQ(a.agg_tests.size(), b.agg_tests.size());
+  for (std::size_t i = 0; i < a.agg_tests.size(); ++i) {
+    ASSERT_EQ(a.agg_tests[i].start, b.agg_tests[i].start);
+    ASSERT_EQ(a.agg_tests[i].availability, b.agg_tests[i].availability);
+  }
+}
+
+TEST(ParallelFleet, ByteIdenticalToSerialRunner) {
+  constexpr std::uint64_t kSeed = 123;
+  nws::RunnerConfig cfg;
+  cfg.duration = 900.0;  // short run: the property is about determinism
+
+  const auto& fleet = nws::all_ucsd_hosts();
+  const std::vector<nws::UcsdHost> hosts(fleet.begin(), fleet.end());
+
+  std::vector<nws::HostTrace> serial;
+  serial.reserve(hosts.size());
+  for (const nws::UcsdHost h : hosts) {
+    auto host = nws::make_ucsd_host(h, kSeed);
+    serial.push_back(nws::run_experiment(*host, cfg));
+  }
+
+  for (const std::size_t jobs : {1u, 4u}) {
+    const std::vector<nws::HostTrace> traces =
+        nws::run_fleet_parallel(hosts, kSeed, cfg, jobs);
+    ASSERT_EQ(traces.size(), serial.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs) + " host=" +
+                   nws::host_name(hosts[i]));
+      expect_trace_identical(traces[i], serial[i]);
+    }
+  }
+}
+
+TEST(ParallelFleet, ProgressCallbackFiresOncePerHost) {
+  nws::RunnerConfig cfg;
+  cfg.duration = 300.0;
+  const auto& fleet = nws::all_ucsd_hosts();
+  const std::vector<nws::UcsdHost> hosts(fleet.begin(), fleet.end());
+
+  std::vector<int> seen(hosts.size(), 0);
+  const auto traces = nws::run_fleet_parallel(
+      hosts, 7, cfg, 3, [&](nws::UcsdHost h, double wall) {
+        // The runner serialises progress calls, so no lock is needed here.
+        seen[static_cast<std::size_t>(h)] += 1;
+        EXPECT_GE(wall, 0.0);
+      });
+  EXPECT_EQ(traces.size(), hosts.size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(hosts[i])], 1);
+  }
+}
+
+}  // namespace
