@@ -1,0 +1,218 @@
+// Chaos benchmark: the full sensor -> memory -> forecaster pipeline over
+// real loopback TCP, under a deterministic fault schedule (connection
+// resets, stalled / truncated / garbage responses) plus one server
+// restart mid-run, compared against an identical fault-free run.
+//
+// Reports, per run:
+//  * delivery accounting: measurements generated / delivered / lost /
+//    duplicate acks (exactly-once means lost == 0 and history == generated);
+//  * forecast availability under chaos: how many FORECAST calls answered
+//    within the client timeout, and the worst-case latency;
+//  * forecast-error inflation: the final MAE/MSE the faulty pipeline
+//    reports vs the fault-free pipeline (1.00x when delivery is lossless).
+//
+// The fault schedule is seeded from NWSCPU_FAULT_SEED (default 42), so a
+// run is reproducible bit-for-bit: same seed, same faults, same report.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nws/client.hpp"
+#include "nws/server.hpp"
+#include "sensors/availability.hpp"
+#include "sim/host.hpp"
+#include "sim/workload.hpp"
+#include "util/fault.hpp"
+
+namespace {
+
+using namespace nws;
+
+constexpr const char* kSeries = "chaos/cpu";
+constexpr std::size_t kMeasurements = 400;
+constexpr double kPeriod = 10.0;  // seconds of simulated time per sample
+
+std::uint64_t fault_seed() {
+  if (const char* env = std::getenv("NWSCPU_FAULT_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 42;
+}
+
+/// Availability samples from a simulated time-shared host: two interactive
+/// users plus a daemon, measured through Equation 1 every kPeriod seconds.
+std::vector<Measurement> sense_measurements() {
+  sim::HostConfig host_cfg;
+  host_cfg.name = "chaoshost";
+  sim::Host host(host_cfg, /*seed=*/9);
+  for (int u = 0; u < 2; ++u) {
+    sim::InteractiveSessionConfig user;
+    host.add_workload(
+        std::make_unique<sim::InteractiveSession>(user, Rng(100 + u)));
+  }
+  std::vector<Measurement> ms;
+  ms.reserve(kMeasurements);
+  for (std::size_t i = 0; i < kMeasurements; ++i) {
+    host.run_for(kPeriod);
+    ms.push_back({host.now(), availability_from_load(host.load_average())});
+  }
+  return ms;
+}
+
+struct RunReport {
+  std::size_t delivered = 0;       // server-side history after the run
+  std::uint64_t duplicates = 0;    // duplicate PUTS acked, not re-applied
+  std::uint64_t faults = 0;        // faults the injector fired
+  std::size_t forecast_calls = 0;
+  std::size_t forecast_answered = 0;
+  double worst_forecast_ms = 0.0;
+  double mae = 0.0;
+  double mse = 0.0;
+  double value = 0.0;
+  bool drained = false;
+};
+
+ClientConfig pipeline_client_config() {
+  ClientConfig cfg;
+  cfg.connect_timeout_ms = 500;
+  cfg.io_timeout_ms = 250;
+  cfg.max_flush_attempts = 10;
+  cfg.backoff = BackoffConfig{5.0, 60.0, 2.0, 0.5};
+  cfg.backoff_seed = 17;
+  return cfg;
+}
+
+RunReport run_pipeline(const std::vector<Measurement>& ms,
+                       const std::filesystem::path& journal, bool chaos,
+                       std::uint64_t seed) {
+  RunReport report;
+
+  FaultProfile profile;
+  profile.reset_prob = 0.06;
+  profile.delay_prob = 0.08;
+  profile.delay_ms = 40;
+  profile.truncate_prob = 0.05;
+  profile.garbage_prob = 0.04;
+  FaultInjector injector(seed, profile);
+
+  ServerConfig server_cfg;
+  server_cfg.memory_capacity = kMeasurements;
+  server_cfg.journal_path = journal;
+  auto server = std::make_unique<NwsServer>(server_cfg);
+  const std::uint16_t port = server->start(0);
+  if (port == 0) {
+    std::fprintf(stderr, "cannot bind loopback listener\n");
+    std::exit(1);
+  }
+  NwsClient client(pipeline_client_config());
+  if (!client.connect(port)) {
+    std::fprintf(stderr, "cannot connect\n");
+    std::exit(1);
+  }
+
+  if (chaos) install_fault_injector(&injector);
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    if (chaos && i == ms.size() / 2) {
+      // The service crashes (journal survives) and a new incarnation takes
+      // over the same port while the sensor keeps producing.
+      server.reset();
+      server = std::make_unique<NwsServer>(server_cfg);
+      std::uint16_t reborn = 0;
+      for (int tries = 0; tries < 50 && reborn == 0; ++tries) {
+        reborn = server->start(port);
+        if (reborn == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+      if (reborn != port) {
+        std::fprintf(stderr, "could not rebind chaos port\n");
+        std::exit(1);
+      }
+    }
+    (void)client.put_reliable(kSeries, ms[i]);
+    if (i % 8 == 0) (void)client.flush();
+    if (i % 10 == 0) {
+      ++report.forecast_calls;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto forecast = client.forecast(kSeries);
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      report.worst_forecast_ms = std::max(report.worst_forecast_ms, elapsed_ms);
+      if (forecast.has_value()) ++report.forecast_answered;
+    }
+  }
+  install_fault_injector(nullptr);
+
+  // Faults over: drain the outbox so every sample reaches the service.
+  for (int i = 0; i < 20 && !report.drained; ++i) report.drained = client.flush();
+
+  const auto final_forecast = client.forecast(kSeries);
+  if (final_forecast) {
+    report.mae = final_forecast->mae;
+    report.mse = final_forecast->mse;
+    report.value = final_forecast->value;
+    report.delivered = final_forecast->history;
+  }
+  report.duplicates = server->duplicates_acked();
+  report.faults = injector.total_faults();
+  server->stop();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = fault_seed();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("nwscpu_chaos_bench_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  std::printf("Chaos pipeline: %zu measurements, fault seed %llu\n\n",
+              kMeasurements, static_cast<unsigned long long>(seed));
+  const auto ms = sense_measurements();
+
+  const RunReport clean =
+      run_pipeline(ms, dir / "clean.journal", /*chaos=*/false, seed);
+  const RunReport chaos =
+      run_pipeline(ms, dir / "chaos.journal", /*chaos=*/true, seed);
+  std::filesystem::remove_all(dir);
+
+  const auto row = [](const char* label, const RunReport& r,
+                      std::size_t generated) {
+    std::printf("%-12s generated %4zu  delivered %4zu  lost %4zu  dups %4llu"
+                "  faults %4llu\n",
+                label, generated, r.delivered, generated - r.delivered,
+                static_cast<unsigned long long>(r.duplicates),
+                static_cast<unsigned long long>(r.faults));
+  };
+  row("fault-free", clean, ms.size());
+  row("chaos", chaos, ms.size());
+
+  std::printf("\nforecast availability under chaos: %zu/%zu answered, "
+              "worst latency %.1f ms\n",
+              chaos.forecast_answered, chaos.forecast_calls,
+              chaos.worst_forecast_ms);
+  std::printf("outbox drained: %s\n", chaos.drained ? "yes" : "NO");
+  std::printf("\nfinal forecast   value      MAE      MSE\n");
+  std::printf("  fault-free   %8.5f %8.5f %8.5f\n", clean.value, clean.mae,
+              clean.mse);
+  std::printf("  chaos        %8.5f %8.5f %8.5f\n", chaos.value, chaos.mae,
+              chaos.mse);
+  const double inflation = clean.mae > 0.0 ? chaos.mae / clean.mae : 0.0;
+  std::printf("  MAE inflation %.3fx %s\n", inflation,
+              inflation < 1.0001 ? "(exactly-once: no inflation)" : "");
+
+  const bool ok = chaos.delivered == ms.size() && chaos.drained &&
+                  chaos.faults > 0;
+  std::printf("\n%s\n", ok ? "PASS: lossless delivery under chaos"
+                           : "FAIL: measurements lost or outbox stuck");
+  return ok ? 0 : 1;
+}

@@ -21,7 +21,7 @@ BENCHMARK(BM_ParsePut);
 void BM_FormatForecastResponse(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(nws::format_forecast_response(
-        0.875, 0.031, 0.002, 123456, "sw_mean(10)"));
+        0.875, 0.031, 0.002, 123456, 86400.5, "sw_mean(10)"));
   }
 }
 BENCHMARK(BM_FormatForecastResponse);

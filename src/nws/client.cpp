@@ -1,41 +1,90 @@
 #include "nws/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace nws {
 
+NwsClient::NwsClient(ClientConfig config)
+    : cfg_(config), backoff_(config.backoff, config.backoff_seed) {}
+
 NwsClient::~NwsClient() { disconnect(); }
 
 NwsClient::NwsClient(NwsClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)),
-      rx_buffer_(std::move(other.rx_buffer_)) {}
+    : cfg_(other.cfg_),
+      fd_(std::exchange(other.fd_, -1)),
+      rx_buffer_(std::move(other.rx_buffer_)),
+      last_port_(other.last_port_),
+      outbox_(std::move(other.outbox_)),
+      next_seq_(other.next_seq_),
+      overflows_(other.overflows_),
+      reconnects_(other.reconnects_),
+      backoff_(other.backoff_) {}
 
 NwsClient& NwsClient::operator=(NwsClient&& other) noexcept {
   if (this != &other) {
     disconnect();
+    cfg_ = other.cfg_;
     fd_ = std::exchange(other.fd_, -1);
     rx_buffer_ = std::move(other.rx_buffer_);
+    last_port_ = other.last_port_;
+    outbox_ = std::move(other.outbox_);
+    next_seq_ = other.next_seq_;
+    overflows_ = other.overflows_;
+    reconnects_ = other.reconnects_;
+    backoff_ = other.backoff_;
   }
   return *this;
 }
 
+bool NwsClient::wait_ready(short events, int timeout_ms) const {
+  pollfd pfd{fd_, events, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  return ready > 0 && (pfd.revents & (events | POLLHUP)) != 0 &&
+         (pfd.revents & (POLLERR | POLLNVAL)) == 0;
+}
+
 bool NwsClient::connect(std::uint16_t port) {
   disconnect();
+  last_port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return false;
+  // Non-blocking connect bounded by poll(): a blackholed listener must not
+  // hang the caller past connect_timeout_ms.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    disconnect();
-    return false;
+  const int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof addr);
+  if (rc < 0) {
+    if (errno != EINPROGRESS) {
+      disconnect();
+      return false;
+    }
+    if (!wait_ready(POLLOUT, cfg_.connect_timeout_ms)) {
+      disconnect();
+      return false;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      disconnect();
+      return false;
+    }
   }
+  ::fcntl(fd_, F_SETFL, flags);
   return true;
 }
 
@@ -47,17 +96,24 @@ void NwsClient::disconnect() {
   rx_buffer_.clear();
 }
 
+bool NwsClient::send_all(const std::string& line) {
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    if (!wait_ready(POLLOUT, cfg_.io_timeout_ms)) return false;
+    const ssize_t w = ::send(fd_, line.data() + sent, line.size() - sent,
+                             MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
 std::optional<std::string> NwsClient::round_trip(const Request& request) {
   if (fd_ < 0) return std::nullopt;
   const std::string line = format_request(request) + "\n";
-  std::size_t sent = 0;
-  while (sent < line.size()) {
-    const ssize_t w = ::send(fd_, line.data() + sent, line.size() - sent, 0);
-    if (w <= 0) {
-      disconnect();
-      return std::nullopt;
-    }
-    sent += static_cast<std::size_t>(w);
+  if (!send_all(line)) {
+    disconnect();
+    return std::nullopt;
   }
   char chunk[1024];
   while (true) {
@@ -67,6 +123,12 @@ std::optional<std::string> NwsClient::round_trip(const Request& request) {
       rx_buffer_.erase(0, newline + 1);
       if (!response.empty() && response.back() == '\r') response.pop_back();
       return response;
+    }
+    // Bounded wait: a stalled or truncating server yields a timeout here,
+    // not a wedged scheduler.
+    if (!wait_ready(POLLIN, cfg_.io_timeout_ms)) {
+      disconnect();
+      return std::nullopt;
     }
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n <= 0) {
@@ -84,6 +146,63 @@ bool NwsClient::put(const std::string& series, Measurement measurement) {
   req.measurement = measurement;
   const auto response = round_trip(req);
   return response && response_is_ok(*response);
+}
+
+bool NwsClient::put_reliable(const std::string& series,
+                             Measurement measurement) {
+  if (outbox_.size() >= cfg_.outbox_capacity) {
+    ++overflows_;
+    return false;
+  }
+  outbox_.push_back(Pending{next_seq_++, series, measurement});
+  // Opportunistic fast path: one delivery attempt, no backoff sleeps, so a
+  // healthy pipeline stays at one round trip per measurement and an outage
+  // just leaves the sample queued for the next flush().
+  if (connected()) {
+    Request req;
+    req.kind = RequestKind::kPutSeq;
+    req.seq = outbox_.front().seq;
+    req.series = outbox_.front().series;
+    req.measurement = outbox_.front().measurement;
+    const auto response = round_trip(req);
+    if (response && response_is_ok(*response)) {
+      outbox_.pop_front();
+      backoff_.reset();
+    }
+  }
+  return true;
+}
+
+bool NwsClient::flush() {
+  for (int attempt = 0; attempt < cfg_.max_flush_attempts; ++attempt) {
+    if (outbox_.empty()) return true;
+    if (!connected()) {
+      if (last_port_ == 0 || !connect(last_port_)) {
+        ++reconnects_;
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            backoff_.next_delay_ms()));
+        continue;
+      }
+      ++reconnects_;
+    }
+    // Replay in order from the head; the server acks duplicates, so
+    // re-sending records whose ack was lost is safe.
+    while (!outbox_.empty()) {
+      Request req;
+      req.kind = RequestKind::kPutSeq;
+      req.seq = outbox_.front().seq;
+      req.series = outbox_.front().series;
+      req.measurement = outbox_.front().measurement;
+      const auto response = round_trip(req);
+      if (!response || !response_is_ok(*response)) {
+        disconnect();
+        break;
+      }
+      outbox_.pop_front();
+      backoff_.reset();
+    }
+  }
+  return outbox_.empty();
 }
 
 std::optional<ForecastReply> NwsClient::forecast(const std::string& series) {

@@ -1,24 +1,52 @@
-// NwsClient: blocking TCP client for the nwscpu wire protocol.
+// NwsClient: TCP client for the nwscpu wire protocol, with bounded
+// timeouts and an optional reliable-delivery path.
 //
 // The counterpart a dynamic scheduler embeds: put() streams sensor
 // measurements to the server, forecast() retrieves the one-step-ahead
 // prediction with its error pedigree.  One request in flight at a time;
 // connect once, reuse for the session (the protocol is line-oriented and
 // stateless between requests).
+//
+// Every socket operation is poll()-bounded by ClientConfig's timeouts, so
+// a stalled or half-dead server can never hang a scheduler: connect(),
+// forecast(), put() etc. return failure within the configured bound.
+//
+// Reliable delivery: put_reliable() enqueues the measurement into a
+// bounded outbox of sequence-tagged PUTS records and flush() replays the
+// queue — reconnecting with deterministic exponential backoff — until the
+// server acks each record.  Acks are idempotent on the server side ("OK
+// dup" for an already-applied sequence/timestamp), so a PUT whose ack was
+// lost is safely re-sent: every measurement is applied exactly once even
+// across connection resets and a server restart.  Measurements are only
+// lost when the outbox overflows (put_reliable returns false), which the
+// sensor loop can count.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "nws/protocol.hpp"
+#include "util/backoff.hpp"
 
 namespace nws {
 
+struct ClientConfig {
+  int connect_timeout_ms = 2000;  ///< bound on connect()
+  int io_timeout_ms = 2000;       ///< bound on each send/recv wait
+  std::size_t outbox_capacity = 1024;  ///< queued PUTS bound
+  /// Reconnect attempts per flush() before giving up (the outbox is kept).
+  int max_flush_attempts = 8;
+  BackoffConfig backoff{5.0, 500.0, 2.0, 0.5};  ///< reconnect pacing
+  std::uint64_t backoff_seed = 1;  ///< deterministic jitter stream
+};
+
 class NwsClient {
  public:
-  NwsClient() = default;
+  NwsClient() : NwsClient(ClientConfig{}) {}
+  explicit NwsClient(ClientConfig config);
   ~NwsClient();
 
   NwsClient(const NwsClient&) = delete;
@@ -26,15 +54,39 @@ class NwsClient {
   NwsClient(NwsClient&& other) noexcept;
   NwsClient& operator=(NwsClient&& other) noexcept;
 
-  /// Connects to 127.0.0.1:port.  Returns false on failure.
+  /// Connects to 127.0.0.1:port within connect_timeout_ms.  Returns false
+  /// on failure.  The port is remembered for automatic reconnects.
   bool connect(std::uint16_t port);
   void disconnect();
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 
-  /// Stores a measurement.  False on transport failure or server ERR.
+  /// Stores a measurement (fire-and-forget PUT).  False on transport
+  /// failure or server ERR.
   bool put(const std::string& series, Measurement measurement);
 
+  /// Queues a measurement for exactly-once delivery and opportunistically
+  /// flushes.  Returns false only when the outbox is full (the measurement
+  /// is dropped and counted); an unreachable server just leaves it queued.
+  bool put_reliable(const std::string& series, Measurement measurement);
+
+  /// Replays the outbox until empty or attempts are exhausted; reconnects
+  /// with exponential backoff.  Returns true when the outbox drained.
+  bool flush();
+
+  [[nodiscard]] std::size_t outbox_size() const noexcept {
+    return outbox_.size();
+  }
+  /// Measurements dropped because the outbox was full.
+  [[nodiscard]] std::uint64_t outbox_overflows() const noexcept {
+    return overflows_;
+  }
+  /// Reconnects performed by the reliable path.
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_;
+  }
+
   /// One-step-ahead forecast; nullopt on failure or unknown series.
+  /// Returns within the configured timeouts even against a stalled server.
   [[nodiscard]] std::optional<ForecastReply> forecast(
       const std::string& series);
 
@@ -49,12 +101,30 @@ class NwsClient {
   bool ping();
 
  private:
-  /// Sends one request line, reads one response line.  nullopt on
-  /// transport failure.
-  [[nodiscard]] std::optional<std::string> round_trip(const Request& request);
+  struct Pending {
+    std::uint64_t seq;
+    std::string series;
+    Measurement measurement;
+  };
 
+  /// Sends one request line, reads one response line; each socket wait is
+  /// bounded by io_timeout_ms.  nullopt on transport failure or timeout
+  /// (the connection is torn down so the next call can reconnect).
+  [[nodiscard]] std::optional<std::string> round_trip(const Request& request);
+  [[nodiscard]] bool send_all(const std::string& line);
+  /// poll() for `events` within timeout_ms; false on timeout/error.
+  [[nodiscard]] bool wait_ready(short events, int timeout_ms) const;
+
+  ClientConfig cfg_;
   int fd_ = -1;
   std::string rx_buffer_;
+  std::uint16_t last_port_ = 0;
+
+  std::deque<Pending> outbox_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t overflows_ = 0;
+  std::uint64_t reconnects_ = 0;
+  ExponentialBackoff backoff_;
 };
 
 }  // namespace nws

@@ -7,14 +7,25 @@
 namespace nws {
 
 ForecastService::ForecastService(std::size_t memory_capacity,
-                                 ForecasterFactory factory)
+                                 ForecasterFactory factory,
+                                 std::filesystem::path journal_path)
     : memory_(memory_capacity), factory_(std::move(factory)) {
   if (!factory_) {
     factory_ = [] { return make_nws_forecaster(); };
   }
+  if (!journal_path.empty()) {
+    journal_ = std::make_unique<Journal>(std::move(journal_path));
+    recovered_ =
+        journal_
+            ->replay([this](const std::string& series, Measurement m) {
+              return apply(series, m);
+            })
+            .recovered;
+    journal_->open_for_append();
+  }
 }
 
-bool ForecastService::record(const std::string& series, Measurement m) {
+bool ForecastService::apply(const std::string& series, Measurement m) {
   if (!memory_.record(series, m)) return false;
   auto it = entries_.find(series);
   if (it == entries_.end()) {
@@ -32,6 +43,16 @@ bool ForecastService::record(const std::string& series, Measurement m) {
   return true;
 }
 
+bool ForecastService::record(const std::string& series, Measurement m) {
+  if (!apply(series, m)) return false;
+  if (journal_) (void)journal_->append(series, m);
+  return true;
+}
+
+void ForecastService::sync() {
+  if (journal_) journal_->sync();
+}
+
 std::optional<Forecast> ForecastService::predict(
     const std::string& series) const {
   const auto it = entries_.find(series);
@@ -43,6 +64,10 @@ std::optional<Forecast> ForecastService::predict(
   if (e.err_count > 0) {
     f.mae = e.abs_err_sum / static_cast<double>(e.err_count);
     f.mse = e.sq_err_sum / static_cast<double>(e.err_count);
+  }
+  if (const SeriesStore* store = memory_.find(series);
+      store != nullptr && !store->empty()) {
+    f.last_time = store->newest().time;
   }
   if (const auto* adaptive =
           dynamic_cast<const AdaptiveForecaster*>(e.forecaster.get())) {

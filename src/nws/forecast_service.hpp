@@ -11,8 +11,16 @@
 // O(log w) per measurement against shared windows, no per-call sort or
 // copy (see forecast/order_stat_window.hpp) — so a service instance can
 // track many series at measurement rate.
+//
+// Durability: given a journal path the service replays the journal on
+// construction — re-feeding every recovered measurement through the
+// forecasters, so forecaster state after a restart matches an uninterrupted
+// run over the retained history — and appends each accepted measurement.
+// Journal write failures never reject a measurement (the in-core state is
+// authoritative); they are counted on the Journal.
 #pragma once
 
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -22,6 +30,7 @@
 #include "forecast/adaptive.hpp"
 #include "forecast/forecaster.hpp"
 #include "nws/memory.hpp"
+#include "nws/persistence.hpp"
 
 namespace nws {
 
@@ -32,6 +41,9 @@ struct Forecast {
   double mse = 0.0;           ///< recent mean squared error
   std::string method;         ///< name of the selected forecasting method
   std::size_t history = 0;    ///< measurements seen for this series
+  /// Timestamp of the newest stored measurement (staleness anchor: the
+  /// scheduler subtracts this from its clock to age the forecast).
+  double last_time = 0.0;
 };
 
 class ForecastService {
@@ -40,9 +52,11 @@ class ForecastService {
 
   /// `memory_capacity` bounds each series' stored history;
   /// `factory` builds the per-series forecaster (defaults to the canonical
-  /// NWS adaptive battery).
+  /// NWS adaptive battery); a non-empty `journal_path` makes the service
+  /// durable (replay on construction, append per record).
   explicit ForecastService(std::size_t memory_capacity = 8192,
-                           ForecasterFactory factory = {});
+                           ForecasterFactory factory = {},
+                           std::filesystem::path journal_path = {});
 
   /// Stores the measurement and updates the series forecaster.  Returns
   /// false (and ignores the sample) on out-of-order timestamps.
@@ -57,6 +71,13 @@ class ForecastService {
     return entries_.size();
   }
 
+  /// The journal, or nullptr for an in-core-only service.
+  [[nodiscard]] Journal* journal() noexcept { return journal_.get(); }
+  /// Measurements recovered from the journal at construction.
+  [[nodiscard]] std::size_t recovered() const noexcept { return recovered_; }
+  /// Flushes the journal (no-op without one).
+  void sync();
+
  private:
   struct Entry {
     ForecasterPtr forecaster;
@@ -67,9 +88,14 @@ class ForecastService {
     std::size_t err_count = 0;
   };
 
+  /// Applies a measurement to memory + forecaster, without journalling.
+  bool apply(const std::string& series, Measurement m);
+
   Memory memory_;
   ForecasterFactory factory_;
   std::unordered_map<std::string, Entry> entries_;
+  std::unique_ptr<Journal> journal_;
+  std::size_t recovered_ = 0;
 };
 
 }  // namespace nws

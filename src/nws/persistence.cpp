@@ -1,8 +1,10 @@
 #include "nws/persistence.hpp"
 
-#include <charconv>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "util/fault.hpp"
 
 namespace nws {
 
@@ -21,78 +23,113 @@ bool parse_record(const std::string& line, std::string& series,
 
 }  // namespace
 
-PersistentMemory::PersistentMemory(std::filesystem::path path,
-                                   std::size_t series_capacity)
-    : path_(std::move(path)), memory_(series_capacity) {
-  replay();
-  open_for_append();
-}
+// ---------------------------------------------------------------------------
+// Journal
 
-void PersistentMemory::replay() {
+Journal::Journal(std::filesystem::path path) : path_(std::move(path)) {}
+
+Journal::ReplayStats Journal::replay(
+    const std::function<bool(const std::string&, Measurement)>& apply) {
+  ReplayStats stats;
   std::ifstream in(path_);
-  if (!in) return;  // no journal yet: fresh store
+  if (!in) return stats;  // no journal yet: fresh store
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line.front() == '#') continue;
     std::string series;
     Measurement m;
-    if (!parse_record(line, series, m) || !memory_.record(series, m)) {
+    if (!parse_record(line, series, m) || !apply(series, m)) {
       // Torn tail from a crash, or a corrupt record: skip but count it so
       // operators can notice unexpected damage.
-      ++skipped_;
+      ++stats.skipped;
       continue;
     }
-    ++recovered_;
+    ++stats.recovered;
+  }
+  return stats;
+}
+
+void Journal::open_for_append() {
+  out_.close();
+  out_.clear();
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("Journal: cannot open " + path_.string());
   }
 }
 
-void PersistentMemory::open_for_append() {
-  journal_.open(path_, std::ios::app);
-  if (!journal_) {
-    throw std::runtime_error("PersistentMemory: cannot open journal " +
-                             path_.string());
-  }
-}
-
-std::string PersistentMemory::encode(const std::string& series,
-                                     Measurement m) {
+std::string Journal::encode(const std::string& series, Measurement m) {
   std::ostringstream ss;
   ss.precision(17);
   ss << series << ' ' << m.time << ' ' << m.value;
   return ss.str();
 }
 
-bool PersistentMemory::record(const std::string& series, Measurement m) {
-  if (!memory_.record(series, m)) return false;
-  journal_ << encode(series, m) << '\n';
-  return true;
+bool Journal::append(const std::string& series, Measurement m) {
+  if (fault_check(FaultSite::kDiskWrite).kind == FaultAction::Kind::kFail) {
+    ++write_failures_;
+    return false;
+  }
+  out_ << encode(series, m) << '\n';
+  if (out_.good()) return true;
+  // Real write failure (disk full, file rotated away, ...): count it and
+  // reopen so the next append gets a fresh stream instead of a stuck
+  // failbit swallowing every record from here on.
+  ++write_failures_;
+  out_.close();
+  out_.clear();
+  out_.open(path_, std::ios::app);
+  return false;
 }
 
-void PersistentMemory::sync() { journal_.flush(); }
+void Journal::sync() { out_.flush(); }
 
-void PersistentMemory::compact() {
-  journal_.close();
+void Journal::rewrite(const Memory& memory) {
+  out_.close();
   const std::filesystem::path tmp = path_.string() + ".compact";
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) {
-      throw std::runtime_error("PersistentMemory: cannot write " +
-                               tmp.string());
+      throw std::runtime_error("Journal: cannot write " + tmp.string());
     }
     out << "# nwscpu journal (compacted)\n";
-    for (const std::string& name : memory_.series_names()) {
-      const SeriesStore* store = memory_.find(name);
+    for (const std::string& name : memory.series_names()) {
+      const SeriesStore* store = memory.find(name);
       for (std::size_t i = 0; i < store->size(); ++i) {
         out << encode(name, store->at(i)) << '\n';
       }
     }
     if (!out) {
-      throw std::runtime_error("PersistentMemory: write failure on " +
-                               tmp.string());
+      throw std::runtime_error("Journal: write failure on " + tmp.string());
     }
   }
   std::filesystem::rename(tmp, path_);
   open_for_append();
 }
+
+// ---------------------------------------------------------------------------
+// PersistentMemory
+
+PersistentMemory::PersistentMemory(std::filesystem::path path,
+                                   std::size_t series_capacity)
+    : memory_(series_capacity), journal_(std::move(path)) {
+  const Journal::ReplayStats stats =
+      journal_.replay([this](const std::string& series, Measurement m) {
+        return memory_.record(series, m);
+      });
+  recovered_ = stats.recovered;
+  skipped_ = stats.skipped;
+  journal_.open_for_append();
+}
+
+bool PersistentMemory::record(const std::string& series, Measurement m) {
+  if (!memory_.record(series, m)) return false;
+  (void)journal_.append(series, m);
+  return true;
+}
+
+void PersistentMemory::sync() { journal_.sync(); }
+
+void PersistentMemory::compact() { journal_.rewrite(memory_); }
 
 }  // namespace nws

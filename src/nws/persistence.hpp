@@ -1,20 +1,79 @@
 // Disk-backed measurement journal: the NWS "persistent state" component.
 //
 // A deployed NWS memory survives restarts by journalling measurements to
-// disk.  PersistentMemory wraps the in-core Memory with an append-only
-// text journal (one "series time value" record per line) and restores all
-// series from it on open.  The journal is human-readable, crash-tolerant
-// (a torn final line is skipped on recovery) and compactable (rewrites the
-// journal keeping only what the bounded stores retain).
+// disk.  The low-level Journal is an append-only text file (one "series
+// time value" record per line) with crash-tolerant replay (torn tails and
+// mid-file garbage are skipped and counted), rewrite-based compaction, and
+// a disk-write fault-injection hook (util/fault.hpp) so write failures are
+// testable.  A failed append is counted, the stream is reopened once, and
+// the in-core state stays authoritative — a sensor never loses its memory
+// because the disk hiccuped.
+//
+// PersistentMemory wraps the in-core Memory with a Journal and restores all
+// series from it on open; ForecastService can also own a Journal directly
+// so a full server (memory + forecasters) survives a restart.
 #pragma once
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <string>
 
 #include "nws/memory.hpp"
 
 namespace nws {
+
+class Journal {
+ public:
+  /// Binds the journal to `path` without touching the file.  Call replay()
+  /// and then open_for_append() (or just open_for_append() for a
+  /// write-only journal).
+  explicit Journal(std::filesystem::path path);
+
+  struct ReplayStats {
+    std::size_t recovered = 0;  ///< records accepted by `apply`
+    std::size_t skipped = 0;    ///< malformed/torn lines or rejected records
+  };
+
+  /// Streams every record of an existing journal through `apply`
+  /// (series, measurement); a false return (e.g. out-of-order after
+  /// mid-file garbage) counts the record as skipped.  Missing file: fresh
+  /// store, zero stats.
+  ReplayStats replay(
+      const std::function<bool(const std::string&, Measurement)>& apply);
+
+  /// Opens the file for appending.  Throws std::runtime_error on failure.
+  void open_for_append();
+
+  /// Appends one record.  Returns false when the write failed (injected or
+  /// real); the failure is counted and the stream reopened for the next
+  /// attempt.
+  bool append(const std::string& series, Measurement m);
+
+  /// Flushes buffered appends to the OS.
+  void sync();
+
+  /// Rewrites the journal to hold exactly what `memory` retains (bounds
+  /// journal growth, drops any corrupt lines).  Throws on I/O failure;
+  /// reopens for append on success.
+  void rewrite(const Memory& memory);
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+  /// Appends lost to write failures so far (operators should alarm on
+  /// growth).
+  [[nodiscard]] std::size_t write_failures() const noexcept {
+    return write_failures_;
+  }
+
+ private:
+  static std::string encode(const std::string& series, Measurement m);
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::size_t write_failures_ = 0;
+};
 
 class PersistentMemory {
  public:
@@ -25,34 +84,35 @@ class PersistentMemory {
                             std::size_t series_capacity = 8192);
 
   /// Records and journals a measurement.  Returns false (and journals
-  /// nothing) on out-of-order insertion.
+  /// nothing) on out-of-order insertion.  A journal write failure is
+  /// tolerated (in-core state keeps the sample) and visible through
+  /// write_failures().
   bool record(const std::string& series, Measurement m);
 
   /// Flushes the journal to the OS.
   void sync();
 
   /// Rewrites the journal so it holds exactly the measurements currently
-  /// retained (bounds journal growth for long-lived sensors).  Throws on
-  /// I/O failure.
+  /// retained (bounds journal growth for long-lived sensors, repairs
+  /// corruption).  Throws on I/O failure.
   void compact();
 
   [[nodiscard]] const Memory& memory() const noexcept { return memory_; }
   [[nodiscard]] const std::filesystem::path& path() const noexcept {
-    return path_;
+    return journal_.path();
   }
   /// Records replayed from an existing journal at construction.
   [[nodiscard]] std::size_t recovered() const noexcept { return recovered_; }
   /// Malformed / torn lines skipped during recovery.
   [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+  /// Journal appends lost to write failures.
+  [[nodiscard]] std::size_t write_failures() const noexcept {
+    return journal_.write_failures();
+  }
 
  private:
-  void replay();
-  void open_for_append();
-  static std::string encode(const std::string& series, Measurement m);
-
-  std::filesystem::path path_;
   Memory memory_;
-  std::ofstream journal_;
+  Journal journal_;
   std::size_t recovered_ = 0;
   std::size_t skipped_ = 0;
 };

@@ -37,6 +37,12 @@ bool parse_size_token(std::string_view token, std::size_t& out) {
   return ec == std::errc{} && ptr == token.data() + token.size();
 }
 
+bool parse_u64_token(std::string_view token, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
 /// Series names must be non-empty and contain no whitespace (guaranteed by
 /// tokenisation) — nothing else to validate.
 std::string series_token(std::string_view token) {
@@ -58,6 +64,21 @@ std::optional<Request> parse_request(std::string_view line) {
       return std::nullopt;
     }
     if (!parse_double_token(tokens[3], req.measurement.value)) {
+      return std::nullopt;
+    }
+    return req;
+  }
+  if (verb == "PUTS") {
+    if (tokens.size() != 5) return std::nullopt;
+    req.kind = RequestKind::kPutSeq;
+    req.series = series_token(tokens[1]);
+    if (!parse_u64_token(tokens[2], req.seq) || req.seq == 0) {
+      return std::nullopt;
+    }
+    if (!parse_double_token(tokens[3], req.measurement.time)) {
+      return std::nullopt;
+    }
+    if (!parse_double_token(tokens[4], req.measurement.value)) {
       return std::nullopt;
     }
     return req;
@@ -103,6 +124,10 @@ std::string format_request(const Request& request) {
       ss << "PUT " << request.series << ' ' << request.measurement.time << ' '
          << request.measurement.value;
       break;
+    case RequestKind::kPutSeq:
+      ss << "PUTS " << request.series << ' ' << request.seq << ' '
+         << request.measurement.time << ' ' << request.measurement.value;
+      break;
     case RequestKind::kForecast:
       ss << "FORECAST " << request.series;
       break;
@@ -129,12 +154,12 @@ std::string format_error(std::string_view message) {
 }
 
 std::string format_forecast_response(double value, double mae, double mse,
-                                     std::size_t history,
+                                     std::size_t history, double last_time,
                                      std::string_view method) {
   std::ostringstream ss;
   ss.precision(17);
   ss << "OK " << value << ' ' << mae << ' ' << mse << ' ' << history << ' '
-     << method;
+     << last_time << ' ' << method;
   return ss.str();
 }
 
@@ -164,13 +189,14 @@ std::optional<ForecastReply> parse_forecast_response(
     std::string_view response) {
   if (!response_is_ok(response)) return std::nullopt;
   const auto tokens = tokenize(response);
-  if (tokens.size() != 6) return std::nullopt;
+  if (tokens.size() != 7) return std::nullopt;
   ForecastReply reply;
   if (!parse_double_token(tokens[1], reply.value)) return std::nullopt;
   if (!parse_double_token(tokens[2], reply.mae)) return std::nullopt;
   if (!parse_double_token(tokens[3], reply.mse)) return std::nullopt;
   if (!parse_size_token(tokens[4], reply.history)) return std::nullopt;
-  reply.method = std::string(tokens[5]);
+  if (!parse_double_token(tokens[5], reply.last_time)) return std::nullopt;
+  reply.method = std::string(tokens[6]);
   return reply;
 }
 

@@ -3,6 +3,14 @@
 //
 // Requests (one per line):
 //   PUT <series> <time> <value>     store a measurement
+//   PUTS <series> <seq> <time> <value>
+//                                   sequence-tagged PUT: replay-safe.  The
+//                                   server acks duplicates (seq already
+//                                   applied, or time not newer than the
+//                                   stored series) with "OK dup" instead of
+//                                   re-applying, so a client outbox can be
+//                                   replayed across resets and restarts
+//                                   without double-counting.
 //   FORECAST <series>               one-step-ahead forecast + error pedigree
 //   VALUES <series> <max>           most recent <max> measurements
 //   SERIES                          list known series names
@@ -12,6 +20,11 @@
 // Responses (first token is the status):
 //   OK [payload...]
 //   ERR <message>
+//
+// A FORECAST response is "OK <value> <mae> <mse> <history> <last_time>
+// <method>": last_time is the timestamp of the newest measurement backing
+// the forecast, so a scheduler can compute the forecast's age against its
+// own clock and distrust stale data.
 //
 // Parsing and formatting are pure functions over strings so the protocol is
 // fully unit-testable without sockets; server.hpp binds them to a
@@ -27,12 +40,21 @@
 
 namespace nws {
 
-enum class RequestKind { kPut, kForecast, kValues, kSeries, kPing, kQuit };
+enum class RequestKind {
+  kPut,
+  kPutSeq,
+  kForecast,
+  kValues,
+  kSeries,
+  kPing,
+  kQuit
+};
 
 struct Request {
   RequestKind kind = RequestKind::kPing;
-  std::string series;        // PUT / FORECAST / VALUES
-  Measurement measurement;   // PUT
+  std::string series;          // PUT / PUTS / FORECAST / VALUES
+  Measurement measurement;     // PUT / PUTS
+  std::uint64_t seq = 0;       // PUTS (client-assigned, starts at 1)
   std::size_t max_values = 0;  // VALUES
 };
 
@@ -49,6 +71,7 @@ struct Request {
 [[nodiscard]] std::string format_forecast_response(double value, double mae,
                                                    double mse,
                                                    std::size_t history,
+                                                   double last_time,
                                                    std::string_view method);
 [[nodiscard]] std::string format_values_response(
     const std::vector<Measurement>& values);
@@ -61,6 +84,9 @@ struct ForecastReply {
   double mae = 0.0;
   double mse = 0.0;
   std::size_t history = 0;
+  /// Timestamp of the newest measurement backing this forecast; subtract
+  /// from the caller's clock for the staleness/age of the prediction.
+  double last_time = 0.0;
   std::string method;
 };
 

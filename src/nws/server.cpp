@@ -10,12 +10,63 @@
 #include <cstring>
 #include <vector>
 
+#include "util/fault.hpp"
+
 namespace nws {
 
-NwsServer::NwsServer(std::size_t memory_capacity)
-    : service_(memory_capacity) {}
+namespace {
 
-NwsServer::~NwsServer() { stop(); }
+ServerConfig capacity_only(std::size_t memory_capacity) {
+  ServerConfig config;
+  config.memory_capacity = memory_capacity;
+  return config;
+}
+
+}  // namespace
+
+NwsServer::NwsServer(ServerConfig config)
+    : cfg_(std::move(config)),
+      service_(cfg_.memory_capacity, {}, cfg_.journal_path) {}
+
+NwsServer::NwsServer(std::size_t memory_capacity)
+    : NwsServer(capacity_only(memory_capacity)) {}
+
+NwsServer::~NwsServer() {
+  stop();
+  service_.sync();
+}
+
+std::string NwsServer::handle_put(const Request& request) {
+  // Admission control: shed new series when the table is full, loudly.
+  if (cfg_.max_series != 0 && !service_.memory().contains(request.series) &&
+      service_.series_count() >= cfg_.max_series) {
+    ++shed_;
+    return format_error("busy");
+  }
+  if (request.kind == RequestKind::kPutSeq) {
+    // Idempotent replay: a duplicate is either a sequence number we have
+    // already applied (same server incarnation) or a timestamp that is not
+    // newer than the stored series (covers replay after a restart, when
+    // applied_seq_ is empty but the journal restored the measurements).
+    const auto seq_it = applied_seq_.find(request.series);
+    const bool seq_dup =
+        seq_it != applied_seq_.end() && request.seq <= seq_it->second;
+    const SeriesStore* store = service_.memory().find(request.series);
+    const bool time_dup = store != nullptr && !store->empty() &&
+                          request.measurement.time <= store->newest().time;
+    if (seq_dup || time_dup) {
+      ++duplicates_;
+      return "OK dup";
+    }
+  }
+  if (!service_.record(request.series, request.measurement)) {
+    return format_error("out-of-order measurement");
+  }
+  if (request.kind == RequestKind::kPutSeq) {
+    applied_seq_[request.series] = request.seq;
+  }
+  return format_ok();
+}
 
 std::string NwsServer::handle_line(std::string_view line) {
   ++requests_;
@@ -25,16 +76,14 @@ std::string NwsServer::handle_line(std::string_view line) {
   const std::scoped_lock lock(mutex_);
   switch (request->kind) {
     case RequestKind::kPut:
-      if (!service_.record(request->series, request->measurement)) {
-        return format_error("out-of-order measurement");
-      }
-      return format_ok();
+    case RequestKind::kPutSeq:
+      return handle_put(*request);
     case RequestKind::kForecast: {
       const auto forecast = service_.predict(request->series);
       if (!forecast) return format_error("unknown series");
       return format_forecast_response(forecast->value, forecast->mae,
                                       forecast->mse, forecast->history,
-                                      forecast->method);
+                                      forecast->last_time, forecast->method);
     }
     case RequestKind::kValues: {
       const SeriesStore* store = service_.memory().find(request->series);
@@ -88,7 +137,10 @@ std::uint16_t NwsServer::start(std::uint16_t port) {
 }
 
 void NwsServer::stop() {
-  if (!running_.exchange(false)) return;
+  if (!running_.exchange(false)) {
+    service_.sync();
+    return;
+  }
   // The event loop polls with a timeout, so flipping running_ is enough;
   // shutting the listener down also kicks it out of a quiet poll()
   // immediately.
@@ -99,19 +151,57 @@ void NwsServer::stop() {
     listen_fd_ = -1;
   }
   port_ = 0;
+  service_.sync();
 }
 
 void NwsServer::process_buffered_lines(Connection& conn) {
   std::size_t newline;
   while (!conn.closing &&
          (newline = conn.rx.find('\n')) != std::string::npos) {
+    if (newline > cfg_.max_line_bytes) {
+      conn.tx += format_error("line too long") + "\n";
+      conn.rx.clear();
+      conn.closing = true;
+      ++dropped_;
+      return;
+    }
     const std::string line = conn.rx.substr(0, newline);
     conn.rx.erase(0, newline + 1);
-    conn.tx += handle_line(line) + "\n";
+    std::string response = handle_line(line);
+
+    const FaultAction fault = fault_check(FaultSite::kServerRespond);
+    switch (fault.kind) {
+      case FaultAction::Kind::kDelay:
+        // A stalled server: the whole event loop blocks, exactly the
+        // pathology client timeouts must absorb.
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+        break;
+      case FaultAction::Kind::kTruncate:
+        // Half a response and then a dead connection, as if the server
+        // crashed mid-write.
+        conn.tx += response.substr(0, response.size() / 2);
+        conn.closing = true;
+        continue;
+      case FaultAction::Kind::kGarbage:
+        response = "\x02\x7f!garbage";
+        break;
+      default:
+        break;
+    }
+
+    conn.tx += response + "\n";
     const auto request = parse_request(line);
     if (request && request->kind == RequestKind::kQuit) {
       conn.closing = true;
     }
+  }
+  // A peer may also stream an endless line with no newline at all; cap the
+  // buffered prefix too.
+  if (!conn.closing && conn.rx.size() > cfg_.max_line_bytes) {
+    conn.tx += format_error("line too long") + "\n";
+    conn.rx.clear();
+    conn.closing = true;
+    ++dropped_;
   }
 }
 
@@ -148,35 +238,58 @@ void NwsServer::serve_loop() {
     }
     const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
     if (!running_.load()) break;
-    if (ready <= 0) continue;
+    const auto now = std::chrono::steady_clock::now();
 
-    // New connections.
-    if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
-      const int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd >= 0) {
-        conns.push_back(Connection{fd, {}, {}, false});
-        connections_.store(conns.size());
-      }
-    }
-
-    // Client traffic.  Iterate backwards so drops do not shift unvisited
-    // entries (fds[i + 1] corresponds to conns[i]).
-    for (std::size_t i = conns.size(); i-- > 0;) {
-      const short revents = fds[i + 1].revents;
-      if (revents == 0) continue;
-      if (revents & (POLLERR | POLLNVAL)) {
-        drop(i);
-        continue;
-      }
-      if (revents & (POLLIN | POLLHUP)) {
-        const ssize_t n = ::recv(conns[i].fd, chunk, sizeof chunk, 0);
-        if (n <= 0) {
+    if (ready > 0) {
+      // Client traffic first: only the connections present when the pollfd
+      // list was built have a valid fds[i + 1] slot, so the accept below
+      // must not grow conns before this walk.  Iterate backwards so drops
+      // do not shift unvisited entries.
+      for (std::size_t i = conns.size(); i-- > 0;) {
+        const short revents = fds[i + 1].revents;
+        if (revents == 0) continue;
+        if (revents & (POLLERR | POLLNVAL)) {
           drop(i);
           continue;
         }
-        conns[i].rx.append(chunk, static_cast<std::size_t>(n));
-        process_buffered_lines(conns[i]);
-        if (!flush_tx(conns[i])) drop(i);
+        if (revents & (POLLIN | POLLHUP)) {
+          const ssize_t n = ::recv(conns[i].fd, chunk, sizeof chunk, 0);
+          if (n <= 0) {
+            drop(i);
+            continue;
+          }
+          if (fault_check(FaultSite::kServerRead).kind ==
+              FaultAction::Kind::kReset) {
+            // The network "ate" the connection: drop it with the bytes.
+            drop(i);
+            continue;
+          }
+          conns[i].last_activity = now;
+          conns[i].rx.append(chunk, static_cast<std::size_t>(n));
+          process_buffered_lines(conns[i]);
+          if (!flush_tx(conns[i])) drop(i);
+        }
+      }
+
+      // New connections.
+      if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd >= 0) {
+          conns.push_back(Connection{fd, {}, {}, false, now});
+          connections_.store(conns.size());
+        }
+      }
+    }
+
+    // Idle expiry: long-lived infrastructure must not let dead sensors pin
+    // sockets forever.
+    if (cfg_.idle_timeout_ms > 0) {
+      const auto limit = std::chrono::milliseconds(cfg_.idle_timeout_ms);
+      for (std::size_t i = conns.size(); i-- > 0;) {
+        if (now - conns[i].last_activity > limit) {
+          drop(i);
+          ++dropped_;
+        }
       }
     }
   }

@@ -13,21 +13,54 @@
 // serially in that thread; a mutex still guards the service so handle_line
 // may also be called directly from other threads (e.g. an in-process
 // sensor loop).
+//
+// Hardening (this is long-lived grid infrastructure):
+//  * per-connection input lines are capped (ERR line too long + drop), so
+//    a peer that never sends a newline cannot grow memory without bound;
+//  * idle connections can be expired (idle_timeout_ms);
+//  * when the series table is full, new series are shed with "ERR busy"
+//    instead of growing without bound or dropping silently;
+//  * PUTS (sequence-tagged PUT) is idempotent: duplicates from an outbox
+//    replay are acked with "OK dup" and not re-applied, even across a
+//    restart (a replayed journal makes stale timestamps detectable);
+//  * with a journal_path the full service state survives restarts;
+//  * the socket loop and journal consult util/fault.hpp fault sites, so a
+//    chaos harness can inject resets, delays, truncation, garbage and disk
+//    failures deterministically (a relaxed atomic load when disabled).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "nws/forecast_service.hpp"
 #include "nws/protocol.hpp"
 
 namespace nws {
 
+struct ServerConfig {
+  std::size_t memory_capacity = 8192;  ///< per-series measurement retention
+  /// Longest accepted request line (bytes, excluding the newline); longer
+  /// input answers "ERR line too long" and drops the connection.
+  std::size_t max_line_bytes = 64 * 1024;
+  /// Drop connections silent for this long (0 = never).
+  int idle_timeout_ms = 0;
+  /// Maximum distinct series; PUTs creating more answer "ERR busy"
+  /// (0 = unlimited).
+  std::size_t max_series = 0;
+  /// Journal file making memory + forecaster state durable across
+  /// restarts (empty = in-core only).
+  std::filesystem::path journal_path;
+};
+
 class NwsServer {
  public:
+  explicit NwsServer(ServerConfig config);
   explicit NwsServer(std::size_t memory_capacity = 8192);
   ~NwsServer();
 
@@ -43,12 +76,13 @@ class NwsServer {
   /// the bound port, or 0 on failure.  Idempotent start is an error.
   std::uint16_t start(std::uint16_t port = 0);
 
-  /// Stops the listener and joins the service thread.  Safe to call when
-  /// not started.
+  /// Stops the listener, joins the service thread and flushes the journal
+  /// (if any).  Safe to call when not started.
   void stop();
 
   [[nodiscard]] bool running() const noexcept { return running_.load(); }
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
 
   /// Requests served so far (all transports).
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
@@ -60,12 +94,32 @@ class NwsServer {
     return connections_.load();
   }
 
+  /// Duplicate PUTS requests acked without re-applying.
+  [[nodiscard]] std::uint64_t duplicates_acked() const noexcept {
+    return duplicates_.load();
+  }
+  /// Requests shed with "ERR busy".
+  [[nodiscard]] std::uint64_t shed_busy() const noexcept {
+    return shed_.load();
+  }
+  /// Connections dropped for oversized lines or idleness.
+  [[nodiscard]] std::uint64_t connections_dropped() const noexcept {
+    return dropped_.load();
+  }
+
+  /// The underlying service (measurements recovered from the journal,
+  /// journal write failures, ...).
+  [[nodiscard]] const ForecastService& service() const noexcept {
+    return service_;
+  }
+
  private:
   struct Connection {
     int fd = -1;
-    std::string rx;       ///< bytes received, not yet parsed into lines
-    std::string tx;       ///< response bytes not yet written
-    bool closing = false;  ///< QUIT received: close once tx drains
+    std::string rx;        ///< bytes received, not yet parsed into lines
+    std::string tx;        ///< response bytes not yet written
+    bool closing = false;  ///< QUIT/fault received: close once tx drains
+    std::chrono::steady_clock::time_point last_activity;
   };
 
   void serve_loop();
@@ -73,11 +127,20 @@ class NwsServer {
   void process_buffered_lines(Connection& conn);
   /// Returns false when the connection should be dropped.
   [[nodiscard]] bool flush_tx(Connection& conn);
+  /// PUT/PUTS admission: capacity shedding and duplicate detection.
+  [[nodiscard]] std::string handle_put(const Request& request);
 
+  ServerConfig cfg_;
   ForecastService service_;
   std::mutex mutex_;
+  /// Highest PUTS sequence applied per series (in-core fast path; the
+  /// timestamp check covers restarts).
+  std::unordered_map<std::string, std::uint64_t> applied_seq_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::size_t> connections_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
 
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;

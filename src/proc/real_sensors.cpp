@@ -59,10 +59,16 @@ double RealHybridMonitor::measure(double now) {
   const double load_reading = load_.measure();
   const double vmstat_reading = vmstat_.measure();
   if (hybrid_.probe_due(now)) {
-    const ProbeResult probe = run_cpu_probe(
-        std::chrono::duration<double>(hybrid_.config().probe_duration));
-    hybrid_.probe_result(now, probe.availability(), load_reading,
-                         vmstat_reading);
+    try {
+      const ProbeResult probe = run_cpu_probe(
+          std::chrono::duration<double>(hybrid_.config().probe_duration));
+      hybrid_.probe_result(now, probe.availability(), load_reading,
+                           vmstat_reading);
+    } catch (...) {
+      // A probe that cannot run (fork/priority/clock failure) must not
+      // take the sensor down: degrade to the cheap methods and retry.
+      hybrid_.probe_failed(now);
+    }
   }
   return hybrid_.measure(load_reading, vmstat_reading);
 }

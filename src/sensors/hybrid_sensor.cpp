@@ -26,6 +26,18 @@ void HybridSensor::probe_result(double now, double probe_availability,
   bias_ = cfg_.apply_bias ? probe_availability - chosen : 0.0;
   next_probe_ = now + cfg_.probe_period;
   ++probes_;
+  consecutive_failures_ = 0;
+}
+
+void HybridSensor::probe_failed(double now) noexcept {
+  ++failures_;
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= cfg_.bias_drop_failures) {
+    // The bias calibrates the cheap method against a probe that no longer
+    // runs; after enough failures it is stale enough to mislead.
+    bias_ = 0.0;
+  }
+  next_probe_ = now + std::min(cfg_.probe_retry, cfg_.probe_period);
 }
 
 double HybridSensor::measure(double load_reading,

@@ -38,6 +38,12 @@ struct HybridConfig {
   /// Whether to apply the probe bias to subsequent readings (switchable
   /// for the bias ablation).
   bool apply_bias = true;
+  /// Seconds until the next probe attempt after a failed probe (retry
+  /// sooner than a full period so a transient failure degrades briefly).
+  double probe_retry = 10.0;
+  /// Consecutive probe failures after which the (now stale) bias is
+  /// dropped and the sensor falls back to the raw cheap method.
+  std::size_t bias_drop_failures = 3;
 };
 
 class HybridSensor {
@@ -52,6 +58,13 @@ class HybridSensor {
   void probe_result(double now, double probe_availability,
                     double load_reading, double vmstat_reading) noexcept;
 
+  /// Reports that the probe due at `now` failed or timed out.  The sensor
+  /// degrades gracefully: it keeps generating measurements from the cheap
+  /// methods, retries the probe after probe_retry seconds, and drops the
+  /// stale bias after bias_drop_failures consecutive failures.  degraded()
+  /// and confidence() flag the reduced pedigree until a probe succeeds.
+  void probe_failed(double now) noexcept;
+
   /// Produces the hybrid availability measurement for this epoch from the
   /// two cheap readings (selected method + bias, clamped to [0, 1]).
   [[nodiscard]] double measure(double load_reading,
@@ -60,6 +73,20 @@ class HybridSensor {
   [[nodiscard]] HybridMethod selected() const noexcept { return method_; }
   [[nodiscard]] double bias() const noexcept { return bias_; }
   [[nodiscard]] std::size_t probes_run() const noexcept { return probes_; }
+  /// Probe failures reported over the sensor's lifetime.
+  [[nodiscard]] std::size_t probe_failures() const noexcept {
+    return failures_;
+  }
+  /// True while the last probe attempt failed (measurements are cheap-
+  /// method only, possibly with a stale or dropped bias).
+  [[nodiscard]] bool degraded() const noexcept {
+    return consecutive_failures_ > 0;
+  }
+  /// 1.0 with a fresh probe, shrinking with each consecutive failure —
+  /// shipped alongside measurements so consumers can discount them.
+  [[nodiscard]] double confidence() const noexcept {
+    return 1.0 / (1.0 + static_cast<double>(consecutive_failures_));
+  }
   [[nodiscard]] const HybridConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::string name() const { return "nws_hybrid"; }
 
@@ -69,6 +96,8 @@ class HybridSensor {
   double bias_ = 0.0;
   double next_probe_ = 0.0;
   std::size_t probes_ = 0;
+  std::size_t failures_ = 0;
+  std::size_t consecutive_failures_ = 0;
 };
 
 }  // namespace nws

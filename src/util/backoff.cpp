@@ -1,0 +1,29 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nws {
+
+ExponentialBackoff::ExponentialBackoff(BackoffConfig config,
+                                       std::uint64_t seed)
+    : cfg_(config), rng_(seed) {
+  assert(cfg_.base_ms > 0.0 && cfg_.cap_ms >= cfg_.base_ms);
+  assert(cfg_.multiplier >= 1.0);
+  assert(cfg_.jitter >= 0.0 && cfg_.jitter <= 1.0);
+}
+
+double ExponentialBackoff::next_delay_ms() noexcept {
+  double d = cfg_.base_ms;
+  // Multiply up with saturation at the cap instead of pow(): attempt counts
+  // are small and this avoids overflow for pathological attempt numbers.
+  for (std::size_t i = 0; i < attempt_ && d < cfg_.cap_ms; ++i) {
+    d *= cfg_.multiplier;
+  }
+  d = std::min(d, cfg_.cap_ms);
+  ++attempt_;
+  if (cfg_.jitter > 0.0) d *= 1.0 - cfg_.jitter * rng_.uniform();
+  return d;
+}
+
+}  // namespace nws

@@ -1,0 +1,48 @@
+// Deterministic exponential backoff with jitter, for clients that retry
+// against an unreliable service.
+//
+// The delay sequence is base * multiplier^attempt, capped at cap_ms, with a
+// multiplicative jitter drawn from an explicitly seeded Rng so that retry
+// storms decorrelate across clients yet every test run replays exactly.
+// Policy only: the caller decides what "sleeping" means (a real
+// std::this_thread::sleep_for, a simulated clock, or nothing at all).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace nws {
+
+struct BackoffConfig {
+  double base_ms = 10.0;    ///< first delay
+  double cap_ms = 1000.0;   ///< delays never exceed this
+  double multiplier = 2.0;  ///< growth factor per attempt
+  /// Fraction of the delay randomised away: the returned delay lies in
+  /// [d * (1 - jitter), d].  0 disables jitter entirely.
+  double jitter = 0.5;
+};
+
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(BackoffConfig config = {},
+                              std::uint64_t seed = 0);
+
+  /// Delay to wait before the next attempt (milliseconds); advances the
+  /// attempt counter.  Deterministic given the seed and call count.
+  [[nodiscard]] double next_delay_ms() noexcept;
+
+  /// Back to the first-attempt delay (call after a success).
+  void reset() noexcept { attempt_ = 0; }
+
+  [[nodiscard]] std::size_t attempts() const noexcept { return attempt_; }
+  [[nodiscard]] const BackoffConfig& config() const noexcept { return cfg_; }
+
+ private:
+  BackoffConfig cfg_;
+  Rng rng_;
+  std::size_t attempt_ = 0;
+};
+
+}  // namespace nws

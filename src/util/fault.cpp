@@ -1,0 +1,78 @@
+#include "util/fault.hpp"
+
+namespace nws {
+
+namespace detail {
+std::atomic<FaultInjector*> g_fault_injector{nullptr};
+}  // namespace detail
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultProfile profile)
+    : profile_(profile) {
+  // One independent stream per site: mix the site index into the seed so
+  // site streams never overlap and a site's schedule does not depend on
+  // traffic at the others.
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    sites_[i].rng = Rng(splitmix64(state));
+  }
+}
+
+FaultAction FaultInjector::decide(FaultSite site) noexcept {
+  const std::scoped_lock lock(mutex_);
+  SiteState& s = sites_[static_cast<std::size_t>(site)];
+  ++s.calls;
+  FaultAction action;
+  switch (site) {
+    case FaultSite::kServerRead:
+      if (s.rng.chance(profile_.reset_prob)) {
+        action.kind = FaultAction::Kind::kReset;
+      }
+      break;
+    case FaultSite::kServerRespond: {
+      // One uniform draw per call keeps the stream consumption fixed no
+      // matter which probabilities are set, so enabling one fault kind
+      // never perturbs the schedule of another.
+      const double u = s.rng.uniform();
+      if (u < profile_.delay_prob) {
+        action.kind = FaultAction::Kind::kDelay;
+        action.delay_ms = profile_.delay_ms;
+      } else if (u < profile_.delay_prob + profile_.truncate_prob) {
+        action.kind = FaultAction::Kind::kTruncate;
+      } else if (u < profile_.delay_prob + profile_.truncate_prob +
+                         profile_.garbage_prob) {
+        action.kind = FaultAction::Kind::kGarbage;
+      }
+      break;
+    }
+    case FaultSite::kDiskWrite:
+      if (s.rng.chance(profile_.disk_fail_prob)) {
+        action.kind = FaultAction::Kind::kFail;
+      }
+      break;
+  }
+  if (action.kind != FaultAction::Kind::kNone) ++s.faults;
+  return action;
+}
+
+std::uint64_t FaultInjector::calls(FaultSite site) const noexcept {
+  const std::scoped_lock lock(mutex_);
+  return sites_[static_cast<std::size_t>(site)].calls;
+}
+
+std::uint64_t FaultInjector::faults(FaultSite site) const noexcept {
+  const std::scoped_lock lock(mutex_);
+  return sites_[static_cast<std::size_t>(site)].faults;
+}
+
+std::uint64_t FaultInjector::total_faults() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const SiteState& s : sites_) total += s.faults;
+  return total;
+}
+
+void install_fault_injector(FaultInjector* injector) noexcept {
+  detail::g_fault_injector.store(injector, std::memory_order_release);
+}
+
+}  // namespace nws

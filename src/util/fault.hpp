@@ -1,0 +1,109 @@
+// Deterministic fault injection for the NWS pipeline.
+//
+// A FaultInjector turns a seed and a probability profile into a
+// reproducible schedule of faults — connection resets, delayed / truncated
+// / garbage responses, disk write failures — that the server's socket loop
+// and the persistence journal consult at well-defined *sites*.  Each site
+// draws from its own splitmix-derived Rng stream, so the decision sequence
+// at one site is independent of how often the others are hit: same seed +
+// same per-site call sequence -> same fault schedule.
+//
+// Production cost: the hooks are a single relaxed atomic pointer load.  No
+// injector installed (the default) means fault_check() returns kNone
+// without touching an Rng, a mutex, or any per-call state — the hot
+// protocol path is unchanged within noise (see DESIGN.md §8 for the
+// before/after micro_net numbers).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "util/rng.hpp"
+
+namespace nws {
+
+/// Where a fault can strike.  kServerRead is consulted once per successful
+/// recv(), kServerRespond once per response line, kDiskWrite once per
+/// journal append.
+enum class FaultSite : std::size_t {
+  kServerRead = 0,
+  kServerRespond = 1,
+  kDiskWrite = 2,
+};
+inline constexpr std::size_t kFaultSiteCount = 3;
+
+struct FaultAction {
+  enum class Kind {
+    kNone,      ///< proceed normally
+    kReset,     ///< kServerRead: drop the connection as if the peer vanished
+    kDelay,     ///< kServerRespond: stall delay_ms before answering
+    kTruncate,  ///< kServerRespond: send a partial response, then reset
+    kGarbage,   ///< kServerRespond: answer with protocol garbage
+    kFail,      ///< kDiskWrite: the write is lost
+  };
+  Kind kind = Kind::kNone;
+  int delay_ms = 0;
+};
+
+/// Per-site fault probabilities.  All default to 0 (no faults).
+struct FaultProfile {
+  double reset_prob = 0.0;      ///< kServerRead -> kReset
+  double delay_prob = 0.0;      ///< kServerRespond -> kDelay
+  int delay_ms = 50;            ///< stall length for injected delays
+  double truncate_prob = 0.0;   ///< kServerRespond -> kTruncate
+  double garbage_prob = 0.0;    ///< kServerRespond -> kGarbage
+  double disk_fail_prob = 0.0;  ///< kDiskWrite -> kFail
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, FaultProfile profile);
+
+  /// Draws the next fault decision for `site`.  Thread-safe; the sequence
+  /// of decisions at each site is a deterministic function of (seed, site,
+  /// call index at that site).
+  [[nodiscard]] FaultAction decide(FaultSite site) noexcept;
+
+  [[nodiscard]] const FaultProfile& profile() const noexcept {
+    return profile_;
+  }
+  /// decide() calls at this site so far.
+  [[nodiscard]] std::uint64_t calls(FaultSite site) const noexcept;
+  /// Non-kNone decisions at this site so far.
+  [[nodiscard]] std::uint64_t faults(FaultSite site) const noexcept;
+  [[nodiscard]] std::uint64_t total_faults() const noexcept;
+
+ private:
+  struct SiteState {
+    Rng rng{0};
+    std::uint64_t calls = 0;
+    std::uint64_t faults = 0;
+  };
+
+  FaultProfile profile_;
+  mutable std::mutex mutex_;
+  std::array<SiteState, kFaultSiteCount> sites_;
+};
+
+/// Installs `injector` as the process-global fault source consulted by
+/// fault_check().  Pass nullptr to disable injection.  The caller keeps
+/// ownership and must uninstall before destroying the injector.
+void install_fault_injector(FaultInjector* injector) noexcept;
+
+namespace detail {
+extern std::atomic<FaultInjector*> g_fault_injector;
+}  // namespace detail
+
+/// The hook the pipeline calls at each fault site.  One relaxed atomic
+/// load when no injector is installed.
+[[nodiscard]] inline FaultAction fault_check(FaultSite site) noexcept {
+  FaultInjector* injector =
+      detail::g_fault_injector.load(std::memory_order_relaxed);
+  if (injector == nullptr) return {};
+  return injector->decide(site);
+}
+
+}  // namespace nws

@@ -1,0 +1,196 @@
+// End-to-end chaos test: the full sensor -> server -> forecaster pipeline
+// under a deterministic fault schedule (connection resets, stalled /
+// truncated / garbage responses) plus one server restart mid-run.
+//
+// The resilience contract it proves:
+//  * every measurement is delivered exactly once (outbox replay with
+//    sequence-tagged PUTS; duplicates acked, never re-applied);
+//  * client calls return within their configured timeouts even against a
+//    stalled or garbage-spewing server;
+//  * once the faults stop, the forecast state is byte-for-byte the state
+//    of a fault-free run over the same measurements.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "nws/client.hpp"
+#include "nws/server.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace nws {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kSeries = "chaos/cpu";
+
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("NWSCPU_FAULT_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 42;
+}
+
+/// A plausible availability trace: a bounded random walk in [0, 1].
+std::vector<Measurement> make_measurements(std::size_t n) {
+  std::vector<Measurement> ms;
+  ms.reserve(n);
+  Rng rng(7);
+  double v = 0.6;
+  for (std::size_t i = 0; i < n; ++i) {
+    v = std::min(1.0, std::max(0.0, v + rng.uniform(-0.08, 0.08)));
+    ms.push_back({static_cast<double>(i) * 10.0, v});
+  }
+  return ms;
+}
+
+ClientConfig fast_client_config() {
+  ClientConfig cfg;
+  cfg.connect_timeout_ms = 500;
+  cfg.io_timeout_ms = 250;
+  cfg.max_flush_attempts = 10;
+  cfg.backoff = BackoffConfig{5.0, 60.0, 2.0, 0.5};
+  cfg.backoff_seed = 17;
+  return cfg;
+}
+
+class ChaosPipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nwscpu_chaos_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    install_fault_injector(nullptr);
+    fs::remove_all(dir_);
+  }
+
+  ServerConfig server_config(const std::string& journal_name) {
+    ServerConfig cfg;
+    cfg.memory_capacity = 1024;  // retains the whole run: restart-lossless
+    cfg.journal_path = dir_ / journal_name;
+    return cfg;
+  }
+
+  /// Fault-free reference: same measurements, same machinery, no faults.
+  ForecastReply reference_run(const std::vector<Measurement>& ms) {
+    NwsServer server(server_config("reference.journal"));
+    const std::uint16_t port = server.start(0);
+    EXPECT_NE(port, 0);
+    NwsClient client(fast_client_config());
+    EXPECT_TRUE(client.connect(port));
+    for (const Measurement& m : ms) {
+      EXPECT_TRUE(client.put_reliable(kSeries, m));
+    }
+    EXPECT_TRUE(client.flush());
+    const auto forecast = client.forecast(kSeries);
+    EXPECT_TRUE(forecast.has_value());
+    server.stop();
+    return forecast.value_or(ForecastReply{});
+  }
+
+  /// The chaos run: faults on, one restart halfway.  Returns the final
+  /// forecast; asserts delivery and latency invariants along the way.
+  ForecastReply chaos_run(const std::vector<Measurement>& ms,
+                          std::uint64_t seed, const std::string& journal) {
+    FaultProfile profile;
+    profile.reset_prob = 0.06;
+    profile.delay_prob = 0.08;
+    profile.delay_ms = 40;
+    profile.truncate_prob = 0.05;
+    profile.garbage_prob = 0.04;
+    FaultInjector injector(seed, profile);
+
+    const ServerConfig cfg = server_config(journal);
+    auto server = std::make_unique<NwsServer>(cfg);
+    const std::uint16_t port = server->start(0);
+    EXPECT_NE(port, 0);
+    NwsClient client(fast_client_config());
+    EXPECT_TRUE(client.connect(port));
+
+    install_fault_injector(&injector);
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      if (i == ms.size() / 2) {
+        // The server "crashes" (journal intact) and a new incarnation
+        // takes over the same port.
+        server.reset();
+        server = std::make_unique<NwsServer>(cfg);
+        std::uint16_t reborn = 0;
+        for (int tries = 0; tries < 50 && reborn == 0; ++tries) {
+          reborn = server->start(port);
+          if (reborn == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          }
+        }
+        EXPECT_EQ(reborn, port) << "could not rebind chaos port";
+      }
+      // Never lose a sample to the outbox bound in this run.
+      EXPECT_TRUE(client.put_reliable(kSeries, ms[i]));
+      if (i % 8 == 0) (void)client.flush();
+      if (i % 10 == 0) {
+        // Latency bound: a scheduler polling forecasts mid-chaos must get
+        // an answer (or a failure) within its timeouts, never a hang.
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)client.forecast(kSeries);
+        const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+        EXPECT_LT(elapsed.count(), 2000) << "forecast exceeded its timeout";
+      }
+    }
+    // Faults stop; the outbox must drain completely.
+    install_fault_injector(nullptr);
+    bool drained = false;
+    for (int i = 0; i < 20 && !drained; ++i) drained = client.flush();
+    EXPECT_TRUE(drained);
+    EXPECT_EQ(client.outbox_size(), 0u);
+    EXPECT_EQ(client.outbox_overflows(), 0u);
+    EXPECT_GT(injector.total_faults(), 0u) << "chaos run injected nothing";
+
+    const auto forecast = client.forecast(kSeries);
+    EXPECT_TRUE(forecast.has_value());
+    // Exactly-once: every measurement applied, none twice.
+    EXPECT_EQ(forecast ? forecast->history : 0, ms.size());
+    server->stop();
+    return forecast.value_or(ForecastReply{});
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ChaosPipeline, ExactlyOnceDeliveryAndForecastParityUnderFaults) {
+  const auto ms = make_measurements(160);
+  const ForecastReply expected = reference_run(ms);
+  const ForecastReply actual = chaos_run(ms, chaos_seed(), "chaos.journal");
+
+  // Once the faults stop, the chaotic pipeline converged to the exact
+  // state of the fault-free one: same forecast, same error pedigree, same
+  // history, same staleness anchor.
+  EXPECT_DOUBLE_EQ(actual.value, expected.value);
+  EXPECT_DOUBLE_EQ(actual.mae, expected.mae);
+  EXPECT_DOUBLE_EQ(actual.mse, expected.mse);
+  EXPECT_EQ(actual.history, expected.history);
+  EXPECT_DOUBLE_EQ(actual.last_time, expected.last_time);
+  EXPECT_EQ(actual.method, expected.method);
+}
+
+TEST_F(ChaosPipeline, SameSeedSameOutcome) {
+  const auto ms = make_measurements(100);
+  const ForecastReply a = chaos_run(ms, 1234, "a.journal");
+  const ForecastReply b = chaos_run(ms, 1234, "b.journal");
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+  EXPECT_DOUBLE_EQ(a.mae, b.mae);
+  EXPECT_DOUBLE_EQ(a.mse, b.mse);
+  EXPECT_EQ(a.history, b.history);
+  EXPECT_EQ(a.method, b.method);
+}
+
+}  // namespace
+}  // namespace nws

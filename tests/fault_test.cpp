@@ -1,0 +1,266 @@
+// Tests for the fault-injection harness (util/fault.hpp), the
+// deterministic retry/backoff policy (util/backoff.hpp), and the
+// fault-aware persistence journal.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "nws/forecast_service.hpp"
+#include "nws/persistence.hpp"
+#include "util/backoff.hpp"
+#include "util/fault.hpp"
+
+namespace nws {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Installs an injector for the lifetime of a scope; never leaks the
+/// global hook into other tests.
+class ScopedInjector {
+ public:
+  ScopedInjector(std::uint64_t seed, FaultProfile profile)
+      : injector_(seed, profile) {
+    install_fault_injector(&injector_);
+  }
+  ~ScopedInjector() { install_fault_injector(nullptr); }
+  FaultInjector& get() noexcept { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+
+std::vector<FaultAction::Kind> draw_schedule(FaultInjector& injector,
+                                             FaultSite site, int n) {
+  std::vector<FaultAction::Kind> kinds;
+  kinds.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) kinds.push_back(injector.decide(site).kind);
+  return kinds;
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultProfile profile;
+  profile.reset_prob = 0.2;
+  profile.delay_prob = 0.1;
+  profile.truncate_prob = 0.1;
+  profile.garbage_prob = 0.1;
+  profile.disk_fail_prob = 0.3;
+  FaultInjector a(42, profile);
+  FaultInjector b(42, profile);
+  for (const FaultSite site :
+       {FaultSite::kServerRead, FaultSite::kServerRespond,
+        FaultSite::kDiskWrite}) {
+    EXPECT_EQ(draw_schedule(a, site, 500), draw_schedule(b, site, 500));
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiffer) {
+  FaultProfile profile;
+  profile.reset_prob = 0.2;
+  FaultInjector a(1, profile);
+  FaultInjector b(2, profile);
+  EXPECT_NE(draw_schedule(a, FaultSite::kServerRead, 500),
+            draw_schedule(b, FaultSite::kServerRead, 500));
+}
+
+TEST(FaultInjector, SiteStreamsAreIndependent) {
+  // Draining one site's stream must not perturb another's schedule.
+  FaultProfile profile;
+  profile.reset_prob = 0.3;
+  profile.disk_fail_prob = 0.3;
+  FaultInjector a(7, profile);
+  FaultInjector b(7, profile);
+  (void)draw_schedule(a, FaultSite::kDiskWrite, 1000);  // extra traffic
+  EXPECT_EQ(draw_schedule(a, FaultSite::kServerRead, 300),
+            draw_schedule(b, FaultSite::kServerRead, 300));
+}
+
+TEST(FaultInjector, RatesRoughlyMatchProfile) {
+  FaultProfile profile;
+  profile.delay_prob = 0.25;
+  profile.truncate_prob = 0.1;
+  profile.garbage_prob = 0.05;
+  FaultInjector injector(3, profile);
+  (void)draw_schedule(injector, FaultSite::kServerRespond, 10000);
+  const double rate =
+      static_cast<double>(injector.faults(FaultSite::kServerRespond)) /
+      static_cast<double>(injector.calls(FaultSite::kServerRespond));
+  EXPECT_NEAR(rate, 0.4, 0.03);
+}
+
+TEST(FaultInjector, DelayCarriesConfiguredMs) {
+  FaultProfile profile;
+  profile.delay_prob = 1.0;
+  profile.delay_ms = 123;
+  FaultInjector injector(1, profile);
+  const FaultAction action = injector.decide(FaultSite::kServerRespond);
+  EXPECT_EQ(action.kind, FaultAction::Kind::kDelay);
+  EXPECT_EQ(action.delay_ms, 123);
+}
+
+TEST(FaultInjector, HookDisabledReturnsNone) {
+  install_fault_injector(nullptr);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fault_check(FaultSite::kServerRead).kind,
+              FaultAction::Kind::kNone);
+  }
+}
+
+TEST(FaultInjector, HookRoutesToInstalledInjector) {
+  FaultProfile profile;
+  profile.disk_fail_prob = 1.0;
+  ScopedInjector scoped(9, profile);
+  EXPECT_EQ(fault_check(FaultSite::kDiskWrite).kind,
+            FaultAction::Kind::kFail);
+  EXPECT_EQ(scoped.get().calls(FaultSite::kDiskWrite), 1u);
+  EXPECT_EQ(scoped.get().total_faults(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ExponentialBackoff
+
+TEST(Backoff, DeterministicGivenSeed) {
+  BackoffConfig cfg;
+  ExponentialBackoff a(cfg, 5);
+  ExponentialBackoff b(cfg, 5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_delay_ms(), b.next_delay_ms());
+  }
+}
+
+TEST(Backoff, GrowsGeometricallyWithoutJitter) {
+  BackoffConfig cfg;
+  cfg.base_ms = 10.0;
+  cfg.cap_ms = 100.0;
+  cfg.multiplier = 2.0;
+  cfg.jitter = 0.0;
+  ExponentialBackoff backoff(cfg, 0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 20.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 40.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 80.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 100.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 100.0);
+}
+
+TEST(Backoff, JitterStaysWithinBand) {
+  BackoffConfig cfg;
+  cfg.base_ms = 100.0;
+  cfg.cap_ms = 100.0;
+  cfg.jitter = 0.5;
+  ExponentialBackoff backoff(cfg, 11);
+  for (int i = 0; i < 200; ++i) {
+    const double d = backoff.next_delay_ms();
+    EXPECT_GT(d, 50.0 - 1e-9);
+    EXPECT_LE(d, 100.0);
+  }
+}
+
+TEST(Backoff, ResetRestartsTheSequence) {
+  BackoffConfig cfg;
+  cfg.jitter = 0.0;
+  ExponentialBackoff backoff(cfg, 0);
+  (void)backoff.next_delay_ms();
+  (void)backoff.next_delay_ms();
+  EXPECT_EQ(backoff.attempts(), 2u);
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), cfg.base_ms);
+}
+
+// ---------------------------------------------------------------------------
+// Journal under injected disk faults
+
+class FaultJournalDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nwscpu_fault_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    journal_ = dir_ / "memory.journal";
+  }
+  void TearDown() override {
+    install_fault_injector(nullptr);
+    fs::remove_all(dir_);
+  }
+
+  fs::path dir_;
+  fs::path journal_;
+};
+
+TEST_F(FaultJournalDir, InjectedWriteFailureKeepsInCoreState) {
+  FaultProfile profile;
+  profile.disk_fail_prob = 1.0;  // every append fails
+  {
+    PersistentMemory pm(journal_);
+    ASSERT_TRUE(pm.record("s", {0.0, 0.1}));  // journalled
+    {
+      ScopedInjector scoped(1, profile);
+      ASSERT_TRUE(pm.record("s", {10.0, 0.2}));  // lost on disk, kept in core
+      ASSERT_TRUE(pm.record("s", {20.0, 0.3}));
+    }
+    ASSERT_TRUE(pm.record("s", {30.0, 0.4}));  // healthy again
+    pm.sync();
+    EXPECT_EQ(pm.write_failures(), 2u);
+    EXPECT_EQ(pm.memory().find("s")->size(), 4u);  // core kept everything
+  }
+  // Only the successfully journalled records come back.
+  PersistentMemory pm(journal_);
+  EXPECT_EQ(pm.recovered(), 2u);
+  EXPECT_DOUBLE_EQ(pm.memory().find("s")->at(0).time, 0.0);
+  EXPECT_DOUBLE_EQ(pm.memory().find("s")->at(1).time, 30.0);
+}
+
+TEST_F(FaultJournalDir, CompactRepairsAfterWriteFaults) {
+  FaultProfile profile;
+  profile.disk_fail_prob = 0.5;
+  {
+    PersistentMemory pm(journal_, /*series_capacity=*/64);
+    {
+      ScopedInjector scoped(2, profile);
+      for (int i = 0; i < 40; ++i) {
+        ASSERT_TRUE(pm.record("s", {i * 10.0, 0.5}));
+      }
+    }
+    EXPECT_GT(pm.write_failures(), 0u);
+    // compact() rewrites the journal from the (complete) in-core state,
+    // repairing the holes the faults tore.
+    pm.compact();
+  }
+  PersistentMemory pm(journal_, 64);
+  EXPECT_EQ(pm.recovered(), 40u);
+  EXPECT_EQ(pm.skipped(), 0u);
+}
+
+TEST_F(FaultJournalDir, ForecastServiceSurvivesRestartViaJournal) {
+  Forecast before;
+  {
+    ForecastService svc(1024, {}, journal_);
+    for (int i = 0; i < 120; ++i) {
+      ASSERT_TRUE(
+          svc.record("h/cpu", {i * 10.0, 0.5 + 0.3 * ((i % 7) / 7.0)}));
+    }
+    before = *svc.predict("h/cpu");
+    svc.sync();
+  }
+  ForecastService svc(1024, {}, journal_);
+  EXPECT_EQ(svc.recovered(), 120u);
+  const auto after = svc.predict("h/cpu");
+  ASSERT_TRUE(after.has_value());
+  // Replay re-feeds the forecasters, so the restarted service forecasts
+  // exactly as the uninterrupted one did.
+  EXPECT_DOUBLE_EQ(after->value, before.value);
+  EXPECT_DOUBLE_EQ(after->mae, before.mae);
+  EXPECT_DOUBLE_EQ(after->mse, before.mse);
+  EXPECT_EQ(after->history, before.history);
+  EXPECT_DOUBLE_EQ(after->last_time, before.last_time);
+  EXPECT_EQ(after->method, before.method);
+}
+
+}  // namespace
+}  // namespace nws

@@ -138,6 +138,83 @@ TEST_F(JournalDir, CommentsIgnoredOnReplay) {
   EXPECT_DOUBLE_EQ(pm.memory().find("s")->newest().value, 0.75);
 }
 
+TEST_F(JournalDir, MidJournalGarbageSkippedNotFatal) {
+  // Crash-torn journals are not always torn at the tail: a partial block
+  // write can corrupt the middle.  Every good record around the damage
+  // must still be recovered.
+  {
+    std::ofstream out(journal_, std::ios::binary);
+    out << "s 0 0.1\n";
+    out << "s 10 not-a-number\n";              // non-numeric value
+    out << std::string("\x00\x7f\xfe garbage \x01\n", 15);  // binary noise
+    out << "s 20\n";                           // missing field
+    out << "s 30 0.2 0.9 extra\n";             // too many fields
+    out << "s 40 0.3\n";                       // good again
+  }
+  PersistentMemory pm(journal_);
+  EXPECT_EQ(pm.recovered(), 2u);
+  EXPECT_EQ(pm.skipped(), 4u);
+  ASSERT_NE(pm.memory().find("s"), nullptr);
+  EXPECT_EQ(pm.memory().find("s")->size(), 2u);
+  EXPECT_DOUBLE_EQ(pm.memory().find("s")->at(0).time, 0.0);
+  EXPECT_DOUBLE_EQ(pm.memory().find("s")->at(1).time, 40.0);
+}
+
+TEST_F(JournalDir, CompactScrubsGarbageFromJournal) {
+  // After recovery skips damage, compact() rewrites the journal from the
+  // in-core state: the next replay is clean.
+  {
+    std::ofstream out(journal_, std::ios::binary);
+    out << "s 0 0.1\njunk line here\ns 10 0.2\ns 2";  // torn tail too
+  }
+  {
+    PersistentMemory pm(journal_);
+    EXPECT_EQ(pm.recovered(), 2u);
+    EXPECT_GT(pm.skipped(), 0u);
+    pm.compact();
+  }
+  PersistentMemory pm(journal_);
+  EXPECT_EQ(pm.recovered(), 2u);
+  EXPECT_EQ(pm.skipped(), 0u);
+  EXPECT_DOUBLE_EQ(pm.memory().find("s")->newest().value, 0.2);
+}
+
+TEST_F(JournalDir, RecoveredStateMatchesInCoreState) {
+  // Whatever survives a restart equals what the live store held: same
+  // series, same order, same values.
+  std::vector<std::pair<std::string, Measurement>> live;
+  {
+    PersistentMemory pm(journal_);
+    for (int i = 0; i < 30; ++i) {
+      const std::string series = (i % 3 == 0) ? "a" : (i % 3 == 1 ? "b" : "c");
+      const Measurement m{i * 5.0, 0.25 + 0.02 * (i % 11)};
+      ASSERT_TRUE(pm.record(series, m));
+    }
+    pm.sync();
+    for (const auto& series : pm.memory().series_names()) {
+      const SeriesStore* buf = pm.memory().find(series);
+      for (std::size_t i = 0; i < buf->size(); ++i) {
+        live.emplace_back(series, buf->at(i));
+      }
+    }
+  }
+  PersistentMemory pm(journal_);
+  EXPECT_EQ(pm.recovered(), 30u);
+  std::vector<std::pair<std::string, Measurement>> recovered;
+  for (const auto& series : pm.memory().series_names()) {
+    const SeriesStore* buf = pm.memory().find(series);
+    for (std::size_t i = 0; i < buf->size(); ++i) {
+      recovered.emplace_back(series, buf->at(i));
+    }
+  }
+  ASSERT_EQ(recovered.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(recovered[i].first, live[i].first);
+    EXPECT_DOUBLE_EQ(recovered[i].second.time, live[i].second.time);
+    EXPECT_DOUBLE_EQ(recovered[i].second.value, live[i].second.value);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Fleet config parsing
 

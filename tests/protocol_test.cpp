@@ -1,5 +1,6 @@
 // Unit tests for the nwscpu wire protocol, the NwsServer request handling,
-// and the TCP server/client loopback path.
+// the TCP server/client loopback path, and the hardening behaviours (line
+// caps, idle expiry, busy shedding, client timeouts, fuzzed input).
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -7,11 +8,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <thread>
 
 #include "nws/client.hpp"
 #include "nws/protocol.hpp"
 #include "nws/server.hpp"
+#include "util/rng.hpp"
 
 namespace nws {
 namespace {
@@ -69,6 +72,33 @@ INSTANTIATE_TEST_SUITE_P(
                       BadLine{"ping_with_arg", "PING 1"}),
     [](const auto& param_info) { return param_info.param.name; });
 
+TEST(Protocol, ParsePutSeq) {
+  const auto req = parse_request("PUTS host/cpu 17 120.5 0.75");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->kind, RequestKind::kPutSeq);
+  EXPECT_EQ(req->series, "host/cpu");
+  EXPECT_EQ(req->seq, 17u);
+  EXPECT_DOUBLE_EQ(req->measurement.time, 120.5);
+  EXPECT_DOUBLE_EQ(req->measurement.value, 0.75);
+  // Sequence numbers start at 1; 0 and junk are malformed.
+  EXPECT_FALSE(parse_request("PUTS s 0 1.0 0.5").has_value());
+  EXPECT_FALSE(parse_request("PUTS s one 1.0 0.5").has_value());
+  EXPECT_FALSE(parse_request("PUTS s 1 1.0").has_value());
+}
+
+TEST(Protocol, PutSeqFormatRoundTrip) {
+  Request req;
+  req.kind = RequestKind::kPutSeq;
+  req.series = "h/cpu";
+  req.seq = 987654321;
+  req.measurement = {86400.125, 0.375};
+  const auto back = parse_request(format_request(req));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, RequestKind::kPutSeq);
+  EXPECT_EQ(back->seq, req.seq);
+  EXPECT_DOUBLE_EQ(back->measurement.value, req.measurement.value);
+}
+
 TEST(Protocol, FormatParseRoundTrip) {
   Request req;
   req.kind = RequestKind::kPut;
@@ -93,14 +123,15 @@ TEST(Protocol, OkAndErrorShapes) {
 }
 
 TEST(Protocol, ForecastResponseRoundTrip) {
-  const std::string response =
-      format_forecast_response(0.875, 0.031, 0.002, 1234, "sw_mean(10)");
+  const std::string response = format_forecast_response(
+      0.875, 0.031, 0.002, 1234, 86400.5, "sw_mean(10)");
   const auto reply = parse_forecast_response(response);
   ASSERT_TRUE(reply.has_value());
   EXPECT_DOUBLE_EQ(reply->value, 0.875);
   EXPECT_DOUBLE_EQ(reply->mae, 0.031);
   EXPECT_DOUBLE_EQ(reply->mse, 0.002);
   EXPECT_EQ(reply->history, 1234u);
+  EXPECT_DOUBLE_EQ(reply->last_time, 86400.5);
   EXPECT_EQ(reply->method, "sw_mean(10)");
 }
 
@@ -446,7 +477,221 @@ TEST(NetFailure, StopWithClientsMidSessionDoesNotHang) {
   EXPECT_FALSE(server.running());
 }
 
+TEST(NetFailure, OversizedLineAnsweredAndDropped) {
+  ServerConfig cfg;
+  cfg.max_line_bytes = 256;
+  NwsServer server(cfg);
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  {
+    // Complete-but-huge line: answered with ERR, then dropped.
+    RawPeer peer(port);
+    ASSERT_TRUE(peer.ok());
+    ASSERT_TRUE(peer.send_bytes(std::string(512, 'x') + "\n"));
+    EXPECT_EQ(peer.read_line(), "ERR line too long");
+    EXPECT_TRUE(peer.read_line().empty());  // connection closed
+  }
+  {
+    // A peer that never sends a newline cannot grow the rx buffer without
+    // bound: the cap fires on the buffered prefix too.
+    RawPeer peer(port);
+    ASSERT_TRUE(peer.ok());
+    for (int i = 0; i < 8 && peer.ok(); ++i) {
+      if (!peer.send_bytes(std::string(128, 'y'))) break;  // no newline ever
+    }
+    EXPECT_EQ(peer.read_line(), "ERR line too long");
+  }
+  EXPECT_GE(server.connections_dropped(), 2u);
+  // The server remains healthy for well-behaved clients.
+  NwsClient client;
+  ASSERT_TRUE(client.connect(port));
+  EXPECT_TRUE(client.ping());
+  server.stop();
+}
+
+TEST(NetFailure, IdleConnectionsExpire) {
+  ServerConfig cfg;
+  cfg.idle_timeout_ms = 150;
+  NwsServer server(cfg);
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  NwsClient idle, active;
+  ASSERT_TRUE(idle.connect(port));
+  ASSERT_TRUE(active.connect(port));
+  ASSERT_TRUE(idle.ping());
+  // Keep one client chatty while the other goes silent.
+  for (int i = 0; i < 6; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_TRUE(active.ping());
+  }
+  EXPECT_EQ(server.connections(), 1u);
+  EXPECT_GE(server.connections_dropped(), 1u);
+  // The idle client's next request fails fast (connection was closed).
+  EXPECT_FALSE(idle.ping());
+  server.stop();
+}
+
 }  // namespace failure_injection
+
+// ---------------------------------------------------------------------------
+// Hardening: capacity shedding, idempotent PUTS, bounded client timeouts.
+
+TEST(Server, ShedsNewSeriesWithBusyWhenFull) {
+  ServerConfig cfg;
+  cfg.max_series = 2;
+  NwsServer server(cfg);
+  EXPECT_EQ(server.handle_line("PUT a 0 0.1"), "OK");
+  EXPECT_EQ(server.handle_line("PUT b 0 0.2"), "OK");
+  EXPECT_EQ(server.handle_line("PUT c 0 0.3"), "ERR busy");
+  EXPECT_EQ(server.handle_line("PUTS c 1 0 0.3"), "ERR busy");
+  // Existing series keep working at capacity.
+  EXPECT_EQ(server.handle_line("PUT a 10 0.4"), "OK");
+  EXPECT_EQ(server.shed_busy(), 2u);
+}
+
+TEST(Server, PutSeqDuplicatesAckedNotReapplied) {
+  NwsServer server;
+  EXPECT_EQ(server.handle_line("PUTS s 1 0 0.5"), "OK");
+  EXPECT_EQ(server.handle_line("PUTS s 2 10 0.6"), "OK");
+  // Replay of an applied sequence: acked, not re-applied.
+  EXPECT_EQ(server.handle_line("PUTS s 2 10 0.6"), "OK dup");
+  EXPECT_EQ(server.handle_line("PUTS s 1 0 0.5"), "OK dup");
+  EXPECT_EQ(server.duplicates_acked(), 2u);
+  const auto reply = parse_forecast_response(server.handle_line("FORECAST s"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->history, 2u);  // exactly once
+  EXPECT_DOUBLE_EQ(reply->last_time, 10.0);
+}
+
+TEST(Server, PutSeqDedupeSurvivesRestartViaTimestamps) {
+  // After a restart the sequence table is empty, but a journal-restored
+  // series still detects replayed measurements by timestamp.
+  NwsServer server;
+  EXPECT_EQ(server.handle_line("PUT s 0 0.5"), "OK");    // "recovered"
+  EXPECT_EQ(server.handle_line("PUT s 10 0.6"), "OK");
+  EXPECT_EQ(server.handle_line("PUTS s 7 10 0.6"), "OK dup");
+  EXPECT_EQ(server.handle_line("PUTS s 8 20 0.7"), "OK");
+  const auto reply = parse_forecast_response(server.handle_line("FORECAST s"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->history, 3u);
+}
+
+TEST(Server, ForecastReportsStalenessAnchor) {
+  NwsServer server;
+  (void)server.handle_line("PUT s 100 0.5");
+  (void)server.handle_line("PUT s 250 0.6");
+  const auto reply = parse_forecast_response(server.handle_line("FORECAST s"));
+  ASSERT_TRUE(reply.has_value());
+  // A scheduler at time T knows this forecast is T - 250 seconds stale.
+  EXPECT_DOUBLE_EQ(reply->last_time, 250.0);
+}
+
+TEST(Net, ClientNeverHangsOnSilentServer) {
+  // A listener that accepts and then says nothing: every client call must
+  // return within its configured timeout rather than blocking a scheduler.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  ClientConfig cfg;
+  cfg.connect_timeout_ms = 200;
+  cfg.io_timeout_ms = 200;
+  NwsClient client(cfg);
+  ASSERT_TRUE(client.connect(port));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.forecast("s").has_value());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 1500);
+  EXPECT_FALSE(client.connected());  // timeout tears the session down
+  ::close(listener);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz / property tests: arbitrary bytes through the parser and the
+// request handler must never crash and must answer ERR to anything
+// malformed.
+
+TEST(ProtocolFuzz, RandomByteLinesNeverCrashAndMalformedYieldsErr) {
+  Rng rng(20260806);
+  NwsServer server;
+  for (int i = 0; i < 20000; ++i) {
+    std::string line;
+    const std::size_t n = rng.below(48);
+    line.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      // Any byte except the line terminator (the transport strips it).
+      char c = static_cast<char>(rng.below(256));
+      if (c == '\n') c = ' ';
+      line += c;
+    }
+    const auto parsed = parse_request(line);
+    const std::string response = server.handle_line(line);
+    ASSERT_FALSE(response.empty());
+    if (!parsed.has_value()) {
+      EXPECT_EQ(response.rfind("ERR", 0), 0u) << "line " << i;
+    } else {
+      EXPECT_TRUE(response.rfind("OK", 0) == 0 ||
+                  response.rfind("ERR", 0) == 0);
+    }
+  }
+}
+
+TEST(ProtocolFuzz, TruncatedValidRequestsNeverCrashAndNeverParse) {
+  const std::string lines[] = {
+      "PUT host/cpu 120.5 0.75", "PUTS host/cpu 17 120.5 0.75",
+      "FORECAST host/cpu",       "VALUES host/cpu 12",
+      "SERIES",                  "PING",
+      "QUIT"};
+  NwsServer server;
+  for (const std::string& line : lines) {
+    const auto whole = parse_request(line);
+    ASSERT_TRUE(whole.has_value()) << line;
+    for (std::size_t cut = 0; cut < line.size(); ++cut) {
+      const std::string prefix = line.substr(0, cut);
+      const auto parsed = parse_request(prefix);
+      // A strict prefix is either malformed or a shorter *valid* request
+      // (e.g. "PING" inside "PING "); it must never be the original kind
+      // with garbled fields crashing the handler.
+      const std::string response = server.handle_line(prefix);
+      ASSERT_FALSE(response.empty());
+      if (!parsed.has_value()) {
+        EXPECT_EQ(response.rfind("ERR", 0), 0u) << '"' << prefix << '"';
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, RandomValidPutsRoundTripThroughFormatter) {
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    Request req;
+    req.kind = rng.chance(0.5) ? RequestKind::kPut : RequestKind::kPutSeq;
+    req.series = "s" + std::to_string(rng.below(1000));
+    req.seq = rng.below(1u << 30) + 1;
+    req.measurement.time = rng.uniform(0.0, 1e9);
+    req.measurement.value = rng.uniform(0.0, 1.0);
+    const auto back = parse_request(format_request(req));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->kind, req.kind);
+    EXPECT_EQ(back->series, req.series);
+    if (req.kind == RequestKind::kPutSeq) {
+      EXPECT_EQ(back->seq, req.seq);
+    }
+    EXPECT_DOUBLE_EQ(back->measurement.time, req.measurement.time);
+    EXPECT_DOUBLE_EQ(back->measurement.value, req.measurement.value);
+  }
+}
 
 }  // namespace
 }  // namespace nws

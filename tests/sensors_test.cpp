@@ -218,6 +218,66 @@ TEST(Hybrid, BeforeFirstProbeUsesUnbiasedLoadAverage) {
   EXPECT_EQ(h.probes_run(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Hybrid sensor degradation: probe failures must not take the sensor down.
+
+TEST(Hybrid, ProbeFailureDegradesAndReschedulesSooner) {
+  HybridSensor h({.probe_period = 60.0, .probe_duration = 1.5,
+                  .probe_retry = 10.0});
+  h.probe_result(0.0, 0.9, 0.9, 0.8);
+  EXPECT_FALSE(h.degraded());
+  EXPECT_DOUBLE_EQ(h.confidence(), 1.0);
+
+  h.probe_failed(60.0);
+  EXPECT_TRUE(h.degraded());
+  EXPECT_EQ(h.probe_failures(), 1u);
+  EXPECT_DOUBLE_EQ(h.confidence(), 0.5);
+  // Retries sooner than the regular period...
+  EXPECT_FALSE(h.probe_due(69.9));
+  EXPECT_TRUE(h.probe_due(70.0));
+  // ...but keeps measuring from the cheap methods meanwhile.
+  EXPECT_NO_THROW((void)h.measure(0.6, 0.5));
+}
+
+TEST(Hybrid, RepeatedProbeFailuresDropStaleBias) {
+  HybridSensor h({.probe_period = 60.0, .probe_duration = 1.5,
+                  .bias_drop_failures = 3});
+  h.probe_result(0.0, 1.0, 0.5, 0.48);  // conundrum: +0.5 bias
+  ASSERT_NEAR(h.bias(), 0.5, 1e-12);
+
+  h.probe_failed(60.0);
+  h.probe_failed(70.0);
+  EXPECT_NEAR(h.bias(), 0.5, 1e-12);  // two failures: bias still trusted
+  h.probe_failed(80.0);
+  // Three consecutive failures: the correction is stale; fall back to the
+  // raw cheap method rather than keep applying an old bias.
+  EXPECT_DOUBLE_EQ(h.bias(), 0.0);
+  EXPECT_DOUBLE_EQ(h.measure(0.5, 0.48), 0.5);
+  EXPECT_NEAR(h.confidence(), 0.25, 1e-12);
+}
+
+TEST(Hybrid, SuccessfulProbeClearsDegradation) {
+  HybridSensor h;
+  h.probe_failed(0.0);
+  h.probe_failed(10.0);
+  ASSERT_TRUE(h.degraded());
+  h.probe_result(20.0, 0.9, 0.85, 0.8);
+  EXPECT_FALSE(h.degraded());
+  EXPECT_DOUBLE_EQ(h.confidence(), 1.0);
+  EXPECT_EQ(h.probe_failures(), 2u);  // lifetime counter keeps history
+  // Regular cadence resumes.
+  EXPECT_FALSE(h.probe_due(79.9));
+  EXPECT_TRUE(h.probe_due(80.0));
+}
+
+TEST(Hybrid, RetryNeverSlowerThanPeriod) {
+  // A retry interval longer than the period must not postpone probes.
+  HybridSensor h({.probe_period = 30.0, .probe_duration = 1.5,
+                  .probe_retry = 120.0});
+  h.probe_failed(0.0);
+  EXPECT_TRUE(h.probe_due(30.0));
+}
+
 TEST(Hybrid, EndToEndAgainstNiceSoaker) {
   // Full pipeline on a simulated conundrum: cheap sensors read ~0.5, the
   // probe reveals ~1.0, and the hybrid's bias lands its measurement near
