@@ -26,6 +26,34 @@ void BM_FormatForecastResponse(benchmark::State& state) {
 }
 BENCHMARK(BM_FormatForecastResponse);
 
+void BM_ParsePutReused(benchmark::State& state) {
+  // The server hot path: parse into a reusable Request, no allocations
+  // once the string/vector capacity is warm.
+  nws::Request req;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nws::parse_request_into("PUT thing2/cpu 86400.5 0.8125", req));
+  }
+}
+BENCHMARK(BM_ParsePutReused);
+
+void BM_ParsePutBatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::string line = "PUTB thing2/cpu " + std::to_string(n) + " 1";
+  for (std::size_t i = 0; i < n; ++i) {
+    line += ' ';
+    line += std::to_string(10.0 * static_cast<double>(i + 1));
+    line += " 0.8125";
+  }
+  nws::Request req;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nws::parse_request_into(line, req));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParsePutBatch)->Arg(16)->Arg(64)->Arg(256);
+
 void BM_ServerHandlePut(benchmark::State& state) {
   nws::NwsServer server;
   double t = 0.0;
@@ -51,6 +79,28 @@ void BM_ServerHandleForecast(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerHandleForecast);
 
+void BM_ServerHandlePutBatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  nws::NwsServer server;
+  double t = 0.0;
+  std::string line;
+  for (auto _ : state) {
+    state.PauseTiming();
+    line = "PUTB bench/cpu " + std::to_string(n) + " 1";
+    for (std::size_t i = 0; i < n; ++i) {
+      t += 10.0;
+      line += ' ';
+      line += std::to_string(t);
+      line += " 0.75";
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(server.handle_line(line));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ServerHandlePutBatch)->Arg(64)->Arg(256);
+
 void BM_LoopbackPutRoundTrip(benchmark::State& state) {
   nws::NwsServer server;
   const std::uint16_t port = server.start(0);
@@ -73,6 +123,38 @@ void BM_LoopbackPutRoundTrip(benchmark::State& state) {
   server.stop();
 }
 BENCHMARK(BM_LoopbackPutRoundTrip);
+
+void BM_LoopbackPutBatchRoundTrip(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  nws::NwsServer server;
+  const std::uint16_t port = server.start(0);
+  if (port == 0) {
+    state.SkipWithError("cannot bind loopback listener");
+    return;
+  }
+  nws::NwsClient client;
+  if (!client.connect(port)) {
+    state.SkipWithError("cannot connect");
+    return;
+  }
+  double t = 0.0;
+  std::uint64_t seq = 1;
+  std::vector<nws::Measurement> batch(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      t += 10.0;
+      batch[i] = {t, 0.5};
+    }
+    benchmark::DoNotOptimize(client.put_batch("bench/cpu", batch, seq));
+    seq += n;
+  }
+  // One round trip moves n measurements: items = measurements stored.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  client.disconnect();
+  server.stop();
+}
+BENCHMARK(BM_LoopbackPutBatchRoundTrip)->Arg(64)->Arg(256);
 
 }  // namespace
 

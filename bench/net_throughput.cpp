@@ -1,0 +1,237 @@
+// net_throughput: multi-client loopback saturation bench for the sharded
+// NWS service.
+//
+// Spawns C concurrent clients against one NwsServer configured with K
+// shards and measures aggregate measurement throughput for a fixed wall
+// duration, across three request shapes:
+//   put   — one PUT round trip per measurement (the pre-batching wire),
+//   putb  — PUTB batches of NWSCPU_NET_BATCH measurements per round trip,
+//   mixed — PUT with a FORECAST every 8th request (scheduler traffic).
+// Each client drives its own series, so series spread across shards and
+// the shard-per-core server can serve them without lock contention.
+//
+// Output: human-readable table on stdout plus machine-readable
+// BENCH_net.json in NWSCPU_OUT (default bench_out/), including the
+// headline ratios the perf work is judged by: aggregate throughput at
+// 8 connections / 8 shards versus the single-connection single-shard
+// baseline, for both the unbatched and batched wire.
+//
+// Knobs: NWSCPU_NET_MS (per-scenario duration, default 400),
+// NWSCPU_NET_BATCH (PUTB batch size, default 256).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <latch>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/experiment_common.hpp"
+#include "nws/client.hpp"
+#include "nws/server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* value = std::getenv(name)) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(value, &end, 10);
+    if (end != value && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return fallback;
+}
+
+enum class Mode { kPut, kPutBatch, kMixed };
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kPut:
+      return "put";
+    case Mode::kPutBatch:
+      return "putb";
+    case Mode::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+struct Scenario {
+  Mode mode;
+  std::size_t connections;
+  std::size_t shards;
+};
+
+struct Result {
+  Scenario scenario;
+  std::uint64_t measurements = 0;  ///< samples applied across all clients
+  std::uint64_t round_trips = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] double per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(measurements) / seconds : 0.0;
+  }
+};
+
+/// One client thread: drive `series` for `duration`, tallying applied
+/// measurements and round trips.
+void client_loop(std::uint16_t port, Mode mode, const std::string& series,
+                 std::size_t batch_size, std::chrono::milliseconds duration,
+                 std::latch& ready, std::atomic<std::uint64_t>& measurements,
+                 std::atomic<std::uint64_t>& round_trips) {
+  nws::NwsClient client;
+  if (!client.connect(port)) {
+    ready.arrive_and_wait();
+    return;
+  }
+  double t = 0.0;
+  std::uint64_t seq = 1;
+  std::vector<nws::Measurement> batch(batch_size);
+  // Prime the series so FORECAST in mixed mode always has history.
+  t += 1.0;
+  (void)client.put(series, {t, 0.5});
+
+  ready.arrive_and_wait();
+  const Clock::time_point deadline = Clock::now() + duration;
+  std::uint64_t local_meas = 0;
+  std::uint64_t local_rtts = 0;
+  while (Clock::now() < deadline) {
+    switch (mode) {
+      case Mode::kPut: {
+        t += 1.0;
+        if (client.put(series, {t, 0.5})) ++local_meas;
+        ++local_rtts;
+        break;
+      }
+      case Mode::kPutBatch: {
+        for (std::size_t i = 0; i < batch_size; ++i) {
+          t += 1.0;
+          batch[i] = {t, 0.5};
+        }
+        const auto reply = client.put_batch(series, batch, seq);
+        seq += batch_size;
+        if (reply) local_meas += reply->applied;
+        ++local_rtts;
+        break;
+      }
+      case Mode::kMixed: {
+        for (int i = 0; i < 7; ++i) {
+          t += 1.0;
+          if (client.put(series, {t, 0.5})) ++local_meas;
+          ++local_rtts;
+        }
+        (void)client.forecast(series);
+        ++local_rtts;
+        break;
+      }
+    }
+  }
+  measurements += local_meas;
+  round_trips += local_rtts;
+  client.disconnect();
+}
+
+Result run_scenario(const Scenario& scenario, std::size_t batch_size,
+                    std::chrono::milliseconds duration) {
+  nws::ServerConfig config;
+  config.shards = scenario.shards;
+  nws::NwsServer server(config);
+  Result result{scenario, 0, 0, 0.0};
+  const std::uint16_t port = server.start(0);
+  if (port == 0) {
+    std::cerr << "net_throughput: cannot bind loopback listener\n";
+    return result;
+  }
+  std::atomic<std::uint64_t> measurements{0};
+  std::atomic<std::uint64_t> round_trips{0};
+  std::latch ready(static_cast<std::ptrdiff_t>(scenario.connections) + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(scenario.connections);
+  for (std::size_t c = 0; c < scenario.connections; ++c) {
+    threads.emplace_back(client_loop, port, scenario.mode,
+                         "bench/host" + std::to_string(c) + "/cpu",
+                         batch_size, duration, std::ref(ready),
+                         std::ref(measurements), std::ref(round_trips));
+  }
+  ready.arrive_and_wait();
+  const Clock::time_point begin = Clock::now();
+  for (std::thread& thread : threads) thread.join();
+  result.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
+  result.measurements = measurements.load();
+  result.round_trips = round_trips.load();
+  server.stop();
+  return result;
+}
+
+double ratio(const Result& a, const Result& b) {
+  return b.per_sec() > 0.0 ? a.per_sec() / b.per_sec() : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t batch_size = env_size("NWSCPU_NET_BATCH", 256);
+  const auto duration =
+      std::chrono::milliseconds(env_size("NWSCPU_NET_MS", 400));
+
+  const std::vector<Scenario> scenarios = {
+      {Mode::kPut, 1, 1},      {Mode::kPut, 8, 1},    {Mode::kPut, 8, 8},
+      {Mode::kPutBatch, 1, 1}, {Mode::kPutBatch, 8, 8},
+      {Mode::kMixed, 8, 8},
+  };
+
+  std::vector<Result> results;
+  results.reserve(scenarios.size());
+  std::cout << "net_throughput: " << duration.count() << " ms/scenario, PUTB "
+            << batch_size << " samples/line, hw_concurrency "
+            << std::thread::hardware_concurrency() << "\n";
+  std::cout << "mode   conns shards   measurements/s   round-trips/s\n";
+  for (const Scenario& scenario : scenarios) {
+    const Result result = run_scenario(scenario, batch_size, duration);
+    results.push_back(result);
+    std::printf("%-6s %5zu %6zu %16.0f %15.0f\n", mode_name(scenario.mode),
+                scenario.connections, scenario.shards, result.per_sec(),
+                result.seconds > 0.0
+                    ? static_cast<double>(result.round_trips) / result.seconds
+                    : 0.0);
+  }
+
+  // Headline ratios: scenario order above is fixed, so index directly.
+  const double unbatched_gain = ratio(results[2], results[0]);
+  const double batched_gain = ratio(results[4], results[0]);
+  std::printf("aggregate 8c/8s vs 1c/1s: unbatched %.2fx, batched %.2fx\n",
+              unbatched_gain, batched_gain);
+
+  const std::string path = nws::bench::output_dir() + "/BENCH_net.json";
+  std::ofstream json(path, std::ios::trunc);
+  json << "{\n  \"bench\": \"net_throughput\",\n";
+  json << "  \"hw_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n";
+  json << "  \"duration_ms\": " << duration.count() << ",\n";
+  json << "  \"putb_batch\": " << batch_size << ",\n";
+  json << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    json << "    {\"mode\": \"" << mode_name(r.scenario.mode)
+         << "\", \"connections\": " << r.scenario.connections
+         << ", \"shards\": " << r.scenario.shards
+         << ", \"measurements\": " << r.measurements
+         << ", \"round_trips\": " << r.round_trips
+         << ", \"seconds\": " << r.seconds
+         << ", \"measurements_per_sec\": " << r.per_sec() << "}"
+         << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n";
+  json << "  \"put_8c8s_vs_1c1s\": " << unbatched_gain << ",\n";
+  json << "  \"putb_8c8s_vs_1c1s\": " << batched_gain << "\n";
+  json << "}\n";
+  json.close();
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}

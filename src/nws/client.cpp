@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <thread>
@@ -108,14 +109,8 @@ bool NwsClient::send_all(const std::string& line) {
   return true;
 }
 
-std::optional<std::string> NwsClient::round_trip(const Request& request) {
-  if (fd_ < 0) return std::nullopt;
-  const std::string line = format_request(request) + "\n";
-  if (!send_all(line)) {
-    disconnect();
-    return std::nullopt;
-  }
-  char chunk[1024];
+std::optional<std::string> NwsClient::read_response() {
+  char chunk[4096];
   while (true) {
     const std::size_t newline = rx_buffer_.find('\n');
     if (newline != std::string::npos) {
@@ -139,6 +134,16 @@ std::optional<std::string> NwsClient::round_trip(const Request& request) {
   }
 }
 
+std::optional<std::string> NwsClient::round_trip(const Request& request) {
+  if (fd_ < 0) return std::nullopt;
+  const std::string line = format_request(request) + "\n";
+  if (!send_all(line)) {
+    disconnect();
+    return std::nullopt;
+  }
+  return read_response();
+}
+
 bool NwsClient::put(const std::string& series, Measurement measurement) {
   Request req;
   req.kind = RequestKind::kPut;
@@ -146,6 +151,20 @@ bool NwsClient::put(const std::string& series, Measurement measurement) {
   req.measurement = measurement;
   const auto response = round_trip(req);
   return response && response_is_ok(*response);
+}
+
+std::optional<PutBatchReply> NwsClient::put_batch(
+    const std::string& series, const std::vector<Measurement>& batch,
+    std::uint64_t seq0) {
+  if (batch.empty()) return PutBatchReply{};
+  Request req;
+  req.kind = RequestKind::kPutBatch;
+  req.series = series;
+  req.seq = seq0;
+  req.batch = batch;
+  const auto response = round_trip(req);
+  if (!response || !response_is_ok(*response)) return std::nullopt;
+  return parse_put_batch_response(*response);
 }
 
 bool NwsClient::put_reliable(const std::string& series,
@@ -185,24 +204,69 @@ bool NwsClient::flush() {
       }
       ++reconnects_;
     }
-    // Replay in order from the head; the server acks duplicates, so
-    // re-sending records whose ack was lost is safe.
-    while (!outbox_.empty()) {
-      Request req;
-      req.kind = RequestKind::kPutSeq;
-      req.seq = outbox_.front().seq;
-      req.series = outbox_.front().series;
-      req.measurement = outbox_.front().measurement;
-      const auto response = round_trip(req);
+    // Replay in order from the head; the server acks duplicates per
+    // sample, so re-sending records whose ack was lost is safe.  Runs of
+    // consecutive sequences for one series coalesce into PUTB lines; the
+    // whole backlog goes out in a single buffered write, then one
+    // response is read per line.  Records pop only when their line acks,
+    // so a mid-pipeline failure leaves the unacked tail queued.
+    std::string wire;
+    std::vector<std::size_t> line_records;
+    Request req;
+    const std::size_t batch_max = std::max<std::size_t>(
+        1, cfg_.outbox_batch_max);
+    std::size_t idx = 0;
+    while (idx < outbox_.size()) {
+      const Pending& head = outbox_[idx];
+      std::size_t run = 1;
+      while (idx + run < outbox_.size() && run < batch_max &&
+             outbox_[idx + run].series == head.series &&
+             outbox_[idx + run].seq == head.seq + run) {
+        ++run;
+      }
+      req.series = head.series;
+      req.seq = head.seq;
+      req.batch.clear();
+      if (run == 1) {
+        req.kind = RequestKind::kPutSeq;
+        req.measurement = head.measurement;
+      } else {
+        req.kind = RequestKind::kPutBatch;
+        req.batch.reserve(run);
+        for (std::size_t j = 0; j < run; ++j) {
+          req.batch.push_back(outbox_[idx + j].measurement);
+        }
+      }
+      append_request(wire, req);
+      wire += '\n';
+      line_records.push_back(run);
+      idx += run;
+    }
+    if (!send_all(wire)) {
+      disconnect();
+      continue;
+    }
+    for (const std::size_t records : line_records) {
+      const auto response = read_response();
       if (!response || !response_is_ok(*response)) {
         disconnect();
         break;
       }
-      outbox_.pop_front();
+      outbox_.erase(outbox_.begin(),
+                    outbox_.begin() + static_cast<std::ptrdiff_t>(records));
       backoff_.reset();
     }
   }
   return outbox_.empty();
+}
+
+std::optional<StatsReply> NwsClient::stats(const std::string& series) {
+  Request req;
+  req.kind = RequestKind::kStats;
+  req.series = series;
+  const auto response = round_trip(req);
+  if (!response) return std::nullopt;
+  return parse_stats_response(*response);
 }
 
 std::optional<ForecastReply> NwsClient::forecast(const std::string& series) {

@@ -12,14 +12,20 @@
 // forecast(), put() etc. return failure within the configured bound.
 //
 // Reliable delivery: put_reliable() enqueues the measurement into a
-// bounded outbox of sequence-tagged PUTS records and flush() replays the
+// bounded outbox of sequence-tagged records and flush() replays the
 // queue — reconnecting with deterministic exponential backoff — until the
 // server acks each record.  Acks are idempotent on the server side ("OK
-// dup" for an already-applied sequence/timestamp), so a PUT whose ack was
-// lost is safely re-sent: every measurement is applied exactly once even
-// across connection resets and a server restart.  Measurements are only
-// lost when the outbox overflows (put_reliable returns false), which the
-// sensor loop can count.
+// dup" for an already-applied sequence/timestamp), so a record whose ack
+// was lost is safely re-sent: every measurement is applied exactly once
+// even across connection resets and a server restart.  Measurements are
+// only lost when the outbox overflows (put_reliable returns false), which
+// the sensor loop can count.
+//
+// Replay is batched: flush() coalesces runs of consecutive sequences for
+// the same series into PUTB lines (up to outbox_batch_max samples each),
+// formats the whole backlog into one buffer, writes it with a single
+// send, and then reads one response per line — one syscall pair moves
+// hundreds of queued measurements instead of one write+read per record.
 #pragma once
 
 #include <cstdint>
@@ -36,9 +42,12 @@ namespace nws {
 struct ClientConfig {
   int connect_timeout_ms = 2000;  ///< bound on connect()
   int io_timeout_ms = 2000;       ///< bound on each send/recv wait
-  std::size_t outbox_capacity = 1024;  ///< queued PUTS bound
+  std::size_t outbox_capacity = 1024;  ///< queued record bound
   /// Reconnect attempts per flush() before giving up (the outbox is kept).
   int max_flush_attempts = 8;
+  /// Longest run of consecutive outbox records coalesced into one PUTB
+  /// line during flush (1 = always PUTS, the pre-batching wire traffic).
+  std::size_t outbox_batch_max = 256;
   BackoffConfig backoff{5.0, 500.0, 2.0, 0.5};  ///< reconnect pacing
   std::uint64_t backoff_seed = 1;  ///< deterministic jitter stream
 };
@@ -63,6 +72,14 @@ class NwsClient {
   /// Stores a measurement (fire-and-forget PUT).  False on transport
   /// failure or server ERR.
   bool put(const std::string& series, Measurement measurement);
+
+  /// Stores a batch of measurements in one PUTB round trip, sequence-
+  /// tagged seq0..seq0+n-1 (idempotent per sample, like PUTS).  Returns
+  /// the server's per-sample accounting, or nullopt on transport failure
+  /// or server ERR.
+  [[nodiscard]] std::optional<PutBatchReply> put_batch(
+      const std::string& series, const std::vector<Measurement>& batch,
+      std::uint64_t seq0);
 
   /// Queues a measurement for exactly-once delivery and opportunistically
   /// flushes.  Returns false only when the outbox is full (the measurement
@@ -97,6 +114,10 @@ class NwsClient {
   /// Known series names.
   [[nodiscard]] std::optional<std::vector<std::string>> series();
 
+  /// Service totals (STATS), or one series' totals when `series` is
+  /// non-empty; nullopt on failure or unknown series.
+  [[nodiscard]] std::optional<StatsReply> stats(const std::string& series = "");
+
   /// Liveness round trip.
   bool ping();
 
@@ -111,6 +132,8 @@ class NwsClient {
   /// bounded by io_timeout_ms.  nullopt on transport failure or timeout
   /// (the connection is torn down so the next call can reconnect).
   [[nodiscard]] std::optional<std::string> round_trip(const Request& request);
+  /// Reads one response line (bounded waits); disconnects on failure.
+  [[nodiscard]] std::optional<std::string> read_response();
   [[nodiscard]] bool send_all(const std::string& line);
   /// poll() for `events` within timeout_ms; false on timeout/error.
   [[nodiscard]] bool wait_ready(short events, int timeout_ms) const;

@@ -49,6 +49,21 @@ bool ForecastService::record(const std::string& series, Measurement m) {
   return true;
 }
 
+bool ForecastService::restore(const std::string& series, Measurement m) {
+  if (!apply(series, m)) return false;
+  ++recovered_;
+  return true;
+}
+
+void ForecastService::attach_journal(std::filesystem::path path) {
+  journal_ = std::make_unique<Journal>(std::move(path));
+  journal_->open_for_append();
+}
+
+void ForecastService::rewrite_journal() {
+  if (journal_) journal_->rewrite(memory_);
+}
+
 void ForecastService::sync() {
   if (journal_) journal_->sync();
 }

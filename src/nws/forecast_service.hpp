@@ -62,6 +62,21 @@ class ForecastService {
   /// false (and ignores the sample) on out-of-order timestamps.
   bool record(const std::string& series, Measurement m);
 
+  /// Applies a recovered measurement to memory + forecaster WITHOUT
+  /// journalling it — the replay path for an externally-managed journal
+  /// (ShardedForecastService replays segmented journals and routes each
+  /// record here by series hash).
+  bool restore(const std::string& series, Measurement m);
+
+  /// Binds a journal for appends without replaying it (the caller already
+  /// restored state).  Throws std::runtime_error when the file cannot be
+  /// opened.
+  void attach_journal(std::filesystem::path path);
+
+  /// Rewrites the attached journal to hold exactly what memory retains
+  /// (segment compaction / re-shard migration).  No-op without a journal.
+  void rewrite_journal();
+
   /// Current forecast for the series; nullopt for an unknown series.
   [[nodiscard]] std::optional<Forecast> predict(
       const std::string& series) const;

@@ -13,7 +13,10 @@ SeriesStore::SeriesStore(std::size_t capacity) : buf_(capacity) {
 }
 
 bool SeriesStore::append(Measurement m) {
-  if (size_ > 0 && m.time < newest().time) return false;
+  if (size_ > 0 && m.time < newest().time) {
+    ++dropped_;
+    return false;
+  }
   if (size_ == buf_.size()) {
     buf_[head_] = m;
     head_ = (head_ + 1) % buf_.size();
@@ -21,6 +24,7 @@ bool SeriesStore::append(Measurement m) {
     buf_[(head_ + size_) % buf_.size()] = m;
     ++size_;
   }
+  ++appended_;
   return true;
 }
 
@@ -68,6 +72,16 @@ bool Memory::contains(const std::string& series) const {
 const SeriesStore* Memory::find(const std::string& series) const {
   const auto it = stores_.find(series);
   return it == stores_.end() ? nullptr : &it->second;
+}
+
+Memory::Totals Memory::totals() const {
+  Totals t;
+  for (const auto& [_, store] : stores_) {
+    t.retained += store.size();
+    t.appended += store.appended();
+    t.dropped += store.dropped();
+  }
+  return t;
 }
 
 std::vector<std::string> Memory::series_names() const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -28,12 +29,18 @@ class SeriesStore {
 
   /// Inserts a measurement; `time` must be >= the last inserted time
   /// (measurements arrive in order from a single sensor).  Returns false
-  /// and drops the sample on out-of-order insertion.
+  /// and drops the sample on out-of-order insertion (the drop is counted —
+  /// see dropped() — so silently losing sensor data is observable).
   bool append(Measurement m);
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Measurements ever accepted (including ones the ring later evicted).
+  [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+  /// Out-of-order samples rejected so far (operators alarm on growth: a
+  /// sensor emitting backwards timestamps is losing data here).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
   /// Oldest-to-newest access, i < size().
   [[nodiscard]] const Measurement& at(std::size_t i) const;
@@ -49,6 +56,8 @@ class SeriesStore {
   std::vector<Measurement> buf_;
   std::size_t head_ = 0;
   std::size_t size_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 /// Name-keyed collection of series stores.
@@ -66,6 +75,14 @@ class Memory {
   [[nodiscard]] std::size_t series_count() const noexcept {
     return stores_.size();
   }
+
+  /// Aggregate accounting across every series (for the STATS command).
+  struct Totals {
+    std::uint64_t retained = 0;  ///< measurements currently in the rings
+    std::uint64_t appended = 0;  ///< measurements ever accepted
+    std::uint64_t dropped = 0;   ///< out-of-order samples rejected
+  };
+  [[nodiscard]] Totals totals() const;
 
  private:
   std::size_t default_capacity_;

@@ -1,10 +1,12 @@
 #include "nws/persistence.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "util/fault.hpp"
+#include "util/fmt.hpp"
 
 namespace nws {
 
@@ -27,6 +29,8 @@ bool parse_record(const std::string& line, std::string& series,
 // Journal
 
 Journal::Journal(std::filesystem::path path) : path_(std::move(path)) {}
+
+Journal::~Journal() { (void)commit(); }
 
 Journal::ReplayStats Journal::replay(
     const std::function<bool(const std::string&, Measurement)>& apply) {
@@ -58,11 +62,14 @@ void Journal::open_for_append() {
   }
 }
 
-std::string Journal::encode(const std::string& series, Measurement m) {
-  std::ostringstream ss;
-  ss.precision(17);
-  ss << series << ' ' << m.time << ' ' << m.value;
-  return ss.str();
+void Journal::encode(std::string& out, const std::string& series,
+                     Measurement m) {
+  out += series;
+  out += ' ';
+  append_double(out, m.time);
+  out += ' ';
+  append_double(out, m.value);
+  out += '\n';
 }
 
 bool Journal::append(const std::string& series, Measurement m) {
@@ -70,21 +77,47 @@ bool Journal::append(const std::string& series, Measurement m) {
     ++write_failures_;
     return false;
   }
-  out_ << encode(series, m) << '\n';
-  if (out_.good()) return true;
-  // Real write failure (disk full, file rotated away, ...): count it and
-  // reopen so the next append gets a fresh stream instead of a stuck
-  // failbit swallowing every record from here on.
-  ++write_failures_;
-  out_.close();
-  out_.clear();
-  out_.open(path_, std::ios::app);
-  return false;
+  encode(buffer_, series, m);
+  ++pending_;
+  if (pending_ >= group_size_) return commit();
+  return true;
 }
 
-void Journal::sync() { out_.flush(); }
+bool Journal::commit() {
+  if (pending_ == 0) return true;
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  out_.flush();
+  const bool ok = out_.good();
+  if (!ok) {
+    // Real write failure (disk full, file rotated away, ...): count every
+    // record the batch carried and reopen so the next commit gets a fresh
+    // stream instead of a stuck failbit swallowing every record from here
+    // on.
+    write_failures_ += pending_;
+    out_.close();
+    out_.clear();
+    out_.open(path_, std::ios::app);
+  }
+  buffer_.clear();
+  pending_ = 0;
+  return ok;
+}
+
+void Journal::set_group_size(std::size_t records) {
+  group_size_ = std::max<std::size_t>(1, records);
+  if (pending_ >= group_size_) (void)commit();
+}
+
+void Journal::sync() {
+  (void)commit();
+  out_.flush();
+}
 
 void Journal::rewrite(const Memory& memory) {
+  // Anything still buffered is already reflected in `memory`; the rewrite
+  // below re-emits it, so the buffer is simply discarded.
+  buffer_.clear();
+  pending_ = 0;
   out_.close();
   const std::filesystem::path tmp = path_.string() + ".compact";
   {
@@ -93,10 +126,13 @@ void Journal::rewrite(const Memory& memory) {
       throw std::runtime_error("Journal: cannot write " + tmp.string());
     }
     out << "# nwscpu journal (compacted)\n";
+    std::string record;
     for (const std::string& name : memory.series_names()) {
       const SeriesStore* store = memory.find(name);
       for (std::size_t i = 0; i < store->size(); ++i) {
-        out << encode(name, store->at(i)) << '\n';
+        record.clear();
+        encode(record, name, store->at(i));
+        out << record;
       }
     }
     if (!out) {

@@ -9,6 +9,13 @@
 // the in-core state stays authoritative — a sensor never loses its memory
 // because the disk hiccuped.
 //
+// Group commit: append() encodes into an in-core buffer; the buffer is
+// written to the stream (one write, then flushed to the OS) when
+// group_size() records are pending, on commit(), on sync(), and in the
+// destructor.  The service layer commits once per dispatch batch — one
+// journal write carries many PUTs — and a configurable interval bounds
+// the data-loss window instead of one write() per measurement.
+//
 // PersistentMemory wraps the in-core Memory with a Journal and restores all
 // series from it on open; ForecastService can also own a Journal directly
 // so a full server (memory + forecasters) survives a restart.
@@ -29,6 +36,11 @@ class Journal {
   /// and then open_for_append() (or just open_for_append() for a
   /// write-only journal).
   explicit Journal(std::filesystem::path path);
+  /// Commits any buffered appends before the stream closes.
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
 
   struct ReplayStats {
     std::size_t recovered = 0;  ///< records accepted by `apply`
@@ -45,12 +57,29 @@ class Journal {
   /// Opens the file for appending.  Throws std::runtime_error on failure.
   void open_for_append();
 
-  /// Appends one record.  Returns false when the write failed (injected or
-  /// real); the failure is counted and the stream reopened for the next
-  /// attempt.
+  /// Appends one record to the commit buffer (group commit: the buffer is
+  /// written out once group_size() records are pending, or on commit() /
+  /// sync()).  Returns false when the append failed (injected fault, or a
+  /// real stream failure surfaced by the commit this append triggered);
+  /// the failure is counted.
   bool append(const std::string& series, Measurement m);
 
-  /// Flushes buffered appends to the OS.
+  /// Writes all buffered records to the stream in one write and flushes
+  /// the stream to the OS.  Returns false (counting one failure per lost
+  /// record, stream reopened) when the write failed.  No-op when nothing
+  /// is pending.
+  bool commit();
+
+  /// Records buffered per automatic commit (>= 1; 1 = commit per append,
+  /// the pre-group-commit behaviour).
+  void set_group_size(std::size_t records);
+  [[nodiscard]] std::size_t group_size() const noexcept {
+    return group_size_;
+  }
+  /// Appends buffered but not yet committed.
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+
+  /// Commits buffered appends and flushes the stream to the OS.
   void sync();
 
   /// Rewrites the journal to hold exactly what `memory` retains (bounds
@@ -68,10 +97,14 @@ class Journal {
   }
 
  private:
-  static std::string encode(const std::string& series, Measurement m);
+  static void encode(std::string& out, const std::string& series,
+                     Measurement m);
 
   std::filesystem::path path_;
   std::ofstream out_;
+  std::string buffer_;          ///< encoded records awaiting commit
+  std::size_t pending_ = 0;     ///< records in buffer_
+  std::size_t group_size_ = 1;  ///< records per automatic commit
   std::size_t write_failures_ = 0;
 };
 

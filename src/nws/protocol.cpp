@@ -1,27 +1,48 @@
 #include "nws/protocol.hpp"
 
+#include <algorithm>
 #include <charconv>
-#include <sstream>
+
+#include "util/fmt.hpp"
 
 namespace nws {
 
 namespace {
 
+/// Zero-allocation token scanner over one request line.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::string_view line) : line_(line) {}
+
+  /// Next whitespace-delimited token, or an empty view when exhausted
+  /// (tokens are never empty, so emptiness is an unambiguous sentinel).
+  std::string_view next() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < line_.size() && !is_ws(line_[pos_])) ++pos_;
+    return line_.substr(start, pos_ - start);
+  }
+
+  /// True when only trailing whitespace remains.
+  bool done() {
+    skip_ws();
+    return pos_ == line_.size();
+  }
+
+ private:
+  static bool is_ws(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+  void skip_ws() {
+    while (pos_ < line_.size() && is_ws(line_[pos_])) ++pos_;
+  }
+
+  std::string_view line_;
+  std::size_t pos_ = 0;
+};
+
 std::vector<std::string_view> tokenize(std::string_view line) {
   std::vector<std::string_view> tokens;
-  std::size_t pos = 0;
-  while (pos < line.size()) {
-    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t' ||
-                                 line[pos] == '\r')) {
-      ++pos;
-    }
-    const std::size_t start = pos;
-    while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t' &&
-           line[pos] != '\r') {
-      ++pos;
-    }
-    if (pos > start) tokens.push_back(line.substr(start, pos - start));
-  }
+  TokenCursor cursor(line);
+  while (!cursor.done()) tokens.push_back(cursor.next());
   return tokens;
 }
 
@@ -43,141 +64,273 @@ bool parse_u64_token(std::string_view token, std::uint64_t& out) {
   return ec == std::errc{} && ptr == token.data() + token.size();
 }
 
-/// Series names must be non-empty and contain no whitespace (guaranteed by
-/// tokenisation) — nothing else to validate.
-std::string series_token(std::string_view token) {
-  return std::string(token);
-}
-
 }  // namespace
 
-std::optional<Request> parse_request(std::string_view line) {
-  const auto tokens = tokenize(line);
-  if (tokens.empty()) return std::nullopt;
-  Request req;
-  const std::string_view verb = tokens[0];
+bool parse_request_into(std::string_view line, Request& out) {
+  TokenCursor cursor(line);
+  const std::string_view verb = cursor.next();
+  if (verb.empty()) return false;
+  // Series names must be non-empty and contain no whitespace (guaranteed
+  // by tokenisation) — nothing else to validate.
   if (verb == "PUT") {
-    if (tokens.size() != 4) return std::nullopt;
-    req.kind = RequestKind::kPut;
-    req.series = series_token(tokens[1]);
-    if (!parse_double_token(tokens[2], req.measurement.time)) {
-      return std::nullopt;
+    out.kind = RequestKind::kPut;
+    const std::string_view series = cursor.next();
+    if (series.empty()) return false;
+    out.series.assign(series);
+    if (!parse_double_token(cursor.next(), out.measurement.time)) return false;
+    if (!parse_double_token(cursor.next(), out.measurement.value)) {
+      return false;
     }
-    if (!parse_double_token(tokens[3], req.measurement.value)) {
-      return std::nullopt;
-    }
-    return req;
+    return cursor.done();
   }
   if (verb == "PUTS") {
-    if (tokens.size() != 5) return std::nullopt;
-    req.kind = RequestKind::kPutSeq;
-    req.series = series_token(tokens[1]);
-    if (!parse_u64_token(tokens[2], req.seq) || req.seq == 0) {
-      return std::nullopt;
+    out.kind = RequestKind::kPutSeq;
+    const std::string_view series = cursor.next();
+    if (series.empty()) return false;
+    out.series.assign(series);
+    if (!parse_u64_token(cursor.next(), out.seq) || out.seq == 0) {
+      return false;
     }
-    if (!parse_double_token(tokens[3], req.measurement.time)) {
-      return std::nullopt;
+    if (!parse_double_token(cursor.next(), out.measurement.time)) return false;
+    if (!parse_double_token(cursor.next(), out.measurement.value)) {
+      return false;
     }
-    if (!parse_double_token(tokens[4], req.measurement.value)) {
-      return std::nullopt;
+    return cursor.done();
+  }
+  if (verb == "PUTB") {
+    out.kind = RequestKind::kPutBatch;
+    const std::string_view series = cursor.next();
+    if (series.empty()) return false;
+    out.series.assign(series);
+    std::size_t n = 0;
+    if (!parse_size_token(cursor.next(), n) || n == 0) return false;
+    if (!parse_u64_token(cursor.next(), out.seq) || out.seq == 0) {
+      return false;
     }
-    return req;
+    out.batch.clear();
+    // Reserve from the declared count, but never trust it further than the
+    // line could possibly back (each sample needs >= 4 bytes of payload).
+    out.batch.reserve(std::min(n, line.size() / 4 + 1));
+    for (std::size_t i = 0; i < n; ++i) {
+      Measurement m;
+      if (!parse_double_token(cursor.next(), m.time)) return false;
+      if (!parse_double_token(cursor.next(), m.value)) return false;
+      out.batch.push_back(m);
+    }
+    return cursor.done();
   }
   if (verb == "FORECAST") {
-    if (tokens.size() != 2) return std::nullopt;
-    req.kind = RequestKind::kForecast;
-    req.series = series_token(tokens[1]);
-    return req;
+    out.kind = RequestKind::kForecast;
+    const std::string_view series = cursor.next();
+    if (series.empty()) return false;
+    out.series.assign(series);
+    return cursor.done();
   }
   if (verb == "VALUES") {
-    if (tokens.size() != 3) return std::nullopt;
-    req.kind = RequestKind::kValues;
-    req.series = series_token(tokens[1]);
-    if (!parse_size_token(tokens[2], req.max_values) || req.max_values == 0) {
-      return std::nullopt;
+    out.kind = RequestKind::kValues;
+    const std::string_view series = cursor.next();
+    if (series.empty()) return false;
+    out.series.assign(series);
+    if (!parse_size_token(cursor.next(), out.max_values) ||
+        out.max_values == 0) {
+      return false;
     }
-    return req;
+    return cursor.done();
   }
   if (verb == "SERIES") {
-    if (tokens.size() != 1) return std::nullopt;
-    req.kind = RequestKind::kSeries;
-    return req;
+    out.kind = RequestKind::kSeries;
+    return cursor.done();
+  }
+  if (verb == "STATS") {
+    out.kind = RequestKind::kStats;
+    out.series.clear();  // empty = global totals
+    if (cursor.done()) return true;
+    const std::string_view series = cursor.next();
+    if (series.empty()) return false;
+    out.series.assign(series);
+    return cursor.done();
   }
   if (verb == "PING") {
-    if (tokens.size() != 1) return std::nullopt;
-    req.kind = RequestKind::kPing;
-    return req;
+    out.kind = RequestKind::kPing;
+    return cursor.done();
   }
   if (verb == "QUIT") {
-    if (tokens.size() != 1) return std::nullopt;
-    req.kind = RequestKind::kQuit;
-    return req;
+    out.kind = RequestKind::kQuit;
+    return cursor.done();
   }
-  return std::nullopt;
+  return false;
+}
+
+std::optional<Request> parse_request(std::string_view line) {
+  Request req;
+  if (!parse_request_into(line, req)) return std::nullopt;
+  return req;
+}
+
+void append_request(std::string& out, const Request& request) {
+  switch (request.kind) {
+    case RequestKind::kPut:
+      out += "PUT ";
+      out += request.series;
+      out += ' ';
+      append_double(out, request.measurement.time);
+      out += ' ';
+      append_double(out, request.measurement.value);
+      break;
+    case RequestKind::kPutSeq:
+      out += "PUTS ";
+      out += request.series;
+      out += ' ';
+      append_unsigned(out, request.seq);
+      out += ' ';
+      append_double(out, request.measurement.time);
+      out += ' ';
+      append_double(out, request.measurement.value);
+      break;
+    case RequestKind::kPutBatch:
+      out += "PUTB ";
+      out += request.series;
+      out += ' ';
+      append_unsigned(out, request.batch.size());
+      out += ' ';
+      append_unsigned(out, request.seq);
+      for (const Measurement& m : request.batch) {
+        out += ' ';
+        append_double(out, m.time);
+        out += ' ';
+        append_double(out, m.value);
+      }
+      break;
+    case RequestKind::kForecast:
+      out += "FORECAST ";
+      out += request.series;
+      break;
+    case RequestKind::kValues:
+      out += "VALUES ";
+      out += request.series;
+      out += ' ';
+      append_unsigned(out, request.max_values);
+      break;
+    case RequestKind::kSeries:
+      out += "SERIES";
+      break;
+    case RequestKind::kStats:
+      out += "STATS";
+      if (!request.series.empty()) {
+        out += ' ';
+        out += request.series;
+      }
+      break;
+    case RequestKind::kPing:
+      out += "PING";
+      break;
+    case RequestKind::kQuit:
+      out += "QUIT";
+      break;
+  }
 }
 
 std::string format_request(const Request& request) {
-  std::ostringstream ss;
-  ss.precision(17);
-  switch (request.kind) {
-    case RequestKind::kPut:
-      ss << "PUT " << request.series << ' ' << request.measurement.time << ' '
-         << request.measurement.value;
-      break;
-    case RequestKind::kPutSeq:
-      ss << "PUTS " << request.series << ' ' << request.seq << ' '
-         << request.measurement.time << ' ' << request.measurement.value;
-      break;
-    case RequestKind::kForecast:
-      ss << "FORECAST " << request.series;
-      break;
-    case RequestKind::kValues:
-      ss << "VALUES " << request.series << ' ' << request.max_values;
-      break;
-    case RequestKind::kSeries:
-      ss << "SERIES";
-      break;
-    case RequestKind::kPing:
-      ss << "PING";
-      break;
-    case RequestKind::kQuit:
-      ss << "QUIT";
-      break;
+  std::string out;
+  append_request(out, request);
+  return out;
+}
+
+void append_ok(std::string& out) { out += "OK"; }
+
+void append_error(std::string& out, std::string_view message) {
+  out += "ERR ";
+  out += message;
+}
+
+void append_forecast_response(std::string& out, double value, double mae,
+                              double mse, std::size_t history,
+                              double last_time, std::string_view method) {
+  out += "OK ";
+  append_double(out, value);
+  out += ' ';
+  append_double(out, mae);
+  out += ' ';
+  append_double(out, mse);
+  out += ' ';
+  append_unsigned(out, history);
+  out += ' ';
+  append_double(out, last_time);
+  out += ' ';
+  out += method;
+}
+
+void append_values_response(std::string& out,
+                            const std::vector<Measurement>& values) {
+  out += "OK ";
+  append_unsigned(out, values.size());
+  for (const Measurement& m : values) {
+    out += ' ';
+    append_double(out, m.time);
+    out += ' ';
+    append_double(out, m.value);
   }
-  return ss.str();
+}
+
+void append_series_response(std::string& out,
+                            const std::vector<std::string>& names) {
+  out += "OK ";
+  append_unsigned(out, names.size());
+  for (const std::string& n : names) {
+    out += ' ';
+    out += n;
+  }
+}
+
+void append_put_batch_response(std::string& out, std::uint64_t applied,
+                               std::uint64_t dup, std::uint64_t dropped) {
+  out += "OK ";
+  append_unsigned(out, applied);
+  out += ' ';
+  append_unsigned(out, dup);
+  out += ' ';
+  append_unsigned(out, dropped);
+}
+
+void append_stats_response(std::string& out, std::uint64_t series,
+                           std::uint64_t retained, std::uint64_t appended,
+                           std::uint64_t dropped) {
+  out += "OK ";
+  append_unsigned(out, series);
+  out += ' ';
+  append_unsigned(out, retained);
+  out += ' ';
+  append_unsigned(out, appended);
+  out += ' ';
+  append_unsigned(out, dropped);
 }
 
 std::string format_ok() { return "OK"; }
 
 std::string format_error(std::string_view message) {
-  return "ERR " + std::string(message);
+  std::string out;
+  append_error(out, message);
+  return out;
 }
 
 std::string format_forecast_response(double value, double mae, double mse,
                                      std::size_t history, double last_time,
                                      std::string_view method) {
-  std::ostringstream ss;
-  ss.precision(17);
-  ss << "OK " << value << ' ' << mae << ' ' << mse << ' ' << history << ' '
-     << last_time << ' ' << method;
-  return ss.str();
+  std::string out;
+  append_forecast_response(out, value, mae, mse, history, last_time, method);
+  return out;
 }
 
 std::string format_values_response(const std::vector<Measurement>& values) {
-  std::ostringstream ss;
-  ss.precision(17);
-  ss << "OK " << values.size();
-  for (const Measurement& m : values) {
-    ss << ' ' << m.time << ' ' << m.value;
-  }
-  return ss.str();
+  std::string out;
+  append_values_response(out, values);
+  return out;
 }
 
 std::string format_series_response(const std::vector<std::string>& names) {
-  std::ostringstream ss;
-  ss << "OK " << names.size();
-  for (const std::string& n : names) ss << ' ' << n;
-  return ss.str();
+  std::string out;
+  append_series_response(out, names);
+  return out;
 }
 
 bool response_is_ok(std::string_view response) {
@@ -233,6 +386,30 @@ std::optional<std::vector<std::string>> parse_series_response(
     out.emplace_back(tokens[2 + i]);
   }
   return out;
+}
+
+std::optional<PutBatchReply> parse_put_batch_response(
+    std::string_view response) {
+  if (!response_is_ok(response)) return std::nullopt;
+  const auto tokens = tokenize(response);
+  if (tokens.size() != 4) return std::nullopt;
+  PutBatchReply reply;
+  if (!parse_u64_token(tokens[1], reply.applied)) return std::nullopt;
+  if (!parse_u64_token(tokens[2], reply.dup)) return std::nullopt;
+  if (!parse_u64_token(tokens[3], reply.dropped)) return std::nullopt;
+  return reply;
+}
+
+std::optional<StatsReply> parse_stats_response(std::string_view response) {
+  if (!response_is_ok(response)) return std::nullopt;
+  const auto tokens = tokenize(response);
+  if (tokens.size() != 5) return std::nullopt;
+  StatsReply reply;
+  if (!parse_u64_token(tokens[1], reply.series)) return std::nullopt;
+  if (!parse_u64_token(tokens[2], reply.retained)) return std::nullopt;
+  if (!parse_u64_token(tokens[3], reply.appended)) return std::nullopt;
+  if (!parse_u64_token(tokens[4], reply.dropped)) return std::nullopt;
+  return reply;
 }
 
 }  // namespace nws

@@ -11,9 +11,23 @@
 //                                   re-applying, so a client outbox can be
 //                                   replayed across resets and restarts
 //                                   without double-counting.
+//   PUTB <series> <n> <seq0> <t0> <v0> ... <tn-1> <vn-1>
+//                                   batched PUT: n measurements in one
+//                                   request, sequence-tagged seq0..seq0+n-1
+//                                   with the same replay-safe semantics as
+//                                   PUTS applied per sample.  One syscall
+//                                   and one parse setup carry a whole
+//                                   sensor batch; the response is
+//                                   "OK <applied> <dup> <dropped>".
 //   FORECAST <series>               one-step-ahead forecast + error pedigree
 //   VALUES <series> <max>           most recent <max> measurements
 //   SERIES                          list known series names
+//   STATS                           service totals: "OK <series> <retained>
+//                                   <appended> <dropped>" (dropped counts
+//                                   out-of-order samples SeriesStore
+//                                   rejected)
+//   STATS <series>                  the same shape for one series (the
+//                                   series field is 1)
 //   PING                            liveness check
 //   QUIT                            close the connection
 //
@@ -27,8 +41,12 @@
 // own clock and distrust stale data.
 //
 // Parsing and formatting are pure functions over strings so the protocol is
-// fully unit-testable without sockets; server.hpp binds them to a
-// ForecastService and a TCP listener.
+// fully unit-testable without sockets; server.hpp binds them to a sharded
+// forecast service and a TCP listener.  The hot path uses the reusable
+// variants — parse_request_into() re-fills a caller-owned Request (string
+// and batch capacity survive across requests) and the append_* formatters
+// write into a caller-owned buffer with std::to_chars — so steady-state
+// request handling performs no per-request allocations.
 #pragma once
 
 #include <optional>
@@ -43,29 +61,57 @@ namespace nws {
 enum class RequestKind {
   kPut,
   kPutSeq,
+  kPutBatch,
   kForecast,
   kValues,
   kSeries,
+  kStats,
   kPing,
   kQuit
 };
 
 struct Request {
   RequestKind kind = RequestKind::kPing;
-  std::string series;          // PUT / PUTS / FORECAST / VALUES
+  std::string series;          // PUT / PUTS / PUTB / FORECAST / VALUES / STATS
   Measurement measurement;     // PUT / PUTS
-  std::uint64_t seq = 0;       // PUTS (client-assigned, starts at 1)
+  std::uint64_t seq = 0;       // PUTS / PUTB (client-assigned, starts at 1)
   std::size_t max_values = 0;  // VALUES
+  std::vector<Measurement> batch;  // PUTB: sample i carries sequence seq + i
 };
 
-/// Parses one request line (no trailing newline).  nullopt on malformed
-/// input; the caller answers with ERR.
+/// Parses one request line (no trailing newline) into `out`, reusing its
+/// string/vector capacity.  Returns false on malformed input (the caller
+/// answers with ERR; `out` is unspecified but reusable).
+[[nodiscard]] bool parse_request_into(std::string_view line, Request& out);
+
+/// Convenience wrapper over parse_request_into for non-hot-path callers.
 [[nodiscard]] std::optional<Request> parse_request(std::string_view line);
 
 /// Serialises a request into its wire form (inverse of parse_request).
 [[nodiscard]] std::string format_request(const Request& request);
+/// Appends the wire form to `out` (no trailing newline, no allocation
+/// beyond `out` growth).
+void append_request(std::string& out, const Request& request);
 
-/// Response formatting helpers.
+/// Response formatting: the append_* functions write into a caller-owned
+/// buffer (no trailing newline); the string-returning forms wrap them.
+void append_ok(std::string& out);
+void append_error(std::string& out, std::string_view message);
+void append_forecast_response(std::string& out, double value, double mae,
+                              double mse, std::size_t history,
+                              double last_time, std::string_view method);
+void append_values_response(std::string& out,
+                            const std::vector<Measurement>& values);
+void append_series_response(std::string& out,
+                            const std::vector<std::string>& names);
+/// PUTB outcome: applied + dup + dropped == batch size on success.
+void append_put_batch_response(std::string& out, std::uint64_t applied,
+                               std::uint64_t dup, std::uint64_t dropped);
+/// STATS payload (global totals, or one series with series == 1).
+void append_stats_response(std::string& out, std::uint64_t series,
+                           std::uint64_t retained, std::uint64_t appended,
+                           std::uint64_t dropped);
+
 [[nodiscard]] std::string format_ok();
 [[nodiscard]] std::string format_error(std::string_view message);
 [[nodiscard]] std::string format_forecast_response(double value, double mae,
@@ -90,12 +136,31 @@ struct ForecastReply {
   std::string method;
 };
 
+/// Per-sample accounting a PUTB response reports.
+struct PutBatchReply {
+  std::uint64_t applied = 0;
+  std::uint64_t dup = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// STATS payload: series/measurement totals plus out-of-order drops.
+struct StatsReply {
+  std::uint64_t series = 0;    ///< series counted (1 for STATS <series>)
+  std::uint64_t retained = 0;  ///< measurements currently held in memory
+  std::uint64_t appended = 0;  ///< measurements ever accepted
+  std::uint64_t dropped = 0;   ///< out-of-order samples rejected
+};
+
 [[nodiscard]] bool response_is_ok(std::string_view response);
 [[nodiscard]] std::optional<ForecastReply> parse_forecast_response(
     std::string_view response);
 [[nodiscard]] std::optional<std::vector<Measurement>> parse_values_response(
     std::string_view response);
 [[nodiscard]] std::optional<std::vector<std::string>> parse_series_response(
+    std::string_view response);
+[[nodiscard]] std::optional<PutBatchReply> parse_put_batch_response(
+    std::string_view response);
+[[nodiscard]] std::optional<StatsReply> parse_stats_response(
     std::string_view response);
 
 }  // namespace nws

@@ -1,12 +1,14 @@
 #include "nws/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -22,11 +24,37 @@ ServerConfig capacity_only(std::size_t memory_capacity) {
   return config;
 }
 
+std::size_t resolve_shards(const ServerConfig& cfg) {
+  if (cfg.shards > 0) return cfg.shards;
+  if (const char* env = std::getenv("NWSCPU_SHARDS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 }  // namespace
 
 NwsServer::NwsServer(ServerConfig config)
     : cfg_(std::move(config)),
-      service_(cfg_.memory_capacity, {}, cfg_.journal_path) {}
+      service_(resolve_shards(cfg_), cfg_.memory_capacity, {},
+               cfg_.journal_path) {
+  shards_.reserve(service_.shard_count());
+  for (std::size_t k = 0; k < service_.shard_count(); ++k) {
+    shards_.push_back(std::make_unique<ShardState>());
+  }
+  service_.set_group_size(cfg_.journal_group_size);
+  total_series_.store(service_.series_count(), std::memory_order_relaxed);
+}
 
 NwsServer::NwsServer(std::size_t memory_capacity)
     : NwsServer(capacity_only(memory_capacity)) {}
@@ -36,74 +64,194 @@ NwsServer::~NwsServer() {
   service_.sync();
 }
 
-std::string NwsServer::handle_put(const Request& request) {
+void NwsServer::handle_put(const Request& req, std::size_t k,
+                           std::string& out) {
+  ForecastService& svc = service_.shard(k);
+  const bool is_new = !svc.memory().contains(req.series);
   // Admission control: shed new series when the table is full, loudly.
-  if (cfg_.max_series != 0 && !service_.memory().contains(request.series) &&
-      service_.series_count() >= cfg_.max_series) {
+  if (cfg_.max_series != 0 && is_new &&
+      total_series_.load(std::memory_order_relaxed) >= cfg_.max_series) {
     ++shed_;
-    return format_error("busy");
+    append_error(out, "busy");
+    return;
   }
-  if (request.kind == RequestKind::kPutSeq) {
-    // Idempotent replay: a duplicate is either a sequence number we have
-    // already applied (same server incarnation) or a timestamp that is not
-    // newer than the stored series (covers replay after a restart, when
-    // applied_seq_ is empty but the journal restored the measurements).
-    const auto seq_it = applied_seq_.find(request.series);
+  auto& applied_seq = shards_[k]->applied_seq;
+
+  if (req.kind == RequestKind::kPutBatch) {
+    // Per-sample exactly-once accounting: a sample is a duplicate when its
+    // sequence was already applied (same incarnation) or its timestamp is
+    // not newer than the stored series (covers replay after a restart).
+    std::uint64_t applied = 0;
+    std::uint64_t dup = 0;
+    std::uint64_t dropped = 0;
+    const auto seq_it = applied_seq.find(req.series);
+    std::uint64_t high = seq_it != applied_seq.end() ? seq_it->second : 0;
+    for (std::size_t i = 0; i < req.batch.size(); ++i) {
+      const std::uint64_t seq = req.seq + i;
+      const Measurement m = req.batch[i];
+      const SeriesStore* store = svc.memory().find(req.series);
+      const bool time_dup =
+          store != nullptr && !store->empty() && m.time <= store->newest().time;
+      if (seq <= high || time_dup) {
+        ++dup;
+        continue;
+      }
+      if (svc.record(req.series, m)) {
+        ++applied;
+      } else {
+        ++dropped;
+      }
+    }
+    // Every sample is accounted in the reply, so the whole range is
+    // settled: a replay of this batch must ack as duplicate.
+    applied_seq[req.series] =
+        std::max(high, req.seq + req.batch.size() - 1);
+    duplicates_ += dup;
+    if (applied > 0 && is_new) {
+      total_series_.fetch_add(1, std::memory_order_relaxed);
+    }
+    append_put_batch_response(out, applied, dup, dropped);
+    return;
+  }
+
+  if (req.kind == RequestKind::kPutSeq) {
+    const auto seq_it = applied_seq.find(req.series);
     const bool seq_dup =
-        seq_it != applied_seq_.end() && request.seq <= seq_it->second;
-    const SeriesStore* store = service_.memory().find(request.series);
+        seq_it != applied_seq.end() && req.seq <= seq_it->second;
+    const SeriesStore* store = svc.memory().find(req.series);
     const bool time_dup = store != nullptr && !store->empty() &&
-                          request.measurement.time <= store->newest().time;
+                          req.measurement.time <= store->newest().time;
     if (seq_dup || time_dup) {
       ++duplicates_;
-      return "OK dup";
+      out += "OK dup";
+      return;
     }
   }
-  if (!service_.record(request.series, request.measurement)) {
-    return format_error("out-of-order measurement");
+  if (!svc.record(req.series, req.measurement)) {
+    append_error(out, "out-of-order measurement");
+    return;
   }
-  if (request.kind == RequestKind::kPutSeq) {
-    applied_seq_[request.series] = request.seq;
+  if (is_new) total_series_.fetch_add(1, std::memory_order_relaxed);
+  if (req.kind == RequestKind::kPutSeq) {
+    applied_seq[req.series] = req.seq;
   }
-  return format_ok();
+  append_ok(out);
 }
 
-std::string NwsServer::handle_line(std::string_view line) {
-  ++requests_;
-  const auto request = parse_request(line);
-  if (!request) return format_error("malformed request");
-
-  const std::scoped_lock lock(mutex_);
-  switch (request->kind) {
+void NwsServer::execute_request(const Request& req, std::string& out) {
+  switch (req.kind) {
     case RequestKind::kPut:
     case RequestKind::kPutSeq:
-      return handle_put(*request);
+    case RequestKind::kPutBatch: {
+      const std::size_t k = service_.shard_of(req.series);
+      const std::scoped_lock lock(shards_[k]->mu);
+      handle_put(req, k, out);
+      return;
+    }
     case RequestKind::kForecast: {
-      const auto forecast = service_.predict(request->series);
-      if (!forecast) return format_error("unknown series");
-      return format_forecast_response(forecast->value, forecast->mae,
-                                      forecast->mse, forecast->history,
-                                      forecast->last_time, forecast->method);
+      const std::size_t k = service_.shard_of(req.series);
+      const std::scoped_lock lock(shards_[k]->mu);
+      const auto forecast = service_.shard(k).predict(req.series);
+      if (!forecast) {
+        append_error(out, "unknown series");
+        return;
+      }
+      append_forecast_response(out, forecast->value, forecast->mae,
+                               forecast->mse, forecast->history,
+                               forecast->last_time, forecast->method);
+      return;
     }
     case RequestKind::kValues: {
-      const SeriesStore* store = service_.memory().find(request->series);
-      if (store == nullptr) return format_error("unknown series");
+      const std::size_t k = service_.shard_of(req.series);
+      const std::scoped_lock lock(shards_[k]->mu);
+      const SeriesStore* store = service_.shard(k).memory().find(req.series);
+      if (store == nullptr) {
+        append_error(out, "unknown series");
+        return;
+      }
       std::vector<Measurement> values;
-      const std::size_t n = std::min(request->max_values, store->size());
+      const std::size_t n = std::min(req.max_values, store->size());
       values.reserve(n);
       for (std::size_t i = store->size() - n; i < store->size(); ++i) {
         values.push_back(store->at(i));
       }
-      return format_values_response(values);
+      append_values_response(out, values);
+      return;
     }
-    case RequestKind::kSeries:
-      return format_series_response(service_.memory().series_names());
+    case RequestKind::kSeries: {
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(shards_.size());
+      for (auto& sh : shards_) locks.emplace_back(sh->mu);
+      append_series_response(out, service_.series_names());
+      return;
+    }
+    case RequestKind::kStats: {
+      if (!req.series.empty()) {
+        const std::size_t k = service_.shard_of(req.series);
+        const std::scoped_lock lock(shards_[k]->mu);
+        const SeriesStore* store =
+            service_.shard(k).memory().find(req.series);
+        if (store == nullptr) {
+          append_error(out, "unknown series");
+          return;
+        }
+        append_stats_response(out, 1, store->size(), store->appended(),
+                              store->dropped());
+        return;
+      }
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(shards_.size());
+      for (auto& sh : shards_) locks.emplace_back(sh->mu);
+      const Memory::Totals totals = service_.totals();
+      append_stats_response(out, service_.series_count(), totals.retained,
+                            totals.appended, totals.dropped);
+      return;
+    }
     case RequestKind::kPing:
     case RequestKind::kQuit:
-      return format_ok();
+      append_ok(out);
+      return;
   }
-  return format_error("unhandled request");
+  append_error(out, "unhandled request");
 }
+
+void NwsServer::process_line(std::string_view line, Request& req,
+                             std::string& out, bool& close_after,
+                             const Task* task) {
+  ++requests_;
+  if (!parse_request_into(line, req)) {
+    append_error(out, "malformed request");
+    return;
+  }
+  if (req.kind == RequestKind::kQuit) close_after = true;
+  if (task != nullptr &&
+      (req.kind == RequestKind::kSeries ||
+       (req.kind == RequestKind::kStats && req.series.empty()))) {
+    // Read-your-writes barrier: a cross-shard read must observe every
+    // earlier request pipelined on the same connection, or its response
+    // would vary with the shard count.  Earlier slots never queue behind
+    // this task (dispatch order is queue order per shard), so waiting for
+    // our slot to be next to flush cannot deadlock; closing/dead unblocks
+    // a torn-down connection (its response is dropped unsent anyway).
+    std::unique_lock lock(task->conn->mu);
+    task->conn->cv.wait(lock, [&] {
+      return task->conn->flush_slot == task->slot || task->conn->closing ||
+             task->conn->dead;
+    });
+  }
+  execute_request(req, out);
+}
+
+std::string NwsServer::handle_line(std::string_view line) {
+  Request req;
+  std::string out;
+  bool close_after = false;
+  process_line(line, req, out, close_after, nullptr);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Transport
 
 std::uint16_t NwsServer::start(std::uint16_t port) {
   if (running_.load()) return 0;
@@ -118,7 +266,7 @@ std::uint16_t NwsServer::start(std::uint16_t port) {
   addr.sin_port = htons(port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
           0 ||
-      ::listen(listen_fd_, 32) < 0) {
+      ::listen(listen_fd_, 64) < 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return 0;
@@ -130,8 +278,24 @@ std::uint16_t NwsServer::start(std::uint16_t port) {
     listen_fd_ = -1;
     return 0;
   }
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return 0;
+  }
+  wake_rx_ = pipe_fds[0];
+  wake_tx_ = pipe_fds[1];
+  set_nonblocking(wake_rx_);
+  set_nonblocking(wake_tx_);
+
   port_ = ntohs(addr.sin_port);
   running_.store(true);
+  workers_stop_.store(false);
+  workers_.reserve(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    workers_.emplace_back(&NwsServer::worker_loop, this, k);
+  }
   thread_ = std::thread(&NwsServer::serve_loop, this);
   return port_;
 }
@@ -142,118 +306,272 @@ void NwsServer::stop() {
     return;
   }
   // The event loop polls with a timeout, so flipping running_ is enough;
-  // shutting the listener down also kicks it out of a quiet poll()
-  // immediately.
+  // shutting the listener down (and a wakeup byte) kicks it out of a quiet
+  // poll() immediately.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  wake_dispatcher();
   if (thread_.joinable()) thread_.join();
+  // With the dispatcher gone no new tasks are produced; workers drain
+  // their queues (completions to closed connections are no-ops), commit
+  // their journal segments and exit.
+  workers_stop_.store(true);
+  for (auto& sh : shards_) {
+    const std::scoped_lock lock(sh->qmu);
+    sh->qcv.notify_all();
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (wake_rx_ >= 0) {
+    ::close(wake_rx_);
+    wake_rx_ = -1;
+  }
+  if (wake_tx_ >= 0) {
+    ::close(wake_tx_);
+    wake_tx_ = -1;
   }
   port_ = 0;
   service_.sync();
 }
 
-void NwsServer::process_buffered_lines(Connection& conn) {
+void NwsServer::wake_dispatcher() const noexcept {
+  if (wake_tx_ < 0) return;
+  const char byte = 0;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  (void)!::write(wake_tx_, &byte, 1);
+}
+
+void NwsServer::complete(const ConnPtr& conn, std::size_t slot,
+                         std::string&& text, bool close_after) {
+  bool want_reap = false;
+  {
+    const std::scoped_lock lock(conn->mu);
+    conn->pending.emplace(slot, Pending{std::move(text), close_after});
+    // Flush the contiguous done-prefix.  Later slots stay parked; once
+    // closing/dead is set they are dropped unsent (matching the old
+    // serial loop, which stopped processing after a teardown).
+    while (!conn->closing && !conn->dead) {
+      const auto it = conn->pending.find(conn->flush_slot);
+      if (it == conn->pending.end()) break;
+      Pending p = std::move(it->second);
+      conn->pending.erase(it);
+      ++conn->flush_slot;
+
+      const FaultAction fault = fault_check(FaultSite::kServerRespond);
+      switch (fault.kind) {
+        case FaultAction::Kind::kDelay:
+          // A stalled server: this connection's responses hang, exactly
+          // the pathology client timeouts must absorb.
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(fault.delay_ms));
+          conn->tx += p.text;
+          conn->tx += '\n';
+          break;
+        case FaultAction::Kind::kTruncate:
+          // Half a response and then a dead connection, as if the server
+          // crashed mid-write.
+          conn->tx.append(p.text, 0, p.text.size() / 2);
+          conn->closing = true;
+          break;
+        case FaultAction::Kind::kGarbage:
+          conn->tx += "\x02\x7f!garbage";
+          conn->tx += '\n';
+          break;
+        default:
+          conn->tx += p.text;
+          conn->tx += '\n';
+          break;
+      }
+      if (p.close_after) conn->closing = true;
+    }
+    while (!conn->tx.empty() && !conn->dead && conn->fd >= 0) {
+      const ssize_t w =
+          ::send(conn->fd, conn->tx.data(), conn->tx.size(), MSG_NOSIGNAL);
+      if (w < 0) {
+        conn->dead = true;
+        break;
+      }
+      conn->tx.erase(0, static_cast<std::size_t>(w));
+    }
+    want_reap = conn->closing || conn->dead;
+  }
+  // flush_slot moved (or teardown latched): release any cross-shard read
+  // fenced on this connection.
+  conn->cv.notify_all();
+  conn->inflight.fetch_sub(1, std::memory_order_release);
+  if (want_reap) wake_dispatcher();
+}
+
+void NwsServer::commit_shard(std::size_t k) {
+  const std::scoped_lock lock(shards_[k]->mu);
+  service_.commit(k);
+}
+
+void NwsServer::worker_loop(std::size_t k) {
+  ShardState& sh = *shards_[k];
+  Request req;       // capacity reused across requests
+  std::string resp;  // likewise
+  for (;;) {
+    Task task;
+    bool have_task = false;
+    {
+      std::unique_lock qlock(sh.qmu);
+      for (;;) {
+        if (!sh.queue.empty()) {
+          task = std::move(sh.queue.front());
+          sh.queue.pop_front();
+          have_task = true;
+          break;
+        }
+        if (workers_stop_.load()) break;
+        // Queue drained: group-commit buffered journal records before
+        // sleeping, so a lull never leaves appends sitting in core.
+        qlock.unlock();
+        commit_shard(k);
+        qlock.lock();
+        if (!sh.queue.empty() || workers_stop_.load()) continue;
+        if (cfg_.journal_flush_ms > 0) {
+          sh.qcv.wait_for(qlock,
+                          std::chrono::milliseconds(cfg_.journal_flush_ms));
+        } else {
+          sh.qcv.wait(qlock);
+        }
+      }
+    }
+    if (!have_task) break;
+    resp.clear();
+    bool close_after = false;
+    process_line(task.line, req, resp, close_after, &task);
+    complete(task.conn, task.slot, std::move(resp), close_after);
+    resp = std::string();  // moved-from: re-arm the reusable buffer
+  }
+  commit_shard(k);
+}
+
+std::size_t NwsServer::route_line(std::string_view line) const {
+  // Verb + series tokens only; malformed input routes anywhere (worker 0)
+  // and the worker's authoritative parse answers ERR.
+  const auto is_ws = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r';
+  };
+  std::size_t i = 0;
+  while (i < line.size() && is_ws(line[i])) ++i;
+  const std::size_t verb_begin = i;
+  while (i < line.size() && !is_ws(line[i])) ++i;
+  const std::string_view verb = line.substr(verb_begin, i - verb_begin);
+  if (verb != "PUT" && verb != "PUTS" && verb != "PUTB" &&
+      verb != "FORECAST" && verb != "VALUES" && verb != "STATS") {
+    return 0;  // SERIES / PING / QUIT / unknown: any queue works
+  }
+  while (i < line.size() && is_ws(line[i])) ++i;
+  const std::size_t series_begin = i;
+  while (i < line.size() && !is_ws(line[i])) ++i;
+  const std::string_view series = line.substr(series_begin, i - series_begin);
+  if (series.empty()) return 0;
+  return service_.shard_of(series);
+}
+
+void NwsServer::dispatch_lines(const ConnPtr& conn) {
   std::size_t newline;
-  while (!conn.closing &&
-         (newline = conn.rx.find('\n')) != std::string::npos) {
+  while (!conn->stop_dispatch &&
+         (newline = conn->rx.find('\n')) != std::string::npos) {
     if (newline > cfg_.max_line_bytes) {
-      conn.tx += format_error("line too long") + "\n";
-      conn.rx.clear();
-      conn.closing = true;
+      conn->rx.clear();
+      conn->stop_dispatch = true;
       ++dropped_;
+      conn->inflight.fetch_add(1, std::memory_order_relaxed);
+      complete(conn, conn->next_slot++, format_error("line too long"),
+               /*close_after=*/true);
       return;
     }
-    const std::string line = conn.rx.substr(0, newline);
-    conn.rx.erase(0, newline + 1);
-    std::string response = handle_line(line);
-
-    const FaultAction fault = fault_check(FaultSite::kServerRespond);
-    switch (fault.kind) {
-      case FaultAction::Kind::kDelay:
-        // A stalled server: the whole event loop blocks, exactly the
-        // pathology client timeouts must absorb.
-        std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
-        break;
-      case FaultAction::Kind::kTruncate:
-        // Half a response and then a dead connection, as if the server
-        // crashed mid-write.
-        conn.tx += response.substr(0, response.size() / 2);
-        conn.closing = true;
-        continue;
-      case FaultAction::Kind::kGarbage:
-        response = "\x02\x7f!garbage";
-        break;
-      default:
-        break;
+    Task task;
+    task.conn = conn;
+    task.line.assign(conn->rx, 0, newline);
+    conn->rx.erase(0, newline + 1);
+    task.slot = conn->next_slot++;
+    // Stop feeding lines past a QUIT: the connection closes once its
+    // response flushes, matching the old serial loop.
+    if (task.line.compare(0, 4, "QUIT") == 0 &&
+        (task.line.size() == 4 || task.line[4] == ' ' ||
+         task.line[4] == '\t' || task.line[4] == '\r')) {
+      conn->stop_dispatch = true;
     }
-
-    conn.tx += response + "\n";
-    const auto request = parse_request(line);
-    if (request && request->kind == RequestKind::kQuit) {
-      conn.closing = true;
+    const std::size_t k = route_line(task.line);
+    conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    ShardState& sh = *shards_[k];
+    {
+      const std::scoped_lock qlock(sh.qmu);
+      sh.queue.push_back(std::move(task));
     }
+    sh.qcv.notify_one();
   }
   // A peer may also stream an endless line with no newline at all; cap the
   // buffered prefix too.
-  if (!conn.closing && conn.rx.size() > cfg_.max_line_bytes) {
-    conn.tx += format_error("line too long") + "\n";
-    conn.rx.clear();
-    conn.closing = true;
+  if (!conn->stop_dispatch && conn->rx.size() > cfg_.max_line_bytes) {
+    conn->rx.clear();
+    conn->stop_dispatch = true;
     ++dropped_;
+    conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    complete(conn, conn->next_slot++, format_error("line too long"),
+             /*close_after=*/true);
   }
-}
-
-bool NwsServer::flush_tx(Connection& conn) {
-  while (!conn.tx.empty()) {
-    const ssize_t w =
-        ::send(conn.fd, conn.tx.data(), conn.tx.size(), MSG_NOSIGNAL);
-    if (w < 0) {
-      // EAGAIN cannot happen on blocking sockets with poll-gated writes of
-      // modest responses; treat any failure as a dead peer.
-      return false;
-    }
-    conn.tx.erase(0, static_cast<std::size_t>(w));
-  }
-  return !conn.closing;
 }
 
 void NwsServer::serve_loop() {
-  std::vector<Connection> conns;
+  std::vector<ConnPtr> conns;
+  std::vector<pollfd> fds;
   char chunk[4096];
 
   const auto drop = [&](std::size_t i) {
-    ::close(conns[i].fd);
+    const ConnPtr conn = conns[i];
+    {
+      const std::scoped_lock lock(conn->mu);
+      conn->dead = true;
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+    }
+    conn->cv.notify_all();  // unfence any cross-shard read parked on us
     conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
     connections_.store(conns.size());
   };
 
   while (running_.load()) {
-    std::vector<pollfd> fds;
-    fds.reserve(conns.size() + 1);
+    fds.clear();
     fds.push_back({listen_fd_, POLLIN, 0});
-    for (const Connection& c : conns) {
-      fds.push_back({c.fd, POLLIN, 0});
+    fds.push_back({wake_rx_, POLLIN, 0});
+    for (const ConnPtr& c : conns) {
+      fds.push_back({c->fd, POLLIN, 0});
     }
     const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
     if (!running_.load()) break;
     const auto now = std::chrono::steady_clock::now();
 
     if (ready > 0) {
+      if (fds[1].revents & POLLIN) {
+        char buf[64];
+        while (::read(wake_rx_, buf, sizeof buf) > 0) {
+        }
+      }
       // Client traffic first: only the connections present when the pollfd
-      // list was built have a valid fds[i + 1] slot, so the accept below
+      // list was built have a valid fds[i + 2] slot, so the accept below
       // must not grow conns before this walk.  Iterate backwards so drops
       // do not shift unvisited entries.
       for (std::size_t i = conns.size(); i-- > 0;) {
-        const short revents = fds[i + 1].revents;
+        const short revents = fds[i + 2].revents;
         if (revents == 0) continue;
         if (revents & (POLLERR | POLLNVAL)) {
           drop(i);
           continue;
         }
         if (revents & (POLLIN | POLLHUP)) {
-          const ssize_t n = ::recv(conns[i].fd, chunk, sizeof chunk, 0);
+          const ssize_t n = ::recv(conns[i]->fd, chunk, sizeof chunk, 0);
           if (n <= 0) {
             drop(i);
             continue;
@@ -264,10 +582,9 @@ void NwsServer::serve_loop() {
             drop(i);
             continue;
           }
-          conns[i].last_activity = now;
-          conns[i].rx.append(chunk, static_cast<std::size_t>(n));
-          process_buffered_lines(conns[i]);
-          if (!flush_tx(conns[i])) drop(i);
+          conns[i]->last_activity = now;
+          conns[i]->rx.append(chunk, static_cast<std::size_t>(n));
+          dispatch_lines(conns[i]);
         }
       }
 
@@ -275,18 +592,34 @@ void NwsServer::serve_loop() {
       if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd >= 0) {
-          conns.push_back(Connection{fd, {}, {}, false, now});
+          auto conn = std::make_shared<Connection>();
+          conn->fd = fd;
+          conn->last_activity = now;
+          conns.push_back(std::move(conn));
           connections_.store(conns.size());
         }
       }
     }
 
+    // Reap connections whose last response went out (QUIT, truncate fault)
+    // or whose peer died mid-send.
+    for (std::size_t i = conns.size(); i-- > 0;) {
+      bool reap;
+      {
+        const std::scoped_lock lock(conns[i]->mu);
+        reap = conns[i]->closing || conns[i]->dead;
+      }
+      if (reap) drop(i);
+    }
+
     // Idle expiry: long-lived infrastructure must not let dead sensors pin
-    // sockets forever.
+    // sockets forever.  A connection with requests still in flight is not
+    // idle, whatever its socket looks like.
     if (cfg_.idle_timeout_ms > 0) {
       const auto limit = std::chrono::milliseconds(cfg_.idle_timeout_ms);
       for (std::size_t i = conns.size(); i-- > 0;) {
-        if (now - conns[i].last_activity > limit) {
+        if (conns[i]->inflight.load(std::memory_order_acquire) == 0 &&
+            now - conns[i]->last_activity > limit) {
           drop(i);
           ++dropped_;
         }
@@ -294,9 +627,9 @@ void NwsServer::serve_loop() {
     }
   }
 
-  for (const Connection& c : conns) ::close(c.fd);
-  conns.clear();
-  connections_.store(0);
+  for (std::size_t i = conns.size(); i-- > 0;) {
+    drop(i);
+  }
 }
 
 }  // namespace nws

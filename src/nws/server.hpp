@@ -1,18 +1,36 @@
-// NwsServer: a ForecastService behind the nwscpu wire protocol.
+// NwsServer: a sharded ForecastService behind the nwscpu wire protocol.
 //
 // Mirrors the deployment shape of the original NWS: sensor processes PUT
 // measurements, schedulers ask for FORECASTs.  The request handling is a
 // pure string -> string function (handle_line) so all protocol behaviour is
 // unit-testable; the optional TCP front end (start/stop) serves it on a
-// loopback-or-LAN socket with one service thread.
+// loopback-or-LAN socket.
 //
-// Concurrency model: a single service thread runs a poll()-based event
-// loop over the listening socket and all client connections, so any number
-// of sensor and scheduler clients can be connected at once (a deployed NWS
-// memory serves one stream per monitored resource).  Requests are executed
-// serially in that thread; a mutex still guards the service so handle_line
-// may also be called directly from other threads (e.g. an in-process
-// sensor loop).
+// Concurrency model (shard-per-core):
+//  * Service state is partitioned into N shards by FNV-1a hash of the
+//    series name (ShardedForecastService).  N defaults to the machine's
+//    hardware concurrency and is overridable via ServerConfig::shards or
+//    the NWSCPU_SHARDS environment variable.
+//  * One dispatcher thread runs a poll() loop over the listening socket
+//    and every client connection.  It only moves bytes: it reads, splits
+//    complete lines, routes each line to its shard's queue (a cheap
+//    verb+series token scan — full parsing happens on the worker), and
+//    reaps finished connections.
+//  * One worker thread per shard executes requests under that shard's
+//    mutex.  Requests for distinct series never contend; requests for the
+//    same series always land in the same FIFO queue, so per-series
+//    ordering is preserved.  Cross-shard reads (SERIES, global STATS)
+//    take every shard lock in index order and fence behind every earlier
+//    request pipelined on their connection (read-your-writes), keeping
+//    responses byte-identical for any shard count.
+//  * Responses are sequenced per connection: each dispatched line gets a
+//    slot; a completion sends only the contiguous done-prefix, so
+//    pipelined clients always see responses in request order even when
+//    shards finish out of order.  Responses are byte-identical for any
+//    shard count.
+//  * Journal appends group-commit: each shard buffers encoded records and
+//    issues one write+flush per journal_group_size records, plus a
+//    commit whenever its queue drains (or every journal_flush_ms).
 //
 // Hardening (this is long-lived grid infrastructure):
 //  * per-connection input lines are capped (ERR line too long + drop), so
@@ -20,10 +38,12 @@
 //  * idle connections can be expired (idle_timeout_ms);
 //  * when the series table is full, new series are shed with "ERR busy"
 //    instead of growing without bound or dropping silently;
-//  * PUTS (sequence-tagged PUT) is idempotent: duplicates from an outbox
-//    replay are acked with "OK dup" and not re-applied, even across a
-//    restart (a replayed journal makes stale timestamps detectable);
-//  * with a journal_path the full service state survives restarts;
+//  * PUTS/PUTB (sequence-tagged PUTs) are idempotent: duplicates from an
+//    outbox replay are acked ("OK dup" / counted in the PUTB reply) and
+//    not re-applied, even across a restart (a replayed journal makes
+//    stale timestamps detectable);
+//  * with a journal_path the full service state survives restarts, under
+//    any shard count (segmented journals are migrated on reshard);
 //  * the socket loop and journal consult util/fault.hpp fault sites, so a
 //    chaos harness can inject resets, delays, truncation, garbage and disk
 //    failures deterministically (a relaxed atomic load when disabled).
@@ -31,15 +51,20 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
-#include "nws/forecast_service.hpp"
 #include "nws/protocol.hpp"
+#include "nws/sharded_service.hpp"
 
 namespace nws {
 
@@ -54,8 +79,19 @@ struct ServerConfig {
   /// (0 = unlimited).
   std::size_t max_series = 0;
   /// Journal file making memory + forecaster state durable across
-  /// restarts (empty = in-core only).
+  /// restarts (empty = in-core only).  With more than one shard the
+  /// segments live at `journal_path.shard<k>`.
   std::filesystem::path journal_path;
+  /// Shard (and worker thread) count.  0 = the NWSCPU_SHARDS environment
+  /// variable when set, else std::thread::hardware_concurrency().
+  std::size_t shards = 0;
+  /// Journal group-commit size: records buffered per shard segment before
+  /// one write+flush.  1 restores commit-per-append.
+  std::size_t journal_group_size = 64;
+  /// With a positive value, an idle shard re-commits its journal at this
+  /// period instead of immediately when its queue drains (bounds how long
+  /// a buffered record may wait; under load the group size bounds it).
+  int journal_flush_ms = 0;
 };
 
 class NwsServer {
@@ -69,20 +105,26 @@ class NwsServer {
 
   /// Processes one protocol line and returns the response line (without
   /// trailing newline).  QUIT returns "OK"; connection teardown is the
-  /// transport's business.
+  /// transport's business.  Thread-safe against a running listener (it
+  /// takes the same shard locks the workers do).
   [[nodiscard]] std::string handle_line(std::string_view line);
 
   /// Starts the TCP listener on 127.0.0.1:`port` (0 = ephemeral).  Returns
   /// the bound port, or 0 on failure.  Idempotent start is an error.
   std::uint16_t start(std::uint16_t port = 0);
 
-  /// Stops the listener, joins the service thread and flushes the journal
-  /// (if any).  Safe to call when not started.
+  /// Stops the listener, joins the dispatcher and shard workers and
+  /// flushes the journal (if any).  Safe to call when not started.
   void stop();
 
   [[nodiscard]] bool running() const noexcept { return running_.load(); }
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
+
+  /// Number of shards (== worker threads while running).
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return service_.shard_count();
+  }
 
   /// Requests served so far (all transports).
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
@@ -94,7 +136,7 @@ class NwsServer {
     return connections_.load();
   }
 
-  /// Duplicate PUTS requests acked without re-applying.
+  /// Duplicate PUTS requests (and PUTB samples) acked without re-applying.
   [[nodiscard]] std::uint64_t duplicates_acked() const noexcept {
     return duplicates_.load();
   }
@@ -107,35 +149,88 @@ class NwsServer {
     return dropped_.load();
   }
 
-  /// The underlying service (measurements recovered from the journal,
-  /// journal write failures, ...).
-  [[nodiscard]] const ForecastService& service() const noexcept {
+  /// The underlying sharded service (measurements recovered from the
+  /// journal, journal write failures, ...).
+  [[nodiscard]] const ShardedForecastService& service() const noexcept {
     return service_;
   }
 
  private:
+  /// A response finished out of order, parked until its slot flushes.
+  struct Pending {
+    std::string text;         ///< response line, no trailing newline
+    bool close_after = false;  ///< QUIT / line-too-long: close once sent
+  };
+
   struct Connection {
     int fd = -1;
-    std::string rx;        ///< bytes received, not yet parsed into lines
-    std::string tx;        ///< response bytes not yet written
-    bool closing = false;  ///< QUIT/fault received: close once tx drains
-    std::chrono::steady_clock::time_point last_activity;
+    // Dispatcher-owned (never touched by workers):
+    std::string rx;  ///< bytes received, not yet split into lines
+    std::chrono::steady_clock::time_point last_activity{};
+    std::size_t next_slot = 0;   ///< next response slot to assign
+    bool stop_dispatch = false;  ///< QUIT/overlong line seen: ignore rest
+    /// Dispatched lines not yet completed (idle expiry must not fire).
+    std::atomic<std::size_t> inflight{0};
+    // Guarded by mu (workers and dispatcher):
+    std::mutex mu;
+    std::size_t flush_slot = 0;  ///< next slot to send
+    std::map<std::size_t, Pending> pending;  ///< out-of-order completions
+    std::string tx;              ///< bytes formatted, not yet written
+    bool closing = false;        ///< sent last response; reap me
+    bool dead = false;           ///< fd closed / peer gone
+    /// Signals flush_slot advances (and teardown) to cross-shard reads
+    /// waiting on the read-your-writes barrier.
+    std::condition_variable cv;
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  struct Task {
+    ConnPtr conn;
+    std::string line;
+    std::size_t slot = 0;
+  };
+
+  struct ShardState {
+    std::mutex mu;  ///< guards service_.shard(k), its journal + applied_seq
+    /// Highest PUTS/PUTB sequence applied per series (in-core fast path;
+    /// the timestamp check covers restarts).
+    std::unordered_map<std::string, std::uint64_t> applied_seq;
+    std::mutex qmu;
+    std::condition_variable qcv;
+    std::deque<Task> queue;
   };
 
   void serve_loop();
-  /// Parses complete lines from conn.rx, appends responses to conn.tx.
-  void process_buffered_lines(Connection& conn);
-  /// Returns false when the connection should be dropped.
-  [[nodiscard]] bool flush_tx(Connection& conn);
-  /// PUT/PUTS admission: capacity shedding and duplicate detection.
-  [[nodiscard]] std::string handle_put(const Request& request);
+  void worker_loop(std::size_t k);
+  /// Splits complete lines out of conn->rx and queues them on shards.
+  void dispatch_lines(const ConnPtr& conn);
+  /// Cheap verb+series scan deciding which queue gets the line.  Workers
+  /// re-derive the shard from the authoritative parse, so this affects
+  /// parallelism only, never correctness.
+  [[nodiscard]] std::size_t route_line(std::string_view line) const;
+  /// Parses + executes one line, appending the response (no newline).
+  /// With a non-null task, cross-shard reads (SERIES, global STATS) wait
+  /// until every earlier slot on the connection has flushed, so pipelined
+  /// responses are byte-identical for any shard count.
+  void process_line(std::string_view line, Request& req, std::string& out,
+                    bool& close_after, const Task* task);
+  void execute_request(const Request& req, std::string& out);
+  /// PUT/PUTS/PUTB under shards_[k]->mu: admission, dedup, apply.
+  void handle_put(const Request& req, std::size_t k, std::string& out);
+  /// Delivers a finished response into its slot and sends the contiguous
+  /// done-prefix (respond-fault site; wakes the dispatcher on teardown).
+  void complete(const ConnPtr& conn, std::size_t slot, std::string&& text,
+                bool close_after);
+  /// Group-commits shard k's buffered journal records.
+  void commit_shard(std::size_t k);
+  void wake_dispatcher() const noexcept;
 
   ServerConfig cfg_;
-  ForecastService service_;
-  std::mutex mutex_;
-  /// Highest PUTS sequence applied per series (in-core fast path; the
-  /// timestamp check covers restarts).
-  std::unordered_map<std::string, std::uint64_t> applied_seq_;
+  ShardedForecastService service_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  /// Distinct series across all shards (max_series admission without
+  /// taking every shard lock on the PUT path).
+  std::atomic<std::size_t> total_series_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::size_t> connections_{0};
   std::atomic<std::uint64_t> duplicates_{0};
@@ -143,9 +238,13 @@ class NwsServer {
   std::atomic<std::uint64_t> dropped_{0};
 
   std::atomic<bool> running_{false};
+  std::atomic<bool> workers_stop_{false};
   int listen_fd_ = -1;
+  int wake_rx_ = -1;  ///< worker -> dispatcher wakeup pipe (read end)
+  int wake_tx_ = -1;
   std::uint16_t port_ = 0;
   std::thread thread_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace nws

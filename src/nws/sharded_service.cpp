@@ -1,0 +1,185 @@
+#include "nws/sharded_service.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <system_error>
+#include <utility>
+
+namespace nws {
+
+namespace fs = std::filesystem;
+
+std::uint64_t ShardedForecastService::hash_series(
+    std::string_view series) noexcept {
+  // FNV-1a, 64-bit: stable across processes and platforms, so journal
+  // segment assignment survives restarts and machine moves.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : series) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::size_t ShardedForecastService::shard_of(
+    std::string_view series) const noexcept {
+  return static_cast<std::size_t>(hash_series(series) % shards_.size());
+}
+
+fs::path ShardedForecastService::segment_path(std::size_t k) const {
+  if (shards_.size() == 1) return journal_base_;
+  return fs::path(journal_base_.string() + ".shard" + std::to_string(k));
+}
+
+ShardedForecastService::ShardedForecastService(
+    std::size_t shards, std::size_t memory_capacity,
+    ForecastService::ForecasterFactory factory, fs::path journal_base)
+    : journal_base_(std::move(journal_base)) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t k = 0; k < shards; ++k) {
+    shards_.push_back(
+        std::make_unique<ForecastService>(memory_capacity, factory));
+  }
+  if (!journal_base_.empty()) replay_segments();
+}
+
+void ShardedForecastService::replay_segments() {
+  // Collect every journal file a previous incarnation (under any shard
+  // count) may have left: the unsuffixed legacy/base file plus all
+  // `<base>.shard<j>` segments.  Replay the base first, then segments in
+  // index order, routing each record by the *current* hash.
+  struct Segment {
+    std::size_t index;  ///< SIZE_MAX for the unsuffixed base file
+    fs::path path;
+  };
+  std::vector<Segment> found;
+  std::error_code ec;
+  if (fs::exists(journal_base_, ec)) {
+    found.push_back({static_cast<std::size_t>(-1), journal_base_});
+  }
+  const fs::path parent =
+      journal_base_.has_parent_path() ? journal_base_.parent_path() : ".";
+  const std::string prefix = journal_base_.filename().string() + ".shard";
+  if (fs::exists(parent, ec)) {
+    for (const auto& entry : fs::directory_iterator(parent, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(prefix, 0) != 0) continue;
+      const std::string_view digits = std::string_view(name).substr(
+          prefix.size());
+      std::size_t index = 0;
+      const auto [ptr, parse_ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(), index);
+      if (parse_ec != std::errc{} || ptr != digits.data() + digits.size()) {
+        continue;  // ".shard3.compact" leftovers and the like
+      }
+      found.push_back({index, entry.path()});
+    }
+  }
+  std::sort(found.begin(), found.end(), [](const Segment& a, const Segment& b) {
+    // Base (SIZE_MAX wrapped to front explicitly) first, then by index.
+    const bool a_base = a.index == static_cast<std::size_t>(-1);
+    const bool b_base = b.index == static_cast<std::size_t>(-1);
+    if (a_base != b_base) return a_base;
+    return a.index < b.index;
+  });
+
+  // A file is "stale" when it is not one of the current layout's segment
+  // paths; a record is "misrouted" when the file it sits in is not its
+  // current segment.  Either one means the shard count changed and the
+  // layout must be rewritten.
+  const auto is_current_segment = [&](const fs::path& path) {
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      if (path == segment_path(k)) return true;
+    }
+    return false;
+  };
+  bool migrate = false;
+  for (const Segment& seg : found) {
+    if (!is_current_segment(seg.path)) migrate = true;
+    Journal journal(seg.path);
+    const Journal::ReplayStats stats =
+        journal.replay([&](const std::string& series, Measurement m) {
+          const std::size_t target = shard_of(series);
+          if (seg.path != segment_path(target)) migrate = true;
+          return shards_[target]->restore(series, m);
+        });
+    recovered_ += stats.recovered;
+    replay_skipped_ += stats.skipped;
+  }
+
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    shards_[k]->attach_journal(segment_path(k));
+  }
+  if (migrate) {
+    // One restart migrates the layout: every segment is rewritten from
+    // the recovered memory (records beyond each series' retention bound
+    // are compacted away, as rewrite always does), then files that are
+    // not part of the current layout are removed.
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      shards_[k]->rewrite_journal();
+    }
+    for (const Segment& seg : found) {
+      bool current = false;
+      for (std::size_t k = 0; k < shards_.size(); ++k) {
+        if (seg.path == segment_path(k)) current = true;
+      }
+      std::error_code remove_ec;
+      if (!current) fs::remove(seg.path, remove_ec);
+    }
+  }
+}
+
+std::vector<std::string> ShardedForecastService::series_names() const {
+  std::vector<std::string> names;
+  for (const auto& shard : shards_) {
+    const auto shard_names = shard->memory().series_names();
+    names.insert(names.end(), shard_names.begin(), shard_names.end());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Memory::Totals ShardedForecastService::totals() const {
+  Memory::Totals t;
+  for (const auto& shard : shards_) {
+    const Memory::Totals st = shard->memory().totals();
+    t.retained += st.retained;
+    t.appended += st.appended;
+    t.dropped += st.dropped;
+  }
+  return t;
+}
+
+std::size_t ShardedForecastService::series_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->series_count();
+  return n;
+}
+
+std::size_t ShardedForecastService::write_failures() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    if (const Journal* journal =
+            const_cast<ForecastService&>(*shard).journal()) {
+      n += journal->write_failures();
+    }
+  }
+  return n;
+}
+
+void ShardedForecastService::set_group_size(std::size_t records) {
+  for (const auto& shard : shards_) {
+    if (Journal* journal = shard->journal()) journal->set_group_size(records);
+  }
+}
+
+void ShardedForecastService::commit(std::size_t k) {
+  if (Journal* journal = shards_[k]->journal()) (void)journal->commit();
+}
+
+void ShardedForecastService::sync() {
+  for (const auto& shard : shards_) shard->sync();
+}
+
+}  // namespace nws

@@ -1,0 +1,96 @@
+// ShardedForecastService: N independent ForecastService shards keyed by
+// series-name hash — the scale-out core of the NWS memory/forecaster.
+//
+// A deployed NWS memory serves one measurement stream per monitored
+// resource; streams for different series never interact, so the service
+// state partitions cleanly.  Each shard owns its own Memory, forecasters
+// and journal segment, which lets the server put one mutex (and one
+// worker thread) per shard: PUT/FORECAST traffic for distinct series
+// never contends.  Routing is FNV-1a over the series name — stable across
+// processes and platforms, so a series always lands in the same segment
+// for a fixed shard count.
+//
+// Journal layout:
+//   * 1 shard:   the single file at `journal_base` (the legacy layout,
+//     byte-compatible with pre-sharding journals);
+//   * N shards:  `journal_base.shard<k>` for k in 0..N-1.
+// Construction replays EVERY segment found (plus a legacy unsuffixed
+// file), routing each record by the current hash — so a journal written
+// under a different shard count is recovered losslessly.  When any record
+// was found outside its current segment (shard count changed), every
+// segment is rewritten from the recovered memory and stale files are
+// removed: one restart migrates the layout.  Torn/corrupt lines are
+// skipped and counted exactly as the single Journal does.
+//
+// This class does no locking — the server guards shard(k) with its
+// per-shard mutex and takes all locks (in index order) for the rare
+// cross-shard reads (SERIES, STATS, sync).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "nws/forecast_service.hpp"
+
+namespace nws {
+
+class ShardedForecastService {
+ public:
+  /// `shards` >= 1; `memory_capacity` bounds each series' retention (the
+  /// bound is per series, so it is shard-count independent); `factory`
+  /// builds per-series forecasters; a non-empty `journal_base` makes the
+  /// service durable under the segmented layout above.
+  ShardedForecastService(std::size_t shards, std::size_t memory_capacity,
+                         ForecastService::ForecasterFactory factory,
+                         std::filesystem::path journal_base);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  /// Shard owning `series` (FNV-1a hash modulo shard_count()).
+  [[nodiscard]] std::size_t shard_of(std::string_view series) const noexcept;
+
+  /// Per-shard state; the caller holds that shard's lock.
+  [[nodiscard]] ForecastService& shard(std::size_t k) { return *shards_[k]; }
+  [[nodiscard]] const ForecastService& shard(std::size_t k) const {
+    return *shards_[k];
+  }
+
+  // Cross-shard reads (caller holds every shard lock).
+  [[nodiscard]] std::vector<std::string> series_names() const;
+  [[nodiscard]] Memory::Totals totals() const;
+  [[nodiscard]] std::size_t series_count() const;
+
+  /// Measurements recovered across all segments at construction.
+  [[nodiscard]] std::size_t recovered() const noexcept { return recovered_; }
+  /// Torn/corrupt/out-of-order records skipped during replay.
+  [[nodiscard]] std::size_t replay_skipped() const noexcept {
+    return replay_skipped_;
+  }
+  /// Journal appends lost to write failures, summed over segments.
+  [[nodiscard]] std::size_t write_failures() const;
+
+  /// Group-commit size applied to every segment journal.
+  void set_group_size(std::size_t records);
+  /// Commits shard k's buffered journal appends (caller holds its lock).
+  void commit(std::size_t k);
+  /// Commits and flushes every segment (caller holds every lock).
+  void sync();
+
+  [[nodiscard]] static std::uint64_t hash_series(
+      std::string_view series) noexcept;
+
+ private:
+  [[nodiscard]] std::filesystem::path segment_path(std::size_t k) const;
+  void replay_segments();
+
+  std::vector<std::unique_ptr<ForecastService>> shards_;
+  std::filesystem::path journal_base_;
+  std::size_t recovered_ = 0;
+  std::size_t replay_skipped_ = 0;
+};
+
+}  // namespace nws

@@ -1,0 +1,37 @@
+// Allocation-free numeric formatting for the wire-protocol and journal hot
+// paths.
+//
+// std::ostringstream costs a locale lookup, a heap-backed buffer and a
+// virtual sink per use; the service layer formats millions of numbers per
+// second, so these helpers append shortest-round-trip std::to_chars output
+// directly into a caller-owned std::string (which the caller reuses across
+// requests).  The shortest representation parses back bit-exactly
+// (to_chars guarantees round-trip), so readers built on from_chars or
+// istream extraction both recover the original value.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+namespace nws {
+
+inline void append_double(std::string& out, double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec == std::errc{}) {
+    out.append(buf, static_cast<std::size_t>(ptr - buf));
+  } else {
+    out += "0";  // unreachable for finite doubles with a 32-byte buffer
+  }
+}
+
+inline void append_unsigned(std::string& out, std::uint64_t value) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec == std::errc{}) {
+    out.append(buf, static_cast<std::size_t>(ptr - buf));
+  }
+}
+
+}  // namespace nws

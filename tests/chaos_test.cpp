@@ -77,6 +77,8 @@ class ChaosPipeline : public ::testing::Test {
     ServerConfig cfg;
     cfg.memory_capacity = 1024;  // retains the whole run: restart-lossless
     cfg.journal_path = dir_ / journal_name;
+    cfg.shards = shards_;
+    if (journal_group_ > 0) cfg.journal_group_size = journal_group_;
     return cfg;
   }
 
@@ -163,6 +165,8 @@ class ChaosPipeline : public ::testing::Test {
   }
 
   fs::path dir_;
+  std::size_t shards_ = 0;         ///< 0 = server default resolution
+  std::size_t journal_group_ = 0;  ///< 0 = server default group size
 };
 
 TEST_F(ChaosPipeline, ExactlyOnceDeliveryAndForecastParityUnderFaults) {
@@ -173,6 +177,28 @@ TEST_F(ChaosPipeline, ExactlyOnceDeliveryAndForecastParityUnderFaults) {
   // Once the faults stop, the chaotic pipeline converged to the exact
   // state of the fault-free one: same forecast, same error pedigree, same
   // history, same staleness anchor.
+  EXPECT_DOUBLE_EQ(actual.value, expected.value);
+  EXPECT_DOUBLE_EQ(actual.mae, expected.mae);
+  EXPECT_DOUBLE_EQ(actual.mse, expected.mse);
+  EXPECT_EQ(actual.history, expected.history);
+  EXPECT_DOUBLE_EQ(actual.last_time, expected.last_time);
+  EXPECT_EQ(actual.method, expected.method);
+}
+
+TEST_F(ChaosPipeline, ShardedGroupCommitMatchesSingleShardReference) {
+  // The whole PR 3 stack under chaos: 4 shards, segmented journals,
+  // group commit, batched outbox replay — and the forecast must still be
+  // byte-for-byte the single-shard fault-free run (exactly-once survives
+  // sharding, and the restart proves segmented group-commit durability).
+  const auto ms = make_measurements(160);
+  shards_ = 1;
+  journal_group_ = 0;
+  const ForecastReply expected = reference_run(ms);
+  shards_ = 4;
+  journal_group_ = 16;
+  const ForecastReply actual =
+      chaos_run(ms, chaos_seed(), "sharded_chaos.journal");
+
   EXPECT_DOUBLE_EQ(actual.value, expected.value);
   EXPECT_DOUBLE_EQ(actual.mae, expected.mae);
   EXPECT_DOUBLE_EQ(actual.mse, expected.mse);

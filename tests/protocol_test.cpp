@@ -650,8 +650,10 @@ TEST(ProtocolFuzz, RandomByteLinesNeverCrashAndMalformedYieldsErr) {
 TEST(ProtocolFuzz, TruncatedValidRequestsNeverCrashAndNeverParse) {
   const std::string lines[] = {
       "PUT host/cpu 120.5 0.75", "PUTS host/cpu 17 120.5 0.75",
+      "PUTB host/cpu 3 17 10 0.5 20 0.625 30 0.75",
       "FORECAST host/cpu",       "VALUES host/cpu 12",
-      "SERIES",                  "PING",
+      "SERIES",                  "STATS",
+      "STATS host/cpu",          "PING",
       "QUIT"};
   NwsServer server;
   for (const std::string& line : lines) {
@@ -669,6 +671,99 @@ TEST(ProtocolFuzz, TruncatedValidRequestsNeverCrashAndNeverParse) {
         EXPECT_EQ(response.rfind("ERR", 0), 0u) << '"' << prefix << '"';
       }
     }
+  }
+}
+
+TEST(ProtocolFuzz, PutBatchParsesAndRejectsMalformedShapes) {
+  // The happy path.
+  const auto ok = parse_request("PUTB host/cpu 2 5 10 0.5 20 0.75");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->kind, RequestKind::kPutBatch);
+  EXPECT_EQ(ok->series, "host/cpu");
+  EXPECT_EQ(ok->seq, 5u);
+  ASSERT_EQ(ok->batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(ok->batch[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(ok->batch[1].value, 0.75);
+
+  const char* bad[] = {
+      "PUTB",                                  // nothing at all
+      "PUTB host/cpu",                         // no count
+      "PUTB host/cpu 0 5",                     // zero-sample batch
+      "PUTB host/cpu 2 0 10 0.5 20 0.75",      // sequence zero
+      "PUTB host/cpu 2 5 10 0.5",              // fewer samples than declared
+      "PUTB host/cpu 2 5 10 0.5 20 0.75 30",   // trailing junk
+      "PUTB host/cpu 2 5 10 0.5 20 0.75 30 1", // more samples than declared
+      "PUTB host/cpu x 5 10 0.5",              // non-numeric count
+      "PUTB host/cpu 1000000000000 1 10 0.5",  // count the line cannot back
+  };
+  NwsServer server;
+  for (const char* line : bad) {
+    EXPECT_FALSE(parse_request(line).has_value()) << line;
+    EXPECT_EQ(server.handle_line(line).rfind("ERR", 0), 0u) << line;
+  }
+}
+
+TEST(ProtocolFuzz, StatsParsesGlobalAndPerSeriesForms) {
+  const auto global = parse_request("STATS");
+  ASSERT_TRUE(global.has_value());
+  EXPECT_EQ(global->kind, RequestKind::kStats);
+  EXPECT_TRUE(global->series.empty());
+
+  const auto one = parse_request("STATS host/cpu");
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(one->kind, RequestKind::kStats);
+  EXPECT_EQ(one->series, "host/cpu");
+
+  EXPECT_FALSE(parse_request("STATS host/cpu extra").has_value());
+
+  StatsReply reply;
+  std::string wire;
+  append_stats_response(wire, 3, 120, 130, 10);
+  const auto back = parse_stats_response(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->series, 3u);
+  EXPECT_EQ(back->retained, 120u);
+  EXPECT_EQ(back->appended, 130u);
+  EXPECT_EQ(back->dropped, 10u);
+  (void)reply;
+}
+
+TEST(ProtocolFuzz, RandomValidPutBatchesRoundTripThroughFormatter) {
+  Rng rng(1203);
+  for (int i = 0; i < 500; ++i) {
+    Request req;
+    req.kind = RequestKind::kPutBatch;
+    req.series = "s" + std::to_string(rng.below(100));
+    req.seq = rng.below(1u << 30) + 1;
+    const std::size_t n = rng.below(32) + 1;
+    double t = rng.uniform(0.0, 1e6);
+    for (std::size_t j = 0; j < n; ++j) {
+      t += rng.uniform(0.1, 100.0);
+      req.batch.push_back({t, rng.uniform(0.0, 1.0)});
+    }
+    const std::string wire = format_request(req);
+    const auto back = parse_request(wire);
+    ASSERT_TRUE(back.has_value()) << wire;
+    EXPECT_EQ(back->kind, RequestKind::kPutBatch);
+    EXPECT_EQ(back->series, req.series);
+    EXPECT_EQ(back->seq, req.seq);
+    ASSERT_EQ(back->batch.size(), req.batch.size());
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(back->batch[j].time, req.batch[j].time);
+      EXPECT_DOUBLE_EQ(back->batch[j].value, req.batch[j].value);
+    }
+    // Random mutations of a valid PUTB line must never crash the parser
+    // or the handler (they may still parse when the mutation is benign).
+    std::string mutated = wire;
+    const std::size_t flips = rng.below(3) + 1;
+    for (std::size_t f = 0; f < flips; ++f) {
+      char c = static_cast<char>(rng.below(256));
+      if (c == '\n') c = ' ';
+      mutated[rng.below(mutated.size())] = c;
+    }
+    (void)parse_request(mutated);
+    const std::string truncated = wire.substr(0, rng.below(wire.size() + 1));
+    (void)parse_request(truncated);
   }
 }
 

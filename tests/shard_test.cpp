@@ -1,0 +1,375 @@
+// Tests for the shard-per-core service: hash routing, byte-identical
+// responses across shard counts (in-process and over pipelined TCP),
+// segmented journal restart + reshard migration, STATS drop accounting,
+// PUTB idempotence, and concurrent multi-client traffic (the TSan target
+// for the dispatcher/worker architecture).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nws/client.hpp"
+#include "nws/server.hpp"
+#include "nws/sharded_service.hpp"
+
+namespace nws {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The request script the parity tests replay: covers every verb, both
+/// put flavours plus batches, duplicates, out-of-order samples, unknown
+/// series, malformed input, and enough distinct series to span shards.
+std::vector<std::string> parity_script() {
+  std::vector<std::string> lines;
+  const char* series[] = {"thing1/cpu", "thing2/cpu", "conundrum/cpu",
+                          "beowulf/cpu", "gremlin/cpu", "kongo/cpu"};
+  for (int round = 0; round < 30; ++round) {
+    for (const char* s : series) {
+      const double t = 10.0 * (round + 1);
+      lines.push_back("PUT " + std::string(s) + " " + std::to_string(t) +
+                      " 0." + std::to_string(25 + (round * 7) % 70));
+    }
+  }
+  for (const char* s : series) {
+    lines.push_back("FORECAST " + std::string(s));
+    lines.push_back("VALUES " + std::string(s) + " 5");
+    lines.push_back("STATS " + std::string(s));
+  }
+  lines.push_back("PUTS thing1/cpu 1 400 0.5");
+  lines.push_back("PUTS thing1/cpu 1 410 0.5");       // seq dup
+  lines.push_back("PUTS thing1/cpu 2 395 0.5");       // time dup
+  lines.push_back("PUT thing2/cpu 5 0.5");            // out of order
+  lines.push_back("PUTB kongo/cpu 3 1 500 0.5 510 0.625 520 0.75");
+  lines.push_back("PUTB kongo/cpu 3 1 500 0.5 510 0.625 520 0.75");  // replay
+  lines.push_back("PUTB kongo/cpu 2 4 530 0.5 525 0.75");  // one stale dup
+  lines.push_back("FORECAST nobody/cpu");             // unknown series
+  lines.push_back("VALUES nobody/cpu 3");
+  lines.push_back("STATS nobody/cpu");
+  lines.push_back("SERIES");
+  lines.push_back("STATS");
+  lines.push_back("PING");
+  lines.push_back("BOGUS request");                   // malformed
+  return lines;
+}
+
+TEST(ShardHash, StableAndSpreadsSeries) {
+  // The journal segment layout depends on this hash staying put.
+  EXPECT_EQ(ShardedForecastService::hash_series("a"),
+            ShardedForecastService::hash_series("a"));
+  ShardedForecastService svc(8, 64, {}, {});
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 256; ++i) {
+    ++hits[svc.shard_of("host" + std::to_string(i) + "/cpu")];
+  }
+  // FNV-1a over 256 distinct names must touch most of 8 shards; an empty
+  // shard or a >3x overload would mean the routing is degenerate.
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_GT(hits[k], 0) << "shard " << k << " never hit";
+    EXPECT_LT(hits[k], 96) << "shard " << k << " overloaded";
+  }
+}
+
+TEST(ShardParity, ResponsesByteIdenticalAcrossShardCounts) {
+  ServerConfig one;
+  one.shards = 1;
+  ServerConfig eight;
+  eight.shards = 8;
+  NwsServer s1(one);
+  NwsServer s8(eight);
+  ASSERT_EQ(s1.shard_count(), 1u);
+  ASSERT_EQ(s8.shard_count(), 8u);
+  for (const std::string& line : parity_script()) {
+    EXPECT_EQ(s1.handle_line(line), s8.handle_line(line)) << line;
+  }
+}
+
+/// Sends `wire` in one write over a fresh loopback connection and reads
+/// until `expected_lines` newline-terminated responses arrive.
+std::string pipeline_exchange(std::uint16_t port, const std::string& wire,
+                              std::size_t expected_lines) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t w =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    EXPECT_GT(w, 0) << "send failed";
+    if (w <= 0) break;
+    sent += static_cast<std::size_t>(w);
+  }
+  std::string rx;
+  char chunk[4096];
+  while (static_cast<std::size_t>(
+             std::count(rx.begin(), rx.end(), '\n')) < expected_lines) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    EXPECT_GT(n, 0) << "connection closed before all responses arrived";
+    if (n <= 0) break;
+    rx.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return rx;
+}
+
+TEST(ShardParity, PipelinedTcpResponsesOrderedAndByteIdentical) {
+  // One buffered write carrying the whole script: shards finish out of
+  // order, the per-connection slots must put responses back in request
+  // order, and the bytes must match the single-shard server exactly.
+  const std::vector<std::string> script = parity_script();
+  std::string wire;
+  for (const std::string& line : script) {
+    wire += line;
+    wire += '\n';
+  }
+  ServerConfig one;
+  one.shards = 1;
+  ServerConfig eight;
+  eight.shards = 8;
+  NwsServer s1(one);
+  NwsServer s8(eight);
+  const std::uint16_t p1 = s1.start(0);
+  const std::uint16_t p8 = s8.start(0);
+  ASSERT_NE(p1, 0);
+  ASSERT_NE(p8, 0);
+  const std::string r1 = pipeline_exchange(p1, wire, script.size());
+  const std::string r8 = pipeline_exchange(p8, wire, script.size());
+  EXPECT_EQ(r1, r8);
+  s1.stop();
+  s8.stop();
+}
+
+class ShardJournal : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nwscpu_shard_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  ServerConfig config(std::size_t shards, std::size_t group = 16) {
+    ServerConfig cfg;
+    cfg.memory_capacity = 1024;
+    cfg.journal_path = dir_ / "svc.journal";
+    cfg.shards = shards;
+    cfg.journal_group_size = group;
+    return cfg;
+  }
+
+  static void feed(NwsServer& server, std::size_t per_series) {
+    for (std::size_t i = 1; i <= per_series; ++i) {
+      for (int s = 0; s < 5; ++s) {
+        const std::string line =
+            "PUT host" + std::to_string(s) + "/cpu " +
+            std::to_string(10.0 * static_cast<double>(i)) + " 0.5";
+        ASSERT_EQ(server.handle_line(line), "OK");
+      }
+    }
+  }
+
+  static std::vector<std::string> forecasts(NwsServer& server) {
+    std::vector<std::string> out;
+    for (int s = 0; s < 5; ++s) {
+      out.push_back(
+          server.handle_line("FORECAST host" + std::to_string(s) + "/cpu"));
+    }
+    return out;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ShardJournal, SegmentedJournalSurvivesRestart) {
+  std::vector<std::string> before;
+  {
+    NwsServer server(config(4));
+    feed(server, 40);
+    before = forecasts(server);
+  }  // destructor syncs every segment
+  // Four segment files, no unsuffixed base file.
+  EXPECT_FALSE(fs::exists(dir_ / "svc.journal"));
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_TRUE(fs::exists(dir_ / ("svc.journal.shard" + std::to_string(k))))
+        << "segment " << k;
+  }
+  NwsServer reborn(config(4));
+  EXPECT_EQ(reborn.service().recovered(), 200u);
+  EXPECT_EQ(reborn.service().replay_skipped(), 0u);
+  EXPECT_EQ(forecasts(reborn), before);
+}
+
+TEST_F(ShardJournal, ReshardMigratesJournalLayout) {
+  std::vector<std::string> before;
+  {
+    // Written under the legacy single-file layout...
+    NwsServer server(config(1));
+    feed(server, 30);
+    before = forecasts(server);
+  }
+  EXPECT_TRUE(fs::exists(dir_ / "svc.journal"));
+  {
+    // ...restarted with 4 shards: lossless recovery, layout migrated.
+    NwsServer server(config(4));
+    EXPECT_EQ(server.service().recovered(), 150u);
+    EXPECT_EQ(forecasts(server), before);
+    EXPECT_FALSE(fs::exists(dir_ / "svc.journal"))
+        << "legacy file must be removed after migration";
+  }
+  {
+    // And back down to 2 shards: segments re-routed again.
+    NwsServer server(config(2));
+    EXPECT_EQ(server.service().recovered(), 150u);
+    EXPECT_EQ(forecasts(server), before);
+    EXPECT_FALSE(fs::exists(dir_ / "svc.journal.shard2"));
+    EXPECT_FALSE(fs::exists(dir_ / "svc.journal.shard3"));
+  }
+}
+
+TEST_F(ShardJournal, GroupCommitDurableAfterStop) {
+  // Fewer appends than the group size: nothing would hit disk without the
+  // drain/stop commits.
+  {
+    NwsServer server(config(2, /*group=*/1024));
+    ASSERT_EQ(server.handle_line("PUT a/cpu 10 0.5"), "OK");
+    ASSERT_EQ(server.handle_line("PUT b/cpu 10 0.5"), "OK");
+  }
+  NwsServer reborn(config(2, 1024));
+  EXPECT_EQ(reborn.service().recovered(), 2u);
+}
+
+TEST(ShardStats, CountsDropsAndTotalsPerSeries) {
+  NwsServer server;
+  EXPECT_EQ(server.handle_line("STATS"), "OK 0 0 0 0");
+  EXPECT_EQ(server.handle_line("PUT host/cpu 10 0.5"), "OK");
+  EXPECT_EQ(server.handle_line("PUT host/cpu 20 0.6"), "OK");
+  EXPECT_EQ(server.handle_line("PUT host/cpu 15 0.7"),
+            "ERR out-of-order measurement");
+  EXPECT_EQ(server.handle_line("PUT other/cpu 10 0.5"), "OK");
+  // series retained appended dropped
+  EXPECT_EQ(server.handle_line("STATS"), "OK 2 3 3 1");
+  EXPECT_EQ(server.handle_line("STATS host/cpu"), "OK 1 2 2 1");
+  EXPECT_EQ(server.handle_line("STATS other/cpu"), "OK 1 1 1 0");
+  EXPECT_EQ(server.handle_line("STATS nobody/cpu"), "ERR unknown series");
+}
+
+TEST(ShardStats, DroppedCountSurvivesRetentionEviction) {
+  // A tiny store: appended keeps counting past eviction, retained is
+  // bounded, dropped counts every out-of-order rejection.
+  NwsServer server(/*memory_capacity=*/4);
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(server.handle_line("PUT host/cpu " + std::to_string(10 * i) +
+                                 " 0.5"),
+              "OK");
+  }
+  EXPECT_EQ(server.handle_line("PUT host/cpu 5 0.5"),
+            "ERR out-of-order measurement");
+  EXPECT_EQ(server.handle_line("STATS host/cpu"), "OK 1 4 10 1");
+}
+
+TEST(ShardServer, PutBatchAppliesDedupsAndDrops) {
+  NwsServer server;
+  EXPECT_EQ(server.handle_line("PUTB host/cpu 3 1 10 0.5 20 0.6 30 0.7"),
+            "OK 3 0 0");
+  // Full replay: every sample already applied.
+  EXPECT_EQ(server.handle_line("PUTB host/cpu 3 1 10 0.5 20 0.6 30 0.7"),
+            "OK 0 3 0");
+  // Overlapping continuation: seq 3 is a dup, 4 and 5 apply.
+  EXPECT_EQ(server.handle_line("PUTB host/cpu 3 3 30 0.7 40 0.8 50 0.9"),
+            "OK 2 1 0");
+  // A fresh sequence with a stale timestamp acks as a duplicate — exactly
+  // the PUTS rule, which cannot tell late data from a replay after a
+  // restart — so a replayed outbox never double-counts.
+  EXPECT_EQ(server.handle_line("PUTS host/cpu 6 60 0.5"), "OK");
+  EXPECT_EQ(server.handle_line("PUTB host/cpu 2 7 55 0.5 70 0.5"),
+            "OK 1 1 0");
+  EXPECT_EQ(server.handle_line("STATS host/cpu"), "OK 1 7 7 0");
+}
+
+TEST(ShardServer, RespectsShardsEnvOverride) {
+  ::setenv("NWSCPU_SHARDS", "3", 1);
+  NwsServer server;  // ServerConfig::shards == 0 -> consult the env
+  EXPECT_EQ(server.shard_count(), 3u);
+  ::unsetenv("NWSCPU_SHARDS");
+  ServerConfig cfg;
+  cfg.shards = 5;
+  NwsServer pinned(cfg);
+  EXPECT_EQ(pinned.shard_count(), 5u);
+}
+
+TEST(ShardServer, ConcurrentClientsSeeExactCounts) {
+  // The TSan target: 4 client threads hammer a 4-shard server over TCP
+  // (distinct series per thread, so they exercise distinct shard queues),
+  // while a fifth repeatedly reads cross-shard totals.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  ServerConfig cfg;
+  cfg.shards = 4;
+  NwsServer server(cfg);
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([port, w] {
+      NwsClient client;
+      ASSERT_TRUE(client.connect(port));
+      const std::string series = "writer" + std::to_string(w) + "/cpu";
+      std::vector<Measurement> batch;
+      for (int i = 1; i <= kPerThread; ++i) {
+        if (i % 2 == 0) {
+          EXPECT_TRUE(client.put(series, {10.0 * i, 0.5}));
+        } else {
+          batch.assign(1, Measurement{10.0 * i, 0.5});
+          const auto reply = client.put_batch(
+              series, batch, static_cast<std::uint64_t>(i));
+          ASSERT_TRUE(reply.has_value());
+          EXPECT_EQ(reply->applied, 1u);
+        }
+        if (i % 50 == 0) (void)client.forecast(series);
+      }
+      client.disconnect();
+    });
+  }
+  std::thread reader([port] {
+    NwsClient client;
+    ASSERT_TRUE(client.connect(port));
+    for (int i = 0; i < 50; ++i) {
+      (void)client.stats();
+      (void)client.series();
+    }
+    client.disconnect();
+  });
+  for (std::thread& t : writers) t.join();
+  reader.join();
+
+  NwsClient client;
+  ASSERT_TRUE(client.connect(port));
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->series, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(stats->appended,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats->dropped, 0u);
+  client.disconnect();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace nws
