@@ -44,8 +44,7 @@ int main() {
     for (std::size_t k = 0; k <= kLags && k < acf.size(); k += 40) {
       std::printf(" %6.3f", acf[k]);
     }
-    const AcfDecay decay =
-        acf_decay(trace.load_series.values(), kLags, 0.2);
+    const AcfDecay decay = acf_decay(acf, 0.2);
     std::printf("\n  first lag with acf < 0.2: %zu of %zu computed "
                 "(value at lag %zu: %.3f)\n",
                 decay.first_below, decay.lags_computed, kLags,

@@ -24,8 +24,7 @@ int main() {
     auto host = make_ucsd_host(h, experiment_seed());
     const HostTrace trace = run_experiment(*host, week_config());
     const auto points = pox_points(trace.load_series.values());
-    const HurstEstimate est =
-        estimate_hurst_rs(trace.load_series.values());
+    const HurstEstimate est = estimate_hurst_from_pox(points);
 
     CsvTable table;
     table.headers = {"log10_d", "log10_rs"};

@@ -1,11 +1,35 @@
-// Microbenchmarks: time-series analysis kernels (ACF, R/S pox analysis,
-// aggregation, Hurst estimation) at the series sizes the reproduction uses
-// (8 640 samples = 24 h of 10-second measurements; 60 480 = one week).
+// Microbenchmarks: time-series analysis kernels (ACF, periodogram, R/S pox
+// analysis, aggregation, Hurst estimation, fGn synthesis) at the series
+// sizes the reproduction uses (8 640 samples = 24 h of 10-second
+// measurements; 60 480 = one week).
+//
+// The spectral kernels are benchmarked twice: the production FFT-backed
+// path (Wiener-Khinchin ACF, Bluestein periodogram, Davies-Harte fGn,
+// prefix-sum pox sweep) and the direct-sum / O(n^2) baselines the seed
+// shipped.  The *Naive / fast pairs quantify the speedup.
+//
+// Besides the google-benchmark output (JSON to <NWSCPU_OUT or bench_out>/
+// micro_tsa.json unless the caller passes --benchmark_out), main() times
+// the headline before/after pairs with a plain chrono loop and writes
+// BENCH_tsa.json with explicit speedup fields, in the same spirit as
+// net_throughput's BENCH_net.json.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "tsa/aggregate.hpp"
 #include "tsa/autocorrelation.hpp"
 #include "tsa/fgn.hpp"
+#include "tsa/periodogram.hpp"
 #include "tsa/rs_analysis.hpp"
 #include "util/rng.hpp"
 
@@ -23,6 +47,35 @@ void BM_Acf360(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Acf360)->Arg(8640)->Arg(60480);
+
+void BM_Acf360Naive(benchmark::State& state) {
+  const auto xs = ar1_series(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nws::autocorrelations_naive(xs, 360));
+  }
+}
+BENCHMARK(BM_Acf360Naive)->Arg(8640)->Arg(60480);
+
+// GPH bandwidth at one week: floor(60480^0.5) = 245 ordinates.
+void BM_Periodogram(benchmark::State& state) {
+  const auto xs = ar1_series(static_cast<std::size_t>(state.range(0)));
+  const auto count = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(xs.size())));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nws::periodogram(xs, count));
+  }
+}
+BENCHMARK(BM_Periodogram)->Arg(8640)->Arg(60480);
+
+void BM_PeriodogramNaive(benchmark::State& state) {
+  const auto xs = ar1_series(static_cast<std::size_t>(state.range(0)));
+  const auto count = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(xs.size())));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nws::periodogram_naive(xs, count));
+  }
+}
+BENCHMARK(BM_PeriodogramNaive)->Arg(8640)->Arg(60480);
 
 void BM_PoxPoints(benchmark::State& state) {
   const auto xs = ar1_series(static_cast<std::size_t>(state.range(0)));
@@ -49,15 +102,175 @@ void BM_Aggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_Aggregate)->Arg(30)->Arg(360);
 
+void BM_FgnDaviesHarte(benchmark::State& state) {
+  for (auto _ : state) {
+    nws::Rng rng(7);
+    benchmark::DoNotOptimize(
+        nws::generate_fgn(rng, 0.8, static_cast<std::size_t>(state.range(0)),
+                          nws::FgnMethod::kDaviesHarte));
+  }
+}
+BENCHMARK(BM_FgnDaviesHarte)->Arg(1024)->Arg(4096)->Arg(60480);
+
 void BM_FgnHosking(benchmark::State& state) {
   for (auto _ : state) {
     nws::Rng rng(7);
     benchmark::DoNotOptimize(
-        nws::generate_fgn(rng, 0.8, static_cast<std::size_t>(state.range(0))));
+        nws::generate_fgn(rng, 0.8, static_cast<std::size_t>(state.range(0)),
+                          nws::FgnMethod::kHosking));
   }
 }
 BENCHMARK(BM_FgnHosking)->Arg(1024)->Arg(4096);
 
+// ---------------------------------------------------------------------------
+// BENCH_tsa.json: headline before/after pairs with explicit speedups.
+
+/// Best-of-k wall time of fn(), in nanoseconds.
+template <typename Fn>
+double time_ns(Fn&& fn, int reps) {
+  using Clock = std::chrono::steady_clock;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    benchmark::DoNotOptimize(fn());
+    const auto dt = std::chrono::duration<double, std::nano>(Clock::now() - t0);
+    if (r == 0 || dt.count() < best) best = dt.count();
+  }
+  return best;
+}
+
+struct Pair {
+  const char* name;
+  double baseline_ns = 0.0;
+  double fast_ns = 0.0;
+  [[nodiscard]] double speedup() const {
+    return fast_ns > 0.0 ? baseline_ns / fast_ns : 0.0;
+  }
+};
+
+void write_bench_tsa_json() {
+  constexpr std::size_t kWeek = 60480;
+  constexpr std::size_t kLags = 360;
+  constexpr std::size_t kFgnN = 4096;
+  const int reps = [] {
+    if (const char* env = std::getenv("NWSCPU_TSA_REPS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    return 5;
+  }();
+
+  const auto xs = ar1_series(kWeek);
+  const auto count =
+      static_cast<std::size_t>(std::sqrt(static_cast<double>(kWeek)));
+
+  Pair acf{"acf"};
+  acf.baseline_ns =
+      time_ns([&] { return nws::autocorrelations_naive(xs, kLags); }, reps);
+  acf.fast_ns =
+      time_ns([&] { return nws::autocorrelations(xs, kLags); }, reps);
+
+  Pair fgn{"fgn"};
+  fgn.baseline_ns = time_ns(
+      [&] {
+        nws::Rng rng(7);
+        return nws::generate_fgn(rng, 0.8, kFgnN, nws::FgnMethod::kHosking);
+      },
+      reps);
+  fgn.fast_ns = time_ns(
+      [&] {
+        nws::Rng rng(7);
+        return nws::generate_fgn(rng, 0.8, kFgnN,
+                                 nws::FgnMethod::kDaviesHarte);
+      },
+      reps);
+
+  Pair pgram{"periodogram"};
+  pgram.baseline_ns =
+      time_ns([&] { return nws::periodogram_naive(xs, count); }, reps);
+  pgram.fast_ns = time_ns([&] { return nws::periodogram(xs, count); }, reps);
+
+  // Pox baseline: the per-segment formulation (rescaled_range on each
+  // segment) versus the shared-prefix-sum sweep the library now runs.
+  Pair pox{"pox"};
+  pox.baseline_ns = time_ns(
+      [&] {
+        std::vector<nws::PoxPoint> points;
+        const nws::RsOptions opt;
+        for (std::size_t d : nws::geometric_scales(
+                 opt.min_segment, xs.size() / opt.max_segment_divisor,
+                 opt.growth)) {
+          for (std::size_t off = 0; off + d <= xs.size(); off += d) {
+            const double rs = nws::rescaled_range(
+                std::span<const double>(xs).subspan(off, d));
+            if (rs > 0.0) {
+              points.push_back({std::log10(static_cast<double>(d)),
+                                std::log10(rs)});
+            }
+          }
+        }
+        return points;
+      },
+      reps);
+  pox.fast_ns = time_ns([&] { return nws::pox_points(xs); }, reps);
+
+  std::string dir = "bench_out";
+  if (const char* env = std::getenv("NWSCPU_OUT")) dir = env;
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/BENCH_tsa.json";
+  std::ofstream json(path, std::ios::trunc);
+  json << "{\n  \"bench\": \"micro_tsa\",\n  \"reps\": " << reps << ",\n";
+  json << "  \"acf\": {\"n\": " << kWeek << ", \"lags\": " << kLags
+       << ", \"naive_ns\": " << acf.baseline_ns
+       << ", \"fft_ns\": " << acf.fast_ns
+       << ", \"speedup\": " << acf.speedup() << "},\n";
+  json << "  \"fgn\": {\"n\": " << kFgnN << ", \"h\": 0.8"
+       << ", \"hosking_ns\": " << fgn.baseline_ns
+       << ", \"davies_harte_ns\": " << fgn.fast_ns
+       << ", \"speedup\": " << fgn.speedup() << "},\n";
+  json << "  \"periodogram\": {\"n\": " << kWeek << ", \"count\": " << count
+       << ", \"naive_ns\": " << pgram.baseline_ns
+       << ", \"fft_ns\": " << pgram.fast_ns
+       << ", \"speedup\": " << pgram.speedup() << "},\n";
+  json << "  \"pox\": {\"n\": " << kWeek
+       << ", \"per_segment_ns\": " << pox.baseline_ns
+       << ", \"prefix_ns\": " << pox.fast_ns
+       << ", \"speedup\": " << pox.speedup() << "}\n";
+  json << "}\n";
+  json.close();
+
+  std::printf("spectral-kernel speedups (best of %d):\n", reps);
+  for (const Pair& p : {acf, fgn, pgram, pox}) {
+    std::printf("  %-12s %12.0f ns -> %10.0f ns  (%.1fx)\n", p.name,
+                p.baseline_ns, p.fast_ns, p.speedup());
+  }
+  std::printf("wrote %s\n\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_bench_tsa_json();
+
+  bool user_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) user_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!user_out) {
+    std::string dir = "bench_out";
+    if (const char* env = std::getenv("NWSCPU_OUT")) dir = env;
+    std::filesystem::create_directories(dir);
+    out_flag = "--benchmark_out=" + dir + "/micro_tsa.json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

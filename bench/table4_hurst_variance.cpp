@@ -7,6 +7,7 @@
 // self-similarity, per Dinda & O'Halloran); aggregation lowers the
 // variance — but, because the series are self-similar, slowly: the
 // variance of X^(m) decays like m^(2H-2), not like 1/m.
+#include <cstdio>
 #include <iostream>
 
 #include "common/experiment_common.hpp"
@@ -29,9 +30,12 @@ int main() {
   TextTable table;
   table.add_row({"Host", "Est. H", "load orig", "load 300s", "vm orig",
                  "vm 300s", "hyb orig", "hyb 300s"});
+  std::vector<SelfSimilaritySummary> selfsim;
+  selfsim.reserve(day_fleet.size());
   for (std::size_t i = 0; i < day_fleet.size(); ++i) {
-    const HurstEstimate est =
-        estimate_hurst_rs(week_fleet[i].trace.load_series.values());
+    selfsim.push_back(
+        self_similarity(week_fleet[i].trace.load_series.values()));
+    const HurstEstimate& est = selfsim.back().rs;
     const MethodTriple orig = series_variance(day_fleet[i].trace);
     const MethodTriple agg =
         aggregated_variance(day_fleet[i].trace, kAggregation);
@@ -43,6 +47,15 @@ int main() {
                    TextTable::num(orig.hybrid), TextTable::num(agg.hybrid)});
   }
   table.print(std::cout);
+
+  std::cout << "\nHurst cross-checks on the one-week load series "
+               "(agg-var | GPH | first lag with ACF < 0.2):\n";
+  for (std::size_t i = 0; i < day_fleet.size(); ++i) {
+    const SelfSimilaritySummary& s = selfsim[i];
+    std::printf("  %-10s %.2f | %.2f | %zu of %zu\n",
+                host_name(day_fleet[i].host).c_str(), s.aggvar.hurst,
+                s.gph.hurst, s.acf.first_below, s.acf.lags_computed);
+  }
 
   std::cout << "\nShape checks:\n"
             << "  every H in (0.5, 1.0): long-range autocorrelation / "

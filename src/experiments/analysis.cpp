@@ -123,4 +123,15 @@ double nws_prediction_mae(std::span<const double> values) {
   return prediction_error_one(values);
 }
 
+SelfSimilaritySummary self_similarity(std::span<const double> values,
+                                      std::size_t acf_lags,
+                                      double acf_threshold) {
+  SelfSimilaritySummary out;
+  out.rs = estimate_hurst_rs(values);
+  out.aggvar = estimate_hurst_aggvar(values);
+  out.gph = estimate_hurst_periodogram(values);
+  out.acf = acf_decay(values, acf_lags, acf_threshold);
+  return out;
+}
+
 }  // namespace nws

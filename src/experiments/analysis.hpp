@@ -13,6 +13,8 @@
 
 #include "experiments/runner.hpp"
 #include "forecast/forecaster.hpp"
+#include "tsa/autocorrelation.hpp"
+#include "tsa/periodogram.hpp"
 #include "tsa/series.hpp"
 
 namespace nws {
@@ -59,5 +61,22 @@ struct MethodTriple {
 /// Helper shared with the benches: mean absolute one-step-ahead error of a
 /// fresh canonical NWS forecaster over `values` (Equation 5 for any series).
 [[nodiscard]] double nws_prediction_mae(std::span<const double> values);
+
+/// Every self-similarity instrument the paper's Section 3 analysis uses,
+/// computed in one call over one series: the three Hurst estimators (R/S
+/// pox regression, aggregated variance, log-periodogram/GPH) plus the ACF
+/// decay summary.  All four run on the FFT-backed spectral kernels, so the
+/// whole bundle is O(n log n) — cheap enough to evaluate per host in the
+/// figure pipeline (Figure 2/3, Table 4).
+struct SelfSimilaritySummary {
+  HurstEstimate rs;      ///< R/S pox regression (Figure 3 / Table 4)
+  HurstEstimate aggvar;  ///< aggregated-variance cross-check
+  HurstEstimate gph;     ///< log-periodogram (GPH) cross-check
+  AcfDecay acf;          ///< Figure 2 decay summary
+};
+
+[[nodiscard]] SelfSimilaritySummary self_similarity(
+    std::span<const double> values, std::size_t acf_lags = 360,
+    double acf_threshold = 0.2);
 
 }  // namespace nws

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "tsa/rs_analysis.hpp"
 #include "util/stats.hpp"
 
 namespace nws {
@@ -32,12 +33,7 @@ std::vector<VariancePoint> variance_time(std::span<const double> xs,
                                          double growth) {
   std::vector<VariancePoint> out;
   if (xs.size() < 4 || growth <= 1.0) return out;
-  std::size_t prev_m = 0;
-  for (double mm = 1.0; mm <= static_cast<double>(xs.size() / 4);
-       mm *= growth) {
-    const auto m = static_cast<std::size_t>(mm);
-    if (m == prev_m) continue;
-    prev_m = m;
+  for (const std::size_t m : geometric_scales(1, xs.size() / 4, growth)) {
     const auto agg = aggregate_series(xs, m);
     out.push_back({m, variance(agg)});
   }

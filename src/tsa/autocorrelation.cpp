@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <complex>
 
+#include "util/fft.hpp"
 #include "util/stats.hpp"
 
 namespace nws {
@@ -17,6 +19,9 @@ bool effectively_constant(std::span<const double> xs, double m,
   const double scale = std::max(std::abs(m), 1e-300);
   return denom <= 1e-20 * scale * scale * static_cast<double>(xs.size());
 }
+
+/// Below this many multiply-adds the direct sum beats the transform setup.
+constexpr std::size_t kDirectSumCutoff = 1 << 15;
 
 }  // namespace
 
@@ -34,8 +39,8 @@ double autocorrelation(std::span<const double> xs, std::size_t lag) noexcept {
   return num / denom;
 }
 
-std::vector<double> autocorrelations(std::span<const double> xs,
-                                     std::size_t max_lag) {
+std::vector<double> autocorrelations_naive(std::span<const double> xs,
+                                           std::size_t max_lag) {
   const std::size_t n = xs.size();
   std::vector<double> out;
   if (n < 2) return out;
@@ -58,10 +63,44 @@ std::vector<double> autocorrelations(std::span<const double> xs,
   return out;
 }
 
-AcfDecay acf_decay(std::span<const double> xs, std::size_t max_lag,
-                   double threshold) {
+std::vector<double> autocorrelations(std::span<const double> xs,
+                                     std::size_t max_lag) {
+  const std::size_t n = xs.size();
+  std::vector<double> out;
+  if (n < 2) return out;
+  const std::size_t lags = std::min(max_lag, n - 1);
+  if (n * (lags + 1) <= kDirectSumCutoff) {
+    return autocorrelations_naive(xs, max_lag);
+  }
+  const double m = mean(xs);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - m) * (x - m);
+  if (denom <= 0.0 || effectively_constant(xs, m, denom)) {
+    out.assign(lags + 1, 0.0);
+    return out;
+  }
+  // Wiener-Khinchin: pad the centred series to N >= n + lags so the
+  // circular autocorrelation of the padded buffer equals the linear one
+  // at every lag 0..lags; then acov = IFFT(|FFT(y)|^2).
+  const std::size_t fft_n = next_pow2(n + lags);
+  std::vector<double> centred(n);
+  for (std::size_t t = 0; t < n; ++t) centred[t] = xs[t] - m;
+  const auto spectrum = real_fft(centred, fft_n);
+  std::vector<std::complex<double>> power(spectrum.size());
+  for (std::size_t k = 0; k < spectrum.size(); ++k) {
+    power[k] = {spectrum[k].real() * spectrum[k].real() +
+                    spectrum[k].imag() * spectrum[k].imag(),
+                0.0};
+  }
+  const auto acov = real_ifft(power, fft_n);
+  out.resize(lags + 1);
+  const double scale = 1.0 / acov[0];  // acov[0] = sum (x - m)^2; r(0) = 1
+  for (std::size_t k = 0; k <= lags; ++k) out[k] = acov[k] * scale;
+  return out;
+}
+
+AcfDecay acf_decay(std::span<const double> acf, double threshold) noexcept {
   AcfDecay d;
-  const auto acf = autocorrelations(xs, max_lag);
   d.lags_computed = acf.size();
   d.first_below = acf.size();
   for (std::size_t k = 0; k < acf.size(); ++k) {
@@ -72,6 +111,12 @@ AcfDecay acf_decay(std::span<const double> xs, std::size_t max_lag,
   }
   d.value_at_last = acf.empty() ? 0.0 : acf.back();
   return d;
+}
+
+AcfDecay acf_decay(std::span<const double> xs, std::size_t max_lag,
+                   double threshold) {
+  const auto acf = autocorrelations(xs, max_lag);
+  return acf_decay(acf, threshold);
 }
 
 }  // namespace nws

@@ -5,6 +5,14 @@
 // dependence.  We use the standard biased sample ACF estimator
 //   r(k) = sum_{t} (x_t - m)(x_{t+k} - m) / sum_t (x_t - m)^2
 // which guarantees |r(k)| <= 1 and a positive semi-definite sequence.
+//
+// The vector form is FFT-backed (Wiener-Khinchin): the series is centred,
+// zero-padded to a power of two >= n + max_lag so circular correlation
+// equals linear at every requested lag, transformed, squared bin-wise and
+// transformed back — O(n log n) for any number of lags, versus the
+// O(n * max_lag) direct sum.  Small inputs fall back to the direct sum,
+// which stays exported as `autocorrelations_naive` for cross-checks and
+// benchmarks.
 #pragma once
 
 #include <cstddef>
@@ -14,13 +22,21 @@
 namespace nws {
 
 /// ACF at a single lag k (k < n).  Returns 0 for a constant or too-short
-/// series.  r(0) == 1 for any non-constant series.
+/// series.  r(0) == 1 for any non-constant series.  Direct O(n) sum — the
+/// optimum when only one lag is wanted.
 [[nodiscard]] double autocorrelation(std::span<const double> xs,
                                      std::size_t lag) noexcept;
 
 /// ACF for lags 0..max_lag inclusive (max_lag clamped to n-1).
+/// FFT-backed; agrees with `autocorrelations_naive` to ~1e-12.
 [[nodiscard]] std::vector<double> autocorrelations(std::span<const double> xs,
                                                    std::size_t max_lag);
+
+/// Reference O(n * max_lag) direct-sum ACF.  Kept for randomized
+/// equivalence tests and as the benchmark baseline; prefer
+/// `autocorrelations` everywhere else.
+[[nodiscard]] std::vector<double> autocorrelations_naive(
+    std::span<const double> xs, std::size_t max_lag);
 
 /// Summary of ACF decay used by the experiment reports: the first lag at
 /// which the ACF drops below `threshold`, or `lags_computed` if it never
@@ -33,5 +49,11 @@ struct AcfDecay {
 
 [[nodiscard]] AcfDecay acf_decay(std::span<const double> xs,
                                  std::size_t max_lag, double threshold);
+
+/// Same summary from an already-computed ACF (as returned by
+/// `autocorrelations`), so callers that need both the curve and the decay
+/// summary compute the transform once.
+[[nodiscard]] AcfDecay acf_decay(std::span<const double> acf,
+                                 double threshold) noexcept;
 
 }  // namespace nws

@@ -2,21 +2,16 @@
 
 #include <cassert>
 #include <cmath>
+#include <complex>
 
 #include "util/distributions.hpp"
+#include "util/fft.hpp"
 
 namespace nws {
 
-double fgn_autocovariance(double h, std::size_t k) noexcept {
-  if (k == 0) return 1.0;
-  const double kd = static_cast<double>(k);
-  const double two_h = 2.0 * h;
-  return 0.5 * (std::pow(kd + 1.0, two_h) - 2.0 * std::pow(kd, two_h) +
-                std::pow(kd - 1.0, two_h));
-}
+namespace {
 
-std::vector<double> generate_fgn(Rng& rng, double h, std::size_t n) {
-  assert(h > 0.0 && h < 1.0);
+std::vector<double> generate_fgn_hosking(Rng& rng, double h, std::size_t n) {
   std::vector<double> x;
   x.reserve(n);
   if (n == 0) return x;
@@ -52,6 +47,71 @@ std::vector<double> generate_fgn(Rng& rng, double h, std::size_t n) {
     x.push_back(mu + std::sqrt(std::max(v, 0.0)) * sample_normal(rng));
   }
   return x;
+}
+
+std::vector<double> generate_fgn_davies_harte(Rng& rng, double h,
+                                              std::size_t n) {
+  const std::size_t m = next_pow2(n);
+  const std::size_t big = 2 * m;  // circulant embedding size
+  // First row of the circulant: gamma(0..m) mirrored back to gamma(1).
+  std::vector<double> row(big);
+  for (std::size_t k = 0; k <= m; ++k) row[k] = fgn_autocovariance(h, k);
+  for (std::size_t k = 1; k < m; ++k) row[big - k] = row[k];
+  // Eigenvalues of the circulant are the (real) DFT of its first row.
+  const auto eigen = real_fft(row, big);
+  // The fGn embedding is nonnegative definite for 0 < h < 1; only clamp
+  // the rounding residue.  A genuinely negative eigenvalue would mean a
+  // broken covariance, so fail over to the exact O(n^2) path.
+  double max_eigen = 0.0;
+  for (const auto& e : eigen) max_eigen = std::max(max_eigen, e.real());
+  for (const auto& e : eigen) {
+    if (e.real() < -1e-8 * max_eigen) return generate_fgn_hosking(rng, h, n);
+  }
+  // Hermitian half-spectrum of the draw: independent Gaussians scaled so
+  // that E|A_k|^2 = big * lambda_k; transforming back (real_ifft carries
+  // 1/big) leaves E[x_i x_j] = row[|i - j|] = gamma(|i - j|) exactly.
+  std::vector<std::complex<double>> a(m + 1);
+  a[0] = {std::sqrt(std::max(eigen[0].real(), 0.0) *
+                    static_cast<double>(big)) *
+              sample_normal(rng),
+          0.0};
+  for (std::size_t k = 1; k < m; ++k) {
+    const double s = std::sqrt(std::max(eigen[k].real(), 0.0) *
+                               static_cast<double>(big) * 0.5);
+    const double re = s * sample_normal(rng);
+    const double im = s * sample_normal(rng);
+    a[k] = {re, im};
+  }
+  a[m] = {std::sqrt(std::max(eigen[m].real(), 0.0) *
+                    static_cast<double>(big)) *
+              sample_normal(rng),
+          0.0};
+  auto x = real_ifft(a, big);
+  x.resize(n);
+  return x;
+}
+
+}  // namespace
+
+double fgn_autocovariance(double h, std::size_t k) noexcept {
+  if (k == 0) return 1.0;
+  const double kd = static_cast<double>(k);
+  const double two_h = 2.0 * h;
+  return 0.5 * (std::pow(kd + 1.0, two_h) - 2.0 * std::pow(kd, two_h) +
+                std::pow(kd - 1.0, two_h));
+}
+
+std::vector<double> generate_fgn(Rng& rng, double h, std::size_t n,
+                                 FgnMethod method) {
+  assert(h > 0.0 && h < 1.0);
+  if (n == 0) return {};
+  switch (method) {
+    case FgnMethod::kHosking:
+      return generate_fgn_hosking(rng, h, n);
+    case FgnMethod::kDaviesHarte:
+      break;
+  }
+  return generate_fgn_davies_harte(rng, h, n);
 }
 
 std::vector<double> generate_ar1(Rng& rng, double phi, std::size_t n) {

@@ -1,15 +1,29 @@
-// Fractional Gaussian noise generation (Hosking's method).
+// Fractional Gaussian noise generation.
 //
 // fGn with Hurst parameter H is the canonical exactly-self-similar series;
 // nwscpu uses it to *validate* the Hurst estimators (R/S pox regression and
 // aggregated variance) against a known ground truth, mirroring how the
 // self-similarity literature the paper cites calibrates its estimators.
 //
-// Hosking's method draws each sample from the exact conditional Gaussian
-// distribution given all previous samples via the Durbin-Levinson recursion
-// on the fGn autocovariance
-//   gamma(k) = 0.5 * (|k+1|^{2H} - 2|k|^{2H} + |k-1|^{2H}).
-// It is O(n^2) time / O(n) memory: exact, and fast enough for test-sized n.
+// Two exact generators are provided:
+//
+//   * Davies-Harte (the default): embeds the fGn autocovariance
+//       gamma(k) = 0.5 * (|k+1|^{2H} - 2|k|^{2H} + |k-1|^{2H})
+//     in a circulant matrix of size 2m (m the next power of two >= n),
+//     whose eigenvalues are one real FFT of the covariance row.  Scaling
+//     independent Gaussians by the square-rooted eigenvalues and
+//     transforming back yields a draw with *exactly* the target
+//     covariance in O(n log n) time.  For fGn the circulant embedding is
+//     nonnegative definite across 0 < H < 1, so no approximation is
+//     involved.
+//
+//   * Hosking's method: draws each sample from the exact conditional
+//     Gaussian distribution given all previous samples via the
+//     Durbin-Levinson recursion.  O(n^2) time / O(n) memory; kept as an
+//     algorithmically independent cross-check path.
+//
+// Both are deterministic given the Rng; they consume the stream
+// differently, so the same seed produces different (equally exact) paths.
 #pragma once
 
 #include <cstddef>
@@ -22,10 +36,17 @@ namespace nws {
 /// Autocovariance of unit-variance fGn at lag k for Hurst parameter h.
 [[nodiscard]] double fgn_autocovariance(double h, std::size_t k) noexcept;
 
+/// Which exact fGn sampler to run.
+enum class FgnMethod {
+  kDaviesHarte,  ///< circulant embedding, O(n log n) — the default
+  kHosking,      ///< Durbin-Levinson conditional draws, O(n^2) cross-check
+};
+
 /// Generates n samples of zero-mean, unit-variance fGn with Hurst h.
 /// Requires 0 < h < 1; h = 0.5 degenerates to white noise.
-[[nodiscard]] std::vector<double> generate_fgn(Rng& rng, double h,
-                                               std::size_t n);
+[[nodiscard]] std::vector<double> generate_fgn(
+    Rng& rng, double h, std::size_t n,
+    FgnMethod method = FgnMethod::kDaviesHarte);
 
 /// AR(1) series x_t = phi * x_{t-1} + e_t with unit-variance innovations.
 /// Short-memory comparison series for estimator tests (its true H is 0.5

@@ -2,14 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <complex>
 #include <numbers>
 
+#include "util/fft.hpp"
 #include "util/stats.hpp"
 
 namespace nws {
 
-std::vector<double> periodogram(std::span<const double> xs,
-                                std::size_t count) {
+namespace {
+
+/// Below this many rotate-accumulate steps the direct sum wins.
+constexpr std::size_t kDirectSumCutoff = 1 << 15;
+
+}  // namespace
+
+std::vector<double> periodogram_naive(std::span<const double> xs,
+                                      std::size_t count) {
   const std::size_t n = xs.size();
   std::vector<double> out;
   if (n < 2 || count == 0) return out;
@@ -37,6 +46,30 @@ std::vector<double> periodogram(std::span<const double> xs,
     }
     out.push_back((re * re + im * im) /
                   (2.0 * std::numbers::pi * static_cast<double>(n)));
+  }
+  return out;
+}
+
+std::vector<double> periodogram(std::span<const double> xs,
+                                std::size_t count) {
+  const std::size_t n = xs.size();
+  std::vector<double> out;
+  if (n < 2 || count == 0) return out;
+  const std::size_t j_max = std::min(count, n / 2);
+  if (n * j_max <= kDirectSumCutoff) return periodogram_naive(xs, count);
+  // One exact n-point DFT of the centred series covers every requested
+  // Fourier frequency 2*pi*j/n at once: real_fft when n is a power of
+  // two, Bluestein's chirp-z otherwise (see util/fft.hpp).
+  const double m = mean(xs);
+  std::vector<double> centred(n);
+  for (std::size_t t = 0; t < n; ++t) centred[t] = xs[t] - m;
+  const auto bins = dft_real(centred, j_max + 1);
+  out.reserve(j_max);
+  const double scale = 1.0 / (2.0 * std::numbers::pi * static_cast<double>(n));
+  for (std::size_t j = 1; j <= j_max; ++j) {
+    out.push_back((bins[j].real() * bins[j].real() +
+                   bins[j].imag() * bins[j].imag()) *
+                  scale);
   }
   return out;
 }

@@ -20,9 +20,16 @@ namespace nws {
 
 /// Periodogram ordinate I(l_j) = |sum_t x_t e^{-i l_j t}|^2 / (2 pi n) at
 /// the j-th Fourier frequency l_j = 2 pi j / n, for j = 1..count.  The
-/// series is mean-centred first.  Direct DFT: O(n * count).
+/// series is mean-centred first.  FFT-backed (real_fft for power-of-two n,
+/// Bluestein's chirp-z otherwise), so the exact Fourier frequencies cost
+/// O(n log n) at any length; small inputs use the direct rotated DFT.
 [[nodiscard]] std::vector<double> periodogram(std::span<const double> xs,
                                               std::size_t count);
+
+/// Reference O(n * count) rotated-DFT periodogram.  Kept for randomized
+/// equivalence tests and as the benchmark baseline.
+[[nodiscard]] std::vector<double> periodogram_naive(
+    std::span<const double> xs, std::size_t count);
 
 /// GPH estimate using the lowest floor(n^bandwidth_exponent) Fourier
 /// frequencies (the customary choice is 0.5).  Returns the same structure

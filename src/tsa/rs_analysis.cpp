@@ -9,22 +9,46 @@
 
 namespace nws {
 
+std::vector<std::size_t> geometric_scales(std::size_t min_scale,
+                                          std::size_t max_scale,
+                                          double growth) {
+  std::vector<std::size_t> out;
+  if (min_scale > max_scale) return out;
+  if (growth <= 1.0) {
+    out.push_back(min_scale);
+    return out;
+  }
+  std::size_t prev = 0;
+  for (double dd = static_cast<double>(min_scale);
+       dd <= static_cast<double>(max_scale); dd *= growth) {
+    const auto d = static_cast<std::size_t>(dd);
+    if (d == prev) continue;
+    prev = d;
+    out.push_back(d);
+  }
+  return out;
+}
+
 double rescaled_range(std::span<const double> xs) noexcept {
   const std::size_t n = xs.size();
   if (n < 2) return 0.0;
   const double m = mean(xs);
-  const double s = stddev(xs);
-  if (s <= 0.0) return 0.0;
-  // Range of the mean-adjusted cumulative sums W_k = sum_{i<=k}(x_i - m),
-  // including the empty prefix W_0 = 0 per Mandelbrot & Taqqu.
+  // One fused pass: variance accumulator plus the range of the
+  // mean-adjusted cumulative sums W_k = sum_{i<=k}(x_i - m), including the
+  // empty prefix W_0 = 0 per Mandelbrot & Taqqu.
+  double sq = 0.0;
   double w = 0.0;
   double w_min = 0.0;
   double w_max = 0.0;
   for (double x : xs) {
-    w += x - m;
+    const double c = x - m;
+    sq += c * c;
+    w += c;
     w_min = std::min(w_min, w);
     w_max = std::max(w_max, w);
   }
+  const double s = std::sqrt(sq / static_cast<double>(n));
+  if (s <= 0.0) return 0.0;
   return (w_max - w_min) / s;
 }
 
@@ -35,25 +59,51 @@ std::vector<PoxPoint> pox_points(std::span<const double> xs,
   if (n < 2 * std::max<std::size_t>(opt.min_segment, 2)) return out;
   const std::size_t max_d =
       n / std::max<std::size_t>(opt.max_segment_divisor, 1);
-  std::size_t prev_d = 0;
-  for (double dd = static_cast<double>(std::max<std::size_t>(opt.min_segment, 2));
-       dd <= static_cast<double>(max_d); dd *= opt.growth) {
-    const auto d = static_cast<std::size_t>(dd);
-    if (d == prev_d) continue;
-    prev_d = d;
+  // Prefix sums of the globally centred series and its square.  Centring
+  // by the global mean keeps the sums small so the O(1) per-segment
+  // moments below don't cancel catastrophically.
+  const double grand_mean = mean(xs);
+  std::vector<double> p1(n + 1, 0.0);
+  std::vector<double> p2(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = xs[i] - grand_mean;
+    p1[i + 1] = p1[i] + c;
+    p2[i + 1] = p2[i] + c * c;
+  }
+  for (const std::size_t d :
+       geometric_scales(std::max<std::size_t>(opt.min_segment, 2), max_d,
+                        opt.growth)) {
+    const double log10_d = std::log10(static_cast<double>(d));
+    const double inv_d = 1.0 / static_cast<double>(d);
     for (std::size_t off = 0; off + d <= n; off += d) {
-      const double rs = rescaled_range(xs.subspan(off, d));
+      // Segment moments in O(1) from the prefix sums.
+      const double sum = p1[off + d] - p1[off];
+      const double sumsq = p2[off + d] - p2[off];
+      const double seg_mean = sum * inv_d;
+      const double var = sumsq * inv_d - seg_mean * seg_mean;
+      if (var <= 0.0) continue;
+      const double s = std::sqrt(var);
+      // Range of W_k = (p1[off+k] - p1[off]) - k * seg_mean, k = 0..d.
+      double w_min = 0.0;
+      double w_max = 0.0;
+      double drift = 0.0;
+      const double base = p1[off];
+      for (std::size_t k = 1; k <= d; ++k) {
+        drift += seg_mean;
+        const double w = p1[off + k] - base - drift;
+        w_min = std::min(w_min, w);
+        w_max = std::max(w_max, w);
+      }
+      const double rs = (w_max - w_min) / s;
       if (rs <= 0.0) continue;
-      out.push_back({std::log10(static_cast<double>(d)), std::log10(rs)});
+      out.push_back({log10_d, std::log10(rs)});
     }
   }
   return out;
 }
 
-HurstEstimate estimate_hurst_rs(std::span<const double> xs,
-                                const RsOptions& opt) {
+HurstEstimate estimate_hurst_from_pox(std::span<const PoxPoint> points) {
   HurstEstimate est;
-  const auto points = pox_points(xs, opt);
   est.num_points = points.size();
   if (points.size() < 2) return est;
   // Mean log10(R/S) per distinct scale, then OLS through the means.  The
@@ -77,6 +127,11 @@ HurstEstimate estimate_hurst_rs(std::span<const double> xs,
   return est;
 }
 
+HurstEstimate estimate_hurst_rs(std::span<const double> xs,
+                                const RsOptions& opt) {
+  return estimate_hurst_from_pox(pox_points(xs, opt));
+}
+
 HurstEstimate estimate_hurst_aggvar(std::span<const double> xs,
                                     std::size_t min_m, double growth) {
   HurstEstimate est;
@@ -84,13 +139,9 @@ HurstEstimate estimate_hurst_aggvar(std::span<const double> xs,
   if (n < 4 || growth <= 1.0) return est;
   std::vector<double> log_m;
   std::vector<double> log_var;
-  std::size_t prev_m = 0;
   // Need at least ~8 aggregated blocks for a usable variance estimate.
-  for (double mm = static_cast<double>(std::max<std::size_t>(min_m, 2));
-       mm <= static_cast<double>(n / 8); mm *= growth) {
-    const auto m = static_cast<std::size_t>(mm);
-    if (m == prev_m) continue;
-    prev_m = m;
+  for (const std::size_t m :
+       geometric_scales(std::max<std::size_t>(min_m, 2), n / 8, growth)) {
     const auto agg = aggregate_series(xs, m);
     const double v = variance(agg);
     if (v <= 0.0) continue;

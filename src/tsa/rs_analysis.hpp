@@ -15,6 +15,10 @@
 //
 // A second, independent estimator via the variance of aggregated series
 // (Var(X^(m)) ~ m^(2H-2)) is provided for cross-checking.
+//
+// The pox sweep runs off shared prefix sums of the centred series and its
+// square, so each segment's mean and standard deviation are O(1) and the
+// whole sweep is a single pass per scale instead of three.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +26,14 @@
 #include <vector>
 
 namespace nws {
+
+/// Distinct integer scales min_scale, ~min_scale*growth, ... <= max_scale
+/// (log-spaced; duplicates after truncation are dropped).  growth must be
+/// > 1 — otherwise only {min_scale} is returned.  Shared by the pox-plot,
+/// aggregated-variance and variance-time sweeps.
+[[nodiscard]] std::vector<std::size_t> geometric_scales(std::size_t min_scale,
+                                                        std::size_t max_scale,
+                                                        double growth);
 
 /// R/S statistic of one segment.  Returns 0 when the segment is shorter
 /// than 2 samples or has zero variance.
@@ -57,6 +69,12 @@ struct HurstEstimate {
   std::size_t num_scales = 0;  ///< distinct segment lengths used
   std::size_t num_points = 0;  ///< total pox points
 };
+
+/// The Figure 3 regression from already-computed pox points: mean
+/// log10(R/S) per distinct scale, then OLS through the means.  Lets
+/// callers that also plot the points run the sweep once.
+[[nodiscard]] HurstEstimate estimate_hurst_from_pox(
+    std::span<const PoxPoint> points);
 
 /// Estimates H by regressing the *mean* log10(R/S) at each scale against
 /// log10(d), exactly as the paper's solid line in Figure 3.

@@ -1,0 +1,260 @@
+#include "util/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numbers>
+#include <utility>
+
+namespace nws {
+
+namespace {
+
+/// Plan for a power-of-two complex FFT: bit-reversal permutation and the
+/// first-half twiddle table w[k] = e^{-2*pi*i*k/n}, k < n/2.
+struct Pow2Plan {
+  std::size_t n = 0;
+  std::vector<std::uint32_t> bitrev;
+  std::vector<std::complex<double>> w;
+};
+
+/// Bluestein state for one DFT length n: the chirp c[k] = e^{-i*pi*k^2/n}
+/// and the conv-size-m forward FFT of the wrapped conjugate chirp.
+struct BluesteinPlan {
+  std::size_t n = 0;
+  std::size_t m = 0;  ///< power-of-two convolution size >= 2n - 1
+  std::vector<std::complex<double>> chirp;
+  std::vector<std::complex<double>> bfft;
+};
+
+/// Size-keyed plan cache shared across calls and threads.  Lookups take a
+/// mutex once per transform (not per butterfly); plans are immutable after
+/// construction so concurrent users share them freely.
+template <typename Plan>
+class PlanCache {
+ public:
+  template <typename Maker>
+  std::shared_ptr<const Plan> get(std::size_t n, Maker&& make) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = plans_[n];
+    if (!slot) slot = std::make_shared<const Plan>(make(n));
+    return slot;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::size_t, std::shared_ptr<const Plan>> plans_;
+};
+
+Pow2Plan make_pow2_plan(std::size_t n) {
+  assert(is_pow2(n));
+  Pow2Plan plan;
+  plan.n = n;
+  plan.bitrev.resize(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    plan.bitrev[i] = static_cast<std::uint32_t>(
+        (plan.bitrev[i >> 1] >> 1) | ((i & 1) != 0 ? n >> 1 : 0));
+  }
+  plan.w.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    plan.w[k] = {std::cos(angle), std::sin(angle)};
+  }
+  return plan;
+}
+
+PlanCache<Pow2Plan>& pow2_plans() {
+  static PlanCache<Pow2Plan> cache;
+  return cache;
+}
+
+std::shared_ptr<const Pow2Plan> pow2_plan(std::size_t n) {
+  return pow2_plans().get(n, make_pow2_plan);
+}
+
+void run_fft(std::span<std::complex<double>> a, const Pow2Plan& plan,
+             bool inverse) {
+  const std::size_t n = a.size();
+  assert(plan.n == n);
+  if (n < 2) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  // Manual real/imag butterflies: libstdc++'s complex operator* routes
+  // through __muldc3 for NaN recovery, which would dominate the loop.
+  const double sign = inverse ? -1.0 : 1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t step = n / len;
+    for (std::size_t base = 0; base < n; base += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const std::complex<double> w = plan.w[j * step];
+        const double wr = w.real();
+        const double wi = sign * w.imag();
+        std::complex<double>& x = a[base + j];
+        std::complex<double>& y = a[base + j + half];
+        const double vr = y.real() * wr - y.imag() * wi;
+        const double vi = y.real() * wi + y.imag() * wr;
+        y = {x.real() - vr, x.imag() - vi};
+        x = {x.real() + vr, x.imag() + vi};
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (std::complex<double>& z : a) z *= scale;
+  }
+}
+
+BluesteinPlan make_bluestein_plan(std::size_t n) {
+  BluesteinPlan plan;
+  plan.n = n;
+  plan.m = next_pow2(2 * n - 1);
+  plan.chirp.resize(n);
+  std::vector<std::complex<double>> b(plan.m);
+  for (std::size_t k = 0; k < n; ++k) {
+    // e^{-i*pi*k^2/n} is periodic in k^2 with period 2n; reducing the
+    // exact integer k^2 mod 2n keeps the sin/cos argument small so large
+    // k (k^2 up to ~4e9 at week-scale n) loses no phase precision.
+    const std::uint64_t r = (static_cast<std::uint64_t>(k) * k) %
+                            (2 * static_cast<std::uint64_t>(n));
+    const double angle =
+        -std::numbers::pi * static_cast<double>(r) / static_cast<double>(n);
+    plan.chirp[k] = {std::cos(angle), std::sin(angle)};
+    b[k] = std::conj(plan.chirp[k]);
+    if (k != 0) b[plan.m - k] = b[k];
+  }
+  run_fft(b, *pow2_plan(plan.m), /*inverse=*/false);
+  plan.bfft = std::move(b);
+  return plan;
+}
+
+PlanCache<BluesteinPlan>& bluestein_plans() {
+  static PlanCache<BluesteinPlan> cache;
+  return cache;
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_pow2(std::span<std::complex<double>> a, bool inverse) {
+  const std::size_t n = a.size();
+  assert(is_pow2(n));
+  if (n < 2) return;
+  const auto plan = pow2_plan(n);
+  run_fft(a, *plan, inverse);
+}
+
+std::vector<std::complex<double>> real_fft(std::span<const double> xs,
+                                           std::size_t n) {
+  assert(is_pow2(n) && n >= 2 && xs.size() <= n);
+  const std::size_t h = n / 2;
+  std::vector<std::complex<double>> z(h, {0.0, 0.0});
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    if ((t & 1) == 0) {
+      z[t / 2] = {xs[t], z[t / 2].imag()};
+    } else {
+      z[t / 2] = {z[t / 2].real(), xs[t]};
+    }
+  }
+  const auto half_plan = h >= 2 ? pow2_plan(h) : nullptr;
+  if (half_plan) run_fft(z, *half_plan, /*inverse=*/false);
+  // Unpack: X[k] = E_k + w^k O_k with E/O the even/odd half-spectra; the
+  // twiddle e^{-2*pi*i*k/n} is exactly the full-size plan's table.
+  const auto full_plan = pow2_plan(n);
+  std::vector<std::complex<double>> out(h + 1);
+  for (std::size_t k = 0; k <= h; ++k) {
+    const std::complex<double> zk = z[k % h];
+    const std::complex<double> zmk = std::conj(z[(h - k) % h]);
+    const std::complex<double> e = 0.5 * (zk + zmk);
+    const std::complex<double> o =
+        std::complex<double>(0.0, -0.5) * (zk - zmk);
+    if (k == h) {
+      out[k] = e - o;  // w^{n/2} = -1
+    } else {
+      const std::complex<double> w = full_plan->w[k];
+      out[k] = {e.real() + w.real() * o.real() - w.imag() * o.imag(),
+                e.imag() + w.real() * o.imag() + w.imag() * o.real()};
+    }
+  }
+  return out;
+}
+
+std::vector<double> real_ifft(std::span<const std::complex<double>> half,
+                              std::size_t n) {
+  assert(is_pow2(n) && n >= 2 && half.size() == n / 2 + 1);
+  const std::size_t h = n / 2;
+  const auto full_plan = pow2_plan(n);
+  std::vector<std::complex<double>> z(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    const std::complex<double> xk = half[k];
+    const std::complex<double> xmk = std::conj(half[h - k]);
+    const std::complex<double> e = 0.5 * (xk + xmk);
+    std::complex<double> wo = 0.5 * (xk - xmk);
+    // O_k = w^{-k} * (X[k] - conj(X[h-k])) / 2, with w^{-k} = conj(w[k]).
+    const std::complex<double> winv = std::conj(full_plan->w[k]);
+    wo = {winv.real() * wo.real() - winv.imag() * wo.imag(),
+          winv.real() * wo.imag() + winv.imag() * wo.real()};
+    z[k] = {e.real() - wo.imag(), e.imag() + wo.real()};  // E + i*O
+  }
+  if (h >= 2) run_fft(z, *pow2_plan(h), /*inverse=*/true);
+  std::vector<double> out(n);
+  for (std::size_t k = 0; k < h; ++k) {
+    out[2 * k] = z[k].real();
+    out[2 * k + 1] = z[k].imag();
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> dft_real(std::span<const double> xs,
+                                           std::size_t count) {
+  const std::size_t n = xs.size();
+  std::vector<std::complex<double>> out;
+  if (n == 0 || count == 0) return out;
+  count = std::min(count, n);
+  if (n == 1) {
+    out.assign(1, {xs[0], 0.0});
+    return out;
+  }
+  if (is_pow2(n)) {
+    const auto half = real_fft(xs, n);
+    out.resize(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      out[j] = j <= n / 2 ? half[j] : std::conj(half[n - j]);
+    }
+    return out;
+  }
+  const auto plan = bluestein_plans().get(n, make_bluestein_plan);
+  std::vector<std::complex<double>> a(plan->m, {0.0, 0.0});
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::complex<double>& c = plan->chirp[t];
+    a[t] = {xs[t] * c.real(), xs[t] * c.imag()};
+  }
+  run_fft(a, *pow2_plan(plan->m), /*inverse=*/false);
+  for (std::size_t k = 0; k < plan->m; ++k) {
+    const std::complex<double>& b = plan->bfft[k];
+    const double re = a[k].real() * b.real() - a[k].imag() * b.imag();
+    const double im = a[k].real() * b.imag() + a[k].imag() * b.real();
+    a[k] = {re, im};
+  }
+  run_fft(a, *pow2_plan(plan->m), /*inverse=*/true);
+  out.resize(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::complex<double>& c = plan->chirp[j];
+    out[j] = {a[j].real() * c.real() - a[j].imag() * c.imag(),
+              a[j].real() * c.imag() + a[j].imag() * c.real()};
+  }
+  return out;
+}
+
+}  // namespace nws

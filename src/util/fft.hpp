@@ -1,0 +1,56 @@
+// Fast Fourier transforms for the spectral time-series kernels.
+//
+// An in-house iterative radix-2 Cooley-Tukey kernel with precomputed,
+// cached plans (bit-reversal permutation + twiddle table per size; the
+// cache is shared across calls and threads, so the fleet fan-out reuses
+// one plan per size).  Real-input transforms go through the standard
+// half-size complex packing, and arbitrary-length DFTs — needed for the
+// periodogram's exact Fourier frequencies 2*pi*j/n at non-power-of-two
+// n — use Bluestein's chirp-z algorithm on top of the radix-2 core, with
+// the chirp phase reduced mod 2n in exact integer arithmetic so large
+// indices lose no precision.
+//
+// Consumers: Wiener-Khinchin autocorrelation (tsa/autocorrelation),
+// the periodogram / GPH Hurst estimator (tsa/periodogram), and the
+// Davies-Harte circulant-embedding fGn generator (tsa/fgn).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nws {
+
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n (n >= 1; returns 1 for n <= 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+/// In-place complex FFT of a power-of-two-sized span.  Forward uses the
+/// e^{-2*pi*i*k*t/n} convention; the inverse includes the 1/n factor.
+void fft_pow2(std::span<std::complex<double>> a, bool inverse = false);
+
+/// Forward FFT of a real sequence zero-padded to length n (a power of
+/// two, n >= 2, xs.size() <= n).  Returns the Hermitian half-spectrum,
+/// bins 0..n/2 inclusive; bin k > n/2 is conj(bin n-k).  Computed as one
+/// complex FFT of size n/2 via even/odd packing.
+[[nodiscard]] std::vector<std::complex<double>> real_fft(
+    std::span<const double> xs, std::size_t n);
+
+/// Inverse of real_fft: reconstructs the length-n real sequence from its
+/// Hermitian half-spectrum (half.size() == n/2 + 1, n a power of two,
+/// n >= 2).  Includes the 1/n normalization.
+[[nodiscard]] std::vector<double> real_ifft(
+    std::span<const std::complex<double>> half, std::size_t n);
+
+/// First `count` bins (count <= n) of the exact n-point DFT of a real
+/// sequence, X[j] = sum_t xs[t] e^{-2*pi*i*j*t/n}, for any n >= 1.
+/// Power-of-two n uses real_fft directly; other sizes use Bluestein's
+/// chirp-z transform.  O(n log n) either way.
+[[nodiscard]] std::vector<std::complex<double>> dft_real(
+    std::span<const double> xs, std::size_t count);
+
+}  // namespace nws

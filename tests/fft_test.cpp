@@ -1,0 +1,397 @@
+// Tests for the spectral kernels introduced for the O(n log n) TSA layer:
+// the radix-2/Bluestein FFT (util/fft), the Wiener-Khinchin ACF, the
+// FFT-backed periodogram, the Davies-Harte fGn generator, and the
+// prefix-sum R/S machinery.  The naive direct-sum implementations stay in
+// the library precisely so these tests can check randomized equivalence.
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tsa/autocorrelation.hpp"
+#include "tsa/fgn.hpp"
+#include "tsa/periodogram.hpp"
+#include "tsa/rs_analysis.hpp"
+#include "util/fft.hpp"
+#include "util/rng.hpp"
+
+namespace nws {
+namespace {
+
+// O(n^2) reference DFT with the same e^{-2*pi*i*j*t/n} convention.
+std::vector<std::complex<double>> naive_dft(std::span<const double> xs,
+                                            std::size_t n,
+                                            std::size_t count) {
+  std::vector<std::complex<double>> out(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    std::complex<double> acc = 0.0;
+    for (std::size_t t = 0; t < xs.size(); ++t) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(j) * static_cast<double>(t) /
+                           static_cast<double>(n);
+      acc += xs[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+std::vector<double> random_series(Rng& rng, std::size_t n) {
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.uniform(-1.0, 1.0);
+  return xs;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+  EXPECT_TRUE(is_pow2(65536));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(Fft, MatchesNaiveDftAtPowersOfTwo) {
+  Rng rng(11);
+  for (std::size_t n : {1u, 2u, 4u, 8u, 64u, 256u, 1024u}) {
+    std::vector<std::complex<double>> a(n);
+    std::vector<double> re(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      re[i] = rng.uniform(-1.0, 1.0);
+      a[i] = {re[i], rng.uniform(-1.0, 1.0)};
+    }
+    // Forward transform of the real parts cross-checked against the naive
+    // DFT; the imaginary parts are exercised by the round-trip below.
+    std::vector<std::complex<double>> b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = re[i];
+    fft_pow2(b);
+    const auto want = naive_dft(re, n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(b[j].real(), want[j].real(), 1e-9) << "n=" << n;
+      EXPECT_NEAR(b[j].imag(), want[j].imag(), 1e-9) << "n=" << n;
+    }
+    // Complex round trip restores the input exactly (to rounding).
+    auto c = a;
+    fft_pow2(c);
+    fft_pow2(c, /*inverse=*/true);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(c[i].real(), a[i].real(), 1e-10);
+      EXPECT_NEAR(c[i].imag(), a[i].imag(), 1e-10);
+    }
+  }
+}
+
+TEST(Fft, RealFftMatchesComplexAndRoundTrips) {
+  Rng rng(23);
+  for (std::size_t n : {2u, 4u, 16u, 128u, 2048u}) {
+    const auto xs = random_series(rng, n);
+    const auto half = real_fft(xs, n);
+    ASSERT_EQ(half.size(), n / 2 + 1);
+    std::vector<std::complex<double>> full(xs.begin(), xs.end());
+    fft_pow2(full);
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+      EXPECT_NEAR(half[k].real(), full[k].real(), 1e-9) << "n=" << n;
+      EXPECT_NEAR(half[k].imag(), full[k].imag(), 1e-9) << "n=" << n;
+    }
+    const auto back = real_ifft(half, n);
+    ASSERT_EQ(back.size(), n);
+    EXPECT_LT(max_abs_diff(back, xs), 1e-10) << "n=" << n;
+  }
+}
+
+TEST(Fft, RealFftZeroPads) {
+  Rng rng(29);
+  const auto xs = random_series(rng, 300);
+  std::vector<double> padded(512, 0.0);
+  std::copy(xs.begin(), xs.end(), padded.begin());
+  const auto a = real_fft(xs, 512);
+  const auto b = real_fft(padded, 512);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_NEAR(a[k].real(), b[k].real(), 1e-12);
+    EXPECT_NEAR(a[k].imag(), b[k].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, DftRealMatchesNaiveAtArbitraryLengths) {
+  Rng rng(37);
+  // Powers of two, primes, highly composite, and the awkward 2^k +/- 1.
+  for (std::size_t n : {1u, 2u, 3u, 5u, 7u, 12u, 96u, 100u, 127u, 129u, 360u,
+                        500u, 1000u, 1024u, 2047u}) {
+    const auto xs = random_series(rng, n);
+    const auto got = dft_real(xs, n);
+    const auto want = naive_dft(xs, n, n);
+    ASSERT_EQ(got.size(), n);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(got[j].real(), want[j].real(), 1e-8) << "n=" << n;
+      EXPECT_NEAR(got[j].imag(), want[j].imag(), 1e-8) << "n=" << n;
+    }
+  }
+}
+
+TEST(Fft, DftRealConstantSeries) {
+  const std::vector<double> xs(100, 3.0);
+  const auto got = dft_real(xs, 100);
+  EXPECT_NEAR(got[0].real(), 300.0, 1e-9);
+  for (std::size_t j = 1; j < got.size(); ++j) {
+    EXPECT_NEAR(std::abs(got[j]), 0.0, 1e-8);
+  }
+}
+
+// The plan cache is shared across threads; hammer it with mixed sizes and
+// check every result against a serially-computed reference.  (Named *Fft*
+// so the TSan CI job picks it up.)
+TEST(FftThreads, ConcurrentPlanCacheIsConsistent) {
+  const std::vector<std::size_t> sizes = {64, 100, 128, 360, 512, 1000};
+  Rng rng(41);
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::vector<std::complex<double>>> want;
+  for (std::size_t n : sizes) {
+    inputs.push_back(random_series(rng, n));
+    want.push_back(dft_real(inputs.back(), n));
+  }
+  constexpr int kThreads = 8;
+  std::vector<int> bad(kThreads, 0);
+  {
+    std::vector<std::jthread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int rep = 0; rep < 4; ++rep) {
+          for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const auto got = dft_real(inputs[i], sizes[i]);
+            for (std::size_t j = 0; j < got.size(); ++j) {
+              if (std::abs(got[j] - want[i][j]) > 1e-9) ++bad[t];
+            }
+          }
+        }
+      });
+    }
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(bad[t], 0);
+}
+
+TEST(FftAcf, MatchesNaiveAcrossSizes) {
+  Rng rng(43);
+  // Straddles the direct-sum crossover (n * (lags+1) <= 1<<15) and
+  // includes non-power-of-two lengths on the FFT path.
+  struct Case {
+    std::size_t n, lags;
+  };
+  for (const auto& [n, lags] : {Case{50, 10}, Case{300, 50}, Case{1000, 360},
+                                Case{4096, 128}, Case{8640, 360},
+                                Case{10000, 1000}}) {
+    const auto xs = random_series(rng, n);
+    const auto fast = autocorrelations(xs, lags);
+    const auto slow = autocorrelations_naive(xs, lags);
+    EXPECT_LT(max_abs_diff(fast, slow), 1e-9) << "n=" << n << " L=" << lags;
+  }
+}
+
+TEST(FftAcf, MatchesNaiveOnCorrelatedSeries) {
+  Rng rng(47);
+  const auto xs = generate_ar1(rng, 0.9, 6000);
+  const auto fast = autocorrelations(xs, 500);
+  const auto slow = autocorrelations_naive(xs, 500);
+  EXPECT_LT(max_abs_diff(fast, slow), 1e-9);
+  EXPECT_NEAR(fast[0], 1.0, 1e-12);
+  EXPECT_NEAR(fast[1], 0.9, 0.05);
+}
+
+TEST(FftAcf, ConstantAndShortSeriesDegenerate) {
+  const std::vector<double> flat(5000, 2.5);
+  const auto acf = autocorrelations(flat, 100);
+  for (double r : acf) EXPECT_EQ(r, 0.0);
+  EXPECT_TRUE(autocorrelations(std::vector<double>{}, 10).empty());
+}
+
+TEST(FftAcf, DecayOverloadMatchesRecompute) {
+  Rng rng(53);
+  const auto xs = generate_ar1(rng, 0.8, 5000);
+  const auto acf = autocorrelations(xs, 200);
+  const AcfDecay from_curve = acf_decay(acf, 0.2);
+  const AcfDecay from_series = acf_decay(xs, 200, 0.2);
+  EXPECT_EQ(from_curve.first_below, from_series.first_below);
+  EXPECT_EQ(from_curve.lags_computed, from_series.lags_computed);
+  EXPECT_EQ(from_curve.value_at_last, from_series.value_at_last);
+}
+
+TEST(FftPeriodogram, MatchesNaiveAcrossSizes) {
+  Rng rng(59);
+  struct Case {
+    std::size_t n, count;
+  };
+  // 4096 exercises the pow2 real_fft path, 1000/8640 Bluestein, and
+  // 120/40 the small-input direct path.
+  for (const auto& [n, count] :
+       {Case{120, 40}, Case{1000, 31}, Case{4096, 64}, Case{8640, 92}}) {
+    const auto xs = random_series(rng, n);
+    const auto fast = periodogram(xs, count);
+    const auto slow = periodogram_naive(xs, count);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t j = 0; j < fast.size(); ++j) {
+      // Relative tolerance: ordinates span orders of magnitude.
+      EXPECT_NEAR(fast[j], slow[j], 1e-9 * (1.0 + std::abs(slow[j])))
+          << "n=" << n << " j=" << j;
+    }
+  }
+}
+
+TEST(FftFgn, DaviesHarteIsDeterministic) {
+  Rng a(7), b(7);
+  const auto xs = generate_fgn(a, 0.75, 1000);
+  const auto ys = generate_fgn(b, 0.75, 1000);
+  ASSERT_EQ(xs.size(), 1000u);
+  EXPECT_EQ(xs, ys);
+}
+
+TEST(FftFgn, DaviesHarteEdgeCases) {
+  Rng rng(7);
+  EXPECT_TRUE(generate_fgn(rng, 0.7, 0).empty());
+  const auto one = generate_fgn(rng, 0.7, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_TRUE(std::isfinite(one[0]));
+}
+
+TEST(FftFgn, DaviesHarteSampleAcfMatchesTheory) {
+  // The circulant draw has *exactly* the fGn covariance, so the sample
+  // ACF over a long path should sit close to fgn_autocovariance.
+  for (double h : {0.6, 0.8}) {
+    double worst = 0.0;
+    constexpr int kSeeds = 3;
+    constexpr std::size_t kLags = 20;
+    std::vector<double> mean_acf(kLags + 1, 0.0);
+    for (int s = 0; s < kSeeds; ++s) {
+      Rng rng(100 + static_cast<std::uint64_t>(s) +
+              static_cast<std::uint64_t>(h * 10));
+      const auto xs = generate_fgn(rng, h, 1 << 15);
+      const auto acf = autocorrelations(xs, kLags);
+      for (std::size_t k = 0; k <= kLags; ++k) mean_acf[k] += acf[k] / kSeeds;
+    }
+    for (std::size_t k = 0; k <= kLags; ++k) {
+      worst = std::max(worst,
+                       std::abs(mean_acf[k] - fgn_autocovariance(h, k)));
+    }
+    EXPECT_LT(worst, 0.06) << "h=" << h;
+  }
+}
+
+TEST(FftFgn, DaviesHarteMomentsAreStandard) {
+  Rng rng(77);
+  const auto xs = generate_fgn(rng, 0.7, 1 << 15);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(var, 1.0, 0.15);
+}
+
+TEST(FftFgn, HoskingCrossCheckAgreesStatistically) {
+  // Different draws from the same distribution: compare sample ACFs of
+  // the two exact generators rather than sample paths.
+  constexpr double kH = 0.75;
+  constexpr std::size_t kN = 8192;
+  Rng a(5), b(6);
+  const auto dh = generate_fgn(a, kH, kN, FgnMethod::kDaviesHarte);
+  const auto ho = generate_fgn(b, kH, kN, FgnMethod::kHosking);
+  const auto acf_dh = autocorrelations(dh, 10);
+  const auto acf_ho = autocorrelations(ho, 10);
+  for (std::size_t k = 0; k <= 10; ++k) {
+    EXPECT_NEAR(acf_dh[k], acf_ho[k], 0.12) << "k=" << k;
+  }
+}
+
+// Satellite acceptance check: both time-domain Hurst estimators (and the
+// spectral GPH cross-check) recover H in {0.6, 0.7, 0.8} within +-0.05 on
+// Davies-Harte fGn, averaging a few seeds to tame sampling noise.
+TEST(FftHurstRecovery, EstimatorsRecoverKnownH) {
+  constexpr std::size_t kN = 32768;
+  constexpr int kSeeds = 6;
+  for (double h : {0.6, 0.7, 0.8}) {
+    double rs = 0.0, aggvar = 0.0, gph = 0.0;
+    for (int s = 0; s < kSeeds; ++s) {
+      Rng rng(static_cast<std::uint64_t>(h * 1000) +
+              static_cast<std::uint64_t>(s) * 7919);
+      const auto xs = generate_fgn(rng, h, kN);
+      rs += estimate_hurst_rs(xs).hurst;
+      aggvar += estimate_hurst_aggvar(xs).hurst;
+      gph += estimate_hurst_periodogram(xs, 0.6).hurst;
+    }
+    EXPECT_NEAR(rs / kSeeds, h, 0.05) << "R/S at h=" << h;
+    EXPECT_NEAR(aggvar / kSeeds, h, 0.05) << "aggvar at h=" << h;
+    EXPECT_NEAR(gph / kSeeds, h, 0.05) << "GPH at h=" << h;
+  }
+}
+
+TEST(FftRs, GeometricScales) {
+  const auto scales = geometric_scales(8, 100, 1.5);
+  ASSERT_FALSE(scales.empty());
+  EXPECT_EQ(scales.front(), 8u);
+  EXPECT_LE(scales.back(), 100u);
+  for (std::size_t i = 1; i < scales.size(); ++i) {
+    EXPECT_GT(scales[i], scales[i - 1]);  // strictly increasing, no dups
+  }
+  // Degenerate growth yields just the minimum scale.
+  EXPECT_EQ(geometric_scales(4, 100, 1.0), std::vector<std::size_t>{4});
+  EXPECT_EQ(geometric_scales(16, 8, 2.0), std::vector<std::size_t>{});
+}
+
+TEST(FftRs, PoxRegressionHelperMatchesDirectEstimate) {
+  Rng rng(101);
+  const auto xs = generate_fgn(rng, 0.7, 4096);
+  const auto points = pox_points(xs);
+  const HurstEstimate from_points = estimate_hurst_from_pox(points);
+  const HurstEstimate direct = estimate_hurst_rs(xs);
+  EXPECT_DOUBLE_EQ(from_points.hurst, direct.hurst);
+  EXPECT_DOUBLE_EQ(from_points.intercept, direct.intercept);
+  EXPECT_EQ(from_points.num_points, direct.num_points);
+}
+
+TEST(FftRs, RescaledRangeMatchesPoxPipeline) {
+  // pox_points' prefix-sum path must agree with the standalone
+  // rescaled_range on every segment it emits.
+  Rng rng(103);
+  const auto xs = random_series(rng, 512);
+  RsOptions opt;
+  opt.min_segment = 8;
+  opt.growth = 2.0;
+  const auto points = pox_points(xs, opt);
+  ASSERT_FALSE(points.empty());
+  std::size_t i = 0;
+  for (std::size_t d : geometric_scales(opt.min_segment,
+                                        xs.size() / opt.max_segment_divisor,
+                                        opt.growth)) {
+    for (std::size_t off = 0; off + d <= xs.size(); off += d) {
+      const double rs =
+          rescaled_range(std::span<const double>(xs).subspan(off, d));
+      if (rs <= 0.0) continue;
+      ASSERT_LT(i, points.size());
+      EXPECT_NEAR(points[i].log10_d, std::log10(static_cast<double>(d)),
+                  1e-12);
+      EXPECT_NEAR(points[i].log10_rs, std::log10(rs), 1e-9);
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, points.size());
+}
+
+}  // namespace
+}  // namespace nws

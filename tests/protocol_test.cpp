@@ -386,8 +386,10 @@ class RawPeer {
   }
   [[nodiscard]] bool ok() const { return fd_ >= 0; }
   bool send_bytes(std::string_view bytes) {
+    // MSG_NOSIGNAL: the server may already have dropped us (oversized-line
+    // tests); surface that as a failed send, not a SIGPIPE.
     return fd_ >= 0 &&
-           ::send(fd_, bytes.data(), bytes.size(), 0) ==
+           ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
                static_cast<ssize_t>(bytes.size());
   }
   [[nodiscard]] std::string read_line() {
