@@ -5,6 +5,8 @@
 #include <filesystem>
 
 #include "experiments/fleet.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace nws::bench {
 
@@ -58,9 +60,15 @@ std::vector<HostResult> run_fleet(const RunnerConfig& config) {
   std::vector<HostTrace> traces = run_fleet_parallel(
       order, experiment_seed(), config, /*jobs=*/0,
       [](UcsdHost h, double wall) {
-        std::fprintf(stderr, "  simulated %-10s (%.1fs)\n",
-                     host_name(h).c_str(), wall);
+        obs::log_info("fleet", "simulated %-10s (%.1fs)",
+                      host_name(h).c_str(), wall);
       });
+  // End-of-run telemetry: the whole pipeline's counters and latency
+  // quantiles in one table (probes, forecaster switches, journal, ...).
+  if (obs::log_enabled(obs::LogLevel::kInfo) && obs::metrics_enabled()) {
+    const std::string table = obs::registry().snapshot().to_table();
+    if (!table.empty()) std::fprintf(stderr, "%s", table.c_str());
+  }
   std::vector<HostResult> results;
   results.reserve(order.size());
   for (std::size_t i = 0; i < order.size(); ++i) {

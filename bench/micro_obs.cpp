@@ -1,0 +1,216 @@
+// micro_obs: what does the telemetry layer cost on the request hot path?
+//
+// Measures per-request latency on two paths, with the metrics registry
+// enabled versus disabled (set_metrics_enabled, the switch behind
+// NWSCPU_METRICS=off):
+//   inproc   — NwsServer::handle_line("PUT ...") with no sockets, the
+//              tightest loop over the instrumented parse/execute path;
+//   loopback — one client, one PUT round trip per sample over 127.0.0.1
+//              (clock noise and syscalls included, as deployed).
+// Each mode runs NWSCPU_OBS_REPS repetitions of NWSCPU_OBS_N requests and
+// keeps the best (lowest-p50) repetition; the headline number is the
+// relative p50 overhead of enabled-vs-disabled, which DESIGN.md section 9
+// budgets at < 2% for the in-process path.
+//
+// Output: human-readable table on stdout plus BENCH_obs.json in
+// NWSCPU_OUT (default bench_out/).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/experiment_common.hpp"
+#include "nws/client.hpp"
+#include "nws/server.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* value = std::getenv(name)) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(value, &end, 10);
+    if (end != value && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return fallback;
+}
+
+struct Quantiles {
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;  ///< nanoseconds
+};
+
+Quantiles quantiles(std::vector<std::uint64_t>& samples) {
+  Quantiles q;
+  if (samples.empty()) return q;
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double p) {
+    const std::size_t i = std::min(
+        samples.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(samples.size())));
+    return static_cast<double>(samples[i]);
+  };
+  q.p50 = at(0.50);
+  q.p95 = at(0.95);
+  q.p99 = at(0.99);
+  return q;
+}
+
+/// N handle_line("PUT ...") calls, each timed individually.  Lines are
+/// pre-formatted so the loop measures only the instrumented request path.
+Quantiles run_inproc(nws::NwsServer& server,
+                     const std::vector<std::string>& lines) {
+  std::vector<std::uint64_t> samples;
+  samples.reserve(lines.size());
+  for (const std::string& line : lines) {
+    const std::uint64_t t0 = nws::obs::now_ns();
+    const std::string out = server.handle_line(line);
+    samples.push_back(nws::obs::now_ns() - t0);
+    if (out.compare(0, 2, "OK") != 0) {
+      std::cerr << "micro_obs: unexpected response " << out << "\n";
+      break;
+    }
+  }
+  return quantiles(samples);
+}
+
+/// N PUT round trips over loopback, each timed individually.
+Quantiles run_loopback(nws::NwsClient& client, const std::string& series,
+                       double& t, std::size_t n) {
+  std::vector<std::uint64_t> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t += 1.0;
+    const std::uint64_t t0 = nws::obs::now_ns();
+    const bool ok = client.put(series, {t, 0.5});
+    samples.push_back(nws::obs::now_ns() - t0);
+    if (!ok) {
+      std::cerr << "micro_obs: loopback PUT failed\n";
+      break;
+    }
+  }
+  return quantiles(samples);
+}
+
+/// Keeps the repetition with the lowest p50 (least-disturbed run).
+Quantiles best_of(const std::vector<Quantiles>& reps) {
+  Quantiles best = reps.front();
+  for (const Quantiles& q : reps) {
+    if (q.p50 < best.p50) best = q;
+  }
+  return best;
+}
+
+double overhead(const Quantiles& on, const Quantiles& off) {
+  return off.p50 > 0.0 ? (on.p50 - off.p50) / off.p50 : 0.0;
+}
+
+void print_pair(const char* path, const Quantiles& on, const Quantiles& off) {
+  std::printf("%-8s  on : p50 %8.0f ns  p95 %8.0f ns  p99 %8.0f ns\n", path,
+              on.p50, on.p95, on.p99);
+  std::printf("%-8s  off: p50 %8.0f ns  p95 %8.0f ns  p99 %8.0f ns"
+              "   p50 overhead %+.2f%%\n",
+              path, off.p50, off.p95, off.p99, 100.0 * overhead(on, off));
+}
+
+void json_pair(std::ofstream& json, const char* key, const Quantiles& on,
+               const Quantiles& off, bool trailing_comma) {
+  json << "  \"" << key << "\": {\n"
+       << "    \"on\":  {\"p50_ns\": " << on.p50 << ", \"p95_ns\": " << on.p95
+       << ", \"p99_ns\": " << on.p99 << "},\n"
+       << "    \"off\": {\"p50_ns\": " << off.p50
+       << ", \"p95_ns\": " << off.p95 << ", \"p99_ns\": " << off.p99
+       << "},\n"
+       << "    \"overhead_p50\": " << overhead(on, off) << "\n"
+       << "  }" << (trailing_comma ? ",\n" : "\n");
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = env_size("NWSCPU_OBS_N", 20000);
+  const std::size_t reps = env_size("NWSCPU_OBS_REPS", 3);
+
+  // ---- In-process path: one fresh line per request so SeriesStore always
+  // appends (monotone timestamps), formatted outside the timed loop.
+  nws::ServerConfig config;
+  config.shards = 1;
+  nws::NwsServer server(config);
+  // Timestamps must stay monotone across repetitions or SeriesStore
+  // rejects the samples, so every run gets freshly formatted lines.
+  double t_in = 0.0;
+  std::vector<std::string> lines;
+  lines.reserve(n);
+  const auto make_lines = [&] {
+    lines.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      t_in += 1.0;
+      lines.push_back("PUT obs/inproc/cpu " + std::to_string(t_in) + " 0.5");
+    }
+  };
+  // Warm up caches, the series table and the thread's histogram slot.
+  nws::obs::set_metrics_enabled(true);
+  make_lines();
+  (void)run_inproc(server, lines);
+
+  std::vector<Quantiles> inproc_on, inproc_off;
+  for (std::size_t r = 0; r < reps; ++r) {
+    nws::obs::set_metrics_enabled(false);
+    make_lines();
+    inproc_off.push_back(run_inproc(server, lines));
+    nws::obs::set_metrics_enabled(true);
+    make_lines();
+    inproc_on.push_back(run_inproc(server, lines));
+  }
+
+  // ---- Loopback path: same PUT traffic through the TCP front end.
+  const std::uint16_t port = server.start(0);
+  if (port == 0) {
+    std::cerr << "micro_obs: cannot bind loopback listener\n";
+    return 1;
+  }
+  nws::NwsClient client;
+  if (!client.connect(port)) {
+    std::cerr << "micro_obs: cannot connect\n";
+    return 1;
+  }
+  double t = 1e9;  // past every in-process timestamp
+  (void)run_loopback(client, "obs/loop/cpu", t, std::min<std::size_t>(n, 512));
+
+  std::vector<Quantiles> loop_on, loop_off;
+  for (std::size_t r = 0; r < reps; ++r) {
+    nws::obs::set_metrics_enabled(false);
+    loop_off.push_back(run_loopback(client, "obs/loop/cpu", t, n));
+    nws::obs::set_metrics_enabled(true);
+    loop_on.push_back(run_loopback(client, "obs/loop/cpu", t, n));
+  }
+  client.disconnect();
+  server.stop();
+  nws::obs::set_metrics_enabled(true);
+
+  const Quantiles in_on = best_of(inproc_on);
+  const Quantiles in_off = best_of(inproc_off);
+  const Quantiles lb_on = best_of(loop_on);
+  const Quantiles lb_off = best_of(loop_off);
+
+  std::printf("micro_obs: %zu requests/rep, best of %zu reps\n", n, reps);
+  print_pair("inproc", in_on, in_off);
+  print_pair("loopback", lb_on, lb_off);
+
+  const std::string path = nws::bench::output_dir() + "/BENCH_obs.json";
+  std::ofstream json(path, std::ios::trunc);
+  json << "{\n  \"bench\": \"micro_obs\",\n";
+  json << "  \"n\": " << n << ",\n  \"reps\": " << reps << ",\n";
+  json << "  \"target_overhead_p50\": 0.02,\n";
+  json_pair(json, "inproc", in_on, in_off, /*trailing_comma=*/true);
+  json_pair(json, "loopback", lb_on, lb_off, /*trailing_comma=*/false);
+  json << "}\n";
+  json.close();
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}

@@ -10,12 +10,14 @@
 // NWS forecasting method on the series.  With no argument it synthesises a
 // demo trace from the simulated 'thing2' host first.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "experiments/hosts.hpp"
 #include "experiments/runner.hpp"
 #include "forecast/evaluate.hpp"
 #include "nws/trace_io.hpp"
+#include "obs/log.hpp"
 #include "tsa/aggregate.hpp"
 #include "tsa/autocorrelation.hpp"
 #include "tsa/rs_analysis.hpp"
@@ -24,11 +26,18 @@
 int main(int argc, char** argv) {
   using namespace nws;
 
+  // Progress goes through the leveled logger; an interactive example stays
+  // chatty by default, but NWSCPU_LOG=error (or off) silences it.
+  if (std::getenv("NWSCPU_LOG") == nullptr) {
+    obs::set_log_level(obs::LogLevel::kInfo);
+  }
+
   std::string path;
   if (argc > 1) {
     path = argv[1];
   } else {
-    std::printf("no trace given; simulating 6h of thing2 first...\n");
+    obs::log_info("trace_analysis",
+                  "no trace given; simulating 6h of thing2 first...");
     auto host = make_ucsd_host(UcsdHost::kThing2, 11);
     RunnerConfig cfg;
     cfg.duration = 6 * 3600.0;

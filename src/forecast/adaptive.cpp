@@ -6,7 +6,33 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace nws {
+
+namespace {
+
+// Battery telemetry: how often the winner changes, and the running error
+// of whichever method currently leads.  Per-method gauges are looked up on
+// a switch (a rare event — the hot observe loop never touches the registry
+// mutex).
+void note_method_switch(const std::string& method, double mae) {
+  static obs::Counter& switches = obs::registry().counter(
+      "nws_forecast_method_switches_total",
+      "Battery selection changes (a different method took the lead)");
+  switches.inc();
+  obs::Registry& reg = obs::registry();
+  reg.counter("nws_forecast_selected_total{method=\"" + method + "\"}",
+              "Times a method took the lead")
+      .inc();
+  if (std::isfinite(mae)) {
+    reg.gauge("nws_forecast_method_mae{method=\"" + method + "\"}",
+              "Running selection error of a method when it took the lead")
+        .set(mae);
+  }
+}
+
+}  // namespace
 
 AdaptiveForecaster::AdaptiveForecaster(std::vector<ForecasterPtr> methods,
                                        std::size_t error_window,
@@ -82,7 +108,12 @@ void AdaptiveForecaster::observe(double value) {
       t.total_sq += err * err;
       ++t.count;
     }
+    const std::size_t previous_best = best_;
     reselect();
+    if (best_ != previous_best && obs::metrics_enabled()) {
+      note_method_switch(methods_[best_]->name(),
+                         tracker_error(trackers_[best_]));
+    }
   }
   ++selections_[best_];
   for (auto& m : methods_) m->observe(value);

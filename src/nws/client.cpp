@@ -13,7 +13,50 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace nws {
+
+namespace {
+
+// Outbox telemetry, shared by every client in the process (the fleet
+// runner spawns one client per simulated host; fleet-wide totals are what
+// the end-of-run table wants).  Registered once, held by pointer.
+struct ClientMetrics {
+  obs::Counter* reconnects = nullptr;
+  obs::Counter* overflows = nullptr;
+  obs::Counter* replayed = nullptr;
+  obs::Counter* flushes = nullptr;
+  obs::Counter* flush_failures = nullptr;
+  obs::Histogram* flush_seconds = nullptr;
+};
+
+ClientMetrics& client_metrics() {
+  static ClientMetrics* metrics = [] {
+    auto* m = new ClientMetrics();
+    obs::Registry& reg = obs::registry();
+    m->reconnects = &reg.counter("nws_client_reconnects_total",
+                                 "Reconnect attempts by the reliable path");
+    m->overflows = &reg.counter(
+        "nws_client_outbox_overflows_total",
+        "Measurements dropped because the outbox was full");
+    m->replayed = &reg.counter("nws_client_replayed_total",
+                               "Outbox records acked by the server");
+    m->flushes = &reg.counter("nws_client_flushes_total",
+                              "flush() calls that started with a backlog");
+    m->flush_failures =
+        &reg.counter("nws_client_flush_failures_total",
+                     "flush() calls that exhausted their attempts with "
+                     "records still queued");
+    m->flush_seconds = &reg.histogram(
+        "nws_client_flush_seconds", "Outbox flush duration (incl. backoff)");
+    return m;
+  }();
+  return *metrics;
+}
+
+}  // namespace
 
 NwsClient::NwsClient(ClientConfig config)
     : cfg_(config), backoff_(config.backoff, config.backoff_seed) {}
@@ -169,8 +212,10 @@ std::optional<PutBatchReply> NwsClient::put_batch(
 
 bool NwsClient::put_reliable(const std::string& series,
                              Measurement measurement) {
+  const obs::TraceSpan span("client.enqueue");
   if (outbox_.size() >= cfg_.outbox_capacity) {
     ++overflows_;
+    client_metrics().overflows->inc();
     return false;
   }
   outbox_.push_back(Pending{next_seq_++, series, measurement});
@@ -186,6 +231,7 @@ bool NwsClient::put_reliable(const std::string& series,
     const auto response = round_trip(req);
     if (response && response_is_ok(*response)) {
       outbox_.pop_front();
+      client_metrics().replayed->inc();
       backoff_.reset();
     }
   }
@@ -193,16 +239,23 @@ bool NwsClient::put_reliable(const std::string& series,
 }
 
 bool NwsClient::flush() {
+  if (outbox_.empty()) return true;
+  ClientMetrics& m = client_metrics();
+  m.flushes->inc();
+  const obs::TraceSpan span("client.flush");
+  const obs::ScopedTimer timer(*m.flush_seconds);
   for (int attempt = 0; attempt < cfg_.max_flush_attempts; ++attempt) {
     if (outbox_.empty()) return true;
     if (!connected()) {
       if (last_port_ == 0 || !connect(last_port_)) {
         ++reconnects_;
+        m.reconnects->inc();
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
             backoff_.next_delay_ms()));
         continue;
       }
       ++reconnects_;
+      m.reconnects->inc();
     }
     // Replay in order from the head; the server acks duplicates per
     // sample, so re-sending records whose ack was lost is safe.  Runs of
@@ -247,6 +300,7 @@ bool NwsClient::flush() {
       continue;
     }
     for (const std::size_t records : line_records) {
+      const obs::TraceSpan ack_span("client.ack");
       const auto response = read_response();
       if (!response || !response_is_ok(*response)) {
         disconnect();
@@ -254,9 +308,11 @@ bool NwsClient::flush() {
       }
       outbox_.erase(outbox_.begin(),
                     outbox_.begin() + static_cast<std::ptrdiff_t>(records));
+      m.replayed->inc(records);
       backoff_.reset();
     }
   }
+  if (!outbox_.empty()) m.flush_failures->inc();
   return outbox_.empty();
 }
 
@@ -267,6 +323,26 @@ std::optional<StatsReply> NwsClient::stats(const std::string& series) {
   const auto response = round_trip(req);
   if (!response) return std::nullopt;
   return parse_stats_response(*response);
+}
+
+std::optional<std::string> NwsClient::metrics() {
+  Request req;
+  req.kind = RequestKind::kMetrics;
+  // The response is multi-line: "OK <n>" then n exposition lines, all
+  // framed by the header's line count (no sentinel to scan for).
+  const auto header = round_trip(req);
+  if (!header) return std::nullopt;
+  const auto lines = parse_metrics_header(*header);
+  if (!lines) return std::nullopt;
+  std::string body;
+  body.reserve(*lines * 48);
+  for (std::size_t i = 0; i < *lines; ++i) {
+    const auto line = read_response();
+    if (!line) return std::nullopt;
+    body += *line;
+    body += '\n';
+  }
+  return body;
 }
 
 std::optional<ForecastReply> NwsClient::forecast(const std::string& series) {

@@ -118,6 +118,11 @@ class NwsClient {
   /// non-empty; nullopt on failure or unknown series.
   [[nodiscard]] std::optional<StatsReply> stats(const std::string& series = "");
 
+  /// The server's telemetry registry (METRICS): Prometheus text
+  /// exposition, one metric per line with a trailing newline.  nullopt on
+  /// transport failure or a malformed/short response.
+  [[nodiscard]] std::optional<std::string> metrics();
+
   /// Liveness round trip.
   bool ping();
 

@@ -4,7 +4,22 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace nws {
+
+namespace {
+
+// Process-wide out-of-order drop total (per-store counts stay on the
+// store; this feeds METRICS without walking every shard's memory).
+obs::Counter& ooo_dropped_counter() {
+  static obs::Counter& c = obs::registry().counter(
+      "nws_store_ooo_dropped_total",
+      "Out-of-order measurements rejected by SeriesStore");
+  return c;
+}
+
+}  // namespace
 
 SeriesStore::SeriesStore(std::size_t capacity) : buf_(capacity) {
   if (capacity == 0) {
@@ -15,6 +30,7 @@ SeriesStore::SeriesStore(std::size_t capacity) : buf_(capacity) {
 bool SeriesStore::append(Measurement m) {
   if (size_ > 0 && m.time < newest().time) {
     ++dropped_;
+    ooo_dropped_counter().inc();
     return false;
   }
   if (size_ == buf_.size()) {

@@ -5,12 +5,52 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/fault.hpp"
 #include "util/fmt.hpp"
 
 namespace nws {
 
 namespace {
+
+// Durability telemetry, summed across every journal segment in the
+// process (one per shard).  Registered once, held by pointer.
+struct JournalMetrics {
+  obs::Counter* appends = nullptr;
+  obs::Counter* commits = nullptr;
+  obs::Counter* write_failures = nullptr;
+  obs::Histogram* commit_seconds = nullptr;
+  obs::Histogram* batch_records = nullptr;
+  obs::Counter* replay_recovered = nullptr;
+  obs::Counter* replay_skipped = nullptr;
+};
+
+JournalMetrics& journal_metrics() {
+  static JournalMetrics* metrics = [] {
+    auto* m = new JournalMetrics();
+    obs::Registry& reg = obs::registry();
+    m->appends = &reg.counter("nws_journal_appends_total",
+                              "Records buffered for group commit");
+    m->commits = &reg.counter("nws_journal_commits_total",
+                              "Group commits issued (write + flush)");
+    m->write_failures = &reg.counter(
+        "nws_journal_write_failures_total",
+        "Records lost to injected or real journal write failures");
+    m->commit_seconds = &reg.histogram(
+        "nws_journal_commit_seconds", "Group-commit write + flush duration");
+    m->batch_records =
+        &reg.histogram("nws_journal_batch_records",
+                       "Records carried per group commit", /*scale=*/1.0);
+    m->replay_recovered = &reg.counter(
+        "nws_journal_replay_recovered_total",
+        "Records recovered from journal replay at the last restart");
+    m->replay_skipped = &reg.counter(
+        "nws_journal_replay_skipped_total",
+        "Torn or corrupt journal lines skipped during replay");
+    return m;
+  }();
+  return *metrics;
+}
 
 /// Parses one journal record: "series time value".  Series names contain
 /// no whitespace (enforced on the write side by the protocol's tokeniser
@@ -50,6 +90,9 @@ Journal::ReplayStats Journal::replay(
     }
     ++stats.recovered;
   }
+  JournalMetrics& jm = journal_metrics();
+  jm.replay_recovered->inc(stats.recovered);
+  jm.replay_skipped->inc(stats.skipped);
   return stats;
 }
 
@@ -75,18 +118,25 @@ void Journal::encode(std::string& out, const std::string& series,
 bool Journal::append(const std::string& series, Measurement m) {
   if (fault_check(FaultSite::kDiskWrite).kind == FaultAction::Kind::kFail) {
     ++write_failures_;
+    journal_metrics().write_failures->inc();
     return false;
   }
   encode(buffer_, series, m);
   ++pending_;
+  journal_metrics().appends->inc();
   if (pending_ >= group_size_) return commit();
   return true;
 }
 
 bool Journal::commit() {
   if (pending_ == 0) return true;
+  JournalMetrics& jm = journal_metrics();
+  jm.commits->inc();
+  jm.batch_records->record(pending_);
+  const std::uint64_t t0 = obs::metrics_enabled() ? obs::now_ns() : 0;
   out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
   out_.flush();
+  if (t0 != 0) jm.commit_seconds->record(obs::now_ns() - t0);
   const bool ok = out_.good();
   if (!ok) {
     // Real write failure (disk full, file rotated away, ...): count every
@@ -94,6 +144,7 @@ bool Journal::commit() {
     // stream instead of a stuck failbit swallowing every record from here
     // on.
     write_failures_ += pending_;
+    jm.write_failures->inc(pending_);
     out_.close();
     out_.clear();
     out_.open(path_, std::ios::app);

@@ -150,6 +150,10 @@ bool parse_request_into(std::string_view line, Request& out) {
     out.series.assign(series);
     return cursor.done();
   }
+  if (verb == "METRICS") {
+    out.kind = RequestKind::kMetrics;
+    return cursor.done();
+  }
   if (verb == "PING") {
     out.kind = RequestKind::kPing;
     return cursor.done();
@@ -220,6 +224,9 @@ void append_request(std::string& out, const Request& request) {
         out += ' ';
         out += request.series;
       }
+      break;
+    case RequestKind::kMetrics:
+      out += "METRICS";
       break;
     case RequestKind::kPing:
       out += "PING";
@@ -294,7 +301,8 @@ void append_put_batch_response(std::string& out, std::uint64_t applied,
 
 void append_stats_response(std::string& out, std::uint64_t series,
                            std::uint64_t retained, std::uint64_t appended,
-                           std::uint64_t dropped) {
+                           std::uint64_t dropped,
+                           std::uint64_t replay_skipped) {
   out += "OK ";
   append_unsigned(out, series);
   out += ' ';
@@ -303,6 +311,25 @@ void append_stats_response(std::string& out, std::uint64_t series,
   append_unsigned(out, appended);
   out += ' ';
   append_unsigned(out, dropped);
+  out += ' ';
+  append_unsigned(out, replay_skipped);
+}
+
+void append_metrics_response(std::string& out, std::string_view body) {
+  while (!body.empty() && body.back() == '\n') body.remove_suffix(1);
+  std::size_t lines = 0;
+  if (!body.empty()) {
+    lines = 1;
+    for (const char c : body) {
+      if (c == '\n') ++lines;
+    }
+  }
+  out += "OK ";
+  append_unsigned(out, lines);
+  if (!body.empty()) {
+    out += '\n';
+    out += body;
+  }
 }
 
 std::string format_ok() { return "OK"; }
@@ -403,13 +430,50 @@ std::optional<PutBatchReply> parse_put_batch_response(
 std::optional<StatsReply> parse_stats_response(std::string_view response) {
   if (!response_is_ok(response)) return std::nullopt;
   const auto tokens = tokenize(response);
-  if (tokens.size() != 5) return std::nullopt;
+  // 5 numbers since the telemetry PR; the 4-number form is still accepted
+  // so a new client can read an old server's reply (replay_skipped = 0).
+  if (tokens.size() != 5 && tokens.size() != 6) return std::nullopt;
   StatsReply reply;
   if (!parse_u64_token(tokens[1], reply.series)) return std::nullopt;
   if (!parse_u64_token(tokens[2], reply.retained)) return std::nullopt;
   if (!parse_u64_token(tokens[3], reply.appended)) return std::nullopt;
   if (!parse_u64_token(tokens[4], reply.dropped)) return std::nullopt;
+  if (tokens.size() == 6 &&
+      !parse_u64_token(tokens[5], reply.replay_skipped)) {
+    return std::nullopt;
+  }
   return reply;
+}
+
+std::optional<std::size_t> parse_metrics_header(std::string_view header) {
+  const auto tokens = tokenize(header);
+  if (tokens.size() != 2 || tokens[0] != "OK") return std::nullopt;
+  std::size_t lines = 0;
+  if (!parse_size_token(tokens[1], lines)) return std::nullopt;
+  return lines;
+}
+
+std::optional<std::string> parse_metrics_response(std::string_view response) {
+  const std::size_t newline = response.find('\n');
+  const std::string_view header = response.substr(
+      0, newline == std::string_view::npos ? response.size() : newline);
+  const auto expected = parse_metrics_header(header);
+  if (!expected) return std::nullopt;
+  std::string_view body = newline == std::string_view::npos
+                              ? std::string_view{}
+                              : response.substr(newline + 1);
+  while (!body.empty() && body.back() == '\n') body.remove_suffix(1);
+  std::size_t lines = 0;
+  if (!body.empty()) {
+    lines = 1;
+    for (const char c : body) {
+      if (c == '\n') ++lines;
+    }
+  }
+  if (lines != *expected) return std::nullopt;
+  std::string out(body);
+  if (!out.empty()) out += '\n';
+  return out;
 }
 
 }  // namespace nws

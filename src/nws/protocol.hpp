@@ -23,11 +23,21 @@
 //   VALUES <series> <max>           most recent <max> measurements
 //   SERIES                          list known series names
 //   STATS                           service totals: "OK <series> <retained>
-//                                   <appended> <dropped>" (dropped counts
-//                                   out-of-order samples SeriesStore
-//                                   rejected)
+//                                   <appended> <dropped> <replay_skipped>"
+//                                   (dropped counts out-of-order samples
+//                                   SeriesStore rejected; replay_skipped
+//                                   counts torn/corrupt journal lines
+//                                   skipped at the last restart)
 //   STATS <series>                  the same shape for one series (the
-//                                   series field is 1)
+//                                   series field is 1, replay_skipped 0 —
+//                                   replay damage is not attributed per
+//                                   series)
+//   METRICS                         telemetry registry dump.  The response
+//                                   is multi-line: a header "OK <n>"
+//                                   followed by n lines of Prometheus text
+//                                   exposition (per-verb request counts and
+//                                   latency histograms, shard queue depths,
+//                                   journal commit timings, ...)
 //   PING                            liveness check
 //   QUIT                            close the connection
 //
@@ -66,6 +76,7 @@ enum class RequestKind {
   kValues,
   kSeries,
   kStats,
+  kMetrics,
   kPing,
   kQuit
 };
@@ -110,7 +121,12 @@ void append_put_batch_response(std::string& out, std::uint64_t applied,
 /// STATS payload (global totals, or one series with series == 1).
 void append_stats_response(std::string& out, std::uint64_t series,
                            std::uint64_t retained, std::uint64_t appended,
-                           std::uint64_t dropped);
+                           std::uint64_t dropped,
+                           std::uint64_t replay_skipped);
+/// METRICS payload: line-count framing ("OK <n>" + n exposition lines).
+/// `body` is Prometheus text, '\n'-separated (a trailing newline is
+/// tolerated); empty lines inside the body are not allowed.
+void append_metrics_response(std::string& out, std::string_view body);
 
 [[nodiscard]] std::string format_ok();
 [[nodiscard]] std::string format_error(std::string_view message);
@@ -143,12 +159,16 @@ struct PutBatchReply {
   std::uint64_t dropped = 0;
 };
 
-/// STATS payload: series/measurement totals plus out-of-order drops.
+/// STATS payload: series/measurement totals plus out-of-order drops and
+/// journal replay damage.
 struct StatsReply {
   std::uint64_t series = 0;    ///< series counted (1 for STATS <series>)
   std::uint64_t retained = 0;  ///< measurements currently held in memory
   std::uint64_t appended = 0;  ///< measurements ever accepted
   std::uint64_t dropped = 0;   ///< out-of-order samples rejected
+  /// Torn/corrupt journal lines skipped at the last restart (global form
+  /// only; 0 in the per-series form).
+  std::uint64_t replay_skipped = 0;
 };
 
 [[nodiscard]] bool response_is_ok(std::string_view response);
@@ -161,6 +181,15 @@ struct StatsReply {
 [[nodiscard]] std::optional<PutBatchReply> parse_put_batch_response(
     std::string_view response);
 [[nodiscard]] std::optional<StatsReply> parse_stats_response(
+    std::string_view response);
+/// Parses the METRICS header line "OK <n>" (the exposition line count).
+[[nodiscard]] std::optional<std::size_t> parse_metrics_header(
+    std::string_view header);
+/// Parses a complete framed METRICS response (header + body, as
+/// handle_line returns it); nullopt when the header is malformed or the
+/// body line count disagrees with it.  Returns the exposition text with
+/// one trailing newline.
+[[nodiscard]] std::optional<std::string> parse_metrics_response(
     std::string_view response);
 
 }  // namespace nws

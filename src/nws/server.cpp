@@ -8,15 +8,108 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 
 namespace nws {
 
 namespace {
+
+// -------------------------------------------------------------------------
+// Telemetry: per-verb request counters and latency histograms plus the
+// server-wide counters mirrored into the registry (the legacy atomics on
+// NwsServer stay authoritative for the accessor API; these feed METRICS).
+// Registered once, held by pointer — the hot path never touches the
+// registry mutex.
+
+constexpr std::size_t kVerbCount = 10;
+
+const char* verb_label(RequestKind kind) noexcept {
+  switch (kind) {
+    case RequestKind::kPut:
+      return "PUT";
+    case RequestKind::kPutSeq:
+      return "PUTS";
+    case RequestKind::kPutBatch:
+      return "PUTB";
+    case RequestKind::kForecast:
+      return "FORECAST";
+    case RequestKind::kValues:
+      return "VALUES";
+    case RequestKind::kSeries:
+      return "SERIES";
+    case RequestKind::kStats:
+      return "STATS";
+    case RequestKind::kMetrics:
+      return "METRICS";
+    case RequestKind::kPing:
+      return "PING";
+    case RequestKind::kQuit:
+      return "QUIT";
+  }
+  return "?";
+}
+
+struct ServerMetrics {
+  std::array<obs::Counter*, kVerbCount> requests{};
+  std::array<obs::Histogram*, kVerbCount> latency{};
+  obs::Counter* malformed = nullptr;
+  obs::Counter* fence_waits = nullptr;
+  obs::Histogram* fence_wait_seconds = nullptr;
+  obs::Counter* duplicates = nullptr;
+  obs::Counter* shed = nullptr;
+  obs::Counter* conns_dropped = nullptr;
+  obs::Gauge* connections = nullptr;
+  obs::Gauge* series = nullptr;
+};
+
+ServerMetrics& server_metrics() {
+  // Leaked (like the registry): instrumentation sites may fire from worker
+  // threads during static destruction of other objects.
+  static ServerMetrics* metrics = [] {
+    auto* m = new ServerMetrics();
+    obs::Registry& reg = obs::registry();
+    for (std::size_t i = 0; i < kVerbCount; ++i) {
+      const std::string labels =
+          std::string("{verb=\"") + verb_label(static_cast<RequestKind>(i)) +
+          "\"}";
+      m->requests[i] = &reg.counter("nws_server_requests_total" + labels,
+                                    "Requests served, by verb");
+      m->latency[i] =
+          &reg.histogram("nws_server_request_seconds" + labels,
+                         "Request latency (parse + execute), by verb");
+    }
+    m->malformed = &reg.counter("nws_server_malformed_total",
+                                "Requests rejected by the parser");
+    m->fence_waits =
+        &reg.counter("nws_server_fence_waits_total",
+                     "Cross-shard reads that waited on the read-your-writes "
+                     "barrier");
+    m->fence_wait_seconds =
+        &reg.histogram("nws_server_fence_wait_seconds",
+                       "Read-your-writes barrier wait before a cross-shard "
+                       "read executes");
+    m->duplicates = &reg.counter(
+        "nws_server_duplicates_total",
+        "Duplicate PUTS requests / PUTB samples acked without re-applying");
+    m->shed = &reg.counter("nws_server_shed_busy_total",
+                           "Requests shed with ERR busy (series table full)");
+    m->conns_dropped =
+        &reg.counter("nws_server_connections_dropped_total",
+                     "Connections dropped for oversized lines or idleness");
+    m->connections = &reg.gauge("nws_server_connections",
+                                "Connected clients (refreshed on METRICS)");
+    m->series = &reg.gauge("nws_server_series",
+                           "Distinct series (refreshed on METRICS)");
+    return m;
+  }();
+  return *metrics;
+}
 
 ServerConfig capacity_only(std::size_t memory_capacity) {
   ServerConfig config;
@@ -49,8 +142,12 @@ NwsServer::NwsServer(ServerConfig config)
       service_(resolve_shards(cfg_), cfg_.memory_capacity, {},
                cfg_.journal_path) {
   shards_.reserve(service_.shard_count());
+  shard_queue_depth_.reserve(service_.shard_count());
   for (std::size_t k = 0; k < service_.shard_count(); ++k) {
     shards_.push_back(std::make_unique<ShardState>());
+    shard_queue_depth_.push_back(&obs::registry().gauge(
+        "nws_shard_queue_depth{shard=\"" + std::to_string(k) + "\"}",
+        "Requests queued per shard worker"));
   }
   service_.set_group_size(cfg_.journal_group_size);
   total_series_.store(service_.series_count(), std::memory_order_relaxed);
@@ -72,6 +169,7 @@ void NwsServer::handle_put(const Request& req, std::size_t k,
   if (cfg_.max_series != 0 && is_new &&
       total_series_.load(std::memory_order_relaxed) >= cfg_.max_series) {
     ++shed_;
+    server_metrics().shed->inc();
     append_error(out, "busy");
     return;
   }
@@ -107,6 +205,7 @@ void NwsServer::handle_put(const Request& req, std::size_t k,
     applied_seq[req.series] =
         std::max(high, req.seq + req.batch.size() - 1);
     duplicates_ += dup;
+    server_metrics().duplicates->inc(dup);
     if (applied > 0 && is_new) {
       total_series_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -123,6 +222,7 @@ void NwsServer::handle_put(const Request& req, std::size_t k,
                           req.measurement.time <= store->newest().time;
     if (seq_dup || time_dup) {
       ++duplicates_;
+      server_metrics().duplicates->inc();
       out += "OK dup";
       return;
     }
@@ -196,7 +296,7 @@ void NwsServer::execute_request(const Request& req, std::string& out) {
           return;
         }
         append_stats_response(out, 1, store->size(), store->appended(),
-                              store->dropped());
+                              store->dropped(), /*replay_skipped=*/0);
         return;
       }
       std::vector<std::unique_lock<std::mutex>> locks;
@@ -204,7 +304,21 @@ void NwsServer::execute_request(const Request& req, std::string& out) {
       for (auto& sh : shards_) locks.emplace_back(sh->mu);
       const Memory::Totals totals = service_.totals();
       append_stats_response(out, service_.series_count(), totals.retained,
-                            totals.appended, totals.dropped);
+                            totals.appended, totals.dropped,
+                            service_.replay_skipped());
+      return;
+    }
+    case RequestKind::kMetrics: {
+      // Registry-only read: no shard locks, no read-your-writes fence — a
+      // monitoring scrape must never contend with the measurement path.
+      ServerMetrics& m = server_metrics();
+      m.connections->set(static_cast<double>(connections_.load()));
+      m.series->set(static_cast<double>(
+          total_series_.load(std::memory_order_relaxed)));
+      std::string body;
+      body.reserve(4096);
+      obs::registry().render_prometheus(body);
+      append_metrics_response(out, body);
       return;
     }
     case RequestKind::kPing:
@@ -219,7 +333,19 @@ void NwsServer::process_line(std::string_view line, Request& req,
                              std::string& out, bool& close_after,
                              const Task* task) {
   ++requests_;
+  ServerMetrics& m = server_metrics();
+  // Latency is sampled 1-in-64: per-verb request counters stay exact, but
+  // the two clock reads bounding a timing are paid only on sampled
+  // requests — on a ~0.5us in-process request the clock alone busts the
+  // <2% overhead budget DESIGN.md §9 sets (measured by bench/micro_obs).
+  constexpr std::uint32_t kLatencySampleEvery = 64;
+  thread_local std::uint32_t latency_tick = 0;
+  const bool counted = obs::metrics_enabled();
+  const bool timed =
+      counted && (latency_tick++ & (kLatencySampleEvery - 1)) == 0;
+  const std::uint64_t t0 = timed ? obs::now_ns() : 0;
   if (!parse_request_into(line, req)) {
+    m.malformed->inc();
     append_error(out, "malformed request");
     return;
   }
@@ -233,13 +359,23 @@ void NwsServer::process_line(std::string_view line, Request& req,
     // this task (dispatch order is queue order per shard), so waiting for
     // our slot to be next to flush cannot deadlock; closing/dead unblocks
     // a torn-down connection (its response is dropped unsent anyway).
+    m.fence_waits->inc();
+    const obs::ScopedTimer fence_timer(*m.fence_wait_seconds);
     std::unique_lock lock(task->conn->mu);
     task->conn->cv.wait(lock, [&] {
       return task->conn->flush_slot == task->slot || task->conn->closing ||
              task->conn->dead;
     });
   }
-  execute_request(req, out);
+  {
+    const obs::TraceSpan span("server.apply");
+    execute_request(req, out);
+  }
+  if (counted) {
+    const auto v = static_cast<std::size_t>(req.kind);
+    m.requests[v]->inc();
+    if (t0 != 0) m.latency[v]->record(obs::now_ns() - t0);
+  }
 }
 
 std::string NwsServer::handle_line(std::string_view line) {
@@ -348,6 +484,7 @@ void NwsServer::wake_dispatcher() const noexcept {
 
 void NwsServer::complete(const ConnPtr& conn, std::size_t slot,
                          std::string&& text, bool close_after) {
+  const obs::TraceSpan span("server.respond");
   bool want_reap = false;
   {
     const std::scoped_lock lock(conn->mu);
@@ -408,6 +545,7 @@ void NwsServer::complete(const ConnPtr& conn, std::size_t slot,
 }
 
 void NwsServer::commit_shard(std::size_t k) {
+  const obs::TraceSpan span("server.journal_commit");
   const std::scoped_lock lock(shards_[k]->mu);
   service_.commit(k);
 }
@@ -425,6 +563,7 @@ void NwsServer::worker_loop(std::size_t k) {
         if (!sh.queue.empty()) {
           task = std::move(sh.queue.front());
           sh.queue.pop_front();
+          shard_queue_depth_[k]->set(static_cast<double>(sh.queue.size()));
           have_task = true;
           break;
         }
@@ -477,6 +616,7 @@ std::size_t NwsServer::route_line(std::string_view line) const {
 }
 
 void NwsServer::dispatch_lines(const ConnPtr& conn) {
+  const obs::TraceSpan span("server.dispatch");
   std::size_t newline;
   while (!conn->stop_dispatch &&
          (newline = conn->rx.find('\n')) != std::string::npos) {
@@ -484,6 +624,7 @@ void NwsServer::dispatch_lines(const ConnPtr& conn) {
       conn->rx.clear();
       conn->stop_dispatch = true;
       ++dropped_;
+      server_metrics().conns_dropped->inc();
       conn->inflight.fetch_add(1, std::memory_order_relaxed);
       complete(conn, conn->next_slot++, format_error("line too long"),
                /*close_after=*/true);
@@ -507,6 +648,7 @@ void NwsServer::dispatch_lines(const ConnPtr& conn) {
     {
       const std::scoped_lock qlock(sh.qmu);
       sh.queue.push_back(std::move(task));
+      shard_queue_depth_[k]->set(static_cast<double>(sh.queue.size()));
     }
     sh.qcv.notify_one();
   }
@@ -516,6 +658,7 @@ void NwsServer::dispatch_lines(const ConnPtr& conn) {
     conn->rx.clear();
     conn->stop_dispatch = true;
     ++dropped_;
+    server_metrics().conns_dropped->inc();
     conn->inflight.fetch_add(1, std::memory_order_relaxed);
     complete(conn, conn->next_slot++, format_error("line too long"),
              /*close_after=*/true);
@@ -571,6 +714,7 @@ void NwsServer::serve_loop() {
           continue;
         }
         if (revents & (POLLIN | POLLHUP)) {
+          const obs::TraceSpan span("server.read");
           const ssize_t n = ::recv(conns[i]->fd, chunk, sizeof chunk, 0);
           if (n <= 0) {
             drop(i);
@@ -590,6 +734,7 @@ void NwsServer::serve_loop() {
 
       // New connections.
       if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
+        const obs::TraceSpan span("server.accept");
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd >= 0) {
           auto conn = std::make_shared<Connection>();
@@ -622,6 +767,7 @@ void NwsServer::serve_loop() {
             now - conns[i]->last_activity > limit) {
           drop(i);
           ++dropped_;
+          server_metrics().conns_dropped->inc();
         }
       }
     }

@@ -65,6 +65,7 @@
 
 #include "nws/protocol.hpp"
 #include "nws/sharded_service.hpp"
+#include "obs/metrics.hpp"
 
 namespace nws {
 
@@ -228,6 +229,9 @@ class NwsServer {
   ServerConfig cfg_;
   ShardedForecastService service_;
   std::vector<std::unique_ptr<ShardState>> shards_;
+  /// Per-shard queue-depth gauges (nws_shard_queue_depth{shard="k"}),
+  /// registered once at construction and updated on enqueue/dequeue.
+  std::vector<obs::Gauge*> shard_queue_depth_;
   /// Distinct series across all shards (max_series admission without
   /// taking every shard lock on the PUT path).
   std::atomic<std::size_t> total_series_{0};

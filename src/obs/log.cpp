@@ -1,0 +1,99 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace nws::obs {
+
+namespace {
+
+LogLevel env_log_level() noexcept {
+  const char* env = std::getenv("NWSCPU_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+std::atomic<int>& level_flag() noexcept {
+  static std::atomic<int> level{static_cast<int>(env_log_level())};
+  return level;
+}
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kInfo:
+      return "info ";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kOff:
+      break;
+  }
+  return "?    ";
+}
+
+double seconds_since_start() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::mutex& sink_mutex() noexcept {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_flag().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_flag().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= level_flag().load(std::memory_order_relaxed)
+         && level != LogLevel::kOff;
+}
+
+void vlog(LogLevel level, const char* component, const char* fmt,
+          std::va_list args) {
+  if (!log_enabled(level)) return;
+  char message[1024];
+  std::vsnprintf(message, sizeof message, fmt, args);
+  const std::scoped_lock lock(sink_mutex());
+  std::fprintf(stderr, "[nwscpu %s +%.3fs %s] %s\n", level_name(level),
+               seconds_since_start(), component, message);
+}
+
+void log_error(const char* component, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kError, component, fmt, args);
+  va_end(args);
+}
+
+void log_info(const char* component, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kInfo, component, fmt, args);
+  va_end(args);
+}
+
+void log_debug(const char* component, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kDebug, component, fmt, args);
+  va_end(args);
+}
+
+}  // namespace nws::obs

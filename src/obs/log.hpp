@@ -1,0 +1,46 @@
+// Tiny leveled structured logger for long-running fleet/experiment
+// binaries: off by default, enabled at runtime with NWSCPU_LOG=error|info|
+// debug (or set_log_level()), so a stuck overnight run is diagnosable
+// without recompiling.
+//
+// One line per call, serialised under a mutex, written to stderr:
+//
+//   [nwscpu info  +12.345s fleet] simulated thing2 (3.1s)
+//
+// The component tag keys grep-ability ("fleet", "server", "obs"); the
+// timestamp is seconds since the first log call.  Message formatting is
+// printf-style and only evaluated when the level is enabled — guard any
+// expensive argument computation with log_enabled().
+#pragma once
+
+#include <cstdarg>
+
+namespace nws::obs {
+
+enum class LogLevel { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Current level (cached NWSCPU_LOG; default kOff).
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+/// Core sink; prefer the level helpers below.
+void vlog(LogLevel level, const char* component, const char* fmt,
+          std::va_list args);
+
+#if defined(__GNUC__)
+#define NWSCPU_PRINTF(fmt_idx, arg_idx) \
+  __attribute__((format(printf, fmt_idx, arg_idx)))
+#else
+#define NWSCPU_PRINTF(fmt_idx, arg_idx)
+#endif
+
+void log_error(const char* component, const char* fmt, ...)
+    NWSCPU_PRINTF(2, 3);
+void log_info(const char* component, const char* fmt, ...) NWSCPU_PRINTF(2, 3);
+void log_debug(const char* component, const char* fmt, ...)
+    NWSCPU_PRINTF(2, 3);
+
+#undef NWSCPU_PRINTF
+
+}  // namespace nws::obs

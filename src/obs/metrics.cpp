@@ -1,0 +1,338 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace nws::obs {
+
+namespace {
+
+bool env_metrics_default() noexcept {
+  const char* env = std::getenv("NWSCPU_METRICS");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+/// Splits "base{labels}" into base and the label body (no braces).
+void split_labels(std::string_view name, std::string_view& base,
+                  std::string_view& labels) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) {
+    base = name;
+    labels = {};
+    return;
+  }
+  base = name.substr(0, brace);
+  labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.remove_suffix(1);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%llu",
+                              static_cast<unsigned long long>(v));
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+void append_g(std::string& out, double v) {
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof buf, "%g", v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool>& metrics_flag() noexcept {
+  static std::atomic<bool> flag{env_metrics_default()};
+  return flag;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool enabled) noexcept {
+  detail::metrics_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t this_thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot / Histogram
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  double seen = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket >= target) {
+      // Linear interpolation inside [lower, upper): bucket 0 is exactly 0.
+      if (b == 0) return 0.0;
+      const double lower =
+          b == 1 ? 1.0
+                 : static_cast<double>(std::uint64_t{1} << (b - 1));
+      const double upper = static_cast<double>(Histogram::bucket_upper(b));
+      const double frac = (target - seen) / in_bucket;
+      return scale * (lower + (upper - lower) * frac);
+    }
+    seen += in_bucket;
+  }
+  return scale * static_cast<double>(sum);  // unreachable with consistent data
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot snap;
+  snap.scale = scale_;
+  for (const Slot& s : slots_) {
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (Slot& s : slots_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry::Impl {
+  struct Entry {
+    // Exactly one of these is set; unique_ptr keeps addresses stable as
+    // the map grows.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::string help;
+  };
+
+  mutable std::mutex mu;
+  // Ordered by full name so label variants of one base are adjacent and
+  // the exposition is deterministic.
+  std::map<std::string, Entry, std::less<>> entries;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  const std::scoped_lock lock(impl_->mu);
+  auto it = impl_->entries.find(name);
+  if (it == impl_->entries.end()) {
+    Impl::Entry entry;
+    entry.counter = std::make_unique<Counter>();
+    entry.help = help;
+    it = impl_->entries.emplace(std::string(name), std::move(entry)).first;
+  }
+  return *it->second.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  const std::scoped_lock lock(impl_->mu);
+  auto it = impl_->entries.find(name);
+  if (it == impl_->entries.end()) {
+    Impl::Entry entry;
+    entry.gauge = std::make_unique<Gauge>();
+    entry.help = help;
+    it = impl_->entries.emplace(std::string(name), std::move(entry)).first;
+  }
+  return *it->second.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               double scale) {
+  const std::scoped_lock lock(impl_->mu);
+  auto it = impl_->entries.find(name);
+  if (it == impl_->entries.end()) {
+    Impl::Entry entry;
+    entry.histogram = std::make_unique<Histogram>(scale);
+    entry.help = help;
+    it = impl_->entries.emplace(std::string(name), std::move(entry)).first;
+  }
+  return *it->second.histogram;
+}
+
+namespace {
+
+/// Emits "# HELP"/"# TYPE" once per base name.
+void emit_header(std::string& out, std::string_view base,
+                 std::string_view help, const char* type,
+                 std::string& last_base) {
+  if (last_base == base) return;
+  last_base.assign(base);
+  if (!help.empty()) {
+    out += "# HELP ";
+    out += base;
+    out += ' ';
+    out += help;
+    out += '\n';
+  }
+  out += "# TYPE ";
+  out += base;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_labelled(std::string& out, std::string_view base,
+                     std::string_view suffix, std::string_view labels,
+                     std::string_view extra_label) {
+  out += base;
+  out += suffix;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+}
+
+}  // namespace
+
+void Registry::render_prometheus(std::string& out) const {
+  const std::scoped_lock lock(impl_->mu);
+  std::string last_base;
+  for (const auto& [name, entry] : impl_->entries) {
+    std::string_view base, labels;
+    split_labels(name, base, labels);
+    if (entry.counter) {
+      emit_header(out, base, entry.help, "counter", last_base);
+      append_labelled(out, base, "", labels, "");
+      out += ' ';
+      append_u64(out, entry.counter->value());
+      out += '\n';
+    } else if (entry.gauge) {
+      emit_header(out, base, entry.help, "gauge", last_base);
+      append_labelled(out, base, "", labels, "");
+      out += ' ';
+      append_g(out, entry.gauge->value());
+      out += '\n';
+    } else if (entry.histogram) {
+      emit_header(out, base, entry.help, "histogram", last_base);
+      const HistogramSnapshot snap = entry.histogram->snapshot();
+      // Cumulative buckets up to the highest non-empty one, then +Inf.
+      std::size_t top = 0;
+      for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+        if (snap.buckets[b] != 0) top = b;
+      }
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b <= top; ++b) {
+        cum += snap.buckets[b];
+        std::string le = "le=\"";
+        char buf[40];
+        const int n = std::snprintf(
+            buf, sizeof buf, "%g",
+            snap.scale * static_cast<double>(Histogram::bucket_upper(b)));
+        le.append(buf, static_cast<std::size_t>(n));
+        le += '"';
+        append_labelled(out, base, "_bucket", labels, le);
+        out += ' ';
+        append_u64(out, cum);
+        out += '\n';
+      }
+      append_labelled(out, base, "_bucket", labels, "le=\"+Inf\"");
+      out += ' ';
+      append_u64(out, snap.count);
+      out += '\n';
+      append_labelled(out, base, "_sum", labels, "");
+      out += ' ';
+      append_g(out, snap.scale * static_cast<double>(snap.sum));
+      out += '\n';
+      append_labelled(out, base, "_count", labels, "");
+      out += ' ';
+      append_u64(out, snap.count);
+      out += '\n';
+    }
+  }
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  const std::scoped_lock lock(impl_->mu);
+  Snapshot snap;
+  for (const auto& [name, entry] : impl_->entries) {
+    if (entry.counter) {
+      snap.counters.push_back({name, entry.counter->value()});
+    } else if (entry.gauge) {
+      snap.gauges.push_back({name, entry.gauge->value()});
+    } else if (entry.histogram) {
+      const HistogramSnapshot h = entry.histogram->snapshot();
+      snap.histograms.push_back({name, h.count, h.mean(), h.quantile(0.5),
+                                 h.quantile(0.9), h.quantile(0.99)});
+    }
+  }
+  return snap;
+}
+
+std::string Registry::Snapshot::to_table() const {
+  std::string out;
+  char buf[160];
+  for (const CounterValue& c : counters) {
+    if (c.value == 0) continue;
+    const int n =
+        std::snprintf(buf, sizeof buf, "  %-56s %12llu\n", c.name.c_str(),
+                      static_cast<unsigned long long>(c.value));
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  for (const GaugeValue& g : gauges) {
+    if (g.value == 0.0) continue;
+    const int n = std::snprintf(buf, sizeof buf, "  %-56s %12g\n",
+                                g.name.c_str(), g.value);
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  for (const HistogramValue& h : histograms) {
+    if (h.count == 0) continue;
+    const int n = std::snprintf(
+        buf, sizeof buf,
+        "  %-56s n=%-9llu mean=%-10.3g p50=%-10.3g p90=%-10.3g p99=%.3g\n",
+        h.name.c_str(), static_cast<unsigned long long>(h.count), h.mean,
+        h.p50, h.p90, h.p99);
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::scoped_lock lock(impl_->mu);
+  for (auto& [name, entry] : impl_->entries) {
+    if (entry.counter) entry.counter->reset();
+    if (entry.gauge) entry.gauge->reset();
+    if (entry.histogram) entry.histogram->reset();
+  }
+}
+
+std::size_t Registry::size() const {
+  const std::scoped_lock lock(impl_->mu);
+  return impl_->entries.size();
+}
+
+Registry& registry() {
+  // Leaked intentionally: instrumentation sites cache metric pointers and
+  // may fire from detached threads during static destruction.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+}  // namespace nws::obs

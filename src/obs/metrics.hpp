@@ -1,0 +1,259 @@
+// Lock-light process-wide metrics registry: the observability core every
+// layer of the NWS pipeline reports into.
+//
+// The paper's sensor exists to observe hosts; this registry turns the
+// sensor *pipeline itself* into an observable system.  Design constraints,
+// in order:
+//
+//  1. The hot path (the allocation-free parse/format request path, the
+//     forecaster observe loop) must stay wait-free: a Counter increment is
+//     one relaxed fetch_add, a Histogram record is three relaxed
+//     fetch_adds into a per-thread slot, and with metrics disabled
+//     (NWSCPU_METRICS=off) every operation degrades to a single relaxed
+//     atomic bool load — no branches into locked code, ever.
+//  2. Reads are rare and may be expensive: snapshot() and
+//     render_prometheus() merge the per-slot shards under no lock at all
+//     (relaxed reads of monotonic counters; totals are exact once writers
+//     quiesce, and within one increment per in-flight writer otherwise).
+//  3. Registration is cold: metrics are created once (under a mutex) and
+//     held by pointer/reference at the instrumentation site, mirroring how
+//     the sharded server keeps per-shard state — lookup cost is paid at
+//     startup, not per request.
+//
+// Histograms use fixed log2 buckets: bucket b holds values v with
+// bit_width(v) == b, i.e. [2^(b-1), 2^b), bucket 0 holds v == 0.  Latency
+// histograms record integer nanoseconds and carry scale = 1e-9 so
+// snapshots and the Prometheus exposition report seconds; size histograms
+// (journal batch records, ...) use scale = 1.  Metric names may embed
+// Prometheus labels directly: "nws_server_requests_total{verb=\"PUT\"}" —
+// the renderer groups label variants under one # HELP/# TYPE header.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nws::obs {
+
+// ---------------------------------------------------------------------------
+// Global enable switch (NWSCPU_METRICS; default on, "off"/"0"/"false"
+// disables).  Cached in an atomic so the hot-path check is one relaxed
+// load; set_metrics_enabled() overrides at runtime (benches flip it to
+// measure their own overhead).
+
+namespace detail {
+std::atomic<bool>& metrics_flag() noexcept;
+}  // namespace detail
+
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return detail::metrics_flag().load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool enabled) noexcept;
+
+/// Monotonic nanoseconds (steady_clock) for latency instrumentation.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Stable small index for the calling thread (assigned on first use);
+/// histograms fold it into their slot array.
+[[nodiscard]] std::size_t this_thread_slot() noexcept;
+
+// ---------------------------------------------------------------------------
+// Metric primitives
+
+class Counter {
+ public:
+  /// Wait-free; a no-op while metrics are disabled.
+  void inc(std::uint64_t n = 1) noexcept {
+    if (metrics_enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (metrics_enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double d) noexcept {
+    if (metrics_enabled()) value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Merged view of a histogram (see Histogram::snapshot).  Bucket counts
+/// and sum are in recorded units; scale converts to reporting units.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 48;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;  ///< sum of recorded values (pre-scale)
+  double scale = 1.0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? scale * static_cast<double>(sum) /
+                           static_cast<double>(count)
+                     : 0.0;
+  }
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// containing log2 bucket, in reporting units (scale applied).
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+/// Fixed-bucket log2 histogram, sharded across kSlots cache-line-aligned
+/// slots so concurrent writers (one per server shard / fleet thread) never
+/// share a line.  record() is wait-free: three relaxed fetch_adds.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+  static constexpr std::size_t kSlots = 16;
+
+  /// Bucket for a recorded value: bit_width(v) clamped to the top bucket
+  /// (bucket 0 <=> v == 0, bucket b <=> v in [2^(b-1), 2^b)).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept {
+    std::size_t b = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++b;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  /// Exclusive upper bound of bucket b in recorded units (2^b).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t b) noexcept {
+    return b + 1 >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b);
+  }
+
+  explicit Histogram(double scale = 1.0) noexcept : scale_(scale) {}
+
+  /// Records into the calling thread's slot; a no-op while disabled.
+  void record(std::uint64_t value) noexcept {
+    record_in_slot(value, this_thread_slot());
+  }
+  /// Records into an explicit slot (server workers pass their shard index
+  /// so a pinned worker never migrates between slots).
+  void record_in_slot(std::uint64_t value, std::size_t slot) noexcept {
+    if (!metrics_enabled()) return;
+    Slot& s = slots_[slot & (kSlots - 1)];
+    s.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Merges every slot (relaxed reads; exact once writers quiesce).
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Slot {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+
+  double scale_;
+  std::array<Slot, kSlots> slots_{};
+};
+
+/// RAII latency probe: captures now_ns() when metrics are enabled and
+/// records the elapsed nanoseconds into `h` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) noexcept
+      : h_(&h), start_(metrics_enabled() ? now_ns() : 0) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (start_ != 0) h_->record(now_ns() - start_);
+  }
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates a metric.  Returned references are stable for the
+  /// registry's lifetime; call once per site and keep the pointer.  A name
+  /// may embed a Prometheus label set: name{key="value",...}.
+  Counter& counter(std::string_view name, std::string_view help = "");
+  Gauge& gauge(std::string_view name, std::string_view help = "");
+  /// `scale` converts recorded units to reporting units (1e-9 for
+  /// nanosecond latencies reported as seconds).
+  Histogram& histogram(std::string_view name, std::string_view help = "",
+                       double scale = 1e-9);
+
+  /// Prometheus text exposition (counters, gauges, histogram _bucket/_sum/
+  /// _count series).  Appends to `out`; every line ends with '\n'.
+  void render_prometheus(std::string& out) const;
+
+  struct Snapshot {
+    struct CounterValue {
+      std::string name;
+      std::uint64_t value;
+    };
+    struct GaugeValue {
+      std::string name;
+      double value;
+    };
+    struct HistogramValue {
+      std::string name;
+      std::uint64_t count;
+      double mean, p50, p90, p99;
+    };
+    std::vector<CounterValue> counters;
+    std::vector<GaugeValue> gauges;
+    std::vector<HistogramValue> histograms;
+
+    /// Human-readable telemetry table (the fleet runner prints this at
+    /// end of run).  Zero-valued counters are elided.
+    [[nodiscard]] std::string to_table() const;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes every registered metric (tests and benches; registration
+  /// survives so cached pointers stay valid).
+  void reset();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-wide registry every instrumentation site reports into.
+[[nodiscard]] Registry& registry();
+
+}  // namespace nws::obs

@@ -1,0 +1,144 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace nws::obs {
+
+namespace {
+
+std::size_t env_trace_capacity() noexcept {
+  const char* env = std::getenv("NWSCPU_TRACE_RING");
+  if (env == nullptr) return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<std::size_t>(v);
+}
+
+/// One thread's span ring.  The owning thread writes under the ring mutex
+/// (uncontended in steady state — dumps are rare), so dump_spans() from
+/// another thread is race-free.  Rings are owned by the global list and
+/// never destroyed while the process lives, so a dump can safely walk
+/// rings of exited threads.
+struct SpanRing {
+  std::mutex mu;
+  std::vector<SpanRecord> buf;  ///< capacity fixed at creation
+  std::size_t next = 0;         ///< overwrite cursor
+  bool wrapped = false;
+  std::uint32_t thread = 0;
+};
+
+struct RingList {
+  std::mutex mu;
+  std::vector<std::unique_ptr<SpanRing>> rings;
+};
+
+RingList& ring_list() {
+  // Leaked: thread_local handles below may refer to rings during static
+  // destruction of other objects.
+  static RingList* list = new RingList();
+  return *list;
+}
+
+std::atomic<std::uint64_t> g_spans_recorded{0};
+
+SpanRing* this_thread_ring() {
+  thread_local SpanRing* ring = [] {
+    const std::size_t capacity = trace_ring_capacity();
+    if (capacity == 0) return static_cast<SpanRing*>(nullptr);
+    auto owned = std::make_unique<SpanRing>();
+    owned->buf.resize(capacity);
+    owned->thread = static_cast<std::uint32_t>(this_thread_slot());
+    SpanRing* raw = owned.get();
+    RingList& list = ring_list();
+    const std::scoped_lock lock(list.mu);
+    list.rings.push_back(std::move(owned));
+    return raw;
+  }();
+  return ring;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<std::size_t>& trace_capacity_flag() noexcept {
+  static std::atomic<std::size_t> capacity{env_trace_capacity()};
+  return capacity;
+}
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns) noexcept {
+  SpanRing* ring = this_thread_ring();
+  if (ring == nullptr) return;  // ring was created while tracing was off
+  g_spans_recorded.fetch_add(1, std::memory_order_relaxed);
+  const std::scoped_lock lock(ring->mu);
+  ring->buf[ring->next] = {name, start_ns, dur_ns, ring->thread};
+  if (++ring->next == ring->buf.size()) {
+    ring->next = 0;
+    ring->wrapped = true;
+  }
+}
+
+}  // namespace detail
+
+void set_trace_ring_capacity(std::size_t spans_per_thread) noexcept {
+  detail::trace_capacity_flag().store(spans_per_thread,
+                                      std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> dump_spans() {
+  std::vector<SpanRecord> out;
+  RingList& list = ring_list();
+  const std::scoped_lock list_lock(list.mu);
+  for (const auto& ring : list.rings) {
+    const std::scoped_lock lock(ring->mu);
+    const std::size_t held = ring->wrapped ? ring->buf.size() : ring->next;
+    const std::size_t begin = ring->wrapped ? ring->next : 0;
+    for (std::size_t i = 0; i < held; ++i) {
+      out.push_back(ring->buf[(begin + i) % ring->buf.size()]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+void dump_spans_text(std::string& out) {
+  const std::vector<SpanRecord> spans = dump_spans();
+  if (spans.empty()) {
+    out += "(no spans recorded)\n";
+    return;
+  }
+  const std::uint64_t epoch = spans.front().start_ns;
+  char buf[160];
+  for (const SpanRecord& s : spans) {
+    const int n = std::snprintf(
+        buf, sizeof buf, "  t+%-12.1fus thread=%-3u %-24s %.1fus\n",
+        static_cast<double>(s.start_ns - epoch) / 1e3, s.thread, s.name,
+        static_cast<double>(s.dur_ns) / 1e3);
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void clear_spans() {
+  RingList& list = ring_list();
+  const std::scoped_lock list_lock(list.mu);
+  for (const auto& ring : list.rings) {
+    const std::scoped_lock lock(ring->mu);
+    ring->next = 0;
+    ring->wrapped = false;
+  }
+}
+
+std::uint64_t spans_recorded() noexcept {
+  return g_spans_recorded.load(std::memory_order_relaxed);
+}
+
+}  // namespace nws::obs

@@ -1,0 +1,82 @@
+// Lightweight span tracing into per-thread ring buffers.
+//
+// Each instrumented stage of the request path (accept -> parse -> shard
+// dispatch -> apply -> journal group-commit -> respond) and of the client
+// outbox (enqueue -> flush -> ack) opens a TraceSpan; on destruction the
+// span (static name, start, duration, thread) is pushed into the calling
+// thread's fixed-capacity ring, overwriting the oldest entry when full —
+// recent history is what matters when diagnosing a stall.
+//
+// Tracing is OFF by default: the ring capacity comes from the
+// NWSCPU_TRACE_RING environment variable (spans per thread, 0 = disabled)
+// or set_trace_ring_capacity().  While disabled a TraceSpan costs one
+// relaxed atomic load and no clock read.
+//
+// dump_spans() is the on-demand API: it walks every thread's ring (rings
+// outlive their threads, so a dump races with nothing) and returns the
+// spans sorted by start time; dump_spans_text() renders them for humans.
+// Span names must be string literals (the ring stores the pointer).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace nws::obs {
+
+struct SpanRecord {
+  const char* name = nullptr;  ///< static string (site label)
+  std::uint64_t start_ns = 0;  ///< steady-clock start
+  std::uint64_t dur_ns = 0;
+  std::uint32_t thread = 0;  ///< this_thread_slot() of the recording thread
+};
+
+namespace detail {
+std::atomic<std::size_t>& trace_capacity_flag() noexcept;
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns) noexcept;
+}  // namespace detail
+
+/// Per-thread ring capacity (0 = tracing disabled).
+[[nodiscard]] inline std::size_t trace_ring_capacity() noexcept {
+  return detail::trace_capacity_flag().load(std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool tracing_enabled() noexcept {
+  return trace_ring_capacity() > 0;
+}
+/// Overrides NWSCPU_TRACE_RING.  Applies to rings created after the call;
+/// existing rings keep their capacity (tests call this before tracing).
+void set_trace_ring_capacity(std::size_t spans_per_thread) noexcept;
+
+/// RAII span: records on destruction when tracing is enabled.  `name`
+/// must be a string literal (stored by pointer).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept
+      : name_(name), start_(tracing_enabled() ? now_ns() : 0) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (start_ != 0) detail::record_span(name_, start_, now_ns() - start_);
+  }
+
+ private:
+  const char* name_;
+  std::uint64_t start_;
+};
+
+/// Every retained span across every thread's ring, sorted by start time.
+[[nodiscard]] std::vector<SpanRecord> dump_spans();
+/// Human-readable dump ("<t+offset_us> thread=k name dur_us"), appended to
+/// `out`.
+void dump_spans_text(std::string& out);
+/// Empties every ring (tests).
+void clear_spans();
+/// Spans recorded since process start (including overwritten ones).
+[[nodiscard]] std::uint64_t spans_recorded() noexcept;
+
+}  // namespace nws::obs

@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+
 namespace nws {
 
 namespace {
@@ -52,6 +54,13 @@ ProbeResult run_cpu_probe(std::chrono::duration<double> wall) {
   result.cpu_seconds = thread_cpu_seconds() - cpu_start;
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  if (obs::metrics_enabled()) {
+    // Wall duration, not CPU share: the histogram answers "how long do
+    // probes hold the CPU hostage" (the paper's intrusiveness trade-off).
+    static obs::Histogram& h = obs::registry().histogram(
+        "nws_probe_run_seconds", "Wall-clock duration of real CPU probes");
+    h.record(static_cast<std::uint64_t>(result.wall_seconds * 1e9));
+  }
   return result;
 }
 

@@ -4,7 +4,37 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace nws {
+
+namespace {
+
+// Sensor telemetry shared by every HybridSensor in the process (the fleet
+// runs one per simulated host; totals are the interesting view).
+struct SensorMetrics {
+  obs::Counter* probes = nullptr;
+  obs::Counter* failures = nullptr;
+  obs::Gauge* bias = nullptr;
+};
+
+SensorMetrics& sensor_metrics() {
+  static SensorMetrics* metrics = [] {
+    auto* m = new SensorMetrics();
+    obs::Registry& reg = obs::registry();
+    m->probes = &reg.counter("nws_sensor_probes_total",
+                             "Hybrid-sensor probes that completed");
+    m->failures = &reg.counter("nws_sensor_probe_failures_total",
+                               "Hybrid-sensor probes that failed");
+    m->bias = &reg.gauge(
+        "nws_sensor_bias",
+        "Most recent probe-vs-cheap-method bias correction (absolute)");
+    return m;
+  }();
+  return *metrics;
+}
+
+}  // namespace
 
 HybridSensor::HybridSensor(HybridConfig config) : cfg_(config) {
   assert(cfg_.probe_period > 0.0 && cfg_.probe_duration > 0.0);
@@ -27,11 +57,15 @@ void HybridSensor::probe_result(double now, double probe_availability,
   next_probe_ = now + cfg_.probe_period;
   ++probes_;
   consecutive_failures_ = 0;
+  SensorMetrics& sm = sensor_metrics();
+  sm.probes->inc();
+  sm.bias->set(std::abs(bias_));
 }
 
 void HybridSensor::probe_failed(double now) noexcept {
   ++failures_;
   ++consecutive_failures_;
+  sensor_metrics().failures->inc();
   if (consecutive_failures_ >= cfg_.bias_drop_failures) {
     // The bias calibrates the cheap method against a probe that no longer
     // runs; after enough failures it is stale enough to mislead.

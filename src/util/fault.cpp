@@ -1,10 +1,36 @@
 #include "util/fault.hpp"
 
+#include <array>
+
+#include "obs/metrics.hpp"
+
 namespace nws {
 
 namespace detail {
 std::atomic<FaultInjector*> g_fault_injector{nullptr};
 }  // namespace detail
+
+namespace {
+
+// Per-site fired-fault counters: the chaos harness cross-checks these
+// against the injector's own SiteState totals, so a fault that fired but
+// never reached the registry (or vice versa) fails the test.
+std::array<obs::Counter*, kFaultSiteCount>& fault_fired_counters() {
+  static auto* counters = [] {
+    auto* c = new std::array<obs::Counter*, kFaultSiteCount>();
+    static constexpr std::array<const char*, kFaultSiteCount> kLabels = {
+        "server_read", "server_respond", "disk_write"};
+    for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+      (*c)[i] = &obs::registry().counter(
+          std::string("nws_fault_fired_total{site=\"") + kLabels[i] + "\"}",
+          "Injected faults fired, by site");
+    }
+    return c;
+  }();
+  return *counters;
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(std::uint64_t seed, FaultProfile profile)
     : profile_(profile) {
@@ -50,7 +76,10 @@ FaultAction FaultInjector::decide(FaultSite site) noexcept {
       }
       break;
   }
-  if (action.kind != FaultAction::Kind::kNone) ++s.faults;
+  if (action.kind != FaultAction::Kind::kNone) {
+    ++s.faults;
+    fault_fired_counters()[static_cast<std::size_t>(site)]->inc();
+  }
   return action;
 }
 

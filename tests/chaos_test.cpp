@@ -11,6 +11,7 @@
 //    of a fault-free run over the same measurements.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -20,6 +21,7 @@
 
 #include "nws/client.hpp"
 #include "nws/server.hpp"
+#include "obs/metrics.hpp"
 #include "util/fault.hpp"
 #include "util/rng.hpp"
 
@@ -50,6 +52,20 @@ std::vector<Measurement> make_measurements(std::size_t n) {
   return ms;
 }
 
+/// Registry-side fired-fault counters, indexed like FaultSite.
+std::array<std::uint64_t, kFaultSiteCount> fault_counter_values() {
+  static constexpr std::array<const char*, kFaultSiteCount> kSites = {
+      "server_read", "server_respond", "disk_write"};
+  std::array<std::uint64_t, kFaultSiteCount> values{};
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    values[i] = obs::registry()
+                    .counter(std::string("nws_fault_fired_total{site=\"") +
+                             kSites[i] + "\"}")
+                    .value();
+  }
+  return values;
+}
+
 ClientConfig fast_client_config() {
   ClientConfig cfg;
   cfg.connect_timeout_ms = 500;
@@ -67,6 +83,8 @@ class ChaosPipeline : public ::testing::Test {
            ("nwscpu_chaos_" + std::to_string(::getpid()) + "_" +
             ::testing::UnitTest::GetInstance()->current_test_info()->name());
     fs::create_directories(dir_);
+    // The fired-fault cross-check below needs the registry counting.
+    obs::set_metrics_enabled(true);
   }
   void TearDown() override {
     install_fault_injector(nullptr);
@@ -118,6 +136,7 @@ class ChaosPipeline : public ::testing::Test {
     NwsClient client(fast_client_config());
     EXPECT_TRUE(client.connect(port));
 
+    const auto fired_before = fault_counter_values();
     install_fault_injector(&injector);
     for (std::size_t i = 0; i < ms.size(); ++i) {
       if (i == ms.size() / 2) {
@@ -161,6 +180,18 @@ class ChaosPipeline : public ::testing::Test {
     // Exactly-once: every measurement applied, none twice.
     EXPECT_EQ(forecast ? forecast->history : 0, ms.size());
     server->stop();
+
+    // Telemetry cross-check: with the server threads joined, every fault
+    // the injector fired is visible in the metrics registry — the counter
+    // and the injector's own tally increment under the same lock, so the
+    // deltas must match exactly.
+    const auto fired_after = fault_counter_values();
+    EXPECT_EQ(fired_after[0] - fired_before[0],
+              injector.faults(FaultSite::kServerRead));
+    EXPECT_EQ(fired_after[1] - fired_before[1],
+              injector.faults(FaultSite::kServerRespond));
+    EXPECT_EQ(fired_after[2] - fired_before[2],
+              injector.faults(FaultSite::kDiskWrite));
     return forecast.value_or(ForecastReply{});
   }
 

@@ -1,0 +1,344 @@
+// Unit tests for the observability layer (src/obs/): the lock-light
+// metrics registry, the log2 histogram and its per-slot sharding, the
+// Prometheus exposition, the span-tracing rings, and the leveled logger.
+//
+// The ObsConcurrent suite is the contract the wait-free claim rests on:
+// 8 threads hammering one Counter and one Histogram must produce *exact*
+// totals (relaxed fetch_adds lose nothing), and a snapshot racing the
+// writers must be safe.  CI runs this suite under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nws::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// Every metrics test runs with the global switch on and leaves it on.
+class ObsMetrics : public ::testing::Test {
+ protected:
+  void SetUp() override { set_metrics_enabled(true); }
+  void TearDown() override { set_metrics_enabled(true); }
+};
+
+TEST_F(ObsMetrics, HistogramBucketBoundariesFollowBitWidth) {
+  // Bucket 0 is exactly zero; bucket b holds [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  // Values past the top bucket clamp instead of indexing out of range.
+  EXPECT_EQ(Histogram::bucket_index(std::uint64_t{1} << 60),
+            Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}),
+            Histogram::kBuckets - 1);
+
+  EXPECT_EQ(Histogram::bucket_upper(0), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(10), 1024u);
+  EXPECT_EQ(Histogram::bucket_upper(63), ~std::uint64_t{0});
+
+  // Containment: every unclamped value lands strictly inside its bucket.
+  for (const std::uint64_t v :
+       {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{3}, std::uint64_t{5},
+        std::uint64_t{100}, std::uint64_t{4096}, std::uint64_t{1} << 33}) {
+    const std::size_t b = Histogram::bucket_index(v);
+    EXPECT_LT(v, Histogram::bucket_upper(b)) << "v=" << v;
+    EXPECT_GE(v, Histogram::bucket_upper(b - 1)) << "v=" << v;
+  }
+}
+
+TEST_F(ObsMetrics, HistogramSnapshotMergesEverySlot) {
+  Histogram h(1.0);
+  for (std::size_t slot = 0; slot < Histogram::kSlots; ++slot) {
+    h.record_in_slot(3, slot);
+  }
+  // Slot indices fold modulo kSlots, so an out-of-range writer is safe.
+  h.record_in_slot(3, Histogram::kSlots + 2);
+
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, Histogram::kSlots + 1);
+  EXPECT_EQ(snap.sum, 3 * (Histogram::kSlots + 1));
+  EXPECT_EQ(snap.buckets[Histogram::bucket_index(3)], Histogram::kSlots + 1);
+  EXPECT_DOUBLE_EQ(snap.mean(), 3.0);
+
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(h.snapshot().sum, 0u);
+}
+
+TEST_F(ObsMetrics, HistogramQuantilesInterpolateAndScale) {
+  Histogram h(1.0);
+  for (int i = 0; i < 100; ++i) h.record(1000);  // bucket 10: [512, 1024)
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_GE(snap.quantile(0.5), 512.0);
+  EXPECT_LE(snap.quantile(0.5), 1024.0);
+  EXPECT_LE(snap.quantile(0.1), snap.quantile(0.9));
+
+  // Latency histograms report seconds: scale applies to quantiles + mean.
+  Histogram lat(1e-9);
+  lat.record(2'000'000'000);  // 2s in ns
+  const HistogramSnapshot ls = lat.snapshot();
+  EXPECT_DOUBLE_EQ(ls.mean(), 2.0);
+  EXPECT_GE(ls.quantile(0.5), 1.0);
+  EXPECT_LE(ls.quantile(0.5), 5.0);
+
+  // All-zero samples sit in bucket 0 and every quantile is exactly 0.
+  Histogram zeros(1.0);
+  zeros.record(0);
+  zeros.record(0);
+  EXPECT_DOUBLE_EQ(zeros.snapshot().quantile(0.99), 0.0);
+
+  // Empty histogram: quantiles are defined (0), not UB.
+  EXPECT_DOUBLE_EQ(Histogram(1.0).snapshot().quantile(0.5), 0.0);
+}
+
+TEST_F(ObsMetrics, DisabledSwitchTurnsEveryWriteIntoANoOp) {
+  Counter c;
+  Gauge g;
+  Histogram h(1.0);
+  set_metrics_enabled(false);
+  c.inc();
+  c.inc(41);
+  g.set(5.0);
+  g.add(1.5);
+  h.record(7);
+  { const ScopedTimer timer(h); }
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+
+  set_metrics_enabled(true);
+  c.inc(2);
+  g.set(1.0);
+  g.add(0.5);
+  h.record(7);
+  EXPECT_EQ(c.value(), 2u);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST_F(ObsMetrics, RegistryFindsOrCreatesAndResetKeepsPointersValid) {
+  Registry& r = registry();
+  Counter& c1 = r.counter("test_obs_registry_total", "registration test");
+  Counter& c2 = r.counter("test_obs_registry_total");
+  EXPECT_EQ(&c1, &c2);  // one entry per name, help from first registration
+
+  Gauge& g1 = r.gauge("test_obs_registry_gauge");
+  Histogram& h1 = r.histogram("test_obs_registry_seconds", "", 1e-9);
+  EXPECT_EQ(&g1, &r.gauge("test_obs_registry_gauge"));
+  EXPECT_EQ(&h1, &r.histogram("test_obs_registry_seconds"));
+
+  c1.inc(5);
+  g1.set(2.0);
+  h1.record(100);
+  r.reset();
+  EXPECT_EQ(c1.value(), 0u);
+  EXPECT_DOUBLE_EQ(g1.value(), 0.0);
+  EXPECT_EQ(h1.snapshot().count, 0u);
+  // Registration survives reset: cached pointers still reach the entry.
+  c2.inc(3);
+  EXPECT_EQ(c1.value(), 3u);
+}
+
+TEST_F(ObsMetrics, PrometheusExpositionGroupsLabelVariantsUnderOneHeader) {
+  Registry& r = registry();
+  r.counter("test_obs_verbs_total{verb=\"GET\"}", "per-verb requests").inc(2);
+  r.counter("test_obs_verbs_total{verb=\"PUT\"}").inc(3);
+  r.gauge("test_obs_depth", "queue depth").set(4.0);
+  Histogram& h = r.histogram("test_obs_lat_seconds", "request latency", 1e-9);
+  h.record(1500);
+
+  std::string out;
+  r.render_prometheus(out);
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), '\n');
+
+  // Two label variants, exactly one HELP/TYPE header for the base name.
+  EXPECT_EQ(count_occurrences(out, "# TYPE test_obs_verbs_total counter"), 1u);
+  EXPECT_EQ(count_occurrences(out, "# HELP test_obs_verbs_total per-verb requests"),
+            1u);
+  EXPECT_NE(out.find("test_obs_verbs_total{verb=\"GET\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("test_obs_verbs_total{verb=\"PUT\"} 3\n"),
+            std::string::npos);
+
+  EXPECT_NE(out.find("# TYPE test_obs_depth gauge"), std::string::npos);
+  EXPECT_NE(out.find("test_obs_depth 4\n"), std::string::npos);
+
+  // Histogram series: cumulative _bucket with an le label, then _sum/_count.
+  EXPECT_NE(out.find("# TYPE test_obs_lat_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(out.find("test_obs_lat_seconds_bucket{le=\""), std::string::npos);
+  EXPECT_NE(out.find("test_obs_lat_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("test_obs_lat_seconds_sum "), std::string::npos);
+  EXPECT_NE(out.find("test_obs_lat_seconds_count 1\n"), std::string::npos);
+}
+
+TEST_F(ObsMetrics, SnapshotTableElidesZeroCounters) {
+  Registry& r = registry();
+  r.reset();
+  r.counter("test_obs_table_nonzero_total").inc(7);
+  (void)r.counter("test_obs_table_zero_total");
+  const std::string table = r.snapshot().to_table();
+  EXPECT_NE(table.find("test_obs_table_nonzero_total"), std::string::npos);
+  EXPECT_EQ(table.find("test_obs_table_zero_total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency contract (runs under TSan in CI)
+
+TEST(ObsConcurrent, EightThreadsProduceExactTotals) {
+  set_metrics_enabled(true);
+  Counter counter;
+  Histogram hist(1.0);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &hist, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        hist.record_in_slot(i % 1024 + 1, t);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  std::uint64_t per_thread_sum = 0;
+  for (std::uint64_t i = 0; i < kPerThread; ++i) per_thread_sum += i % 1024 + 1;
+
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum, kThreads * per_thread_sum);
+  std::uint64_t bucketed = 0;
+  for (const std::uint64_t b : snap.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, snap.count);
+}
+
+TEST(ObsConcurrent, SnapshotAndRenderRaceSafelyWithWriters) {
+  set_metrics_enabled(true);
+  Registry& r = registry();
+  Counter& c = r.counter("test_obs_race_total");
+  Histogram& h = r.histogram("test_obs_race_seconds", "", 1e-9);
+  const std::uint64_t c0 = c.value();
+  const std::uint64_t h0 = h.snapshot().count;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)h.snapshot();
+      std::string out;
+      r.render_prometheus(out);
+    }
+  });
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&c, &h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record_in_slot(i + 1, t);
+      }
+    });
+  }
+  for (std::thread& th : writers) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(c.value() - c0, kThreads * kPerThread);
+  EXPECT_EQ(h.snapshot().count - h0, kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Span tracing
+
+TEST(ObsTrace, DisabledByDefaultAndCostsNoRecords) {
+  ASSERT_EQ(trace_ring_capacity(), 0u) << "tracing must default to off";
+  const std::uint64_t before = spans_recorded();
+  { const TraceSpan span("obs_test.disabled"); }
+  EXPECT_EQ(spans_recorded(), before);
+}
+
+TEST(ObsTrace, RingKeepsTheNewestSpansAndDumpsSorted) {
+  set_trace_ring_capacity(4);
+  clear_spans();
+  // Rings capture their capacity at creation, so record from a thread
+  // whose ring does not exist yet.
+  std::thread([] {
+    for (int i = 0; i < 10; ++i) {
+      const TraceSpan span("obs_test.ring");
+    }
+  }).join();
+
+  const std::vector<SpanRecord> spans = dump_spans();
+  ASSERT_EQ(spans.size(), 4u) << "ring must overwrite, not grow";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_STREQ(spans[i].name, "obs_test.ring");
+    if (i > 0) {
+      EXPECT_GE(spans[i].start_ns, spans[i - 1].start_ns);
+    }
+  }
+  EXPECT_GE(spans_recorded(), 10u);
+
+  std::string text;
+  dump_spans_text(text);
+  EXPECT_NE(text.find("obs_test.ring"), std::string::npos);
+
+  clear_spans();
+  EXPECT_TRUE(dump_spans().empty());
+  set_trace_ring_capacity(0);  // restore the default for later tests
+}
+
+// ---------------------------------------------------------------------------
+// Leveled logger
+
+TEST(ObsLog, LevelsGateStrictlyAndLoggingNeverThrows) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kError);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  set_log_level(LogLevel::kInfo);
+  EXPECT_TRUE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  set_log_level(LogLevel::kDebug);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+
+  log_info("obs_test", "logger smoke line %d of %s", 1, "obs_test");
+  set_log_level(LogLevel::kOff);
+  // Disabled levels must not evaluate the sink at all (and never crash).
+  log_debug("obs_test", "this line must not appear");
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace nws::obs

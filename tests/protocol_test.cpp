@@ -655,8 +655,8 @@ TEST(ProtocolFuzz, TruncatedValidRequestsNeverCrashAndNeverParse) {
       "PUTB host/cpu 3 17 10 0.5 20 0.625 30 0.75",
       "FORECAST host/cpu",       "VALUES host/cpu 12",
       "SERIES",                  "STATS",
-      "STATS host/cpu",          "PING",
-      "QUIT"};
+      "STATS host/cpu",          "METRICS",
+      "PING",                    "QUIT"};
   NwsServer server;
   for (const std::string& line : lines) {
     const auto whole = parse_request(line);
@@ -720,14 +720,82 @@ TEST(ProtocolFuzz, StatsParsesGlobalAndPerSeriesForms) {
 
   StatsReply reply;
   std::string wire;
-  append_stats_response(wire, 3, 120, 130, 10);
+  append_stats_response(wire, 3, 120, 130, 10, 7);
+  EXPECT_EQ(wire, "OK 3 120 130 10 7");
   const auto back = parse_stats_response(wire);
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->series, 3u);
   EXPECT_EQ(back->retained, 120u);
   EXPECT_EQ(back->appended, 130u);
   EXPECT_EQ(back->dropped, 10u);
+  EXPECT_EQ(back->replay_skipped, 7u);
+
+  // Pre-telemetry servers answer four numbers; the parser still accepts
+  // them (replay_skipped defaults to zero).
+  const auto old_form = parse_stats_response("OK 3 120 130 10");
+  ASSERT_TRUE(old_form.has_value());
+  EXPECT_EQ(old_form->dropped, 10u);
+  EXPECT_EQ(old_form->replay_skipped, 0u);
+  EXPECT_FALSE(parse_stats_response("OK 3 120 130").has_value());
+  EXPECT_FALSE(parse_stats_response("OK 3 120 130 10 7 9").has_value());
   (void)reply;
+}
+
+TEST(ProtocolFuzz, MetricsVerbParsesFormatsAndRejectsOperands) {
+  const auto parsed = parse_request("METRICS");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, RequestKind::kMetrics);
+  EXPECT_FALSE(parse_request("METRICS extra").has_value());
+
+  Request req;
+  req.kind = RequestKind::kMetrics;
+  EXPECT_EQ(format_request(req), "METRICS");
+  const auto back = parse_request(format_request(req));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, RequestKind::kMetrics);
+}
+
+TEST(ProtocolFuzz, MetricsResponseFramingRoundTripsAndRejectsMalformed) {
+  const std::string body = "nws_a_total 1\nnws_b_total 2\nnws_c 3.5";
+  std::string wire;
+  append_metrics_response(wire, body);
+  EXPECT_EQ(wire, "OK 3\nnws_a_total 1\nnws_b_total 2\nnws_c 3.5");
+
+  const std::string_view header(wire.data(), wire.find('\n'));
+  const auto lines = parse_metrics_header(header);
+  ASSERT_TRUE(lines.has_value());
+  EXPECT_EQ(*lines, 3u);
+
+  const auto round = parse_metrics_response(wire);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(*round, body + "\n");
+
+  // An empty registry dump frames as zero lines.
+  std::string empty_wire;
+  append_metrics_response(empty_wire, "");
+  EXPECT_EQ(empty_wire, "OK 0");
+  const auto empty = parse_metrics_response(empty_wire);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+
+  // Malformed headers and disagreeing line counts must not parse.
+  EXPECT_FALSE(parse_metrics_header("OK").has_value());
+  EXPECT_FALSE(parse_metrics_header("OK x").has_value());
+  EXPECT_FALSE(parse_metrics_header("ERR busy").has_value());
+  EXPECT_FALSE(parse_metrics_header("OK 3 4").has_value());
+  EXPECT_FALSE(parse_metrics_response("OK 2\nonly_one 1").has_value());
+  EXPECT_FALSE(parse_metrics_response("OK 1\na 1\nb 2").has_value());
+
+  // Random mutations of a framed response never crash the parser.
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = wire;
+    const std::size_t flips = rng.below(4) + 1;
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] = static_cast<char>(rng.below(256));
+    }
+    (void)parse_metrics_response(mutated);
+  }
 }
 
 TEST(ProtocolFuzz, RandomValidPutBatchesRoundTripThroughFormatter) {

@@ -18,12 +18,29 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "nws/client.hpp"
 #include "nws/server.hpp"
 #include "nws/sharded_service.hpp"
+#include "obs/metrics.hpp"
 
 namespace nws {
 namespace {
+
+/// Extracts the value of one exposition line ("name value") from a
+/// Prometheus text dump; -1 when the metric is absent.
+double metric_value(const std::string& exposition, const std::string& name) {
+  std::size_t pos = 0;
+  const std::string needle = name + " ";
+  while ((pos = exposition.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || exposition[pos - 1] == '\n') {
+      return std::atof(exposition.c_str() + pos + needle.size());
+    }
+    pos += needle.size();
+  }
+  return -1.0;
+}
 
 namespace fs = std::filesystem;
 
@@ -241,6 +258,90 @@ TEST_F(ShardJournal, ReshardMigratesJournalLayout) {
   }
 }
 
+TEST_F(ShardJournal, StatsSurfacesReplaySkippedAfterTornJournal) {
+  // A crash-torn single-shard journal: two good records around two lines
+  // replay cannot parse.  The damage must be visible on the wire — the
+  // fifth STATS number — not just in the C++ accessor.
+  {
+    std::ofstream out(dir_ / "svc.journal", std::ios::trunc);
+    out << "host/cpu 10 0.5\n"
+        << "!! not a journal record !!\n"
+        << "host/cpu 20 0.6\n"
+        << "host/cpu 3";  // torn tail
+  }
+  NwsServer server(config(1));
+  EXPECT_EQ(server.service().recovered(), 2u);
+  EXPECT_EQ(server.service().replay_skipped(), 2u);
+  EXPECT_EQ(server.handle_line("STATS"), "OK 1 2 2 0 2");
+  // The per-series form does not attribute replay damage.
+  EXPECT_EQ(server.handle_line("STATS host/cpu"), "OK 1 2 2 0 0");
+}
+
+TEST(ShardServer, MetricsVerbReportsPerVerbCountsOnLiveServer) {
+  // The acceptance scenario: a live sharded server, real traffic through
+  // the TCP front end, then one METRICS scrape showing per-verb request
+  // counts and latency histogram series.  The registry is process-global,
+  // so assert deltas against a pre-traffic scrape rather than absolutes.
+  obs::set_metrics_enabled(true);
+  ServerConfig cfg;
+  cfg.shards = 4;
+  NwsServer server(cfg);
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  NwsClient client;
+  ASSERT_TRUE(client.connect(port));
+
+  const auto before = client.metrics();
+  ASSERT_TRUE(before.has_value());
+  const double put_before =
+      std::max(0.0, metric_value(*before, "nws_server_requests_total"
+                                          "{verb=\"PUT\"}"));
+  const double fc_before =
+      std::max(0.0, metric_value(*before, "nws_server_requests_total"
+                                          "{verb=\"FORECAST\"}"));
+
+  // 64 PUTs per series: latency timings are sampled 1-in-64 per worker
+  // thread, so 64 consecutive requests on one shard guarantee at least
+  // one histogram sample no matter the tick phase.
+  for (int i = 1; i <= 64; ++i) {
+    ASSERT_TRUE(client.put("obs/a/cpu", {10.0 * i, 0.5}));
+    ASSERT_TRUE(client.put("obs/b/cpu", {10.0 * i, 0.7}));
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.forecast("obs/a/cpu").has_value());
+  }
+
+  const auto after = client.metrics();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_DOUBLE_EQ(metric_value(*after, "nws_server_requests_total"
+                                        "{verb=\"PUT\"}"),
+                   put_before + 128.0);
+  EXPECT_DOUBLE_EQ(metric_value(*after, "nws_server_requests_total"
+                                        "{verb=\"FORECAST\"}"),
+                   fc_before + 5.0);
+  // Latency histograms expose cumulative buckets and a (sampled) count.
+  EXPECT_NE(after->find("nws_server_request_seconds_bucket{verb=\"PUT\",le="),
+            std::string::npos);
+  EXPECT_GE(metric_value(*after, "nws_server_request_seconds_count"
+                                 "{verb=\"PUT\"}"),
+            1.0);
+  // Shard queue gauges and the connection gauge are registered too.
+  EXPECT_NE(after->find("nws_shard_queue_depth{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_GE(metric_value(*after, "nws_server_connections"), 1.0);
+
+  // In-process handle_line frames the same exposition.
+  const std::string framed = server.handle_line("METRICS");
+  EXPECT_EQ(framed.rfind("OK ", 0), 0u);
+  const auto body = parse_metrics_response(framed);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_NE(body->find("nws_server_requests_total{verb=\"METRICS\"}"),
+            std::string::npos);
+
+  client.disconnect();
+  server.stop();
+}
+
 TEST_F(ShardJournal, GroupCommitDurableAfterStop) {
   // Fewer appends than the group size: nothing would hit disk without the
   // drain/stop commits.
@@ -255,16 +356,16 @@ TEST_F(ShardJournal, GroupCommitDurableAfterStop) {
 
 TEST(ShardStats, CountsDropsAndTotalsPerSeries) {
   NwsServer server;
-  EXPECT_EQ(server.handle_line("STATS"), "OK 0 0 0 0");
+  EXPECT_EQ(server.handle_line("STATS"), "OK 0 0 0 0 0");
   EXPECT_EQ(server.handle_line("PUT host/cpu 10 0.5"), "OK");
   EXPECT_EQ(server.handle_line("PUT host/cpu 20 0.6"), "OK");
   EXPECT_EQ(server.handle_line("PUT host/cpu 15 0.7"),
             "ERR out-of-order measurement");
   EXPECT_EQ(server.handle_line("PUT other/cpu 10 0.5"), "OK");
   // series retained appended dropped
-  EXPECT_EQ(server.handle_line("STATS"), "OK 2 3 3 1");
-  EXPECT_EQ(server.handle_line("STATS host/cpu"), "OK 1 2 2 1");
-  EXPECT_EQ(server.handle_line("STATS other/cpu"), "OK 1 1 1 0");
+  EXPECT_EQ(server.handle_line("STATS"), "OK 2 3 3 1 0");
+  EXPECT_EQ(server.handle_line("STATS host/cpu"), "OK 1 2 2 1 0");
+  EXPECT_EQ(server.handle_line("STATS other/cpu"), "OK 1 1 1 0 0");
   EXPECT_EQ(server.handle_line("STATS nobody/cpu"), "ERR unknown series");
 }
 
@@ -279,7 +380,7 @@ TEST(ShardStats, DroppedCountSurvivesRetentionEviction) {
   }
   EXPECT_EQ(server.handle_line("PUT host/cpu 5 0.5"),
             "ERR out-of-order measurement");
-  EXPECT_EQ(server.handle_line("STATS host/cpu"), "OK 1 4 10 1");
+  EXPECT_EQ(server.handle_line("STATS host/cpu"), "OK 1 4 10 1 0");
 }
 
 TEST(ShardServer, PutBatchAppliesDedupsAndDrops) {
@@ -298,7 +399,7 @@ TEST(ShardServer, PutBatchAppliesDedupsAndDrops) {
   EXPECT_EQ(server.handle_line("PUTS host/cpu 6 60 0.5"), "OK");
   EXPECT_EQ(server.handle_line("PUTB host/cpu 2 7 55 0.5 70 0.5"),
             "OK 1 1 0");
-  EXPECT_EQ(server.handle_line("STATS host/cpu"), "OK 1 7 7 0");
+  EXPECT_EQ(server.handle_line("STATS host/cpu"), "OK 1 7 7 0 0");
 }
 
 TEST(ShardServer, RespectsShardsEnvOverride) {
