@@ -54,6 +54,73 @@ void BM_ParsePutBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ParsePutBatch)->Arg(16)->Arg(64)->Arg(256);
 
+// Binary (wire v2) codec counterparts: the PUTB body is op + series +
+// seq + n + raw IEEE-754 bits, so decode is bounds checks and memcpy —
+// compare items/s against BM_ParsePutBatch at the same batch size.
+void BM_ParseBinaryPutBatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  nws::Request seed;
+  seed.kind = nws::RequestKind::kPutBatch;
+  seed.series = "thing2/cpu";
+  seed.seq = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    seed.batch.push_back({10.0 * static_cast<double>(i + 1), 0.8125});
+  }
+  std::string wire;
+  nws::append_binary_request(wire, seed);
+  const std::string payload = wire.substr(nws::kBinFrameHeaderBytes);
+  nws::Request req;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nws::parse_binary_request(payload, req));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParseBinaryPutBatch)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EncodeBinaryPutBatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  nws::Request req;
+  req.kind = nws::RequestKind::kPutBatch;
+  req.series = "thing2/cpu";
+  req.seq = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    req.batch.push_back({10.0 * static_cast<double>(i + 1), 0.8125});
+  }
+  std::string wire;
+  for (auto _ : state) {
+    wire.clear();
+    nws::append_binary_request(wire, req);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EncodeBinaryPutBatch)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ExtractBinaryFrame(benchmark::State& state) {
+  // Frame boundary scan over a buffer of back-to-back PUT frames.
+  std::string buffer;
+  nws::Request req;
+  req.kind = nws::RequestKind::kPut;
+  req.series = "thing2/cpu";
+  req.measurement = {86400.5, 0.8125};
+  for (int i = 0; i < 64; ++i) nws::append_binary_request(buffer, req);
+  for (auto _ : state) {
+    std::size_t offset = 0;
+    std::size_t frame_end = 0;
+    std::string_view payload;
+    while (nws::extract_binary_frame(
+               std::string_view(buffer).substr(offset), 64 * 1024, frame_end,
+               payload) == nws::BinFrameStatus::kFrame) {
+      offset += frame_end;
+      benchmark::DoNotOptimize(payload.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ExtractBinaryFrame);
+
 void BM_ServerHandlePut(benchmark::State& state) {
   nws::NwsServer server;
   double t = 0.0;
@@ -101,6 +168,9 @@ void BM_ServerHandlePutBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerHandlePutBatch)->Arg(64)->Arg(256);
 
+// Single-PUT round-trip latency (request in, ack out).  TCP_NODELAY is
+// set on both ends, so the write never sits in the Nagle buffer waiting
+// for the previous ack — arg 0 = text framing, arg 1 = binary (HELLO BIN).
 void BM_LoopbackPutRoundTrip(benchmark::State& state) {
   nws::NwsServer server;
   const std::uint16_t port = server.start(0);
@@ -108,7 +178,9 @@ void BM_LoopbackPutRoundTrip(benchmark::State& state) {
     state.SkipWithError("cannot bind loopback listener");
     return;
   }
-  nws::NwsClient client;
+  nws::ClientConfig cfg;
+  cfg.binary = state.range(0) != 0;
+  nws::NwsClient client(cfg);
   if (!client.connect(port)) {
     state.SkipWithError("cannot connect");
     return;
@@ -122,7 +194,11 @@ void BM_LoopbackPutRoundTrip(benchmark::State& state) {
   client.disconnect();
   server.stop();
 }
-BENCHMARK(BM_LoopbackPutRoundTrip);
+BENCHMARK(BM_LoopbackPutRoundTrip)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("bin")
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_LoopbackPutBatchRoundTrip(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -132,7 +208,9 @@ void BM_LoopbackPutBatchRoundTrip(benchmark::State& state) {
     state.SkipWithError("cannot bind loopback listener");
     return;
   }
-  nws::NwsClient client;
+  nws::ClientConfig cfg;
+  cfg.binary = state.range(1) != 0;
+  nws::NwsClient client(cfg);
   if (!client.connect(port)) {
     state.SkipWithError("cannot connect");
     return;
@@ -154,7 +232,12 @@ void BM_LoopbackPutBatchRoundTrip(benchmark::State& state) {
   client.disconnect();
   server.stop();
 }
-BENCHMARK(BM_LoopbackPutBatchRoundTrip)->Arg(64)->Arg(256);
+BENCHMARK(BM_LoopbackPutBatchRoundTrip)
+    ->Args({64, 0})
+    ->Args({256, 0})
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->ArgNames({"n", "bin"});
 
 }  // namespace
 

@@ -1,27 +1,50 @@
 // net_throughput: multi-client loopback saturation bench for the sharded
 // NWS service.
 //
-// Spawns C concurrent clients against one NwsServer configured with K
-// shards and measures aggregate measurement throughput for a fixed wall
-// duration, across three request shapes:
+// Part 1 — request-shape scenarios.  Spawns C concurrent clients against
+// one NwsServer configured with K shards and measures aggregate
+// measurement throughput for a fixed wall duration, across request shapes:
 //   put   — one PUT round trip per measurement (the pre-batching wire),
 //   putb  — PUTB batches of NWSCPU_NET_BATCH measurements per round trip,
-//   mixed — PUT with a FORECAST every 8th request (scheduler traffic).
-// Each client drives its own series, so series spread across shards and
-// the shard-per-core server can serve them without lock contention.
+//   mixed — PUT with a FORECAST every 8th request (scheduler traffic),
+// each in text framing plus binary (HELLO BIN) variants of put/putb — the
+// binary-vs-text ratio at equal connection count is a headline number.
 //
-// Output: human-readable table on stdout plus machine-readable
+// Part 2 — connection-scaling sweep.  Opens N concurrent raw loopback
+// connections (NWSCPU_NET_CONNS, comma-separated counts) against each
+// event-loop backend (NWSCPU_NET_BACKENDS, default "epoll,poll") in each
+// framing, drives one-PUT-per-connection round-robin traffic from a small
+// pool of multiplexed driver threads, and reports sustained responses/s.
+// The process raises RLIMIT_NOFILE to its hard limit at startup; counts
+// the limit cannot back are clamped (and flagged) with an actionable
+// ulimit hint.  Beyond ~20k connections the drivers spread client source
+// addresses across 127.0.0.x to dodge ephemeral-port exhaustion — one
+// loopback (src, dst) pair backs only ~28k tuples.
+//
+// Output: human-readable tables on stdout plus machine-readable
 // BENCH_net.json in NWSCPU_OUT (default bench_out/), including the
 // headline ratios the perf work is judged by: aggregate throughput at
 // 8 connections / 8 shards versus the single-connection single-shard
-// baseline, for both the unbatched and batched wire.
+// baseline (unbatched and batched), and binary-vs-text PUTB at 8c/8s.
 //
 // Knobs: NWSCPU_NET_MS (per-scenario duration, default 400),
-// NWSCPU_NET_BATCH (PUTB batch size, default 256).
+// NWSCPU_NET_BATCH (PUTB batch size, default 256), NWSCPU_NET_CONNS
+// (sweep sizes, default "1000,5000"), NWSCPU_NET_SWEEP_MS (per-cell
+// duration, default 300), NWSCPU_NET_BACKENDS.
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <latch>
@@ -31,6 +54,7 @@
 
 #include "common/experiment_common.hpp"
 #include "nws/client.hpp"
+#include "nws/protocol.hpp"
 #include "nws/server.hpp"
 
 namespace {
@@ -48,7 +72,66 @@ std::size_t env_size(const char* name, std::size_t fallback) {
   return fallback;
 }
 
-enum class Mode { kPut, kPutBatch, kMixed };
+std::vector<std::size_t> env_size_list(const char* name,
+                                       const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  std::string spec = raw != nullptr ? raw : fallback;
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(token.c_str(), &end, 10);
+    if (end != token.c_str() && v > 0) out.push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// File-descriptor budget (satellite: 100k connections need 200k+ fds).
+
+/// Raises the soft RLIMIT_NOFILE to the hard limit; returns the resulting
+/// soft limit.
+rlim_t raise_fd_limit() {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1024;
+  if (rl.rlim_cur < rl.rlim_max) {
+    rlimit want = rl;
+    want.rlim_cur = want.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &want) == 0) rl = want;
+  }
+  return rl.rlim_cur;
+}
+
+/// Connections the fd budget can back: each loopback connection costs two
+/// descriptors (client socket + in-process server socket), plus slack for
+/// the listener, epoll/eventfd, journals and stdio.
+std::size_t connection_capacity(rlim_t fd_limit) {
+  constexpr rlim_t kSlack = 128;
+  if (fd_limit <= kSlack) return 0;
+  return static_cast<std::size_t>((fd_limit - kSlack) / 2);
+}
+
+void print_ulimit_hint(std::size_t requested, rlim_t fd_limit) {
+  std::cerr << "net_throughput: " << requested
+            << " connections need ~" << (2 * requested + 128)
+            << " file descriptors but RLIMIT_NOFILE caps at " << fd_limit
+            << " even after raising to the hard limit.\n"
+            << "  Raise the hard limit and rerun, e.g.:\n"
+            << "    ulimit -Hn " << (2 * requested + 128)
+            << "   (as root, or via /etc/security/limits.conf or systemd "
+               "LimitNOFILE)\n"
+            << "  Clamping this cell to the reachable count instead.\n";
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: request-shape scenarios over NwsClient (thread per connection).
+
+enum class Mode { kPut, kPutBatch, kMixed, kReplay };
 
 const char* mode_name(Mode mode) {
   switch (mode) {
@@ -58,6 +141,8 @@ const char* mode_name(Mode mode) {
       return "putb";
     case Mode::kMixed:
       return "mixed";
+    case Mode::kReplay:
+      return "replay";
   }
   return "?";
 }
@@ -66,6 +151,8 @@ struct Scenario {
   Mode mode;
   std::size_t connections;
   std::size_t shards;
+  bool binary = false;     ///< drive the HELLO BIN framing
+  std::size_t batch = 0;   ///< PUTB samples per line (0 = NWSCPU_NET_BATCH)
 };
 
 struct Result {
@@ -81,21 +168,35 @@ struct Result {
 
 /// One client thread: drive `series` for `duration`, tallying applied
 /// measurements and round trips.
-void client_loop(std::uint16_t port, Mode mode, const std::string& series,
-                 std::size_t batch_size, std::chrono::milliseconds duration,
-                 std::latch& ready, std::atomic<std::uint64_t>& measurements,
+void client_loop(std::uint16_t port, Mode mode, bool binary,
+                 const std::string& series, std::size_t batch_size,
+                 std::chrono::milliseconds duration, std::latch& ready,
+                 std::atomic<std::uint64_t>& measurements,
                  std::atomic<std::uint64_t>& round_trips) {
-  nws::NwsClient client;
+  nws::ClientConfig cfg;
+  cfg.binary = binary;
+  nws::NwsClient client(cfg);
   if (!client.connect(port)) {
     ready.arrive_and_wait();
     return;
   }
+  // Full-mantissa availability values, like a real sensor produces: the
+  // text wire must format and parse ~17 significant digits per field.
+  // (A constant like 0.5 renders as 3 bytes and parses in a few ns, which
+  // understates the text protocol's cost and overstates its density.)
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull ^ std::hash<std::string>{}(series);
+  const auto next_value = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return static_cast<double>(rng >> 11) * 0x1.0p-53;
+  };
   double t = 0.0;
   std::uint64_t seq = 1;
   std::vector<nws::Measurement> batch(batch_size);
   // Prime the series so FORECAST in mixed mode always has history.
   t += 1.0;
-  (void)client.put(series, {t, 0.5});
+  (void)client.put(series, {t, next_value()});
 
   ready.arrive_and_wait();
   const Clock::time_point deadline = Clock::now() + duration;
@@ -105,14 +206,14 @@ void client_loop(std::uint16_t port, Mode mode, const std::string& series,
     switch (mode) {
       case Mode::kPut: {
         t += 1.0;
-        if (client.put(series, {t, 0.5})) ++local_meas;
+        if (client.put(series, {t, next_value()})) ++local_meas;
         ++local_rtts;
         break;
       }
       case Mode::kPutBatch: {
         for (std::size_t i = 0; i < batch_size; ++i) {
           t += 1.0;
-          batch[i] = {t, 0.5};
+          batch[i] = {t, next_value()};
         }
         const auto reply = client.put_batch(series, batch, seq);
         seq += batch_size;
@@ -123,10 +224,27 @@ void client_loop(std::uint16_t port, Mode mode, const std::string& series,
       case Mode::kMixed: {
         for (int i = 0; i < 7; ++i) {
           t += 1.0;
-          if (client.put(series, {t, 0.5})) ++local_meas;
+          if (client.put(series, {t, next_value()})) ++local_meas;
           ++local_rtts;
         }
         (void)client.forecast(series);
+        ++local_rtts;
+        break;
+      }
+      case Mode::kReplay: {
+        // Outbox retransmission after a lost ack: the same sequence-tagged
+        // batch again and again.  The server dup-skips every sample (the
+        // idempotency PUTS/PUTB exist for), so this cell isolates the wire
+        // and parse path — the forecaster panel is out of the loop.  Acked
+        // (dup-skipped) samples count as delivered throughput.
+        if (batch[0].time == 0.0) {
+          for (std::size_t i = 0; i < batch_size; ++i) {
+            t += 1.0;
+            batch[i] = {t, next_value()};
+          }
+        }
+        const auto reply = client.put_batch(series, batch, 1);
+        if (reply) local_meas += reply->applied + reply->dup;
         ++local_rtts;
         break;
       }
@@ -137,8 +255,10 @@ void client_loop(std::uint16_t port, Mode mode, const std::string& series,
   client.disconnect();
 }
 
-Result run_scenario(const Scenario& scenario, std::size_t batch_size,
+Result run_scenario(const Scenario& scenario, std::size_t default_batch,
                     std::chrono::milliseconds duration) {
+  const std::size_t batch_size =
+      scenario.batch > 0 ? scenario.batch : default_batch;
   nws::ServerConfig config;
   config.shards = scenario.shards;
   nws::NwsServer server(config);
@@ -154,7 +274,7 @@ Result run_scenario(const Scenario& scenario, std::size_t batch_size,
   std::vector<std::thread> threads;
   threads.reserve(scenario.connections);
   for (std::size_t c = 0; c < scenario.connections; ++c) {
-    threads.emplace_back(client_loop, port, scenario.mode,
+    threads.emplace_back(client_loop, port, scenario.mode, scenario.binary,
                          "bench/host" + std::to_string(c) + "/cpu",
                          batch_size, duration, std::ref(ready),
                          std::ref(measurements), std::ref(round_trips));
@@ -173,29 +293,300 @@ double ratio(const Result& a, const Result& b) {
   return b.per_sec() > 0.0 ? a.per_sec() / b.per_sec() : 0.0;
 }
 
+// ---------------------------------------------------------------------------
+// Part 2: connection-scaling sweep over raw multiplexed sockets.
+
+struct SweepCell {
+  std::size_t requested = 0;
+  std::size_t established = 0;
+  bool binary = false;
+  nws::NetBackend backend = nws::NetBackend::kAuto;
+  std::uint64_t responses = 0;
+  double seconds = 0.0;
+  bool clamped = false;
+
+  [[nodiscard]] double per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(responses) / seconds : 0.0;
+  }
+};
+
+const char* backend_name(nws::NetBackend backend) {
+  return backend == nws::NetBackend::kPoll ? "poll" : "epoll";
+}
+
+/// One multiplexed connection: nonblocking socket plus in-flight
+/// accounting so the driver can pipeline without unbounded queueing.
+struct SweepConn {
+  int fd = -1;
+  std::string rx;       ///< partial binary frames between passes
+  std::string tx;       ///< unsent request tail (short write)
+  std::uint32_t inflight = 0;
+  double t = 0.0;
+};
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Opens one loopback connection, optionally from a spread source address
+/// (127.0.0.x) and optionally negotiating HELLO BIN while still blocking.
+int open_sweep_conn(std::uint16_t port, std::size_t index, bool spread_src,
+                    bool binary) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (spread_src) {
+    // ~28k ephemeral ports per (src, dst) pair: rotate the source address
+    // through 127.0.0.1..250 every 20k connections.  SO_REUSEADDR lets the
+    // kernel recycle TIME_WAIT tuples across bench runs.
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in src{};
+    src.sin_family = AF_INET;
+    src.sin_port = 0;
+    const std::uint32_t host = 1 + static_cast<std::uint32_t>(index / 20000) % 250;
+    src.sin_addr.s_addr = htonl((127u << 24) | host);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&src), sizeof src) != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (binary) {
+    const std::string hello = std::string(nws::kHelloBinRequest) + "\n";
+    if (::send(fd, hello.data(), hello.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(hello.size())) {
+      ::close(fd);
+      return -1;
+    }
+    // The ack is exactly "OK BIN\n"; the socket is still blocking here.
+    char ack[8] = {};
+    std::size_t got = 0;
+    while (got < 7) {
+      const ssize_t n = ::recv(fd, ack + got, 7 - got, 0);
+      if (n <= 0) {
+        ::close(fd);
+        return -1;
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    if (std::string_view(ack, 7) != "OK BIN\n") {
+      ::close(fd);
+      return -1;
+    }
+  }
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Driver thread: round-robin over its connections — retry short writes,
+/// send one PUT per pass to every connection with spare in-flight budget,
+/// and drain responses.  Counts completed responses.
+void sweep_driver(std::vector<SweepConn>& conns, bool binary,
+                  std::size_t series_base, std::latch& ready,
+                  std::atomic<bool>& stop_flag,
+                  std::atomic<std::uint64_t>& responses) {
+  constexpr std::uint32_t kMaxInflight = 4;
+  std::uint64_t local = 0;
+  std::string wire;
+  char chunk[16384];
+  ready.arrive_and_wait();
+  while (!stop_flag.load(std::memory_order_relaxed)) {
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      SweepConn& conn = conns[i];
+      if (conn.fd < 0) continue;
+      // 1) queue a request when the window allows.
+      if (conn.tx.empty() && conn.inflight < kMaxInflight) {
+        conn.t += 1.0;
+        wire.clear();
+        nws::Request req;
+        req.kind = nws::RequestKind::kPut;
+        req.series = "sw/h" + std::to_string(series_base + i) + "/cpu";
+        req.measurement = {conn.t, 0.5};
+        if (binary) {
+          nws::append_binary_request(wire, req);
+        } else {
+          nws::append_request(wire, req);
+          wire += '\n';
+        }
+        conn.tx = wire;
+        ++conn.inflight;
+      }
+      // 2) flush the tail (short writes roll to the next pass).
+      if (!conn.tx.empty()) {
+        const ssize_t sent =
+            ::send(conn.fd, conn.tx.data(), conn.tx.size(), MSG_NOSIGNAL);
+        if (sent > 0) {
+          conn.tx.erase(0, static_cast<std::size_t>(sent));
+        } else if (sent < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+          ::close(conn.fd);
+          conn.fd = -1;
+          continue;
+        }
+      }
+      // 3) drain responses.
+      for (;;) {
+        const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+        if (n <= 0) {
+          if (n == 0) {
+            ::close(conn.fd);
+            conn.fd = -1;
+          }
+          break;
+        }
+        if (binary) {
+          conn.rx.append(chunk, static_cast<std::size_t>(n));
+          std::size_t frame_end = 0;
+          std::string_view payload;
+          while (nws::extract_binary_frame(conn.rx, 1 << 20, frame_end,
+                                           payload) ==
+                 nws::BinFrameStatus::kFrame) {
+            conn.rx.erase(0, frame_end);
+            ++local;
+            if (conn.inflight > 0) --conn.inflight;
+          }
+        } else {
+          for (ssize_t b = 0; b < n; ++b) {
+            if (chunk[b] == '\n') {
+              ++local;
+              if (conn.inflight > 0) --conn.inflight;
+            }
+          }
+        }
+      }
+    }
+  }
+  responses += local;
+  for (SweepConn& conn : conns) {
+    if (conn.fd >= 0) ::close(conn.fd);
+    conn.fd = -1;
+  }
+}
+
+SweepCell run_sweep_cell(std::size_t requested, bool binary,
+                         nws::NetBackend backend, rlim_t fd_limit,
+                         std::chrono::milliseconds duration) {
+  SweepCell cell;
+  cell.requested = requested;
+  cell.binary = binary;
+  cell.backend = backend;
+  std::size_t target = requested;
+  const std::size_t capacity = connection_capacity(fd_limit);
+  if (target > capacity) {
+    print_ulimit_hint(requested, fd_limit);
+    target = capacity;
+    cell.clamped = true;
+  }
+
+  nws::ServerConfig config;
+  config.net_backend = backend;
+  config.idle_timeout_ms = 0;  // sweep connections may sit between passes
+  nws::NwsServer server(config);
+  const std::uint16_t port = server.start(0);
+  if (port == 0) {
+    std::cerr << "net_throughput: cannot bind loopback listener\n";
+    return cell;
+  }
+
+  const std::size_t drivers =
+      std::min<std::size_t>(std::max(1u, std::thread::hardware_concurrency()),
+                            8);
+  std::vector<std::vector<SweepConn>> pools(drivers);
+  const bool spread_src = target > 20000;
+  std::size_t established = 0;
+  for (std::size_t i = 0; i < target; ++i) {
+    const int fd = open_sweep_conn(port, i, spread_src, binary);
+    if (fd < 0) {
+      std::cerr << "net_throughput: connection " << i << " failed ("
+                << std::strerror(errno)
+                << "); driving the " << established
+                << " established connections.\n";
+      cell.clamped = true;
+      break;
+    }
+    pools[i % drivers].push_back(SweepConn{fd, {}, {}, 0, 0.0});
+    ++established;
+  }
+  cell.established = established;
+  if (established == 0) {
+    server.stop();
+    return cell;
+  }
+
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<bool> stop_flag{false};
+  std::latch ready(static_cast<std::ptrdiff_t>(drivers) + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(drivers);
+  std::size_t series_base = 0;
+  for (std::size_t d = 0; d < drivers; ++d) {
+    threads.emplace_back(sweep_driver, std::ref(pools[d]), binary, series_base,
+                         std::ref(ready), std::ref(stop_flag),
+                         std::ref(responses));
+    series_base += pools[d].size();
+  }
+  ready.arrive_and_wait();
+  const Clock::time_point begin = Clock::now();
+  std::this_thread::sleep_for(duration);
+  stop_flag.store(true);
+  for (std::thread& thread : threads) thread.join();
+  cell.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
+  cell.responses = responses.load();
+  server.stop();
+  return cell;
+}
+
 }  // namespace
 
 int main() {
+  const rlim_t fd_limit = raise_fd_limit();
   const std::size_t batch_size = env_size("NWSCPU_NET_BATCH", 256);
   const auto duration =
       std::chrono::milliseconds(env_size("NWSCPU_NET_MS", 400));
+  const auto sweep_duration =
+      std::chrono::milliseconds(env_size("NWSCPU_NET_SWEEP_MS", 300));
+  const std::vector<std::size_t> sweep_conns =
+      env_size_list("NWSCPU_NET_CONNS", "1000,5000");
 
+  // Scenario order is fixed: the headline-ratio indices below depend on it.
   const std::vector<Scenario> scenarios = {
       {Mode::kPut, 1, 1},      {Mode::kPut, 8, 1},    {Mode::kPut, 8, 8},
       {Mode::kPutBatch, 1, 1}, {Mode::kPutBatch, 8, 8},
       {Mode::kMixed, 8, 8},
+      {Mode::kPutBatch, 8, 8, /*binary=*/true},
+      {Mode::kPut, 8, 8, /*binary=*/true},
+      {Mode::kPutBatch, 1, 1, /*binary=*/true},
+      // Replay cells use large batches (a reconnecting outbox drains its
+      // whole backlog in maximal lines); both wire forms stay under the
+      // 64 KiB frame/line cap at 2048 samples.
+      {Mode::kReplay, 1, 1, /*binary=*/false, /*batch=*/2048},
+      {Mode::kReplay, 1, 1, /*binary=*/true, /*batch=*/2048},
   };
 
   std::vector<Result> results;
   results.reserve(scenarios.size());
   std::cout << "net_throughput: " << duration.count() << " ms/scenario, PUTB "
             << batch_size << " samples/line, hw_concurrency "
-            << std::thread::hardware_concurrency() << "\n";
-  std::cout << "mode   conns shards   measurements/s   round-trips/s\n";
+            << std::thread::hardware_concurrency() << ", RLIMIT_NOFILE "
+            << fd_limit << "\n";
+  std::cout << "mode   wire conns shards   measurements/s   round-trips/s\n";
   for (const Scenario& scenario : scenarios) {
     const Result result = run_scenario(scenario, batch_size, duration);
     results.push_back(result);
-    std::printf("%-6s %5zu %6zu %16.0f %15.0f\n", mode_name(scenario.mode),
+    std::printf("%-6s %-4s %5zu %6zu %16.0f %15.0f\n",
+                mode_name(scenario.mode), scenario.binary ? "bin" : "text",
                 scenario.connections, scenario.shards, result.per_sec(),
                 result.seconds > 0.0
                     ? static_cast<double>(result.round_trips) / result.seconds
@@ -205,20 +596,50 @@ int main() {
   // Headline ratios: scenario order above is fixed, so index directly.
   const double unbatched_gain = ratio(results[2], results[0]);
   const double batched_gain = ratio(results[4], results[0]);
+  const double putb_bin_vs_text = ratio(results[6], results[4]);
+  const double put_bin_vs_text = ratio(results[7], results[2]);
+  const double putb_bin_vs_text_1c = ratio(results[8], results[3]);
+  const double replay_bin_vs_text = ratio(results[10], results[9]);
   std::printf("aggregate 8c/8s vs 1c/1s: unbatched %.2fx, batched %.2fx\n",
               unbatched_gain, batched_gain);
+  std::printf("binary vs text putb (full apply): %.2fx at 1c/1s, %.2fx at "
+              "8c/8s\n",
+              putb_bin_vs_text_1c, putb_bin_vs_text);
+  std::printf("binary vs text putb replay (wire-bound): %.2fx at 1c/1s\n",
+              replay_bin_vs_text);
+  std::printf("binary vs text put at 8c/8s: %.2fx\n", put_bin_vs_text);
+
+  std::vector<SweepCell> sweep;
+  std::cout << "connection sweep: " << sweep_duration.count()
+            << " ms/cell, one PUT round-robin per connection\n";
+  std::cout << "backend wire  requested established    responses/s\n";
+  for (const std::size_t conns : sweep_conns) {
+    for (const nws::NetBackend backend :
+         {nws::NetBackend::kEpoll, nws::NetBackend::kPoll}) {
+      for (const bool binary : {false, true}) {
+        const SweepCell cell =
+            run_sweep_cell(conns, binary, backend, fd_limit, sweep_duration);
+        sweep.push_back(cell);
+        std::printf("%-7s %-5s %9zu %11zu %14.0f%s\n", backend_name(backend),
+                    binary ? "bin" : "text", cell.requested, cell.established,
+                    cell.per_sec(), cell.clamped ? "  (clamped)" : "");
+      }
+    }
+  }
 
   const std::string path = nws::bench::output_dir() + "/BENCH_net.json";
   std::ofstream json(path, std::ios::trunc);
   json << "{\n  \"bench\": \"net_throughput\",\n";
   json << "  \"hw_concurrency\": " << std::thread::hardware_concurrency()
        << ",\n";
+  json << "  \"fd_limit\": " << fd_limit << ",\n";
   json << "  \"duration_ms\": " << duration.count() << ",\n";
   json << "  \"putb_batch\": " << batch_size << ",\n";
   json << "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     json << "    {\"mode\": \"" << mode_name(r.scenario.mode)
+         << "\", \"wire\": \"" << (r.scenario.binary ? "binary" : "text")
          << "\", \"connections\": " << r.scenario.connections
          << ", \"shards\": " << r.scenario.shards
          << ", \"measurements\": " << r.measurements
@@ -228,8 +649,28 @@ int main() {
          << (i + 1 < results.size() ? ",\n" : "\n");
   }
   json << "  ],\n";
+  json << "  \"sweep_duration_ms\": " << sweep_duration.count() << ",\n";
+  json << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepCell& c = sweep[i];
+    json << "    {\"backend\": \"" << backend_name(c.backend)
+         << "\", \"wire\": \"" << (c.binary ? "binary" : "text")
+         << "\", \"connections_requested\": " << c.requested
+         << ", \"connections\": " << c.established
+         << ", \"clamped\": " << (c.clamped ? "true" : "false")
+         << ", \"responses\": " << c.responses
+         << ", \"seconds\": " << c.seconds
+         << ", \"responses_per_sec\": " << c.per_sec() << "}"
+         << (i + 1 < sweep.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n";
   json << "  \"put_8c8s_vs_1c1s\": " << unbatched_gain << ",\n";
-  json << "  \"putb_8c8s_vs_1c1s\": " << batched_gain << "\n";
+  json << "  \"putb_8c8s_vs_1c1s\": " << batched_gain << ",\n";
+  json << "  \"putb_bin_vs_text_8c8s\": " << putb_bin_vs_text << ",\n";
+  json << "  \"putb_bin_vs_text_1c1s\": " << putb_bin_vs_text_1c << ",\n";
+  json << "  \"putb_replay_bin_vs_text_1c1s\": " << replay_bin_vs_text
+       << ",\n";
+  json << "  \"put_bin_vs_text_8c8s\": " << put_bin_vs_text << "\n";
   json << "}\n";
   json.close();
   std::cout << "wrote " << path << "\n";

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -68,6 +69,7 @@ NwsClient::NwsClient(NwsClient&& other) noexcept
       fd_(std::exchange(other.fd_, -1)),
       rx_buffer_(std::move(other.rx_buffer_)),
       last_port_(other.last_port_),
+      binary_active_(std::exchange(other.binary_active_, false)),
       outbox_(std::move(other.outbox_)),
       next_seq_(other.next_seq_),
       overflows_(other.overflows_),
@@ -81,6 +83,7 @@ NwsClient& NwsClient::operator=(NwsClient&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     rx_buffer_ = std::move(other.rx_buffer_);
     last_port_ = other.last_port_;
+    binary_active_ = std::exchange(other.binary_active_, false);
     outbox_ = std::move(other.outbox_);
     next_seq_ = other.next_seq_;
     overflows_ = other.overflows_;
@@ -129,6 +132,24 @@ bool NwsClient::connect(std::uint16_t port) {
     }
   }
   ::fcntl(fd_, F_SETFL, flags);
+  // Nagle off: a sensor's single PUT is a sub-MSS write that must not sit
+  // in the kernel waiting for a delayed ack.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (cfg_.binary) {
+    // Negotiate the binary framing.  The handshake travels as text; only
+    // an explicit "OK BIN" flips the connection — an older server's ERR
+    // (or an "OK TEXT" ack) degrades gracefully to the text protocol.
+    std::string hello(kHelloBinRequest);
+    hello += '\n';
+    if (!send_all(hello)) {
+      disconnect();
+      return false;
+    }
+    const auto ack = read_response();
+    if (!ack) return false;  // read_response() already disconnected
+    binary_active_ = (*ack == kHelloBinAck);
+  }
   return true;
 }
 
@@ -138,6 +159,7 @@ void NwsClient::disconnect() {
     fd_ = -1;
   }
   rx_buffer_.clear();
+  binary_active_ = false;
 }
 
 bool NwsClient::send_all(const std::string& line) {
@@ -177,14 +199,57 @@ std::optional<std::string> NwsClient::read_response() {
   }
 }
 
+std::optional<std::string> NwsClient::read_frame() {
+  // Response frames carry the exact text response, so a frame cap sized
+  // for the largest plausible reply (VALUES over a deep memory, a big
+  // METRICS dump) is ample; anything larger means a desynced stream.
+  constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
+  char chunk[4096];
+  while (true) {
+    std::size_t frame_end = 0;
+    std::string_view payload;
+    const BinFrameStatus status =
+        extract_binary_frame(rx_buffer_, kMaxFrameBytes, frame_end, payload);
+    if (status == BinFrameStatus::kError) {
+      disconnect();
+      return std::nullopt;
+    }
+    if (status == BinFrameStatus::kFrame) {
+      std::string response(payload);
+      rx_buffer_.erase(0, frame_end);
+      return response;
+    }
+    if (!wait_ready(POLLIN, cfg_.io_timeout_ms)) {
+      disconnect();
+      return std::nullopt;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      disconnect();
+      return std::nullopt;
+    }
+    rx_buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<std::string> NwsClient::read_reply() {
+  return binary_active_ ? read_frame() : read_response();
+}
+
 std::optional<std::string> NwsClient::round_trip(const Request& request) {
   if (fd_ < 0) return std::nullopt;
-  const std::string line = format_request(request) + "\n";
-  if (!send_all(line)) {
+  std::string wire;
+  if (binary_active_) {
+    append_binary_request(wire, request);
+  } else {
+    append_request(wire, request);
+    wire += '\n';
+  }
+  if (!send_all(wire)) {
     disconnect();
     return std::nullopt;
   }
-  return read_response();
+  return read_reply();
 }
 
 bool NwsClient::put(const std::string& series, Measurement measurement) {
@@ -290,8 +355,12 @@ bool NwsClient::flush() {
           req.batch.push_back(outbox_[idx + j].measurement);
         }
       }
-      append_request(wire, req);
-      wire += '\n';
+      if (binary_active_) {
+        append_binary_request(wire, req);
+      } else {
+        append_request(wire, req);
+        wire += '\n';
+      }
       line_records.push_back(run);
       idx += run;
     }
@@ -301,7 +370,7 @@ bool NwsClient::flush() {
     }
     for (const std::size_t records : line_records) {
       const obs::TraceSpan ack_span("client.ack");
-      const auto response = read_response();
+      const auto response = read_reply();
       if (!response || !response_is_ok(*response)) {
         disconnect();
         break;
@@ -328,8 +397,16 @@ std::optional<StatsReply> NwsClient::stats(const std::string& series) {
 std::optional<std::string> NwsClient::metrics() {
   Request req;
   req.kind = RequestKind::kMetrics;
-  // The response is multi-line: "OK <n>" then n exposition lines, all
-  // framed by the header's line count (no sentinel to scan for).
+  if (binary_active_) {
+    // One frame carries the whole multi-line response ("OK <n>" header
+    // plus n exposition lines) — the length prefix frames it, no
+    // line-count bookkeeping on the read path.
+    const auto response = round_trip(req);
+    if (!response) return std::nullopt;
+    return parse_metrics_response(*response);
+  }
+  // Text: "OK <n>" then n exposition lines, framed by the header's line
+  // count (no sentinel to scan for).
   const auto header = round_trip(req);
   if (!header) return std::nullopt;
   const auto lines = parse_metrics_header(*header);

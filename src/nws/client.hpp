@@ -50,6 +50,14 @@ struct ClientConfig {
   std::size_t outbox_batch_max = 256;
   BackoffConfig backoff{5.0, 500.0, 2.0, 0.5};  ///< reconnect pacing
   std::uint64_t backoff_seed = 1;  ///< deterministic jitter stream
+  /// Opt into the length-prefixed binary wire framing: connect() sends
+  /// "HELLO BIN" and, when the server acks, every request/response after
+  /// it travels as binary frames (responses carry the exact text-protocol
+  /// payload, so replies parse identically).  A server that does not speak
+  /// the upgrade leaves the connection on text — the client degrades
+  /// gracefully.  The reliable outbox/replay machinery is framing-
+  /// agnostic and unchanged.
+  bool binary = false;
 };
 
 class NwsClient {
@@ -68,6 +76,10 @@ class NwsClient {
   bool connect(std::uint16_t port);
   void disconnect();
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// True when the current connection negotiated binary framing (config
+  /// requested it AND the server acked the HELLO BIN upgrade).
+  [[nodiscard]] bool binary_active() const noexcept { return binary_active_; }
 
   /// Stores a measurement (fire-and-forget PUT).  False on transport
   /// failure or server ERR.
@@ -133,12 +145,19 @@ class NwsClient {
     Measurement measurement;
   };
 
-  /// Sends one request line, reads one response line; each socket wait is
-  /// bounded by io_timeout_ms.  nullopt on transport failure or timeout
-  /// (the connection is torn down so the next call can reconnect).
+  /// Sends one request, reads one response; each socket wait is bounded
+  /// by io_timeout_ms.  nullopt on transport failure or timeout (the
+  /// connection is torn down so the next call can reconnect).  Requests
+  /// and responses ride the negotiated framing; the returned payload is
+  /// the text response either way.
   [[nodiscard]] std::optional<std::string> round_trip(const Request& request);
   /// Reads one response line (bounded waits); disconnects on failure.
   [[nodiscard]] std::optional<std::string> read_response();
+  /// Reads one binary response frame, returning its payload (the exact
+  /// text response); disconnects on failure or a framing error.
+  [[nodiscard]] std::optional<std::string> read_frame();
+  /// read_frame() or read_response() per the negotiated framing.
+  [[nodiscard]] std::optional<std::string> read_reply();
   [[nodiscard]] bool send_all(const std::string& line);
   /// poll() for `events` within timeout_ms; false on timeout/error.
   [[nodiscard]] bool wait_ready(short events, int timeout_ms) const;
@@ -147,6 +166,7 @@ class NwsClient {
   int fd_ = -1;
   std::string rx_buffer_;
   std::uint16_t last_port_ = 0;
+  bool binary_active_ = false;  ///< this connection negotiated HELLO BIN
 
   std::deque<Pending> outbox_;
   std::uint64_t next_seq_ = 1;

@@ -1,7 +1,9 @@
 #include "nws/protocol.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <charconv>
+#include <cstring>
 
 #include "util/fmt.hpp"
 
@@ -474,6 +476,264 @@ std::optional<std::string> parse_metrics_response(std::string_view response) {
   std::string out(body);
   if (!out.empty()) out += '\n';
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol v2: binary framing.
+
+namespace {
+
+// All multi-byte fields are explicitly little-endian, independent of host
+// byte order; doubles travel as their IEEE-754 bit pattern in a u64.
+
+void put_u16_le(std::string& out, std::uint16_t v) {
+  out += static_cast<char>(v & 0xFF);
+  out += static_cast<char>((v >> 8) & 0xFF);
+}
+
+void put_u32_le(std::string& out, std::uint32_t v) {
+  out += static_cast<char>(v & 0xFF);
+  out += static_cast<char>((v >> 8) & 0xFF);
+  out += static_cast<char>((v >> 16) & 0xFF);
+  out += static_cast<char>((v >> 24) & 0xFF);
+}
+
+void put_u64_le(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out += static_cast<char>((v >> shift) & 0xFF);
+  }
+}
+
+void put_f64_le(std::string& out, double v) {
+  put_u64_le(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint32_t load_u32_le(const char* p) {
+  const auto b = [p](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+/// Bounds-checked little-endian reader over a frame body.
+class BinCursor {
+ public:
+  explicit BinCursor(std::string_view data) : data_(data) {}
+
+  bool u16(std::uint16_t& out) {
+    if (remaining() < 2) return false;
+    const auto b = [this](std::size_t i) {
+      return static_cast<std::uint16_t>(
+          static_cast<unsigned char>(data_[pos_ + i]));
+    };
+    out = static_cast<std::uint16_t>(b(0) | (b(1) << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool u32(std::uint32_t& out) {
+    if (remaining() < 4) return false;
+    out = load_u32_le(data_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& out) {
+    if (remaining() < 8) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool f64(double& out) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    out = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  bool bytes(std::size_t n, std::string_view& out) {
+    if (remaining() < n) return false;
+    out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// A binary series name must round-trip through the text oracle, so it
+/// obeys the same grammar: non-empty, no whitespace or newlines.
+bool valid_series_name(std::string_view series) {
+  if (series.empty()) return false;
+  for (const char c : series) {
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') return false;
+  }
+  return true;
+}
+
+bool read_series(BinCursor& cursor, std::string& out) {
+  std::uint16_t len = 0;
+  std::string_view bytes;
+  if (!cursor.u16(len) || !cursor.bytes(len, bytes)) return false;
+  if (!valid_series_name(bytes)) return false;
+  out.assign(bytes);
+  return true;
+}
+
+}  // namespace
+
+BinFrameStatus extract_binary_frame(std::string_view buffer,
+                                    std::size_t max_frame_bytes,
+                                    std::size_t& frame_end,
+                                    std::string_view& payload) {
+  if (buffer.size() < kBinFrameHeaderBytes) return BinFrameStatus::kNeedMore;
+  const std::uint32_t len = load_u32_le(buffer.data());
+  if (len == 0 || len > max_frame_bytes) return BinFrameStatus::kError;
+  if (buffer.size() < kBinFrameHeaderBytes + len) {
+    return BinFrameStatus::kNeedMore;
+  }
+  frame_end = kBinFrameHeaderBytes + len;
+  payload = buffer.substr(kBinFrameHeaderBytes, len);
+  return BinFrameStatus::kFrame;
+}
+
+void append_binary_request(std::string& out, const Request& request) {
+  const std::size_t header_at = out.size();
+  out.append(kBinFrameHeaderBytes, '\0');  // length prefix, patched below
+
+  // A series name too long for the u16 length field rides the TEXT op
+  // (the text path's own line cap is the real bound).
+  const bool series_fits = request.series.size() <= 0xFFFF;
+  switch (series_fits ? request.kind : RequestKind::kSeries) {
+    case RequestKind::kPut:
+      out += static_cast<char>(kBinOpPut);
+      put_u16_le(out, static_cast<std::uint16_t>(request.series.size()));
+      out += request.series;
+      put_f64_le(out, request.measurement.time);
+      put_f64_le(out, request.measurement.value);
+      break;
+    case RequestKind::kPutSeq:
+      out += static_cast<char>(kBinOpPutSeq);
+      put_u16_le(out, static_cast<std::uint16_t>(request.series.size()));
+      out += request.series;
+      put_u64_le(out, request.seq);
+      put_f64_le(out, request.measurement.time);
+      put_f64_le(out, request.measurement.value);
+      break;
+    case RequestKind::kPutBatch:
+      out += static_cast<char>(kBinOpPutBatch);
+      put_u16_le(out, static_cast<std::uint16_t>(request.series.size()));
+      out += request.series;
+      put_u64_le(out, request.seq);
+      put_u32_le(out, static_cast<std::uint32_t>(request.batch.size()));
+      for (const Measurement& m : request.batch) {
+        put_f64_le(out, m.time);
+        put_f64_le(out, m.value);
+      }
+      break;
+    case RequestKind::kForecast:
+      out += static_cast<char>(kBinOpForecast);
+      put_u16_le(out, static_cast<std::uint16_t>(request.series.size()));
+      out += request.series;
+      break;
+    case RequestKind::kMetrics:
+      out += static_cast<char>(kBinOpMetrics);
+      break;
+    case RequestKind::kPing:
+      out += static_cast<char>(kBinOpPing);
+      break;
+    case RequestKind::kQuit:
+      out += static_cast<char>(kBinOpQuit);
+      break;
+    default:
+      // Cold verbs (VALUES / SERIES / STATS) and oversized series names:
+      // the body is the text request line.
+      out += static_cast<char>(kBinOpText);
+      append_request(out, request);
+      break;
+  }
+
+  const std::size_t body = out.size() - header_at - kBinFrameHeaderBytes;
+  const auto len = static_cast<std::uint32_t>(body);
+  out[header_at + 0] = static_cast<char>(len & 0xFF);
+  out[header_at + 1] = static_cast<char>((len >> 8) & 0xFF);
+  out[header_at + 2] = static_cast<char>((len >> 16) & 0xFF);
+  out[header_at + 3] = static_cast<char>((len >> 24) & 0xFF);
+}
+
+bool parse_binary_request(std::string_view payload, Request& out) {
+  if (payload.empty()) return false;
+  const auto op = static_cast<std::uint8_t>(payload[0]);
+  BinCursor cursor(payload.substr(1));
+  switch (op) {
+    case kBinOpPut:
+      out.kind = RequestKind::kPut;
+      if (!read_series(cursor, out.series)) return false;
+      if (!cursor.f64(out.measurement.time)) return false;
+      if (!cursor.f64(out.measurement.value)) return false;
+      return cursor.done();
+    case kBinOpPutSeq:
+      out.kind = RequestKind::kPutSeq;
+      if (!read_series(cursor, out.series)) return false;
+      if (!cursor.u64(out.seq) || out.seq == 0) return false;
+      if (!cursor.f64(out.measurement.time)) return false;
+      if (!cursor.f64(out.measurement.value)) return false;
+      return cursor.done();
+    case kBinOpPutBatch: {
+      out.kind = RequestKind::kPutBatch;
+      if (!read_series(cursor, out.series)) return false;
+      if (!cursor.u64(out.seq) || out.seq == 0) return false;
+      std::uint32_t n = 0;
+      if (!cursor.u32(n) || n == 0) return false;
+      // The declared count must account for the remaining body exactly —
+      // checked before reserving, so a hostile count can never balloon
+      // the allocation past the (already capped) frame size.
+      if (cursor.remaining() != static_cast<std::size_t>(n) * 16) {
+        return false;
+      }
+      out.batch.clear();
+      out.batch.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Measurement m;
+        if (!cursor.f64(m.time) || !cursor.f64(m.value)) return false;
+        out.batch.push_back(m);
+      }
+      return cursor.done();
+    }
+    case kBinOpForecast:
+      out.kind = RequestKind::kForecast;
+      if (!read_series(cursor, out.series)) return false;
+      return cursor.done();
+    case kBinOpMetrics:
+      out.kind = RequestKind::kMetrics;
+      return cursor.done();
+    case kBinOpPing:
+      out.kind = RequestKind::kPing;
+      return cursor.done();
+    case kBinOpQuit:
+      out.kind = RequestKind::kQuit;
+      return cursor.done();
+    case kBinOpText:
+      return parse_request_into(payload.substr(1), out);
+    default:
+      return false;
+  }
+}
+
+void append_binary_response(std::string& out, std::string_view payload) {
+  put_u32_le(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
 }
 
 }  // namespace nws

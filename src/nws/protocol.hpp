@@ -59,6 +59,7 @@
 // request handling performs no per-request allocations.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -191,5 +192,85 @@ struct StatsReply {
 /// one trailing newline.
 [[nodiscard]] std::optional<std::string> parse_metrics_response(
     std::string_view response);
+
+// ---------------------------------------------------------------------------
+// Wire protocol v2: opt-in length-prefixed binary framing.
+//
+// Negotiated per connection.  A client that sends the text line "HELLO BIN"
+// receives the text reply "OK BIN" and every byte after that handshake —
+// both directions — is binary-framed.  "HELLO" and "HELLO TEXT" are
+// acknowledged with "OK TEXT" and the connection stays text; any other
+// HELLO argument draws an ERR and the connection stays text.  Text remains
+// the default wire format and the fuzz/parity oracle: a binary response
+// frame carries the exact bytes of the text response (without the trailing
+// newline), so responses are byte-identical across framings by
+// construction.
+//
+//   request frame:   [u32 length LE][u8 op][body]   length counts op+body
+//   response frame:  [u32 length LE][payload]       payload = text response
+//
+// Bodies (integers little-endian; doubles as IEEE-754 bit patterns):
+//   PUT       u16 series_len, series, f64 time, f64 value
+//   PUTS      u16 series_len, series, u64 seq, f64 time, f64 value
+//   PUTB      u16 series_len, series, u64 seq, u32 n, then n x (f64, f64)
+//   FORECAST  u16 series_len, series
+//   METRICS / PING / QUIT    empty body
+//   TEXT      one complete text request line — the escape hatch that keeps
+//             the cold verbs (VALUES/SERIES/STATS) available to a
+//             binary-mode client without dedicated encodings
+//
+// A zero or over-cap length prefix is a framing error: the server answers
+// ERR and closes (a text verb accidentally sent down a binary connection
+// reads as an absurd length and lands here, never desyncing the stream).
+
+inline constexpr std::uint8_t kBinOpPut = 1;
+inline constexpr std::uint8_t kBinOpPutSeq = 2;
+inline constexpr std::uint8_t kBinOpPutBatch = 3;
+inline constexpr std::uint8_t kBinOpForecast = 4;
+inline constexpr std::uint8_t kBinOpMetrics = 5;
+inline constexpr std::uint8_t kBinOpPing = 6;
+inline constexpr std::uint8_t kBinOpQuit = 7;
+inline constexpr std::uint8_t kBinOpText = 8;
+
+/// Bytes of the [u32 length] prefix on every frame, both directions.
+inline constexpr std::size_t kBinFrameHeaderBytes = 4;
+
+/// The negotiation lines (requests and acks travel as text).
+inline constexpr std::string_view kHelloBinRequest = "HELLO BIN";
+inline constexpr std::string_view kHelloBinAck = "OK BIN";
+inline constexpr std::string_view kHelloTextAck = "OK TEXT";
+
+enum class BinFrameStatus {
+  kNeedMore,  ///< buffer holds a prefix of a valid frame; read more bytes
+  kFrame,     ///< a complete frame was extracted
+  kError      ///< length prefix is zero or exceeds the cap: framing is dead
+};
+
+/// Incremental frame extraction over a receive buffer.  On kFrame,
+/// `payload` views the frame body inside `buffer` and `frame_end` is the
+/// total bytes consumed (header + body) — the caller erases that prefix
+/// after handling the payload.  `max_frame_bytes` caps the declared body
+/// length (mirror of the text path's max_line_bytes).
+[[nodiscard]] BinFrameStatus extract_binary_frame(std::string_view buffer,
+                                                  std::size_t max_frame_bytes,
+                                                  std::size_t& frame_end,
+                                                  std::string_view& payload);
+
+/// Appends the binary frame encoding of `request` to `out` (header +
+/// op + body).  Hot verbs get native encodings; everything else rides the
+/// TEXT op, so any Request is encodable.
+void append_binary_request(std::string& out, const Request& request);
+
+/// Decodes a request frame payload (op + body, as extract_binary_frame
+/// yields it) into `out`, reusing its capacity like parse_request_into.
+/// Returns false on malformed payloads (unknown op, truncated or oversized
+/// body, zero seq/batch, whitespace in a series name).
+[[nodiscard]] bool parse_binary_request(std::string_view payload,
+                                        Request& out);
+
+/// Appends a response frame: [u32 length][payload].  `payload` is the
+/// exact text-protocol response (multi-line METRICS payloads travel as one
+/// frame).
+void append_binary_response(std::string& out, std::string_view payload);
 
 }  // namespace nws

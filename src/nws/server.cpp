@@ -3,14 +3,22 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#endif
+
 #include <algorithm>
 #include <array>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/trace.hpp"
@@ -66,6 +74,11 @@ struct ServerMetrics {
   obs::Counter* conns_dropped = nullptr;
   obs::Gauge* connections = nullptr;
   obs::Gauge* series = nullptr;
+  obs::Counter* accepts = nullptr;
+  obs::Counter* bin_upgrades = nullptr;
+  obs::Counter* wakeups = nullptr;
+  obs::Counter* event_waits_poll = nullptr;
+  obs::Counter* event_waits_epoll = nullptr;
 };
 
 ServerMetrics& server_metrics() {
@@ -102,10 +115,25 @@ ServerMetrics& server_metrics() {
     m->conns_dropped =
         &reg.counter("nws_server_connections_dropped_total",
                      "Connections dropped for oversized lines or idleness");
-    m->connections = &reg.gauge("nws_server_connections",
-                                "Connected clients (refreshed on METRICS)");
+    m->connections = &reg.gauge(
+        "nws_server_connections",
+        "Connected clients (live: updated on accept and teardown)");
     m->series = &reg.gauge("nws_server_series",
                            "Distinct series (refreshed on METRICS)");
+    m->accepts = &reg.counter("nws_server_accepts_total",
+                              "Connections accepted since start");
+    m->bin_upgrades =
+        &reg.counter("nws_server_bin_upgrades_total",
+                     "Connections upgraded to binary framing (HELLO BIN)");
+    m->wakeups =
+        &reg.counter("nws_server_dispatcher_wakeups_total",
+                     "Worker -> dispatcher wakeups (eventfd/self-pipe)");
+    m->event_waits_poll =
+        &reg.counter("nws_server_event_waits_total{backend=\"poll\"}",
+                     "Event-loop wait returns, poll backend");
+    m->event_waits_epoll =
+        &reg.counter("nws_server_event_waits_total{backend=\"epoll\"}",
+                     "Event-loop wait returns, epoll backend");
     return m;
   }();
   return *metrics;
@@ -135,6 +163,30 @@ void set_nonblocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+NetBackend resolve_backend(const ServerConfig& cfg) {
+  if (cfg.net_backend != NetBackend::kAuto) return cfg.net_backend;
+  if (const char* env = std::getenv("NWSCPU_NET_BACKEND")) {
+    const std::string_view v(env);
+    if (v == "poll") return NetBackend::kPoll;
+    if (v == "epoll") return NetBackend::kEpoll;
+  }
+#ifdef __linux__
+  return NetBackend::kEpoll;
+#else
+  return NetBackend::kPoll;
+#endif
+}
+
+/// Accepted sockets are nonblocking (the dispatcher must never stall on
+/// one peer) and run with Nagle off: a sensor's single PUT must not sit
+/// in the kernel for a delayed-ack round trip (the latency delta is
+/// recorded in DESIGN.md §10).
+void configure_conn_socket(int fd) {
+  set_nonblocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
 }  // namespace
 
 NwsServer::NwsServer(ServerConfig config)
@@ -151,6 +203,7 @@ NwsServer::NwsServer(ServerConfig config)
   }
   service_.set_group_size(cfg_.journal_group_size);
   total_series_.store(service_.series_count(), std::memory_order_relaxed);
+  backend_ = resolve_backend(cfg_);
 }
 
 NwsServer::NwsServer(std::size_t memory_capacity)
@@ -344,7 +397,13 @@ void NwsServer::process_line(std::string_view line, Request& req,
   const bool timed =
       counted && (latency_tick++ & (kLatencySampleEvery - 1)) == 0;
   const std::uint64_t t0 = timed ? obs::now_ns() : 0;
-  if (!parse_request_into(line, req)) {
+  // A binary task's `line` is a frame payload (op + body); the framing
+  // already resynchronized the stream, so a bad payload is answered like
+  // a bad text line and the connection lives on.
+  const bool parsed = (task != nullptr && task->binary)
+                          ? parse_binary_request(line, req)
+                          : parse_request_into(line, req);
+  if (!parsed) {
     m.malformed->inc();
     append_error(out, "malformed request");
     return;
@@ -400,9 +459,12 @@ std::uint16_t NwsServer::start(std::uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
+  // The backlog must absorb a fleet-scale connection stampede (the
+  // 100k-connection bench opens sockets far faster than one accept per
+  // event-loop turn can drain them).
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
           0 ||
-      ::listen(listen_fd_, 64) < 0) {
+      ::listen(listen_fd_, 4096) < 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return 0;
@@ -414,16 +476,28 @@ std::uint16_t NwsServer::start(std::uint16_t port) {
     listen_fd_ = -1;
     return 0;
   }
-  int pipe_fds[2] = {-1, -1};
-  if (::pipe(pipe_fds) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return 0;
+  set_nonblocking(listen_fd_);
+#ifdef __linux__
+  // One eventfd doubles as both ends of the wakeup channel; fall back to
+  // a self-pipe if it cannot be created.
+  const int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (efd >= 0) {
+    wake_rx_ = efd;
+    wake_tx_ = efd;
   }
-  wake_rx_ = pipe_fds[0];
-  wake_tx_ = pipe_fds[1];
-  set_nonblocking(wake_rx_);
-  set_nonblocking(wake_tx_);
+#endif
+  if (wake_rx_ < 0) {
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return 0;
+    }
+    wake_rx_ = pipe_fds[0];
+    wake_tx_ = pipe_fds[1];
+    set_nonblocking(wake_rx_);
+    set_nonblocking(wake_tx_);
+  }
 
   port_ = ntohs(addr.sin_port);
   running_.store(true);
@@ -432,7 +506,14 @@ std::uint16_t NwsServer::start(std::uint16_t port) {
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     workers_.emplace_back(&NwsServer::worker_loop, this, k);
   }
-  thread_ = std::thread(&NwsServer::serve_loop, this);
+#ifdef __linux__
+  thread_ = std::thread(backend_ == NetBackend::kEpoll
+                            ? &NwsServer::serve_epoll
+                            : &NwsServer::serve_poll,
+                        this);
+#else
+  thread_ = std::thread(&NwsServer::serve_poll, this);
+#endif
   return port_;
 }
 
@@ -441,9 +522,9 @@ void NwsServer::stop() {
     service_.sync();
     return;
   }
-  // The event loop polls with a timeout, so flipping running_ is enough;
-  // shutting the listener down (and a wakeup byte) kicks it out of a quiet
-  // poll() immediately.
+  // The event loop may be blocked indefinitely (no fixed timeout any
+  // more): a wakeup write plus shutting the listener down kicks it out of
+  // a quiet wait immediately.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   wake_dispatcher();
   if (thread_.joinable()) thread_.join();
@@ -465,11 +546,16 @@ void NwsServer::stop() {
   }
   if (wake_rx_ >= 0) {
     ::close(wake_rx_);
+    if (wake_tx_ == wake_rx_) wake_tx_ = -1;  // eventfd: one fd, both ends
     wake_rx_ = -1;
   }
   if (wake_tx_ >= 0) {
     ::close(wake_tx_);
     wake_tx_ = -1;
+  }
+  {
+    const std::scoped_lock lock(attention_mu_);
+    attention_.clear();
   }
   port_ = 0;
   service_.sync();
@@ -477,21 +563,37 @@ void NwsServer::stop() {
 
 void NwsServer::wake_dispatcher() const noexcept {
   if (wake_tx_ < 0) return;
-  const char byte = 0;
-  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
-  (void)!::write(wake_tx_, &byte, 1);
+  server_metrics().wakeups->inc();
+  // An eventfd wants a u64 counter increment; a self-pipe any byte.  A
+  // full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  if (wake_tx_ == wake_rx_) {
+    const std::uint64_t one = 1;
+    (void)!::write(wake_tx_, &one, sizeof one);
+  } else {
+    const char byte = 0;
+    (void)!::write(wake_tx_, &byte, 1);
+  }
+}
+
+void NwsServer::request_attention(const ConnPtr& conn) {
+  {
+    const std::scoped_lock lock(attention_mu_);
+    attention_.push_back(conn);
+  }
+  wake_dispatcher();
 }
 
 void NwsServer::complete(const ConnPtr& conn, std::size_t slot,
-                         std::string&& text, bool close_after) {
+                         std::string&& text, bool close_after, bool binary) {
   const obs::TraceSpan span("server.respond");
-  bool want_reap = false;
+  bool want_attention = false;
   {
     const std::scoped_lock lock(conn->mu);
-    conn->pending.emplace(slot, Pending{std::move(text), close_after});
+    conn->pending.emplace(slot, Pending{std::move(text), close_after, binary});
     // Flush the contiguous done-prefix.  Later slots stay parked; once
     // closing/dead is set they are dropped unsent (matching the old
     // serial loop, which stopped processing after a teardown).
+    std::string wire;  // the response's wire image, per its framing
     while (!conn->closing && !conn->dead) {
       const auto it = conn->pending.find(conn->flush_slot);
       if (it == conn->pending.end()) break;
@@ -499,6 +601,15 @@ void NwsServer::complete(const ConnPtr& conn, std::size_t slot,
       conn->pending.erase(it);
       ++conn->flush_slot;
 
+      // Frame first, then let the fault schedule mangle the wire image —
+      // faults act on bytes-on-the-wire whatever the framing.
+      wire.clear();
+      if (p.binary) {
+        append_binary_response(wire, p.text);
+      } else {
+        wire = std::move(p.text);
+        wire += '\n';
+      }
       const FaultAction fault = fault_check(FaultSite::kServerRespond);
       switch (fault.kind) {
         case FaultAction::Kind::kDelay:
@@ -506,13 +617,12 @@ void NwsServer::complete(const ConnPtr& conn, std::size_t slot,
           // the pathology client timeouts must absorb.
           std::this_thread::sleep_for(
               std::chrono::milliseconds(fault.delay_ms));
-          conn->tx += p.text;
-          conn->tx += '\n';
+          conn->tx += wire;
           break;
         case FaultAction::Kind::kTruncate:
           // Half a response and then a dead connection, as if the server
           // crashed mid-write.
-          conn->tx.append(p.text, 0, p.text.size() / 2);
+          conn->tx.append(wire, 0, wire.size() / 2);
           conn->closing = true;
           break;
         case FaultAction::Kind::kGarbage:
@@ -520,8 +630,7 @@ void NwsServer::complete(const ConnPtr& conn, std::size_t slot,
           conn->tx += '\n';
           break;
         default:
-          conn->tx += p.text;
-          conn->tx += '\n';
+          conn->tx += wire;
           break;
       }
       if (p.close_after) conn->closing = true;
@@ -530,18 +639,37 @@ void NwsServer::complete(const ConnPtr& conn, std::size_t slot,
       const ssize_t w =
           ::send(conn->fd, conn->tx.data(), conn->tx.size(), MSG_NOSIGNAL);
       if (w < 0) {
-        conn->dead = true;
+        if (errno == EINTR) continue;
+        // EAGAIN: socket buffer full.  Leave the tail in tx and hand the
+        // fd to the dispatcher to watch for writability — a worker must
+        // never block on one slow peer.
+        if (errno != EAGAIN && errno != EWOULDBLOCK) conn->dead = true;
         break;
       }
       conn->tx.erase(0, static_cast<std::size_t>(w));
     }
-    want_reap = conn->closing || conn->dead;
+    want_attention = conn->closing || conn->dead || !conn->tx.empty();
   }
   // flush_slot moved (or teardown latched): release any cross-shard read
   // fenced on this connection.
   conn->cv.notify_all();
   conn->inflight.fetch_sub(1, std::memory_order_release);
-  if (want_reap) wake_dispatcher();
+  if (want_attention) request_attention(conn);
+}
+
+bool NwsServer::flush_tx(const ConnPtr& conn) {
+  const std::scoped_lock lock(conn->mu);
+  while (!conn->tx.empty() && !conn->dead && conn->fd >= 0) {
+    const ssize_t w =
+        ::send(conn->fd, conn->tx.data(), conn->tx.size(), MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) conn->dead = true;
+      break;
+    }
+    conn->tx.erase(0, static_cast<std::size_t>(w));
+  }
+  return conn->tx.empty();
 }
 
 void NwsServer::commit_shard(std::size_t k) {
@@ -586,7 +714,7 @@ void NwsServer::worker_loop(std::size_t k) {
     resp.clear();
     bool close_after = false;
     process_line(task.line, req, resp, close_after, &task);
-    complete(task.conn, task.slot, std::move(resp), close_after);
+    complete(task.conn, task.slot, std::move(resp), close_after, task.binary);
     resp = std::string();  // moved-from: re-arm the reusable buffer
   }
   commit_shard(k);
@@ -615,10 +743,70 @@ std::size_t NwsServer::route_line(std::string_view line) const {
   return service_.shard_of(series);
 }
 
+std::size_t NwsServer::route_frame(std::string_view payload) const {
+  // Mirror of route_line over a frame payload: peek the op and the series
+  // length-prefixed at offset 1.  Malformed payloads route to worker 0,
+  // whose authoritative parse answers ERR.
+  if (payload.empty()) return 0;
+  const auto op = static_cast<std::uint8_t>(payload[0]);
+  switch (op) {
+    case kBinOpPut:
+    case kBinOpPutSeq:
+    case kBinOpPutBatch:
+    case kBinOpForecast: {
+      if (payload.size() < 3) return 0;
+      const auto lo = static_cast<unsigned char>(payload[1]);
+      const auto hi = static_cast<unsigned char>(payload[2]);
+      const std::size_t len =
+          static_cast<std::size_t>(lo) | (static_cast<std::size_t>(hi) << 8);
+      if (len == 0 || payload.size() < 3 + len) return 0;
+      return service_.shard_of(payload.substr(3, len));
+    }
+    case kBinOpText:
+      return route_line(payload.substr(1));
+    default:
+      return 0;  // METRICS / PING / QUIT / unknown: any queue works
+  }
+}
+
+bool NwsServer::handle_hello(const ConnPtr& conn, std::string_view line) {
+  // HELLO is transport negotiation, not a service verb: the dispatcher
+  // owns the connection's framing state, so it answers in place (through
+  // the slot machinery, preserving pipelined response order) and never
+  // queues it on a shard.
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                           line.back() == '\t')) {
+    line.remove_suffix(1);
+  }
+  if (line != "HELLO" && line.rfind("HELLO ", 0) != 0) return false;
+  std::string_view arg = line.size() > 5 ? line.substr(6) : std::string_view{};
+  while (!arg.empty() && (arg.front() == ' ' || arg.front() == '\t')) {
+    arg.remove_prefix(1);
+  }
+  std::string reply;
+  bool upgrade = false;
+  if (arg.empty() || arg == "TEXT") {
+    reply.assign(kHelloTextAck);
+  } else if (arg == "BIN") {
+    reply.assign(kHelloBinAck);
+    upgrade = true;
+    server_metrics().bin_upgrades->inc();
+  } else {
+    reply = format_error("unknown framing");
+  }
+  // The ack is the connection's last text-mode response; responses to
+  // requests dispatched after it are framed binary (per-task flag).
+  conn->inflight.fetch_add(1, std::memory_order_relaxed);
+  complete(conn, conn->next_slot++, std::move(reply), /*close_after=*/false,
+           /*binary=*/false);
+  if (upgrade) conn->binary = true;
+  return true;
+}
+
 void NwsServer::dispatch_lines(const ConnPtr& conn) {
   const obs::TraceSpan span("server.dispatch");
   std::size_t newline;
-  while (!conn->stop_dispatch &&
+  while (!conn->stop_dispatch && !conn->binary &&
          (newline = conn->rx.find('\n')) != std::string::npos) {
     if (newline > cfg_.max_line_bytes) {
       conn->rx.clear();
@@ -627,13 +815,14 @@ void NwsServer::dispatch_lines(const ConnPtr& conn) {
       server_metrics().conns_dropped->inc();
       conn->inflight.fetch_add(1, std::memory_order_relaxed);
       complete(conn, conn->next_slot++, format_error("line too long"),
-               /*close_after=*/true);
+               /*close_after=*/true, /*binary=*/false);
       return;
     }
     Task task;
     task.conn = conn;
     task.line.assign(conn->rx, 0, newline);
     conn->rx.erase(0, newline + 1);
+    if (handle_hello(conn, task.line)) continue;
     task.slot = conn->next_slot++;
     // Stop feeding lines past a QUIT: the connection closes once its
     // response flushes, matching the old serial loop.
@@ -654,35 +843,147 @@ void NwsServer::dispatch_lines(const ConnPtr& conn) {
   }
   // A peer may also stream an endless line with no newline at all; cap the
   // buffered prefix too.
-  if (!conn->stop_dispatch && conn->rx.size() > cfg_.max_line_bytes) {
+  if (!conn->stop_dispatch && !conn->binary &&
+      conn->rx.size() > cfg_.max_line_bytes) {
     conn->rx.clear();
     conn->stop_dispatch = true;
     ++dropped_;
     server_metrics().conns_dropped->inc();
     conn->inflight.fetch_add(1, std::memory_order_relaxed);
     complete(conn, conn->next_slot++, format_error("line too long"),
-             /*close_after=*/true);
+             /*close_after=*/true, /*binary=*/false);
   }
 }
 
-void NwsServer::serve_loop() {
+void NwsServer::dispatch_frames(const ConnPtr& conn) {
+  const obs::TraceSpan span("server.dispatch");
+  while (!conn->stop_dispatch) {
+    std::size_t frame_end = 0;
+    std::string_view payload;
+    const BinFrameStatus status = extract_binary_frame(
+        conn->rx, cfg_.max_line_bytes, frame_end, payload);
+    if (status == BinFrameStatus::kNeedMore) return;
+    if (status == BinFrameStatus::kError) {
+      // Zero or absurd length prefix — including a text verb sent down a
+      // binary connection.  Framing cannot resynchronize: answer and
+      // close, exactly the text path's line-too-long policy.
+      conn->rx.clear();
+      conn->stop_dispatch = true;
+      ++dropped_;
+      server_metrics().conns_dropped->inc();
+      conn->inflight.fetch_add(1, std::memory_order_relaxed);
+      complete(conn, conn->next_slot++, format_error("bad frame"),
+               /*close_after=*/true, /*binary=*/true);
+      return;
+    }
+    Task task;
+    task.conn = conn;
+    task.binary = true;
+    task.line.assign(payload);
+    conn->rx.erase(0, frame_end);
+    task.slot = conn->next_slot++;
+    if (!task.line.empty() &&
+        static_cast<std::uint8_t>(task.line[0]) == kBinOpQuit) {
+      conn->stop_dispatch = true;
+    }
+    const std::size_t k = route_frame(task.line);
+    conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    ShardState& sh = *shards_[k];
+    {
+      const std::scoped_lock qlock(sh.qmu);
+      sh.queue.push_back(std::move(task));
+      shard_queue_depth_[k]->set(static_cast<double>(sh.queue.size()));
+    }
+    sh.qcv.notify_one();
+  }
+}
+
+void NwsServer::dispatch_input(const ConnPtr& conn) {
+  // A HELLO BIN line flips conn->binary mid-buffer: finish the text lines
+  // before it, then treat the remainder as frames.
+  if (!conn->binary) dispatch_lines(conn);
+  if (conn->binary) dispatch_frames(conn);
+}
+
+int NwsServer::wait_timeout_ms() const noexcept {
+  // Satellite of the epoll PR: no fixed 100 ms busy-wake.  An idle server
+  // blocks indefinitely — workers wake the dispatcher through the eventfd
+  // when a connection needs reaping or writability watching.  Only a
+  // configured idle timeout requires a periodic expiry tick.
+  if (cfg_.idle_timeout_ms <= 0) return -1;
+  return std::clamp(cfg_.idle_timeout_ms / 2, 10, 100);
+}
+
+void NwsServer::teardown(const ConnPtr& conn, std::size_t live_after) {
+  {
+    const std::scoped_lock lock(conn->mu);
+    conn->dead = true;
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  conn->cv.notify_all();  // unfence any cross-shard read parked on us
+  connections_.store(live_after);
+  server_metrics().connections->set(static_cast<double>(live_after));
+}
+
+std::size_t NwsServer::accept_ready(std::vector<ConnPtr>& out) {
+  const obs::TraceSpan span("server.accept");
+  ServerMetrics& m = server_metrics();
+  std::size_t accepted = 0;
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN, or a transient error: retry on the next event
+    }
+    configure_conn_socket(fd);
+    m.accepts->inc();
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    out.push_back(std::move(conn));
+    ++accepted;
+  }
+  return accepted;
+}
+
+bool NwsServer::read_ready(const ConnPtr& conn) {
+  const obs::TraceSpan span("server.read");
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n == 0) return false;  // orderly EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno == EAGAIN || errno == EWOULDBLOCK;
+    }
+    if (fault_check(FaultSite::kServerRead).kind ==
+        FaultAction::Kind::kReset) {
+      // The network "ate" the connection: drop it with the bytes.
+      return false;
+    }
+    conn->rx.append(chunk, static_cast<std::size_t>(n));
+    // Bound rx growth against a peer that streams faster than one event
+    // per buffer: hand complete requests to the shards mid-read.
+    if (conn->rx.size() >= 4 * sizeof chunk) dispatch_input(conn);
+    // A short read emptied the socket buffer at that instant; data landing
+    // afterwards re-arms the (edge-triggered) readiness, so stopping here
+    // is safe and saves the EAGAIN round.
+    if (static_cast<std::size_t>(n) < sizeof chunk) return true;
+  }
+}
+
+void NwsServer::serve_poll() {
+  ServerMetrics& m = server_metrics();
   std::vector<ConnPtr> conns;
   std::vector<pollfd> fds;
-  char chunk[4096];
+  std::vector<ConnPtr> fresh;
 
   const auto drop = [&](std::size_t i) {
     const ConnPtr conn = conns[i];
-    {
-      const std::scoped_lock lock(conn->mu);
-      conn->dead = true;
-      if (conn->fd >= 0) {
-        ::close(conn->fd);
-        conn->fd = -1;
-      }
-    }
-    conn->cv.notify_all();  // unfence any cross-shard read parked on us
     conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
-    connections_.store(conns.size());
+    teardown(conn, conns.size());
   };
 
   while (running_.load()) {
@@ -690,9 +991,15 @@ void NwsServer::serve_loop() {
     fds.push_back({listen_fd_, POLLIN, 0});
     fds.push_back({wake_rx_, POLLIN, 0});
     for (const ConnPtr& c : conns) {
-      fds.push_back({c->fd, POLLIN, 0});
+      short events = POLLIN;
+      {
+        const std::scoped_lock lock(c->mu);
+        if (!c->tx.empty()) events |= POLLOUT;
+      }
+      fds.push_back({c->fd, events, 0});
     }
-    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    const int ready = ::poll(fds.data(), fds.size(), wait_timeout_ms());
+    m.event_waits_poll->inc();
     if (!running_.load()) break;
     const auto now = std::chrono::steady_clock::now();
 
@@ -713,46 +1020,47 @@ void NwsServer::serve_loop() {
           drop(i);
           continue;
         }
+        if (revents & POLLOUT) (void)flush_tx(conns[i]);
         if (revents & (POLLIN | POLLHUP)) {
-          const obs::TraceSpan span("server.read");
-          const ssize_t n = ::recv(conns[i]->fd, chunk, sizeof chunk, 0);
-          if (n <= 0) {
-            drop(i);
-            continue;
-          }
-          if (fault_check(FaultSite::kServerRead).kind ==
-              FaultAction::Kind::kReset) {
-            // The network "ate" the connection: drop it with the bytes.
+          if (!read_ready(conns[i])) {
             drop(i);
             continue;
           }
           conns[i]->last_activity = now;
-          conns[i]->rx.append(chunk, static_cast<std::size_t>(n));
-          dispatch_lines(conns[i]);
+          dispatch_input(conns[i]);
         }
       }
 
       // New connections.
       if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
-        const obs::TraceSpan span("server.accept");
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd >= 0) {
-          auto conn = std::make_shared<Connection>();
-          conn->fd = fd;
-          conn->last_activity = now;
-          conns.push_back(std::move(conn));
-          connections_.store(conns.size());
+        fresh.clear();
+        accept_ready(fresh);
+        for (ConnPtr& c : fresh) {
+          c->last_activity = now;
+          conns.push_back(std::move(c));
         }
+        connections_.store(conns.size());
+        m.connections->set(static_cast<double>(conns.size()));
       }
     }
 
+    // The attention list drives the epoll backend; this loop recomputes
+    // write interest and reaps by scanning every iteration, so just clear
+    // it (the wakeup write already did its job).
+    {
+      const std::scoped_lock lock(attention_mu_);
+      attention_.clear();
+    }
+
     // Reap connections whose last response went out (QUIT, truncate fault)
-    // or whose peer died mid-send.
+    // or whose peer died mid-send.  closing waits for tx to drain: the
+    // QUIT ack must reach the wire before the socket closes.
     for (std::size_t i = conns.size(); i-- > 0;) {
       bool reap;
       {
         const std::scoped_lock lock(conns[i]->mu);
-        reap = conns[i]->closing || conns[i]->dead;
+        reap = conns[i]->dead ||
+               (conns[i]->closing && conns[i]->tx.empty());
       }
       if (reap) drop(i);
     }
@@ -767,7 +1075,7 @@ void NwsServer::serve_loop() {
             now - conns[i]->last_activity > limit) {
           drop(i);
           ++dropped_;
-          server_metrics().conns_dropped->inc();
+          m.conns_dropped->inc();
         }
       }
     }
@@ -777,5 +1085,167 @@ void NwsServer::serve_loop() {
     drop(i);
   }
 }
+
+#ifdef __linux__
+
+void NwsServer::serve_epoll() {
+  ServerMetrics& m = server_metrics();
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) {
+    serve_poll();  // cannot happen on a sane kernel; degrade gracefully
+    return;
+  }
+
+  // The epoll registry holds raw Connection pointers; this map keeps the
+  // owning shared_ptrs alive and is the O(1) pointer -> connection lookup
+  // (the poll backend's O(n) pollfd rebuild is exactly what this loop
+  // exists to avoid).
+  std::unordered_map<Connection*, ConnPtr> conns;
+
+  const auto ctl = [ep](int op, int fd, void* ptr, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.ptr = ptr;
+    (void)::epoll_ctl(ep, op, fd, &ev);
+  };
+  constexpr std::uint32_t kConnEvents = EPOLLIN | EPOLLRDHUP | EPOLLET;
+  // Sentinels: nullptr = listener, this = wakeup fd.
+  ctl(EPOLL_CTL_ADD, listen_fd_, nullptr, EPOLLIN);
+  ctl(EPOLL_CTL_ADD, wake_rx_, this, EPOLLIN);
+
+  const auto drop = [&](Connection* key) {
+    const auto it = conns.find(key);
+    if (it == conns.end()) return;
+    const ConnPtr conn = it->second;  // keep alive past the erase
+    conns.erase(it);
+    teardown(conn, conns.size());  // close() deregisters the fd from ep
+  };
+
+  std::array<epoll_event, 512> events{};
+  std::vector<ConnPtr> fresh;
+  std::vector<ConnPtr> flagged;
+  while (running_.load()) {
+    const int n = ::epoll_wait(ep, events.data(),
+                               static_cast<int>(events.size()),
+                               wait_timeout_ms());
+    m.event_waits_epoll->inc();
+    if (!running_.load()) break;
+    const auto now = std::chrono::steady_clock::now();
+
+    bool accept_pending = false;
+    for (int i = 0; i < n; ++i) {
+      void* ptr = events[i].data.ptr;
+      const std::uint32_t ev = events[i].events;
+      if (ptr == nullptr) {
+        accept_pending = true;  // client traffic first, accepts after
+        continue;
+      }
+      if (ptr == this) {
+        char buf[64];
+        while (::read(wake_rx_, buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      auto* key = static_cast<Connection*>(ptr);
+      const auto it = conns.find(key);
+      if (it == conns.end()) continue;  // dropped earlier in this batch
+      const ConnPtr& conn = it->second;
+      if (ev & EPOLLERR) {
+        drop(key);
+        continue;
+      }
+      if (ev & EPOLLOUT) {
+        if (flush_tx(conn)) {
+          // Drained: stop watching writability until a worker re-arms.
+          if (conn->fd >= 0) ctl(EPOLL_CTL_MOD, conn->fd, key, kConnEvents);
+        }
+        bool want_drop;
+        {
+          const std::scoped_lock lock(conn->mu);
+          want_drop = conn->dead || (conn->closing && conn->tx.empty());
+        }
+        if (want_drop) {
+          drop(key);
+          continue;
+        }
+      }
+      if (ev & (EPOLLIN | EPOLLHUP | EPOLLRDHUP)) {
+        if (!read_ready(conn)) {
+          drop(key);
+          continue;
+        }
+        conn->last_activity = now;
+        dispatch_input(conn);
+      }
+    }
+
+    if (accept_pending) {
+      fresh.clear();
+      accept_ready(fresh);
+      for (ConnPtr& c : fresh) {
+        c->last_activity = now;
+        Connection* key = c.get();
+        const int fd = c->fd;
+        conns.emplace(key, std::move(c));
+        ctl(EPOLL_CTL_ADD, fd, key, kConnEvents);
+      }
+      connections_.store(conns.size());
+      m.connections->set(static_cast<double>(conns.size()));
+    }
+
+    // Worker attention: reap finished/dead connections; arm writability
+    // for tx a worker could not flush (the eventfd wakeup replaces any
+    // periodic scan — O(flagged), not O(connections)).
+    {
+      const std::scoped_lock lock(attention_mu_);
+      flagged.swap(attention_);
+    }
+    for (const ConnPtr& conn : flagged) {
+      Connection* key = conn.get();
+      if (conns.find(key) == conns.end()) continue;
+      bool reap;
+      bool want_out;
+      {
+        const std::scoped_lock lock(conn->mu);
+        reap = conn->dead || (conn->closing && conn->tx.empty());
+        want_out = !conn->tx.empty() && !conn->dead;
+      }
+      if (reap) {
+        drop(key);
+        continue;
+      }
+      if (want_out && conn->fd >= 0) {
+        ctl(EPOLL_CTL_MOD, conn->fd, key, kConnEvents | EPOLLOUT);
+      }
+    }
+    flagged.clear();
+
+    // Idle expiry, only when configured (the wait then ticks periodically).
+    if (cfg_.idle_timeout_ms > 0) {
+      const auto limit = std::chrono::milliseconds(cfg_.idle_timeout_ms);
+      for (auto it = conns.begin(); it != conns.end();) {
+        const ConnPtr conn = it->second;
+        ++it;
+        if (conn->inflight.load(std::memory_order_acquire) == 0 &&
+            now - conn->last_activity > limit) {
+          drop(conn.get());
+          ++dropped_;
+          m.conns_dropped->inc();
+        }
+      }
+    }
+  }
+
+  while (!conns.empty()) {
+    drop(conns.begin()->first);
+  }
+  ::close(ep);
+}
+
+#else  // !__linux__
+
+void NwsServer::serve_epoll() { serve_poll(); }
+
+#endif
 
 }  // namespace nws

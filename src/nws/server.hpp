@@ -11,11 +11,20 @@
 //    series name (ShardedForecastService).  N defaults to the machine's
 //    hardware concurrency and is overridable via ServerConfig::shards or
 //    the NWSCPU_SHARDS environment variable.
-//  * One dispatcher thread runs a poll() loop over the listening socket
-//    and every client connection.  It only moves bytes: it reads, splits
-//    complete lines, routes each line to its shard's queue (a cheap
-//    verb+series token scan — full parsing happens on the worker), and
-//    reaps finished connections.
+//  * One dispatcher thread runs an event loop over the listening socket
+//    and every client connection — edge-triggered epoll on Linux, a
+//    poll() fallback elsewhere (ServerConfig::net_backend or
+//    NWSCPU_NET_BACKEND selects; both produce byte-identical behaviour).
+//    Shard workers wake it through an eventfd (self-pipe under poll), so
+//    an idle server parks in the kernel instead of polling on a tick.
+//    The dispatcher only moves bytes: it reads, splits complete requests,
+//    routes each to its shard's queue (a cheap verb+series token scan —
+//    full parsing happens on the worker), and reaps finished connections.
+//  * Connections speak the line-oriented text protocol by default; a
+//    client may upgrade to length-prefixed binary framing for the hot
+//    verbs by sending "HELLO BIN" (see protocol.hpp).  Binary responses
+//    carry the exact text response bytes inside a frame, so parity with
+//    the text protocol holds by construction.
 //  * One worker thread per shard executes requests under that shard's
 //    mutex.  Requests for distinct series never contend; requests for the
 //    same series always land in the same FIFO queue, so per-series
@@ -69,6 +78,12 @@
 
 namespace nws {
 
+/// Event-loop backend for the dispatcher thread.  kAuto resolves the
+/// NWSCPU_NET_BACKEND environment variable ("poll" or "epoll"); unset
+/// defaults to epoll, whose readiness lists are O(ready) instead of the
+/// poll backend's O(connections) pollfd rebuild per iteration.
+enum class NetBackend { kAuto, kPoll, kEpoll };
+
 struct ServerConfig {
   std::size_t memory_capacity = 8192;  ///< per-series measurement retention
   /// Longest accepted request line (bytes, excluding the newline); longer
@@ -93,6 +108,10 @@ struct ServerConfig {
   /// period instead of immediately when its queue drains (bounds how long
   /// a buffered record may wait; under load the group size bounds it).
   int journal_flush_ms = 0;
+  /// Dispatcher event-loop backend (kAuto = NWSCPU_NET_BACKEND env, else
+  /// epoll).  Both backends serve the identical protocol: responses are
+  /// byte-identical whichever one is selected.
+  NetBackend net_backend = NetBackend::kAuto;
 };
 
 class NwsServer {
@@ -121,6 +140,10 @@ class NwsServer {
   [[nodiscard]] bool running() const noexcept { return running_.load(); }
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
+
+  /// The resolved event-loop backend (config override, else
+  /// NWSCPU_NET_BACKEND, else epoll).
+  [[nodiscard]] NetBackend backend() const noexcept { return backend_; }
 
   /// Number of shards (== worker threads while running).
   [[nodiscard]] std::size_t shard_count() const noexcept {
@@ -161,15 +184,19 @@ class NwsServer {
   struct Pending {
     std::string text;         ///< response line, no trailing newline
     bool close_after = false;  ///< QUIT / line-too-long: close once sent
+    /// Framing fixed at dispatch time: a HELLO BIN upgrade mid-pipeline
+    /// must not reframe responses to requests dispatched before it.
+    bool binary = false;
   };
 
   struct Connection {
     int fd = -1;
     // Dispatcher-owned (never touched by workers):
-    std::string rx;  ///< bytes received, not yet split into lines
+    std::string rx;  ///< bytes received, not yet split into lines/frames
     std::chrono::steady_clock::time_point last_activity{};
     std::size_t next_slot = 0;   ///< next response slot to assign
     bool stop_dispatch = false;  ///< QUIT/overlong line seen: ignore rest
+    bool binary = false;         ///< HELLO BIN negotiated: rx holds frames
     /// Dispatched lines not yet completed (idle expiry must not fire).
     std::atomic<std::size_t> inflight{0};
     // Guarded by mu (workers and dispatcher):
@@ -187,8 +214,9 @@ class NwsServer {
 
   struct Task {
     ConnPtr conn;
-    std::string line;
+    std::string line;  ///< text line, or a binary frame payload (op+body)
     std::size_t slot = 0;
+    bool binary = false;  ///< frame the response binary
   };
 
   struct ShardState {
@@ -201,14 +229,31 @@ class NwsServer {
     std::deque<Task> queue;
   };
 
-  void serve_loop();
+  void serve_poll();
+  void serve_epoll();
   void worker_loop(std::size_t k);
+  /// Accepts until EAGAIN; returns the connections accepted (nonblocking +
+  /// TCP_NODELAY applied, telemetry counted).
+  std::size_t accept_ready(std::vector<ConnPtr>& out);
+  /// Drains conn->fd into conn->rx until EAGAIN; false when the peer is
+  /// gone (EOF / error / injected reset) and the connection must drop.
+  [[nodiscard]] bool read_ready(const ConnPtr& conn);
+  /// Routes buffered input: text lines, or binary frames once negotiated
+  /// (a HELLO BIN line flips the framing for the rest of the buffer).
+  void dispatch_input(const ConnPtr& conn);
   /// Splits complete lines out of conn->rx and queues them on shards.
   void dispatch_lines(const ConnPtr& conn);
+  /// Extracts complete binary frames out of conn->rx and queues them.
+  void dispatch_frames(const ConnPtr& conn);
+  /// HELLO negotiation (dispatcher-level: framing is transport state).
+  /// Returns true when `line` was a HELLO and has been answered.
+  bool handle_hello(const ConnPtr& conn, std::string_view line);
   /// Cheap verb+series scan deciding which queue gets the line.  Workers
   /// re-derive the shard from the authoritative parse, so this affects
   /// parallelism only, never correctness.
   [[nodiscard]] std::size_t route_line(std::string_view line) const;
+  /// The same cheap scan over a binary frame payload.
+  [[nodiscard]] std::size_t route_frame(std::string_view payload) const;
   /// Parses + executes one line, appending the response (no newline).
   /// With a non-null task, cross-shard reads (SERIES, global STATS) wait
   /// until every earlier slot on the connection has flushed, so pipelined
@@ -219,12 +264,24 @@ class NwsServer {
   /// PUT/PUTS/PUTB under shards_[k]->mu: admission, dedup, apply.
   void handle_put(const Request& req, std::size_t k, std::string& out);
   /// Delivers a finished response into its slot and sends the contiguous
-  /// done-prefix (respond-fault site; wakes the dispatcher on teardown).
+  /// done-prefix (respond-fault site; flags the dispatcher when the
+  /// connection needs reaping or write-readiness watching).
   void complete(const ConnPtr& conn, std::size_t slot, std::string&& text,
-                bool close_after);
+                bool close_after, bool binary);
+  /// Sends as much of conn->tx as the socket takes (caller holds no lock).
+  /// Returns true when tx drained; marks the connection dead on hard
+  /// errors.
+  bool flush_tx(const ConnPtr& conn);
+  /// Flags `conn` for the dispatcher (reap, or arm write interest) and
+  /// wakes it.
+  void request_attention(const ConnPtr& conn);
   /// Group-commits shard k's buffered journal records.
   void commit_shard(std::size_t k);
   void wake_dispatcher() const noexcept;
+  /// Closes + marks dead, releases fenced readers, updates gauges.
+  void teardown(const ConnPtr& conn, std::size_t live_after);
+  /// Event-wait timeout honouring idle expiry; -1 = block indefinitely.
+  [[nodiscard]] int wait_timeout_ms() const noexcept;
 
   ServerConfig cfg_;
   ShardedForecastService service_;
@@ -244,11 +301,19 @@ class NwsServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> workers_stop_{false};
   int listen_fd_ = -1;
-  int wake_rx_ = -1;  ///< worker -> dispatcher wakeup pipe (read end)
+  /// Worker -> dispatcher wakeup: an eventfd when available (rx == tx),
+  /// else a self-pipe.  Replaces the old fixed poll timeout — an idle
+  /// server blocks in its event wait indefinitely.
+  int wake_rx_ = -1;
   int wake_tx_ = -1;
+  NetBackend backend_ = NetBackend::kEpoll;
   std::uint16_t port_ = 0;
   std::thread thread_;
   std::vector<std::thread> workers_;
+  /// Connections a worker flagged for the dispatcher: pending tx bytes to
+  /// watch for writability, or a finished/dead connection to reap.
+  std::mutex attention_mu_;
+  std::vector<ConnPtr> attention_;
 };
 
 }  // namespace nws

@@ -96,6 +96,7 @@ class ChaosPipeline : public ::testing::Test {
     cfg.memory_capacity = 1024;  // retains the whole run: restart-lossless
     cfg.journal_path = dir_ / journal_name;
     cfg.shards = shards_;
+    cfg.net_backend = backend_;
     if (journal_group_ > 0) cfg.journal_group_size = journal_group_;
     return cfg;
   }
@@ -198,6 +199,7 @@ class ChaosPipeline : public ::testing::Test {
   fs::path dir_;
   std::size_t shards_ = 0;         ///< 0 = server default resolution
   std::size_t journal_group_ = 0;  ///< 0 = server default group size
+  NetBackend backend_ = NetBackend::kAuto;  ///< event-loop under test
 };
 
 TEST_F(ChaosPipeline, ExactlyOnceDeliveryAndForecastParityUnderFaults) {
@@ -236,6 +238,30 @@ TEST_F(ChaosPipeline, ShardedGroupCommitMatchesSingleShardReference) {
   EXPECT_EQ(actual.history, expected.history);
   EXPECT_DOUBLE_EQ(actual.last_time, expected.last_time);
   EXPECT_EQ(actual.method, expected.method);
+}
+
+TEST_F(ChaosPipeline, EventLoopBackendsConvergeIdenticallyUnderFaults) {
+  // The dispatcher rewrite must be invisible to the chaos invariants:
+  // resets, delays, truncations and a restart produce the same converged
+  // forecast whether the front end runs the poll loop or the epoll one.
+  // (kAuto resolves to epoll on Linux, so the default suite above already
+  // soaks that path; this pins both explicitly.)
+  const auto ms = make_measurements(160);
+  backend_ = NetBackend::kPoll;
+  const ForecastReply expected = reference_run(ms);
+  const ForecastReply on_poll = chaos_run(ms, chaos_seed(), "poll.journal");
+  backend_ = NetBackend::kEpoll;
+  shards_ = 4;
+  const ForecastReply on_epoll = chaos_run(ms, chaos_seed(), "epoll.journal");
+
+  for (const ForecastReply& actual : {on_poll, on_epoll}) {
+    EXPECT_DOUBLE_EQ(actual.value, expected.value);
+    EXPECT_DOUBLE_EQ(actual.mae, expected.mae);
+    EXPECT_DOUBLE_EQ(actual.mse, expected.mse);
+    EXPECT_EQ(actual.history, expected.history);
+    EXPECT_DOUBLE_EQ(actual.last_time, expected.last_time);
+    EXPECT_EQ(actual.method, expected.method);
+  }
 }
 
 TEST_F(ChaosPipeline, SameSeedSameOutcome) {

@@ -1,0 +1,467 @@
+// Parity matrix for the network front end: poll vs epoll event-loop
+// backends x text vs binary wire framing x shard counts, all driven by
+// one pipelined request script.  The text protocol is the oracle — a
+// binary response frame must carry the exact bytes of the text response —
+// so every cell of the matrix is compared byte-for-byte against it.
+//
+// Also covers the HELLO negotiation state machine, the mid-pipeline
+// upgrade (text requests before HELLO BIN keep text framing), the
+// NwsClient binary mode (including the sequence-tagged outbox replay
+// across a server restart), and NWSCPU_NET_BACKEND resolution.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nws/client.hpp"
+#include "nws/protocol.hpp"
+#include "nws/server.hpp"
+
+namespace nws {
+namespace {
+
+/// Request script spanning every verb, both put flavours, duplicates,
+/// out-of-order samples, unknown series, malformed input and enough
+/// distinct series to hit several shards.  (METRICS is exercised
+/// separately: its response is multi-line in text framing.)
+std::vector<std::string> script_lines() {
+  std::vector<std::string> lines;
+  const char* series[] = {"alpha/cpu", "bravo/cpu", "charlie/cpu",
+                          "delta/cpu", "echo/cpu"};
+  for (int round = 0; round < 12; ++round) {
+    for (const char* s : series) {
+      const double t = 10.0 * (round + 1);
+      lines.push_back("PUT " + std::string(s) + " " + std::to_string(t) +
+                      " 0." + std::to_string(20 + (round * 11) % 75));
+    }
+  }
+  for (const char* s : series) {
+    lines.push_back("FORECAST " + std::string(s));
+    lines.push_back("VALUES " + std::string(s) + " 4");
+    lines.push_back("STATS " + std::string(s));
+  }
+  lines.push_back("PUTS alpha/cpu 1 400 0.5");
+  lines.push_back("PUTS alpha/cpu 1 410 0.5");  // seq dup
+  lines.push_back("PUTS alpha/cpu 2 395 0.5");  // time dup
+  lines.push_back("PUT bravo/cpu 5 0.5");       // out of order
+  lines.push_back("PUTB echo/cpu 3 1 500 0.5 510 0.625 520 0.75");
+  lines.push_back("PUTB echo/cpu 3 1 500 0.5 510 0.625 520 0.75");  // replay
+  lines.push_back("FORECAST nobody/cpu");  // unknown series
+  lines.push_back("SERIES");
+  lines.push_back("STATS");
+  lines.push_back("PING");
+  lines.push_back("BOGUS request");  // malformed
+  return lines;
+}
+
+/// Encodes one script line as a binary request frame.  Lines the text
+/// parser accepts get their native encoding; anything else rides the TEXT
+/// op raw, so even the malformed probe elicits the oracle's exact
+/// "ERR malformed request".
+void append_frame_for_line(std::string& wire, const std::string& line) {
+  if (const auto req = parse_request(line)) {
+    append_binary_request(wire, *req);
+    return;
+  }
+  std::string payload;
+  payload += static_cast<char>(kBinOpText);
+  payload += line;
+  append_binary_response(wire, payload);  // same [u32 len][bytes] layout
+}
+
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  bool send_bytes(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (fd_ >= 0 && sent < bytes.size()) {
+      const ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (w <= 0) return false;
+      sent += static_cast<std::size_t>(w);
+    }
+    return sent == bytes.size();
+  }
+
+  /// One newline-terminated response line (text framing).
+  [[nodiscard]] std::optional<std::string> read_line() {
+    for (;;) {
+      const std::size_t nl = rx_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = rx_.substr(0, nl);
+        rx_.erase(0, nl + 1);
+        return line;
+      }
+      if (!fill()) return std::nullopt;
+    }
+  }
+
+  /// One binary response frame's payload.
+  [[nodiscard]] std::optional<std::string> read_frame() {
+    for (;;) {
+      std::size_t frame_end = 0;
+      std::string_view payload;
+      const BinFrameStatus status =
+          extract_binary_frame(rx_, 16 * 1024 * 1024, frame_end, payload);
+      if (status == BinFrameStatus::kError) return std::nullopt;
+      if (status == BinFrameStatus::kFrame) {
+        std::string out(payload);
+        rx_.erase(0, frame_end);
+        return out;
+      }
+      if (!fill()) return std::nullopt;
+    }
+  }
+
+  /// True when the server closed the connection (EOF after draining rx).
+  [[nodiscard]] bool at_eof() {
+    if (!rx_.empty()) return false;
+    return !fill();
+  }
+
+ private:
+  bool fill() {
+    char chunk[4096];
+    const ssize_t n = fd_ >= 0 ? ::recv(fd_, chunk, sizeof chunk, 0) : -1;
+    if (n <= 0) return false;
+    rx_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string rx_;
+};
+
+ServerConfig backend_config(NetBackend backend, std::size_t shards) {
+  ServerConfig cfg;
+  cfg.net_backend = backend;
+  cfg.shards = shards;
+  return cfg;
+}
+
+/// Runs the script pipelined (one buffered write) in text framing and
+/// returns the response lines.
+std::vector<std::string> run_text(std::uint16_t port,
+                                  const std::vector<std::string>& script) {
+  std::string wire;
+  for (const std::string& line : script) {
+    wire += line;
+    wire += '\n';
+  }
+  RawConn conn(port);
+  EXPECT_TRUE(conn.ok());
+  EXPECT_TRUE(conn.send_bytes(wire));
+  std::vector<std::string> responses;
+  responses.reserve(script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const auto line = conn.read_line();
+    EXPECT_TRUE(line.has_value()) << "response " << i << " missing";
+    if (!line) break;
+    responses.push_back(*line);
+  }
+  return responses;
+}
+
+/// Runs the script pipelined in binary framing (one write: HELLO BIN +
+/// every frame) and returns the frame payloads.
+std::vector<std::string> run_binary(std::uint16_t port,
+                                    const std::vector<std::string>& script) {
+  std::string wire(kHelloBinRequest);
+  wire += '\n';
+  for (const std::string& line : script) append_frame_for_line(wire, line);
+  RawConn conn(port);
+  EXPECT_TRUE(conn.ok());
+  EXPECT_TRUE(conn.send_bytes(wire));
+  const auto ack = conn.read_line();
+  EXPECT_EQ(ack.value_or(""), kHelloBinAck);
+  std::vector<std::string> responses;
+  responses.reserve(script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const auto payload = conn.read_frame();
+    EXPECT_TRUE(payload.has_value()) << "frame " << i << " missing";
+    if (!payload) break;
+    responses.push_back(*payload);
+  }
+  return responses;
+}
+
+TEST(NetBackendParity, BackendsAndFramingsByteIdenticalAtAnyShardCount) {
+  const std::vector<std::string> script = script_lines();
+  // The oracle: the text protocol on the single-shard poll server.
+  std::vector<std::string> oracle;
+  {
+    NwsServer server(backend_config(NetBackend::kPoll, 1));
+    const std::uint16_t port = server.start(0);
+    ASSERT_NE(port, 0);
+    oracle = run_text(port, script);
+    server.stop();
+  }
+  ASSERT_EQ(oracle.size(), script.size());
+
+  for (const NetBackend backend : {NetBackend::kPoll, NetBackend::kEpoll}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+      // A fresh server per framing: the script mutates state (STATS
+      // totals), so both runs must start from the oracle's blank slate.
+      std::vector<std::string> text;
+      std::vector<std::string> binary;
+      {
+        NwsServer server(backend_config(backend, shards));
+        ASSERT_EQ(server.backend(), backend);
+        const std::uint16_t port = server.start(0);
+        ASSERT_NE(port, 0);
+        text = run_text(port, script);
+        server.stop();
+      }
+      {
+        NwsServer server(backend_config(backend, shards));
+        const std::uint16_t port = server.start(0);
+        ASSERT_NE(port, 0);
+        binary = run_binary(port, script);
+        server.stop();
+      }
+      const std::string cell = std::string("backend=") +
+                               (backend == NetBackend::kPoll ? "poll" : "epoll") +
+                               " shards=" + std::to_string(shards);
+      ASSERT_EQ(text.size(), oracle.size()) << cell;
+      ASSERT_EQ(binary.size(), oracle.size()) << cell;
+      for (std::size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_EQ(text[i], oracle[i]) << cell << " request: " << script[i];
+        EXPECT_EQ(binary[i], oracle[i]) << cell << " request: " << script[i];
+      }
+    }
+  }
+}
+
+TEST(NetBackendParity, HelloNegotiationStateMachine) {
+  for (const NetBackend backend : {NetBackend::kPoll, NetBackend::kEpoll}) {
+    NwsServer server(backend_config(backend, 2));
+    const std::uint16_t port = server.start(0);
+    ASSERT_NE(port, 0);
+    {
+      // HELLO / HELLO TEXT ack and stay text; an unknown argument draws an
+      // ERR and the connection still speaks text afterwards.
+      RawConn conn(port);
+      ASSERT_TRUE(conn.ok());
+      ASSERT_TRUE(conn.send_bytes("HELLO\nHELLO TEXT\nHELLO GOBBLE\nPING\n"));
+      EXPECT_EQ(conn.read_line().value_or(""), kHelloTextAck);
+      EXPECT_EQ(conn.read_line().value_or(""), kHelloTextAck);
+      EXPECT_EQ(conn.read_line().value_or(""), "ERR unknown framing");
+      EXPECT_EQ(conn.read_line().value_or(""), "OK");
+    }
+    {
+      // The upgrade is per connection: a parallel text connection is
+      // untouched by another connection's HELLO BIN.
+      RawConn bin(port);
+      RawConn text(port);
+      ASSERT_TRUE(bin.ok());
+      ASSERT_TRUE(text.ok());
+      std::string wire(kHelloBinRequest);
+      wire += '\n';
+      append_frame_for_line(wire, "PING");
+      ASSERT_TRUE(bin.send_bytes(wire));
+      EXPECT_EQ(bin.read_line().value_or(""), kHelloBinAck);
+      EXPECT_EQ(bin.read_frame().value_or(""), "OK");
+      ASSERT_TRUE(text.send_bytes("PING\n"));
+      EXPECT_EQ(text.read_line().value_or(""), "OK");
+    }
+    server.stop();
+  }
+}
+
+TEST(NetBackendParity, MidPipelineUpgradeKeepsEarlierResponsesText) {
+  // One buffered write: two text requests, the upgrade, two binary frames.
+  // The first three responses are text lines (the ack is the last text
+  // response); everything after is framed — even though shards may finish
+  // the binary requests before the text ones flush.
+  NwsServer server(backend_config(NetBackend::kEpoll, 4));
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  std::string wire = "PUT mid/cpu 10 0.5\nPING\n";
+  wire += kHelloBinRequest;
+  wire += '\n';
+  append_frame_for_line(wire, "FORECAST mid/cpu");
+  append_frame_for_line(wire, "PING");
+  RawConn conn(port);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.send_bytes(wire));
+  EXPECT_EQ(conn.read_line().value_or(""), "OK");
+  EXPECT_EQ(conn.read_line().value_or(""), "OK");
+  EXPECT_EQ(conn.read_line().value_or(""), kHelloBinAck);
+  const auto forecast = conn.read_frame();
+  ASSERT_TRUE(forecast.has_value());
+  EXPECT_TRUE(parse_forecast_response(*forecast).has_value());
+  EXPECT_EQ(conn.read_frame().value_or(""), "OK");
+  server.stop();
+}
+
+TEST(NetBackendParity, BinaryQuitFlushesAckAndCloses) {
+  for (const NetBackend backend : {NetBackend::kPoll, NetBackend::kEpoll}) {
+    NwsServer server(backend_config(backend, 2));
+    const std::uint16_t port = server.start(0);
+    ASSERT_NE(port, 0);
+    std::string wire(kHelloBinRequest);
+    wire += '\n';
+    append_frame_for_line(wire, "PUT q/cpu 1 0.5");
+    append_frame_for_line(wire, "QUIT");
+    RawConn conn(port);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.send_bytes(wire));
+    EXPECT_EQ(conn.read_line().value_or(""), kHelloBinAck);
+    EXPECT_EQ(conn.read_frame().value_or(""), "OK");
+    EXPECT_EQ(conn.read_frame().value_or(""), "OK");  // the QUIT ack
+    EXPECT_TRUE(conn.at_eof());
+    server.stop();
+  }
+}
+
+TEST(NetBackendClient, BinaryModeMatchesTextAcrossTheApi) {
+  NwsServer server(backend_config(NetBackend::kEpoll, 4));
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+
+  ClientConfig bin_cfg;
+  bin_cfg.binary = true;
+  NwsClient bin(bin_cfg);
+  NwsClient text;
+  ASSERT_TRUE(bin.connect(port));
+  ASSERT_TRUE(text.connect(port));
+  EXPECT_TRUE(bin.binary_active());
+  EXPECT_FALSE(text.binary_active());
+
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(bin.put("api/cpu", {static_cast<double>(i) * 10.0, 0.5}));
+  }
+  const auto reply = bin.put_batch(
+      "api/cpu", {{300.0, 0.25}, {310.0, 0.375}, {320.0, 0.5}}, 1);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->applied, 3u);
+
+  // Every read-side verb answers identically through either framing.
+  const auto f_bin = bin.forecast("api/cpu");
+  const auto f_text = text.forecast("api/cpu");
+  ASSERT_TRUE(f_bin.has_value());
+  ASSERT_TRUE(f_text.has_value());
+  EXPECT_DOUBLE_EQ(f_bin->value, f_text->value);
+  EXPECT_EQ(f_bin->history, f_text->history);
+  EXPECT_EQ(f_bin->method, f_text->method);
+
+  const auto v_bin = bin.values("api/cpu", 5);
+  const auto v_text = text.values("api/cpu", 5);
+  ASSERT_TRUE(v_bin.has_value());
+  ASSERT_TRUE(v_text.has_value());
+  ASSERT_EQ(v_bin->size(), v_text->size());
+  for (std::size_t i = 0; i < v_bin->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*v_bin)[i].time, (*v_text)[i].time);
+    EXPECT_DOUBLE_EQ((*v_bin)[i].value, (*v_text)[i].value);
+  }
+
+  EXPECT_EQ(bin.series().value_or(std::vector<std::string>{}),
+            text.series().value_or(std::vector<std::string>{}));
+  const auto s_bin = bin.stats();
+  const auto s_text = text.stats();
+  ASSERT_TRUE(s_bin.has_value());
+  ASSERT_TRUE(s_text.has_value());
+  EXPECT_EQ(s_bin->appended, s_text->appended);
+
+  // METRICS travels as one frame in binary mode; same exposition text.
+  const auto m_bin = bin.metrics();
+  ASSERT_TRUE(m_bin.has_value());
+  EXPECT_NE(m_bin->find("nws_server_requests_total"), std::string::npos);
+  EXPECT_NE(m_bin->find("nws_server_bin_upgrades_total"), std::string::npos);
+  EXPECT_TRUE(bin.ping());
+  server.stop();
+}
+
+TEST(NetBackendClient, ReliableOutboxReplaysInBinaryAcrossRestart) {
+  // The sequence-tagged outbox/replay machinery is framing-agnostic: queue
+  // against a dead server, restart it on the same port, flush in binary —
+  // exactly-once delivery holds and the reconnect renegotiates HELLO BIN.
+  ClientConfig cfg;
+  cfg.binary = true;
+  cfg.connect_timeout_ms = 500;
+  cfg.io_timeout_ms = 500;
+  cfg.max_flush_attempts = 10;
+  cfg.backoff = BackoffConfig{5.0, 60.0, 2.0, 0.5};
+  NwsClient client(cfg);
+
+  NwsServer first(backend_config(NetBackend::kEpoll, 2));
+  const std::uint16_t port = first.start(0);
+  ASSERT_NE(port, 0);
+  ASSERT_TRUE(client.connect(port));
+  EXPECT_TRUE(client.binary_active());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(
+        client.put_reliable("replay/cpu", {static_cast<double>(i) * 10, 0.5}));
+  }
+  EXPECT_TRUE(client.flush());
+  first.stop();
+
+  // Queue more while down; the samples sit in the outbox.
+  for (int i = 10; i < 30; ++i) {
+    EXPECT_TRUE(
+        client.put_reliable("replay/cpu", {static_cast<double>(i) * 10, 0.5}));
+  }
+
+  NwsServer second(backend_config(NetBackend::kEpoll, 2));
+  std::uint16_t reborn = 0;
+  for (int tries = 0; tries < 50 && reborn == 0; ++tries) {
+    reborn = second.start(port);
+  }
+  ASSERT_EQ(reborn, port);
+  bool drained = false;
+  for (int i = 0; i < 20 && !drained; ++i) drained = client.flush();
+  EXPECT_TRUE(drained);
+  EXPECT_TRUE(client.binary_active()) << "reconnect must renegotiate BIN";
+  const auto forecast = client.forecast("replay/cpu");
+  ASSERT_TRUE(forecast.has_value());
+  // The first server's 10 samples died with it (no journal); exactly the
+  // 20 still queued were applied, none twice.
+  EXPECT_EQ(forecast->history, 20u);
+  second.stop();
+}
+
+TEST(NetBackendConfig, EnvironmentSelectsBackend) {
+  ::setenv("NWSCPU_NET_BACKEND", "poll", 1);
+  {
+    NwsServer server;
+    EXPECT_EQ(server.backend(), NetBackend::kPoll);
+  }
+  ::setenv("NWSCPU_NET_BACKEND", "epoll", 1);
+  {
+    NwsServer server;
+    EXPECT_EQ(server.backend(), NetBackend::kEpoll);
+  }
+  // A config override beats the environment.
+  {
+    ServerConfig cfg;
+    cfg.net_backend = NetBackend::kPoll;
+    NwsServer server(cfg);
+    EXPECT_EQ(server.backend(), NetBackend::kPoll);
+  }
+  ::unsetenv("NWSCPU_NET_BACKEND");
+}
+
+}  // namespace
+}  // namespace nws

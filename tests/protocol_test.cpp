@@ -401,6 +401,31 @@ class RawPeer {
     }
     return line;
   }
+  /// Exactly n bytes, or nullopt on EOF/error (binary framing tests).
+  [[nodiscard]] std::optional<std::string> read_exact(std::size_t n) {
+    std::string out;
+    out.reserve(n);
+    char c;
+    while (fd_ >= 0 && out.size() < n && ::recv(fd_, &c, 1, 0) == 1) out += c;
+    if (out.size() == n) return out;
+    return std::nullopt;
+  }
+  /// One binary response frame's payload, or nullopt on EOF.
+  [[nodiscard]] std::optional<std::string> read_frame() {
+    const auto header = read_exact(kBinFrameHeaderBytes);
+    if (!header) return std::nullopt;
+    const auto* b = reinterpret_cast<const unsigned char*>(header->data());
+    const std::uint32_t len = static_cast<std::uint32_t>(b[0]) |
+                              (static_cast<std::uint32_t>(b[1]) << 8) |
+                              (static_cast<std::uint32_t>(b[2]) << 16) |
+                              (static_cast<std::uint32_t>(b[3]) << 24);
+    return read_exact(len);
+  }
+  /// True when the server closed the connection.
+  [[nodiscard]] bool at_eof() {
+    char c;
+    return fd_ < 0 || ::recv(fd_, &c, 1, 0) <= 0;
+  }
 
  private:
   int fd_ = -1;
@@ -530,6 +555,151 @@ TEST(NetFailure, IdleConnectionsExpire) {
   EXPECT_GE(server.connections_dropped(), 1u);
   // The idle client's next request fails fast (connection was closed).
   EXPECT_FALSE(idle.ping());
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Binary framing against a live server: every hostile byte stream must
+// draw an ERR or a close, never a crash or a desynchronised stream.
+
+/// Builds a request frame [u32 len][payload] from raw payload bytes —
+/// the same layout as a response frame, so append_binary_response works.
+std::string raw_frame(std::string_view payload) {
+  std::string wire;
+  append_binary_response(wire, payload);
+  return wire;
+}
+
+std::string hello_bin() { return std::string(kHelloBinRequest) + "\n"; }
+
+TEST(NetFailure, GarbageAfterHelloBinDrawsBadFrameAndClose) {
+  // Text-looking bytes on a binary connection read as an absurd length
+  // prefix ("FORE" = ~1.2 GB): the framing is dead, the server answers a
+  // framed ERR and closes rather than hunting for a resync point.
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  const std::uint64_t dropped_before = server.connections_dropped();
+  {
+    RawPeer peer(port);
+    ASSERT_TRUE(peer.ok());
+    ASSERT_TRUE(peer.send_bytes(hello_bin() + "FORECAST some/series\n"));
+    EXPECT_EQ(peer.read_line(), kHelloBinAck);
+    EXPECT_EQ(peer.read_frame().value_or(""), "ERR bad frame");
+    EXPECT_TRUE(peer.at_eof());
+  }
+  {
+    // Pure binary garbage with a hostile length prefix: same fate.
+    RawPeer peer(port);
+    ASSERT_TRUE(peer.ok());
+    std::string wire = hello_bin();
+    wire += std::string("\xff\xff\xff\xff\x00garbage", 12);
+    ASSERT_TRUE(peer.send_bytes(wire));
+    EXPECT_EQ(peer.read_line(), kHelloBinAck);
+    EXPECT_EQ(peer.read_frame().value_or(""), "ERR bad frame");
+    EXPECT_TRUE(peer.at_eof());
+  }
+  for (int i = 0; i < 200 && server.connections_dropped() < dropped_before + 2;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server.connections_dropped(), dropped_before + 2);
+  // The server remains healthy for well-behaved clients.
+  NwsClient client;
+  ASSERT_TRUE(client.connect(port));
+  EXPECT_TRUE(client.ping());
+  server.stop();
+}
+
+TEST(NetFailure, ZeroLengthBinaryFrameDrawsBadFrameAndClose) {
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  RawPeer peer(port);
+  ASSERT_TRUE(peer.ok());
+  std::string wire = hello_bin();
+  wire += std::string(kBinFrameHeaderBytes, '\0');  // len == 0
+  ASSERT_TRUE(peer.send_bytes(wire));
+  EXPECT_EQ(peer.read_line(), kHelloBinAck);
+  EXPECT_EQ(peer.read_frame().value_or(""), "ERR bad frame");
+  EXPECT_TRUE(peer.at_eof());
+  server.stop();
+}
+
+TEST(NetFailure, MalformedBinaryPayloadsAnswerErrAndStaySynced) {
+  // A well-framed but undecodable payload is the binary analogue of a
+  // malformed text line: ERR malformed request, and the next frame on the
+  // same connection still gets its answer — the stream never desyncs.
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  RawPeer peer(port);
+  ASSERT_TRUE(peer.ok());
+  std::string ping;
+  {
+    Request req;
+    req.kind = RequestKind::kPing;
+    append_binary_request(ping, req);
+  }
+  std::string wire = hello_bin();
+  wire += raw_frame("\x77junk");                  // unknown op
+  wire += ping;
+  wire += raw_frame(std::string("\x01\x05\x00"
+                                "ab",
+                                5));              // PUT body truncated
+  wire += ping;
+  wire += raw_frame(std::string("\x03\x01\x00s\xff\xff\xff\xff\x01\x00\x00"
+                                "\x00\x00\x00\x00\x00",
+                                16));             // PUTB count >> body
+  wire += ping;
+  ASSERT_TRUE(peer.send_bytes(wire));
+  EXPECT_EQ(peer.read_line(), kHelloBinAck);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(peer.read_frame().value_or(""), "ERR malformed request") << i;
+    EXPECT_EQ(peer.read_frame().value_or(""), "OK") << i;
+  }
+  server.stop();
+}
+
+TEST(NetFailure, FragmentedBinaryFrameReassembled) {
+  NwsServer server;
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  RawPeer peer(port);
+  ASSERT_TRUE(peer.ok());
+  std::string wire = hello_bin();
+  {
+    Request req;
+    req.kind = RequestKind::kPut;
+    req.series = "frag/cpu";
+    req.measurement = {10.0, 0.5};
+    append_binary_request(wire, req);
+  }
+  // Dribble the negotiation and the frame one byte at a time.
+  for (char c : wire) {
+    ASSERT_TRUE(peer.send_bytes(std::string_view(&c, 1)));
+  }
+  EXPECT_EQ(peer.read_line(), kHelloBinAck);
+  EXPECT_EQ(peer.read_frame().value_or(""), "OK");
+  server.stop();
+}
+
+TEST(NetFailure, OversizedBinaryFrameDrawsBadFrameAndClose) {
+  // A length prefix above max_line_bytes is rejected before any body
+  // buffering, mirroring the text path's line cap.
+  ServerConfig cfg;
+  cfg.max_line_bytes = 256;
+  NwsServer server(cfg);
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  RawPeer peer(port);
+  ASSERT_TRUE(peer.ok());
+  std::string wire = hello_bin();
+  append_binary_response(wire, std::string(257, 'x'));  // len 257 > cap
+  ASSERT_TRUE(peer.send_bytes(wire));
+  EXPECT_EQ(peer.read_line(), kHelloBinAck);
+  EXPECT_EQ(peer.read_frame().value_or(""), "ERR bad frame");
+  EXPECT_TRUE(peer.at_eof());
   server.stop();
 }
 
@@ -855,6 +1025,256 @@ TEST(ProtocolFuzz, RandomValidPutsRoundTripThroughFormatter) {
     }
     EXPECT_DOUBLE_EQ(back->measurement.time, req.measurement.time);
     EXPECT_DOUBLE_EQ(back->measurement.value, req.measurement.value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary framing (wire v2) decoder fuzz: the encoder/decoder pair must
+// round-trip every request, and arbitrary bytes through the decoder must
+// fail cleanly, never crash or over-read.
+
+/// append_binary_request → extract_binary_frame → parse_binary_request.
+std::optional<Request> binary_round_trip(const Request& req) {
+  std::string wire;
+  append_binary_request(wire, req);
+  std::size_t frame_end = 0;
+  std::string_view payload;
+  if (extract_binary_frame(wire, 1 << 20, frame_end, payload) !=
+      BinFrameStatus::kFrame) {
+    return std::nullopt;
+  }
+  EXPECT_EQ(frame_end, wire.size());  // one request, one frame, no slack
+  Request out;
+  if (!parse_binary_request(payload, out)) return std::nullopt;
+  return out;
+}
+
+TEST(BinaryFraming, EveryRequestKindRoundTripsThroughTheEncoder) {
+  std::vector<Request> requests;
+  {
+    Request r;
+    r.kind = RequestKind::kPut;
+    r.series = "host/cpu";
+    r.measurement = {120.5, 0.75};
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kPutSeq;
+    r.series = "host/cpu";
+    r.seq = 987654321;
+    r.measurement = {86400.125, 0.375};
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kPutBatch;
+    r.series = "h/cpu";
+    r.seq = 17;
+    r.batch = {{10.0, 0.5}, {20.0, 0.625}, {30.0, 0.75}};
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kForecast;
+    r.series = "host/cpu";
+    requests.push_back(r);
+  }
+  // Cold verbs ride the TEXT op; the decoder must hand back the same
+  // request the text parser would.
+  {
+    Request r;
+    r.kind = RequestKind::kValues;
+    r.series = "host/cpu";
+    r.max_values = 12;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kSeries;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kStats;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kStats;
+    r.series = "host/cpu";
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kMetrics;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kPing;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kQuit;
+    requests.push_back(r);
+  }
+  for (const Request& req : requests) {
+    const auto back = binary_round_trip(req);
+    ASSERT_TRUE(back.has_value()) << format_request(req);
+    EXPECT_EQ(back->kind, req.kind);
+    EXPECT_EQ(back->series, req.series);
+    EXPECT_EQ(back->seq, req.seq);
+    EXPECT_EQ(back->max_values, req.max_values);
+    ASSERT_EQ(back->batch.size(), req.batch.size());
+    for (std::size_t i = 0; i < req.batch.size(); ++i) {
+      EXPECT_DOUBLE_EQ(back->batch[i].time, req.batch[i].time);
+      EXPECT_DOUBLE_EQ(back->batch[i].value, req.batch[i].value);
+    }
+    EXPECT_DOUBLE_EQ(back->measurement.time, req.measurement.time);
+    EXPECT_DOUBLE_EQ(back->measurement.value, req.measurement.value);
+  }
+  // Doubles survive bit-exactly — the binary body carries IEEE-754 bits,
+  // not a decimal rendering.
+  Request exact;
+  exact.kind = RequestKind::kPut;
+  exact.series = "bits/cpu";
+  exact.measurement = {0.1 + 0.2, 1.0 / 3.0};
+  const auto back = binary_round_trip(exact);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->measurement.time, exact.measurement.time);
+  EXPECT_EQ(back->measurement.value, exact.measurement.value);
+
+  // A series name the u16 length field cannot carry rides the TEXT op and
+  // still round-trips.
+  Request huge;
+  huge.kind = RequestKind::kForecast;
+  huge.series = std::string(70000, 's');
+  const auto huge_back = binary_round_trip(huge);
+  ASSERT_TRUE(huge_back.has_value());
+  EXPECT_EQ(huge_back->kind, RequestKind::kForecast);
+  EXPECT_EQ(huge_back->series, huge.series);
+}
+
+TEST(BinaryFraming, ExtractEnforcesTheLengthPrefixContract) {
+  std::size_t frame_end = 0;
+  std::string_view payload;
+
+  // Anything shorter than the header wants more bytes.
+  for (std::size_t n = 0; n < kBinFrameHeaderBytes; ++n) {
+    EXPECT_EQ(extract_binary_frame(std::string(n, '\x01'), 1024, frame_end,
+                                   payload),
+              BinFrameStatus::kNeedMore);
+  }
+  // Zero length is dead on arrival.
+  EXPECT_EQ(extract_binary_frame(std::string(4, '\0'), 1024, frame_end,
+                                 payload),
+            BinFrameStatus::kError);
+  // So is a length above the cap — including the all-ones prefix, checked
+  // before any body arrives.
+  EXPECT_EQ(extract_binary_frame(std::string(4, '\xff'), 1024, frame_end,
+                                 payload),
+            BinFrameStatus::kError);
+  std::string over;
+  append_binary_response(over, std::string(1025, 'x'));
+  EXPECT_EQ(extract_binary_frame(over, 1024, frame_end, payload),
+            BinFrameStatus::kError);
+  // A length exactly at the cap is fine.
+  std::string at_cap;
+  append_binary_response(at_cap, std::string(1024, 'x'));
+  EXPECT_EQ(extract_binary_frame(at_cap, 1024, frame_end, payload),
+            BinFrameStatus::kFrame);
+  EXPECT_EQ(payload.size(), 1024u);
+  EXPECT_EQ(frame_end, at_cap.size());
+  // Back-to-back frames extract one at a time.
+  std::string two;
+  append_binary_response(two, "first");
+  append_binary_response(two, "second");
+  ASSERT_EQ(extract_binary_frame(two, 1024, frame_end, payload),
+            BinFrameStatus::kFrame);
+  EXPECT_EQ(payload, "first");
+  two.erase(0, frame_end);
+  ASSERT_EQ(extract_binary_frame(two, 1024, frame_end, payload),
+            BinFrameStatus::kFrame);
+  EXPECT_EQ(payload, "second");
+}
+
+TEST(BinaryFraming, TruncatedFramesWantMoreBytesAndTruncatedBodiesReject) {
+  Request req;
+  req.kind = RequestKind::kPutBatch;
+  req.series = "trunc/cpu";
+  req.seq = 5;
+  req.batch = {{10.0, 0.5}, {20.0, 0.75}};
+  std::string wire;
+  append_binary_request(wire, req);
+
+  std::size_t frame_end = 0;
+  std::string_view payload;
+  // Every strict prefix of the byte stream is just an incomplete frame.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_EQ(extract_binary_frame(wire.substr(0, cut), 1 << 20, frame_end,
+                                   payload),
+              BinFrameStatus::kNeedMore)
+        << "cut " << cut;
+  }
+  // Every strict prefix of the *payload* (reframed with a matching length)
+  // must be rejected by the decoder, never crash or over-read.
+  ASSERT_EQ(extract_binary_frame(wire, 1 << 20, frame_end, payload),
+            BinFrameStatus::kFrame);
+  const std::string full(payload);
+  Request out;
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(parse_binary_request(full.substr(0, cut), out))
+        << "cut " << cut;
+  }
+  // Trailing slack after a well-formed body is equally malformed.
+  EXPECT_FALSE(parse_binary_request(full + '\0', out));
+  EXPECT_TRUE(parse_binary_request(full, out));
+}
+
+TEST(BinaryFraming, RandomPayloadsNeverCrashTheDecoder) {
+  Rng rng(20260808);
+  Request out;
+  std::size_t parsed = 0;
+  for (int i = 0; i < 20000; ++i) {
+    std::string payload;
+    const std::size_t n = rng.below(64) + 1;
+    payload.reserve(n);
+    // Bias the first byte toward real opcodes so body decoding gets
+    // exercised, not just the unknown-op bailout.
+    payload += static_cast<char>(rng.chance(0.7) ? rng.below(10)
+                                                 : rng.below(256));
+    for (std::size_t j = 1; j < n; ++j) {
+      payload += static_cast<char>(rng.below(256));
+    }
+    if (parse_binary_request(payload, out)) ++parsed;
+  }
+  // Sanity: random bytes occasionally decode (tiny PING/QUIT payloads),
+  // proving the loop is not vacuously rejecting everything at the door.
+  EXPECT_GT(parsed, 0u);
+
+  // Mutations of valid frames: flip bytes in encoded requests and feed the
+  // result straight to the decoder.
+  Request seed;
+  seed.kind = RequestKind::kPutBatch;
+  seed.series = "mut/cpu";
+  seed.seq = 9;
+  seed.batch = {{1.0, 0.25}, {2.0, 0.5}, {3.0, 0.75}};
+  std::string wire;
+  append_binary_request(wire, seed);
+  std::size_t frame_end = 0;
+  std::string_view payload_view;
+  ASSERT_EQ(extract_binary_frame(wire, 1 << 20, frame_end, payload_view),
+            BinFrameStatus::kFrame);
+  const std::string base(payload_view);
+  for (int i = 0; i < 20000; ++i) {
+    std::string mutated = base;
+    const std::size_t flips = rng.below(4) + 1;
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] = static_cast<char>(rng.below(256));
+    }
+    (void)parse_binary_request(mutated, out);
   }
 }
 
