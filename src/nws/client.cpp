@@ -30,6 +30,8 @@ struct ClientMetrics {
   obs::Counter* replayed = nullptr;
   obs::Counter* flushes = nullptr;
   obs::Counter* flush_failures = nullptr;
+  obs::Counter* redirects = nullptr;
+  obs::Counter* busy_backoffs = nullptr;
   obs::Histogram* flush_seconds = nullptr;
 };
 
@@ -50,6 +52,12 @@ ClientMetrics& client_metrics() {
         &reg.counter("nws_client_flush_failures_total",
                      "flush() calls that exhausted their attempts with "
                      "records still queued");
+    m->redirects = &reg.counter(
+        "nws_client_redirects_total",
+        "not_primary redirects followed by the reliable path");
+    m->busy_backoffs = &reg.counter(
+        "nws_client_busy_backoffs_total",
+        "retry_after_ms hints honoured with a backoff sleep");
     m->flush_seconds = &reg.histogram(
         "nws_client_flush_seconds", "Outbox flush duration (incl. backoff)");
     return m;
@@ -74,6 +82,9 @@ NwsClient::NwsClient(NwsClient&& other) noexcept
       next_seq_(other.next_seq_),
       overflows_(other.overflows_),
       reconnects_(other.reconnects_),
+      redirects_(other.redirects_),
+      busy_backoffs_(other.busy_backoffs_),
+      endpoint_idx_(other.endpoint_idx_),
       backoff_(other.backoff_) {}
 
 NwsClient& NwsClient::operator=(NwsClient&& other) noexcept {
@@ -88,6 +99,9 @@ NwsClient& NwsClient::operator=(NwsClient&& other) noexcept {
     next_seq_ = other.next_seq_;
     overflows_ = other.overflows_;
     reconnects_ = other.reconnects_;
+    redirects_ = other.redirects_;
+    busy_backoffs_ = other.busy_backoffs_;
+    endpoint_idx_ = other.endpoint_idx_;
     backoff_ = other.backoff_;
   }
   return *this;
@@ -303,6 +317,18 @@ bool NwsClient::put_reliable(const std::string& series,
   return true;
 }
 
+bool NwsClient::reconnect_any() {
+  if (last_port_ != 0 && connect(last_port_)) return true;
+  const std::uint16_t failed = last_port_;
+  for (std::size_t i = 0; i < cfg_.endpoints.size(); ++i) {
+    const std::uint16_t port = cfg_.endpoints[endpoint_idx_];
+    endpoint_idx_ = (endpoint_idx_ + 1) % cfg_.endpoints.size();
+    if (port == failed) continue;  // just tried it
+    if (connect(port)) return true;
+  }
+  return false;
+}
+
 bool NwsClient::flush() {
   if (outbox_.empty()) return true;
   ClientMetrics& m = client_metrics();
@@ -312,7 +338,7 @@ bool NwsClient::flush() {
   for (int attempt = 0; attempt < cfg_.max_flush_attempts; ++attempt) {
     if (outbox_.empty()) return true;
     if (!connected()) {
-      if (last_port_ == 0 || !connect(last_port_)) {
+      if (!reconnect_any()) {
         ++reconnects_;
         m.reconnects->inc();
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
@@ -372,6 +398,25 @@ bool NwsClient::flush() {
       const obs::TraceSpan ack_span("client.ack");
       const auto response = read_reply();
       if (!response || !response_is_ok(*response)) {
+        // Any failure desyncs the pipelined replies, so always disconnect;
+        // the unacked tail stays queued and replays (exactly-once holds via
+        // the server's duplicate detection).  Failover redirects steer the
+        // next attempt; a shed hint paces it.
+        if (response) {
+          if (const auto port = parse_not_primary(*response)) {
+            ++redirects_;
+            m.redirects->inc();
+            if (*port != 0) {
+              last_port_ = *port;
+            } else {
+              last_port_ = 0;  // unknown primary: walk the endpoint list
+            }
+          } else if (const auto hold = parse_retry_after_ms(*response)) {
+            ++busy_backoffs_;
+            m.busy_backoffs->inc();
+            std::this_thread::sleep_for(std::chrono::milliseconds(*hold));
+          }
+        }
         disconnect();
         break;
       }

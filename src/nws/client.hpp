@@ -58,6 +58,12 @@ struct ClientConfig {
   /// gracefully.  The reliable outbox/replay machinery is framing-
   /// agnostic and unchanged.
   bool binary = false;
+  /// Failover endpoint list (loopback ports).  When non-empty, a failed
+  /// reconnect walks the list until a listener answers; combined with the
+  /// "ERR not_primary <host:port>" redirect this makes the reliable path
+  /// follow a promotion: the outbox replays against the new primary and
+  /// the server's duplicate detection keeps delivery exactly-once.
+  std::vector<std::uint16_t> endpoints;
 };
 
 class NwsClient {
@@ -138,6 +144,23 @@ class NwsClient {
   /// Liveness round trip.
   bool ping();
 
+  /// Sends one arbitrary request and returns the raw text response (the
+  /// binary framing is transparent).  The replication sender uses this to
+  /// speak the REPL verbs; tests use it for protocol probing.
+  [[nodiscard]] std::optional<std::string> request(const Request& req) {
+    return round_trip(req);
+  }
+
+  /// "ERR not_primary <host:port>" redirects followed by the reliable
+  /// path.
+  [[nodiscard]] std::uint64_t redirects() const noexcept {
+    return redirects_;
+  }
+  /// "ERR busy retry_after_ms=<n>" hints honoured with a backoff sleep.
+  [[nodiscard]] std::uint64_t busy_backoffs() const noexcept {
+    return busy_backoffs_;
+  }
+
  private:
   struct Pending {
     std::uint64_t seq;
@@ -161,6 +184,9 @@ class NwsClient {
   [[nodiscard]] bool send_all(const std::string& line);
   /// poll() for `events` within timeout_ms; false on timeout/error.
   [[nodiscard]] bool wait_ready(short events, int timeout_ms) const;
+  /// Reconnects to the last known-good port, then walks cfg_.endpoints —
+  /// the failover half of the exactly-once redirect story.
+  [[nodiscard]] bool reconnect_any();
 
   ClientConfig cfg_;
   int fd_ = -1;
@@ -172,6 +198,9 @@ class NwsClient {
   std::uint64_t next_seq_ = 1;
   std::uint64_t overflows_ = 0;
   std::uint64_t reconnects_ = 0;
+  std::uint64_t redirects_ = 0;
+  std::uint64_t busy_backoffs_ = 0;
+  std::size_t endpoint_idx_ = 0;  ///< round-robin cursor into endpoints
   ExponentialBackoff backoff_;
 };
 

@@ -64,6 +64,13 @@ void ForecastService::rewrite_journal() {
   if (journal_) journal_->rewrite(memory_);
 }
 
+void ForecastService::reset() {
+  memory_.clear();
+  entries_.clear();
+  recovered_ = 0;
+  rewrite_journal();  // memory is empty, so this truncates the segment
+}
+
 void ForecastService::sync() {
   if (journal_) journal_->sync();
 }

@@ -77,6 +77,11 @@ class ForecastService {
   /// (segment compaction / re-shard migration).  No-op without a journal.
   void rewrite_journal();
 
+  /// Drops every series — memory, forecasters and error pedigree — and
+  /// truncates the attached journal to match.  The replication snapshot
+  /// path (REPL RESET) rebuilds the shard from scratch after this.
+  void reset();
+
   /// Current forecast for the series; nullopt for an unknown series.
   [[nodiscard]] std::optional<Forecast> predict(
       const std::string& series) const;

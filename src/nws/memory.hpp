@@ -68,6 +68,10 @@ class Memory {
   /// Creates the series if absent.  Returns false on out-of-order insert.
   bool record(const std::string& series, Measurement m);
 
+  /// Drops every series (capacity configuration survives).  Used by the
+  /// replication snapshot path, which rebuilds a shard from scratch.
+  void clear() { stores_.clear(); }
+
   [[nodiscard]] bool contains(const std::string& series) const;
   /// nullptr when the series does not exist.
   [[nodiscard]] const SeriesStore* find(const std::string& series) const;

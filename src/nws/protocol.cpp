@@ -164,6 +164,69 @@ bool parse_request_into(std::string_view line, Request& out) {
     out.kind = RequestKind::kQuit;
     return cursor.done();
   }
+  if (verb == "PROMOTE") {
+    out.kind = RequestKind::kPromote;
+    return cursor.done();
+  }
+  if (verb == "REPL") {
+    const std::string_view sub = cursor.next();
+    if (sub == "HELLO") {
+      out.kind = RequestKind::kReplHello;
+      if (!parse_u64_token(cursor.next(), out.epoch) || out.epoch == 0) {
+        return false;
+      }
+      std::uint64_t shards = 0;
+      if (!parse_u64_token(cursor.next(), shards) || shards == 0 ||
+          shards > 0xFFFFFFFFULL) {
+        return false;
+      }
+      out.shard = static_cast<std::uint32_t>(shards);
+      const std::string_view endpoint = cursor.next();
+      if (endpoint.empty()) return false;
+      out.endpoint.assign(endpoint);
+      return cursor.done();
+    }
+    if (sub == "BATCH" || sub == "RESET") {
+      out.kind = sub == "BATCH" ? RequestKind::kReplBatch
+                                : RequestKind::kReplReset;
+      if (!parse_u64_token(cursor.next(), out.epoch) || out.epoch == 0) {
+        return false;
+      }
+      std::uint64_t shard = 0;
+      if (!parse_u64_token(cursor.next(), shard) || shard > 0xFFFFFFFFULL) {
+        return false;
+      }
+      out.shard = static_cast<std::uint32_t>(shard);
+      if (!parse_u64_token(cursor.next(), out.seq)) return false;
+      out.repl_remaining = 0;
+      if (out.kind == RequestKind::kReplReset &&
+          !parse_u64_token(cursor.next(), out.repl_remaining)) {
+        return false;
+      }
+      std::size_t n = 0;
+      if (!parse_size_token(cursor.next(), n)) return false;
+      out.repl.clear();
+      // n == 0 is legal (heartbeat / empty snapshot seal); otherwise bound
+      // the reserve by what the line could possibly carry (>= 6 bytes per
+      // record: a 1-char series plus two 1-char numbers and separators).
+      out.repl.reserve(std::min(n, line.size() / 6 + 1));
+      for (std::size_t i = 0; i < n; ++i) {
+        ReplSample sample;
+        const std::string_view series = cursor.next();
+        if (series.empty()) return false;
+        sample.series.assign(series);
+        if (!parse_double_token(cursor.next(), sample.measurement.time)) {
+          return false;
+        }
+        if (!parse_double_token(cursor.next(), sample.measurement.value)) {
+          return false;
+        }
+        out.repl.push_back(std::move(sample));
+      }
+      return cursor.done();
+    }
+    return false;
+  }
   return false;
 }
 
@@ -235,6 +298,41 @@ void append_request(std::string& out, const Request& request) {
       break;
     case RequestKind::kQuit:
       out += "QUIT";
+      break;
+    case RequestKind::kPromote:
+      out += "PROMOTE";
+      break;
+    case RequestKind::kReplHello:
+      out += "REPL HELLO ";
+      append_unsigned(out, request.epoch);
+      out += ' ';
+      append_unsigned(out, request.shard);
+      out += ' ';
+      out += request.endpoint;
+      break;
+    case RequestKind::kReplBatch:
+    case RequestKind::kReplReset:
+      out += request.kind == RequestKind::kReplBatch ? "REPL BATCH "
+                                                     : "REPL RESET ";
+      append_unsigned(out, request.epoch);
+      out += ' ';
+      append_unsigned(out, request.shard);
+      out += ' ';
+      append_unsigned(out, request.seq);
+      if (request.kind == RequestKind::kReplReset) {
+        out += ' ';
+        append_unsigned(out, request.repl_remaining);
+      }
+      out += ' ';
+      append_unsigned(out, request.repl.size());
+      for (const ReplSample& s : request.repl) {
+        out += ' ';
+        out += s.series;
+        out += ' ';
+        append_double(out, s.measurement.time);
+        out += ' ';
+        append_double(out, s.measurement.value);
+      }
       break;
   }
 }
@@ -315,6 +413,36 @@ void append_stats_response(std::string& out, std::uint64_t series,
   append_unsigned(out, dropped);
   out += ' ';
   append_unsigned(out, replay_skipped);
+}
+
+void append_stats_repl_suffix(std::string& out, std::string_view role,
+                              std::uint64_t epoch, std::uint64_t repl_lag) {
+  out += " role=";
+  out += role;
+  out += " epoch=";
+  append_unsigned(out, epoch);
+  out += " repl_lag=";
+  append_unsigned(out, repl_lag);
+}
+
+void append_repl_hello_response(std::string& out, std::uint64_t epoch,
+                                std::uint64_t synced_epoch,
+                                const std::vector<std::uint64_t>& watermarks) {
+  out += "OK ";
+  append_unsigned(out, epoch);
+  out += ' ';
+  append_unsigned(out, synced_epoch);
+  out += ' ';
+  append_unsigned(out, watermarks.size());
+  for (const std::uint64_t w : watermarks) {
+    out += ' ';
+    append_unsigned(out, w);
+  }
+}
+
+void append_repl_ack(std::string& out, std::uint64_t watermark) {
+  out += "OK ";
+  append_unsigned(out, watermark);
 }
 
 void append_metrics_response(std::string& out, std::string_view body) {
@@ -434,17 +562,112 @@ std::optional<StatsReply> parse_stats_response(std::string_view response) {
   const auto tokens = tokenize(response);
   // 5 numbers since the telemetry PR; the 4-number form is still accepted
   // so a new client can read an old server's reply (replay_skipped = 0).
-  if (tokens.size() != 5 && tokens.size() != 6) return std::nullopt;
+  // Since the failover PR the global form carries a trailing "key=value"
+  // suffix (role/epoch/repl_lag); unknown keys are skipped so the parser
+  // stays forward-compatible, but a bare extra token is still malformed.
+  if (tokens.size() < 5) return std::nullopt;
   StatsReply reply;
   if (!parse_u64_token(tokens[1], reply.series)) return std::nullopt;
   if (!parse_u64_token(tokens[2], reply.retained)) return std::nullopt;
   if (!parse_u64_token(tokens[3], reply.appended)) return std::nullopt;
   if (!parse_u64_token(tokens[4], reply.dropped)) return std::nullopt;
-  if (tokens.size() == 6 &&
-      !parse_u64_token(tokens[5], reply.replay_skipped)) {
-    return std::nullopt;
+  std::size_t next = 5;
+  if (next < tokens.size() &&
+      tokens[next].find('=') == std::string_view::npos) {
+    if (!parse_u64_token(tokens[next], reply.replay_skipped)) {
+      return std::nullopt;
+    }
+    ++next;
+  }
+  for (; next < tokens.size(); ++next) {
+    const std::string_view token = tokens[next];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) return std::nullopt;
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (value.empty()) return std::nullopt;
+    if (key == "role") {
+      reply.role.assign(value);
+    } else if (key == "epoch") {
+      if (!parse_u64_token(value, reply.epoch)) return std::nullopt;
+    } else if (key == "repl_lag") {
+      if (!parse_u64_token(value, reply.repl_lag)) return std::nullopt;
+    }
   }
   return reply;
+}
+
+std::optional<ReplHelloReply> parse_repl_hello_response(
+    std::string_view response) {
+  if (!response_is_ok(response)) return std::nullopt;
+  const auto tokens = tokenize(response);
+  if (tokens.size() < 4) return std::nullopt;
+  ReplHelloReply reply;
+  if (!parse_u64_token(tokens[1], reply.epoch)) return std::nullopt;
+  if (!parse_u64_token(tokens[2], reply.synced_epoch)) return std::nullopt;
+  std::size_t count = 0;
+  if (!parse_size_token(tokens[3], count)) return std::nullopt;
+  if (tokens.size() != 4 + count) return std::nullopt;
+  reply.watermarks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t w = 0;
+    if (!parse_u64_token(tokens[4 + i], w)) return std::nullopt;
+    reply.watermarks.push_back(w);
+  }
+  return reply;
+}
+
+std::optional<std::uint64_t> parse_repl_ack(std::string_view response) {
+  if (!response_is_ok(response)) return std::nullopt;
+  const auto tokens = tokenize(response);
+  if (tokens.size() != 2) return std::nullopt;
+  std::uint64_t watermark = 0;
+  if (!parse_u64_token(tokens[1], watermark)) return std::nullopt;
+  return watermark;
+}
+
+std::optional<std::uint16_t> parse_not_primary(std::string_view response) {
+  const auto tokens = tokenize(response);
+  if (tokens.size() != 3 || tokens[0] != "ERR" || tokens[1] != "not_primary") {
+    return std::nullopt;
+  }
+  const std::string_view endpoint = tokens[2];
+  if (endpoint == "-") return std::uint16_t{0};
+  const std::size_t colon = endpoint.rfind(':');
+  const std::string_view port_text =
+      colon == std::string_view::npos ? endpoint : endpoint.substr(colon + 1);
+  std::uint64_t port = 0;
+  if (!parse_u64_token(port_text, port) || port == 0 || port > 0xFFFF) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+std::optional<int> parse_retry_after_ms(std::string_view response) {
+  const auto tokens = tokenize(response);
+  if (tokens.size() < 3 || tokens[0] != "ERR" || tokens[1] != "busy") {
+    return std::nullopt;
+  }
+  constexpr std::string_view kKey = "retry_after_ms=";
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    if (tokens[i].rfind(kKey, 0) != 0) continue;
+    const std::string_view value = tokens[i].substr(kKey.size());
+    std::uint64_t ms = 0;
+    if (!parse_u64_token(value, ms) || ms > 1000000) return std::nullopt;
+    return static_cast<int>(ms);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> parse_stale_epoch(std::string_view response) {
+  const auto tokens = tokenize(response);
+  if (tokens.size() != 3 || tokens[0] != "ERR" ||
+      tokens[1] != "stale_epoch") {
+    return std::nullopt;
+  }
+  std::uint64_t epoch = 0;
+  if (!parse_u64_token(tokens[2], epoch)) return std::nullopt;
+  return epoch;
 }
 
 std::optional<std::size_t> parse_metrics_header(std::string_view header) {
@@ -612,9 +835,13 @@ void append_binary_request(std::string& out, const Request& request) {
   const std::size_t header_at = out.size();
   out.append(kBinFrameHeaderBytes, '\0');  // length prefix, patched below
 
-  // A series name too long for the u16 length field rides the TEXT op
-  // (the text path's own line cap is the real bound).
-  const bool series_fits = request.series.size() <= 0xFFFF;
+  // A name too long for a u16 length field rides the TEXT op (the text
+  // path's own line cap is the real bound).
+  bool series_fits =
+      request.series.size() <= 0xFFFF && request.endpoint.size() <= 0xFFFF;
+  for (const ReplSample& s : request.repl) {
+    series_fits = series_fits && s.series.size() <= 0xFFFF;
+  }
   switch (series_fits ? request.kind : RequestKind::kSeries) {
     case RequestKind::kPut:
       out += static_cast<char>(kBinOpPut);
@@ -655,6 +882,32 @@ void append_binary_request(std::string& out, const Request& request) {
       break;
     case RequestKind::kQuit:
       out += static_cast<char>(kBinOpQuit);
+      break;
+    case RequestKind::kReplHello:
+      out += static_cast<char>(kBinOpReplHello);
+      put_u64_le(out, request.epoch);
+      put_u32_le(out, request.shard);
+      put_u16_le(out, static_cast<std::uint16_t>(request.endpoint.size()));
+      out += request.endpoint;
+      break;
+    case RequestKind::kReplBatch:
+    case RequestKind::kReplReset:
+      out += static_cast<char>(request.kind == RequestKind::kReplBatch
+                                   ? kBinOpReplBatch
+                                   : kBinOpReplReset);
+      put_u64_le(out, request.epoch);
+      put_u32_le(out, request.shard);
+      put_u64_le(out, request.seq);
+      if (request.kind == RequestKind::kReplReset) {
+        put_u64_le(out, request.repl_remaining);
+      }
+      put_u32_le(out, static_cast<std::uint32_t>(request.repl.size()));
+      for (const ReplSample& s : request.repl) {
+        put_u16_le(out, static_cast<std::uint16_t>(s.series.size()));
+        out += s.series;
+        put_f64_le(out, s.measurement.time);
+        put_f64_le(out, s.measurement.value);
+      }
       break;
     default:
       // Cold verbs (VALUES / SERIES / STATS) and oversized series names:
@@ -724,6 +977,42 @@ bool parse_binary_request(std::string_view payload, Request& out) {
     case kBinOpQuit:
       out.kind = RequestKind::kQuit;
       return cursor.done();
+    case kBinOpReplHello: {
+      out.kind = RequestKind::kReplHello;
+      if (!cursor.u64(out.epoch) || out.epoch == 0) return false;
+      if (!cursor.u32(out.shard) || out.shard == 0) return false;
+      // The endpoint obeys the same token grammar as a series name.
+      if (!read_series(cursor, out.endpoint)) return false;
+      return cursor.done();
+    }
+    case kBinOpReplBatch:
+    case kBinOpReplReset: {
+      out.kind = op == kBinOpReplBatch ? RequestKind::kReplBatch
+                                       : RequestKind::kReplReset;
+      if (!cursor.u64(out.epoch) || out.epoch == 0) return false;
+      if (!cursor.u32(out.shard)) return false;
+      if (!cursor.u64(out.seq)) return false;
+      out.repl_remaining = 0;
+      if (op == kBinOpReplReset && !cursor.u64(out.repl_remaining)) {
+        return false;
+      }
+      std::uint32_t n = 0;
+      if (!cursor.u32(n)) return false;
+      out.repl.clear();
+      // Records are variable-length, so the count cannot be squared with
+      // the body size up front; bound the reserve by the smallest possible
+      // record (u16 len + 1-byte series + two f64s = 19 bytes).
+      out.repl.reserve(
+          std::min<std::size_t>(n, cursor.remaining() / 19 + 1));
+      for (std::uint32_t i = 0; i < n; ++i) {
+        ReplSample sample;
+        if (!read_series(cursor, sample.series)) return false;
+        if (!cursor.f64(sample.measurement.time)) return false;
+        if (!cursor.f64(sample.measurement.value)) return false;
+        out.repl.push_back(std::move(sample));
+      }
+      return cursor.done();
+    }
     case kBinOpText:
       return parse_request_into(payload.substr(1), out);
     default:

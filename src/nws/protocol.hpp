@@ -40,10 +40,47 @@
 //                                   journal commit timings, ...)
 //   PING                            liveness check
 //   QUIT                            close the connection
+//   PROMOTE                         admin: promote this server to primary
+//                                   (bumps the replication epoch; the reply
+//                                   is "OK <epoch>")
+//
+// Replication (primary -> follower stream; see DESIGN.md §11):
+//   REPL HELLO <epoch> <shards> <endpoint>
+//                                   handshake: the primary announces its
+//                                   epoch, shard count and redirect
+//                                   endpoint.  The follower answers
+//                                   "OK <epoch> <synced_epoch> <n> <w0> ..
+//                                   <wn-1>" (its per-shard high-watermarks)
+//                                   so the primary can resume each shard's
+//                                   stream, or "ERR stale_epoch <epoch>" /
+//                                   "ERR shard_mismatch <n>".
+//   REPL BATCH <epoch> <shard> <first> <n> [<series> <t> <v>]...
+//                                   appends n committed records with
+//                                   absolute indices first..first+n-1 to
+//                                   one shard.  n = 0 is a heartbeat.  The
+//                                   ack is "OK <watermark>"; a follower
+//                                   whose watermark disagrees answers
+//                                   "ERR gap <watermark>" and the primary
+//                                   rewinds (or snapshots).
+//   REPL RESET <epoch> <shard> <start> <remaining> <n> [<series> <t> <v>]...
+//                                   snapshot transfer, chunked: the first
+//                                   chunk (or any chunk whose start does
+//                                   not extend the snapshot in progress)
+//                                   clears the shard; remaining == 0 seals
+//                                   it and sets the watermark.  Ack is
+//                                   "OK <next>" per chunk.
 //
 // Responses (first token is the status):
 //   OK [payload...]
 //   ERR <message>
+//
+// Failover-aware errors carry a machine-readable payload:
+//   ERR not_primary <host:port>     writes rejected on a follower (or a
+//                                   fenced ex-primary); the endpoint is the
+//                                   last known primary, "-" when unknown
+//   ERR busy retry_after_ms=<n>     admission shed; clients back off n ms
+//   ERR stale_epoch <epoch>         replication fenced: the receiver is at
+//                                   a higher epoch
 //
 // A FORECAST response is "OK <value> <mae> <mse> <history> <last_time>
 // <method>": last_time is the timestamp of the newest measurement backing
@@ -79,16 +116,35 @@ enum class RequestKind {
   kStats,
   kMetrics,
   kPing,
-  kQuit
+  kQuit,
+  kReplHello,
+  kReplBatch,
+  kReplReset,
+  kPromote
+};
+
+/// One replicated record: unlike a PUTB sample, it carries its series (a
+/// replication batch interleaves records from every series of one shard in
+/// commit order).
+struct ReplSample {
+  std::string series;
+  Measurement measurement;
 };
 
 struct Request {
   RequestKind kind = RequestKind::kPing;
   std::string series;          // PUT / PUTS / PUTB / FORECAST / VALUES / STATS
   Measurement measurement;     // PUT / PUTS
-  std::uint64_t seq = 0;       // PUTS / PUTB (client-assigned, starts at 1)
+  std::uint64_t seq = 0;       // PUTS / PUTB (client-assigned, starts at 1);
+                               // REPL BATCH/RESET: absolute first index
   std::size_t max_values = 0;  // VALUES
   std::vector<Measurement> batch;  // PUTB: sample i carries sequence seq + i
+  // Replication fields (REPL HELLO / BATCH / RESET):
+  std::uint64_t epoch = 0;          ///< stream epoch (>= 1)
+  std::uint32_t shard = 0;          ///< target shard; shard COUNT in HELLO
+  std::uint64_t repl_remaining = 0; ///< RESET: records left after this chunk
+  std::string endpoint;             ///< HELLO: primary's redirect endpoint
+  std::vector<ReplSample> repl;     ///< BATCH/RESET records, commit order
 };
 
 /// Parses one request line (no trailing newline) into `out`, reusing its
@@ -124,6 +180,18 @@ void append_stats_response(std::string& out, std::uint64_t series,
                            std::uint64_t retained, std::uint64_t appended,
                            std::uint64_t dropped,
                            std::uint64_t replay_skipped);
+/// Replication suffix appended to the global STATS payload:
+/// " role=<role> epoch=<n> repl_lag=<n>".  Old parsers that stop at the
+/// five numeric fields are unaffected; parse_stats_response understands
+/// both forms.
+void append_stats_repl_suffix(std::string& out, std::string_view role,
+                              std::uint64_t epoch, std::uint64_t repl_lag);
+/// REPL HELLO ack: "OK <epoch> <synced_epoch> <n> <w0> .. <wn-1>".
+void append_repl_hello_response(std::string& out, std::uint64_t epoch,
+                                std::uint64_t synced_epoch,
+                                const std::vector<std::uint64_t>& watermarks);
+/// REPL BATCH / RESET ack: "OK <watermark>".
+void append_repl_ack(std::string& out, std::uint64_t watermark);
 /// METRICS payload: line-count framing ("OK <n>" + n exposition lines).
 /// `body` is Prometheus text, '\n'-separated (a trailing newline is
 /// tolerated); empty lines inside the body are not allowed.
@@ -170,6 +238,18 @@ struct StatsReply {
   /// Torn/corrupt journal lines skipped at the last restart (global form
   /// only; 0 in the per-series form).
   std::uint64_t replay_skipped = 0;
+  // Replication suffix (global form since the failover PR; empty role
+  // when the server predates it — old servers parse fine).
+  std::string role;             ///< "primary" / "follower" / "" (old server)
+  std::uint64_t epoch = 0;      ///< replication epoch (0 = old server)
+  std::uint64_t repl_lag = 0;   ///< records streamed but not yet acked
+};
+
+/// REPL HELLO ack payload.
+struct ReplHelloReply {
+  std::uint64_t epoch = 0;         ///< follower's current epoch
+  std::uint64_t synced_epoch = 0;  ///< epoch its watermarks are valid under
+  std::vector<std::uint64_t> watermarks;  ///< per-shard applied indices
 };
 
 [[nodiscard]] bool response_is_ok(std::string_view response);
@@ -182,6 +262,23 @@ struct StatsReply {
 [[nodiscard]] std::optional<PutBatchReply> parse_put_batch_response(
     std::string_view response);
 [[nodiscard]] std::optional<StatsReply> parse_stats_response(
+    std::string_view response);
+[[nodiscard]] std::optional<ReplHelloReply> parse_repl_hello_response(
+    std::string_view response);
+/// Parses a replication ack "OK <watermark>".
+[[nodiscard]] std::optional<std::uint64_t> parse_repl_ack(
+    std::string_view response);
+/// Parses "ERR not_primary <host:port>": returns the redirect port, or 0
+/// when the primary is unknown ("-"); nullopt when the response is some
+/// other error (or not an error at all).
+[[nodiscard]] std::optional<std::uint16_t> parse_not_primary(
+    std::string_view response);
+/// Parses "ERR busy retry_after_ms=<n>": the back-off hint in ms; nullopt
+/// for any other response (including a bare "ERR busy" from an old server).
+[[nodiscard]] std::optional<int> parse_retry_after_ms(
+    std::string_view response);
+/// Parses "ERR stale_epoch <epoch>": the receiver's (higher) epoch.
+[[nodiscard]] std::optional<std::uint64_t> parse_stale_epoch(
     std::string_view response);
 /// Parses the METRICS header line "OK <n>" (the exposition line count).
 [[nodiscard]] std::optional<std::size_t> parse_metrics_header(
@@ -231,6 +328,15 @@ inline constexpr std::uint8_t kBinOpMetrics = 5;
 inline constexpr std::uint8_t kBinOpPing = 6;
 inline constexpr std::uint8_t kBinOpQuit = 7;
 inline constexpr std::uint8_t kBinOpText = 8;
+// Replication rides the same framing (the stream IS a v2 binary client):
+//   REPL HELLO  u64 epoch, u32 shards, u16 endpoint_len, endpoint
+//   REPL BATCH  u64 epoch, u32 shard, u64 first, u32 n,
+//               then n x (u16 series_len, series, f64 time, f64 value)
+//   REPL RESET  u64 epoch, u32 shard, u64 start, u64 remaining, u32 n,
+//               then n records as in BATCH
+inline constexpr std::uint8_t kBinOpReplHello = 9;
+inline constexpr std::uint8_t kBinOpReplBatch = 10;
+inline constexpr std::uint8_t kBinOpReplReset = 11;
 
 /// Bytes of the [u32 length] prefix on every frame, both directions.
 inline constexpr std::size_t kBinFrameHeaderBytes = 4;

@@ -1,0 +1,105 @@
+#include "nws/replication.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace nws {
+
+namespace {
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+}  // namespace
+
+bool save_repl_meta(const std::filesystem::path& path,
+                    const ReplMetaState& state) {
+  // The trailing "end" token doubles as the torn-write detector: a partial
+  // write loses it and load_repl_meta refuses the file.
+  std::ostringstream line;
+  line << "replmeta " << state.epoch << ' ' << state.synced_epoch << ' '
+       << state.watermarks.size();
+  for (const std::uint64_t w : state.watermarks) line << ' ' << w;
+  line << " end\n";
+
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << line.str();
+    out.flush();
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<ReplMetaState> load_repl_meta(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string magic;
+  if (!(in >> magic) || magic != "replmeta") return std::nullopt;
+  ReplMetaState state;
+  std::string token;
+  if (!(in >> token) || !parse_u64(token, state.epoch)) return std::nullopt;
+  if (!(in >> token) || !parse_u64(token, state.synced_epoch)) {
+    return std::nullopt;
+  }
+  std::uint64_t count = 0;
+  if (!(in >> token) || !parse_u64(token, count) || count > 1u << 20) {
+    return std::nullopt;
+  }
+  state.watermarks.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t w = 0;
+    if (!(in >> token) || !parse_u64(token, w)) return std::nullopt;
+    state.watermarks.push_back(w);
+  }
+  if (!(in >> token) || token != "end") return std::nullopt;
+  return state;
+}
+
+std::vector<ReplEndpoint> parse_endpoint_list(std::string_view text) {
+  std::vector<ReplEndpoint> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    std::string_view entry = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\t')) {
+      entry.remove_prefix(1);
+    }
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) {
+      entry.remove_suffix(1);
+    }
+    if (entry.empty()) continue;
+    ReplEndpoint ep;
+    const std::size_t colon = entry.rfind(':');
+    std::string_view port_text = entry;
+    if (colon != std::string_view::npos) {
+      ep.host.assign(entry.substr(0, colon));
+      port_text = entry.substr(colon + 1);
+    }
+    if (ep.host.empty()) ep.host = "127.0.0.1";
+    std::uint64_t port = 0;
+    if (!parse_u64(port_text, port) || port == 0 || port > 0xFFFF) continue;
+    ep.port = static_cast<std::uint16_t>(port);
+    out.push_back(std::move(ep));
+  }
+  return out;
+}
+
+}  // namespace nws

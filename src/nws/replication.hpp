@@ -1,0 +1,130 @@
+// Replication support types for the NWS primary -> follower stream.
+//
+// The server composes three small pieces (see DESIGN.md §11):
+//
+//   * ReplLog — a bounded in-core tail of one shard's committed records,
+//     indexed by the shard's absolute commit index.  The primary appends
+//     under the shard lock as it commits; a sender thread copies batches
+//     out (also under the shard lock — copies are small and bounded) and
+//     streams them.  When a follower's watermark falls off the log's
+//     retained window the sender falls back to a full snapshot
+//     (REPL RESET), so the log's capacity bounds memory, not correctness.
+//
+//   * ReplMetaState — the follower's durable replication cursor: the
+//     epoch it last synced under and its per-shard high-watermarks.
+//     Persisted with the usual temp-file + rename dance AFTER the shard
+//     journal commit, so a follower that dies between the two replays the
+//     journal and resumes from a watermark that is never ahead of the
+//     applied state (re-streamed records are deduplicated by the
+//     out-of-order drop in SeriesStore; see the exactly-once argument in
+//     DESIGN.md §11).  A torn or missing meta file reads as nullopt and
+//     the follower simply resyncs from scratch.
+//
+//   * ReplEndpoint / parse_endpoint_list — "7002,host:7003"-style lists
+//     for NWSCPU_REPL_FOLLOWERS and the client's failover endpoints.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nws/protocol.hpp"
+
+namespace nws {
+
+/// Bounded tail of one shard's committed records, absolutely indexed:
+/// the log holds indices [start(), end()) of the shard's commit sequence.
+/// Not thread-safe — the owner guards it with the shard mutex.
+class ReplLog {
+ public:
+  explicit ReplLog(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Appends the next committed record (index end()); evicts the oldest
+  /// when past capacity.
+  void append(std::string_view series, Measurement m) {
+    entries_.push_back(ReplSample{std::string(series), m});
+    if (entries_.size() > capacity_) {
+      entries_.pop_front();
+      ++base_;
+    }
+  }
+
+  /// First index still retained.
+  [[nodiscard]] std::uint64_t start() const noexcept { return base_; }
+  /// One past the newest index (== the shard's committed record count).
+  [[nodiscard]] std::uint64_t end() const noexcept {
+    return base_ + entries_.size();
+  }
+  /// True when a stream can resume from `from` without a snapshot.
+  [[nodiscard]] bool contains(std::uint64_t from) const noexcept {
+    return from >= base_ && from <= end();
+  }
+
+  /// Copies up to `max` records starting at absolute index `from`
+  /// (requires contains(from)) into `out` (cleared first).  Returns the
+  /// copy count; 0 when from == end().
+  std::size_t copy_from(std::uint64_t from, std::size_t max,
+                        std::vector<ReplSample>& out) const {
+    out.clear();
+    const std::size_t offset = static_cast<std::size_t>(from - base_);
+    const std::size_t count = std::min(max, entries_.size() - offset);
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(entries_[offset + i]);
+    }
+    return count;
+  }
+
+  /// Forgets everything and restarts the index at `base` — used when a
+  /// freshly promoted primary adopts its applied watermark as the commit
+  /// index, and by followers tracking the stream position.
+  void reset_base(std::uint64_t base) {
+    entries_.clear();
+    base_ = base;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t base_ = 0;
+  std::deque<ReplSample> entries_;
+};
+
+/// The follower's durable replication cursor.
+struct ReplMetaState {
+  std::uint64_t epoch = 0;         ///< highest epoch ever seen
+  std::uint64_t synced_epoch = 0;  ///< epoch the watermarks are valid under
+  std::vector<std::uint64_t> watermarks;  ///< per-shard applied indices
+};
+
+/// Writes `state` via temp file + rename (atomic on POSIX).  Returns false
+/// on I/O failure — the caller treats that like a journal write failure:
+/// counted, never fatal (the worst case is a wider resync after restart).
+bool save_repl_meta(const std::filesystem::path& path,
+                    const ReplMetaState& state);
+
+/// Loads a previously saved cursor; nullopt when the file is missing,
+/// torn, or disagrees with its own shard count (the follower resyncs).
+std::optional<ReplMetaState> load_repl_meta(
+    const std::filesystem::path& path);
+
+/// One replication/failover target.
+struct ReplEndpoint {
+  std::string host;    ///< defaults to loopback when the entry is bare
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// Parses a comma-separated endpoint list: each entry is "port" (loopback)
+/// or "host:port".  Malformed entries are dropped, not fatal — a partially
+/// valid NWSCPU_REPL_FOLLOWERS still replicates to the valid targets.
+[[nodiscard]] std::vector<ReplEndpoint> parse_endpoint_list(
+    std::string_view text);
+
+}  // namespace nws

@@ -18,11 +18,14 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
+#include "nws/client.hpp"
 #include "obs/trace.hpp"
 #include "util/fault.hpp"
+#include "util/fmt.hpp"
 
 namespace nws {
 
@@ -35,10 +38,18 @@ namespace {
 // Registered once, held by pointer — the hot path never touches the
 // registry mutex.
 
-constexpr std::size_t kVerbCount = 10;
+constexpr std::size_t kVerbCount = 14;
 
 const char* verb_label(RequestKind kind) noexcept {
   switch (kind) {
+    case RequestKind::kReplHello:
+      return "REPL_HELLO";
+    case RequestKind::kReplBatch:
+      return "REPL_BATCH";
+    case RequestKind::kReplReset:
+      return "REPL_RESET";
+    case RequestKind::kPromote:
+      return "PROMOTE";
     case RequestKind::kPut:
       return "PUT";
     case RequestKind::kPutSeq:
@@ -79,6 +90,19 @@ struct ServerMetrics {
   obs::Counter* wakeups = nullptr;
   obs::Counter* event_waits_poll = nullptr;
   obs::Counter* event_waits_epoll = nullptr;
+  // Replication & failover (DESIGN.md §11).
+  obs::Counter* repl_streamed = nullptr;
+  obs::Counter* repl_applied = nullptr;
+  obs::Counter* repl_acks = nullptr;
+  obs::Counter* repl_snapshots = nullptr;
+  obs::Counter* repl_fenced = nullptr;
+  obs::Counter* repl_gaps = nullptr;
+  obs::Counter* repl_sync_timeouts = nullptr;
+  obs::Counter* repl_meta_failures = nullptr;
+  obs::Counter* promotions = nullptr;
+  obs::Counter* not_primary = nullptr;
+  obs::Gauge* repl_lag = nullptr;
+  obs::Gauge* role = nullptr;
 };
 
 ServerMetrics& server_metrics() {
@@ -134,6 +158,39 @@ ServerMetrics& server_metrics() {
     m->event_waits_epoll =
         &reg.counter("nws_server_event_waits_total{backend=\"epoll\"}",
                      "Event-loop wait returns, epoll backend");
+    m->repl_streamed =
+        &reg.counter("nws_repl_records_streamed_total",
+                     "Records a primary streamed to followers (acked)");
+    m->repl_applied = &reg.counter(
+        "nws_repl_records_applied_total",
+        "Replicated records a follower applied (batches + snapshots)");
+    m->repl_acks = &reg.counter("nws_repl_batches_acked_total",
+                                "REPL BATCH/RESET acks a follower sent");
+    m->repl_snapshots =
+        &reg.counter("nws_repl_snapshots_total",
+                     "Shard snapshot transfers (follower out of log range)");
+    m->repl_fenced = &reg.counter(
+        "nws_repl_fenced_total",
+        "Replication requests rejected with ERR stale_epoch");
+    m->repl_gaps = &reg.counter(
+        "nws_repl_gaps_total",
+        "REPL batches rejected with ERR gap (watermark disagreement)");
+    m->repl_sync_timeouts = &reg.counter(
+        "nws_repl_sync_timeouts_total",
+        "Synchronous-replication waits that timed out (ERR repl_timeout)");
+    m->repl_meta_failures =
+        &reg.counter("nws_repl_meta_failures_total",
+                     "Follower cursor (replmeta) writes that failed");
+    m->promotions = &reg.counter("nws_server_promotions_total",
+                                 "Follower -> primary promotions");
+    m->not_primary = &reg.counter(
+        "nws_server_not_primary_total",
+        "Client writes rejected with ERR not_primary (redirect)");
+    m->repl_lag = &reg.gauge(
+        "nws_repl_lag_records",
+        "Records committed locally, not yet acked by the slowest follower");
+    m->role = &reg.gauge("nws_server_role",
+                         "1 = primary (accepts writes), 0 = follower");
     return m;
   }();
   return *metrics;
@@ -161,6 +218,37 @@ std::size_t resolve_shards(const ServerConfig& cfg) {
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string resolve_followers(const ServerConfig& cfg) {
+  if (!cfg.repl_followers.empty()) return cfg.repl_followers;
+  if (const char* env = std::getenv("NWSCPU_REPL_FOLLOWERS")) return env;
+  return {};
+}
+
+int resolve_failover_ms(const ServerConfig& cfg) {
+  if (cfg.failover_ms > 0) return cfg.failover_ms;
+  if (const char* env = std::getenv("NWSCPU_FAILOVER_MS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  return 0;
+}
+
+std::int64_t steady_ms() noexcept {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Lock-free monotonic max for epoch bookkeeping.
+void store_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target.compare_exchange_weak(cur, value,
+                                       std::memory_order_acq_rel)) {
+  }
 }
 
 NetBackend resolve_backend(const ServerConfig& cfg) {
@@ -204,6 +292,56 @@ NwsServer::NwsServer(ServerConfig config)
   service_.set_group_size(cfg_.journal_group_size);
   total_series_.store(service_.series_count(), std::memory_order_relaxed);
   backend_ = resolve_backend(cfg_);
+
+  // --- Replication wiring (DESIGN.md §11) -------------------------------
+  cfg_.repl_followers = resolve_followers(cfg_);
+  cfg_.failover_ms = resolve_failover_ms(cfg_);
+  follower_endpoints_ = parse_endpoint_list(cfg_.repl_followers);
+  repl_enabled_ =
+      !follower_endpoints_.empty() || cfg_.role == ServerRole::kFollower;
+  const std::size_t n = service_.shard_count();
+  repl_end_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  shard_synced_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    repl_end_[k].store(0, std::memory_order_relaxed);
+    shard_synced_[k].store(0, std::memory_order_relaxed);
+  }
+  if (repl_enabled_) {
+    for (std::size_t k = 0; k < n; ++k) {
+      shards_[k]->repl_log = std::make_unique<ReplLog>(cfg_.repl_log_capacity);
+    }
+    if (cfg_.role == ServerRole::kFollower) {
+      is_primary_.store(false, std::memory_order_release);
+      epoch_.store(0, std::memory_order_release);
+      if (!cfg_.journal_path.empty()) {
+        meta_path_ = cfg_.journal_path.string() + ".replmeta";
+        const auto meta = load_repl_meta(meta_path_);
+        if (meta && meta->watermarks.size() == n) {
+          epoch_.store(meta->epoch, std::memory_order_release);
+          store_max(max_seen_epoch_, meta->epoch);
+          for (std::size_t k = 0; k < n; ++k) {
+            // The watermark may legitimately lead the journal (dup-skipped
+            // records advance it without appending); resume from it as-is.
+            repl_end_[k].store(meta->watermarks[k],
+                               std::memory_order_relaxed);
+            shard_synced_[k].store(meta->synced_epoch,
+                                   std::memory_order_relaxed);
+            shards_[k]->repl_log->reset_base(meta->watermarks[k]);
+          }
+        }
+      }
+    } else {
+      // Primary: the commit index starts at each shard's replayed total.
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint64_t appended =
+            service_.shard(k).memory().totals().appended;
+        shards_[k]->repl_log->reset_base(appended);
+        repl_end_[k].store(appended, std::memory_order_relaxed);
+        shard_synced_[k].store(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  server_metrics().role->set(is_primary() ? 1.0 : 0.0);
 }
 
 NwsServer::NwsServer(std::size_t memory_capacity)
@@ -224,9 +362,12 @@ void NwsServer::handle_put(const Request& req, std::size_t k,
     ++shed_;
     server_metrics().shed->inc();
     append_error(out, "busy");
+    out += " retry_after_ms=";
+    append_unsigned(out, static_cast<std::uint64_t>(cfg_.busy_retry_ms));
     return;
   }
   auto& applied_seq = shards_[k]->applied_seq;
+  ReplLog* const repl_log = shards_[k]->repl_log.get();
 
   if (req.kind == RequestKind::kPutBatch) {
     // Per-sample exactly-once accounting: a sample is a duplicate when its
@@ -249,6 +390,7 @@ void NwsServer::handle_put(const Request& req, std::size_t k,
       }
       if (svc.record(req.series, m)) {
         ++applied;
+        if (repl_log != nullptr) repl_log->append(req.series, m);
       } else {
         ++dropped;
       }
@@ -284,6 +426,7 @@ void NwsServer::handle_put(const Request& req, std::size_t k,
     append_error(out, "out-of-order measurement");
     return;
   }
+  if (repl_log != nullptr) repl_log->append(req.series, req.measurement);
   if (is_new) total_series_.fetch_add(1, std::memory_order_relaxed);
   if (req.kind == RequestKind::kPutSeq) {
     applied_seq[req.series] = req.seq;
@@ -296,9 +439,46 @@ void NwsServer::execute_request(const Request& req, std::string& out) {
     case RequestKind::kPut:
     case RequestKind::kPutSeq:
     case RequestKind::kPutBatch: {
+      if (repl_enabled_ && !is_primary_.load(std::memory_order_acquire)) {
+        // Redirect instead of silently applying: a write accepted by a
+        // follower would be lost on the next resync.
+        ++not_primary_;
+        server_metrics().not_primary->inc();
+        append_error(out, "not_primary");
+        out += ' ';
+        out += primary_hint();
+        return;
+      }
       const std::size_t k = service_.shard_of(req.series);
-      const std::scoped_lock lock(shards_[k]->mu);
-      handle_put(req, k, out);
+      std::uint64_t sync_target = 0;
+      bool appended = false;
+      {
+        const std::scoped_lock lock(shards_[k]->mu);
+        ReplLog* const log = shards_[k]->repl_log.get();
+        const std::uint64_t before = log != nullptr ? log->end() : 0;
+        handle_put(req, k, out);
+        if (log != nullptr) {
+          sync_target = log->end();
+          appended = sync_target != before;
+          if (appended) {
+            repl_end_[k].store(sync_target, std::memory_order_release);
+          }
+        }
+      }
+      if (appended) {
+        {
+          const std::scoped_lock rlock(repl_mu_);
+          ++repl_gen_;
+        }
+        repl_cv_.notify_all();
+        if (cfg_.repl_sync && !wait_repl_acked(k, sync_target)) {
+          // The write is applied locally but not provably replicated; the
+          // client's outbox retries and the dup-ack path converges.
+          out.clear();
+          append_error(out, "repl_timeout");
+          server_metrics().repl_sync_timeouts->inc();
+        }
+      }
       return;
     }
     case RequestKind::kForecast: {
@@ -359,6 +539,12 @@ void NwsServer::execute_request(const Request& req, std::string& out) {
       append_stats_response(out, service_.series_count(), totals.retained,
                             totals.appended, totals.dropped,
                             service_.replay_skipped());
+      const std::uint64_t lag = repl_lag();
+      server_metrics().repl_lag->set(static_cast<double>(lag));
+      append_stats_repl_suffix(
+          out, is_primary_.load(std::memory_order_acquire) ? "primary"
+                                                           : "follower",
+          epoch_.load(std::memory_order_acquire), lag);
       return;
     }
     case RequestKind::kMetrics: {
@@ -374,6 +560,19 @@ void NwsServer::execute_request(const Request& req, std::string& out) {
       append_metrics_response(out, body);
       return;
     }
+    case RequestKind::kReplHello:
+      execute_repl_hello(req, out);
+      return;
+    case RequestKind::kReplBatch:
+      execute_repl_batch(req, out);
+      return;
+    case RequestKind::kReplReset:
+      execute_repl_reset(req, out);
+      return;
+    case RequestKind::kPromote:
+      out += "OK ";
+      append_unsigned(out, promote());
+      return;
     case RequestKind::kPing:
     case RequestKind::kQuit:
       append_ok(out);
@@ -514,11 +713,30 @@ std::uint16_t NwsServer::start(std::uint16_t port) {
 #else
   thread_ = std::thread(&NwsServer::serve_poll, this);
 #endif
+  if (repl_enabled_) {
+    note_repl_activity();
+    {
+      const std::scoped_lock admin(repl_admin_mu_);
+      start_replication();
+    }
+    if (!is_primary_.load(std::memory_order_acquire) && cfg_.failover_ms > 0) {
+      failover_thread_ = std::thread(&NwsServer::failover_monitor_loop, this);
+    }
+  }
   return port_;
 }
 
 void NwsServer::stop() {
-  if (!running_.exchange(false)) {
+  const bool was_running = running_.exchange(false);
+  // Replication teardown first: the failover monitor exits on !running_,
+  // and sender threads may exist even without a transport (a promote via
+  // handle_line starts them).
+  if (failover_thread_.joinable()) failover_thread_.join();
+  {
+    const std::scoped_lock admin(repl_admin_mu_);
+    stop_replication();
+  }
+  if (!was_running) {
     service_.sync();
     return;
   }
@@ -731,9 +949,30 @@ std::size_t NwsServer::route_line(std::string_view line) const {
   const std::size_t verb_begin = i;
   while (i < line.size() && !is_ws(line[i])) ++i;
   const std::string_view verb = line.substr(verb_begin, i - verb_begin);
+  if (verb == "REPL") {
+    // "REPL BATCH <epoch> <shard> ..." routes to its target shard so one
+    // shard's stream stays FIFO; HELLO (and malformed) go to worker 0.
+    const auto token = [&]() -> std::string_view {
+      while (i < line.size() && is_ws(line[i])) ++i;
+      const std::size_t begin = i;
+      while (i < line.size() && !is_ws(line[i])) ++i;
+      return line.substr(begin, i - begin);
+    };
+    const std::string_view sub = token();
+    if (sub != "BATCH" && sub != "RESET") return 0;
+    (void)token();  // epoch
+    const std::string_view shard_text = token();
+    std::uint64_t shard = 0;
+    for (const char c : shard_text) {
+      if (c < '0' || c > '9') return 0;
+      shard = shard * 10 + static_cast<std::uint64_t>(c - '0');
+      if (shard > 0xFFFFFFFFu) return 0;
+    }
+    return shard_text.empty() ? 0 : shard % service_.shard_count();
+  }
   if (verb != "PUT" && verb != "PUTS" && verb != "PUTB" &&
       verb != "FORECAST" && verb != "VALUES" && verb != "STATS") {
-    return 0;  // SERIES / PING / QUIT / unknown: any queue works
+    return 0;  // SERIES / PING / QUIT / PROMOTE / unknown: any queue works
   }
   while (i < line.size() && is_ws(line[i])) ++i;
   const std::size_t series_begin = i;
@@ -762,10 +1001,22 @@ std::size_t NwsServer::route_frame(std::string_view payload) const {
       if (len == 0 || payload.size() < 3 + len) return 0;
       return service_.shard_of(payload.substr(3, len));
     }
+    case kBinOpReplBatch:
+    case kBinOpReplReset: {
+      // u8 op, u64 epoch, u32 shard: the stream target sits at offset 9.
+      if (payload.size() < 13) return 0;
+      std::size_t shard = 0;
+      for (std::size_t b = 0; b < 4; ++b) {
+        shard |= static_cast<std::size_t>(
+                     static_cast<unsigned char>(payload[9 + b]))
+                 << (8 * b);
+      }
+      return shard % service_.shard_count();
+    }
     case kBinOpText:
       return route_line(payload.substr(1));
     default:
-      return 0;  // METRICS / PING / QUIT / unknown: any queue works
+      return 0;  // METRICS / PING / QUIT / REPL HELLO: any queue works
   }
 }
 
@@ -1247,5 +1498,564 @@ void NwsServer::serve_epoll() {
 void NwsServer::serve_epoll() { serve_poll(); }
 
 #endif
+
+// ---------------------------------------------------------------------------
+// Replication & failover (DESIGN.md §11)
+
+void NwsServer::note_repl_activity() noexcept {
+  last_repl_ms_.store(steady_ms(), std::memory_order_release);
+}
+
+std::string NwsServer::advertised_endpoint() const {
+  if (!cfg_.advertise.empty()) return cfg_.advertise;
+  if (port_ != 0) return "127.0.0.1:" + std::to_string(port_);
+  return "-";
+}
+
+std::string NwsServer::primary_hint() const {
+  const std::scoped_lock lock(hint_mu_);
+  return primary_hint_.empty() ? "-" : primary_hint_;
+}
+
+std::uint64_t NwsServer::repl_lag() const noexcept {
+  if (repl_end_ == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    total += repl_end_[k].load(std::memory_order_acquire);
+  }
+  const std::scoped_lock lock(repl_mu_);
+  std::uint64_t lag = 0;
+  for (const auto& link : links_) {
+    std::uint64_t acked = 0;
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      acked += link->acked[k].load(std::memory_order_acquire);
+    }
+    lag = std::max(lag, total - std::min(total, acked));
+  }
+  return lag;
+}
+
+void NwsServer::save_meta() {
+  if (meta_path_.empty()) return;
+  ReplMetaState state;
+  state.epoch = epoch_.load(std::memory_order_acquire);
+  const std::size_t n = shards_.size();
+  state.watermarks.resize(n);
+  std::uint64_t synced = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t k = 0; k < n; ++k) {
+    state.watermarks[k] = repl_end_[k].load(std::memory_order_acquire);
+    synced = std::min(synced, shard_synced_[k].load(std::memory_order_acquire));
+  }
+  state.synced_epoch = n != 0 ? synced : 0;
+  if (!save_repl_meta(meta_path_, state)) {
+    server_metrics().repl_meta_failures->inc();
+  }
+}
+
+void NwsServer::demote(std::uint64_t seen_epoch) {
+  store_max(max_seen_epoch_, seen_epoch);
+  store_max(epoch_, seen_epoch);
+  if (is_primary_.exchange(false, std::memory_order_acq_rel)) {
+    server_metrics().role->set(0.0);
+  }
+  // Senders notice !is_primary_ / the epoch change and wind down; they are
+  // joined at the next promote()/stop() (demote runs ON a sender thread,
+  // so it must not join here).
+  repl_cv_.notify_all();
+  ack_cv_.notify_all();
+}
+
+std::uint64_t NwsServer::promote() {
+  const std::scoped_lock admin(repl_admin_mu_);
+  if (is_primary_.load(std::memory_order_acquire)) {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  const obs::TraceSpan span("server.promote");
+  stop_replication();  // join any senders left over from a past primacy
+  const std::uint64_t e =
+      std::max(epoch_.load(std::memory_order_acquire),
+               max_seen_epoch_.load(std::memory_order_acquire)) +
+      1;
+  epoch_.store(e, std::memory_order_release);
+  store_max(max_seen_epoch_, e);
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const std::scoped_lock lock(shards_[k]->mu);
+    if (shards_[k]->repl_log != nullptr) {
+      // Adopt the applied watermark as the commit index: our log restarts
+      // there and any follower behind it resyncs via snapshot.
+      shards_[k]->repl_log->reset_base(
+          repl_end_[k].load(std::memory_order_acquire));
+    }
+    shards_[k]->snap_active = false;
+    shard_synced_[k].store(e, std::memory_order_release);
+  }
+  is_primary_.store(true, std::memory_order_release);
+  ++promotions_;
+  server_metrics().promotions->inc();
+  server_metrics().role->set(1.0);
+  save_meta();
+  start_replication();
+  return e;
+}
+
+void NwsServer::start_replication() {
+  // Caller holds repl_admin_mu_.
+  if (follower_endpoints_.empty() ||
+      !is_primary_.load(std::memory_order_acquire)) {
+    return;
+  }
+  repl_stop_.store(false, std::memory_order_release);
+  {
+    const std::scoped_lock lock(repl_mu_);
+    for (const ReplEndpoint& ep : follower_endpoints_) {
+      auto link = std::make_unique<FollowerLink>();
+      link->endpoint = ep;
+      link->acked =
+          std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
+      for (std::size_t k = 0; k < shards_.size(); ++k) {
+        link->acked[k].store(0, std::memory_order_relaxed);
+      }
+      links_.push_back(std::move(link));
+    }
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    links_[i]->thread = std::thread(&NwsServer::repl_sender_loop, this, i);
+  }
+}
+
+void NwsServer::stop_replication() {
+  // Caller holds repl_admin_mu_.
+  repl_stop_.store(true, std::memory_order_release);
+  repl_cv_.notify_all();
+  ack_cv_.notify_all();
+  for (auto& link : links_) {
+    if (link->thread.joinable()) link->thread.join();
+  }
+  {
+    const std::scoped_lock lock(repl_mu_);
+    links_.clear();
+  }
+  repl_stop_.store(false, std::memory_order_release);
+}
+
+bool NwsServer::wait_repl_acked(std::size_t k, std::uint64_t target) {
+  std::unique_lock lock(repl_mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(cfg_.repl_sync_timeout_ms);
+  const auto done = [&] {
+    if (repl_stop_.load(std::memory_order_acquire) ||
+        !is_primary_.load(std::memory_order_acquire)) {
+      return true;  // resolved below: stopping/demoted is NOT success
+    }
+    for (const auto& link : links_) {
+      if (link->acked[k].load(std::memory_order_acquire) < target) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!ack_cv_.wait_until(lock, deadline, done)) return false;
+  return !repl_stop_.load(std::memory_order_acquire) &&
+         is_primary_.load(std::memory_order_acquire);
+}
+
+void NwsServer::failover_monitor_loop() {
+  const int tick = std::clamp(cfg_.failover_ms / 4, 5, 100);
+  while (running_.load() && !is_primary_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(tick));
+    if (!running_.load() || is_primary_.load(std::memory_order_acquire)) {
+      break;
+    }
+    const std::int64_t last = last_repl_ms_.load(std::memory_order_acquire);
+    if (steady_ms() - last >= cfg_.failover_ms) {
+      promote();
+      break;
+    }
+  }
+}
+
+void NwsServer::execute_repl_hello(const Request& req, std::string& out) {
+  if (!repl_enabled_) {
+    append_error(out, "replication disabled");
+    return;
+  }
+  note_repl_activity();
+  store_max(max_seen_epoch_, req.epoch);
+  const std::uint64_t my = epoch_.load(std::memory_order_acquire);
+  if (req.epoch < my ||
+      (req.epoch == my && is_primary_.load(std::memory_order_acquire))) {
+    // An equal epoch from another primary is split-brain: the receiver
+    // stays primary and the sender demotes itself on this reply.
+    ++fenced_;
+    server_metrics().repl_fenced->inc();
+    append_error(out, "stale_epoch");
+    out += ' ';
+    append_unsigned(out, my);
+    return;
+  }
+  if (req.shard != shard_count()) {
+    append_error(out, "shard_mismatch");
+    out += ' ';
+    append_unsigned(out, shard_count());
+    return;
+  }
+  if (req.epoch > my) demote(req.epoch);
+  {
+    const std::scoped_lock lock(hint_mu_);
+    primary_hint_ = req.endpoint;
+  }
+  const std::size_t n = shards_.size();
+  std::vector<std::uint64_t> watermarks(n);
+  std::uint64_t synced = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t k = 0; k < n; ++k) {
+    watermarks[k] = repl_end_[k].load(std::memory_order_acquire);
+    synced = std::min(synced, shard_synced_[k].load(std::memory_order_acquire));
+  }
+  append_repl_hello_response(out, epoch_.load(std::memory_order_acquire),
+                             n != 0 ? synced : 0, watermarks);
+}
+
+/// Shared epoch gate for BATCH/RESET.  Returns false after appending the
+/// fencing error; adopts a higher epoch (demoting a primary receiver).
+bool NwsServer::repl_gate(const Request& req, std::string& out) {
+  if (!repl_enabled_) {
+    append_error(out, "replication disabled");
+    return false;
+  }
+  note_repl_activity();
+  store_max(max_seen_epoch_, req.epoch);
+  const std::uint64_t my = epoch_.load(std::memory_order_acquire);
+  if (req.epoch < my ||
+      (req.epoch == my && is_primary_.load(std::memory_order_acquire))) {
+    ++fenced_;
+    server_metrics().repl_fenced->inc();
+    append_error(out, "stale_epoch");
+    out += ' ';
+    append_unsigned(out, my);
+    return false;
+  }
+  if (req.epoch > my) demote(req.epoch);
+  if (req.shard >= shard_count()) {
+    append_error(out, "shard_mismatch");
+    out += ' ';
+    append_unsigned(out, shard_count());
+    return false;
+  }
+  return true;
+}
+
+void NwsServer::execute_repl_batch(const Request& req, std::string& out) {
+  if (!repl_gate(req, out)) return;
+  ServerMetrics& m = server_metrics();
+  const auto k = static_cast<std::size_t>(req.shard);
+  std::uint64_t watermark = 0;
+  std::uint64_t applied = 0;
+  bool advanced = false;
+  {
+    const obs::TraceSpan span("repl.apply");
+    const std::scoped_lock lock(shards_[k]->mu);
+    watermark = repl_end_[k].load(std::memory_order_relaxed);
+    if (!req.repl.empty()) {
+      if (shard_synced_[k].load(std::memory_order_relaxed) != req.epoch ||
+          req.seq > watermark) {
+        m.repl_gaps->inc();
+        append_error(out, "gap");
+        out += ' ';
+        append_unsigned(out, watermark);
+        return;
+      }
+      if (req.seq + req.repl.size() > watermark) {
+        ForecastService& svc = service_.shard(k);
+        for (std::size_t i = static_cast<std::size_t>(watermark - req.seq);
+             i < req.repl.size(); ++i) {
+          const ReplSample& s = req.repl[i];
+          const SeriesStore* store = svc.memory().find(s.series);
+          // Quiet time-dedup for re-delivered overlap (a crash between
+          // journal commit and meta save re-streams a tail): letting
+          // record() reject them would pollute the `dropped` counter and
+          // break byte-identity with the primary's STATS.
+          const bool dup = store != nullptr && !store->empty() &&
+                           s.measurement.time <= store->newest().time;
+          if (dup) continue;
+          const bool is_new = store == nullptr;
+          if (svc.record(s.series, s.measurement)) {
+            ++applied;
+            if (is_new) total_series_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        watermark = req.seq + req.repl.size();
+        repl_end_[k].store(watermark, std::memory_order_release);
+        service_.commit(k);
+        advanced = true;
+      }
+    }
+  }
+  if (advanced) {
+    // Durability order: journal commit (above, under the lock) before the
+    // cursor — a crash between the two resumes behind and re-dedups.
+    save_meta();
+    m.repl_applied->inc(applied);
+  }
+  const FaultAction fault = fault_check(FaultSite::kReplAck);
+  if (fault.kind == FaultAction::Kind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+  }
+  m.repl_acks->inc();
+  append_repl_ack(out, watermark);
+}
+
+void NwsServer::execute_repl_reset(const Request& req, std::string& out) {
+  if (!repl_gate(req, out)) return;
+  ServerMetrics& m = server_metrics();
+  const auto k = static_cast<std::size_t>(req.shard);
+  bool sealed = false;
+  std::uint64_t next = 0;
+  {
+    const obs::TraceSpan span("repl.apply");
+    const std::scoped_lock lock(shards_[k]->mu);
+    ShardState& sh = *shards_[k];
+    ForecastService& svc = service_.shard(k);
+    if (!sh.snap_active || req.seq != sh.snap_expect) {
+      // (Re)started snapshot: drop the shard's state and adopt the
+      // primary's absolute indexing from this chunk on.
+      total_series_.fetch_sub(svc.series_count(), std::memory_order_relaxed);
+      svc.reset();
+      sh.applied_seq.clear();
+      sh.snap_active = true;
+      sh.snap_expect = req.seq;
+      m.repl_snapshots->inc();
+    }
+    for (const ReplSample& s : req.repl) {
+      const bool is_new = !svc.memory().contains(s.series);
+      if (svc.record(s.series, s.measurement) && is_new) {
+        total_series_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    m.repl_applied->inc(req.repl.size());
+    sh.snap_expect = req.seq + req.repl.size();
+    next = sh.snap_expect;
+    if (req.repl_remaining == 0) {
+      sh.snap_active = false;
+      repl_end_[k].store(next, std::memory_order_release);
+      shard_synced_[k].store(req.epoch, std::memory_order_release);
+      sealed = true;
+    }
+    service_.commit(k);
+  }
+  if (sealed) save_meta();
+  const FaultAction fault = fault_check(FaultSite::kReplAck);
+  if (fault.kind == FaultAction::Kind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+  }
+  m.repl_acks->inc();
+  append_repl_ack(out, next);
+}
+
+void NwsServer::repl_sender_loop(std::size_t link) {
+  FollowerLink& fl = *links_[link];
+  ClientConfig cc;
+  cc.binary = true;
+  cc.connect_timeout_ms = 1000;
+  cc.io_timeout_ms = std::max(cfg_.repl_sync_timeout_ms, 1000);
+  int backoff_ms = 10;
+  while (!repl_stop_.load(std::memory_order_acquire) &&
+         is_primary_.load(std::memory_order_acquire)) {
+    NwsClient client(cc);
+    if (!client.connect(fl.endpoint.port)) {
+      std::unique_lock lock(repl_mu_);
+      repl_cv_.wait_for(lock, std::chrono::milliseconds(backoff_ms), [&] {
+        return repl_stop_.load(std::memory_order_acquire);
+      });
+      backoff_ms = std::min(backoff_ms * 2, 500);
+      continue;
+    }
+    backoff_ms = 10;
+    const obs::TraceSpan span("repl.stream");
+    (void)repl_sender_session(link, client);
+  }
+}
+
+bool NwsServer::repl_sender_session(std::size_t link, NwsClient& client) {
+  FollowerLink& fl = *links_[link];
+  ServerMetrics& m = server_metrics();
+  const std::uint64_t my_epoch = epoch_.load(std::memory_order_acquire);
+  const std::size_t n = shards_.size();
+
+  Request req;
+  req.kind = RequestKind::kReplHello;
+  req.epoch = my_epoch;
+  req.shard = static_cast<std::uint32_t>(n);
+  req.endpoint = advertised_endpoint();
+  const auto hello_resp = client.request(req);
+  if (!hello_resp) return false;
+  if (const auto stale = parse_stale_epoch(*hello_resp)) {
+    demote(*stale);
+    return false;
+  }
+  const auto hello = parse_repl_hello_response(*hello_resp);
+  if (!hello || hello->watermarks.size() != n) return false;
+  if (hello->epoch > my_epoch) {
+    demote(hello->epoch);
+    return false;
+  }
+
+  // Per-shard stream position = the follower's applied watermark; shards
+  // synced under an older epoch (or fallen off the log window) restart
+  // with a snapshot.
+  std::vector<std::uint64_t> pos(hello->watermarks);
+  std::vector<char> need_snap(n, hello->synced_epoch != my_epoch ? 1 : 0);
+
+  std::uint64_t seen_gen = 0;
+  {
+    const std::scoped_lock lock(repl_mu_);
+    seen_gen = repl_gen_;
+  }
+
+  std::vector<ReplSample> batch;
+  while (!repl_stop_.load(std::memory_order_acquire) &&
+         is_primary_.load(std::memory_order_acquire) &&
+         epoch_.load(std::memory_order_acquire) == my_epoch) {
+    bool progressed = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      {
+        const std::scoped_lock lock(shards_[k]->mu);
+        if (!shards_[k]->repl_log->contains(pos[k])) need_snap[k] = 1;
+      }
+      if (need_snap[k] != 0) {
+        if (!repl_send_snapshot(link, k, client, pos[k])) return false;
+        need_snap[k] = 0;
+        fl.acked[k].store(pos[k], std::memory_order_release);
+        ack_cv_.notify_all();
+        progressed = true;
+      }
+      for (;;) {
+        if (repl_stop_.load(std::memory_order_acquire)) return true;
+        {
+          const std::scoped_lock lock(shards_[k]->mu);
+          if (!shards_[k]->repl_log->contains(pos[k])) {
+            need_snap[k] = 1;
+            break;
+          }
+          shards_[k]->repl_log->copy_from(pos[k], cfg_.repl_batch_max, batch);
+        }
+        if (batch.empty()) break;
+        if (fault_check(FaultSite::kReplStream).kind ==
+            FaultAction::Kind::kReset) {
+          return false;  // injected stream loss: reconnect and resume
+        }
+        req.kind = RequestKind::kReplBatch;
+        req.epoch = my_epoch;
+        req.shard = static_cast<std::uint32_t>(k);
+        req.seq = pos[k];
+        req.repl = batch;
+        const auto ack = client.request(req);
+        if (!ack) return false;
+        if (const auto stale = parse_stale_epoch(*ack)) {
+          demote(*stale);
+          return false;
+        }
+        if (const auto w = parse_repl_ack(*ack)) {
+          m.repl_streamed->inc(batch.size());
+          pos[k] = std::max(*w, pos[k]);
+          fl.acked[k].store(pos[k], std::memory_order_release);
+          ack_cv_.notify_all();
+          progressed = true;
+          continue;
+        }
+        // "ERR gap <w>" (or anything unexpected): resync this shard.
+        need_snap[k] = 1;
+        break;
+      }
+    }
+    if (progressed) {
+      const std::scoped_lock lock(repl_mu_);
+      seen_gen = repl_gen_;
+      continue;
+    }
+    bool work = false;
+    {
+      std::unique_lock lock(repl_mu_);
+      work = repl_cv_.wait_for(
+          lock, std::chrono::milliseconds(cfg_.repl_heartbeat_ms), [&] {
+            return repl_gen_ != seen_gen ||
+                   repl_stop_.load(std::memory_order_acquire);
+          });
+      seen_gen = repl_gen_;
+    }
+    if (!work) {
+      // Idle heartbeat: keeps the follower's failover timer fed.
+      if (fault_check(FaultSite::kReplStream).kind ==
+          FaultAction::Kind::kReset) {
+        return false;
+      }
+      req.kind = RequestKind::kReplBatch;
+      req.epoch = my_epoch;
+      req.shard = 0;
+      req.seq = pos[0];
+      req.repl.clear();
+      const auto ack = client.request(req);
+      if (!ack) return false;
+      if (const auto stale = parse_stale_epoch(*ack)) {
+        demote(*stale);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool NwsServer::repl_send_snapshot(std::size_t link, std::size_t k,
+                                   NwsClient& client, std::uint64_t& pos) {
+  FollowerLink& fl = *links_[link];
+  (void)fl;
+  server_metrics().repl_snapshots->inc();
+  // One bounded copy under the shard lock: the retained window is capped
+  // by memory_capacity per series.  Chunks are indexed so the final chunk
+  // seals the follower's watermark at the shard's commit index (evicted
+  // history is not re-streamed; see the counter-fidelity caveat in
+  // DESIGN.md §11).
+  std::vector<ReplSample> records;
+  std::uint64_t log_end = 0;
+  {
+    const std::scoped_lock lock(shards_[k]->mu);
+    const ForecastService& svc = service_.shard(k);
+    log_end = shards_[k]->repl_log->end();
+    for (const std::string& name : svc.memory().series_names()) {
+      const SeriesStore* store = svc.memory().find(name);
+      for (std::size_t i = 0; i < store->size(); ++i) {
+        records.push_back(ReplSample{name, store->at(i)});
+      }
+    }
+  }
+  const std::uint64_t first = log_end - records.size();
+  const std::uint64_t my_epoch = epoch_.load(std::memory_order_acquire);
+  Request req;
+  std::size_t off = 0;
+  do {
+    const std::size_t count =
+        std::min(cfg_.repl_batch_max, records.size() - off);
+    if (fault_check(FaultSite::kReplStream).kind ==
+        FaultAction::Kind::kReset) {
+      return false;
+    }
+    req.kind = RequestKind::kReplReset;
+    req.epoch = my_epoch;
+    req.shard = static_cast<std::uint32_t>(k);
+    req.seq = first + off;
+    req.repl_remaining = records.size() - off - count;
+    req.repl.assign(records.begin() + static_cast<std::ptrdiff_t>(off),
+                    records.begin() + static_cast<std::ptrdiff_t>(off + count));
+    const auto ack = client.request(req);
+    if (!ack) return false;
+    if (const auto stale = parse_stale_epoch(*ack)) {
+      demote(*stale);
+      return false;
+    }
+    if (!parse_repl_ack(*ack)) return false;
+    off += count;
+  } while (off < records.size());
+  pos = log_end;
+  return true;
+}
 
 }  // namespace nws

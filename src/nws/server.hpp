@@ -73,16 +73,25 @@
 #include <vector>
 
 #include "nws/protocol.hpp"
+#include "nws/replication.hpp"
 #include "nws/sharded_service.hpp"
 #include "obs/metrics.hpp"
 
 namespace nws {
+
+class NwsClient;
 
 /// Event-loop backend for the dispatcher thread.  kAuto resolves the
 /// NWSCPU_NET_BACKEND environment variable ("poll" or "epoll"); unset
 /// defaults to epoll, whose readiness lists are O(ready) instead of the
 /// poll backend's O(connections) pollfd rebuild per iteration.
 enum class NetBackend { kAuto, kPoll, kEpoll };
+
+/// Replication role at construction.  A follower applies the primary's
+/// REPL stream into its standby service and rejects client writes with
+/// "ERR not_primary <endpoint>"; PROMOTE (or the failover timer) turns it
+/// into a primary at a higher epoch.  See DESIGN.md §11.
+enum class ServerRole { kPrimary, kFollower };
 
 struct ServerConfig {
   std::size_t memory_capacity = 8192;  ///< per-series measurement retention
@@ -112,6 +121,37 @@ struct ServerConfig {
   /// epoll).  Both backends serve the identical protocol: responses are
   /// byte-identical whichever one is selected.
   NetBackend net_backend = NetBackend::kAuto;
+
+  // --- Replication & failover (DESIGN.md §11) ---------------------------
+  /// Role at construction (a follower can be promoted at runtime).
+  ServerRole role = ServerRole::kPrimary;
+  /// Comma-separated follower endpoints a primary streams to: "7002" or
+  /// "host:7003" entries.  Empty = the NWSCPU_REPL_FOLLOWERS environment
+  /// variable; replication is off when both are empty.
+  std::string repl_followers;
+  /// Follower auto-failover: promote after this long (ms) without any
+  /// replication traffic from the primary.  0 = the NWSCPU_FAILOVER_MS
+  /// environment variable; never when both are unset.
+  int failover_ms = 0;
+  /// Primary: heartbeat period (ms) on an idle replication stream — the
+  /// follower's failover timer measures silence against this.
+  int repl_heartbeat_ms = 50;
+  /// Records per REPL BATCH / RESET chunk (bounds frame size).
+  std::size_t repl_batch_max = 512;
+  /// Per-shard in-core replication log capacity (records).  A follower
+  /// lagging past this window is resynced with a snapshot instead.
+  std::size_t repl_log_capacity = 65536;
+  /// Synchronous replication: a write is acked to the client only once
+  /// every follower acked it (bounded by repl_sync_timeout_ms, after
+  /// which the client sees "ERR repl_timeout" and its outbox retries —
+  /// with it, an acked write provably survives the primary's death).
+  bool repl_sync = false;
+  int repl_sync_timeout_ms = 2000;
+  /// Back-off hint carried in "ERR busy retry_after_ms=<n>" replies.
+  int busy_retry_ms = 100;
+  /// Endpoint advertised to followers for the not_primary redirect
+  /// ("host:port"); empty = 127.0.0.1:<bound port> once start() binds.
+  std::string advertise;
 };
 
 class NwsServer {
@@ -173,6 +213,39 @@ class NwsServer {
     return dropped_.load();
   }
 
+  /// Promotes this server to primary: bumps the epoch past every epoch
+  /// ever seen (fencing the old primary), adopts the applied watermarks
+  /// as the replication log base and starts streaming to the configured
+  /// followers.  Idempotent on a primary.  Returns the (possibly new)
+  /// epoch.  Also reachable through the PROMOTE admin verb.
+  std::uint64_t promote();
+
+  /// True while this server accepts client writes.
+  [[nodiscard]] bool is_primary() const noexcept {
+    return is_primary_.load(std::memory_order_acquire);
+  }
+  /// Current replication epoch (monotonic across promotions).
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Promotions performed (0 on a never-promoted server).
+  [[nodiscard]] std::uint64_t promotions() const noexcept {
+    return promotions_.load();
+  }
+  /// Client writes rejected with "ERR not_primary".
+  [[nodiscard]] std::uint64_t writes_redirected() const noexcept {
+    return not_primary_.load();
+  }
+  /// Replication requests fenced with "ERR stale_epoch".
+  [[nodiscard]] std::uint64_t repl_fenced() const noexcept {
+    return fenced_.load();
+  }
+  /// Records committed locally but not yet acked by the slowest follower
+  /// (0 without followers).
+  [[nodiscard]] std::uint64_t repl_lag() const noexcept;
+  /// Last known primary endpoint ("host:port", or "-" when unknown).
+  [[nodiscard]] std::string primary_hint() const;
+
   /// The underlying sharded service (measurements recovered from the
   /// journal, journal write failures, ...).
   [[nodiscard]] const ShardedForecastService& service() const noexcept {
@@ -224,9 +297,26 @@ class NwsServer {
     /// Highest PUTS/PUTB sequence applied per series (in-core fast path;
     /// the timestamp check covers restarts).
     std::unordered_map<std::string, std::uint64_t> applied_seq;
+    /// Primary: in-core tail of this shard's committed records (guarded by
+    /// mu; null when replication is disabled).  Indices equal the shard's
+    /// total appended count, so a watermark doubles as an applied total.
+    std::unique_ptr<ReplLog> repl_log;
+    /// Follower: next expected REPL RESET chunk index + whether a snapshot
+    /// transfer is in progress (guarded by mu).
+    std::uint64_t snap_expect = 0;
+    bool snap_active = false;
     std::mutex qmu;
     std::condition_variable qcv;
     std::deque<Task> queue;
+  };
+
+  /// One follower a primary streams to (sender thread + its ack state).
+  struct FollowerLink {
+    ReplEndpoint endpoint;
+    std::thread thread;
+    /// Per-shard records acked by this follower (read by the sync-wait
+    /// and lag paths without the shard lock).
+    std::unique_ptr<std::atomic<std::uint64_t>[]> acked;
   };
 
   void serve_poll();
@@ -283,6 +373,39 @@ class NwsServer {
   /// Event-wait timeout honouring idle expiry; -1 = block indefinitely.
   [[nodiscard]] int wait_timeout_ms() const noexcept;
 
+  // --- Replication (DESIGN.md §11) --------------------------------------
+  void execute_repl_hello(const Request& req, std::string& out);
+  /// Shared BATCH/RESET admission: epoch fencing + shard bounds.  False
+  /// after appending the error reply.
+  [[nodiscard]] bool repl_gate(const Request& req, std::string& out);
+  void execute_repl_batch(const Request& req, std::string& out);
+  void execute_repl_reset(const Request& req, std::string& out);
+  /// Streams to one follower until stop or demotion: connect, HELLO,
+  /// per-shard snapshot/resume, then batches + heartbeats.
+  void repl_sender_loop(std::size_t link);
+  /// One connected session; false = disconnect and retry with backoff.
+  bool repl_sender_session(std::size_t link, NwsClient& client);
+  /// Transfers shard k as chunked REPL RESET frames; advances the
+  /// follower's position/acks to the shard's log end on success.
+  bool repl_send_snapshot(std::size_t link, std::size_t k, NwsClient& client,
+                          std::uint64_t& pos);
+  /// Follower auto-failover: promote after failover_ms of stream silence.
+  void failover_monitor_loop();
+  void start_replication();
+  void stop_replication();
+  /// Steps aside after observing a higher epoch: stops accepting writes
+  /// (the epoch is adopted so our own stale stream fences itself).
+  void demote(std::uint64_t seen_epoch);
+  /// repl_sync: waits until every follower acked shard k through
+  /// `target`; false on timeout (the client retries via its outbox).
+  [[nodiscard]] bool wait_repl_acked(std::size_t k, std::uint64_t target);
+  /// Stamps the failover timer on any replication traffic.
+  void note_repl_activity() noexcept;
+  /// Persists the follower's {epoch, synced, watermarks} cursor (no-op
+  /// without a journal path).
+  void save_meta();
+  [[nodiscard]] std::string advertised_endpoint() const;
+
   ServerConfig cfg_;
   ShardedForecastService service_;
   std::vector<std::unique_ptr<ShardState>> shards_;
@@ -314,6 +437,41 @@ class NwsServer {
   /// watch for writability, or a finished/dead connection to reap.
   std::mutex attention_mu_;
   std::vector<ConnPtr> attention_;
+
+  // --- Replication state (DESIGN.md §11) --------------------------------
+  std::atomic<bool> is_primary_{true};
+  std::atomic<std::uint64_t> epoch_{1};
+  /// Highest epoch ever observed in replication traffic (promote bumps
+  /// past it, so a promoted epoch always fences every stream ever seen).
+  std::atomic<std::uint64_t> max_seen_epoch_{0};
+  std::atomic<std::uint64_t> promotions_{0};
+  std::atomic<std::uint64_t> fenced_{0};
+  std::atomic<std::uint64_t> not_primary_{0};
+  /// Per-shard committed/applied record totals (the watermark), mirrored
+  /// for lock-free lag and sync-wait reads; canonical under the shard mu.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> repl_end_;
+  /// Per-shard epoch the shard last synced under (follower side; a
+  /// primary's shards are synced under its own epoch by definition).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> shard_synced_;
+  bool repl_enabled_ = false;  ///< log appends + REPL machinery on
+  std::vector<ReplEndpoint> follower_endpoints_;
+  std::vector<std::unique_ptr<FollowerLink>> links_;
+  std::atomic<bool> repl_stop_{false};
+  /// Serialises promote / start_replication / stop_replication against
+  /// each other (a failover-timer promote can race stop()).
+  std::mutex repl_admin_mu_;
+  /// Wakes senders on new commits (repl_gen_) and sync-waiters on acks;
+  /// also guards links_ mutation (mutable: repl_lag() is const).
+  mutable std::mutex repl_mu_;
+  std::condition_variable repl_cv_;
+  std::condition_variable ack_cv_;
+  std::uint64_t repl_gen_ = 0;
+  /// steady_clock ms of the last REPL request seen (failover timer).
+  std::atomic<std::int64_t> last_repl_ms_{0};
+  std::thread failover_thread_;
+  mutable std::mutex hint_mu_;
+  std::string primary_hint_;  ///< last known primary ("" = unknown)
+  std::filesystem::path meta_path_;  ///< follower cursor file ("" = none)
 };
 
 }  // namespace nws

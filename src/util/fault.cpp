@@ -19,7 +19,8 @@ std::array<obs::Counter*, kFaultSiteCount>& fault_fired_counters() {
   static auto* counters = [] {
     auto* c = new std::array<obs::Counter*, kFaultSiteCount>();
     static constexpr std::array<const char*, kFaultSiteCount> kLabels = {
-        "server_read", "server_respond", "disk_write"};
+        "server_read", "server_respond", "disk_write", "repl_stream",
+        "repl_ack"};
     for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
       (*c)[i] = &obs::registry().counter(
           std::string("nws_fault_fired_total{site=\"") + kLabels[i] + "\"}",
@@ -73,6 +74,17 @@ FaultAction FaultInjector::decide(FaultSite site) noexcept {
     case FaultSite::kDiskWrite:
       if (s.rng.chance(profile_.disk_fail_prob)) {
         action.kind = FaultAction::Kind::kFail;
+      }
+      break;
+    case FaultSite::kReplStream:
+      if (s.rng.chance(profile_.repl_drop_prob)) {
+        action.kind = FaultAction::Kind::kReset;
+      }
+      break;
+    case FaultSite::kReplAck:
+      if (s.rng.chance(profile_.repl_ack_delay_prob)) {
+        action.kind = FaultAction::Kind::kDelay;
+        action.delay_ms = profile_.delay_ms;
       }
       break;
   }

@@ -27,19 +27,23 @@ namespace nws {
 
 /// Where a fault can strike.  kServerRead is consulted once per successful
 /// recv(), kServerRespond once per response line, kDiskWrite once per
-/// journal append.
+/// journal append, kReplStream once per replication batch a primary is
+/// about to send, kReplAck once per replication batch a follower is about
+/// to acknowledge.
 enum class FaultSite : std::size_t {
   kServerRead = 0,
   kServerRespond = 1,
   kDiskWrite = 2,
+  kReplStream = 3,
+  kReplAck = 4,
 };
-inline constexpr std::size_t kFaultSiteCount = 3;
+inline constexpr std::size_t kFaultSiteCount = 5;
 
 struct FaultAction {
   enum class Kind {
     kNone,      ///< proceed normally
-    kReset,     ///< kServerRead: drop the connection as if the peer vanished
-    kDelay,     ///< kServerRespond: stall delay_ms before answering
+    kReset,     ///< kServerRead/kReplStream: drop the connection mid-flight
+    kDelay,     ///< kServerRespond/kReplAck: stall delay_ms before answering
     kTruncate,  ///< kServerRespond: send a partial response, then reset
     kGarbage,   ///< kServerRespond: answer with protocol garbage
     kFail,      ///< kDiskWrite: the write is lost
@@ -56,6 +60,9 @@ struct FaultProfile {
   double truncate_prob = 0.0;   ///< kServerRespond -> kTruncate
   double garbage_prob = 0.0;    ///< kServerRespond -> kGarbage
   double disk_fail_prob = 0.0;  ///< kDiskWrite -> kFail
+  double repl_drop_prob = 0.0;  ///< kReplStream -> kReset (stream torn down)
+  /// kReplAck -> kDelay (follower acks stall by delay_ms).
+  double repl_ack_delay_prob = 0.0;
 };
 
 class FaultInjector {

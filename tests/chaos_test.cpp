@@ -55,7 +55,8 @@ std::vector<Measurement> make_measurements(std::size_t n) {
 /// Registry-side fired-fault counters, indexed like FaultSite.
 std::array<std::uint64_t, kFaultSiteCount> fault_counter_values() {
   static constexpr std::array<const char*, kFaultSiteCount> kSites = {
-      "server_read", "server_respond", "disk_write"};
+      "server_read", "server_respond", "disk_write", "repl_stream",
+      "repl_ack"};
   std::array<std::uint64_t, kFaultSiteCount> values{};
   for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
     values[i] = obs::registry()
@@ -193,6 +194,10 @@ class ChaosPipeline : public ::testing::Test {
               injector.faults(FaultSite::kServerRespond));
     EXPECT_EQ(fired_after[2] - fired_before[2],
               injector.faults(FaultSite::kDiskWrite));
+    EXPECT_EQ(fired_after[3] - fired_before[3],
+              injector.faults(FaultSite::kReplStream));
+    EXPECT_EQ(fired_after[4] - fired_before[4],
+              injector.faults(FaultSite::kReplAck));
     return forecast.value_or(ForecastReply{});
   }
 
@@ -262,6 +267,103 @@ TEST_F(ChaosPipeline, EventLoopBackendsConvergeIdenticallyUnderFaults) {
     EXPECT_DOUBLE_EQ(actual.last_time, expected.last_time);
     EXPECT_EQ(actual.method, expected.method);
   }
+}
+
+TEST_F(ChaosPipeline, ReplicatedFailoverExactlyOnceUnderFaults) {
+  // The headline robustness claim of the replication PR: the primary is
+  // killed mid-burst with faults firing on every site — connection
+  // resets, stalled/truncated/garbage responses, dropped replication
+  // batches, delayed replication acks — the follower is promoted, the
+  // reliable client walks its endpoint list through the not_primary
+  // redirect, and when the dust settles the promoted follower serves the
+  // exact fault-free state: same forecast (1.000x MAE), byte-identical
+  // VALUES and per-series STATS, zero lost or duplicated samples.
+  const auto ms = make_measurements(160);
+  shards_ = 2;
+  const ForecastReply expected = reference_run(ms);
+
+  // Byte-level reference state, kept alive for VALUES/STATS comparison.
+  NwsServer ref(server_config("failover_ref.journal"));
+  for (const Measurement& m : ms) {
+    Request put;
+    put.kind = RequestKind::kPut;
+    put.series = kSeries;
+    put.measurement = m;
+    ASSERT_EQ(ref.handle_line(format_request(put)), "OK");
+  }
+
+  ServerConfig fcfg = server_config("failover_follower.journal");
+  fcfg.role = ServerRole::kFollower;
+  fcfg.repl_heartbeat_ms = 10;
+  NwsServer follower(fcfg);
+  const std::uint16_t fport = follower.start(0);
+  ASSERT_NE(fport, 0);
+
+  ServerConfig pcfg = server_config("failover_primary.journal");
+  pcfg.repl_followers = std::to_string(fport);
+  pcfg.repl_heartbeat_ms = 10;
+  pcfg.repl_sync = true;  // an acked write provably survives the kill
+  auto primary = std::make_unique<NwsServer>(pcfg);
+  const std::uint16_t pport = primary->start(0);
+  ASSERT_NE(pport, 0);
+
+  FaultProfile profile;
+  profile.reset_prob = 0.05;
+  profile.delay_prob = 0.04;
+  profile.delay_ms = 10;
+  profile.truncate_prob = 0.04;
+  profile.garbage_prob = 0.03;
+  profile.repl_drop_prob = 0.06;
+  profile.repl_ack_delay_prob = 0.06;
+  FaultInjector injector(chaos_seed(), profile);
+
+  ClientConfig ccfg = fast_client_config();
+  ccfg.io_timeout_ms = 500;  // sync-replicated acks ride fault delays too
+  ccfg.endpoints = {pport, fport};
+  NwsClient client(ccfg);
+  ASSERT_TRUE(client.connect(pport));
+
+  install_fault_injector(&injector);
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    if (i == ms.size() / 2) {
+      // The primary dies mid-burst and the follower is promoted (the
+      // silence-triggered path is pinned in replication_test; promoting
+      // explicitly keeps this run deterministic).  The client is never
+      // told: its next flush walks the endpoint list, eats the
+      // not_primary redirect, and replays the outbox.
+      primary->stop();
+      primary.reset();
+      ASSERT_EQ(follower.handle_line("PROMOTE"), "OK 2");
+    }
+    EXPECT_TRUE(client.put_reliable(kSeries, ms[i]));
+    if (i % 8 == 0) (void)client.flush();
+  }
+  install_fault_injector(nullptr);
+  bool drained = false;
+  for (int i = 0; i < 20 && !drained; ++i) drained = client.flush();
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(client.outbox_size(), 0u);
+  EXPECT_EQ(client.outbox_overflows(), 0u);
+  EXPECT_GT(injector.total_faults(), 100u)
+      << "failover burst injected too few faults to mean anything";
+
+  const auto forecast = client.forecast(kSeries);
+  ASSERT_TRUE(forecast.has_value());
+  EXPECT_DOUBLE_EQ(forecast ? forecast->value : 0.0, expected.value);
+  EXPECT_DOUBLE_EQ(forecast ? forecast->mae : 0.0, expected.mae);
+  EXPECT_DOUBLE_EQ(forecast ? forecast->mse : 0.0, expected.mse);
+  EXPECT_EQ(forecast ? forecast->history : 0, ms.size());
+  EXPECT_DOUBLE_EQ(forecast ? forecast->last_time : 0.0, expected.last_time);
+
+  // Byte-identical series state on the promoted follower.
+  const std::string values_cmd = std::string("VALUES ") + kSeries + " 2048";
+  EXPECT_EQ(follower.handle_line(values_cmd), ref.handle_line(values_cmd));
+  const std::string stats_cmd = std::string("STATS ") + kSeries;
+  EXPECT_EQ(follower.handle_line(stats_cmd), ref.handle_line(stats_cmd));
+  EXPECT_TRUE(follower.is_primary());
+  EXPECT_EQ(follower.epoch(), 2u);
+
+  follower.stop();
 }
 
 TEST_F(ChaosPipeline, SameSeedSameOutcome) {

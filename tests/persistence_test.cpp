@@ -8,6 +8,7 @@
 
 #include "experiments/fleet_config.hpp"
 #include "nws/persistence.hpp"
+#include "nws/server.hpp"
 
 namespace nws {
 namespace {
@@ -213,6 +214,71 @@ TEST_F(JournalDir, RecoveredStateMatchesInCoreState) {
     EXPECT_DOUBLE_EQ(recovered[i].second.time, live[i].second.time);
     EXPECT_DOUBLE_EQ(recovered[i].second.value, live[i].second.value);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Follower durability: the replication cursor (journal + .replmeta) must
+// let a restarted follower resume mid-stream from its high-watermark with
+// no duplicate applies — the server-side half of exactly-once.
+
+TEST_F(JournalDir, FollowerRestartResumesFromHighWatermark) {
+  ServerConfig cfg;
+  cfg.role = ServerRole::kFollower;
+  cfg.shards = 1;
+  cfg.journal_path = journal_;
+  {
+    NwsServer f(cfg);
+    ASSERT_EQ(f.handle_line("REPL HELLO 2 1 127.0.0.1:9001"), "OK 2 0 1 0");
+    ASSERT_EQ(f.handle_line("REPL RESET 2 0 0 0 0"), "OK 0");
+    ASSERT_EQ(f.handle_line("REPL BATCH 2 0 0 2 a 1 0.5 b 1 0.4"), "OK 2");
+    ASSERT_EQ(f.handle_line("REPL BATCH 2 0 2 1 a 2 0.6"), "OK 3");
+  }  // "crash" mid-stream: journal and replmeta survive
+
+  NwsServer f(cfg);
+  // The cursor came back: epoch and watermark survived the restart, so
+  // the handshake tells the primary to resume at 3, not resnapshot.
+  EXPECT_EQ(f.epoch(), 2u);
+  EXPECT_EQ(f.handle_line("REPL HELLO 2 1 127.0.0.1:9001"), "OK 2 2 1 3");
+
+  // The primary replays the tail it never saw acked — the overlap is
+  // re-acked without re-applying (appended stays 3, dropped stays 0).
+  EXPECT_EQ(f.handle_line("REPL BATCH 2 0 0 3 a 1 0.5 b 1 0.4 a 2 0.6"),
+            "OK 3");
+  EXPECT_EQ(f.handle_line("REPL BATCH 2 0 3 1 b 2 0.7"), "OK 4");
+  EXPECT_EQ(f.handle_line("STATS"),
+            "OK 2 4 4 0 0 role=follower epoch=2 repl_lag=0");
+  EXPECT_EQ(f.handle_line("VALUES a 10"), "OK 2 1 0.5 2 0.6");
+  EXPECT_EQ(f.handle_line("VALUES b 10"), "OK 2 1 0.4 2 0.7");
+
+  // A batch past the watermark is still a gap after restart.
+  EXPECT_EQ(f.handle_line("REPL BATCH 2 0 9 1 a 9 0.9"), "ERR gap 4");
+}
+
+TEST_F(JournalDir, TornReplMetaForcesResyncNotCorruption) {
+  ServerConfig cfg;
+  cfg.role = ServerRole::kFollower;
+  cfg.shards = 1;
+  cfg.journal_path = journal_;
+  {
+    NwsServer f(cfg);
+    ASSERT_EQ(f.handle_line("REPL HELLO 3 1 -"), "OK 3 0 1 0");
+    ASSERT_EQ(f.handle_line("REPL RESET 3 0 0 0 1 a 1 0.5"), "OK 1");
+  }
+  // Tear the cursor file as a mid-write crash would.
+  const fs::path meta = journal_.string() + ".replmeta";
+  {
+    std::ofstream out(meta, std::ios::trunc);
+    out << "replmeta 3 3 1";  // missing watermark and end marker
+  }
+  NwsServer f(cfg);
+  // No cursor: the follower reports epoch 0 / watermark 0 and the primary
+  // resnapshots — conservative, never wrong.
+  EXPECT_EQ(f.epoch(), 0u);
+  EXPECT_EQ(f.handle_line("REPL HELLO 3 1 -"), "OK 3 0 1 0");
+  // But the journaled samples themselves recovered fine.
+  const auto stats = parse_stats_response(f.handle_line("STATS"));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->appended, 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -714,8 +714,10 @@ TEST(Server, ShedsNewSeriesWithBusyWhenFull) {
   NwsServer server(cfg);
   EXPECT_EQ(server.handle_line("PUT a 0 0.1"), "OK");
   EXPECT_EQ(server.handle_line("PUT b 0 0.2"), "OK");
-  EXPECT_EQ(server.handle_line("PUT c 0 0.3"), "ERR busy");
-  EXPECT_EQ(server.handle_line("PUTS c 1 0 0.3"), "ERR busy");
+  EXPECT_EQ(server.handle_line("PUT c 0 0.3"),
+            "ERR busy retry_after_ms=100");
+  EXPECT_EQ(server.handle_line("PUTS c 1 0 0.3"),
+            "ERR busy retry_after_ms=100");
   // Existing series keep working at capacity.
   EXPECT_EQ(server.handle_line("PUT a 10 0.4"), "OK");
   EXPECT_EQ(server.shed_busy(), 2u);
@@ -1276,6 +1278,262 @@ TEST(BinaryFraming, RandomPayloadsNeverCrashTheDecoder) {
     }
     (void)parse_binary_request(mutated, out);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Replication verbs (REPL HELLO / BATCH / RESET, PROMOTE): text and binary
+// forms, the failover reply helpers, and fuzz over the handshake/batch
+// frames — a hostile or corrupted peer must draw ERR, never a crash or a
+// desynced session.
+
+TEST(ReplProtocol, TextFormsRoundTripThroughTheFormatter) {
+  const auto hello = parse_request("REPL HELLO 7 4 10.0.0.2:7002");
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->kind, RequestKind::kReplHello);
+  EXPECT_EQ(hello->epoch, 7u);
+  EXPECT_EQ(hello->shard, 4u);  // shard COUNT in HELLO
+  EXPECT_EQ(hello->endpoint, "10.0.0.2:7002");
+  EXPECT_EQ(format_request(*hello), "REPL HELLO 7 4 10.0.0.2:7002");
+
+  const std::string batch_line = "REPL BATCH 7 2 40 2 a/cpu 1.5 0.25 b 2 0.5";
+  const auto batch = parse_request(batch_line);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->kind, RequestKind::kReplBatch);
+  EXPECT_EQ(batch->epoch, 7u);
+  EXPECT_EQ(batch->shard, 2u);
+  EXPECT_EQ(batch->seq, 40u);  // absolute first index
+  ASSERT_EQ(batch->repl.size(), 2u);
+  EXPECT_EQ(batch->repl[0].series, "a/cpu");
+  EXPECT_DOUBLE_EQ(batch->repl[0].measurement.time, 1.5);
+  EXPECT_DOUBLE_EQ(batch->repl[0].measurement.value, 0.25);
+  EXPECT_EQ(batch->repl[1].series, "b");
+  EXPECT_DOUBLE_EQ(batch->repl[1].measurement.value, 0.5);
+  EXPECT_EQ(format_request(*batch), batch_line);
+
+  // Heartbeat: a zero-record batch is just a watermark probe.
+  const auto beat = parse_request("REPL BATCH 7 0 40 0");
+  ASSERT_TRUE(beat.has_value());
+  EXPECT_TRUE(beat->repl.empty());
+  EXPECT_EQ(format_request(*beat), "REPL BATCH 7 0 40 0");
+
+  const std::string reset_line = "REPL RESET 7 1 10 3 1 s 1 0.5";
+  const auto reset = parse_request(reset_line);
+  ASSERT_TRUE(reset.has_value());
+  EXPECT_EQ(reset->kind, RequestKind::kReplReset);
+  EXPECT_EQ(reset->seq, 10u);            // chunk start
+  EXPECT_EQ(reset->repl_remaining, 3u);  // records after this chunk
+  ASSERT_EQ(reset->repl.size(), 1u);
+  EXPECT_EQ(format_request(*reset), reset_line);
+
+  const auto promote = parse_request("PROMOTE");
+  ASSERT_TRUE(promote.has_value());
+  EXPECT_EQ(promote->kind, RequestKind::kPromote);
+  EXPECT_EQ(format_request(*promote), "PROMOTE");
+}
+
+TEST(ReplProtocol, MalformedReplLinesRejected) {
+  for (const char* line : {
+           "REPL",                                //
+           "REPL HELLO",                          //
+           "REPL HELLO 7",                        //
+           "REPL HELLO 7 4",                      //
+           "REPL HELLO x 4 -",                    //
+           "REPL HELLO 7 y -",                    //
+           "REPL HELLO 7 4 - extra",              //
+           "REPL BATCH",                          //
+           "REPL BATCH 7 0 40",                   //
+           "REPL BATCH 7 0 40 2 a 1 0.5",         // count says 2, carries 1
+           "REPL BATCH 7 0 40 1 a 1 0.5 b 2 1",   // count says 1, carries 2
+           "REPL BATCH 7 0 40 1 a one 0.5",       //
+           "REPL RESET 7 0 10",                   //
+           "REPL RESET 7 0 10 3",                 //
+           "REPL RESET 7 0 10 3 1 s 1",           //
+           "REPL FLUSH 7 0",                      // unknown subverb
+           "PROMOTE now",                         //
+       }) {
+    EXPECT_FALSE(parse_request(line).has_value()) << line;
+  }
+}
+
+TEST(ReplProtocol, FailoverReplyHelpersRoundTrip) {
+  std::string wire;
+  append_repl_hello_response(wire, 5, 4, {3, 0, 9});
+  EXPECT_EQ(wire, "OK 5 4 3 3 0 9");
+  const auto hello = parse_repl_hello_response(wire);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->epoch, 5u);
+  EXPECT_EQ(hello->synced_epoch, 4u);
+  EXPECT_EQ(hello->watermarks, (std::vector<std::uint64_t>{3, 0, 9}));
+  EXPECT_FALSE(parse_repl_hello_response("ERR stale_epoch 9").has_value());
+  EXPECT_FALSE(parse_repl_hello_response("OK 5 4 3 3 0").has_value());
+  EXPECT_FALSE(parse_repl_hello_response("OK 5 4").has_value());
+
+  wire.clear();
+  append_repl_ack(wire, 17);
+  EXPECT_EQ(wire, "OK 17");
+  EXPECT_EQ(parse_repl_ack("OK 17").value_or(0), 17u);
+  EXPECT_FALSE(parse_repl_ack("ERR gap 3").has_value());
+  EXPECT_FALSE(parse_repl_ack("OK").has_value());
+
+  EXPECT_EQ(parse_not_primary("ERR not_primary 127.0.0.1:7002").value_or(1),
+            7002u);
+  EXPECT_EQ(parse_not_primary("ERR not_primary -").value_or(1), 0u);
+  EXPECT_FALSE(parse_not_primary("ERR busy").has_value());
+  EXPECT_FALSE(parse_not_primary("OK").has_value());
+
+  EXPECT_EQ(parse_retry_after_ms("ERR busy retry_after_ms=250").value_or(0),
+            250);
+  EXPECT_FALSE(parse_retry_after_ms("ERR busy").has_value());
+  EXPECT_FALSE(parse_retry_after_ms("OK").has_value());
+
+  EXPECT_EQ(parse_stale_epoch("ERR stale_epoch 12").value_or(0), 12u);
+  EXPECT_FALSE(parse_stale_epoch("ERR gap 12").has_value());
+  EXPECT_FALSE(parse_stale_epoch("OK 12").has_value());
+}
+
+TEST(ReplProtocol, StatsSuffixParsesNewAndOldForms) {
+  std::string wire;
+  append_stats_response(wire, 3, 120, 130, 10, 7);
+  append_stats_repl_suffix(wire, "follower", 4, 2);
+  EXPECT_EQ(wire, "OK 3 120 130 10 7 role=follower epoch=4 repl_lag=2");
+  const auto parsed = parse_stats_response(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->series, 3u);
+  EXPECT_EQ(parsed->replay_skipped, 7u);
+  EXPECT_EQ(parsed->role, "follower");
+  EXPECT_EQ(parsed->epoch, 4u);
+  EXPECT_EQ(parsed->repl_lag, 2u);
+
+  // A pre-failover server's reply parses with the defaults.
+  const auto old_form = parse_stats_response("OK 3 120 130 10 7");
+  ASSERT_TRUE(old_form.has_value());
+  EXPECT_TRUE(old_form->role.empty());
+  EXPECT_EQ(old_form->epoch, 0u);
+  EXPECT_EQ(old_form->repl_lag, 0u);
+
+  // Unknown trailing key=value tokens are future servers, not errors; a
+  // bare trailing token is a malformed reply.
+  EXPECT_TRUE(
+      parse_stats_response("OK 1 1 1 0 0 role=primary epoch=1 repl_lag=0 x=9")
+          .has_value());
+  EXPECT_FALSE(parse_stats_response("OK 1 1 1 0 0 role").has_value());
+}
+
+TEST(ReplProtocol, BinaryFormsRoundTripAndMatchTextParsing) {
+  std::vector<Request> requests;
+  {
+    Request r;
+    r.kind = RequestKind::kReplHello;
+    r.epoch = 7;
+    r.shard = 4;
+    r.endpoint = "10.0.0.2:7002";
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kReplBatch;
+    r.epoch = 7;
+    r.shard = 2;
+    r.seq = 40;
+    r.repl = {{"a/cpu", {1.5, 0.25}}, {"b", {2.0, 0.5}}};
+    requests.push_back(r);
+  }
+  {
+    Request r;  // heartbeat
+    r.kind = RequestKind::kReplBatch;
+    r.epoch = 7;
+    r.seq = 40;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kReplReset;
+    r.epoch = 7;
+    r.shard = 1;
+    r.seq = 10;
+    r.repl_remaining = 3;
+    r.repl = {{"s", {1.0, 0.5}}};
+    requests.push_back(r);
+  }
+  for (const Request& req : requests) {
+    const auto back = binary_round_trip(req);
+    ASSERT_TRUE(back.has_value()) << format_request(req);
+    // The text form is the parity oracle: both framings must parse to
+    // requests with identical wire text.
+    EXPECT_EQ(format_request(*back), format_request(req));
+  }
+}
+
+TEST(ReplProtocol, FuzzedReplLinesNeverCrashOrDesyncTheSession) {
+  ServerConfig cfg;
+  cfg.role = ServerRole::kFollower;
+  cfg.shards = 1;
+  NwsServer follower(cfg);
+  ASSERT_EQ(follower.handle_line("REPL HELLO 2 1 -"), "OK 2 0 1 0");
+  ASSERT_EQ(follower.handle_line("REPL RESET 2 0 0 0 0"), "OK 0");
+
+  const std::vector<std::string> seeds = {
+      "REPL HELLO 2 1 127.0.0.1:7001",
+      "REPL BATCH 2 0 0 2 a 1 0.5 b 1 0.4",
+      "REPL RESET 2 0 0 1 1 s 1 0.5",
+  };
+  Rng rng(20260808);
+  for (int i = 0; i < 4000; ++i) {
+    std::string line = seeds[rng.below(seeds.size())];
+    if (rng.chance(0.5)) {
+      line = line.substr(0, rng.below(line.size() + 1));  // truncate
+    } else {
+      const std::size_t flips = rng.below(4) + 1;  // mutate bytes
+      for (std::size_t f = 0; f < flips && !line.empty(); ++f) {
+        line[rng.below(line.size())] = static_cast<char>(rng.below(256));
+      }
+    }
+    const std::string reply = follower.handle_line(line);
+    ASSERT_TRUE(reply.rfind("OK", 0) == 0 || reply.rfind("ERR", 0) == 0)
+        << "line " << i << " drew unframed reply: " << reply;
+  }
+  // The session survived: STATS still parses and a fresh handshake (at an
+  // epoch above anything the fuzz could have adopted) still answers.
+  EXPECT_TRUE(parse_stats_response(follower.handle_line("STATS")).has_value());
+  const auto hello = parse_repl_hello_response(
+      follower.handle_line("REPL HELLO 99999999999 1 -"));
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->epoch, 99999999999u);
+}
+
+TEST(ReplProtocol, FuzzedReplBinaryFramesNeverCrashTheDecoder) {
+  Request seed;
+  seed.kind = RequestKind::kReplBatch;
+  seed.epoch = 3;
+  seed.shard = 1;
+  seed.seq = 12;
+  seed.repl = {{"mut/cpu", {1.0, 0.25}}, {"mut/cpu", {2.0, 0.5}}};
+  std::string wire;
+  append_binary_request(wire, seed);
+  std::size_t frame_end = 0;
+  std::string_view payload_view;
+  ASSERT_EQ(extract_binary_frame(wire, 1 << 20, frame_end, payload_view),
+            BinFrameStatus::kFrame);
+  const std::string base(payload_view);
+
+  Rng rng(424242);
+  Request out;
+  for (int i = 0; i < 20000; ++i) {
+    std::string mutated = base;
+    if (rng.chance(0.4)) {
+      mutated = mutated.substr(0, rng.below(mutated.size() + 1));
+    } else {
+      const std::size_t flips = rng.below(4) + 1;
+      for (std::size_t f = 0; f < flips && !mutated.empty(); ++f) {
+        mutated[rng.below(mutated.size())] =
+            static_cast<char>(rng.below(256));
+      }
+    }
+    (void)parse_binary_request(mutated, out);  // must never crash/over-read
+  }
+  // And the unmutated frame still decodes to the seed.
+  ASSERT_TRUE(parse_binary_request(base, out));
+  EXPECT_EQ(format_request(out), format_request(seed));
 }
 
 }  // namespace

@@ -1,0 +1,560 @@
+// Replicated journal streaming, live failover and the exactly-once client
+// redirect (DESIGN.md §11).
+//
+// Deterministic units (ReplLog, the replmeta cursor file, endpoint lists,
+// socket-free REPL verb handling through handle_line) plus live two-server
+// scenarios: stream + state parity, snapshot resync of a lagging follower,
+// PROMOTE fencing a stale primary, the follower's failover timer, and the
+// reliable client walking its endpoint list across a promotion without
+// losing or duplicating a sample.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nws/client.hpp"
+#include "nws/replication.hpp"
+#include "nws/server.hpp"
+#include "obs/metrics.hpp"
+
+namespace nws {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+bool wait_for(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+// ---------------------------------------------------------------------------
+// ReplLog
+
+TEST(ReplLog, AppendsWithAbsoluteIndicesAndEvictsOldest) {
+  ReplLog log(3);
+  EXPECT_EQ(log.start(), 0u);
+  EXPECT_EQ(log.end(), 0u);
+  EXPECT_TRUE(log.contains(0));   // resume-at-end needs no snapshot
+  EXPECT_FALSE(log.contains(1));  // beyond the end does
+
+  for (int i = 0; i < 5; ++i) {
+    log.append("s", Measurement{static_cast<double>(i), 0.5});
+  }
+  EXPECT_EQ(log.start(), 2u);  // two evicted
+  EXPECT_EQ(log.end(), 5u);
+  EXPECT_FALSE(log.contains(1));
+  EXPECT_TRUE(log.contains(2));
+  EXPECT_TRUE(log.contains(5));
+  EXPECT_FALSE(log.contains(6));
+
+  std::vector<ReplSample> out;
+  EXPECT_EQ(log.copy_from(3, 10, out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].measurement.time, 3.0);
+  EXPECT_DOUBLE_EQ(out[1].measurement.time, 4.0);
+  EXPECT_EQ(log.copy_from(5, 10, out), 0u);  // nothing past the end
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(log.copy_from(2, 1, out), 1u);  // max bounds the copy
+  EXPECT_DOUBLE_EQ(out[0].measurement.time, 2.0);
+}
+
+TEST(ReplLog, ResetBaseRestartsIndexing) {
+  ReplLog log(8);
+  log.append("s", Measurement{1.0, 0.1});
+  log.reset_base(42);
+  EXPECT_EQ(log.start(), 42u);
+  EXPECT_EQ(log.end(), 42u);
+  EXPECT_FALSE(log.contains(41));
+  EXPECT_TRUE(log.contains(42));
+  log.append("s", Measurement{2.0, 0.2});
+  EXPECT_EQ(log.end(), 43u);
+}
+
+// ---------------------------------------------------------------------------
+// Replication meta (the follower's durable cursor)
+
+class ReplMetaFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = fs::temp_directory_path() /
+            ("nwscpu_replmeta_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove(path_, ec);
+    fs::remove(path_.string() + ".tmp", ec);
+  }
+  fs::path path_;
+};
+
+TEST_F(ReplMetaFile, RoundTripsEpochAndWatermarks) {
+  ReplMetaState state;
+  state.epoch = 7;
+  state.synced_epoch = 6;
+  state.watermarks = {12, 0, 99};
+  ASSERT_TRUE(save_repl_meta(path_, state));
+  const auto loaded = load_repl_meta(path_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 7u);
+  EXPECT_EQ(loaded->synced_epoch, 6u);
+  EXPECT_EQ(loaded->watermarks, state.watermarks);
+}
+
+TEST_F(ReplMetaFile, TornOrGarbageFilesReadAsAbsent) {
+  EXPECT_FALSE(load_repl_meta(path_).has_value());  // missing
+
+  ReplMetaState state;
+  state.epoch = 3;
+  state.synced_epoch = 3;
+  state.watermarks = {5, 5};
+  ASSERT_TRUE(save_repl_meta(path_, state));
+  // Tear the file: drop the trailing end-marker as a partial write would.
+  std::string text;
+  {
+    std::ifstream in(path_);
+    std::getline(in, text);
+  }
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    out << text.substr(0, text.size() - 4);
+  }
+  EXPECT_FALSE(load_repl_meta(path_).has_value());
+
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    out << "not a replmeta file\n";
+  }
+  EXPECT_FALSE(load_repl_meta(path_).has_value());
+}
+
+TEST(EndpointList, ParsesPortsHostsAndDropsGarbage) {
+  const auto list =
+      parse_endpoint_list(" 7002, example.org:7003 ,bad:port, :0,,8000 ");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].host, "127.0.0.1");
+  EXPECT_EQ(list[0].port, 7002);
+  EXPECT_EQ(list[1].host, "example.org");
+  EXPECT_EQ(list[1].port, 7003);
+  EXPECT_EQ(list[2].host, "127.0.0.1");
+  EXPECT_EQ(list[2].port, 8000);
+  EXPECT_EQ(list[1].to_string(), "example.org:7003");
+  EXPECT_TRUE(parse_endpoint_list("").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Socket-free REPL verb handling (handle_line is the protocol oracle)
+
+ServerConfig follower_config(std::size_t shards = 1) {
+  ServerConfig cfg;
+  cfg.role = ServerRole::kFollower;
+  cfg.shards = shards;
+  return cfg;
+}
+
+TEST(ReplVerbs, HelloBatchAndGapAnswers) {
+  NwsServer f(follower_config());
+  EXPECT_FALSE(f.is_primary());
+  EXPECT_EQ(f.epoch(), 0u);
+
+  // Handshake adopts the primary's epoch and reports zero watermarks.
+  EXPECT_EQ(f.handle_line("REPL HELLO 2 1 127.0.0.1:9001"), "OK 2 0 1 0");
+  EXPECT_EQ(f.epoch(), 2u);
+  EXPECT_EQ(f.primary_hint(), "127.0.0.1:9001");
+
+  // Shard-count mismatch is refused before any state changes.
+  EXPECT_EQ(f.handle_line("REPL HELLO 2 8 127.0.0.1:9001"),
+            "ERR shard_mismatch 1");
+
+  // A batch before the snapshot seal is a gap (synced_epoch != epoch).
+  EXPECT_EQ(f.handle_line("REPL BATCH 2 0 0 1 a 1 0.5"), "ERR gap 0");
+
+  // Empty snapshot seals the shard at watermark 0 under epoch 2.
+  EXPECT_EQ(f.handle_line("REPL RESET 2 0 0 0 0"), "OK 0");
+  EXPECT_EQ(f.handle_line("REPL BATCH 2 0 0 2 a 1 0.5 b 1 0.4"), "OK 2");
+  EXPECT_EQ(f.handle_line("REPL BATCH 2 0 2 1 a 2 0.6"), "OK 3");
+  // Heartbeat: no records, just the watermark.
+  EXPECT_EQ(f.handle_line("REPL BATCH 2 0 3 0"), "OK 3");
+  // A gap ahead of the watermark reports where to resume.
+  EXPECT_EQ(f.handle_line("REPL BATCH 2 0 9 1 a 9 0.9"), "ERR gap 3");
+  // Overlapping redelivery re-acks without re-applying (see STATS below).
+  EXPECT_EQ(f.handle_line("REPL BATCH 2 0 0 3 a 1 0.5 b 1 0.4 a 2 0.6"),
+            "OK 3");
+
+  EXPECT_EQ(f.handle_line("STATS"),
+            "OK 2 3 3 0 0 role=follower epoch=2 repl_lag=0");
+  EXPECT_EQ(f.handle_line("VALUES a 10"), "OK 2 1 0.5 2 0.6");
+
+  // Stale epochs are fenced; newer epochs adopted.
+  EXPECT_EQ(f.handle_line("REPL BATCH 1 0 3 0"), "ERR stale_epoch 2");
+  EXPECT_EQ(f.repl_fenced(), 1u);
+  EXPECT_EQ(f.handle_line("REPL HELLO 5 1 127.0.0.1:9002"), "OK 5 2 1 3");
+  EXPECT_EQ(f.primary_hint(), "127.0.0.1:9002");
+}
+
+TEST(ReplVerbs, SnapshotReplacesStateAndSealsWatermark) {
+  NwsServer f(follower_config());
+  EXPECT_EQ(f.handle_line("REPL HELLO 3 1 -"), "OK 3 0 1 0");
+  // Chunked snapshot with absolute indices [5, 8): two chunks.
+  EXPECT_EQ(f.handle_line("REPL RESET 3 0 5 1 2 a 1 0.5 a 2 0.6"), "OK 7");
+  EXPECT_EQ(f.handle_line("REPL RESET 3 0 7 0 1 b 1 0.3"), "OK 8");
+  EXPECT_EQ(f.handle_line("REPL BATCH 3 0 8 1 b 2 0.4"), "OK 9");
+  EXPECT_EQ(f.handle_line("VALUES b 10"), "OK 2 1 0.3 2 0.4");
+
+  // A chunk that does not extend the snapshot in progress restarts it.
+  EXPECT_EQ(f.handle_line("REPL RESET 3 0 0 0 1 c 1 0.9"), "OK 1");
+  EXPECT_EQ(f.handle_line("VALUES a 10"), "ERR unknown series");
+  EXPECT_EQ(f.handle_line("VALUES c 10"), "OK 1 1 0.9");
+}
+
+TEST(ReplVerbs, FollowerRejectsClientWritesWithRedirect) {
+  NwsServer f(follower_config());
+  EXPECT_EQ(f.handle_line("PUT a 1 0.5"), "ERR not_primary -");
+  EXPECT_EQ(f.handle_line("REPL HELLO 2 1 127.0.0.1:9001"), "OK 2 0 1 0");
+  EXPECT_EQ(f.handle_line("PUTS a 1 1 0.5"),
+            "ERR not_primary 127.0.0.1:9001");
+  EXPECT_EQ(f.handle_line("PUTB a 1 1 1 0.5"),
+            "ERR not_primary 127.0.0.1:9001");
+  EXPECT_EQ(f.writes_redirected(), 3u);
+  // Reads still serve (a scheduler may consult a warm standby).
+  EXPECT_EQ(f.handle_line("SERIES"), "OK 0");
+}
+
+TEST(ReplVerbs, PromoteBumpsEpochPastEverySeenAndAcceptsWrites) {
+  NwsServer f(follower_config());
+  EXPECT_EQ(f.handle_line("REPL HELLO 7 1 127.0.0.1:9001"), "OK 7 0 1 0");
+  EXPECT_EQ(f.handle_line("REPL RESET 7 0 0 0 1 a 1 0.5"), "OK 1");
+  EXPECT_EQ(f.handle_line("PROMOTE"), "OK 8");
+  EXPECT_TRUE(f.is_primary());
+  EXPECT_EQ(f.promotions(), 1u);
+  EXPECT_EQ(f.handle_line("PROMOTE"), "OK 8");  // idempotent
+  EXPECT_EQ(f.promotions(), 1u);
+  EXPECT_EQ(f.handle_line("PUT a 2 0.6"), "OK");
+  // The fenced ex-primary's stream bounces off the higher epoch.
+  EXPECT_EQ(f.handle_line("REPL BATCH 7 0 1 1 a 3 0.7"),
+            "ERR stale_epoch 8");
+  EXPECT_EQ(f.handle_line("STATS"),
+            "OK 1 2 2 0 0 role=primary epoch=8 repl_lag=0");
+}
+
+TEST(ReplVerbs, DisabledWithoutConfigurationButPromoteStillAnswers) {
+  NwsServer plain(ServerConfig{});
+  EXPECT_EQ(plain.handle_line("REPL HELLO 9 1 x:1"),
+            "ERR replication disabled");
+  EXPECT_EQ(plain.handle_line("REPL BATCH 9 0 0 0"),
+            "ERR replication disabled");
+  // A fuzzer's huge epoch must not demote a standalone server.
+  EXPECT_TRUE(plain.is_primary());
+  EXPECT_EQ(plain.handle_line("PROMOTE"), "OK 1");  // already primary
+  EXPECT_EQ(plain.handle_line("PUT a 1 0.5"), "OK");
+}
+
+// ---------------------------------------------------------------------------
+// Live streaming between two servers
+
+class ReplicationLive : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::set_metrics_enabled(true); }
+
+  static ServerConfig base_config(std::size_t shards) {
+    ServerConfig cfg;
+    cfg.shards = shards;
+    cfg.repl_heartbeat_ms = 10;
+    return cfg;
+  }
+
+  /// STATS parity that ignores the role/epoch suffix (the promoted
+  /// follower's epoch legitimately differs from the old primary's).
+  static void expect_stats_parity(NwsServer& a, NwsServer& b) {
+    const auto sa = parse_stats_response(a.handle_line("STATS"));
+    const auto sb = parse_stats_response(b.handle_line("STATS"));
+    ASSERT_TRUE(sa.has_value());
+    ASSERT_TRUE(sb.has_value());
+    EXPECT_EQ(sa->series, sb->series);
+    EXPECT_EQ(sa->retained, sb->retained);
+    EXPECT_EQ(sa->appended, sb->appended);
+    EXPECT_EQ(sa->dropped, sb->dropped);
+  }
+};
+
+TEST_F(ReplicationLive, StreamsEveryShardAndServesIdenticalReads) {
+  const std::size_t kShards = 4;
+  NwsServer follower([&] {
+    ServerConfig cfg = base_config(kShards);
+    cfg.role = ServerRole::kFollower;
+    return cfg;
+  }());
+  const std::uint16_t fport = follower.start(0);
+  ASSERT_NE(fport, 0);
+
+  NwsServer primary([&] {
+    ServerConfig cfg = base_config(kShards);
+    cfg.repl_followers = std::to_string(fport);
+    return cfg;
+  }());
+  ASSERT_NE(primary.start(0), 0);
+
+  const std::vector<std::string> series = {"cpu/a", "cpu/b", "cpu/c",
+                                           "cpu/d", "cpu/e"};
+  std::size_t total = 0;
+  for (int t = 1; t <= 40; ++t) {
+    for (const std::string& s : series) {
+      const std::string line = "PUT " + s + " " + std::to_string(t) + " 0." +
+                               std::to_string((t * 7) % 10);
+      ASSERT_EQ(primary.handle_line(line), "OK");
+      ++total;
+    }
+  }
+  ASSERT_TRUE(wait_for([&] {
+    const auto stats = parse_stats_response(follower.handle_line("STATS"));
+    return stats && stats->appended == total;
+  })) << "follower never caught up";
+
+  EXPECT_EQ(follower.handle_line("SERIES"), primary.handle_line("SERIES"));
+  for (const std::string& s : series) {
+    EXPECT_EQ(follower.handle_line("VALUES " + s + " 64"),
+              primary.handle_line("VALUES " + s + " 64"));
+    EXPECT_EQ(follower.handle_line("FORECAST " + s),
+              primary.handle_line("FORECAST " + s));
+    EXPECT_EQ(follower.handle_line("STATS " + s),
+              primary.handle_line("STATS " + s));
+  }
+  expect_stats_parity(primary, follower);
+  EXPECT_EQ(follower.primary_hint(), "127.0.0.1:" +
+                                         std::to_string(primary.port()));
+  EXPECT_EQ(primary.repl_lag(), 0u);
+
+  primary.stop();
+  follower.stop();
+}
+
+TEST_F(ReplicationLive, LateFollowerResyncsViaSnapshotWhenLogEvicted) {
+  const std::size_t kShards = 2;
+  NwsServer follower([&] {
+    ServerConfig cfg = base_config(kShards);
+    cfg.role = ServerRole::kFollower;
+    return cfg;
+  }());
+  const std::uint16_t fport = follower.start(0);
+  ASSERT_NE(fport, 0);
+
+  // Tiny log: by the time the stream starts, the early indices are gone
+  // and only a snapshot can seed the follower.
+  NwsServer primary([&] {
+    ServerConfig cfg = base_config(kShards);
+    cfg.repl_log_capacity = 8;
+    cfg.repl_followers = std::to_string(fport);
+    return cfg;
+  }());
+  // Pre-load before the sender threads exist (handle_line needs no
+  // transport), so the log has evicted most of the history.
+  std::size_t total = 0;
+  for (int t = 1; t <= 50; ++t) {
+    ASSERT_EQ(primary.handle_line("PUT cpu/x " + std::to_string(t) + " 0.5"),
+              "OK");
+    ASSERT_EQ(primary.handle_line("PUT cpu/y " + std::to_string(t) + " 0.7"),
+              "OK");
+    total += 2;
+  }
+  ASSERT_NE(primary.start(0), 0);
+
+  ASSERT_TRUE(wait_for([&] {
+    const auto stats = parse_stats_response(follower.handle_line("STATS"));
+    return stats && stats->appended == total;
+  })) << "snapshot resync never completed";
+  EXPECT_EQ(follower.handle_line("VALUES cpu/x 64"),
+            primary.handle_line("VALUES cpu/x 64"));
+  EXPECT_EQ(follower.handle_line("VALUES cpu/y 64"),
+            primary.handle_line("VALUES cpu/y 64"));
+  EXPECT_EQ(follower.handle_line("SERIES"), primary.handle_line("SERIES"));
+
+  primary.stop();
+  follower.stop();
+}
+
+TEST_F(ReplicationLive, SyncReplicationAcksOnlyReplicatedWrites) {
+  NwsServer follower([&] {
+    ServerConfig cfg = base_config(1);
+    cfg.role = ServerRole::kFollower;
+    return cfg;
+  }());
+  const std::uint16_t fport = follower.start(0);
+  ASSERT_NE(fport, 0);
+
+  NwsServer primary([&] {
+    ServerConfig cfg = base_config(1);
+    cfg.repl_followers = std::to_string(fport);
+    cfg.repl_sync = true;
+    return cfg;
+  }());
+  ASSERT_NE(primary.start(0), 0);
+
+  // An acked synchronous write is on the follower the moment the ack
+  // returns — no wait_for needed.
+  ASSERT_EQ(primary.handle_line("PUT cpu/s 1 0.5"), "OK");
+  const auto stats = parse_stats_response(follower.handle_line("STATS"));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->appended, 1u);
+
+  primary.stop();
+  follower.stop();
+}
+
+TEST_F(ReplicationLive, FailoverTimerPromotesSilentFollower) {
+  NwsServer follower([&] {
+    ServerConfig cfg = base_config(1);
+    cfg.role = ServerRole::kFollower;
+    cfg.failover_ms = 80;
+    return cfg;
+  }());
+  ASSERT_NE(follower.start(0), 0);
+  EXPECT_FALSE(follower.is_primary());
+  // No primary ever speaks: the silence timer fires and the follower
+  // promotes itself.
+  EXPECT_TRUE(wait_for([&] { return follower.is_primary(); }, 5000));
+  EXPECT_EQ(follower.promotions(), 1u);
+  EXPECT_EQ(follower.handle_line("PUT a 1 0.5"), "OK");
+  follower.stop();
+}
+
+TEST_F(ReplicationLive, ReliableClientFollowsPromotionExactlyOnce) {
+  NwsServer follower([&] {
+    ServerConfig cfg = base_config(2);
+    cfg.role = ServerRole::kFollower;
+    return cfg;
+  }());
+  const std::uint16_t fport = follower.start(0);
+  ASSERT_NE(fport, 0);
+
+  auto primary = std::make_unique<NwsServer>([&] {
+    ServerConfig cfg = base_config(2);
+    cfg.repl_followers = std::to_string(fport);
+    cfg.repl_sync = true;  // acked writes provably survive the kill
+    return cfg;
+  }());
+  const std::uint16_t pport = primary->start(0);
+  ASSERT_NE(pport, 0);
+
+  ClientConfig ccfg;
+  ccfg.connect_timeout_ms = 500;
+  ccfg.io_timeout_ms = 500;
+  ccfg.max_flush_attempts = 20;
+  ccfg.backoff = BackoffConfig{5.0, 40.0, 2.0, 0.5};
+  ccfg.endpoints = {pport, fport};
+  NwsClient client(ccfg);
+  ASSERT_TRUE(client.connect(pport));
+
+  for (int t = 1; t <= 20; ++t) {
+    ASSERT_TRUE(client.put_reliable(
+        "cpu/f", Measurement{static_cast<double>(t), 0.5}));
+  }
+  ASSERT_TRUE(client.flush());
+
+  // Kill the primary mid-stream and promote the follower.
+  primary->stop();
+  primary.reset();
+  ASSERT_EQ(follower.handle_line("PROMOTE"), "OK 2");
+
+  for (int t = 21; t <= 40; ++t) {
+    (void)client.put_reliable("cpu/f",
+                              Measurement{static_cast<double>(t), 0.6});
+  }
+  bool drained = false;
+  for (int i = 0; i < 20 && !drained; ++i) drained = client.flush();
+  ASSERT_TRUE(drained);
+  EXPECT_EQ(client.outbox_overflows(), 0u);
+
+  // Exactly-once across the failover: all 40 samples, none twice.
+  const auto stats = parse_stats_response(follower.handle_line("STATS"));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->appended, 40u);
+  EXPECT_EQ(stats->dropped, 0u);
+  EXPECT_EQ(stats->role, "primary");
+  EXPECT_EQ(stats->epoch, 2u);
+
+  follower.stop();
+}
+
+TEST_F(ReplicationLive, DemotedPrimaryRedirectsToItsSuccessor) {
+  NwsServer follower([&] {
+    ServerConfig cfg = base_config(1);
+    cfg.role = ServerRole::kFollower;
+    return cfg;
+  }());
+  const std::uint16_t fport = follower.start(0);
+  ASSERT_NE(fport, 0);
+
+  NwsServer primary([&] {
+    ServerConfig cfg = base_config(1);
+    cfg.repl_followers = std::to_string(fport);
+    return cfg;
+  }());
+  ASSERT_NE(primary.start(0), 0);
+  ASSERT_EQ(primary.handle_line("PUT cpu/d 1 0.5"), "OK");
+  ASSERT_TRUE(wait_for([&] {
+    const auto stats = parse_stats_response(follower.handle_line("STATS"));
+    return stats && stats->appended == 1;
+  }));
+
+  // Promote the follower while the old primary still runs: its stream is
+  // fenced at the higher epoch and it steps down.
+  ASSERT_EQ(follower.handle_line("PROMOTE"), "OK 2");
+  EXPECT_TRUE(wait_for([&] { return !primary.is_primary(); }, 5000))
+      << "stale primary never demoted";
+  EXPECT_GE(follower.repl_fenced(), 1u);
+  EXPECT_GE(primary.epoch(), 2u);
+  const std::string reply = primary.handle_line("PUT cpu/d 2 0.6");
+  EXPECT_EQ(reply.rfind("ERR not_primary", 0), 0u) << reply;
+  EXPECT_GE(primary.writes_redirected(), 1u);
+
+  primary.stop();
+  follower.stop();
+}
+
+TEST_F(ReplicationLive, RebornPrimaryAtOldEpochIsFencedAtHandshake) {
+  // A promoted follower at a high epoch; a "reborn" primary comes back at
+  // epoch 1 believing it still leads.  Its very first handshake bounces
+  // off the fence and it demotes — stale-primary writes can never land.
+  NwsServer follower([&] {
+    ServerConfig cfg = base_config(1);
+    cfg.role = ServerRole::kFollower;
+    return cfg;
+  }());
+  ASSERT_EQ(follower.handle_line("REPL HELLO 5 1 -"), "OK 5 0 1 0");
+  ASSERT_EQ(follower.handle_line("PROMOTE"), "OK 6");
+  const std::uint16_t fport = follower.start(0);
+  ASSERT_NE(fport, 0);
+
+  NwsServer reborn([&] {
+    ServerConfig cfg = base_config(1);
+    cfg.repl_followers = std::to_string(fport);
+    return cfg;
+  }());
+  ASSERT_NE(reborn.start(0), 0);
+  EXPECT_TRUE(wait_for([&] { return !reborn.is_primary(); }, 5000))
+      << "reborn stale primary never demoted";
+  EXPECT_GE(follower.repl_fenced(), 1u);
+  EXPECT_GE(reborn.epoch(), 6u);
+  const std::string reply = reborn.handle_line("PUT cpu/r 1 0.5");
+  EXPECT_EQ(reply.rfind("ERR not_primary", 0), 0u) << reply;
+
+  reborn.stop();
+  follower.stop();
+}
+
+}  // namespace
+}  // namespace nws

@@ -272,7 +272,8 @@ TEST_F(ShardJournal, StatsSurfacesReplaySkippedAfterTornJournal) {
   NwsServer server(config(1));
   EXPECT_EQ(server.service().recovered(), 2u);
   EXPECT_EQ(server.service().replay_skipped(), 2u);
-  EXPECT_EQ(server.handle_line("STATS"), "OK 1 2 2 0 2");
+  EXPECT_EQ(server.handle_line("STATS"),
+            "OK 1 2 2 0 2 role=primary epoch=1 repl_lag=0");
   // The per-series form does not attribute replay damage.
   EXPECT_EQ(server.handle_line("STATS host/cpu"), "OK 1 2 2 0 0");
 }
@@ -356,14 +357,16 @@ TEST_F(ShardJournal, GroupCommitDurableAfterStop) {
 
 TEST(ShardStats, CountsDropsAndTotalsPerSeries) {
   NwsServer server;
-  EXPECT_EQ(server.handle_line("STATS"), "OK 0 0 0 0 0");
+  EXPECT_EQ(server.handle_line("STATS"),
+            "OK 0 0 0 0 0 role=primary epoch=1 repl_lag=0");
   EXPECT_EQ(server.handle_line("PUT host/cpu 10 0.5"), "OK");
   EXPECT_EQ(server.handle_line("PUT host/cpu 20 0.6"), "OK");
   EXPECT_EQ(server.handle_line("PUT host/cpu 15 0.7"),
             "ERR out-of-order measurement");
   EXPECT_EQ(server.handle_line("PUT other/cpu 10 0.5"), "OK");
   // series retained appended dropped
-  EXPECT_EQ(server.handle_line("STATS"), "OK 2 3 3 1 0");
+  EXPECT_EQ(server.handle_line("STATS"),
+            "OK 2 3 3 1 0 role=primary epoch=1 repl_lag=0");
   EXPECT_EQ(server.handle_line("STATS host/cpu"), "OK 1 2 2 1 0");
   EXPECT_EQ(server.handle_line("STATS other/cpu"), "OK 1 1 1 0 0");
   EXPECT_EQ(server.handle_line("STATS nobody/cpu"), "ERR unknown series");
