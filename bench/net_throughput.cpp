@@ -21,16 +21,33 @@
 // addresses across 127.0.0.x to dodge ephemeral-port exhaustion — one
 // loopback (src, dst) pair backs only ~28k tuples.
 //
+// Part 3 — router tier.  Stands up {1,2,4} single-shard NwsServer
+// backends behind one nws::Router and drives PUTB traffic through the
+// proxy in both framings, against a direct single-shard server baseline
+// at the same client count.  The headline is aggregate PUTB throughput
+// at 2 backends versus the direct server: on a multi-core host the two
+// backend processes run in parallel and the ratio should clear ~1.7x;
+// on a single core the cells still measure the router hop honestly (the
+// ratio degrades toward the proxy's added cost, and is reported as-is).
+//
+// Every cell in every part also reports p50/p99 request latency, taken
+// per round trip on the client side (scenario/router cells) or per
+// response against its send timestamp (sweep cells).
+//
 // Output: human-readable tables on stdout plus machine-readable
-// BENCH_net.json in NWSCPU_OUT (default bench_out/), including the
-// headline ratios the perf work is judged by: aggregate throughput at
-// 8 connections / 8 shards versus the single-connection single-shard
-// baseline (unbatched and batched), and binary-vs-text PUTB at 8c/8s.
+// BENCH_net.json and BENCH_router.json in NWSCPU_OUT (default
+// bench_out/), including the headline ratios the perf work is judged
+// by: aggregate throughput at 8 connections / 8 shards versus the
+// single-connection single-shard baseline (unbatched and batched),
+// binary-vs-text PUTB at 8c/8s, and routed-vs-direct PUTB at 2 backends.
 //
 // Knobs: NWSCPU_NET_MS (per-scenario duration, default 400),
 // NWSCPU_NET_BATCH (PUTB batch size, default 256), NWSCPU_NET_CONNS
 // (sweep sizes, default "1000,5000"), NWSCPU_NET_SWEEP_MS (per-cell
-// duration, default 300), NWSCPU_NET_BACKENDS.
+// duration, default 300), NWSCPU_NET_BACKENDS, NWSCPU_ROUTER_SWEEP
+// (router backend counts, default "1,2,4"), NWSCPU_ROUTER_CONNS
+// (clients per router cell, default 8), NWSCPU_ROUTER_MS (per-cell
+// duration, default NWSCPU_NET_MS).
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -40,14 +57,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <latch>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +75,7 @@
 #include "common/experiment_common.hpp"
 #include "nws/client.hpp"
 #include "nws/protocol.hpp"
+#include "nws/router.hpp"
 #include "nws/server.hpp"
 
 namespace {
@@ -89,6 +110,33 @@ std::vector<std::size_t> env_size_list(const char* name,
     pos = comma + 1;
   }
   return out;
+}
+
+/// Linear-interpolated percentile over an ascending-sorted sample vector.
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Merges per-thread latency vectors, sorts once, and fills (p50, p99).
+void merge_percentiles(std::vector<std::vector<double>>& shards, double& p50,
+                       double& p99) {
+  std::size_t total = 0;
+  for (const std::vector<double>& shard : shards) total += shard.size();
+  std::vector<double> all;
+  all.reserve(total);
+  for (std::vector<double>& shard : shards) {
+    all.insert(all.end(), shard.begin(), shard.end());
+    shard.clear();
+    shard.shrink_to_fit();
+  }
+  std::sort(all.begin(), all.end());
+  p50 = percentile_sorted(all, 0.50);
+  p99 = percentile_sorted(all, 0.99);
 }
 
 // ---------------------------------------------------------------------------
@@ -160,6 +208,8 @@ struct Result {
   std::uint64_t measurements = 0;  ///< samples applied across all clients
   std::uint64_t round_trips = 0;
   double seconds = 0.0;
+  double p50_us = 0.0;  ///< median round-trip latency, microseconds
+  double p99_us = 0.0;
 
   [[nodiscard]] double per_sec() const {
     return seconds > 0.0 ? static_cast<double>(measurements) / seconds : 0.0;
@@ -167,12 +217,13 @@ struct Result {
 };
 
 /// One client thread: drive `series` for `duration`, tallying applied
-/// measurements and round trips.
+/// measurements, round trips and per-round-trip latency samples (µs).
 void client_loop(std::uint16_t port, Mode mode, bool binary,
                  const std::string& series, std::size_t batch_size,
                  std::chrono::milliseconds duration, std::latch& ready,
                  std::atomic<std::uint64_t>& measurements,
-                 std::atomic<std::uint64_t>& round_trips) {
+                 std::atomic<std::uint64_t>& round_trips,
+                 std::vector<double>& latencies) {
   nws::ClientConfig cfg;
   cfg.binary = binary;
   nws::NwsClient client(cfg);
@@ -202,12 +253,23 @@ void client_loop(std::uint16_t port, Mode mode, bool binary,
   const Clock::time_point deadline = Clock::now() + duration;
   std::uint64_t local_meas = 0;
   std::uint64_t local_rtts = 0;
-  while (Clock::now() < deadline) {
+  // One steady_clock read per round trip: the previous round trip's end is
+  // the next one's start, so latency sampling adds no extra clock calls to
+  // the loop beyond what the deadline check already paid.
+  Clock::time_point now = Clock::now();
+  const auto lap_us = [&now, &latencies]() {
+    const Clock::time_point done = Clock::now();
+    latencies.push_back(
+        std::chrono::duration<double, std::micro>(done - now).count());
+    now = done;
+  };
+  while (now < deadline) {
     switch (mode) {
       case Mode::kPut: {
         t += 1.0;
         if (client.put(series, {t, next_value()})) ++local_meas;
         ++local_rtts;
+        lap_us();
         break;
       }
       case Mode::kPutBatch: {
@@ -219,6 +281,7 @@ void client_loop(std::uint16_t port, Mode mode, bool binary,
         seq += batch_size;
         if (reply) local_meas += reply->applied;
         ++local_rtts;
+        lap_us();
         break;
       }
       case Mode::kMixed: {
@@ -226,9 +289,11 @@ void client_loop(std::uint16_t port, Mode mode, bool binary,
           t += 1.0;
           if (client.put(series, {t, next_value()})) ++local_meas;
           ++local_rtts;
+          lap_us();
         }
         (void)client.forecast(series);
         ++local_rtts;
+        lap_us();
         break;
       }
       case Mode::kReplay: {
@@ -246,6 +311,7 @@ void client_loop(std::uint16_t port, Mode mode, bool binary,
         const auto reply = client.put_batch(series, batch, 1);
         if (reply) local_meas += reply->applied + reply->dup;
         ++local_rtts;
+        lap_us();
         break;
       }
     }
@@ -255,6 +321,43 @@ void client_loop(std::uint16_t port, Mode mode, bool binary,
   client.disconnect();
 }
 
+/// Shared client-fleet driver: `connections` threads of `client_loop`
+/// against `port`, latency-merged.  Part 1 scenarios and Part 3 router
+/// cells both funnel through here so their cells are measured identically.
+struct DriveStats {
+  std::uint64_t measurements = 0;
+  std::uint64_t round_trips = 0;
+  double seconds = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+DriveStats drive_clients(std::uint16_t port, Mode mode, bool binary,
+                         std::size_t connections, std::size_t batch_size,
+                         std::chrono::milliseconds duration) {
+  DriveStats stats;
+  std::atomic<std::uint64_t> measurements{0};
+  std::atomic<std::uint64_t> round_trips{0};
+  std::vector<std::vector<double>> latencies(connections);
+  std::latch ready(static_cast<std::ptrdiff_t>(connections) + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back(client_loop, port, mode, binary,
+                         "bench/host" + std::to_string(c) + "/cpu", batch_size,
+                         duration, std::ref(ready), std::ref(measurements),
+                         std::ref(round_trips), std::ref(latencies[c]));
+  }
+  ready.arrive_and_wait();
+  const Clock::time_point begin = Clock::now();
+  for (std::thread& thread : threads) thread.join();
+  stats.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
+  stats.measurements = measurements.load();
+  stats.round_trips = round_trips.load();
+  merge_percentiles(latencies, stats.p50_us, stats.p99_us);
+  return stats;
+}
+
 Result run_scenario(const Scenario& scenario, std::size_t default_batch,
                     std::chrono::milliseconds duration) {
   const std::size_t batch_size =
@@ -262,29 +365,20 @@ Result run_scenario(const Scenario& scenario, std::size_t default_batch,
   nws::ServerConfig config;
   config.shards = scenario.shards;
   nws::NwsServer server(config);
-  Result result{scenario, 0, 0, 0.0};
+  Result result{scenario};
   const std::uint16_t port = server.start(0);
   if (port == 0) {
     std::cerr << "net_throughput: cannot bind loopback listener\n";
     return result;
   }
-  std::atomic<std::uint64_t> measurements{0};
-  std::atomic<std::uint64_t> round_trips{0};
-  std::latch ready(static_cast<std::ptrdiff_t>(scenario.connections) + 1);
-  std::vector<std::thread> threads;
-  threads.reserve(scenario.connections);
-  for (std::size_t c = 0; c < scenario.connections; ++c) {
-    threads.emplace_back(client_loop, port, scenario.mode, scenario.binary,
-                         "bench/host" + std::to_string(c) + "/cpu",
-                         batch_size, duration, std::ref(ready),
-                         std::ref(measurements), std::ref(round_trips));
-  }
-  ready.arrive_and_wait();
-  const Clock::time_point begin = Clock::now();
-  for (std::thread& thread : threads) thread.join();
-  result.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
-  result.measurements = measurements.load();
-  result.round_trips = round_trips.load();
+  const DriveStats stats =
+      drive_clients(port, scenario.mode, scenario.binary,
+                    scenario.connections, batch_size, duration);
+  result.measurements = stats.measurements;
+  result.round_trips = stats.round_trips;
+  result.seconds = stats.seconds;
+  result.p50_us = stats.p50_us;
+  result.p99_us = stats.p99_us;
   server.stop();
   return result;
 }
@@ -304,6 +398,8 @@ struct SweepCell {
   std::uint64_t responses = 0;
   double seconds = 0.0;
   bool clamped = false;
+  double p50_us = 0.0;  ///< enqueue-to-response latency, microseconds
+  double p99_us = 0.0;
 
   [[nodiscard]] double per_sec() const {
     return seconds > 0.0 ? static_cast<double>(responses) / seconds : 0.0;
@@ -322,6 +418,11 @@ struct SweepConn {
   std::string tx;       ///< unsent request tail (short write)
   std::uint32_t inflight = 0;
   double t = 0.0;
+  /// Enqueue timestamps of in-flight requests, FIFO like the responses:
+  /// front pairs with the next response, giving client-perceived latency
+  /// (queueing in the driver included, which is the honest number under
+  /// pipelining).
+  std::deque<Clock::time_point> sent;
 };
 
 bool set_nonblocking(int fd) {
@@ -397,7 +498,8 @@ int open_sweep_conn(std::uint16_t port, std::size_t index, bool spread_src,
 void sweep_driver(std::vector<SweepConn>& conns, bool binary,
                   std::size_t series_base, std::latch& ready,
                   std::atomic<bool>& stop_flag,
-                  std::atomic<std::uint64_t>& responses) {
+                  std::atomic<std::uint64_t>& responses,
+                  std::vector<double>& latencies) {
   constexpr std::uint32_t kMaxInflight = 4;
   std::uint64_t local = 0;
   std::string wire;
@@ -423,6 +525,7 @@ void sweep_driver(std::vector<SweepConn>& conns, bool binary,
         }
         conn.tx = wire;
         ++conn.inflight;
+        conn.sent.push_back(Clock::now());
       }
       // 2) flush the tail (short writes roll to the next pass).
       if (!conn.tx.empty()) {
@@ -446,6 +549,17 @@ void sweep_driver(std::vector<SweepConn>& conns, bool binary,
           }
           break;
         }
+        const Clock::time_point got = Clock::now();
+        const auto complete_one = [&]() {
+          ++local;
+          if (conn.inflight > 0) --conn.inflight;
+          if (!conn.sent.empty()) {
+            latencies.push_back(std::chrono::duration<double, std::micro>(
+                                    got - conn.sent.front())
+                                    .count());
+            conn.sent.pop_front();
+          }
+        };
         if (binary) {
           conn.rx.append(chunk, static_cast<std::size_t>(n));
           std::size_t frame_end = 0;
@@ -454,15 +568,11 @@ void sweep_driver(std::vector<SweepConn>& conns, bool binary,
                                            payload) ==
                  nws::BinFrameStatus::kFrame) {
             conn.rx.erase(0, frame_end);
-            ++local;
-            if (conn.inflight > 0) --conn.inflight;
+            complete_one();
           }
         } else {
           for (ssize_t b = 0; b < n; ++b) {
-            if (chunk[b] == '\n') {
-              ++local;
-              if (conn.inflight > 0) --conn.inflight;
-            }
+            if (chunk[b] == '\n') complete_one();
           }
         }
       }
@@ -516,7 +626,7 @@ SweepCell run_sweep_cell(std::size_t requested, bool binary,
       cell.clamped = true;
       break;
     }
-    pools[i % drivers].push_back(SweepConn{fd, {}, {}, 0, 0.0});
+    pools[i % drivers].push_back(SweepConn{fd, {}, {}, 0, 0.0, {}});
     ++established;
   }
   cell.established = established;
@@ -528,13 +638,14 @@ SweepCell run_sweep_cell(std::size_t requested, bool binary,
   std::atomic<std::uint64_t> responses{0};
   std::atomic<bool> stop_flag{false};
   std::latch ready(static_cast<std::ptrdiff_t>(drivers) + 1);
+  std::vector<std::vector<double>> latencies(drivers);
   std::vector<std::thread> threads;
   threads.reserve(drivers);
   std::size_t series_base = 0;
   for (std::size_t d = 0; d < drivers; ++d) {
     threads.emplace_back(sweep_driver, std::ref(pools[d]), binary, series_base,
                          std::ref(ready), std::ref(stop_flag),
-                         std::ref(responses));
+                         std::ref(responses), std::ref(latencies[d]));
     series_base += pools[d].size();
   }
   ready.arrive_and_wait();
@@ -544,7 +655,88 @@ SweepCell run_sweep_cell(std::size_t requested, bool binary,
   for (std::thread& thread : threads) thread.join();
   cell.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
   cell.responses = responses.load();
+  merge_percentiles(latencies, cell.p50_us, cell.p99_us);
   server.stop();
+  return cell;
+}
+
+// ---------------------------------------------------------------------------
+// Part 3: router tier — N single-shard backends behind one nws::Router,
+// versus one direct single-shard server at the same client count.
+
+struct RouterCell {
+  std::size_t backends = 0;  ///< 0 = direct baseline (no router hop)
+  bool binary = false;
+  std::uint64_t measurements = 0;
+  std::uint64_t round_trips = 0;
+  double seconds = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+
+  [[nodiscard]] double per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(measurements) / seconds : 0.0;
+  }
+};
+
+/// One routed cell: fresh single-shard backends, a router in front, PUTB
+/// traffic from `connections` clients through the proxy.  Clients hash
+/// across distinct series, so the keyspace spreads over the ring and every
+/// backend takes a share of the write load.
+RouterCell run_router_cell(std::size_t backend_count, bool binary,
+                           std::size_t connections, std::size_t batch_size,
+                           std::chrono::milliseconds duration) {
+  RouterCell cell;
+  cell.backends = backend_count;
+  cell.binary = binary;
+  std::vector<std::unique_ptr<nws::NwsServer>> fleet;
+  std::string spec;
+  for (std::size_t b = 0; b < backend_count; ++b) {
+    nws::ServerConfig config;
+    config.shards = 1;
+    auto server = std::make_unique<nws::NwsServer>(config);
+    const std::uint16_t port = server->start(0);
+    if (port == 0) {
+      std::cerr << "net_throughput: cannot bind backend listener\n";
+      return cell;
+    }
+    if (!spec.empty()) spec += ',';
+    spec += std::to_string(port);
+    fleet.push_back(std::move(server));
+  }
+  nws::RouterConfig rcfg;
+  rcfg.backends = spec;
+  nws::Router router(rcfg);
+  if (!router.start(0)) {
+    std::cerr << "net_throughput: cannot start router\n";
+    return cell;
+  }
+  const DriveStats stats = drive_clients(router.port(), Mode::kPutBatch,
+                                         binary, connections, batch_size,
+                                         duration);
+  cell.measurements = stats.measurements;
+  cell.round_trips = stats.round_trips;
+  cell.seconds = stats.seconds;
+  cell.p50_us = stats.p50_us;
+  cell.p99_us = stats.p99_us;
+  router.stop();
+  for (auto& server : fleet) server->stop();
+  return cell;
+}
+
+/// The direct baseline for the router table: same clients, same PUTB
+/// traffic, one single-shard server, no proxy hop.
+RouterCell run_direct_cell(bool binary, std::size_t connections,
+                           std::size_t batch_size,
+                           std::chrono::milliseconds duration) {
+  RouterCell cell;
+  cell.binary = binary;
+  const Result direct = run_scenario(
+      {Mode::kPutBatch, connections, 1, binary}, batch_size, duration);
+  cell.measurements = direct.measurements;
+  cell.round_trips = direct.round_trips;
+  cell.seconds = direct.seconds;
+  cell.p50_us = direct.p50_us;
+  cell.p99_us = direct.p99_us;
   return cell;
 }
 
@@ -559,6 +751,11 @@ int main() {
       std::chrono::milliseconds(env_size("NWSCPU_NET_SWEEP_MS", 300));
   const std::vector<std::size_t> sweep_conns =
       env_size_list("NWSCPU_NET_CONNS", "1000,5000");
+  const std::vector<std::size_t> router_backends =
+      env_size_list("NWSCPU_ROUTER_SWEEP", "1,2,4");
+  const std::size_t router_conns = env_size("NWSCPU_ROUTER_CONNS", 8);
+  const auto router_duration = std::chrono::milliseconds(env_size(
+      "NWSCPU_ROUTER_MS", static_cast<std::size_t>(duration.count())));
 
   // Scenario order is fixed: the headline-ratio indices below depend on it.
   const std::vector<Scenario> scenarios = {
@@ -581,16 +778,18 @@ int main() {
             << batch_size << " samples/line, hw_concurrency "
             << std::thread::hardware_concurrency() << ", RLIMIT_NOFILE "
             << fd_limit << "\n";
-  std::cout << "mode   wire conns shards   measurements/s   round-trips/s\n";
+  std::cout << "mode   wire conns shards   measurements/s   round-trips/s"
+               "   p50_us   p99_us\n";
   for (const Scenario& scenario : scenarios) {
     const Result result = run_scenario(scenario, batch_size, duration);
     results.push_back(result);
-    std::printf("%-6s %-4s %5zu %6zu %16.0f %15.0f\n",
+    std::printf("%-6s %-4s %5zu %6zu %16.0f %15.0f %8.0f %8.0f\n",
                 mode_name(scenario.mode), scenario.binary ? "bin" : "text",
                 scenario.connections, scenario.shards, result.per_sec(),
                 result.seconds > 0.0
                     ? static_cast<double>(result.round_trips) / result.seconds
-                    : 0.0);
+                    : 0.0,
+                result.p50_us, result.p99_us);
   }
 
   // Headline ratios: scenario order above is fixed, so index directly.
@@ -612,7 +811,8 @@ int main() {
   std::vector<SweepCell> sweep;
   std::cout << "connection sweep: " << sweep_duration.count()
             << " ms/cell, one PUT round-robin per connection\n";
-  std::cout << "backend wire  requested established    responses/s\n";
+  std::cout << "backend wire  requested established    responses/s"
+               "   p50_us   p99_us\n";
   for (const std::size_t conns : sweep_conns) {
     for (const nws::NetBackend backend :
          {nws::NetBackend::kEpoll, nws::NetBackend::kPoll}) {
@@ -620,12 +820,50 @@ int main() {
         const SweepCell cell =
             run_sweep_cell(conns, binary, backend, fd_limit, sweep_duration);
         sweep.push_back(cell);
-        std::printf("%-7s %-5s %9zu %11zu %14.0f%s\n", backend_name(backend),
-                    binary ? "bin" : "text", cell.requested, cell.established,
-                    cell.per_sec(), cell.clamped ? "  (clamped)" : "");
+        std::printf("%-7s %-5s %9zu %11zu %14.0f %8.0f %8.0f%s\n",
+                    backend_name(backend), binary ? "bin" : "text",
+                    cell.requested, cell.established, cell.per_sec(),
+                    cell.p50_us, cell.p99_us,
+                    cell.clamped ? "  (clamped)" : "");
       }
     }
   }
+
+  // Part 3: the router tier.  PUTB through the proxy at each backend count,
+  // against a direct single-shard server driven by the same client fleet.
+  std::vector<RouterCell> router_cells;
+  std::cout << "router tier: " << router_duration.count() << " ms/cell, "
+            << router_conns << " clients, PUTB " << batch_size
+            << " samples/line (2-backend vs direct is the headline; "
+               "parallel speedup needs >= 2 cores)\n";
+  std::cout << "target        wire backends   measurements/s   p50_us"
+               "   p99_us\n";
+  double direct_per_sec[2] = {0.0, 0.0};
+  double routed_2b_per_sec[2] = {0.0, 0.0};
+  for (const bool binary : {false, true}) {
+    const RouterCell direct =
+        run_direct_cell(binary, router_conns, batch_size, router_duration);
+    direct_per_sec[binary ? 1 : 0] = direct.per_sec();
+    router_cells.push_back(direct);
+    std::printf("direct        %-4s %8s %16.0f %8.0f %8.0f\n",
+                binary ? "bin" : "text", "-", direct.per_sec(), direct.p50_us,
+                direct.p99_us);
+    for (const std::size_t backends : router_backends) {
+      const RouterCell cell = run_router_cell(
+          backends, binary, router_conns, batch_size, router_duration);
+      if (backends == 2) routed_2b_per_sec[binary ? 1 : 0] = cell.per_sec();
+      router_cells.push_back(cell);
+      std::printf("router        %-4s %8zu %16.0f %8.0f %8.0f\n",
+                  binary ? "bin" : "text", backends, cell.per_sec(),
+                  cell.p50_us, cell.p99_us);
+    }
+  }
+  const double router_2b_vs_direct_text =
+      direct_per_sec[0] > 0.0 ? routed_2b_per_sec[0] / direct_per_sec[0] : 0.0;
+  const double router_2b_vs_direct_bin =
+      direct_per_sec[1] > 0.0 ? routed_2b_per_sec[1] / direct_per_sec[1] : 0.0;
+  std::printf("routed 2 backends vs direct: text %.2fx, binary %.2fx\n",
+              router_2b_vs_direct_text, router_2b_vs_direct_bin);
 
   const std::string path = nws::bench::output_dir() + "/BENCH_net.json";
   std::ofstream json(path, std::ios::trunc);
@@ -645,7 +883,9 @@ int main() {
          << ", \"measurements\": " << r.measurements
          << ", \"round_trips\": " << r.round_trips
          << ", \"seconds\": " << r.seconds
-         << ", \"measurements_per_sec\": " << r.per_sec() << "}"
+         << ", \"measurements_per_sec\": " << r.per_sec()
+         << ", \"latency_p50_us\": " << r.p50_us
+         << ", \"latency_p99_us\": " << r.p99_us << "}"
          << (i + 1 < results.size() ? ",\n" : "\n");
   }
   json << "  ],\n";
@@ -660,7 +900,9 @@ int main() {
          << ", \"clamped\": " << (c.clamped ? "true" : "false")
          << ", \"responses\": " << c.responses
          << ", \"seconds\": " << c.seconds
-         << ", \"responses_per_sec\": " << c.per_sec() << "}"
+         << ", \"responses_per_sec\": " << c.per_sec()
+         << ", \"latency_p50_us\": " << c.p50_us
+         << ", \"latency_p99_us\": " << c.p99_us << "}"
          << (i + 1 < sweep.size() ? ",\n" : "\n");
   }
   json << "  ],\n";
@@ -674,5 +916,37 @@ int main() {
   json << "}\n";
   json.close();
   std::cout << "wrote " << path << "\n";
+
+  const std::string router_path =
+      nws::bench::output_dir() + "/BENCH_router.json";
+  std::ofstream rjson(router_path, std::ios::trunc);
+  rjson << "{\n  \"bench\": \"router_throughput\",\n";
+  rjson << "  \"hw_concurrency\": " << std::thread::hardware_concurrency()
+        << ",\n";
+  rjson << "  \"duration_ms\": " << router_duration.count() << ",\n";
+  rjson << "  \"putb_batch\": " << batch_size << ",\n";
+  rjson << "  \"connections\": " << router_conns << ",\n";
+  rjson << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < router_cells.size(); ++i) {
+    const RouterCell& c = router_cells[i];
+    rjson << "    {\"target\": \"" << (c.backends == 0 ? "direct" : "router")
+          << "\", \"wire\": \"" << (c.binary ? "binary" : "text")
+          << "\", \"backends\": " << c.backends
+          << ", \"measurements\": " << c.measurements
+          << ", \"round_trips\": " << c.round_trips
+          << ", \"seconds\": " << c.seconds
+          << ", \"measurements_per_sec\": " << c.per_sec()
+          << ", \"latency_p50_us\": " << c.p50_us
+          << ", \"latency_p99_us\": " << c.p99_us << "}"
+          << (i + 1 < router_cells.size() ? ",\n" : "\n");
+  }
+  rjson << "  ],\n";
+  rjson << "  \"router_2b_vs_direct_text\": " << router_2b_vs_direct_text
+        << ",\n";
+  rjson << "  \"router_2b_vs_direct_binary\": " << router_2b_vs_direct_bin
+        << "\n";
+  rjson << "}\n";
+  rjson.close();
+  std::cout << "wrote " << router_path << "\n";
   return 0;
 }

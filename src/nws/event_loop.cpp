@@ -1,0 +1,162 @@
+#include "nws/event_loop.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdlib>
+#include <string_view>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace nws {
+
+namespace {
+
+NetBackend resolve_loop_backend(NetBackend requested) {
+  if (requested == NetBackend::kAuto) {
+    if (const char* env = std::getenv("NWSCPU_NET_BACKEND")) {
+      const std::string_view v(env);
+      if (v == "poll") requested = NetBackend::kPoll;
+      if (v == "epoll") requested = NetBackend::kEpoll;
+    }
+  }
+#ifdef __linux__
+  return requested == NetBackend::kPoll ? NetBackend::kPoll
+                                        : NetBackend::kEpoll;
+#else
+  (void)requested;
+  return NetBackend::kPoll;
+#endif
+}
+
+}  // namespace
+
+EventLoop::EventLoop(NetBackend backend)
+    : backend_(resolve_loop_backend(backend)) {
+#ifdef __linux__
+  if (backend_ == NetBackend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) backend_ = NetBackend::kPoll;  // degraded, still works
+  }
+#endif
+}
+
+EventLoop::~EventLoop() {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+#endif
+}
+
+EventLoop::Entry* EventLoop::entry_for(int fd) noexcept {
+  if (fd < 0) return nullptr;
+  const auto idx = static_cast<std::size_t>(fd);
+  if (idx >= entries_.size()) entries_.resize(idx + 1);
+  return &entries_[idx];
+}
+
+void EventLoop::add(int fd, std::uint64_t tag, bool want_write) {
+  Entry* e = entry_for(fd);
+  assert(e != nullptr && !e->live);
+  e->tag = tag;
+  e->want_write = want_write;
+  e->live = true;
+  ++live_;
+#ifdef __linux__
+  if (backend_ == NetBackend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+#endif
+}
+
+void EventLoop::update(int fd, std::uint64_t tag, bool want_write) {
+  Entry* e = entry_for(fd);
+  assert(e != nullptr && e->live);
+  if (e->tag == tag && e->want_write == want_write) return;
+  e->tag = tag;
+  e->want_write = want_write;
+#ifdef __linux__
+  if (backend_ == NetBackend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+#endif
+}
+
+void EventLoop::remove(int fd) {
+  Entry* e = entry_for(fd);
+  if (e == nullptr || !e->live) return;
+  e->live = false;
+  --live_;
+#ifdef __linux__
+  if (backend_ == NetBackend::kEpoll) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+}
+
+std::size_t EventLoop::wait(std::vector<LoopEvent>& out, int timeout_ms) {
+  out.clear();
+#ifdef __linux__
+  if (backend_ == NetBackend::kEpoll) {
+    epoll_event ready[128];
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_, ready, 128, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const int fd = ready[i].data.fd;
+      const Entry* e = entry_for(fd);
+      if (e == nullptr || !e->live) continue;  // raced with remove()
+      LoopEvent ev;
+      ev.fd = fd;
+      ev.tag = e->tag;
+      ev.readable = (ready[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      ev.writable = (ready[i].events & EPOLLOUT) != 0;
+      ev.error = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(ev);
+    }
+    return out.size();
+  }
+#endif
+  // poll() fallback: rebuild the pollfd set from the registry each call
+  // (O(fds), the price of portability — the epoll path is the default).
+  std::vector<pollfd> fds;
+  fds.reserve(live_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].live) continue;
+    pollfd p{};
+    p.fd = static_cast<int>(i);
+    p.events = POLLIN | (entries_[i].want_write ? POLLOUT : 0);
+    fds.push_back(p);
+  }
+  int n;
+  do {
+    n = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return 0;
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    const Entry* e = entry_for(p.fd);
+    if (e == nullptr || !e->live) continue;
+    LoopEvent ev;
+    ev.fd = p.fd;
+    ev.tag = e->tag;
+    ev.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+    ev.writable = (p.revents & POLLOUT) != 0;
+    ev.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(ev);
+  }
+  return out.size();
+}
+
+}  // namespace nws

@@ -1,0 +1,81 @@
+// EventLoop: the readiness-notification seam shared by the network tier.
+//
+// A thin ownership wrapper over epoll (Linux) or poll (portable fallback)
+// with the same level-triggered semantics on both backends, so code built
+// on it — the router's proxy loop — behaves identically whichever kernel
+// facility drives it.  The backend is chosen exactly like the server
+// dispatcher's: an explicit NetBackend wins, then NWSCPU_NET_BACKEND, then
+// epoll on Linux.
+//
+// Semantics:
+//   - every registered fd is always watched for readability;
+//   - writability is watched only while `want_write` is set (toggle it when
+//     a tx buffer goes non-empty / drains, the classic level-triggered
+//     discipline — leaving EPOLLOUT armed on a writable socket busy-spins);
+//   - hangup/error conditions surface as `error` (and typically also as
+//     readable: a read() then observes EOF/errno).
+//
+// Single-threaded: one loop, one owner thread, no locks.  The owner hands
+// each fd a u64 tag (an index or generation-checked handle) that comes
+// back verbatim in LoopEvent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nws/server.hpp"  // NetBackend
+
+namespace nws {
+
+struct LoopEvent {
+  int fd = -1;
+  std::uint64_t tag = 0;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;  ///< EPOLLERR/EPOLLHUP (POLLERR/POLLHUP/POLLNVAL)
+};
+
+class EventLoop {
+ public:
+  /// `backend` kAuto resolves NWSCPU_NET_BACKEND then the platform default
+  /// (epoll on Linux, poll elsewhere; a non-Linux kEpoll request degrades
+  /// to poll).
+  explicit EventLoop(NetBackend backend = NetBackend::kAuto);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// The backend actually driving the loop (never kAuto).
+  [[nodiscard]] NetBackend backend() const noexcept { return backend_; }
+
+  /// Registers `fd` (must not already be registered).
+  void add(int fd, std::uint64_t tag, bool want_write);
+  /// Re-arms an fd's write interest / tag (fd must be registered).
+  void update(int fd, std::uint64_t tag, bool want_write);
+  /// Unregisters an fd (call BEFORE closing it).
+  void remove(int fd);
+
+  /// Blocks up to timeout_ms (-1 = forever) and appends ready events to
+  /// `out` (cleared first).  Returns the number of events, 0 on timeout.
+  /// EINTR retries internally.
+  std::size_t wait(std::vector<LoopEvent>& out, int timeout_ms);
+
+ private:
+  struct Entry {
+    std::uint64_t tag = 0;
+    bool want_write = false;
+    bool live = false;
+  };
+
+  [[nodiscard]] Entry* entry_for(int fd) noexcept;
+
+  NetBackend backend_ = NetBackend::kPoll;
+  int epoll_fd_ = -1;
+  /// fd -> registration, indexed by fd (loopback fds are small and dense;
+  /// the vector grows on demand).
+  std::vector<Entry> entries_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace nws

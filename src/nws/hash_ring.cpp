@@ -1,0 +1,53 @@
+#include "nws/hash_ring.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace nws {
+
+HashRing::HashRing(const std::vector<std::string>& identities,
+                   std::size_t vnodes)
+    : nodes_(identities.size()), vnodes_(vnodes == 0 ? 1 : vnodes) {
+  points_.reserve(nodes_ * vnodes_);
+  std::string key;
+  for (std::size_t i = 0; i < identities.size(); ++i) {
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      key.assign(identities[i]);
+      key.push_back('#');
+      char digits[20];
+      const auto [end, ec] = std::to_chars(digits, digits + sizeof digits, v);
+      key.append(digits, end);
+      points_.emplace_back(fnv1a64(key), static_cast<std::uint32_t>(i));
+    }
+  }
+  // Tie-break equal hashes by node index so the layout is a total order —
+  // identical on every router regardless of construction order quirks.
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t HashRing::lookup_hash(std::uint64_t h) const noexcept {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const auto& point, std::uint64_t value) { return point.first < value; });
+  return it != points_.end() ? it->second : points_.front().second;
+}
+
+std::vector<double> HashRing::ownership() const {
+  std::vector<double> share(nodes_, 0.0);
+  if (points_.empty()) return share;
+  constexpr double kCircle = 18446744073709551616.0;  // 2^64
+  // Point i owns the arc (hash[i-1], hash[i]]; the first point also owns
+  // the wrap-around arc above the last point.
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const std::uint64_t hi = points_[i].first;
+    const std::uint64_t lo = i == 0 ? points_.back().first : points_[i - 1].first;
+    const std::uint64_t arc = hi - lo;  // mod-2^64 wrap is exactly right
+    share[points_[i].second] += (arc == 0 && points_.size() == 1)
+                                    ? kCircle
+                                    : static_cast<double>(arc);
+  }
+  for (double& s : share) s /= kCircle;
+  return share;
+}
+
+}  // namespace nws

@@ -1,0 +1,84 @@
+// Consistent-hash ring for the router tier (DESIGN.md §12).
+//
+// Each backend contributes `vnodes` virtual points to a 64-bit hash circle;
+// a series key routes to the owner of the first point clockwise of its
+// hash.  Virtual nodes smooth the per-backend share toward 1/N, and the
+// point layout is a pure function of the backend identity strings and the
+// vnode count — a restarted router (or a second router in front of the
+// same fleet) derives the identical ring and routes every key the same
+// way, with no coordination channel.
+//
+// Membership changes remap only the arc segments owned by the joining or
+// leaving backend: adding one backend to an N-backend ring moves an
+// expected K/(N+1) of K keys and leaves the rest untouched (the classic
+// consistent-hashing bound; router_test measures it).
+//
+// The point hash is FNV-1a over "identity#vnode".  FNV-1a is also the
+// series hash the sharded server uses (ShardedForecastService::hash_series
+// delegates to fnv1a64 below), so one well-tested hash covers both tiers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nws {
+
+/// 64-bit FNV-1a.  Stable across platforms and processes by construction
+/// (pure arithmetic on bytes) — routing and sharding layouts derived from
+/// it survive restarts.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+class HashRing {
+ public:
+  HashRing() = default;
+
+  /// Builds the ring: node i (by position in `identities`) contributes
+  /// points hash(identities[i] + "#" + v) for v in [0, vnodes).  Identity
+  /// strings should be stable across restarts (the router uses a backend
+  /// group's first endpoint, NOT its currently-active failover target).
+  /// vnodes == 0 is treated as 1.
+  HashRing(const std::vector<std::string>& identities, std::size_t vnodes);
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+  [[nodiscard]] std::size_t vnodes() const noexcept { return vnodes_; }
+
+  /// Index (into the constructor's identity list) of the node owning `key`.
+  /// Must not be called on an empty ring.
+  [[nodiscard]] std::size_t lookup(std::string_view key) const noexcept {
+    return lookup_hash(fnv1a64(key));
+  }
+
+  /// Owner of a raw 64-bit point: the first ring point with hash >= h,
+  /// wrapping past the top of the circle.
+  [[nodiscard]] std::size_t lookup_hash(std::uint64_t h) const noexcept;
+
+  /// Fraction of the hash circle owned by each node (sums to 1).  Used by
+  /// tests to assert vnode smoothing and by DESIGN.md's rebalancing math.
+  [[nodiscard]] std::vector<double> ownership() const;
+
+  /// The sorted (point hash, node index) layout — deterministic given
+  /// (identities, vnodes).
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::uint32_t>>&
+  points() const noexcept {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;  ///< sorted
+  std::size_t nodes_ = 0;
+  std::size_t vnodes_ = 0;
+};
+
+}  // namespace nws

@@ -1,0 +1,168 @@
+// nws::Router — the consistent-hash scale-out tier (DESIGN.md §12).
+//
+// A router terminates client connections exactly like an NwsServer (text
+// lines by default, per-connection "HELLO BIN" upgrade to binary frames)
+// and proxies every request to a fleet of NwsServer backends, so a client
+// talks to one endpoint and the fleet looks like a single server whose
+// capacity is the sum of its machines:
+//
+//   - each series key is mapped onto a consistent-hash ring of backends
+//     (FNV-1a virtual-node points, hash_ring.hpp).  The layout is a pure
+//     function of RouterConfig::backends + vnodes, so a restarted router —
+//     or a second router in front of the same fleet — routes identically;
+//   - per backend the router keeps a small pool of pipelined upstream
+//     connections (always binary-framed).  Client requests are forwarded
+//     verbatim — a text line rides the binary TEXT op, a binary frame is
+//     re-framed untouched — and many client requests coalesce into one
+//     upstream write, so the router adds fan-in batching, not just a hop.
+//     Responses demultiplex by position: each upstream connection is a
+//     FIFO, and a per-connection deque of in-flight requests pairs every
+//     response frame with its origin (client connection + response slot).
+//     A series is pinned to one pool connection (hash % pool) so its
+//     sequence-tagged stream stays ordered;
+//   - cross-backend verbs (SERIES / STATS / METRICS with no argument)
+//     scatter to every backend and gather an ordered merge.  A scatter is a
+//     sequencing barrier for its client: it fires only after the client's
+//     in-flight point requests are acked, and later input from that client
+//     is held until the gather lands — so the fleet view cannot overtake
+//     requests pipelined on other pool connections, and routed responses
+//     stay byte-identical to a direct connection at any backend count
+//     (with one backend the single part is forwarded verbatim, unmerged);
+//   - an upstream connection loss or an "ERR not_primary <hint>" reply
+//     triggers the PR 7 endpoint walk *inside the router*: the backend
+//     group's endpoint list is walked (preferring the redirect hint), the
+//     un-acked in-flight requests replay in order, and the backend's
+//     duplicate detection (PUTS/PUTB sequence tags) keeps delivery
+//     exactly-once — clients never learn a failover happened.
+//
+// The router parses only what routing needs (verb + series token, or the
+// binary op byte + series field); request bytes reach the backend
+// untouched and response payloads reach the client untouched, so protocol
+// behaviour — including "ERR malformed request" for garbage — is the
+// backend's own, byte-for-byte.  Requests the router must answer itself:
+// HELLO (framing is per-hop), PING/QUIT (connection-local), and the
+// REPL*/PROMOTE admin verbs, which are deliberately NOT routable ("ERR not
+// routable") so a client can never demote a backend through the proxy.
+//
+// Single-threaded: one event-loop thread (EventLoop seam, epoll or poll)
+// owns every connection; counters are atomics readable from outside.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nws/hash_ring.hpp"
+#include "nws/server.hpp"  // NetBackend
+#include "util/backoff.hpp"
+
+namespace nws {
+
+struct RouterConfig {
+  /// Backend fleet: comma-separated groups, one group per ring member.  A
+  /// group is a '|'-separated endpoint list ("7001" or "host:7001"); the
+  /// first endpoint is the group's ring identity and initial target, the
+  /// rest are failover candidates walked on connection loss or an
+  /// "ERR not_primary" redirect (a replicated primary/follower pair is one
+  /// group: "7001|7002").  Empty = the NWSCPU_ROUTER_BACKENDS environment
+  /// variable.
+  std::string backends;
+  /// Pipelined upstream connections per backend (0 = NWSCPU_ROUTER_POOL
+  /// env, else 2).  A series is pinned to pool slot hash(series) % pool.
+  std::size_t pool_size = 0;
+  /// Virtual nodes per backend on the ring (0 = NWSCPU_ROUTER_VNODES env,
+  /// else 64).
+  std::size_t vnodes = 0;
+  /// Client line / frame cap, mirroring ServerConfig::max_line_bytes.
+  std::size_t max_line_bytes = 64 * 1024;
+  /// Event-loop backend (kAuto = NWSCPU_NET_BACKEND, else epoll on Linux).
+  NetBackend net_backend = NetBackend::kAuto;
+  /// Upstream reconnect pacing.  spread > 0 decorrelates the pool: after a
+  /// backend restart its connections come back staggered, not in lockstep.
+  BackoffConfig backoff{5.0, 500.0, 2.0, 0.0, 0.2};
+  std::uint64_t backoff_seed = 1;
+  /// Forward attempts per request across reconnects/redirects before the
+  /// router gives up and answers "ERR upstream unavailable" (counted as a
+  /// route miss).
+  int replay_limit = 4;
+  /// Queued-request bound per backend (sendq + in-flight across its pool);
+  /// excess draws the server's shedding reply "ERR busy retry_after_ms=<n>".
+  std::size_t upstream_backlog = 64 * 1024;
+  /// Backoff hint carried by the shedding reply, mirroring
+  /// ServerConfig::busy_retry_ms.
+  int busy_retry_ms = 100;
+};
+
+class Router {
+ public:
+  Router() : Router(RouterConfig{}) {}
+  explicit Router(RouterConfig config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds 127.0.0.1:port (0 = ephemeral), resolves the backend fleet and
+  /// starts the proxy thread.  False when the bind fails or no backends
+  /// are configured.
+  bool start(std::uint16_t port = 0);
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_.load(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const RouterConfig& config() const noexcept { return cfg_; }
+  /// The resolved event-loop backend (never kAuto once started).
+  [[nodiscard]] NetBackend backend() const noexcept { return net_backend_; }
+
+  [[nodiscard]] std::size_t backend_count() const noexcept;
+  /// Ring index of the backend that owns `series` (for tests/tooling).
+  [[nodiscard]] std::size_t backend_of(std::string_view series) const;
+  [[nodiscard]] const HashRing& ring() const noexcept;
+
+  // Telemetry mirrors (also exported through obs as nws_router_*).
+  [[nodiscard]] std::uint64_t requests_routed() const noexcept {
+    return requests_routed_.load();
+  }
+  [[nodiscard]] std::uint64_t scatter_requests() const noexcept {
+    return scatter_requests_.load();
+  }
+  /// Requests re-sent after an upstream connection loss or redirect.
+  [[nodiscard]] std::uint64_t replays() const noexcept {
+    return replays_.load();
+  }
+  /// "ERR not_primary" redirects followed (backend failovers observed).
+  [[nodiscard]] std::uint64_t redirects() const noexcept {
+    return redirects_.load();
+  }
+  /// Requests answered "ERR upstream unavailable" after replay exhaustion.
+  [[nodiscard]] std::uint64_t route_misses() const noexcept {
+    return route_misses_.load();
+  }
+  [[nodiscard]] std::uint64_t upstream_reconnects() const noexcept {
+    return reconnects_.load();
+  }
+
+ private:
+  struct Impl;
+
+  RouterConfig cfg_;
+  std::unique_ptr<Impl> impl_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::uint16_t port_ = 0;
+  NetBackend net_backend_ = NetBackend::kAuto;
+
+  std::atomic<std::uint64_t> requests_routed_{0};
+  std::atomic<std::uint64_t> scatter_requests_{0};
+  std::atomic<std::uint64_t> replays_{0};
+  std::atomic<std::uint64_t> redirects_{0};
+  std::atomic<std::uint64_t> route_misses_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+
+  friend struct Impl;
+};
+
+}  // namespace nws

@@ -5,6 +5,8 @@
 #include <system_error>
 #include <utility>
 
+#include "nws/hash_ring.hpp"
+
 namespace nws {
 
 namespace fs = std::filesystem;
@@ -12,13 +14,9 @@ namespace fs = std::filesystem;
 std::uint64_t ShardedForecastService::hash_series(
     std::string_view series) noexcept {
   // FNV-1a, 64-bit: stable across processes and platforms, so journal
-  // segment assignment survives restarts and machine moves.
-  std::uint64_t h = 14695981039346656037ull;
-  for (const char c : series) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
+  // segment assignment survives restarts and machine moves.  The same
+  // hash drives the router tier's consistent-hash ring (hash_ring.hpp).
+  return fnv1a64(series);
 }
 
 std::size_t ShardedForecastService::shard_of(

@@ -11,6 +11,7 @@ ExponentialBackoff::ExponentialBackoff(BackoffConfig config,
   assert(cfg_.base_ms > 0.0 && cfg_.cap_ms >= cfg_.base_ms);
   assert(cfg_.multiplier >= 1.0);
   assert(cfg_.jitter >= 0.0 && cfg_.jitter <= 1.0);
+  assert(cfg_.spread >= 0.0 && cfg_.spread <= 1.0);
 }
 
 double ExponentialBackoff::next_delay_ms() noexcept {
@@ -23,6 +24,9 @@ double ExponentialBackoff::next_delay_ms() noexcept {
   d = std::min(d, cfg_.cap_ms);
   ++attempt_;
   if (cfg_.jitter > 0.0) d *= 1.0 - cfg_.jitter * rng_.uniform();
+  if (cfg_.spread > 0.0) {
+    d *= 1.0 - cfg_.spread + 2.0 * cfg_.spread * rng_.uniform();
+  }
   return d;
 }
 

@@ -22,6 +22,15 @@ struct BackoffConfig {
   /// Fraction of the delay randomised away: the returned delay lies in
   /// [d * (1 - jitter), d].  0 disables jitter entirely.
   double jitter = 0.5;
+  /// Symmetric spread around the (possibly jittered) delay: the result is
+  /// multiplied by a uniform draw from [1 - spread, 1 + spread], so peers
+  /// that share a schedule but not a seed decorrelate in BOTH directions —
+  /// a router's pooled connections must not reconnect in lockstep after a
+  /// backend restart.  Draws come from the same seeded stream as jitter,
+  /// so the sequence stays deterministic per (config, seed).  The spread
+  /// may push a delay up to cap_ms * (1 + spread).  0 (the default)
+  /// preserves the historical delay sequence bit-for-bit.
+  double spread = 0.0;
 };
 
 class ExponentialBackoff {

@@ -1,0 +1,984 @@
+// The consistent-hash router tier (DESIGN.md §12).
+//
+// Deterministic ring units (layout determinism, vnode smoothing, the
+// K/(N+1) remap bound), then live proxy scenarios: routed responses must be
+// byte-identical to a direct server across {1,2,4} backends x {text,binary}
+// framing, the HELLO state machine mirrors the server's, scatter-gather
+// merges (SERIES/STATS/METRICS — including over the binary TEXT op) match
+// the per-backend truth, framing-level garbage from an upstream fails the
+// connection over to the group's next endpoint without desynchronising the
+// demux, and a primary kill + PROMOTE behind the router keeps the client's
+// sequence-tagged stream exactly-once.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nws/client.hpp"
+#include "nws/hash_ring.hpp"
+#include "nws/protocol.hpp"
+#include "nws/router.hpp"
+#include "nws/server.hpp"
+#include "obs/metrics.hpp"
+
+namespace nws {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool wait_for(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+// ---------------------------------------------------------------------------
+// HashRing units
+
+std::vector<std::string> fake_identities(std::size_t n) {
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back("10.0.0." + std::to_string(i + 1) + ":7000");
+  }
+  return ids;
+}
+
+TEST(HashRing, LayoutIsAPureFunctionOfIdentitiesAndVnodes) {
+  const auto ids = fake_identities(5);
+  const HashRing a(ids, 64);
+  const HashRing b(ids, 64);
+  EXPECT_EQ(a.node_count(), 5u);
+  EXPECT_EQ(a.vnodes(), 64u);
+  EXPECT_EQ(a.points().size(), 5u * 64u);
+  // A second router (or a restart) derives the identical ring: same points,
+  // same owner for every key, no coordination channel needed.
+  EXPECT_EQ(a.points(), b.points());
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "host" + std::to_string(i) + "/cpu";
+    EXPECT_EQ(a.lookup(key), b.lookup(key));
+  }
+}
+
+TEST(HashRing, VnodesSmoothOwnershipTowardOneOverN) {
+  const HashRing ring(fake_identities(4), 128);
+  const auto shares = ring.ownership();
+  ASSERT_EQ(shares.size(), 4u);
+  double total = 0.0;
+  for (const double s : shares) {
+    total += s;
+    EXPECT_GT(s, 0.10) << "a backend owns too little of the circle";
+    EXPECT_LT(s, 0.45) << "a backend owns too much of the circle";
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HashRing, ZeroVnodesDegradesToOnePointPerNode) {
+  const HashRing ring(fake_identities(3), 0);
+  EXPECT_EQ(ring.vnodes(), 1u);
+  EXPECT_EQ(ring.points().size(), 3u);
+  EXPECT_TRUE(HashRing().empty());
+}
+
+TEST(HashRing, AddingANodeRemapsOnlyItsOwnArcs) {
+  // The consistent-hashing contract: growing N -> N+1 moves an expected
+  // K/(N+1) of K keys, and every moved key moves TO the new node — no key
+  // shuffles between the old ones.
+  const std::size_t kKeys = 20000;
+  auto ids = fake_identities(4);
+  const HashRing before(ids, 64);
+  ids.push_back("10.0.0.99:7000");
+  const HashRing after(ids, 64);
+
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const std::string key = "series-" + std::to_string(i) + "/cpu";
+    const std::size_t was = before.lookup(key);
+    const std::size_t now = after.lookup(key);
+    if (was != now) {
+      ++moved;
+      EXPECT_EQ(now, 4u) << "key " << key << " moved between OLD nodes";
+    }
+  }
+  const double fraction = static_cast<double>(moved) / kKeys;
+  EXPECT_GT(fraction, 0.05) << "the new node took (almost) nothing";
+  EXPECT_LT(fraction, 2.5 / 5.0) << "far more than K/(N+1) keys moved";
+}
+
+// ---------------------------------------------------------------------------
+// Live-proxy helpers (the net_backend_test idiom: pipelined raw sockets)
+
+/// Request script spanning every verb, both put flavours, duplicates,
+/// out-of-order samples, unknown series, malformed input and enough
+/// distinct series to land on several ring arcs.  (METRICS is exercised
+/// separately: in-process backends share one obs registry, so the merged
+/// exposition is not byte-comparable to a direct server's.)
+std::vector<std::string> script_lines() {
+  std::vector<std::string> lines;
+  const char* series[] = {"alpha/cpu", "bravo/cpu", "charlie/cpu",
+                          "delta/cpu", "echo/cpu"};
+  for (int round = 0; round < 12; ++round) {
+    for (const char* s : series) {
+      const double t = 10.0 * (round + 1);
+      lines.push_back("PUT " + std::string(s) + " " + std::to_string(t) +
+                      " 0." + std::to_string(20 + (round * 11) % 75));
+    }
+  }
+  for (const char* s : series) {
+    lines.push_back("FORECAST " + std::string(s));
+    lines.push_back("VALUES " + std::string(s) + " 4");
+    lines.push_back("STATS " + std::string(s));
+  }
+  lines.push_back("PUTS alpha/cpu 1 400 0.5");
+  lines.push_back("PUTS alpha/cpu 1 410 0.5");  // seq dup
+  lines.push_back("PUTS alpha/cpu 2 395 0.5");  // time dup
+  lines.push_back("PUT bravo/cpu 5 0.5");       // out of order
+  lines.push_back("PUTB echo/cpu 3 1 500 0.5 510 0.625 520 0.75");
+  lines.push_back("PUTB echo/cpu 3 1 500 0.5 510 0.625 520 0.75");  // replay
+  lines.push_back("FORECAST nobody/cpu");  // unknown series
+  lines.push_back("SERIES");               // scatter-gather
+  lines.push_back("STATS");                // scatter-gather
+  lines.push_back("PING");                 // answered at the router
+  lines.push_back("BOGUS request");        // malformed
+  return lines;
+}
+
+/// Encodes one script line as a binary request frame (native encoding when
+/// the text parser accepts it, the raw TEXT op otherwise).
+void append_frame_for_line(std::string& wire, const std::string& line) {
+  if (const auto req = parse_request(line)) {
+    append_binary_request(wire, *req);
+    return;
+  }
+  std::string payload;
+  payload += static_cast<char>(kBinOpText);
+  payload += line;
+  append_binary_response(wire, payload);  // same [u32 len][bytes] layout
+}
+
+/// Wraps a raw text line as a TEXT-op request frame even when the native
+/// encoding exists — the "op TEXT path" the router must route by its inner
+/// verb while forwarding the frame bytes untouched.
+void append_text_op_frame(std::string& wire, const std::string& line) {
+  std::string payload;
+  payload += static_cast<char>(kBinOpText);
+  payload += line;
+  append_binary_response(wire, payload);
+}
+
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  bool send_bytes(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (fd_ >= 0 && sent < bytes.size()) {
+      const ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (w <= 0) return false;
+      sent += static_cast<std::size_t>(w);
+    }
+    return sent == bytes.size();
+  }
+
+  [[nodiscard]] std::optional<std::string> read_line() {
+    for (;;) {
+      const std::size_t nl = rx_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = rx_.substr(0, nl);
+        rx_.erase(0, nl + 1);
+        return line;
+      }
+      if (!fill()) return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> read_frame() {
+    for (;;) {
+      std::size_t frame_end = 0;
+      std::string_view payload;
+      const BinFrameStatus status =
+          extract_binary_frame(rx_, 16 * 1024 * 1024, frame_end, payload);
+      if (status == BinFrameStatus::kError) return std::nullopt;
+      if (status == BinFrameStatus::kFrame) {
+        std::string out(payload);
+        rx_.erase(0, frame_end);
+        return out;
+      }
+      if (!fill()) return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] bool at_eof() {
+    if (!rx_.empty()) return false;
+    return !fill();
+  }
+
+ private:
+  bool fill() {
+    char chunk[4096];
+    const ssize_t n = fd_ >= 0 ? ::recv(fd_, chunk, sizeof chunk, 0) : -1;
+    if (n <= 0) return false;
+    rx_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string rx_;
+};
+
+std::vector<std::string> run_text(std::uint16_t port,
+                                  const std::vector<std::string>& script) {
+  std::string wire;
+  for (const std::string& line : script) {
+    wire += line;
+    wire += '\n';
+  }
+  RawConn conn(port);
+  EXPECT_TRUE(conn.ok());
+  EXPECT_TRUE(conn.send_bytes(wire));
+  std::vector<std::string> responses;
+  responses.reserve(script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const auto line = conn.read_line();
+    EXPECT_TRUE(line.has_value()) << "response " << i << " missing";
+    if (!line) break;
+    responses.push_back(*line);
+  }
+  return responses;
+}
+
+std::vector<std::string> run_binary(std::uint16_t port,
+                                    const std::vector<std::string>& script) {
+  std::string wire(kHelloBinRequest);
+  wire += '\n';
+  for (const std::string& line : script) append_frame_for_line(wire, line);
+  RawConn conn(port);
+  EXPECT_TRUE(conn.ok());
+  EXPECT_TRUE(conn.send_bytes(wire));
+  const auto ack = conn.read_line();
+  EXPECT_EQ(ack.value_or(""), kHelloBinAck);
+  std::vector<std::string> responses;
+  responses.reserve(script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const auto payload = conn.read_frame();
+    EXPECT_TRUE(payload.has_value()) << "frame " << i << " missing";
+    if (!payload) break;
+    responses.push_back(*payload);
+  }
+  return responses;
+}
+
+/// N fresh single-shard backends plus a router in front of them.
+struct Fleet {
+  std::vector<std::unique_ptr<NwsServer>> servers;
+  std::unique_ptr<Router> router;
+
+  explicit Fleet(std::size_t n, RouterConfig rcfg = {}) {
+    std::string spec;
+    for (std::size_t i = 0; i < n; ++i) {
+      ServerConfig cfg;
+      cfg.shards = 1;
+      servers.push_back(std::make_unique<NwsServer>(cfg));
+      const std::uint16_t port = servers.back()->start(0);
+      EXPECT_NE(port, 0);
+      if (!spec.empty()) spec += ',';
+      spec += std::to_string(port);
+    }
+    rcfg.backends = spec;
+    if (rcfg.backoff.base_ms > 2.0) {
+      rcfg.backoff = BackoffConfig{2.0, 50.0, 2.0, 0.0, 0.1};
+    }
+    router = std::make_unique<Router>(rcfg);
+    EXPECT_TRUE(router->start(0));
+  }
+
+  ~Fleet() {
+    if (router) router->stop();
+    for (auto& s : servers) s->stop();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Byte parity: routed == direct, every backend count, both framings
+
+TEST(RouterParity, RoutedResponsesByteIdenticalToADirectServer) {
+  const std::vector<std::string> script = script_lines();
+  // The oracle: the text protocol against one directly-connected server.
+  std::vector<std::string> oracle;
+  {
+    ServerConfig cfg;
+    cfg.shards = 1;
+    NwsServer server(cfg);
+    const std::uint16_t port = server.start(0);
+    ASSERT_NE(port, 0);
+    oracle = run_text(port, script);
+    server.stop();
+  }
+  ASSERT_EQ(oracle.size(), script.size());
+
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    // Fresh fleet per framing: the script mutates state (STATS totals), so
+    // each run must start from the oracle's blank slate.
+    std::vector<std::string> text;
+    std::vector<std::string> binary;
+    {
+      Fleet fleet(n);
+      text = run_text(fleet.router->port(), script);
+      EXPECT_GT(fleet.router->requests_routed(), 0u);
+      EXPECT_GE(fleet.router->scatter_requests(), 2u);  // SERIES + STATS
+      EXPECT_EQ(fleet.router->backend_count(), n);
+    }
+    {
+      Fleet fleet(n);
+      binary = run_binary(fleet.router->port(), script);
+    }
+    const std::string cell = "backends=" + std::to_string(n);
+    ASSERT_EQ(text.size(), oracle.size()) << cell;
+    ASSERT_EQ(binary.size(), oracle.size()) << cell;
+    for (std::size_t i = 0; i < oracle.size(); ++i) {
+      EXPECT_EQ(text[i], oracle[i]) << cell << " request: " << script[i];
+      EXPECT_EQ(binary[i], oracle[i]) << cell << " request: " << script[i];
+    }
+  }
+}
+
+TEST(RouterParity, HelloNegotiationMirrorsTheServer) {
+  Fleet fleet(2);
+  const std::uint16_t port = fleet.router->port();
+  {
+    RawConn conn(port);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.send_bytes("HELLO\nHELLO TEXT\nHELLO GOBBLE\nPING\n"));
+    EXPECT_EQ(conn.read_line().value_or(""), kHelloTextAck);
+    EXPECT_EQ(conn.read_line().value_or(""), kHelloTextAck);
+    EXPECT_EQ(conn.read_line().value_or(""), "ERR unknown framing");
+    EXPECT_EQ(conn.read_line().value_or(""), "OK");
+  }
+  {
+    // The upgrade is per client connection, exactly as on a server.
+    RawConn bin(port);
+    RawConn text(port);
+    ASSERT_TRUE(bin.ok());
+    ASSERT_TRUE(text.ok());
+    std::string wire(kHelloBinRequest);
+    wire += '\n';
+    append_frame_for_line(wire, "PING");
+    ASSERT_TRUE(bin.send_bytes(wire));
+    EXPECT_EQ(bin.read_line().value_or(""), kHelloBinAck);
+    EXPECT_EQ(bin.read_frame().value_or(""), "OK");
+    ASSERT_TRUE(text.send_bytes("PING\n"));
+    EXPECT_EQ(text.read_line().value_or(""), "OK");
+  }
+}
+
+TEST(RouterParity, QuitClosesAndAdminVerbsAreNotRoutable) {
+  Fleet fleet(2);
+  const std::uint16_t port = fleet.router->port();
+  {
+    // Admin verbs stop at the proxy: a client must not be able to demote a
+    // backend or inject replication records through the public tier.
+    RawConn conn(port);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.send_bytes(
+        "PROMOTE\nREPL HELLO 1 1 127.0.0.1:9999\nPUT adm/cpu 1 0.5\nQUIT\n"));
+    EXPECT_EQ(conn.read_line().value_or(""), "ERR not routable");
+    EXPECT_EQ(conn.read_line().value_or(""), "ERR not routable");
+    EXPECT_EQ(conn.read_line().value_or(""), "OK");
+    EXPECT_EQ(conn.read_line().value_or(""), "OK");  // the QUIT ack
+    EXPECT_TRUE(conn.at_eof());
+  }
+  {
+    // Same through binary framing: the REPL ops and a TEXT-op PROMOTE.
+    RawConn conn(port);
+    ASSERT_TRUE(conn.ok());
+    std::string wire(kHelloBinRequest);
+    wire += '\n';
+    std::string repl_payload;
+    repl_payload += static_cast<char>(kBinOpReplHello);
+    repl_payload += "junk";
+    append_binary_response(wire, repl_payload);
+    append_text_op_frame(wire, "PROMOTE");
+    append_frame_for_line(wire, "QUIT");
+    ASSERT_TRUE(conn.send_bytes(wire));
+    EXPECT_EQ(conn.read_line().value_or(""), kHelloBinAck);
+    EXPECT_EQ(conn.read_frame().value_or(""), "ERR not routable");
+    EXPECT_EQ(conn.read_frame().value_or(""), "ERR not routable");
+    EXPECT_EQ(conn.read_frame().value_or(""), "OK");
+    EXPECT_TRUE(conn.at_eof());
+  }
+  // A backend saw none of it: no promotions, no replication traffic.
+  for (const auto& s : fleet.servers) {
+    EXPECT_TRUE(s->is_primary());
+    EXPECT_EQ(s->promotions(), 0u);
+  }
+}
+
+TEST(RouterParity, OverlongLineDrawsTheServersExactError) {
+  RouterConfig rcfg;
+  rcfg.max_line_bytes = 128;
+  Fleet fleet(1, rcfg);
+  RawConn conn(fleet.router->port());
+  ASSERT_TRUE(conn.ok());
+  const std::string long_line(256, 'x');
+  ASSERT_TRUE(conn.send_bytes("PING\n" + long_line + "\n"));
+  EXPECT_EQ(conn.read_line().value_or(""), "OK");
+  EXPECT_EQ(conn.read_line().value_or(""), "ERR line too long");
+  EXPECT_TRUE(conn.at_eof());
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather merges (including over the binary TEXT-op path)
+
+TEST(RouterScatter, MergedSeriesAndStatsMatchThePerBackendTruth) {
+  obs::set_metrics_enabled(true);
+  Fleet fleet(2);
+  const std::uint16_t port = fleet.router->port();
+
+  // Seed through the router so the keyspace actually splits across both
+  // rings arcs, then verify the split is real.
+  std::vector<std::string> seed;
+  for (int i = 0; i < 16; ++i) {
+    const std::string s = "merge" + std::to_string(i) + "/cpu";
+    for (int t = 1; t <= 4; ++t) {
+      seed.push_back("PUT " + s + " " + std::to_string(10 * t) + " 0.5");
+    }
+  }
+  for (const std::string& r : run_text(port, seed)) EXPECT_EQ(r, "OK");
+  std::set<std::size_t> owners;
+  for (int i = 0; i < 16; ++i) {
+    owners.insert(
+        fleet.router->backend_of("merge" + std::to_string(i) + "/cpu"));
+  }
+  ASSERT_EQ(owners.size(), 2u) << "keyspace never split; merge untested";
+
+  // Direct per-backend truth.
+  std::vector<std::string> direct_series;
+  std::uint64_t direct_appended = 0;
+  std::uint64_t direct_series_count = 0;
+  for (const auto& s : fleet.servers) {
+    const auto names = parse_series_response(s->handle_line("SERIES"));
+    ASSERT_TRUE(names.has_value());
+    for (const auto& n : *names) direct_series.push_back(n);
+    const auto stats = parse_stats_response(s->handle_line("STATS"));
+    ASSERT_TRUE(stats.has_value());
+    direct_appended += stats->appended;
+    direct_series_count += stats->series;
+  }
+  std::sort(direct_series.begin(), direct_series.end());
+
+  // Text framing.
+  const auto text = run_text(port, {"SERIES", "STATS"});
+  ASSERT_EQ(text.size(), 2u);
+  const auto merged_series = parse_series_response(text[0]);
+  ASSERT_TRUE(merged_series.has_value());
+  EXPECT_EQ(*merged_series, direct_series);
+  const auto merged_stats = parse_stats_response(text[1]);
+  ASSERT_TRUE(merged_stats.has_value());
+  EXPECT_EQ(merged_stats->appended, direct_appended);
+  EXPECT_EQ(merged_stats->series, direct_series_count);
+
+  // The same two verbs riding the binary TEXT op must merge identically —
+  // the demux pairs every gathered part with the right client slot.
+  std::string wire(kHelloBinRequest);
+  wire += '\n';
+  append_text_op_frame(wire, "SERIES");
+  append_text_op_frame(wire, "STATS");
+  RawConn bin(port);
+  ASSERT_TRUE(bin.ok());
+  ASSERT_TRUE(bin.send_bytes(wire));
+  EXPECT_EQ(bin.read_line().value_or(""), kHelloBinAck);
+  EXPECT_EQ(bin.read_frame().value_or(""), text[0]);
+  EXPECT_EQ(bin.read_frame().value_or(""), text[1]);
+}
+
+TEST(RouterScatter, MetricsMergeSumsSamplesAndDedupsHeaders) {
+  obs::set_metrics_enabled(true);
+  // A static sentinel counter: in-process backends share this registry, so
+  // every gathered part reports the same value and the merged fleet view
+  // must show exactly backends x value — a precise check of the
+  // sum-by-sample-key merge.
+  auto& sentinel =
+      obs::registry().counter("nws_routertest_sentinel_total",
+                              "router_test merge sentinel (static)");
+  sentinel.inc(7);
+
+  Fleet fleet(2);
+  const std::uint16_t port = fleet.router->port();
+
+  auto fetch_value = [](const std::string& exposition,
+                        const std::string& name) -> std::optional<double> {
+    std::size_t pos = 0;
+    while (pos < exposition.size()) {
+      std::size_t nl = exposition.find('\n', pos);
+      if (nl == std::string::npos) nl = exposition.size();
+      const std::string line = exposition.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (line.rfind(name + " ", 0) == 0) {
+        return std::stod(line.substr(name.size() + 1));
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Direct truth straight off one backend (binary client: METRICS is one
+  // frame there).
+  ClientConfig ccfg;
+  ccfg.binary = true;
+  NwsClient direct(ccfg);
+  ASSERT_TRUE(direct.connect(fleet.servers[0]->port()));
+  const auto direct_metrics = direct.metrics();
+  ASSERT_TRUE(direct_metrics.has_value());
+  const auto direct_value =
+      fetch_value(*direct_metrics, "nws_routertest_sentinel_total");
+  ASSERT_TRUE(direct_value.has_value());
+
+  // Merged fleet view through the router, over the native binary METRICS op
+  // AND the TEXT-op spelling — both scatter and must agree.
+  std::string wire(kHelloBinRequest);
+  wire += '\n';
+  std::string metrics_payload;
+  metrics_payload += static_cast<char>(kBinOpMetrics);
+  append_binary_response(wire, metrics_payload);
+  append_text_op_frame(wire, "METRICS");
+  RawConn conn(port);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.send_bytes(wire));
+  EXPECT_EQ(conn.read_line().value_or(""), kHelloBinAck);
+  const auto native = conn.read_frame();
+  const auto via_text_op = conn.read_frame();
+  ASSERT_TRUE(native.has_value());
+  ASSERT_TRUE(via_text_op.has_value());
+
+  const auto body = parse_metrics_response(*native);
+  ASSERT_TRUE(body.has_value());
+  const auto merged_value =
+      fetch_value(*body, "nws_routertest_sentinel_total");
+  ASSERT_TRUE(merged_value.has_value());
+  EXPECT_DOUBLE_EQ(*merged_value, 2.0 * *direct_value);
+
+  // Headers dedup (each '# ...' line appears once) and sample keys are
+  // unique in the merged exposition.
+  std::set<std::string> seen;
+  std::size_t pos = 0;
+  while (pos < body->size()) {
+    std::size_t nl = body->find('\n', pos);
+    if (nl == std::string::npos) nl = body->size();
+    const std::string line = body->substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    const std::string key =
+        line.front() == '#' ? line : line.substr(0, line.rfind(' '));
+    EXPECT_TRUE(seen.insert(key).second) << "duplicated in merge: " << key;
+  }
+  EXPECT_NE(body->find("nws_router_requests_total"), std::string::npos);
+
+  // The TEXT-op response went through the same gather machinery; its
+  // sentinel must agree (other counters move between the two requests).
+  const auto body2 = parse_metrics_response(*via_text_op);
+  ASSERT_TRUE(body2.has_value());
+  const auto merged2 = fetch_value(*body2, "nws_routertest_sentinel_total");
+  ASSERT_TRUE(merged2.has_value());
+  EXPECT_DOUBLE_EQ(*merged2, *merged_value);
+}
+
+// ---------------------------------------------------------------------------
+// Framing-level upstream garbage: fail over, never desync
+
+/// A byzantine upstream that accepts one connection, optionally completes
+/// the HELLO BIN handshake, waits for request bytes, then answers with
+/// framing-level garbage and hangs up.  Everything the router's demux must
+/// survive by dropping the connection and replaying on the group's next
+/// endpoint.
+class GarbageUpstream {
+ public:
+  enum class Mode {
+    kBadHelloAck,     ///< "ERR nope" instead of "OK BIN"
+    kOversizeLength,  ///< length prefix far beyond the frame cap
+    kTruncatedFrame,  ///< valid prefix, missing payload bytes, then EOF
+    kHalfHeader,      ///< two bytes of the length prefix, then EOF
+  };
+
+  explicit GarbageUpstream(Mode mode) : mode_(mode) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 8), 0);
+    socklen_t alen = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { serve(); });
+  }
+
+  ~GarbageUpstream() {
+    stop_.store(true);
+    thread_.join();
+    ::close(listen_fd_);
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int connections() const { return conns_.load(); }
+
+ private:
+  void serve() {
+    while (!stop_.load()) {
+      pollfd p{listen_fd_, POLLIN, 0};
+      if (::poll(&p, 1, 20) <= 0) continue;
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      ++conns_;
+      const timeval tv{0, 200 * 1000};
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+      char buf[4096];
+      (void)::recv(fd, buf, sizeof buf, 0);  // the router's HELLO BIN
+      if (mode_ == Mode::kBadHelloAck) {
+        send_all(fd, "ERR nope\n");
+        ::close(fd);
+        continue;
+      }
+      send_all(fd, "OK BIN\n");
+      (void)::recv(fd, buf, sizeof buf, 0);  // wait for request frames
+      switch (mode_) {
+        case Mode::kOversizeLength:
+          send_all(fd, std::string("\xff\xff\xff\xff", 4));
+          break;
+        case Mode::kTruncatedFrame: {
+          // Claims 100 payload bytes, delivers 10, hangs up.
+          std::string junk("\x64\x00\x00\x00", 4);
+          junk.append("0123456789");
+          send_all(fd, junk);
+          break;
+        }
+        case Mode::kHalfHeader:
+          send_all(fd, std::string("\x08\x00", 2));
+          break;
+        case Mode::kBadHelloAck:
+          break;
+      }
+      ::close(fd);
+    }
+  }
+
+  static void send_all(int fd, std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t w =
+          ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (w <= 0) return;
+      sent += static_cast<std::size_t>(w);
+    }
+  }
+
+  Mode mode_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> conns_{0};
+};
+
+TEST(RouterDemux, UpstreamGarbageFailsOverWithoutDesync) {
+  using Mode = GarbageUpstream::Mode;
+  for (const Mode mode : {Mode::kBadHelloAck, Mode::kOversizeLength,
+                          Mode::kTruncatedFrame, Mode::kHalfHeader}) {
+    GarbageUpstream garbage(mode);
+    ServerConfig scfg;
+    scfg.shards = 1;
+    NwsServer real(scfg);
+    const std::uint16_t real_port = real.start(0);
+    ASSERT_NE(real_port, 0);
+
+    // One group whose first endpoint talks garbage: the router must walk
+    // to the real server and replay the un-acked window exactly once.
+    RouterConfig rcfg;
+    rcfg.backends = std::to_string(garbage.port()) + "|" +
+                    std::to_string(real_port);
+    rcfg.pool_size = 1;
+    rcfg.replay_limit = 8;
+    rcfg.backoff = BackoffConfig{2.0, 20.0, 2.0, 0.0, 0.1};
+    Router router(rcfg);
+    ASSERT_TRUE(router.start(0));
+
+    const std::vector<std::string> script = {
+        "PUT fuzz/cpu 10 0.5", "PUT fuzz/cpu 20 0.5", "PUT fuzz/cpu 30 0.5",
+        "VALUES fuzz/cpu 4",   "FORECAST fuzz/cpu",
+    };
+    const auto routed = run_text(router.port(), script);
+    ASSERT_EQ(routed.size(), script.size());
+    EXPECT_EQ(routed[0], "OK");
+    EXPECT_EQ(routed[1], "OK");
+    EXPECT_EQ(routed[2], "OK");
+    // The real server applied each sample exactly once despite the replay.
+    EXPECT_EQ(routed[3], real.handle_line("VALUES fuzz/cpu 4"));
+    EXPECT_EQ(routed[4], real.handle_line("FORECAST fuzz/cpu"));
+    const auto stats = parse_stats_response(real.handle_line("STATS"));
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->appended, 3u);
+
+    EXPECT_GE(garbage.connections(), 1) << "garbage endpoint never dialed";
+    EXPECT_GE(router.upstream_reconnects(), 1u);
+    EXPECT_EQ(router.route_misses(), 0u);
+    router.stop();
+    real.stop();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failover behind the router
+
+TEST(RouterFailover, FollowsNotPrimaryRedirectInsideTheProxy) {
+  obs::set_metrics_enabled(true);
+  ServerConfig fcfg;
+  fcfg.shards = 2;
+  fcfg.repl_heartbeat_ms = 10;
+  fcfg.role = ServerRole::kFollower;
+  NwsServer follower(fcfg);
+  const std::uint16_t fport = follower.start(0);
+  ASSERT_NE(fport, 0);
+
+  ServerConfig pcfg;
+  pcfg.shards = 2;
+  pcfg.repl_heartbeat_ms = 10;
+  pcfg.repl_followers = std::to_string(fport);
+  NwsServer primary(pcfg);
+  const std::uint16_t pport = primary.start(0);
+  ASSERT_NE(pport, 0);
+
+  // The follower learns the primary's endpoint from the stream handshake —
+  // that hint is what the router follows.
+  ASSERT_TRUE(wait_for([&] {
+    return follower.primary_hint() == "127.0.0.1:" + std::to_string(pport);
+  }));
+
+  // The group lists the FOLLOWER first, so it is both the ring identity and
+  // the initial target: the first write must bounce with not_primary and
+  // the router must chase the hint to the primary — invisibly.
+  RouterConfig rcfg;
+  rcfg.backends = std::to_string(fport) + "|" + std::to_string(pport);
+  rcfg.pool_size = 2;
+  rcfg.replay_limit = 8;
+  rcfg.backoff = BackoffConfig{2.0, 20.0, 2.0, 0.0, 0.1};
+  Router router(rcfg);
+  ASSERT_TRUE(router.start(0));
+
+  RawConn conn(router.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.send_bytes("PUT redir/cpu 10 0.5\nPUT redir/cpu 20 0.5\n"));
+  EXPECT_EQ(conn.read_line().value_or(""), "OK");
+  EXPECT_EQ(conn.read_line().value_or(""), "OK");
+  EXPECT_GE(router.redirects(), 1u);
+  EXPECT_GE(router.replays(), 1u);
+  EXPECT_EQ(router.route_misses(), 0u);
+
+  // Applied on the primary, exactly once.
+  EXPECT_EQ(primary.handle_line("VALUES redir/cpu 4"),
+            run_text(router.port(), {"VALUES redir/cpu 4"})[0]);
+  const auto stats = parse_stats_response(primary.handle_line("STATS"));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->appended, 2u);
+
+  router.stop();
+  primary.stop();
+  follower.stop();
+}
+
+TEST(RouterFailover, KillPrimaryPromoteFollowerKeepsStreamExactlyOnce) {
+  obs::set_metrics_enabled(true);
+  ServerConfig fcfg;
+  fcfg.shards = 2;
+  fcfg.repl_heartbeat_ms = 10;
+  fcfg.role = ServerRole::kFollower;
+  NwsServer follower(fcfg);
+  const std::uint16_t fport = follower.start(0);
+  ASSERT_NE(fport, 0);
+
+  ServerConfig pcfg;
+  pcfg.shards = 2;
+  pcfg.repl_heartbeat_ms = 10;
+  pcfg.repl_followers = std::to_string(fport);
+  NwsServer primary(pcfg);
+  const std::uint16_t pport = primary.start(0);
+  ASSERT_NE(pport, 0);
+
+  RouterConfig rcfg;
+  rcfg.backends = std::to_string(pport) + "|" + std::to_string(fport);
+  rcfg.pool_size = 2;
+  rcfg.replay_limit = 8;
+  rcfg.backoff = BackoffConfig{2.0, 20.0, 2.0, 0.0, 0.1};
+  Router router(rcfg);
+  ASSERT_TRUE(router.start(0));
+
+  // One client connection outlives the failover: a sequence-tagged stream
+  // before the kill, the same stream (with a client-side replay overlap)
+  // after PROMOTE.
+  RawConn conn(router.port());
+  ASSERT_TRUE(conn.ok());
+  std::string burst1;
+  for (int seq = 1; seq <= 20; ++seq) {
+    burst1 += "PUTS kill/cpu " + std::to_string(seq) + " " +
+              std::to_string(10 * seq) + " 0.5\n";
+  }
+  ASSERT_TRUE(conn.send_bytes(burst1));
+  for (int seq = 1; seq <= 20; ++seq) {
+    EXPECT_EQ(conn.read_line().value_or(""), "OK") << "seq " << seq;
+  }
+  ASSERT_TRUE(wait_for([&] {
+    const auto stats = parse_stats_response(follower.handle_line("STATS"));
+    return stats && stats->appended == 20u;
+  })) << "follower never caught up";
+
+  // Kill the primary; promote the follower (the failover an operator or
+  // the follower's own timer performs).
+  primary.stop();
+  EXPECT_EQ(follower.handle_line("PROMOTE").rfind("OK", 0), 0u);
+
+  // Same connection, overlapping seqs 15..20 (an outbox replay) plus fresh
+  // 21..30: the promoted backend's dedup answers the overlap with the
+  // server's own "OK dup" and applies the rest exactly once.
+  std::string burst2;
+  for (int seq = 15; seq <= 30; ++seq) {
+    burst2 += "PUTS kill/cpu " + std::to_string(seq) + " " +
+              std::to_string(10 * seq) + " 0.5\n";
+  }
+  ASSERT_TRUE(conn.send_bytes(burst2));
+  for (int seq = 15; seq <= 30; ++seq) {
+    EXPECT_EQ(conn.read_line().value_or(""), seq <= 20 ? "OK dup" : "OK")
+        << "seq " << seq;
+  }
+
+  // Fleet state: exactly 30 distinct samples, 6 duplicates absorbed.
+  const auto stats = parse_stats_response(follower.handle_line("STATS"));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->appended, 30u);
+  EXPECT_EQ(follower.duplicates_acked(), 6u);
+  EXPECT_EQ(run_text(router.port(), {"VALUES kill/cpu 64"})[0],
+            follower.handle_line("VALUES kill/cpu 64"));
+  EXPECT_GE(router.upstream_reconnects(), 1u);
+  EXPECT_EQ(router.route_misses(), 0u);
+
+  router.stop();
+  follower.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Admission control, configuration, concurrency
+
+TEST(RouterConfigTest, BacklogZeroShedsEveryRoutedRequest) {
+  RouterConfig rcfg;
+  rcfg.upstream_backlog = 0;
+  rcfg.busy_retry_ms = 7;
+  Fleet fleet(1, rcfg);
+  const auto out =
+      run_text(fleet.router->port(), {"PUT shed/cpu 1 0.5", "SERIES", "PING"});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "ERR busy retry_after_ms=7");
+  EXPECT_EQ(out[1], "ERR busy retry_after_ms=7");
+  EXPECT_EQ(out[2], "OK");  // answered at the router, never queued
+}
+
+TEST(RouterConfigTest, EnvironmentProvidesBackendsAndStartFailsWithout) {
+  ServerConfig cfg;
+  cfg.shards = 1;
+  NwsServer a(cfg);
+  NwsServer b(cfg);
+  const std::uint16_t pa = a.start(0);
+  const std::uint16_t pb = b.start(0);
+  ASSERT_NE(pa, 0);
+  ASSERT_NE(pb, 0);
+
+  ::setenv("NWSCPU_ROUTER_BACKENDS",
+           (std::to_string(pa) + "," + std::to_string(pb)).c_str(), 1);
+  {
+    Router router;
+    EXPECT_TRUE(router.start(0));
+    EXPECT_EQ(router.backend_count(), 2u);
+    EXPECT_EQ(run_text(router.port(), {"PING"})[0], "OK");
+    router.stop();
+  }
+  ::unsetenv("NWSCPU_ROUTER_BACKENDS");
+  {
+    Router router;  // no config, no environment: nothing to route to
+    EXPECT_FALSE(router.start(0));
+  }
+  a.stop();
+  b.stop();
+}
+
+TEST(RouterConcurrent, ParallelClientsSeeOnlyTheirOwnResponses) {
+  Fleet fleet(2);
+  const std::uint16_t port = fleet.router->port();
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 40;
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      // Distinct series per worker: every response is attributable, so a
+      // cross-client demux mixup would show up as a wrong byte.
+      const std::string series = "conc" + std::to_string(w) + "/cpu";
+      std::vector<std::string> script;
+      for (int r = 1; r <= kRounds; ++r) {
+        script.push_back("PUT " + series + " " + std::to_string(10 * r) +
+                         " 0.5");
+      }
+      script.push_back("VALUES " + series + " 2");
+      const auto out = run_text(port, script);
+      if (out.size() != script.size()) {
+        ++failures;
+        return;
+      }
+      for (int r = 0; r < kRounds; ++r) {
+        if (out[r] != "OK") ++failures;
+      }
+      const std::string tail = "OK 2 " + std::to_string(10 * (kRounds - 1)) +
+                               " 0.5 " + std::to_string(10 * kRounds) +
+                               " 0.5";
+      if (out.back().rfind("OK 2 ", 0) != 0) ++failures;
+      (void)tail;
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(fleet.router->requests_routed(),
+            static_cast<std::uint64_t>(kThreads * kRounds));
+}
+
+}  // namespace
+}  // namespace nws
