@@ -43,7 +43,10 @@
 //
 // Knobs: NWSCPU_NET_MS (per-scenario duration, default 400),
 // NWSCPU_NET_BATCH (PUTB batch size, default 256), NWSCPU_NET_CONNS
-// (sweep sizes, default "1000,5000"), NWSCPU_NET_SWEEP_MS (per-cell
+// (sweep sizes, default "1000,5000"), NWSCPU_NET_DISPATCHERS (dispatcher
+// counts for the sweep and the router cells, default "1" — the fixed
+// Part 1 scenario list always includes a 1-vs-4-dispatcher replay pair),
+// NWSCPU_NET_SWEEP_MS (per-cell
 // duration, default 300), NWSCPU_NET_BACKENDS, NWSCPU_ROUTER_SWEEP
 // (router backend counts, default "1,2,4"), NWSCPU_ROUTER_CONNS
 // (clients per router cell, default 8), NWSCPU_ROUTER_MS (per-cell
@@ -201,6 +204,7 @@ struct Scenario {
   std::size_t shards;
   bool binary = false;     ///< drive the HELLO BIN framing
   std::size_t batch = 0;   ///< PUTB samples per line (0 = NWSCPU_NET_BATCH)
+  std::size_t dispatchers = 1;  ///< server dispatcher threads
 };
 
 struct Result {
@@ -364,6 +368,7 @@ Result run_scenario(const Scenario& scenario, std::size_t default_batch,
       scenario.batch > 0 ? scenario.batch : default_batch;
   nws::ServerConfig config;
   config.shards = scenario.shards;
+  config.dispatchers = scenario.dispatchers;
   nws::NwsServer server(config);
   Result result{scenario};
   const std::uint16_t port = server.start(0);
@@ -394,6 +399,7 @@ struct SweepCell {
   std::size_t requested = 0;
   std::size_t established = 0;
   bool binary = false;
+  std::size_t dispatchers = 1;
   nws::NetBackend backend = nws::NetBackend::kAuto;
   std::uint64_t responses = 0;
   double seconds = 0.0;
@@ -586,12 +592,14 @@ void sweep_driver(std::vector<SweepConn>& conns, bool binary,
 }
 
 SweepCell run_sweep_cell(std::size_t requested, bool binary,
-                         nws::NetBackend backend, rlim_t fd_limit,
+                         nws::NetBackend backend, std::size_t dispatchers,
+                         rlim_t fd_limit,
                          std::chrono::milliseconds duration) {
   SweepCell cell;
   cell.requested = requested;
   cell.binary = binary;
   cell.backend = backend;
+  cell.dispatchers = dispatchers;
   std::size_t target = requested;
   const std::size_t capacity = connection_capacity(fd_limit);
   if (target > capacity) {
@@ -602,6 +610,7 @@ SweepCell run_sweep_cell(std::size_t requested, bool binary,
 
   nws::ServerConfig config;
   config.net_backend = backend;
+  config.dispatchers = dispatchers;
   config.idle_timeout_ms = 0;  // sweep connections may sit between passes
   nws::NwsServer server(config);
   const std::uint16_t port = server.start(0);
@@ -666,6 +675,7 @@ SweepCell run_sweep_cell(std::size_t requested, bool binary,
 
 struct RouterCell {
   std::size_t backends = 0;  ///< 0 = direct baseline (no router hop)
+  std::size_t dispatchers = 1;  ///< router dispatcher planes (1 for direct)
   bool binary = false;
   std::uint64_t measurements = 0;
   std::uint64_t round_trips = 0;
@@ -682,11 +692,13 @@ struct RouterCell {
 /// traffic from `connections` clients through the proxy.  Clients hash
 /// across distinct series, so the keyspace spreads over the ring and every
 /// backend takes a share of the write load.
-RouterCell run_router_cell(std::size_t backend_count, bool binary,
-                           std::size_t connections, std::size_t batch_size,
+RouterCell run_router_cell(std::size_t backend_count, std::size_t dispatchers,
+                           bool binary, std::size_t connections,
+                           std::size_t batch_size,
                            std::chrono::milliseconds duration) {
   RouterCell cell;
   cell.backends = backend_count;
+  cell.dispatchers = dispatchers;
   cell.binary = binary;
   std::vector<std::unique_ptr<nws::NwsServer>> fleet;
   std::string spec;
@@ -705,6 +717,7 @@ RouterCell run_router_cell(std::size_t backend_count, bool binary,
   }
   nws::RouterConfig rcfg;
   rcfg.backends = spec;
+  rcfg.dispatchers = dispatchers;
   nws::Router router(rcfg);
   if (!router.start(0)) {
     std::cerr << "net_throughput: cannot start router\n";
@@ -751,6 +764,8 @@ int main() {
       std::chrono::milliseconds(env_size("NWSCPU_NET_SWEEP_MS", 300));
   const std::vector<std::size_t> sweep_conns =
       env_size_list("NWSCPU_NET_CONNS", "1000,5000");
+  const std::vector<std::size_t> sweep_dispatchers =
+      env_size_list("NWSCPU_NET_DISPATCHERS", "1");
   const std::vector<std::size_t> router_backends =
       env_size_list("NWSCPU_ROUTER_SWEEP", "1,2,4");
   const std::size_t router_conns = env_size("NWSCPU_ROUTER_CONNS", 8);
@@ -770,6 +785,16 @@ int main() {
       // 64 KiB frame/line cap at 2048 samples.
       {Mode::kReplay, 1, 1, /*binary=*/false, /*batch=*/2048},
       {Mode::kReplay, 1, 1, /*binary=*/true, /*batch=*/2048},
+      // Dispatcher scaling (appended; earlier indices stay fixed).  The
+      // replay cell is dispatcher-bound — dup-skipped batches keep the
+      // shard workers nearly idle, so byte-moving is the whole cost and
+      // the 4-dispatcher/1-dispatcher ratio isolates the accept-sharded
+      // multi-loop plane.  Flat on a 1-core box; hw_concurrency is
+      // recorded in every cell so that reads as machine, not regression.
+      {Mode::kReplay, 8, 8, /*binary=*/true, /*batch=*/2048,
+       /*dispatchers=*/1},
+      {Mode::kReplay, 8, 8, /*binary=*/true, /*batch=*/2048,
+       /*dispatchers=*/4},
   };
 
   std::vector<Result> results;
@@ -778,14 +803,15 @@ int main() {
             << batch_size << " samples/line, hw_concurrency "
             << std::thread::hardware_concurrency() << ", RLIMIT_NOFILE "
             << fd_limit << "\n";
-  std::cout << "mode   wire conns shards   measurements/s   round-trips/s"
+  std::cout << "mode   wire conns shards disp   measurements/s   round-trips/s"
                "   p50_us   p99_us\n";
   for (const Scenario& scenario : scenarios) {
     const Result result = run_scenario(scenario, batch_size, duration);
     results.push_back(result);
-    std::printf("%-6s %-4s %5zu %6zu %16.0f %15.0f %8.0f %8.0f\n",
+    std::printf("%-6s %-4s %5zu %6zu %4zu %16.0f %15.0f %8.0f %8.0f\n",
                 mode_name(scenario.mode), scenario.binary ? "bin" : "text",
-                scenario.connections, scenario.shards, result.per_sec(),
+                scenario.connections, scenario.shards, scenario.dispatchers,
+                result.per_sec(),
                 result.seconds > 0.0
                     ? static_cast<double>(result.round_trips) / result.seconds
                     : 0.0,
@@ -799,6 +825,7 @@ int main() {
   const double put_bin_vs_text = ratio(results[7], results[2]);
   const double putb_bin_vs_text_1c = ratio(results[8], results[3]);
   const double replay_bin_vs_text = ratio(results[10], results[9]);
+  const double putb_4d_vs_1d = ratio(results[12], results[11]);
   std::printf("aggregate 8c/8s vs 1c/1s: unbatched %.2fx, batched %.2fx\n",
               unbatched_gain, batched_gain);
   std::printf("binary vs text putb (full apply): %.2fx at 1c/1s, %.2fx at "
@@ -807,24 +834,29 @@ int main() {
   std::printf("binary vs text putb replay (wire-bound): %.2fx at 1c/1s\n",
               replay_bin_vs_text);
   std::printf("binary vs text put at 8c/8s: %.2fx\n", put_bin_vs_text);
+  std::printf(
+      "putb replay 4 dispatchers vs 1 at 8c/8s: %.2fx (hw_concurrency %u)\n",
+      putb_4d_vs_1d, std::thread::hardware_concurrency());
 
   std::vector<SweepCell> sweep;
   std::cout << "connection sweep: " << sweep_duration.count()
             << " ms/cell, one PUT round-robin per connection\n";
-  std::cout << "backend wire  requested established    responses/s"
+  std::cout << "backend wire  disp  requested established    responses/s"
                "   p50_us   p99_us\n";
   for (const std::size_t conns : sweep_conns) {
     for (const nws::NetBackend backend :
          {nws::NetBackend::kEpoll, nws::NetBackend::kPoll}) {
       for (const bool binary : {false, true}) {
-        const SweepCell cell =
-            run_sweep_cell(conns, binary, backend, fd_limit, sweep_duration);
-        sweep.push_back(cell);
-        std::printf("%-7s %-5s %9zu %11zu %14.0f %8.0f %8.0f%s\n",
-                    backend_name(backend), binary ? "bin" : "text",
-                    cell.requested, cell.established, cell.per_sec(),
-                    cell.p50_us, cell.p99_us,
-                    cell.clamped ? "  (clamped)" : "");
+        for (const std::size_t disp : sweep_dispatchers) {
+          const SweepCell cell = run_sweep_cell(conns, binary, backend, disp,
+                                                fd_limit, sweep_duration);
+          sweep.push_back(cell);
+          std::printf("%-7s %-5s %4zu %10zu %11zu %14.0f %8.0f %8.0f%s\n",
+                      backend_name(backend), binary ? "bin" : "text",
+                      cell.dispatchers, cell.requested, cell.established,
+                      cell.per_sec(), cell.p50_us, cell.p99_us,
+                      cell.clamped ? "  (clamped)" : "");
+        }
       }
     }
   }
@@ -836,7 +868,7 @@ int main() {
             << router_conns << " clients, PUTB " << batch_size
             << " samples/line (2-backend vs direct is the headline; "
                "parallel speedup needs >= 2 cores)\n";
-  std::cout << "target        wire backends   measurements/s   p50_us"
+  std::cout << "target        wire backends disp   measurements/s   p50_us"
                "   p99_us\n";
   double direct_per_sec[2] = {0.0, 0.0};
   double routed_2b_per_sec[2] = {0.0, 0.0};
@@ -845,17 +877,22 @@ int main() {
         run_direct_cell(binary, router_conns, batch_size, router_duration);
     direct_per_sec[binary ? 1 : 0] = direct.per_sec();
     router_cells.push_back(direct);
-    std::printf("direct        %-4s %8s %16.0f %8.0f %8.0f\n",
-                binary ? "bin" : "text", "-", direct.per_sec(), direct.p50_us,
-                direct.p99_us);
-    for (const std::size_t backends : router_backends) {
-      const RouterCell cell = run_router_cell(
-          backends, binary, router_conns, batch_size, router_duration);
-      if (backends == 2) routed_2b_per_sec[binary ? 1 : 0] = cell.per_sec();
-      router_cells.push_back(cell);
-      std::printf("router        %-4s %8zu %16.0f %8.0f %8.0f\n",
-                  binary ? "bin" : "text", backends, cell.per_sec(),
-                  cell.p50_us, cell.p99_us);
+    std::printf("direct        %-4s %8s %4zu %16.0f %8.0f %8.0f\n",
+                binary ? "bin" : "text", "-", direct.dispatchers,
+                direct.per_sec(), direct.p50_us, direct.p99_us);
+    for (const std::size_t disp : sweep_dispatchers) {
+      for (const std::size_t backends : router_backends) {
+        const RouterCell cell =
+            run_router_cell(backends, disp, binary, router_conns, batch_size,
+                            router_duration);
+        if (backends == 2 && disp == sweep_dispatchers.front()) {
+          routed_2b_per_sec[binary ? 1 : 0] = cell.per_sec();
+        }
+        router_cells.push_back(cell);
+        std::printf("router        %-4s %8zu %4zu %16.0f %8.0f %8.0f\n",
+                    binary ? "bin" : "text", backends, cell.dispatchers,
+                    cell.per_sec(), cell.p50_us, cell.p99_us);
+      }
     }
   }
   const double router_2b_vs_direct_text =
@@ -874,12 +911,16 @@ int main() {
   json << "  \"duration_ms\": " << duration.count() << ",\n";
   json << "  \"putb_batch\": " << batch_size << ",\n";
   json << "  \"scenarios\": [\n";
+  const unsigned hw = std::thread::hardware_concurrency();
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     json << "    {\"mode\": \"" << mode_name(r.scenario.mode)
          << "\", \"wire\": \"" << (r.scenario.binary ? "binary" : "text")
          << "\", \"connections\": " << r.scenario.connections
          << ", \"shards\": " << r.scenario.shards
+         << ", \"dispatchers\": " << r.scenario.dispatchers
+         << ", \"backends\": 1"
+         << ", \"hw_concurrency\": " << hw
          << ", \"measurements\": " << r.measurements
          << ", \"round_trips\": " << r.round_trips
          << ", \"seconds\": " << r.seconds
@@ -895,7 +936,10 @@ int main() {
     const SweepCell& c = sweep[i];
     json << "    {\"backend\": \"" << backend_name(c.backend)
          << "\", \"wire\": \"" << (c.binary ? "binary" : "text")
-         << "\", \"connections_requested\": " << c.requested
+         << "\", \"dispatchers\": " << c.dispatchers
+         << ", \"backends\": 1"
+         << ", \"hw_concurrency\": " << hw
+         << ", \"connections_requested\": " << c.requested
          << ", \"connections\": " << c.established
          << ", \"clamped\": " << (c.clamped ? "true" : "false")
          << ", \"responses\": " << c.responses
@@ -912,7 +956,8 @@ int main() {
   json << "  \"putb_bin_vs_text_1c1s\": " << putb_bin_vs_text_1c << ",\n";
   json << "  \"putb_replay_bin_vs_text_1c1s\": " << replay_bin_vs_text
        << ",\n";
-  json << "  \"put_bin_vs_text_8c8s\": " << put_bin_vs_text << "\n";
+  json << "  \"put_bin_vs_text_8c8s\": " << put_bin_vs_text << ",\n";
+  json << "  \"putb_replay_4d_vs_1d_8c8s\": " << putb_4d_vs_1d << "\n";
   json << "}\n";
   json.close();
   std::cout << "wrote " << path << "\n";
@@ -932,6 +977,8 @@ int main() {
     rjson << "    {\"target\": \"" << (c.backends == 0 ? "direct" : "router")
           << "\", \"wire\": \"" << (c.binary ? "binary" : "text")
           << "\", \"backends\": " << c.backends
+          << ", \"dispatchers\": " << c.dispatchers
+          << ", \"hw_concurrency\": " << hw
           << ", \"measurements\": " << c.measurements
           << ", \"round_trips\": " << c.round_trips
           << ", \"seconds\": " << c.seconds

@@ -1,9 +1,13 @@
 #include "nws/event_loop.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cerrno>
 #include <cstdlib>
@@ -11,7 +15,10 @@
 
 #ifdef __linux__
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #endif
+
+#include "obs/metrics.hpp"
 
 namespace nws {
 
@@ -32,6 +39,35 @@ NetBackend resolve_loop_backend(NetBackend requested) {
   (void)requested;
   return NetBackend::kPoll;
 #endif
+}
+
+bool make_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Vectored-write telemetry shared by every dispatcher (server + router):
+/// calls/bytes/buffers expose the syscall coalescing the TxQueue buys.
+struct NetMetrics {
+  obs::Counter* writev_calls;
+  obs::Counter* writev_bytes;
+  obs::Counter* writev_buffers;
+};
+
+NetMetrics& net_metrics() {
+  static NetMetrics* m = [] {
+    auto* nm = new NetMetrics;
+    auto& r = obs::registry();
+    nm->writev_calls = &r.counter("nws_net_writev_calls_total",
+                                  "Vectored sendmsg flushes issued");
+    nm->writev_bytes = &r.counter("nws_net_writev_bytes_total",
+                                  "Bytes written through vectored flushes");
+    nm->writev_buffers =
+        &r.counter("nws_net_writev_buffers_total",
+                   "Wire images coalesced into vectored flushes");
+    return nm;
+  }();
+  return *m;
 }
 
 }  // namespace
@@ -157,6 +193,121 @@ std::size_t EventLoop::wait(std::vector<LoopEvent>& out, int timeout_ms) {
     out.push_back(ev);
   }
   return out.size();
+}
+
+// ---------------------------------------------------------------------------
+// LoopWaker
+
+bool LoopWaker::open() {
+  if (rx_ >= 0) return true;
+#ifdef __linux__
+  const int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (efd >= 0) {
+    rx_ = tx_ = efd;
+    return true;
+  }
+#endif
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) return false;
+  if (!make_nonblocking(pipe_fds[0]) || !make_nonblocking(pipe_fds[1])) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return false;
+  }
+  rx_ = pipe_fds[0];
+  tx_ = pipe_fds[1];
+  return true;
+}
+
+void LoopWaker::close_fds() noexcept {
+  if (rx_ >= 0) ::close(rx_);
+  if (tx_ >= 0 && tx_ != rx_) ::close(tx_);
+  rx_ = tx_ = -1;
+}
+
+void LoopWaker::wake() const noexcept {
+  if (tx_ < 0) return;
+  if (tx_ == rx_) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t w = ::write(tx_, &one, sizeof one);
+  } else {
+    const char b = 1;
+    [[maybe_unused]] const ssize_t w = ::write(tx_, &b, 1);
+  }
+}
+
+void LoopWaker::drain() const noexcept {
+  if (rx_ < 0) return;
+  if (tx_ == rx_) {
+    std::uint64_t n = 0;
+    [[maybe_unused]] const ssize_t r = ::read(rx_, &n, sizeof n);
+  } else {
+    char buf[256];
+    while (::read(rx_, buf, sizeof buf) > 0) {
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TxQueue
+
+void TxQueue::push(std::string&& wire) {
+  if (wire.empty()) return;
+  bytes_ += wire.size();
+  bufs_.push_back(std::move(wire));
+}
+
+void TxQueue::clear() noexcept {
+  bufs_.clear();
+  front_off_ = 0;
+  bytes_ = 0;
+}
+
+void TxQueue::consume(std::size_t n) noexcept {
+  bytes_ -= n;
+  while (n != 0) {
+    std::string& front = bufs_.front();
+    const std::size_t avail = front.size() - front_off_;
+    if (n < avail) {
+      front_off_ += n;
+      return;
+    }
+    n -= avail;
+    bufs_.pop_front();
+    front_off_ = 0;
+  }
+}
+
+TxQueue::FlushStatus TxQueue::flush(int fd) {
+  NetMetrics& m = net_metrics();
+  while (bytes_ != 0) {
+    std::array<iovec, kMaxIov> iov;
+    std::size_t niov = 0;
+    std::size_t off = front_off_;
+    for (const std::string& b : bufs_) {
+      if (niov == iov.size()) break;
+      // sendmsg never writes through msg_iov; const_cast bridges iovec's
+      // non-const API.
+      iov[niov].iov_base = const_cast<char*>(b.data()) + off;
+      iov[niov].iov_len = b.size() - off;
+      off = 0;
+      ++niov;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov.data();
+    msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(niov);
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return FlushStatus::kBlocked;
+      return FlushStatus::kClosed;
+    }
+    m.writev_calls->inc();
+    m.writev_bytes->inc(static_cast<std::uint64_t>(w));
+    m.writev_buffers->inc(niov);
+    consume(static_cast<std::size_t>(w));
+  }
+  return FlushStatus::kDrained;
 }
 
 }  // namespace nws

@@ -2,7 +2,7 @@
 //
 // A thin ownership wrapper over epoll (Linux) or poll (portable fallback)
 // with the same level-triggered semantics on both backends, so code built
-// on it — the router's proxy loop — behaves identically whichever kernel
+// on it — the router's proxy planes — behaves identically whichever kernel
 // facility drives it.  The backend is chosen exactly like the server
 // dispatcher's: an explicit NetBackend wins, then NWSCPU_NET_BACKEND, then
 // epoll on Linux.
@@ -17,15 +17,27 @@
 //
 // Single-threaded: one loop, one owner thread, no locks.  The owner hands
 // each fd a u64 tag (an index or generation-checked handle) that comes
-// back verbatim in LoopEvent.
+// back verbatim in LoopEvent.  A multi-dispatcher server/router simply
+// owns one EventLoop (plus one LoopWaker) per dispatcher thread.
+//
+// This header also hosts the two helpers every dispatcher needs:
+//   - LoopWaker: the cross-thread wakeup channel (eventfd, else self-pipe);
+//   - TxQueue: an outbound queue of wire images flushed with one vectored
+//     sendmsg (writev + MSG_NOSIGNAL) per drain instead of copy-then-send.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <string>
 #include <vector>
 
-#include "nws/server.hpp"  // NetBackend
-
 namespace nws {
+
+/// Event-loop backend for dispatcher threads.  kAuto resolves the
+/// NWSCPU_NET_BACKEND environment variable ("poll" or "epoll"); unset
+/// defaults to epoll, whose readiness lists are O(ready) instead of the
+/// poll backend's O(connections) pollfd rebuild per iteration.
+enum class NetBackend { kAuto, kPoll, kEpoll };
 
 struct LoopEvent {
   int fd = -1;
@@ -76,6 +88,75 @@ class EventLoop {
   /// the vector grows on demand).
   std::vector<Entry> entries_;
   std::size_t live_ = 0;
+};
+
+/// Worker -> dispatcher wakeup channel: an eventfd when available (one fd
+/// is both ends), else a nonblocking self-pipe.  wake() is async-safe with
+/// respect to the loop thread; drain() empties the channel after the loop
+/// observes rx() readable.  Every dispatcher owns one, so a wake targets
+/// exactly the loop that owns the flagged connection.
+class LoopWaker {
+ public:
+  LoopWaker() = default;
+  ~LoopWaker() { close_fds(); }
+
+  LoopWaker(const LoopWaker&) = delete;
+  LoopWaker& operator=(const LoopWaker&) = delete;
+
+  /// Opens the channel (idempotent).  False when both eventfd and pipe
+  /// creation fail.
+  bool open();
+  void close_fds() noexcept;
+
+  /// The fd the event loop watches for readability (-1 when closed).
+  [[nodiscard]] int rx() const noexcept { return rx_; }
+  [[nodiscard]] bool is_open() const noexcept { return rx_ >= 0; }
+
+  /// Nudges the loop out of its event wait (callable from any thread).
+  void wake() const noexcept;
+  /// Drains pending wake tokens (call on the loop thread when rx() fires).
+  void drain() const noexcept;
+
+ private:
+  int rx_ = -1;
+  int tx_ = -1;  ///< == rx_ for an eventfd, the pipe write end otherwise
+};
+
+/// Outbound byte queue holding whole wire images (one string per response
+/// or frame) and flushing them with a single vectored ::sendmsg per drain:
+/// no O(bytes) copy into a flat tx buffer, no memmove on partial writes,
+/// and any number of pipelined responses coalesce into one syscall.
+class TxQueue {
+ public:
+  /// iovec fan-in per sendmsg call (IOV_MAX is >=1024 everywhere; 64 keeps
+  /// the stack frame small while still batching deep pipelines).
+  static constexpr std::size_t kMaxIov = 64;
+
+  enum class FlushStatus {
+    kDrained,  ///< queue empty; disarm write interest
+    kBlocked,  ///< kernel buffer full (EAGAIN); arm write interest
+    kClosed,   ///< hard error (EPIPE/ECONNRESET/...): peer is gone
+  };
+
+  [[nodiscard]] bool empty() const noexcept { return bytes_ == 0; }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+  /// Enqueues one wire image (empty strings are dropped: a zero-length
+  /// iovec would make the flush loop spin).
+  void push(std::string&& wire);
+  void clear() noexcept;
+
+  /// Writes as much as `fd` accepts (looping over EINTR and continuing
+  /// after full sendmsg batches) and pops fully-sent images.  Counts
+  /// syscalls/bytes/buffers into the nws_net_writev_* registry metrics.
+  FlushStatus flush(int fd);
+
+ private:
+  void consume(std::size_t n) noexcept;
+
+  std::deque<std::string> bufs_;
+  std::size_t front_off_ = 0;  ///< bytes of bufs_.front() already sent
+  std::size_t bytes_ = 0;      ///< total unsent bytes across bufs_
 };
 
 }  // namespace nws

@@ -7,10 +7,6 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#ifdef __linux__
-#include <sys/eventfd.h>
-#endif
-
 #include <algorithm>
 #include <cerrno>
 #include <charconv>
@@ -20,12 +16,14 @@
 #include <deque>
 #include <limits>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
-#include "nws/event_loop.hpp"
 #include "nws/protocol.hpp"
 #include "nws/replication.hpp"
 #include "obs/metrics.hpp"
@@ -55,6 +53,29 @@ std::size_t resolve_env_size(std::size_t configured, const char* env_name,
   return fallback;
 }
 
+std::size_t resolve_dispatchers(const RouterConfig& cfg) {
+  return resolve_env_size(cfg.dispatchers, "NWSCPU_DISPATCHERS", 1);
+}
+
+int resolve_listen_backlog(const RouterConfig& cfg) {
+  if (cfg.listen_backlog > 0) return cfg.listen_backlog;
+  if (const char* env = std::getenv("NWSCPU_LISTEN_BACKLOG")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  return SOMAXCONN;
+}
+
+bool resolve_reuseport(const RouterConfig& cfg) {
+  if (!cfg.reuseport) return false;
+  if (const char* env = std::getenv("NWSCPU_REUSEPORT")) {
+    const std::string_view v(env);
+    if (v == "0" || v == "off" || v == "false") return false;
+  }
+  return true;
+}
+
 std::int64_t steady_ms() noexcept {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -77,6 +98,58 @@ void configure_socket(int fd) {
   set_nonblocking(fd);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// Resolves an endpoint to its socket address.  Called once when the
+/// endpoint enters the config (setup or a learned redirect hint) — NEVER
+/// on the connect path, so a dead endpoint cycling through reconnects
+/// costs the dispatcher thread no per-attempt string parsing.
+sockaddr_in resolve_endpoint_addr(const ReplEndpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (ep.host.empty() ||
+      ::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  }
+  return addr;
+}
+
+/// Opens a nonblocking loopback listener on `*port` (0 = ephemeral;
+/// updated to the bound port).  `reuseport` adds SO_REUSEPORT before bind
+/// so several listeners can shard one port's accept queue (Linux).
+int open_listener(std::uint16_t* port, int backlog, bool reuseport) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+#ifdef __linux__
+  if (reuseport) {
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+#else
+  if (reuseport) {
+    ::close(fd);
+    return -1;
+  }
+#endif
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(*port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t alen = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  *port = ntohs(addr.sin_port);
+  set_nonblocking(fd);
+  return fd;
 }
 
 // --- request token scanning -------------------------------------------------
@@ -103,7 +176,7 @@ bool rest_is_ws(std::string_view line, std::size_t pos) {
 /// absurd length counts as a demux failure.
 constexpr std::size_t kUpstreamFrameCap = 16u << 20;
 /// Upstream tx high-water per pump round: enough to coalesce hundreds of
-/// requests into one write without unbounded buffering.
+/// requests into one vectored write without unbounded buffering.
 constexpr std::size_t kTxHighWater = 1u << 20;
 
 const std::string kErrUpstreamUnavailable = "ERR upstream unavailable";
@@ -185,126 +258,1294 @@ RouterMetrics& router_metrics() {
 }  // namespace
 
 // ===========================================================================
+// Router::Impl — shared immutable state plus one Plane per dispatcher.
+//
+// The Impl parses the backend spec, builds the ring, resolves endpoint
+// addresses ONCE, and opens the listener topology (SO_REUSEPORT shard per
+// plane, or one shared listener behind accept_mu_).  Each Plane then runs
+// the former single-threaded proxy loop unchanged over its own connection
+// population: clients are pinned to their accepting plane, every backend
+// gets a per-plane pool share, and nothing mutable is shared between
+// planes except the obs counters (atomics) and the accept lock.
 
 struct Router::Impl {
   explicit Impl(Router& outer) : outer_(outer), cfg_(outer.cfg_) {}
 
-  // --- wiring --------------------------------------------------------------
-
   Router& outer_;
   const RouterConfig& cfg_;
-  std::unique_ptr<EventLoop> loop_;
-  int listen_fd_ = -1;
-  int wake_rx_ = -1;
-  int wake_tx_ = -1;
-  std::size_t pool_size_ = 2;
   HashRing ring_;
+  std::size_t pool_size_ = 2;   ///< configured pool per backend (total)
+  std::size_t plane_pool_ = 2;  ///< per-plane share (>= 1)
+  int listen_backlog_ = 128;
+  bool shared_listener_ = true;
+  std::mutex accept_mu_;  ///< serializes accept drains on a shared listener
+  std::vector<int> listen_fds_;
 
-  // Tag encoding: top 2 bits select the kind.
-  static constexpr std::uint64_t kTagListen = 1;
-  static constexpr std::uint64_t kTagWake = 2;
-  static constexpr std::uint64_t kKindClient = std::uint64_t{1} << 62;
-  static constexpr std::uint64_t kKindUpstream = std::uint64_t{2} << 62;
-
-  static std::uint64_t client_tag(std::uint64_t id) { return kKindClient | id; }
-  std::uint64_t upstream_tag(std::size_t backend, std::size_t slot) const {
-    return kKindUpstream | (static_cast<std::uint64_t>(backend) << 16) | slot;
-  }
-
-  // --- client side ---------------------------------------------------------
-
-  struct Gather {
-    enum Kind { kSeries, kStats, kMetrics };
-    Kind kind = kSeries;
-    std::uint64_t client_id = 0;
-    std::uint64_t slot = 0;
-    bool client_binary = false;
-    /// Single-backend scatter: the one part is forwarded verbatim, no
-    /// merge — routed bytes stay identical to a direct connection.
-    bool verbatim = false;
-    std::size_t remaining = 0;
-    std::vector<std::string> parts;
-    std::vector<char> have;
+  /// One backend endpoint with its socket address pre-resolved (see
+  /// resolve_endpoint_addr — keeps string parsing off the connect path).
+  struct Endpoint {
+    ReplEndpoint ep;
+    sockaddr_in addr{};
   };
 
-  struct ClientConn {
-    int fd = -1;
-    std::uint64_t id = 0;
-    std::string rx;
-    std::string tx;
-    bool binary = false;      ///< negotiated HELLO BIN (applies to later slots)
-    bool stop_input = false;  ///< QUIT / fatal framing error seen
-    bool closing = false;     ///< close once every response has flushed
-    bool dirty = false;       ///< queued for the end-of-iteration flush
-    std::uint64_t next_slot = 0;
-    std::uint64_t flush_slot = 0;
-    /// Routed point requests awaiting an upstream ack.  A scatter verb is a
-    /// barrier: it only fires once this drains, so the cross-backend view
-    /// observes every prior request of this client — exactly the effect
-    /// order a single direct connection would give.
-    std::size_t outstanding = 0;
-    bool gated = false;  ///< input held until the pending gather completes
-    bool has_pending_scatter = false;
-    Gather::Kind pending_kind = Gather::kSeries;
-    std::string pending_verb;
-    std::uint64_t pending_slot = 0;
-    /// Out-of-order completions parked until their slot is next:
-    /// slot -> (payload, response rides binary framing).
-    std::map<std::uint64_t, std::pair<std::string, bool>> done;
-  };
-
-  std::unordered_map<std::uint64_t, std::unique_ptr<ClientConn>> clients_;
-  std::uint64_t next_client_id_ = 1;
-  std::vector<std::uint64_t> dirty_clients_;
-  /// Clients whose input gate opened this iteration (their gather
-  /// completed): re-run input processing for them after event dispatch.
-  std::vector<std::uint64_t> pending_resume_;
-
-  // --- upstream side -------------------------------------------------------
-
-  struct InFlight {
-    std::string frame;  ///< complete upstream wire bytes (kept for replay)
-    std::uint64_t client_id = 0;
-    std::uint64_t slot = 0;
-    bool client_binary = false;
-    int attempts = 0;  ///< times handed to a connection's send queue
-    std::shared_ptr<Gather> gather;
-    std::size_t part = 0;
-    std::uint64_t t0_us = 0;  ///< nonzero -> hop latency sampled
-  };
-  using Entry = std::unique_ptr<InFlight>;
-
-  struct UpstreamConn {
-    int fd = -1;
-    enum class St { kDown, kConnecting, kHello, kReady };
-    St st = St::kDown;
-    std::string rx;
-    std::string tx;
-    std::deque<Entry> sendq;    ///< not yet written to the socket
-    std::deque<Entry> inflight; ///< written; response pending, FIFO
-    ExponentialBackoff backoff;
-    std::int64_t retry_at = 0;  ///< steady_ms gate for the next connect
-    std::size_t backend = 0;
-    std::size_t slot = 0;
-    std::size_t target_idx = 0;  ///< endpoint index this connect used
-    bool dirty = false;
-
-    UpstreamConn() : backoff(BackoffConfig{}, 0) {}
-  };
-
-  struct Backend {
-    std::string id;  ///< ring identity: the group's first endpoint
-    std::vector<ReplEndpoint> endpoints;
-    std::size_t active = 0;  ///< current target in `endpoints`
-    std::deque<UpstreamConn> pool;  ///< deque: stable refs, no moves needed
-    std::size_t queued = 0;  ///< sendq + inflight across the pool
+  /// Immutable parse of one backend group (ring identity + failover
+  /// endpoints) plus its fleet-wide metrics; planes copy the endpoint
+  /// list (redirect hints mutate a plane's own copy) and share the
+  /// metric pointers.
+  struct Group {
+    std::string id;
+    std::vector<Endpoint> endpoints;
     obs::Counter* up_requests = nullptr;
     obs::Gauge* depth = nullptr;
   };
+  std::vector<Group> groups_;
 
-  std::deque<Backend> backends_;
-  std::vector<std::pair<std::size_t, std::size_t>> dirty_upstreams_;
-  std::uint64_t latency_tick_ = 0;
+  // =========================================================================
+  // Plane: one dispatcher thread's whole world.
+
+  struct Plane {
+    Plane(Impl& impl, std::size_t index)
+        : impl_(impl),
+          outer_(impl.outer_),
+          cfg_(impl.cfg_),
+          ring_(impl.ring_),
+          index_(index),
+          pool_size_(impl.plane_pool_) {}
+
+    // --- wiring ------------------------------------------------------------
+
+    Impl& impl_;
+    Router& outer_;
+    const RouterConfig& cfg_;
+    const HashRing& ring_;
+    std::size_t index_ = 0;
+    std::size_t pool_size_;  ///< this plane's pool share per backend
+    std::unique_ptr<EventLoop> loop_;
+    LoopWaker waker_;
+    int listen_fd_ = -1;  ///< borrowed from impl_.listen_fds_
+    obs::Counter* accepts_ = nullptr;
+    std::thread thread_;
+
+    // Tag encoding: top 2 bits select the kind (tags are plane-local —
+    // each plane has its own event loop, so no plane bits are needed).
+    static constexpr std::uint64_t kTagListen = 1;
+    static constexpr std::uint64_t kTagWake = 2;
+    static constexpr std::uint64_t kKindClient = std::uint64_t{1} << 62;
+    static constexpr std::uint64_t kKindUpstream = std::uint64_t{2} << 62;
+
+    static std::uint64_t client_tag(std::uint64_t id) {
+      return kKindClient | id;
+    }
+    std::uint64_t upstream_tag(std::size_t backend, std::size_t slot) const {
+      return kKindUpstream | (static_cast<std::uint64_t>(backend) << 16) |
+             slot;
+    }
+
+    // --- client side -------------------------------------------------------
+
+    struct Gather {
+      enum Kind { kSeries, kStats, kMetrics };
+      Kind kind = kSeries;
+      std::uint64_t client_id = 0;
+      std::uint64_t slot = 0;
+      bool client_binary = false;
+      /// Single-backend scatter: the one part is forwarded verbatim, no
+      /// merge — routed bytes stay identical to a direct connection.
+      bool verbatim = false;
+      std::size_t remaining = 0;
+      std::vector<std::string> parts;
+      std::vector<char> have;
+    };
+
+    struct ClientConn {
+      int fd = -1;
+      std::uint64_t id = 0;
+      std::string rx;
+      TxQueue tx;  ///< whole responses; drained with one vectored sendmsg
+      bool binary = false;    ///< negotiated HELLO BIN (applies to later slots)
+      bool stop_input = false;  ///< QUIT / fatal framing error seen
+      bool closing = false;     ///< close once every response has flushed
+      bool dirty = false;       ///< queued for the end-of-iteration flush
+      std::uint64_t next_slot = 0;
+      std::uint64_t flush_slot = 0;
+      /// Routed point requests awaiting an upstream ack.  A scatter verb is
+      /// a barrier: it only fires once this drains, so the cross-backend
+      /// view observes every prior request of this client — exactly the
+      /// effect order a single direct connection would give.
+      std::size_t outstanding = 0;
+      bool gated = false;  ///< input held until the pending gather completes
+      bool has_pending_scatter = false;
+      Gather::Kind pending_kind = Gather::kSeries;
+      std::string pending_verb;
+      std::uint64_t pending_slot = 0;
+      /// Out-of-order completions parked until their slot is next:
+      /// slot -> (payload, response rides binary framing).
+      std::map<std::uint64_t, std::pair<std::string, bool>> done;
+    };
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<ClientConn>> clients_;
+    std::uint64_t next_client_id_ = 1;
+    std::vector<std::uint64_t> dirty_clients_;
+    /// Clients whose input gate opened this iteration (their gather
+    /// completed): re-run input processing for them after event dispatch.
+    std::vector<std::uint64_t> pending_resume_;
+
+    // --- upstream side -----------------------------------------------------
+
+    struct InFlight {
+      std::string frame;  ///< complete upstream wire bytes (kept for replay)
+      std::uint64_t client_id = 0;
+      std::uint64_t slot = 0;
+      bool client_binary = false;
+      int attempts = 0;  ///< times handed to a connection's send queue
+      std::shared_ptr<Gather> gather;
+      std::size_t part = 0;
+      std::uint64_t t0_us = 0;  ///< nonzero -> hop latency sampled
+    };
+    using Entry = std::unique_ptr<InFlight>;
+
+    struct UpstreamConn {
+      int fd = -1;
+      enum class St { kDown, kConnecting, kHello, kReady };
+      St st = St::kDown;
+      std::string rx;
+      TxQueue tx;  ///< coalesced request frames; vectored flush
+      std::deque<Entry> sendq;     ///< not yet written to the socket
+      std::deque<Entry> inflight;  ///< written; response pending, FIFO
+      ExponentialBackoff backoff;
+      std::int64_t retry_at = 0;  ///< steady_ms gate for the next connect
+      std::size_t backend = 0;
+      std::size_t slot = 0;
+      std::size_t target_idx = 0;  ///< endpoint index this connect used
+      bool dirty = false;
+
+      UpstreamConn() : backoff(BackoffConfig{}, 0) {}
+    };
+
+    struct Backend {
+      std::string id;  ///< ring identity: the group's first endpoint
+      /// Plane-local copy of the group's endpoint list: redirect hints
+      /// learned by this plane mutate only this copy.
+      std::vector<Endpoint> endpoints;
+      std::size_t active = 0;         ///< current target in `endpoints`
+      std::deque<UpstreamConn> pool;  ///< stable refs, no moves needed
+      std::size_t queued = 0;  ///< sendq + inflight across this plane's pool
+      obs::Counter* up_requests = nullptr;  ///< shared across planes
+      obs::Gauge* depth = nullptr;  ///< shared: updated with add() deltas
+    };
+
+    std::deque<Backend> backends_;
+    std::vector<std::pair<std::size_t, std::size_t>> dirty_upstreams_;
+    std::uint64_t latency_tick_ = 0;
+
+    // =======================================================================
+
+    bool init(int listen_fd) {
+      listen_fd_ = listen_fd;
+      loop_ = std::make_unique<EventLoop>(cfg_.net_backend);
+      if (!waker_.open()) return false;
+      for (std::size_t i = 0; i < impl_.groups_.size(); ++i) {
+        const Group& g = impl_.groups_[i];
+        Backend b;
+        b.id = g.id;
+        b.endpoints = g.endpoints;
+        b.up_requests = g.up_requests;
+        b.depth = g.depth;
+        for (std::size_t s = 0; s < pool_size_; ++s) {
+          UpstreamConn& c = b.pool.emplace_back();
+          c.backend = i;
+          c.slot = s;
+          // Distinct deterministic jitter stream per pooled connection
+          // (and per plane): the whole point of BackoffConfig::spread is
+          // that these never reconnect in lockstep.
+          c.backoff = ExponentialBackoff(
+              cfg_.backoff,
+              cfg_.backoff_seed ^ (index_ * 8191 + i * 131 + s + 1));
+        }
+        backends_.push_back(std::move(b));
+      }
+      // A shared listener is registered in EVERY plane's loop
+      // (level-triggered: losers of accept_mu_ just see EAGAIN).
+      loop_->add(listen_fd_, kTagListen, false);
+      loop_->add(waker_.rx(), kTagWake, false);
+      return true;
+    }
+
+    // =======================================================================
+    // Main loop
+
+    void run() {
+      std::vector<LoopEvent> events;
+      while (outer_.running_.load(std::memory_order_acquire)) {
+        reconnect_pass();
+        loop_->wait(events, wait_timeout());
+        for (const LoopEvent& ev : events) {
+          if (ev.tag == kTagListen) {
+            accept_ready();
+          } else if (ev.tag == kTagWake) {
+            waker_.drain();
+          } else if ((ev.tag & kKindUpstream) != 0) {
+            const std::size_t b = (ev.tag >> 16) & 0xffffffffull;
+            const std::size_t s = ev.tag & 0xffff;
+            handle_upstream_event(backends_[b].pool[s], ev);
+          } else if ((ev.tag & kKindClient) != 0) {
+            handle_client_event(ev.tag & ~kKindClient, ev);
+          }
+        }
+        drain_resumes();
+        flush_dirty();
+      }
+      teardown_all();
+    }
+
+    int wait_timeout() {
+      std::int64_t next = std::numeric_limits<std::int64_t>::max();
+      for (const Backend& b : backends_) {
+        for (const UpstreamConn& c : b.pool) {
+          if (c.st == UpstreamConn::St::kDown) {
+            next = std::min(next, c.retry_at);
+          }
+        }
+      }
+      if (next == std::numeric_limits<std::int64_t>::max()) return 1000;
+      const std::int64_t now = steady_ms();
+      return static_cast<int>(std::clamp<std::int64_t>(next - now, 0, 1000));
+    }
+
+    void reconnect_pass() {
+      const std::int64_t now = steady_ms();
+      for (Backend& b : backends_) {
+        for (UpstreamConn& c : b.pool) {
+          if (c.st == UpstreamConn::St::kDown && now >= c.retry_at) {
+            start_connect(b, c);
+          }
+        }
+      }
+    }
+
+    void flush_dirty() {
+      for (auto [bi, si] : dirty_upstreams_) {
+        UpstreamConn& c = backends_[bi].pool[si];
+        c.dirty = false;
+        if (c.st == UpstreamConn::St::kReady) pump_upstream(c);
+        if (c.fd >= 0) flush_upstream(c);
+      }
+      dirty_upstreams_.clear();
+      for (const std::uint64_t id : dirty_clients_) {
+        const auto it = clients_.find(id);
+        if (it == clients_.end()) continue;
+        it->second->dirty = false;
+        flush_client(*it->second);
+      }
+      dirty_clients_.clear();
+    }
+
+    void mark_upstream_dirty(UpstreamConn& c) {
+      if (!c.dirty) {
+        c.dirty = true;
+        dirty_upstreams_.emplace_back(c.backend, c.slot);
+      }
+    }
+
+    /// Clients whose barrier lifted resume consuming buffered input.  A
+    /// resumed client can immediately park another scatter whose gather
+    /// completes synchronously (every backend sheds "busy"), re-queueing
+    /// the client — loop until quiet; the buffered input is finite.
+    void drain_resumes() {
+      while (!pending_resume_.empty()) {
+        std::vector<std::uint64_t> batch;
+        batch.swap(pending_resume_);
+        for (const std::uint64_t id : batch) {
+          const auto it = clients_.find(id);
+          if (it == clients_.end()) continue;
+          process_client_input(*it->second);
+        }
+      }
+    }
+
+    void mark_client_dirty(ClientConn& c) {
+      if (!c.dirty) {
+        c.dirty = true;
+        dirty_clients_.push_back(c.id);
+      }
+    }
+
+    void teardown_all() {
+      router_metrics().clients->add(-static_cast<double>(clients_.size()));
+      for (auto& [id, c] : clients_) {
+        if (c->fd >= 0) {
+          loop_->remove(c->fd);
+          ::close(c->fd);
+        }
+      }
+      clients_.clear();
+      for (Backend& b : backends_) {
+        for (UpstreamConn& c : b.pool) {
+          if (c.fd >= 0) {
+            loop_->remove(c.fd);
+            ::close(c.fd);
+            c.fd = -1;
+          }
+          c.st = UpstreamConn::St::kDown;
+        }
+      }
+      // The listener belongs to the Impl (it may be shared between
+      // planes); just unregister it here.
+      if (listen_fd_ >= 0) {
+        loop_->remove(listen_fd_);
+        listen_fd_ = -1;
+      }
+      // Only unregister the waker here: stop() on another thread may
+      // still be inside wake_all() writing to it.  The Impl closes the
+      // fds after join_all().
+      if (waker_.is_open()) loop_->remove(waker_.rx());
+    }
+
+    // =======================================================================
+    // Client connections
+
+    void accept_ready() {
+      // A shared listener is level-triggered readable on every plane at
+      // once; the lock serializes the drain (losers see EAGAIN).
+      std::unique_lock<std::mutex> accept_lock;
+      if (impl_.shared_listener_ && impl_.planes_.size() > 1) {
+        accept_lock = std::unique_lock(impl_.accept_mu_);
+      }
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          return;
+        }
+        configure_socket(fd);
+        auto conn = std::make_unique<ClientConn>();
+        conn->fd = fd;
+        conn->id = next_client_id_++;
+        loop_->add(fd, client_tag(conn->id), false);
+        clients_.emplace(conn->id, std::move(conn));
+        accepts_->inc();
+        router_metrics().clients->add(1.0);
+      }
+    }
+
+    void teardown_client(ClientConn& c) {
+      if (c.fd >= 0) {
+        loop_->remove(c.fd);
+        ::close(c.fd);
+        c.fd = -1;
+      }
+      clients_.erase(c.id);  // invalidates `c`
+      router_metrics().clients->add(-1.0);
+    }
+
+    void handle_client_event(std::uint64_t id, const LoopEvent& ev) {
+      const auto it = clients_.find(id);
+      if (it == clients_.end()) return;
+      ClientConn& c = *it->second;
+      if (ev.error && !ev.readable) {
+        teardown_client(c);
+        return;
+      }
+      if (ev.writable) flush_client(c);
+      if (clients_.find(id) == clients_.end()) return;  // flush closed it
+      if (!ev.readable) return;
+      char buf[65536];
+      for (;;) {
+        const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+        if (n > 0) {
+          c.rx.append(buf, static_cast<std::size_t>(n));
+          if (static_cast<std::size_t>(n) < sizeof buf) break;
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        // EOF or hard error: drop the connection (any in-flight upstream
+        // work completes into the void).
+        teardown_client(c);
+        return;
+      }
+      process_client_input(c);
+    }
+
+    void process_client_input(ClientConn& c) {
+      while (!c.stop_input && !c.gated) {
+        if (!c.binary) {
+          const std::size_t newline = c.rx.find('\n');
+          if (newline == std::string::npos) {
+            if (c.rx.size() > cfg_.max_line_bytes) client_overflow(c, false);
+            return;
+          }
+          if (newline > cfg_.max_line_bytes) {
+            client_overflow(c, false);
+            return;
+          }
+          std::string line(c.rx, 0, newline);
+          c.rx.erase(0, newline + 1);
+          if (maybe_hello(c, line)) continue;
+          classify_text_line(c, line);
+        } else {
+          std::size_t frame_end = 0;
+          std::string_view payload;
+          const BinFrameStatus status = extract_binary_frame(
+              c.rx, cfg_.max_line_bytes, frame_end, payload);
+          if (status == BinFrameStatus::kNeedMore) return;
+          if (status == BinFrameStatus::kError) {
+            client_overflow(c, true);
+            return;
+          }
+          std::string frame(payload);
+          c.rx.erase(0, frame_end);
+          classify_frame(c, frame);
+        }
+      }
+    }
+
+    /// Line-too-long / bad-frame: answer, stop reading, close after flush —
+    /// the server dispatcher's exact policy.
+    void client_overflow(ClientConn& c, bool binary) {
+      c.rx.clear();
+      c.stop_input = true;
+      c.closing = true;
+      deliver(c.id, c.next_slot++,
+              format_error(binary ? "bad frame" : "line too long"), binary);
+    }
+
+    /// Mirrors NwsServer::handle_hello byte-for-byte (the ack itself always
+    /// rides text framing; later responses follow the upgrade).
+    bool maybe_hello(ClientConn& c, std::string_view line) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                               line.back() == '\t')) {
+        line.remove_suffix(1);
+      }
+      if (line != "HELLO" && line.rfind("HELLO ", 0) != 0) return false;
+      std::string_view arg =
+          line.size() > 5 ? line.substr(6) : std::string_view{};
+      while (!arg.empty() && (arg.front() == ' ' || arg.front() == '\t')) {
+        arg.remove_prefix(1);
+      }
+      std::string reply;
+      bool upgrade = false;
+      if (arg.empty() || arg == "TEXT") {
+        reply.assign(kHelloTextAck);
+      } else if (arg == "BIN") {
+        reply.assign(kHelloBinAck);
+        upgrade = true;
+      } else {
+        reply = format_error("unknown framing");
+      }
+      deliver(c.id, c.next_slot++, std::move(reply), /*binary=*/false);
+      if (upgrade) c.binary = true;
+      return true;
+    }
+
+    void local_response(ClientConn& c, std::string payload) {
+      deliver(c.id, c.next_slot++, std::move(payload), c.binary);
+    }
+
+    void classify_text_line(ClientConn& c, const std::string& line) {
+      // The server dispatcher stops feeding lines past a QUIT-shaped
+      // prefix; mirror that before anything else.
+      const bool quit_shaped =
+          line.compare(0, 4, "QUIT") == 0 &&
+          (line.size() == 4 || line[4] == ' ' || line[4] == '\t' ||
+           line[4] == '\r');
+      if (quit_shaped) c.stop_input = true;
+
+      std::size_t pos = 0;
+      const std::string_view verb = next_token(line, pos);
+      if (verb == "PUT" || verb == "PUTS" || verb == "PUTB" ||
+          verb == "FORECAST" || verb == "VALUES") {
+        const std::string_view series = next_token(line, pos);
+        if (series.empty()) {
+          local_response(c, format_error("malformed request"));
+          return;
+        }
+        std::string frame;
+        frame.reserve(line.size() + 5);
+        append_text_frame(frame, line);
+        route_point(c, series, std::move(frame));
+        return;
+      }
+      if (verb == "STATS") {
+        const std::string_view series = next_token(line, pos);
+        if (series.empty()) {
+          scatter(c, Gather::kStats, "STATS");
+          return;
+        }
+        std::string frame;
+        frame.reserve(line.size() + 5);
+        append_text_frame(frame, line);
+        route_point(c, series, std::move(frame));
+        return;
+      }
+      if (verb == "SERIES" || verb == "METRICS") {
+        if (rest_is_ws(line, pos)) {
+          scatter(c, verb == "SERIES" ? Gather::kSeries : Gather::kMetrics,
+                  verb);
+        } else {
+          local_response(c, format_error("malformed request"));
+        }
+        return;
+      }
+      if (verb == "PING") {
+        local_response(c, rest_is_ws(line, pos)
+                              ? format_ok()
+                              : format_error("malformed request"));
+        return;
+      }
+      if (verb == "QUIT") {
+        if (rest_is_ws(line, pos)) {
+          local_response(c, format_ok());
+          c.closing = true;
+        } else {
+          local_response(c, format_error("malformed request"));
+        }
+        return;
+      }
+      if (verb == "REPL" || verb == "PROMOTE") {
+        // Admin verbs stop at the proxy: a client must not be able to
+        // promote/demote a backend or inject replication records through
+        // the public tier.
+        local_response(c, std::string(kErrNotRoutable));
+        return;
+      }
+      // Unknown verb or empty line: the backend's parser would reject it —
+      // answer with its exact error locally instead of burning a hop.
+      local_response(c, format_error("malformed request"));
+    }
+
+    void classify_frame(ClientConn& c, const std::string& payload) {
+      const auto op = static_cast<std::uint8_t>(payload[0]);
+      switch (op) {
+        case kBinOpPut:
+        case kBinOpPutSeq:
+        case kBinOpPutBatch:
+        case kBinOpForecast: {
+          if (payload.size() >= 3) {
+            const auto lo = static_cast<unsigned char>(payload[1]);
+            const auto hi = static_cast<unsigned char>(payload[2]);
+            const std::size_t len = static_cast<std::size_t>(lo) |
+                                    (static_cast<std::size_t>(hi) << 8);
+            if (len > 0 && payload.size() >= 3 + len) {
+              std::string frame;
+              frame.reserve(payload.size() + 4);
+              append_payload_frame(frame, payload);
+              route_point(c, std::string_view(payload).substr(3, len),
+                          std::move(frame));
+              return;
+            }
+          }
+          local_response(c, format_error("malformed request"));
+          return;
+        }
+        case kBinOpMetrics:
+          if (payload.size() == 1) {
+            scatter(c, Gather::kMetrics, "METRICS");
+          } else {
+            local_response(c, format_error("malformed request"));
+          }
+          return;
+        case kBinOpPing:
+          local_response(c, payload.size() == 1
+                                ? format_ok()
+                                : format_error("malformed request"));
+          return;
+        case kBinOpQuit:
+          // The server dispatcher stops reading past any QUIT-op frame.
+          c.stop_input = true;
+          if (payload.size() == 1) {
+            local_response(c, format_ok());
+            c.closing = true;
+          } else {
+            local_response(c, format_error("malformed request"));
+          }
+          return;
+        case kBinOpText: {
+          const std::string_view inner = std::string_view(payload).substr(1);
+          classify_text_in_frame(c, payload, inner);
+          return;
+        }
+        case kBinOpReplHello:
+        case kBinOpReplBatch:
+        case kBinOpReplReset:
+          local_response(c, std::string(kErrNotRoutable));
+          return;
+        default:
+          local_response(c, format_error("malformed request"));
+          return;
+      }
+    }
+
+    /// A TEXT-op frame routes by its inner line but forwards the original
+    /// frame bytes untouched.  NOTE: HELLO is NOT special inside a frame —
+    /// the server only negotiates framing on raw text lines, and its
+    /// parser rejects "HELLO ..." as malformed; match that.
+    void classify_text_in_frame(ClientConn& c, const std::string& payload,
+                                std::string_view inner) {
+      std::size_t pos = 0;
+      const std::string_view verb = next_token(inner, pos);
+      if (verb == "PUT" || verb == "PUTS" || verb == "PUTB" ||
+          verb == "FORECAST" || verb == "VALUES" || verb == "STATS") {
+        const std::string_view series = next_token(inner, pos);
+        if (series.empty()) {
+          if (verb == "STATS") {
+            scatter(c, Gather::kStats, "STATS");
+          } else {
+            local_response(c, format_error("malformed request"));
+          }
+          return;
+        }
+        std::string frame;
+        frame.reserve(payload.size() + 4);
+        append_payload_frame(frame, payload);
+        route_point(c, series, std::move(frame));
+        return;
+      }
+      if (verb == "SERIES" || verb == "METRICS") {
+        if (rest_is_ws(inner, pos)) {
+          scatter(c, verb == "SERIES" ? Gather::kSeries : Gather::kMetrics,
+                  verb);
+        } else {
+          local_response(c, format_error("malformed request"));
+        }
+        return;
+      }
+      if (verb == "PING") {
+        local_response(c, rest_is_ws(inner, pos)
+                              ? format_ok()
+                              : format_error("malformed request"));
+        return;
+      }
+      if (verb == "QUIT") {
+        // Via the worker (not the dispatcher): the server closes after a
+        // well-formed QUIT but keeps reading otherwise.
+        if (rest_is_ws(inner, pos)) {
+          c.stop_input = true;
+          local_response(c, format_ok());
+          c.closing = true;
+        } else {
+          local_response(c, format_error("malformed request"));
+        }
+        return;
+      }
+      if (verb == "REPL" || verb == "PROMOTE") {
+        local_response(c, std::string(kErrNotRoutable));
+        return;
+      }
+      local_response(c, format_error("malformed request"));
+    }
+
+    // --- response delivery (per-client slot ordering) -----------------------
+
+    void deliver(std::uint64_t client_id, std::uint64_t slot,
+                 std::string payload, bool binary) {
+      const auto it = clients_.find(client_id);
+      if (it == clients_.end()) return;  // client left; drop
+      ClientConn& c = *it->second;
+      if (slot != c.flush_slot) {
+        c.done.emplace(slot, std::make_pair(std::move(payload), binary));
+        return;
+      }
+      append_response(c, payload, binary);
+      ++c.flush_slot;
+      while (!c.done.empty() && c.done.begin()->first == c.flush_slot) {
+        auto& [p, b] = c.done.begin()->second;
+        append_response(c, p, b);
+        c.done.erase(c.done.begin());
+        ++c.flush_slot;
+      }
+      mark_client_dirty(c);
+    }
+
+    static void append_response(ClientConn& c, std::string_view payload,
+                                bool binary) {
+      std::string wire;
+      if (binary) {
+        append_binary_response(wire, payload);
+      } else {
+        wire.reserve(payload.size() + 1);
+        wire.assign(payload);
+        wire.push_back('\n');
+      }
+      c.tx.push(std::move(wire));
+    }
+
+    void flush_client(ClientConn& c) {
+      if (!c.tx.empty() &&
+          c.tx.flush(c.fd) == TxQueue::FlushStatus::kClosed) {
+        teardown_client(c);
+        return;
+      }
+      const bool complete = c.done.empty() && c.flush_slot == c.next_slot;
+      if (c.tx.empty() && c.closing && complete) {
+        teardown_client(c);
+        return;
+      }
+      loop_->update(c.fd, client_tag(c.id), !c.tx.empty());
+    }
+
+    // =======================================================================
+    // Routing
+
+    void route_point(ClientConn& c, std::string_view series,
+                     std::string frame) {
+      const std::uint64_t h = fnv1a64(series);
+      const std::size_t b = ring_.lookup_hash(h);
+      auto entry = std::make_unique<InFlight>();
+      entry->frame = std::move(frame);
+      entry->client_id = c.id;
+      entry->slot = c.next_slot++;
+      entry->client_binary = c.binary;
+      entry->attempts = 1;
+      if ((latency_tick_++ & 63) == 0) entry->t0_us = steady_us();
+      ++c.outstanding;
+      outer_.requests_routed_.fetch_add(1, std::memory_order_relaxed);
+      router_metrics().requests->inc();
+      // Pin the series to one pool connection: its PUTS/PUTB sequence
+      // stream must stay FIFO end-to-end or the server's max-seq dedup
+      // would drop reordered samples.
+      enqueue(backends_[b], h % pool_size_, std::move(entry));
+    }
+
+    /// A cross-backend verb is a sequencing barrier for its client: firing
+    /// it while earlier point requests are still in flight on OTHER pool
+    /// connections would let the fleet view overtake them (a direct server
+    /// processes one connection in order; the router must not observably
+    /// reorder).  So the scatter waits for the client's in-flight window
+    /// to drain, and the client's later input is held until the gather
+    /// lands.  Point requests keep full pipelining — only the rare
+    /// fleet-view verbs pay the round-trip.
+    void scatter(ClientConn& c, Gather::Kind kind, std::string_view verb) {
+      outer_.scatter_requests_.fetch_add(1, std::memory_order_relaxed);
+      router_metrics().scatters->inc();
+      const std::uint64_t slot = c.next_slot++;
+      c.gated = true;
+      if (c.outstanding == 0) {
+        fire_scatter(c, kind, verb, slot);
+        return;
+      }
+      c.has_pending_scatter = true;
+      c.pending_kind = kind;
+      c.pending_verb.assign(verb);
+      c.pending_slot = slot;
+    }
+
+    void fire_scatter(ClientConn& c, Gather::Kind kind, std::string_view verb,
+                      std::uint64_t slot) {
+      auto g = std::make_shared<Gather>();
+      g->kind = kind;
+      g->client_id = c.id;
+      g->slot = slot;
+      g->client_binary = c.binary;
+      g->verbatim = backends_.size() == 1;
+      g->remaining = backends_.size();
+      g->parts.resize(backends_.size());
+      g->have.assign(backends_.size(), 0);
+      for (std::size_t i = 0; i < backends_.size(); ++i) {
+        auto entry = std::make_unique<InFlight>();
+        append_text_frame(entry->frame, verb);
+        entry->client_id = c.id;
+        entry->slot = slot;
+        entry->client_binary = c.binary;
+        entry->attempts = 1;
+        entry->gather = g;
+        entry->part = i;
+        enqueue(backends_[i], 0, std::move(entry));
+      }
+    }
+
+    void enqueue(Backend& b, std::size_t pool_slot, Entry entry) {
+      if (b.queued >= cfg_.upstream_backlog) {
+        // Admission control, the server's own shedding reply: the client
+        // backs off retry_after_ms and replays (reliable path) or fails.
+        deliver_entry(std::move(entry),
+                      format_error("busy retry_after_ms=" +
+                                   std::to_string(cfg_.busy_retry_ms)));
+        return;
+      }
+      b.up_requests->inc();
+      ++b.queued;
+      b.depth->add(1.0);
+      UpstreamConn& c = b.pool[pool_slot % pool_size_];
+      c.sendq.push_back(std::move(entry));
+      mark_upstream_dirty(c);
+    }
+
+    /// Terminal completion: route the payload to the waiting client (or
+    /// gather part), accounting depth and sampled hop latency.
+    void deliver_entry(Entry entry, std::string payload) {
+      if (entry->t0_us != 0) {
+        router_metrics().hop_latency->record(steady_us() - entry->t0_us);
+      }
+      if (entry->gather) {
+        Gather& g = *entry->gather;
+        if (!g.have[entry->part]) {
+          g.have[entry->part] = 1;
+          g.parts[entry->part] = std::move(payload);
+          if (--g.remaining == 0) {
+            deliver(g.client_id, g.slot, merge_gather(g), g.client_binary);
+            // The barrier lifts: the client resumes buffered input.
+            const auto it = clients_.find(g.client_id);
+            if (it != clients_.end() && it->second->gated) {
+              it->second->gated = false;
+              pending_resume_.push_back(g.client_id);
+            }
+          }
+        }
+        return;
+      }
+      const std::uint64_t client_id = entry->client_id;
+      deliver(client_id, entry->slot, std::move(payload),
+              entry->client_binary);
+      const auto it = clients_.find(client_id);
+      if (it == clients_.end()) return;
+      ClientConn& c = *it->second;
+      if (c.outstanding > 0) --c.outstanding;
+      if (c.outstanding == 0 && c.has_pending_scatter) {
+        c.has_pending_scatter = false;
+        fire_scatter(c, c.pending_kind, c.pending_verb, c.pending_slot);
+      }
+    }
+
+    // =======================================================================
+    // Upstream pool
+
+    void start_connect(Backend& b, UpstreamConn& c) {
+      const Endpoint& ep = b.endpoints[b.active];
+      c.target_idx = b.active;
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) {
+        connect_failed(b, c);
+        return;
+      }
+      configure_socket(fd);
+      // ep.addr was resolved when the endpoint entered the config — a
+      // reconnect storm after a backend restart costs no per-attempt
+      // address parsing on this thread.
+      sockaddr_in addr = ep.addr;
+      const int rc =
+          ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+      if (rc == 0) {
+        c.fd = fd;
+        loop_->add(fd, upstream_tag(c.backend, c.slot), true);
+        on_connected(c);
+        return;
+      }
+      if (errno == EINPROGRESS) {
+        c.fd = fd;
+        c.st = UpstreamConn::St::kConnecting;
+        loop_->add(fd, upstream_tag(c.backend, c.slot), true);
+        return;
+      }
+      ::close(fd);
+      connect_failed(b, c);
+    }
+
+    void connect_failed(Backend& b, UpstreamConn& c) {
+      c.st = UpstreamConn::St::kDown;
+      c.retry_at =
+          steady_ms() + static_cast<std::int64_t>(
+                            std::max(1.0, c.backoff.next_delay_ms()));
+      advance_active(b, c.target_idx);
+    }
+
+    /// Walks the backend group's endpoint list (once per failed endpoint —
+    /// the target_idx guard keeps a pool of failing connections from
+    /// leapfrogging each other past a live endpoint).
+    void advance_active(Backend& b, std::size_t from_idx) {
+      if (b.endpoints.size() > 1 && b.active == from_idx) {
+        b.active = (b.active + 1) % b.endpoints.size();
+      }
+    }
+
+    void on_connected(UpstreamConn& c) {
+      c.st = UpstreamConn::St::kHello;
+      c.rx.clear();
+      std::string hello(kHelloBinRequest);
+      hello.push_back('\n');
+      c.tx.push(std::move(hello));
+      flush_upstream(c);
+    }
+
+    void handle_upstream_event(UpstreamConn& c, const LoopEvent& ev) {
+      Backend& b = backends_[c.backend];
+      if (c.st == UpstreamConn::St::kDown || c.fd < 0) return;
+      if (c.st == UpstreamConn::St::kConnecting) {
+        if (ev.error) {
+          drop_upstream(b, c, /*count_reconnect=*/false);
+          return;
+        }
+        if (!ev.writable) return;
+        int err = 0;
+        socklen_t len = sizeof err;
+        ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+          drop_upstream(b, c, /*count_reconnect=*/false);
+          return;
+        }
+        on_connected(c);
+        if (c.st == UpstreamConn::St::kDown) return;
+      }
+      if (ev.writable) {
+        if (c.st == UpstreamConn::St::kReady) pump_upstream(c);
+        flush_upstream(c);
+        if (c.st == UpstreamConn::St::kDown || c.fd < 0) return;
+      }
+      if (!ev.readable) return;
+      char buf[65536];
+      for (;;) {
+        const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+        if (n > 0) {
+          c.rx.append(buf, static_cast<std::size_t>(n));
+          if (static_cast<std::size_t>(n) < sizeof buf) break;
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        upstream_fail(b, c);
+        return;
+      }
+      drain_upstream_rx(b, c);
+    }
+
+    void drain_upstream_rx(Backend& b, UpstreamConn& c) {
+      if (c.st == UpstreamConn::St::kHello) {
+        const std::size_t newline = c.rx.find('\n');
+        if (newline == std::string::npos) {
+          if (c.rx.size() > 256) upstream_fail(b, c);  // ack is tiny
+          return;
+        }
+        std::string_view ack(c.rx.data(), newline);
+        while (!ack.empty() && ack.back() == '\r') ack.remove_suffix(1);
+        if (ack != kHelloBinAck) {
+          // The backend does not speak the binary upgrade (or answered
+          // with an error): this endpoint is unusable as an upstream.
+          upstream_fail(b, c);
+          return;
+        }
+        c.rx.erase(0, newline + 1);
+        c.st = UpstreamConn::St::kReady;
+        c.backoff.reset();
+        pump_upstream(c);
+        flush_upstream(c);
+        if (c.st != UpstreamConn::St::kReady) return;
+      }
+      while (c.st == UpstreamConn::St::kReady) {
+        std::size_t frame_end = 0;
+        std::string_view payload;
+        const BinFrameStatus status =
+            extract_binary_frame(c.rx, kUpstreamFrameCap, frame_end, payload);
+        if (status == BinFrameStatus::kNeedMore) return;
+        if (status == BinFrameStatus::kError || c.inflight.empty()) {
+          // A response we cannot frame, or one nobody asked for: the
+          // stream is desynchronized beyond repair — drop the connection
+          // and replay the un-acked window on a fresh one.
+          upstream_fail(b, c);
+          return;
+        }
+        std::string response(payload);
+        c.rx.erase(0, frame_end);
+        complete_front(b, c, std::move(response));
+      }
+    }
+
+    void complete_front(Backend& b, UpstreamConn& c, std::string payload) {
+      Entry entry = std::move(c.inflight.front());
+      c.inflight.pop_front();
+      --b.queued;
+      b.depth->add(-1.0);
+      if (!entry->gather && payload.rfind("ERR not_primary", 0) == 0) {
+        handle_redirect(b, c, std::move(entry), std::move(payload));
+        return;
+      }
+      deliver_entry(std::move(entry), std::move(payload));
+    }
+
+    /// "ERR not_primary <hint>" — the backend group failed over.  Follow
+    /// the hint (the PR 7 endpoint walk, executed inside the router),
+    /// replay the redirected request plus every un-acked in-flight request
+    /// behind it, and let the new primary's sequence/timestamp dedup keep
+    /// the stream exactly-once.  Clients never see the redirect.
+    void handle_redirect(Backend& b, UpstreamConn& c, Entry entry,
+                         std::string payload) {
+      outer_.redirects_.fetch_add(1, std::memory_order_relaxed);
+      router_metrics().redirects->inc();
+      if (entry->attempts >= cfg_.replay_limit) {
+        deliver_entry(std::move(entry), std::move(payload));
+        return;
+      }
+      ++entry->attempts;
+      // Prefer the redirect hint; fall back to round-robin in the group.
+      const auto hint = parse_not_primary(payload);
+      bool switched = false;
+      if (hint && *hint != 0) {
+        for (std::size_t i = 0; i < b.endpoints.size(); ++i) {
+          if (b.endpoints[i].ep.port == *hint) {
+            switched = b.active != i;
+            b.active = i;
+            break;
+          }
+        }
+        if (!switched && b.endpoints[b.active].ep.port != *hint) {
+          // Hint outside the configured group: trust it (the fleet knows
+          // its own promotion better than our static config) and remember
+          // it — resolving the address NOW, once, off the connect path.
+          Endpoint learned;
+          learned.ep = ReplEndpoint{"127.0.0.1", *hint};
+          learned.addr = resolve_endpoint_addr(learned.ep);
+          b.endpoints.push_back(std::move(learned));
+          b.active = b.endpoints.size() - 1;
+          switched = true;
+        }
+      } else {
+        const std::size_t before = b.active;
+        b.active = (b.active + 1) % b.endpoints.size();
+        switched = b.active != before;
+      }
+      // Cycle the whole pool onto the new endpoint; their un-acked
+      // windows replay in order.  The redirected request itself replays
+      // first on its pinned connection.
+      UpstreamConn* home = &b.pool[c.slot];
+      for (UpstreamConn& pc : b.pool) {
+        fail_conn_keep_entries(b, pc);
+      }
+      ++outer_.replays_;  // the redirected request itself
+      router_metrics().replays->inc();
+      ++b.queued;
+      b.depth->add(1.0);
+      home->sendq.push_front(std::move(entry));
+      // Immediate retry at the new endpoint.
+      for (UpstreamConn& pc : b.pool) pc.retry_at = 0;
+    }
+
+    /// Closes a connection and splices its un-acked window (inflight, then
+    /// queued) back onto its send queue for replay, expiring entries that
+    /// have exhausted their attempts.
+    void fail_conn_keep_entries(Backend& b, UpstreamConn& c) {
+      if (c.fd >= 0) {
+        loop_->remove(c.fd);
+        ::close(c.fd);
+        c.fd = -1;
+      }
+      const bool was_up = c.st != UpstreamConn::St::kDown;
+      c.st = UpstreamConn::St::kDown;
+      c.rx.clear();
+      c.tx.clear();
+      if (was_up) {
+        outer_.reconnects_.fetch_add(1, std::memory_order_relaxed);
+        router_metrics().reconnects->inc();
+      }
+      if (c.inflight.empty()) return;
+      // inflight (older) must precede whatever is still queued.
+      while (!c.sendq.empty()) {
+        c.inflight.push_back(std::move(c.sendq.front()));
+        c.sendq.pop_front();
+      }
+      while (!c.inflight.empty()) {
+        Entry e = std::move(c.inflight.front());
+        c.inflight.pop_front();
+        if (e->attempts >= cfg_.replay_limit) {
+          --b.queued;
+          b.depth->add(-1.0);
+          outer_.route_misses_.fetch_add(1, std::memory_order_relaxed);
+          router_metrics().route_misses->inc();
+          deliver_entry(std::move(e), std::string(kErrUpstreamUnavailable));
+          continue;
+        }
+        ++e->attempts;
+        outer_.replays_.fetch_add(1, std::memory_order_relaxed);
+        router_metrics().replays->inc();
+        c.sendq.push_back(std::move(e));
+      }
+    }
+
+    /// Connection-level failure while up: resplice, back off, and walk the
+    /// endpoint list so a dead (or byzantine) endpoint doesn't pin the
+    /// pool.
+    void upstream_fail(Backend& b, UpstreamConn& c) {
+      fail_conn_keep_entries(b, c);
+      c.retry_at =
+          steady_ms() + static_cast<std::int64_t>(
+                            std::max(1.0, c.backoff.next_delay_ms()));
+      advance_active(b, c.target_idx);
+    }
+
+    void drop_upstream(Backend& b, UpstreamConn& c, bool count_reconnect) {
+      if (c.fd >= 0) {
+        loop_->remove(c.fd);
+        ::close(c.fd);
+        c.fd = -1;
+      }
+      (void)count_reconnect;
+      c.st = UpstreamConn::St::kDown;
+      connect_failed(b, c);
+    }
+
+    /// Moves queued requests into the tx queue (coalescing many requests
+    /// into one vectored upstream write — the fan-in batching) and tracks
+    /// them as in-flight, FIFO with the responses.
+    void pump_upstream(UpstreamConn& c) {
+      while (!c.sendq.empty() && c.tx.bytes() < kTxHighWater) {
+        Entry e = std::move(c.sendq.front());
+        c.sendq.pop_front();
+        // The in-flight entry keeps the frame for replay; the tx queue
+        // takes a copy so a partial write can't corrupt the replay image.
+        c.tx.push(std::string(e->frame));
+        c.inflight.push_back(std::move(e));
+      }
+    }
+
+    void flush_upstream(UpstreamConn& c) {
+      Backend& b = backends_[c.backend];
+      for (;;) {
+        if (!c.tx.empty()) {
+          const TxQueue::FlushStatus st = c.tx.flush(c.fd);
+          if (st == TxQueue::FlushStatus::kClosed) {
+            upstream_fail(b, c);
+            return;
+          }
+          if (st == TxQueue::FlushStatus::kBlocked) break;
+        }
+        // Drained: more queued work may have arrived while writing.
+        if (c.st != UpstreamConn::St::kReady || c.sendq.empty()) break;
+        pump_upstream(c);
+        if (c.tx.empty()) break;
+      }
+      loop_->update(c.fd, upstream_tag(c.backend, c.slot), !c.tx.empty());
+    }
+
+    // =======================================================================
+    // Scatter-gather merges
+
+    std::string merge_gather(Gather& g) {
+      // One backend: the single part passes through untouched, errors and
+      // all — byte-identical to a direct connection by construction.
+      if (g.verbatim) return std::move(g.parts.front());
+      for (const std::string& part : g.parts) {
+        if (part.rfind("ERR", 0) == 0) return part;
+      }
+      switch (g.kind) {
+        case Gather::kSeries:
+          return merge_series(g);
+        case Gather::kStats:
+          return merge_stats(g);
+        case Gather::kMetrics:
+          return merge_metrics(g);
+      }
+      return format_error("merge failed");
+    }
+
+    std::string merge_series(const Gather& g) {
+      std::vector<std::string> all;
+      for (const std::string& part : g.parts) {
+        auto names = parse_series_response(part);
+        if (!names) return format_error("upstream invalid response");
+        for (auto& n : *names) all.push_back(std::move(n));
+      }
+      // Each backend already sorts; the merged fleet view re-sorts so the
+      // routed response is byte-identical to a single server holding
+      // every series.
+      std::sort(all.begin(), all.end());
+      all.erase(std::unique(all.begin(), all.end()), all.end());
+      std::string out;
+      append_series_response(out, all);
+      return out;
+    }
+
+    std::string merge_stats(const Gather& g) {
+      StatsReply total;
+      std::string role;
+      bool first = true;
+      bool mixed = false;
+      bool any_role = false;
+      for (const std::string& part : g.parts) {
+        const auto reply = parse_stats_response(part);
+        if (!reply) return format_error("upstream invalid response");
+        total.series += reply->series;
+        total.retained += reply->retained;
+        total.appended += reply->appended;
+        total.dropped += reply->dropped;
+        total.replay_skipped += reply->replay_skipped;
+        total.epoch = std::max(total.epoch, reply->epoch);
+        total.repl_lag += reply->repl_lag;
+        if (!reply->role.empty()) any_role = true;
+        if (first) {
+          role = reply->role;
+          first = false;
+        } else if (role != reply->role) {
+          mixed = true;
+        }
+      }
+      std::string out;
+      append_stats_response(out, total.series, total.retained, total.appended,
+                            total.dropped, total.replay_skipped);
+      if (any_role) {
+        append_stats_repl_suffix(out, mixed ? "mixed" : role, total.epoch,
+                                 total.repl_lag);
+      }
+      return out;
+    }
+
+    std::string merge_metrics(const Gather& g) {
+      // Fleet view of the registry: '#' header lines dedup on first
+      // occurrence, samples with the same "name{labels}" key sum across
+      // backends, ordering follows first appearance (backend 0 first) so
+      // the merge is deterministic.
+      std::vector<std::string> order;         // emitted keys, in order
+      std::map<std::string, double> samples;  // key -> summed value
+      std::set<std::string> comments;
+      std::vector<char> is_comment_flag;
+      for (const std::string& part : g.parts) {
+        const auto body = parse_metrics_response(part);
+        if (!body) return format_error("upstream invalid response");
+        std::string_view rest(*body);
+        while (!rest.empty()) {
+          std::size_t nl = rest.find('\n');
+          if (nl == std::string_view::npos) nl = rest.size();
+          const std::string_view line = rest.substr(0, nl);
+          rest.remove_prefix(std::min(nl + 1, rest.size()));
+          if (line.empty()) continue;
+          if (line.front() == '#') {
+            std::string key(line);
+            if (comments.insert(key).second) {
+              order.push_back(std::move(key));
+              is_comment_flag.push_back(1);
+            }
+            continue;
+          }
+          const std::size_t sp = line.rfind(' ');
+          if (sp == std::string_view::npos) continue;  // malformed sample
+          std::string key(line.substr(0, sp));
+          double value = 0.0;
+          const std::string_view vtext = line.substr(sp + 1);
+          std::from_chars(vtext.data(), vtext.data() + vtext.size(), value);
+          const auto [it, inserted] = samples.emplace(key, value);
+          if (!inserted) {
+            it->second += value;
+          } else {
+            order.push_back(std::move(key));
+            is_comment_flag.push_back(0);
+          }
+        }
+      }
+      std::string body;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        if (is_comment_flag[i]) {
+          body.append(order[i]);
+        } else {
+          body.append(order[i]);
+          body.push_back(' ');
+          append_metric_value(body, samples[order[i]]);
+        }
+        body.push_back('\n');
+      }
+      std::string out;
+      append_metrics_response(out, body);
+      return out;
+    }
+  };
+
+  std::deque<Plane> planes_;  ///< deque: Plane is pinned (refs + thread)
 
   // =========================================================================
 
@@ -317,1166 +1558,126 @@ struct Router::Impl {
       if (comma == std::string::npos) comma = spec.size();
       const std::string group = spec.substr(start_pos, comma - start_pos);
       start_pos = comma + 1;
-      if (group.empty()) continue;
-      Backend b;
-      std::size_t gp = 0;
-      while (gp <= group.size()) {
-        std::size_t bar = group.find('|', gp);
-        if (bar == std::string::npos) bar = group.size();
-        const std::string ep = group.substr(gp, bar - gp);
-        gp = bar + 1;
-        auto parsed = parse_endpoint_list(ep);
-        for (auto& e : parsed) b.endpoints.push_back(std::move(e));
-        if (bar == group.size()) break;
+      if (!group.empty()) {
+        Group g;
+        std::size_t gp = 0;
+        while (gp <= group.size()) {
+          std::size_t bar = group.find('|', gp);
+          if (bar == std::string::npos) bar = group.size();
+          const std::string ep = group.substr(gp, bar - gp);
+          gp = bar + 1;
+          auto parsed = parse_endpoint_list(ep);
+          for (auto& e : parsed) {
+            Endpoint resolved;
+            resolved.addr = resolve_endpoint_addr(e);
+            resolved.ep = std::move(e);
+            g.endpoints.push_back(std::move(resolved));
+          }
+          if (bar == group.size()) break;
+        }
+        if (!g.endpoints.empty()) {
+          g.id = g.endpoints.front().ep.to_string();
+          identities.push_back(g.id);
+          groups_.push_back(std::move(g));
+        }
       }
-      if (b.endpoints.empty()) continue;
-      b.id = b.endpoints.front().to_string();
-      identities.push_back(b.id);
-      backends_.push_back(std::move(b));
       if (comma == spec.size()) break;
     }
-    if (backends_.empty()) return false;
+    if (groups_.empty()) return false;
 
     pool_size_ = resolve_env_size(cfg_.pool_size, "NWSCPU_ROUTER_POOL", 2);
     const std::size_t vnodes =
         resolve_env_size(cfg_.vnodes, "NWSCPU_ROUTER_VNODES", 64);
     ring_ = HashRing(identities, vnodes);
 
+    const std::size_t nd = resolve_dispatchers(cfg_);
+    // The pool divides across planes; every plane keeps at least one
+    // connection per backend (a plane with zero connections could not
+    // route at all).
+    plane_pool_ = std::max<std::size_t>(1, pool_size_ / nd);
+    listen_backlog_ = resolve_listen_backlog(cfg_);
+
     auto& reg = obs::registry();
-    for (std::size_t i = 0; i < backends_.size(); ++i) {
-      Backend& b = backends_[i];
-      b.up_requests = &reg.counter(
-          "nws_router_upstream_requests_total{backend=\"" + b.id + "\"}",
+    for (Group& g : groups_) {
+      g.up_requests = &reg.counter(
+          "nws_router_upstream_requests_total{backend=\"" + g.id + "\"}",
           "Requests forwarded per backend");
-      b.depth =
-          &reg.gauge("nws_router_queue_depth{backend=\"" + b.id + "\"}",
-                     "Queued + in-flight upstream requests per backend");
-      for (std::size_t s = 0; s < pool_size_; ++s) {
-        UpstreamConn& c = b.pool.emplace_back();
-        c.backend = i;
-        c.slot = s;
-        // Distinct deterministic jitter stream per pooled connection: the
-        // whole point of BackoffConfig::spread is that these never
-        // reconnect in lockstep.
-        c.backoff = ExponentialBackoff(
-            cfg_.backoff, cfg_.backoff_seed ^ (i * 131 + s + 1));
-      }
+      g.depth = &reg.gauge("nws_router_queue_depth{backend=\"" + g.id + "\"}",
+                           "Queued + in-flight upstream requests per backend");
     }
 
-    // Listener.
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) return false;
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-            0 ||
-        ::listen(listen_fd_, 256) < 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return false;
-    }
-    socklen_t alen = sizeof addr;
-    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
-    outer_.port_ = ntohs(addr.sin_port);
-    set_nonblocking(listen_fd_);
-
-    loop_ = std::make_unique<EventLoop>(cfg_.net_backend);
-    outer_.net_backend_ = loop_->backend();
-#ifdef __linux__
-    const int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-    if (efd >= 0) {
-      wake_rx_ = wake_tx_ = efd;
-    }
-#endif
-    if (wake_rx_ < 0) {
-      int pipe_fds[2] = {-1, -1};
-      if (::pipe(pipe_fds) == 0) {
-        wake_rx_ = pipe_fds[0];
-        wake_tx_ = pipe_fds[1];
-        set_nonblocking(wake_rx_);
-        set_nonblocking(wake_tx_);
+    // Listener topology: one SO_REUSEPORT shard per plane when the
+    // platform + config allow it (the kernel then spreads accepts across
+    // the planes' queues); otherwise one shared listener every plane
+    // polls behind accept_mu_.
+    std::uint16_t bound = port;
+    shared_listener_ = true;
+    if (nd > 1 && resolve_reuseport(cfg_)) {
+      const int first = open_listener(&bound, listen_backlog_, true);
+      if (first >= 0) {
+        listen_fds_.push_back(first);
+        while (listen_fds_.size() < nd) {
+          std::uint16_t p = bound;  // later shards bind the resolved port
+          const int fd = open_listener(&p, listen_backlog_, true);
+          if (fd < 0) break;
+          listen_fds_.push_back(fd);
+        }
+        if (listen_fds_.size() == nd) {
+          shared_listener_ = false;
+        } else {
+          // Partial shard set (kernel refused a later bind): fall back to
+          // the shared-listener shape rather than skew the accept load.
+          close_listeners();
+          bound = port;
+        }
       }
     }
-    loop_->add(listen_fd_, kTagListen, false);
-    if (wake_rx_ >= 0) loop_->add(wake_rx_, kTagWake, false);
+    if (listen_fds_.empty()) {
+      const int fd = open_listener(&bound, listen_backlog_, false);
+      if (fd < 0) return false;
+      listen_fds_.push_back(fd);
+    }
+    outer_.port_ = bound;
+
+    for (std::size_t i = 0; i < nd; ++i) {
+      Plane& p = planes_.emplace_back(*this, i);
+      p.accepts_ = &reg.counter(
+          "nws_router_dispatcher_accepts_total{dispatcher=\"" +
+              std::to_string(i) + "\"}",
+          "Client connections accepted, per router dispatcher");
+      if (!p.init(shared_listener_ ? listen_fds_[0] : listen_fds_[i])) {
+        planes_.clear();
+        close_listeners();
+        return false;
+      }
+    }
+    outer_.net_backend_ = planes_.front().loop_->backend();
     return true;
   }
 
-  void wake() {
-    if (wake_tx_ < 0) return;
-    const std::uint64_t one = 1;
-    [[maybe_unused]] const ssize_t n =
-        ::write(wake_tx_, &one, wake_tx_ == wake_rx_ ? sizeof one : 1);
-  }
-
-  // =========================================================================
-  // Main loop
-
-  void run() {
-    std::vector<LoopEvent> events;
-    while (outer_.running_.load(std::memory_order_acquire)) {
-      reconnect_pass();
-      loop_->wait(events, wait_timeout());
-      for (const LoopEvent& ev : events) {
-        if (ev.tag == kTagListen) {
-          accept_ready();
-        } else if (ev.tag == kTagWake) {
-          char buf[64];
-          while (::read(wake_rx_, buf, sizeof buf) > 0) {
-          }
-        } else if ((ev.tag & kKindUpstream) != 0) {
-          const std::size_t b = (ev.tag >> 16) & 0xffffffffull;
-          const std::size_t s = ev.tag & 0xffff;
-          handle_upstream_event(backends_[b].pool[s], ev);
-        } else if ((ev.tag & kKindClient) != 0) {
-          handle_client_event(ev.tag & ~kKindClient, ev);
-        }
-      }
-      drain_resumes();
-      flush_dirty();
-    }
-    teardown_all();
-  }
-
-  int wait_timeout() {
-    std::int64_t next = std::numeric_limits<std::int64_t>::max();
-    for (const Backend& b : backends_) {
-      for (const UpstreamConn& c : b.pool) {
-        if (c.st == UpstreamConn::St::kDown) next = std::min(next, c.retry_at);
-      }
-    }
-    if (next == std::numeric_limits<std::int64_t>::max()) return 1000;
-    const std::int64_t now = steady_ms();
-    return static_cast<int>(std::clamp<std::int64_t>(next - now, 0, 1000));
-  }
-
-  void reconnect_pass() {
-    const std::int64_t now = steady_ms();
-    for (Backend& b : backends_) {
-      for (UpstreamConn& c : b.pool) {
-        if (c.st == UpstreamConn::St::kDown && now >= c.retry_at) {
-          start_connect(b, c);
-        }
-      }
+  void start_threads() {
+    for (Plane& p : planes_) {
+      p.thread_ = std::thread([&p] { p.run(); });
     }
   }
 
-  void flush_dirty() {
-    for (auto [bi, si] : dirty_upstreams_) {
-      UpstreamConn& c = backends_[bi].pool[si];
-      c.dirty = false;
-      if (c.st == UpstreamConn::St::kReady) pump_upstream(c);
-      if (c.fd >= 0) flush_upstream(c);
-    }
-    dirty_upstreams_.clear();
-    for (const std::uint64_t id : dirty_clients_) {
-      const auto it = clients_.find(id);
-      if (it == clients_.end()) continue;
-      it->second->dirty = false;
-      flush_client(*it->second);
-    }
-    dirty_clients_.clear();
+  void wake_all() {
+    // Shutting the listeners down plus a wakeup write kicks every plane
+    // out of a quiet event wait immediately.
+    for (const int fd : listen_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (Plane& p : planes_) p.waker_.wake();
   }
 
-  void mark_upstream_dirty(UpstreamConn& c) {
-    if (!c.dirty) {
-      c.dirty = true;
-      dirty_upstreams_.emplace_back(c.backend, c.slot);
+  void join_all() {
+    for (Plane& p : planes_) {
+      if (p.thread_.joinable()) p.thread_.join();
+      p.waker_.close_fds();
     }
   }
 
-  /// Clients whose barrier lifted resume consuming buffered input.  A
-  /// resumed client can immediately park another scatter whose gather
-  /// completes synchronously (every backend sheds "busy"), re-queueing the
-  /// client — loop until quiet; the buffered input is finite.
-  void drain_resumes() {
-    while (!pending_resume_.empty()) {
-      std::vector<std::uint64_t> batch;
-      batch.swap(pending_resume_);
-      for (const std::uint64_t id : batch) {
-        const auto it = clients_.find(id);
-        if (it == clients_.end()) continue;
-        process_client_input(*it->second);
-      }
-    }
-  }
-
-  void mark_client_dirty(ClientConn& c) {
-    if (!c.dirty) {
-      c.dirty = true;
-      dirty_clients_.push_back(c.id);
-    }
-  }
-
-  void teardown_all() {
-    for (auto& [id, c] : clients_) {
-      if (c->fd >= 0) {
-        loop_->remove(c->fd);
-        ::close(c->fd);
-      }
-    }
-    clients_.clear();
-    router_metrics().clients->set(0.0);
-    for (Backend& b : backends_) {
-      for (UpstreamConn& c : b.pool) {
-        if (c.fd >= 0) {
-          loop_->remove(c.fd);
-          ::close(c.fd);
-          c.fd = -1;
-        }
-        c.st = UpstreamConn::St::kDown;
-      }
-    }
-    if (listen_fd_ >= 0) {
-      loop_->remove(listen_fd_);
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
-    if (wake_rx_ >= 0) {
-      loop_->remove(wake_rx_);
-      ::close(wake_rx_);
-      if (wake_tx_ == wake_rx_) wake_tx_ = -1;
-      wake_rx_ = -1;
-    }
-    if (wake_tx_ >= 0) {
-      ::close(wake_tx_);
-      wake_tx_ = -1;
-    }
-  }
-
-  // =========================================================================
-  // Client connections
-
-  void accept_ready() {
-    for (;;) {
-      const int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd < 0) {
-        if (errno == EINTR) continue;
-        return;
-      }
-      configure_socket(fd);
-      auto conn = std::make_unique<ClientConn>();
-      conn->fd = fd;
-      conn->id = next_client_id_++;
-      loop_->add(fd, client_tag(conn->id), false);
-      clients_.emplace(conn->id, std::move(conn));
-      router_metrics().clients->set(static_cast<double>(clients_.size()));
-    }
-  }
-
-  void teardown_client(ClientConn& c) {
-    if (c.fd >= 0) {
-      loop_->remove(c.fd);
-      ::close(c.fd);
-      c.fd = -1;
-    }
-    clients_.erase(c.id);  // invalidates `c`
-    router_metrics().clients->set(static_cast<double>(clients_.size()));
-  }
-
-  void handle_client_event(std::uint64_t id, const LoopEvent& ev) {
-    const auto it = clients_.find(id);
-    if (it == clients_.end()) return;
-    ClientConn& c = *it->second;
-    if (ev.error && !ev.readable) {
-      teardown_client(c);
-      return;
-    }
-    if (ev.writable) flush_client(c);
-    if (clients_.find(id) == clients_.end()) return;  // flush closed it
-    if (!ev.readable) return;
-    char buf[65536];
-    for (;;) {
-      const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
-      if (n > 0) {
-        c.rx.append(buf, static_cast<std::size_t>(n));
-        if (static_cast<std::size_t>(n) < sizeof buf) break;
-        continue;
-      }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      if (n < 0 && errno == EINTR) continue;
-      // EOF or hard error: drop the connection (any in-flight upstream
-      // work completes into the void).
-      teardown_client(c);
-      return;
-    }
-    process_client_input(c);
-  }
-
-  void process_client_input(ClientConn& c) {
-    while (!c.stop_input && !c.gated) {
-      if (!c.binary) {
-        const std::size_t newline = c.rx.find('\n');
-        if (newline == std::string::npos) {
-          if (c.rx.size() > cfg_.max_line_bytes) client_overflow(c, false);
-          return;
-        }
-        if (newline > cfg_.max_line_bytes) {
-          client_overflow(c, false);
-          return;
-        }
-        std::string line(c.rx, 0, newline);
-        c.rx.erase(0, newline + 1);
-        if (maybe_hello(c, line)) continue;
-        classify_text_line(c, line);
-      } else {
-        std::size_t frame_end = 0;
-        std::string_view payload;
-        const BinFrameStatus status = extract_binary_frame(
-            c.rx, cfg_.max_line_bytes, frame_end, payload);
-        if (status == BinFrameStatus::kNeedMore) return;
-        if (status == BinFrameStatus::kError) {
-          client_overflow(c, true);
-          return;
-        }
-        std::string frame(payload);
-        c.rx.erase(0, frame_end);
-        classify_frame(c, frame);
-      }
-    }
-  }
-
-  /// Line-too-long / bad-frame: answer, stop reading, close after flush —
-  /// the server dispatcher's exact policy.
-  void client_overflow(ClientConn& c, bool binary) {
-    c.rx.clear();
-    c.stop_input = true;
-    c.closing = true;
-    deliver(c.id, c.next_slot++,
-            format_error(binary ? "bad frame" : "line too long"), binary);
-  }
-
-  /// Mirrors NwsServer::handle_hello byte-for-byte (the ack itself always
-  /// rides text framing; later responses follow the upgrade).
-  bool maybe_hello(ClientConn& c, std::string_view line) {
-    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
-                             line.back() == '\t')) {
-      line.remove_suffix(1);
-    }
-    if (line != "HELLO" && line.rfind("HELLO ", 0) != 0) return false;
-    std::string_view arg =
-        line.size() > 5 ? line.substr(6) : std::string_view{};
-    while (!arg.empty() && (arg.front() == ' ' || arg.front() == '\t')) {
-      arg.remove_prefix(1);
-    }
-    std::string reply;
-    bool upgrade = false;
-    if (arg.empty() || arg == "TEXT") {
-      reply.assign(kHelloTextAck);
-    } else if (arg == "BIN") {
-      reply.assign(kHelloBinAck);
-      upgrade = true;
-    } else {
-      reply = format_error("unknown framing");
-    }
-    deliver(c.id, c.next_slot++, std::move(reply), /*binary=*/false);
-    if (upgrade) c.binary = true;
-    return true;
-  }
-
-  void local_response(ClientConn& c, std::string payload) {
-    deliver(c.id, c.next_slot++, std::move(payload), c.binary);
-  }
-
-  void classify_text_line(ClientConn& c, const std::string& line) {
-    // The server dispatcher stops feeding lines past a QUIT-shaped prefix;
-    // mirror that before anything else.
-    const bool quit_shaped =
-        line.compare(0, 4, "QUIT") == 0 &&
-        (line.size() == 4 || line[4] == ' ' || line[4] == '\t' ||
-         line[4] == '\r');
-    if (quit_shaped) c.stop_input = true;
-
-    std::size_t pos = 0;
-    const std::string_view verb = next_token(line, pos);
-    if (verb == "PUT" || verb == "PUTS" || verb == "PUTB" ||
-        verb == "FORECAST" || verb == "VALUES") {
-      const std::string_view series = next_token(line, pos);
-      if (series.empty()) {
-        local_response(c, format_error("malformed request"));
-        return;
-      }
-      std::string frame;
-      frame.reserve(line.size() + 5);
-      append_text_frame(frame, line);
-      route_point(c, series, std::move(frame));
-      return;
-    }
-    if (verb == "STATS") {
-      const std::string_view series = next_token(line, pos);
-      if (series.empty()) {
-        scatter(c, Gather::kStats, "STATS");
-        return;
-      }
-      std::string frame;
-      frame.reserve(line.size() + 5);
-      append_text_frame(frame, line);
-      route_point(c, series, std::move(frame));
-      return;
-    }
-    if (verb == "SERIES" || verb == "METRICS") {
-      if (rest_is_ws(line, pos)) {
-        scatter(c, verb == "SERIES" ? Gather::kSeries : Gather::kMetrics,
-                verb);
-      } else {
-        local_response(c, format_error("malformed request"));
-      }
-      return;
-    }
-    if (verb == "PING") {
-      local_response(c, rest_is_ws(line, pos)
-                            ? format_ok()
-                            : format_error("malformed request"));
-      return;
-    }
-    if (verb == "QUIT") {
-      if (rest_is_ws(line, pos)) {
-        local_response(c, format_ok());
-        c.closing = true;
-      } else {
-        local_response(c, format_error("malformed request"));
-      }
-      return;
-    }
-    if (verb == "REPL" || verb == "PROMOTE") {
-      // Admin verbs stop at the proxy: a client must not be able to
-      // promote/demote a backend or inject replication records through
-      // the public tier.
-      local_response(c, std::string(kErrNotRoutable));
-      return;
-    }
-    // Unknown verb or empty line: the backend's parser would reject it —
-    // answer with its exact error locally instead of burning a hop.
-    local_response(c, format_error("malformed request"));
-  }
-
-  void classify_frame(ClientConn& c, const std::string& payload) {
-    const auto op = static_cast<std::uint8_t>(payload[0]);
-    switch (op) {
-      case kBinOpPut:
-      case kBinOpPutSeq:
-      case kBinOpPutBatch:
-      case kBinOpForecast: {
-        if (payload.size() >= 3) {
-          const auto lo = static_cast<unsigned char>(payload[1]);
-          const auto hi = static_cast<unsigned char>(payload[2]);
-          const std::size_t len = static_cast<std::size_t>(lo) |
-                                  (static_cast<std::size_t>(hi) << 8);
-          if (len > 0 && payload.size() >= 3 + len) {
-            std::string frame;
-            frame.reserve(payload.size() + 4);
-            append_payload_frame(frame, payload);
-            route_point(c, std::string_view(payload).substr(3, len),
-                        std::move(frame));
-            return;
-          }
-        }
-        local_response(c, format_error("malformed request"));
-        return;
-      }
-      case kBinOpMetrics:
-        if (payload.size() == 1) {
-          scatter(c, Gather::kMetrics, "METRICS");
-        } else {
-          local_response(c, format_error("malformed request"));
-        }
-        return;
-      case kBinOpPing:
-        local_response(c, payload.size() == 1
-                              ? format_ok()
-                              : format_error("malformed request"));
-        return;
-      case kBinOpQuit:
-        // The server dispatcher stops reading past any QUIT-op frame.
-        c.stop_input = true;
-        if (payload.size() == 1) {
-          local_response(c, format_ok());
-          c.closing = true;
-        } else {
-          local_response(c, format_error("malformed request"));
-        }
-        return;
-      case kBinOpText: {
-        const std::string_view inner = std::string_view(payload).substr(1);
-        classify_text_in_frame(c, payload, inner);
-        return;
-      }
-      case kBinOpReplHello:
-      case kBinOpReplBatch:
-      case kBinOpReplReset:
-        local_response(c, std::string(kErrNotRoutable));
-        return;
-      default:
-        local_response(c, format_error("malformed request"));
-        return;
-    }
-  }
-
-  /// A TEXT-op frame routes by its inner line but forwards the original
-  /// frame bytes untouched.  NOTE: HELLO is NOT special inside a frame —
-  /// the server only negotiates framing on raw text lines, and its parser
-  /// rejects "HELLO ..." as malformed; match that.
-  void classify_text_in_frame(ClientConn& c, const std::string& payload,
-                              std::string_view inner) {
-    std::size_t pos = 0;
-    const std::string_view verb = next_token(inner, pos);
-    if (verb == "PUT" || verb == "PUTS" || verb == "PUTB" ||
-        verb == "FORECAST" || verb == "VALUES" || verb == "STATS") {
-      const std::string_view series = next_token(inner, pos);
-      if (series.empty()) {
-        if (verb == "STATS") {
-          scatter(c, Gather::kStats, "STATS");
-        } else {
-          local_response(c, format_error("malformed request"));
-        }
-        return;
-      }
-      std::string frame;
-      frame.reserve(payload.size() + 4);
-      append_payload_frame(frame, payload);
-      route_point(c, series, std::move(frame));
-      return;
-    }
-    if (verb == "SERIES" || verb == "METRICS") {
-      if (rest_is_ws(inner, pos)) {
-        scatter(c, verb == "SERIES" ? Gather::kSeries : Gather::kMetrics,
-                verb);
-      } else {
-        local_response(c, format_error("malformed request"));
-      }
-      return;
-    }
-    if (verb == "PING") {
-      local_response(c, rest_is_ws(inner, pos)
-                            ? format_ok()
-                            : format_error("malformed request"));
-      return;
-    }
-    if (verb == "QUIT") {
-      // Via the worker (not the dispatcher): the server closes after a
-      // well-formed QUIT but keeps reading otherwise.
-      if (rest_is_ws(inner, pos)) {
-        c.stop_input = true;
-        local_response(c, format_ok());
-        c.closing = true;
-      } else {
-        local_response(c, format_error("malformed request"));
-      }
-      return;
-    }
-    if (verb == "REPL" || verb == "PROMOTE") {
-      local_response(c, std::string(kErrNotRoutable));
-      return;
-    }
-    local_response(c, format_error("malformed request"));
-  }
-
-  // --- response delivery (per-client slot ordering) ------------------------
-
-  void deliver(std::uint64_t client_id, std::uint64_t slot,
-               std::string payload, bool binary) {
-    const auto it = clients_.find(client_id);
-    if (it == clients_.end()) return;  // client left; drop
-    ClientConn& c = *it->second;
-    if (slot != c.flush_slot) {
-      c.done.emplace(slot, std::make_pair(std::move(payload), binary));
-      return;
-    }
-    append_response(c, payload, binary);
-    ++c.flush_slot;
-    while (!c.done.empty() && c.done.begin()->first == c.flush_slot) {
-      auto& [p, b] = c.done.begin()->second;
-      append_response(c, p, b);
-      c.done.erase(c.done.begin());
-      ++c.flush_slot;
-    }
-    mark_client_dirty(c);
-  }
-
-  static void append_response(ClientConn& c, std::string_view payload,
-                              bool binary) {
-    if (binary) {
-      append_binary_response(c.tx, payload);
-    } else {
-      c.tx.append(payload);
-      c.tx.push_back('\n');
-    }
-  }
-
-  void flush_client(ClientConn& c) {
-    while (!c.tx.empty()) {
-      const ssize_t n = ::send(c.fd, c.tx.data(), c.tx.size(), MSG_NOSIGNAL);
-      if (n > 0) {
-        c.tx.erase(0, static_cast<std::size_t>(n));
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      teardown_client(c);
-      return;
-    }
-    const bool complete = c.done.empty() && c.flush_slot == c.next_slot;
-    if (c.tx.empty() && c.closing && complete) {
-      teardown_client(c);
-      return;
-    }
-    loop_->update(c.fd, client_tag(c.id), !c.tx.empty());
-  }
-
-  // =========================================================================
-  // Routing
-
-  void route_point(ClientConn& c, std::string_view series,
-                   std::string frame) {
-    const std::uint64_t h = fnv1a64(series);
-    const std::size_t b = ring_.lookup_hash(h);
-    auto entry = std::make_unique<InFlight>();
-    entry->frame = std::move(frame);
-    entry->client_id = c.id;
-    entry->slot = c.next_slot++;
-    entry->client_binary = c.binary;
-    entry->attempts = 1;
-    if ((latency_tick_++ & 63) == 0) entry->t0_us = steady_us();
-    ++c.outstanding;
-    outer_.requests_routed_.fetch_add(1, std::memory_order_relaxed);
-    router_metrics().requests->inc();
-    // Pin the series to one pool connection: its PUTS/PUTB sequence stream
-    // must stay FIFO end-to-end or the server's max-seq dedup would drop
-    // reordered samples.
-    enqueue(backends_[b], h % pool_size_, std::move(entry));
-  }
-
-  /// A cross-backend verb is a sequencing barrier for its client: firing it
-  /// while earlier point requests are still in flight on OTHER pool
-  /// connections would let the fleet view overtake them (a direct server
-  /// processes one connection in order; the router must not observably
-  /// reorder).  So the scatter waits for the client's in-flight window to
-  /// drain, and the client's later input is held until the gather lands.
-  /// Point requests keep full pipelining — only the rare fleet-view verbs
-  /// pay the round-trip.
-  void scatter(ClientConn& c, Gather::Kind kind, std::string_view verb) {
-    outer_.scatter_requests_.fetch_add(1, std::memory_order_relaxed);
-    router_metrics().scatters->inc();
-    const std::uint64_t slot = c.next_slot++;
-    c.gated = true;
-    if (c.outstanding == 0) {
-      fire_scatter(c, kind, verb, slot);
-      return;
-    }
-    c.has_pending_scatter = true;
-    c.pending_kind = kind;
-    c.pending_verb.assign(verb);
-    c.pending_slot = slot;
-  }
-
-  void fire_scatter(ClientConn& c, Gather::Kind kind, std::string_view verb,
-                    std::uint64_t slot) {
-    auto g = std::make_shared<Gather>();
-    g->kind = kind;
-    g->client_id = c.id;
-    g->slot = slot;
-    g->client_binary = c.binary;
-    g->verbatim = backends_.size() == 1;
-    g->remaining = backends_.size();
-    g->parts.resize(backends_.size());
-    g->have.assign(backends_.size(), 0);
-    for (std::size_t i = 0; i < backends_.size(); ++i) {
-      auto entry = std::make_unique<InFlight>();
-      append_text_frame(entry->frame, verb);
-      entry->client_id = c.id;
-      entry->slot = slot;
-      entry->client_binary = c.binary;
-      entry->attempts = 1;
-      entry->gather = g;
-      entry->part = i;
-      enqueue(backends_[i], 0, std::move(entry));
-    }
-  }
-
-  void enqueue(Backend& b, std::size_t pool_slot, Entry entry) {
-    if (b.queued >= cfg_.upstream_backlog) {
-      // Admission control, the server's own shedding reply: the client
-      // backs off retry_after_ms and replays (reliable path) or fails.
-      deliver_entry(std::move(entry),
-                    format_error("busy retry_after_ms=" +
-                                 std::to_string(cfg_.busy_retry_ms)));
-      return;
-    }
-    b.up_requests->inc();
-    ++b.queued;
-    b.depth->set(static_cast<double>(b.queued));
-    UpstreamConn& c = b.pool[pool_slot % pool_size_];
-    c.sendq.push_back(std::move(entry));
-    mark_upstream_dirty(c);
-  }
-
-  /// Terminal completion: route the payload to the waiting client (or
-  /// gather part), accounting depth and sampled hop latency.
-  void deliver_entry(Entry entry, std::string payload) {
-    if (entry->t0_us != 0) {
-      router_metrics().hop_latency->record(steady_us() - entry->t0_us);
-    }
-    if (entry->gather) {
-      Gather& g = *entry->gather;
-      if (!g.have[entry->part]) {
-        g.have[entry->part] = 1;
-        g.parts[entry->part] = std::move(payload);
-        if (--g.remaining == 0) {
-          deliver(g.client_id, g.slot, merge_gather(g), g.client_binary);
-          // The barrier lifts: the client resumes consuming buffered input.
-          const auto it = clients_.find(g.client_id);
-          if (it != clients_.end() && it->second->gated) {
-            it->second->gated = false;
-            pending_resume_.push_back(g.client_id);
-          }
-        }
-      }
-      return;
-    }
-    const std::uint64_t client_id = entry->client_id;
-    deliver(client_id, entry->slot, std::move(payload), entry->client_binary);
-    const auto it = clients_.find(client_id);
-    if (it == clients_.end()) return;
-    ClientConn& c = *it->second;
-    if (c.outstanding > 0) --c.outstanding;
-    if (c.outstanding == 0 && c.has_pending_scatter) {
-      c.has_pending_scatter = false;
-      fire_scatter(c, c.pending_kind, c.pending_verb, c.pending_slot);
-    }
-  }
-
-  // =========================================================================
-  // Upstream pool
-
-  void start_connect(Backend& b, UpstreamConn& c) {
-    const ReplEndpoint& ep = b.endpoints[b.active];
-    c.target_idx = b.active;
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-      connect_failed(b, c);
-      return;
-    }
-    configure_socket(fd);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(ep.port);
-    if (ep.host.empty() ||
-        ::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    }
-    const int rc =
-        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-    if (rc == 0) {
-      c.fd = fd;
-      loop_->add(fd, upstream_tag(c.backend, c.slot), true);
-      on_connected(c);
-      return;
-    }
-    if (errno == EINPROGRESS) {
-      c.fd = fd;
-      c.st = UpstreamConn::St::kConnecting;
-      loop_->add(fd, upstream_tag(c.backend, c.slot), true);
-      return;
-    }
-    ::close(fd);
-    connect_failed(b, c);
-  }
-
-  void connect_failed(Backend& b, UpstreamConn& c) {
-    c.st = UpstreamConn::St::kDown;
-    c.retry_at = steady_ms() + static_cast<std::int64_t>(
-                                   std::max(1.0, c.backoff.next_delay_ms()));
-    advance_active(b, c.target_idx);
-  }
-
-  /// Walks the backend group's endpoint list (once per failed endpoint —
-  /// the target_idx guard keeps a pool of failing connections from
-  /// leapfrogging each other past a live endpoint).
-  void advance_active(Backend& b, std::size_t from_idx) {
-    if (b.endpoints.size() > 1 && b.active == from_idx) {
-      b.active = (b.active + 1) % b.endpoints.size();
-    }
-  }
-
-  void on_connected(UpstreamConn& c) {
-    c.st = UpstreamConn::St::kHello;
-    c.rx.clear();
-    c.tx.assign(kHelloBinRequest);
-    c.tx.push_back('\n');
-    flush_upstream(c);
-  }
-
-  void handle_upstream_event(UpstreamConn& c, const LoopEvent& ev) {
-    Backend& b = backends_[c.backend];
-    if (c.st == UpstreamConn::St::kDown || c.fd < 0) return;
-    if (c.st == UpstreamConn::St::kConnecting) {
-      if (ev.error) {
-        drop_upstream(b, c, /*count_reconnect=*/false);
-        return;
-      }
-      if (!ev.writable) return;
-      int err = 0;
-      socklen_t len = sizeof err;
-      ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
-      if (err != 0) {
-        drop_upstream(b, c, /*count_reconnect=*/false);
-        return;
-      }
-      on_connected(c);
-      if (c.st == UpstreamConn::St::kDown) return;
-    }
-    if (ev.writable) {
-      if (c.st == UpstreamConn::St::kReady) pump_upstream(c);
-      flush_upstream(c);
-      if (c.st == UpstreamConn::St::kDown || c.fd < 0) return;
-    }
-    if (!ev.readable) return;
-    char buf[65536];
-    for (;;) {
-      const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
-      if (n > 0) {
-        c.rx.append(buf, static_cast<std::size_t>(n));
-        if (static_cast<std::size_t>(n) < sizeof buf) break;
-        continue;
-      }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      if (n < 0 && errno == EINTR) continue;
-      upstream_fail(b, c);
-      return;
-    }
-    drain_upstream_rx(b, c);
-  }
-
-  void drain_upstream_rx(Backend& b, UpstreamConn& c) {
-    if (c.st == UpstreamConn::St::kHello) {
-      const std::size_t newline = c.rx.find('\n');
-      if (newline == std::string::npos) {
-        if (c.rx.size() > 256) upstream_fail(b, c);  // ack is tiny
-        return;
-      }
-      std::string_view ack(c.rx.data(), newline);
-      while (!ack.empty() && ack.back() == '\r') ack.remove_suffix(1);
-      if (ack != kHelloBinAck) {
-        // The backend does not speak the binary upgrade (or answered with
-        // an error): this endpoint is unusable as an upstream.
-        upstream_fail(b, c);
-        return;
-      }
-      c.rx.erase(0, newline + 1);
-      c.st = UpstreamConn::St::kReady;
-      c.backoff.reset();
-      pump_upstream(c);
-      flush_upstream(c);
-      if (c.st != UpstreamConn::St::kReady) return;
-    }
-    while (c.st == UpstreamConn::St::kReady) {
-      std::size_t frame_end = 0;
-      std::string_view payload;
-      const BinFrameStatus status =
-          extract_binary_frame(c.rx, kUpstreamFrameCap, frame_end, payload);
-      if (status == BinFrameStatus::kNeedMore) return;
-      if (status == BinFrameStatus::kError || c.inflight.empty()) {
-        // A response we cannot frame, or one nobody asked for: the stream
-        // is desynchronized beyond repair — drop the connection and replay
-        // the un-acked window on a fresh one.
-        upstream_fail(b, c);
-        return;
-      }
-      std::string response(payload);
-      c.rx.erase(0, frame_end);
-      complete_front(b, c, std::move(response));
-    }
-  }
-
-  void complete_front(Backend& b, UpstreamConn& c, std::string payload) {
-    Entry entry = std::move(c.inflight.front());
-    c.inflight.pop_front();
-    --b.queued;
-    b.depth->set(static_cast<double>(b.queued));
-    if (!entry->gather && payload.rfind("ERR not_primary", 0) == 0) {
-      handle_redirect(b, c, std::move(entry), std::move(payload));
-      return;
-    }
-    deliver_entry(std::move(entry), std::move(payload));
-  }
-
-  /// "ERR not_primary <hint>" — the backend group failed over.  Follow the
-  /// hint (the PR 7 endpoint walk, executed inside the router), replay the
-  /// redirected request plus every un-acked in-flight request behind it,
-  /// and let the new primary's sequence/timestamp dedup keep the stream
-  /// exactly-once.  Clients never see the redirect.
-  void handle_redirect(Backend& b, UpstreamConn& c, Entry entry,
-                       std::string payload) {
-    outer_.redirects_.fetch_add(1, std::memory_order_relaxed);
-    router_metrics().redirects->inc();
-    if (entry->attempts >= cfg_.replay_limit) {
-      deliver_entry(std::move(entry), std::move(payload));
-      return;
-    }
-    ++entry->attempts;
-    // Prefer the redirect hint; fall back to round-robin within the group.
-    const auto hint = parse_not_primary(payload);
-    bool switched = false;
-    if (hint && *hint != 0) {
-      for (std::size_t i = 0; i < b.endpoints.size(); ++i) {
-        if (b.endpoints[i].port == *hint) {
-          switched = b.active != i;
-          b.active = i;
-          break;
-        }
-      }
-      if (!switched && b.endpoints[b.active].port != *hint) {
-        // Hint outside the configured group: trust it (the fleet knows its
-        // own promotion better than our static config) and remember it.
-        b.endpoints.push_back(ReplEndpoint{"127.0.0.1", *hint});
-        b.active = b.endpoints.size() - 1;
-        switched = true;
-      }
-    } else {
-      const std::size_t before = b.active;
-      b.active = (b.active + 1) % b.endpoints.size();
-      switched = b.active != before;
-    }
-    // Cycle the whole pool onto the new endpoint; their un-acked windows
-    // replay in order.  The redirected request itself replays first on its
-    // pinned connection.
-    UpstreamConn* home = &b.pool[c.slot];
-    for (UpstreamConn& pc : b.pool) {
-      fail_conn_keep_entries(b, pc);
-    }
-    ++outer_.replays_;  // the redirected request itself
-    router_metrics().replays->inc();
-    ++b.queued;
-    b.depth->set(static_cast<double>(b.queued));
-    home->sendq.push_front(std::move(entry));
-    // Immediate retry at the new endpoint.
-    for (UpstreamConn& pc : b.pool) pc.retry_at = 0;
-  }
-
-  /// Closes a connection and splices its un-acked window (inflight, then
-  /// queued) back onto its send queue for replay, expiring entries that
-  /// have exhausted their attempts.
-  void fail_conn_keep_entries(Backend& b, UpstreamConn& c) {
-    if (c.fd >= 0) {
-      loop_->remove(c.fd);
-      ::close(c.fd);
-      c.fd = -1;
-    }
-    const bool was_up = c.st != UpstreamConn::St::kDown;
-    c.st = UpstreamConn::St::kDown;
-    c.rx.clear();
-    c.tx.clear();
-    if (was_up) {
-      outer_.reconnects_.fetch_add(1, std::memory_order_relaxed);
-      router_metrics().reconnects->inc();
-    }
-    if (c.inflight.empty()) return;
-    // inflight (older) must precede whatever is still queued.
-    while (!c.sendq.empty()) {
-      c.inflight.push_back(std::move(c.sendq.front()));
-      c.sendq.pop_front();
-    }
-    while (!c.inflight.empty()) {
-      Entry e = std::move(c.inflight.front());
-      c.inflight.pop_front();
-      if (e->attempts >= cfg_.replay_limit) {
-        --b.queued;
-        outer_.route_misses_.fetch_add(1, std::memory_order_relaxed);
-        router_metrics().route_misses->inc();
-        deliver_entry(std::move(e), std::string(kErrUpstreamUnavailable));
-        continue;
-      }
-      ++e->attempts;
-      outer_.replays_.fetch_add(1, std::memory_order_relaxed);
-      router_metrics().replays->inc();
-      c.sendq.push_back(std::move(e));
-    }
-    b.depth->set(static_cast<double>(b.queued));
-  }
-
-  /// Connection-level failure while up: resplice, back off, and walk the
-  /// endpoint list so a dead (or byzantine) endpoint doesn't pin the pool.
-  void upstream_fail(Backend& b, UpstreamConn& c) {
-    fail_conn_keep_entries(b, c);
-    c.retry_at = steady_ms() + static_cast<std::int64_t>(
-                                   std::max(1.0, c.backoff.next_delay_ms()));
-    advance_active(b, c.target_idx);
-  }
-
-  void drop_upstream(Backend& b, UpstreamConn& c, bool count_reconnect) {
-    if (c.fd >= 0) {
-      loop_->remove(c.fd);
-      ::close(c.fd);
-      c.fd = -1;
-    }
-    (void)count_reconnect;
-    c.st = UpstreamConn::St::kDown;
-    connect_failed(b, c);
-  }
-
-  /// Moves queued requests into the tx buffer (coalescing many requests
-  /// into one upstream write — the fan-in batching) and tracks them as
-  /// in-flight, FIFO with the responses.
-  void pump_upstream(UpstreamConn& c) {
-    while (!c.sendq.empty() && c.tx.size() < kTxHighWater) {
-      Entry e = std::move(c.sendq.front());
-      c.sendq.pop_front();
-      c.tx.append(e->frame);
-      c.inflight.push_back(std::move(e));
-    }
-  }
-
-  void flush_upstream(UpstreamConn& c) {
-    Backend& b = backends_[c.backend];
-    while (!c.tx.empty()) {
-      const ssize_t n = ::send(c.fd, c.tx.data(), c.tx.size(), MSG_NOSIGNAL);
-      if (n > 0) {
-        c.tx.erase(0, static_cast<std::size_t>(n));
-        if (c.tx.empty() && c.st == UpstreamConn::St::kReady) {
-          pump_upstream(c);  // more queued work arrived while writing
-        }
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      upstream_fail(b, c);
-      return;
-    }
-    loop_->update(c.fd, upstream_tag(c.backend, c.slot), !c.tx.empty());
-  }
-
-  // =========================================================================
-  // Scatter-gather merges
-
-  std::string merge_gather(Gather& g) {
-    // One backend: the single part passes through untouched, errors and
-    // all — byte-identical to a direct connection by construction.
-    if (g.verbatim) return std::move(g.parts.front());
-    for (const std::string& part : g.parts) {
-      if (part.rfind("ERR", 0) == 0) return part;
-    }
-    switch (g.kind) {
-      case Gather::kSeries:
-        return merge_series(g);
-      case Gather::kStats:
-        return merge_stats(g);
-      case Gather::kMetrics:
-        return merge_metrics(g);
-    }
-    return format_error("merge failed");
-  }
-
-  std::string merge_series(const Gather& g) {
-    std::vector<std::string> all;
-    for (const std::string& part : g.parts) {
-      auto names = parse_series_response(part);
-      if (!names) return format_error("upstream invalid response");
-      for (auto& n : *names) all.push_back(std::move(n));
-    }
-    // Each backend already sorts; the merged fleet view re-sorts so the
-    // routed response is byte-identical to a single server holding every
-    // series.
-    std::sort(all.begin(), all.end());
-    all.erase(std::unique(all.begin(), all.end()), all.end());
-    std::string out;
-    append_series_response(out, all);
-    return out;
-  }
-
-  std::string merge_stats(const Gather& g) {
-    StatsReply total;
-    std::string role;
-    bool first = true;
-    bool mixed = false;
-    bool any_role = false;
-    for (const std::string& part : g.parts) {
-      const auto reply = parse_stats_response(part);
-      if (!reply) return format_error("upstream invalid response");
-      total.series += reply->series;
-      total.retained += reply->retained;
-      total.appended += reply->appended;
-      total.dropped += reply->dropped;
-      total.replay_skipped += reply->replay_skipped;
-      total.epoch = std::max(total.epoch, reply->epoch);
-      total.repl_lag += reply->repl_lag;
-      if (!reply->role.empty()) any_role = true;
-      if (first) {
-        role = reply->role;
-        first = false;
-      } else if (role != reply->role) {
-        mixed = true;
-      }
-    }
-    std::string out;
-    append_stats_response(out, total.series, total.retained, total.appended,
-                          total.dropped, total.replay_skipped);
-    if (any_role) {
-      append_stats_repl_suffix(out, mixed ? "mixed" : role, total.epoch,
-                               total.repl_lag);
-    }
-    return out;
-  }
-
-  std::string merge_metrics(const Gather& g) {
-    // Fleet view of the registry: '#' header lines dedup on first
-    // occurrence, samples with the same "name{labels}" key sum across
-    // backends, ordering follows first appearance (backend 0 first) so
-    // the merge is deterministic.
-    std::vector<std::string> order;           // emitted keys, in order
-    std::map<std::string, double> samples;    // key -> summed value
-    std::set<std::string> comments;
-    std::vector<char> is_comment_flag;
-    for (const std::string& part : g.parts) {
-      const auto body = parse_metrics_response(part);
-      if (!body) return format_error("upstream invalid response");
-      std::string_view rest(*body);
-      while (!rest.empty()) {
-        std::size_t nl = rest.find('\n');
-        if (nl == std::string_view::npos) nl = rest.size();
-        const std::string_view line = rest.substr(0, nl);
-        rest.remove_prefix(std::min(nl + 1, rest.size()));
-        if (line.empty()) continue;
-        if (line.front() == '#') {
-          std::string key(line);
-          if (comments.insert(key).second) {
-            order.push_back(std::move(key));
-            is_comment_flag.push_back(1);
-          }
-          continue;
-        }
-        const std::size_t sp = line.rfind(' ');
-        if (sp == std::string_view::npos) continue;  // malformed sample
-        std::string key(line.substr(0, sp));
-        double value = 0.0;
-        const std::string_view vtext = line.substr(sp + 1);
-        std::from_chars(vtext.data(), vtext.data() + vtext.size(), value);
-        const auto [it, inserted] = samples.emplace(key, value);
-        if (!inserted) {
-          it->second += value;
-        } else {
-          order.push_back(std::move(key));
-          is_comment_flag.push_back(0);
-        }
-      }
-    }
-    std::string body;
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      if (is_comment_flag[i]) {
-        body.append(order[i]);
-      } else {
-        body.append(order[i]);
-        body.push_back(' ');
-        append_metric_value(body, samples[order[i]]);
-      }
-      body.push_back('\n');
-    }
-    std::string out;
-    append_metrics_response(out, body);
-    return out;
+  void close_listeners() {
+    for (const int fd : listen_fds_) ::close(fd);
+    listen_fds_.clear();
   }
 };
 
@@ -1495,21 +1696,27 @@ bool Router::start(std::uint16_t port) {
     return false;
   }
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { impl_->run(); });
+  impl_->start_threads();
   return true;
 }
 
 void Router::stop() {
-  if (!running_.exchange(false)) {
-    if (thread_.joinable()) thread_.join();
-    return;
-  }
-  if (impl_) impl_->wake();
-  if (thread_.joinable()) thread_.join();
+  if (!running_.exchange(false)) return;
+  impl_->wake_all();
+  impl_->join_all();
+  impl_->close_listeners();
 }
 
 std::size_t Router::backend_count() const noexcept {
-  return impl_ ? impl_->backends_.size() : 0;
+  return impl_ ? impl_->groups_.size() : 0;
+}
+
+std::size_t Router::dispatcher_count() const noexcept {
+  return impl_ ? impl_->planes_.size() : 0;
+}
+
+bool Router::accept_sharded() const noexcept {
+  return impl_ && !impl_->shared_listener_;
 }
 
 std::size_t Router::backend_of(std::string_view series) const {

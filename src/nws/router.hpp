@@ -44,19 +44,26 @@
 // REPL*/PROMOTE admin verbs, which are deliberately NOT routable ("ERR not
 // routable") so a client can never demote a backend through the proxy.
 //
-// Single-threaded: one event-loop thread (EventLoop seam, epoll or poll)
-// owns every connection; counters are atomics readable from outside.
+// Threading: N dispatcher planes (RouterConfig::dispatchers), each an
+// event-loop thread (EventLoop seam, epoll or poll) owning its accepted
+// clients and a per-plane share of every backend's upstream pool.  Accept
+// load shards across planes via SO_REUSEPORT listeners on Linux (one
+// shared listener behind a lock elsewhere); a client connection is pinned
+// to its accepting plane for life, so per-client slot ordering and the
+// scatter barrier need no cross-thread coordination.  Counters are atomics
+// readable from outside.  With several planes, a series written through
+// two different client connections may ride two different planes' pools —
+// the same already-documented caveat as running two routers side by side.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "nws/event_loop.hpp"  // NetBackend
 #include "nws/hash_ring.hpp"
-#include "nws/server.hpp"  // NetBackend
 #include "util/backoff.hpp"
 
 namespace nws {
@@ -72,6 +79,8 @@ struct RouterConfig {
   std::string backends;
   /// Pipelined upstream connections per backend (0 = NWSCPU_ROUTER_POOL
   /// env, else 2).  A series is pinned to pool slot hash(series) % pool.
+  /// With several dispatcher planes the pool divides across them (each
+  /// plane keeps at least one connection per backend).
   std::size_t pool_size = 0;
   /// Virtual nodes per backend on the ring (0 = NWSCPU_ROUTER_VNODES env,
   /// else 64).
@@ -80,6 +89,15 @@ struct RouterConfig {
   std::size_t max_line_bytes = 64 * 1024;
   /// Event-loop backend (kAuto = NWSCPU_NET_BACKEND, else epoll on Linux).
   NetBackend net_backend = NetBackend::kAuto;
+  /// Dispatcher planes (0 = NWSCPU_DISPATCHERS env, else 1).  Each plane
+  /// owns an event loop, its accepted clients, and a share of every
+  /// backend's upstream pool.
+  std::size_t dispatchers = 0;
+  /// listen() backlog (0 = NWSCPU_LISTEN_BACKLOG env, else SOMAXCONN).
+  int listen_backlog = 0;
+  /// Allow SO_REUSEPORT accept sharding with several dispatchers
+  /// (NWSCPU_REUSEPORT=0 forces the shared-listener fallback).
+  bool reuseport = true;
   /// Upstream reconnect pacing.  spread > 0 decorrelates the pool: after a
   /// backend restart its connections come back staggered, not in lockstep.
   BackoffConfig backoff{5.0, 500.0, 2.0, 0.0, 0.2};
@@ -118,6 +136,11 @@ class Router {
   [[nodiscard]] NetBackend backend() const noexcept { return net_backend_; }
 
   [[nodiscard]] std::size_t backend_count() const noexcept;
+  /// Dispatcher planes actually running (resolved config after start()).
+  [[nodiscard]] std::size_t dispatcher_count() const noexcept;
+  /// True when every dispatcher owns a private SO_REUSEPORT listener
+  /// shard; false on the shared-listener fallback (and with one plane).
+  [[nodiscard]] bool accept_sharded() const noexcept;
   /// Ring index of the backend that owns `series` (for tests/tooling).
   [[nodiscard]] std::size_t backend_of(std::string_view series) const;
   [[nodiscard]] const HashRing& ring() const noexcept;
@@ -149,8 +172,7 @@ class Router {
   struct Impl;
 
   RouterConfig cfg_;
-  std::unique_ptr<Impl> impl_;
-  std::thread thread_;
+  std::unique_ptr<Impl> impl_;  ///< owns one thread per dispatcher plane
   std::atomic<bool> running_{false};
   std::uint16_t port_ = 0;
   NetBackend net_backend_ = NetBackend::kAuto;

@@ -86,6 +86,7 @@ struct ServerMetrics {
   obs::Gauge* connections = nullptr;
   obs::Gauge* series = nullptr;
   obs::Counter* accepts = nullptr;
+  obs::Counter* accept_overflows = nullptr;
   obs::Counter* bin_upgrades = nullptr;
   obs::Counter* wakeups = nullptr;
   obs::Counter* event_waits_poll = nullptr;
@@ -146,6 +147,10 @@ ServerMetrics& server_metrics() {
                            "Distinct series (refreshed on METRICS)");
     m->accepts = &reg.counter("nws_server_accepts_total",
                               "Connections accepted since start");
+    m->accept_overflows = &reg.counter(
+        "nws_server_accept_overflows_total",
+        "Accept-readiness events that found the kernel accept queue at or "
+        "past the configured listen backlog (Linux TCP_INFO)");
     m->bin_upgrades =
         &reg.counter("nws_server_bin_upgrades_total",
                      "Connections upgraded to binary framing (HELLO BIN)");
@@ -220,6 +225,77 @@ void set_nonblocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+std::size_t resolve_dispatchers(const ServerConfig& cfg) {
+  if (cfg.dispatchers > 0) return cfg.dispatchers;
+  if (const char* env = std::getenv("NWSCPU_DISPATCHERS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return 1;
+}
+
+int resolve_listen_backlog(const ServerConfig& cfg) {
+  if (cfg.listen_backlog > 0) return cfg.listen_backlog;
+  if (const char* env = std::getenv("NWSCPU_LISTEN_BACKLOG")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  return SOMAXCONN;
+}
+
+bool resolve_reuseport(const ServerConfig& cfg) {
+  if (!cfg.reuseport) return false;
+  if (const char* env = std::getenv("NWSCPU_REUSEPORT")) {
+    const std::string_view v(env);
+    if (v == "0" || v == "off" || v == "false") return false;
+  }
+  return true;
+}
+
+/// Opens a nonblocking loopback listener on `*port` (0 = ephemeral;
+/// updated to the bound port).  `reuseport` adds SO_REUSEPORT before bind
+/// so several listeners can shard one port's accept queue (Linux).
+int open_listener(std::uint16_t* port, int backlog, bool reuseport) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+#ifdef __linux__
+  if (reuseport) {
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+#else
+  if (reuseport) {
+    ::close(fd);
+    return -1;
+  }
+#endif
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(*port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  *port = ntohs(addr.sin_port);
+  set_nonblocking(fd);
+  return fd;
+}
+
 std::string resolve_followers(const ServerConfig& cfg) {
   if (!cfg.repl_followers.empty()) return cfg.repl_followers;
   if (const char* env = std::getenv("NWSCPU_REPL_FOLLOWERS")) return env;
@@ -268,8 +344,9 @@ NetBackend resolve_backend(const ServerConfig& cfg) {
 /// Accepted sockets are nonblocking (the dispatcher must never stall on
 /// one peer) and run with Nagle off: a sensor's single PUT must not sit
 /// in the kernel for a delayed-ack round trip (the latency delta is
-/// recorded in DESIGN.md §10).
-void configure_conn_socket(int fd) {
+/// recorded in DESIGN.md §10).  The Linux accept path gets the nonblocking
+/// half from accept4(SOCK_NONBLOCK) and sets TCP_NODELAY inline.
+[[maybe_unused]] void configure_conn_socket(int fd) {
   set_nonblocking(fd);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -649,70 +726,84 @@ std::string NwsServer::handle_line(std::string_view line) {
 
 std::uint16_t NwsServer::start(std::uint16_t port) {
   if (running_.load()) return 0;
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return 0;
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const std::size_t nd = resolve_dispatchers(cfg_);
+  listen_backlog_ = resolve_listen_backlog(cfg_);
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  // The backlog must absorb a fleet-scale connection stampede (the
-  // 100k-connection bench opens sockets far faster than one accept per
-  // event-loop turn can drain them).
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-          0 ||
-      ::listen(listen_fd_, 4096) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return 0;
-  }
-  socklen_t len = sizeof addr;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return 0;
-  }
-  set_nonblocking(listen_fd_);
-#ifdef __linux__
-  // One eventfd doubles as both ends of the wakeup channel; fall back to
-  // a self-pipe if it cannot be created.
-  const int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (efd >= 0) {
-    wake_rx_ = efd;
-    wake_tx_ = efd;
-  }
-#endif
-  if (wake_rx_ < 0) {
-    int pipe_fds[2] = {-1, -1};
-    if (::pipe(pipe_fds) < 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return 0;
+  const auto abort_start = [&] {
+    for (const int fd : listen_fds_) ::close(fd);
+    listen_fds_.clear();
+    dispatchers_.clear();
+    return std::uint16_t{0};
+  };
+
+  // Listener topology: one SO_REUSEPORT shard per dispatcher when the
+  // platform + config allow it (the kernel then spreads accepts across
+  // the dispatchers' queues); otherwise one shared listener every
+  // dispatcher polls behind accept_mu_.  The backlog must absorb a
+  // fleet-scale connection stampede (the 100k-connection bench opens
+  // sockets far faster than one accept per event-loop turn can drain).
+  std::uint16_t bound = port;
+  shared_listener_ = true;
+  if (nd > 1 && resolve_reuseport(cfg_)) {
+    const int first = open_listener(&bound, listen_backlog_, true);
+    if (first >= 0) {
+      listen_fds_.push_back(first);
+      while (listen_fds_.size() < nd) {
+        std::uint16_t p = bound;  // later shards bind the resolved port
+        const int fd = open_listener(&p, listen_backlog_, true);
+        if (fd < 0) break;
+        listen_fds_.push_back(fd);
+      }
+      if (listen_fds_.size() == nd) {
+        shared_listener_ = false;
+      } else {
+        // Partial shard set (kernel refused a later bind): fall back to
+        // the shared-listener shape rather than skew the accept load.
+        for (const int fd : listen_fds_) ::close(fd);
+        listen_fds_.clear();
+        bound = port;
+      }
     }
-    wake_rx_ = pipe_fds[0];
-    wake_tx_ = pipe_fds[1];
-    set_nonblocking(wake_rx_);
-    set_nonblocking(wake_tx_);
+  }
+  if (listen_fds_.empty()) {
+    const int fd = open_listener(&bound, listen_backlog_, false);
+    if (fd < 0) return abort_start();
+    listen_fds_.push_back(fd);
   }
 
-  port_ = ntohs(addr.sin_port);
+  dispatchers_.reserve(nd);
+  obs::Registry& reg = obs::registry();
+  for (std::size_t i = 0; i < nd; ++i) {
+    auto d = std::make_unique<Dispatcher>();
+    d->index = i;
+    d->listen_fd = shared_listener_ ? listen_fds_[0] : listen_fds_[i];
+    if (!d->waker.open()) return abort_start();
+    const std::string label = "{dispatcher=\"" + std::to_string(i) + "\"}";
+    d->accepts = &reg.counter("nws_server_dispatcher_accepts_total" + label,
+                              "Connections accepted, per dispatcher");
+    d->conns_gauge =
+        &reg.gauge("nws_server_dispatcher_connections" + label,
+                   "Connections owned, per dispatcher");
+    dispatchers_.push_back(std::move(d));
+  }
+
+  port_ = bound;
   running_.store(true);
   workers_stop_.store(false);
   workers_.reserve(shards_.size());
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     workers_.emplace_back(&NwsServer::worker_loop, this, k);
   }
+  for (auto& d : dispatchers_) {
+    Dispatcher* dp = d.get();
 #ifdef __linux__
-  thread_ = std::thread(backend_ == NetBackend::kEpoll
-                            ? &NwsServer::serve_epoll
-                            : &NwsServer::serve_poll,
-                        this);
+    d->thread = std::thread([this, dp] {
+      backend_ == NetBackend::kEpoll ? serve_epoll(*dp) : serve_poll(*dp);
+    });
 #else
-  thread_ = std::thread(&NwsServer::serve_poll, this);
+    d->thread = std::thread([this, dp] { serve_poll(*dp); });
 #endif
+  }
   if (repl_enabled_) {
     note_repl_activity();
     {
@@ -740,13 +831,15 @@ void NwsServer::stop() {
     service_.sync();
     return;
   }
-  // The event loop may be blocked indefinitely (no fixed timeout any
-  // more): a wakeup write plus shutting the listener down kicks it out of
-  // a quiet wait immediately.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  wake_dispatcher();
-  if (thread_.joinable()) thread_.join();
-  // With the dispatcher gone no new tasks are produced; workers drain
+  // Each event loop may be blocked indefinitely (no fixed timeout any
+  // more): a wakeup write plus shutting the listeners down kicks every
+  // dispatcher out of a quiet wait immediately.
+  for (const int fd : listen_fds_) ::shutdown(fd, SHUT_RDWR);
+  for (auto& d : dispatchers_) d->waker.wake();
+  for (auto& d : dispatchers_) {
+    if (d->thread.joinable()) d->thread.join();
+  }
+  // With the dispatchers gone no new tasks are produced; workers drain
   // their queues (completions to closed connections are no-ops), commit
   // their journal segments and exit.
   workers_stop_.store(true);
@@ -758,47 +851,35 @@ void NwsServer::stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  for (const int fd : listen_fds_) ::close(fd);
+  listen_fds_.clear();
+  for (auto& d : dispatchers_) {
+    d->waker.close_fds();
+    const std::scoped_lock lock(d->attention_mu);
+    d->attention.clear();
   }
-  if (wake_rx_ >= 0) {
-    ::close(wake_rx_);
-    if (wake_tx_ == wake_rx_) wake_tx_ = -1;  // eventfd: one fd, both ends
-    wake_rx_ = -1;
-  }
-  if (wake_tx_ >= 0) {
-    ::close(wake_tx_);
-    wake_tx_ = -1;
-  }
-  {
-    const std::scoped_lock lock(attention_mu_);
-    attention_.clear();
-  }
+  dispatchers_.clear();
   port_ = 0;
   service_.sync();
 }
 
-void NwsServer::wake_dispatcher() const noexcept {
-  if (wake_tx_ < 0) return;
-  server_metrics().wakeups->inc();
-  // An eventfd wants a u64 counter increment; a self-pipe any byte.  A
-  // full pipe already guarantees a pending wakeup; EAGAIN is fine.
-  if (wake_tx_ == wake_rx_) {
-    const std::uint64_t one = 1;
-    (void)!::write(wake_tx_, &one, sizeof one);
-  } else {
-    const char byte = 0;
-    (void)!::write(wake_tx_, &byte, 1);
-  }
+std::size_t NwsServer::dispatcher_count() const noexcept {
+  return !dispatchers_.empty() ? dispatchers_.size()
+                               : resolve_dispatchers(cfg_);
 }
 
 void NwsServer::request_attention(const ConnPtr& conn) {
+  // Workers joined after the dispatchers can still complete tasks for
+  // torn-down connections; the list is gone with the dispatchers, and the
+  // completion itself already did everything that matters.
+  if (conn->dispatcher >= dispatchers_.size()) return;
+  Dispatcher& d = *dispatchers_[conn->dispatcher];
   {
-    const std::scoped_lock lock(attention_mu_);
-    attention_.push_back(conn);
+    const std::scoped_lock lock(d.attention_mu);
+    d.attention.push_back(conn);
   }
-  wake_dispatcher();
+  server_metrics().wakeups->inc();
+  d.waker.wake();
 }
 
 void NwsServer::complete(const ConnPtr& conn, std::size_t slot,
@@ -835,37 +916,29 @@ void NwsServer::complete(const ConnPtr& conn, std::size_t slot,
           // the pathology client timeouts must absorb.
           std::this_thread::sleep_for(
               std::chrono::milliseconds(fault.delay_ms));
-          conn->tx += wire;
+          conn->tx.push(std::move(wire));
           break;
         case FaultAction::Kind::kTruncate:
           // Half a response and then a dead connection, as if the server
           // crashed mid-write.
-          conn->tx.append(wire, 0, wire.size() / 2);
+          wire.resize(wire.size() / 2);
+          conn->tx.push(std::move(wire));
           conn->closing = true;
           break;
         case FaultAction::Kind::kGarbage:
-          conn->tx += "\x02\x7f!garbage";
-          conn->tx += '\n';
+          conn->tx.push("\x02\x7f!garbage\n");
           break;
         default:
-          conn->tx += wire;
+          conn->tx.push(std::move(wire));
           break;
       }
       if (p.close_after) conn->closing = true;
     }
-    while (!conn->tx.empty() && !conn->dead && conn->fd >= 0) {
-      const ssize_t w =
-          ::send(conn->fd, conn->tx.data(), conn->tx.size(), MSG_NOSIGNAL);
-      if (w < 0) {
-        if (errno == EINTR) continue;
-        // EAGAIN: socket buffer full.  Leave the tail in tx and hand the
-        // fd to the dispatcher to watch for writability — a worker must
-        // never block on one slow peer.
-        if (errno != EAGAIN && errno != EWOULDBLOCK) conn->dead = true;
-        break;
-      }
-      conn->tx.erase(0, static_cast<std::size_t>(w));
-    }
+    // One vectored flush covers every response queued above (and any tail
+    // an earlier flush left).  EAGAIN leaves the tail in tx and hands the
+    // fd to the dispatcher to watch for writability — a worker must never
+    // block on one slow peer.
+    (void)flush_tx_locked(*conn);
     want_attention = conn->closing || conn->dead || !conn->tx.empty();
   }
   // flush_slot moved (or teardown latched): release any cross-shard read
@@ -877,17 +950,15 @@ void NwsServer::complete(const ConnPtr& conn, std::size_t slot,
 
 bool NwsServer::flush_tx(const ConnPtr& conn) {
   const std::scoped_lock lock(conn->mu);
-  while (!conn->tx.empty() && !conn->dead && conn->fd >= 0) {
-    const ssize_t w =
-        ::send(conn->fd, conn->tx.data(), conn->tx.size(), MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      if (errno != EAGAIN && errno != EWOULDBLOCK) conn->dead = true;
-      break;
-    }
-    conn->tx.erase(0, static_cast<std::size_t>(w));
+  return flush_tx_locked(*conn);
+}
+
+bool NwsServer::flush_tx_locked(Connection& conn) {
+  if (!conn.tx.empty() && !conn.dead && conn.fd >= 0 &&
+      conn.tx.flush(conn.fd) == TxQueue::FlushStatus::kClosed) {
+    conn.dead = true;
   }
-  return conn->tx.empty();
+  return conn.tx.empty();
 }
 
 void NwsServer::commit_shard(std::size_t k) {
@@ -1165,7 +1236,7 @@ int NwsServer::wait_timeout_ms() const noexcept {
   return std::clamp(cfg_.idle_timeout_ms / 2, 10, 100);
 }
 
-void NwsServer::teardown(const ConnPtr& conn, std::size_t live_after) {
+void NwsServer::teardown(const ConnPtr& conn) {
   {
     const std::scoped_lock lock(conn->mu);
     conn->dead = true;
@@ -1175,24 +1246,60 @@ void NwsServer::teardown(const ConnPtr& conn, std::size_t live_after) {
     }
   }
   conn->cv.notify_all();  // unfence any cross-shard read parked on us
-  connections_.store(live_after);
-  server_metrics().connections->set(static_cast<double>(live_after));
+  // fetch_sub, not store: several dispatchers retire connections
+  // concurrently.
+  const std::size_t live =
+      connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  server_metrics().connections->set(static_cast<double>(live));
 }
 
-std::size_t NwsServer::accept_ready(std::vector<ConnPtr>& out) {
+std::size_t NwsServer::accept_ready(Dispatcher& d, std::vector<ConnPtr>& out) {
   const obs::TraceSpan span("server.accept");
   ServerMetrics& m = server_metrics();
+#ifdef __linux__
+  // Accept-queue pressure probe: tcpi_unacked on a listening socket is the
+  // current accept-queue occupancy.  At/past the backlog the kernel is
+  // dropping or deferring SYNs — surface it instead of hiding the stall.
+  {
+    tcp_info info{};
+    socklen_t len = sizeof info;
+    if (::getsockopt(d.listen_fd, IPPROTO_TCP, TCP_INFO, &info, &len) == 0 &&
+        info.tcpi_unacked >= static_cast<std::uint32_t>(listen_backlog_)) {
+      m.accept_overflows->inc();
+    }
+  }
+#endif
+  // A shared listener is level-triggered readable on every dispatcher at
+  // once; the lock serializes the drain (losers see EAGAIN immediately).
+  std::unique_lock<std::mutex> accept_lock;
+  if (shared_listener_ && dispatchers_.size() > 1) {
+    accept_lock = std::unique_lock(accept_mu_);
+  }
   std::size_t accepted = 0;
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+#ifdef __linux__
+    // accept4 skips the two-fcntl nonblocking dance per connection — at
+    // stampede scale the saved syscalls are most of the accept cost.
+    const int fd = ::accept4(d.listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN, or a transient error: retry on the next event
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+#else
+    const int fd = ::accept(d.listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // EAGAIN, or a transient error: retry on the next event
     }
     configure_conn_socket(fd);
+#endif
     m.accepts->inc();
+    d.accepts->inc();
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    conn->dispatcher = d.index;
     out.push_back(std::move(conn));
     ++accepted;
   }
@@ -1225,7 +1332,7 @@ bool NwsServer::read_ready(const ConnPtr& conn) {
   }
 }
 
-void NwsServer::serve_poll() {
+void NwsServer::serve_poll(Dispatcher& d) {
   ServerMetrics& m = server_metrics();
   std::vector<ConnPtr> conns;
   std::vector<pollfd> fds;
@@ -1234,13 +1341,14 @@ void NwsServer::serve_poll() {
   const auto drop = [&](std::size_t i) {
     const ConnPtr conn = conns[i];
     conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
-    teardown(conn, conns.size());
+    teardown(conn);
+    d.conns_gauge->set(static_cast<double>(conns.size()));
   };
 
   while (running_.load()) {
     fds.clear();
-    fds.push_back({listen_fd_, POLLIN, 0});
-    fds.push_back({wake_rx_, POLLIN, 0});
+    fds.push_back({d.listen_fd, POLLIN, 0});
+    fds.push_back({d.waker.rx(), POLLIN, 0});
     for (const ConnPtr& c : conns) {
       short events = POLLIN;
       {
@@ -1255,11 +1363,7 @@ void NwsServer::serve_poll() {
     const auto now = std::chrono::steady_clock::now();
 
     if (ready > 0) {
-      if (fds[1].revents & POLLIN) {
-        char buf[64];
-        while (::read(wake_rx_, buf, sizeof buf) > 0) {
-        }
-      }
+      if (fds[1].revents & POLLIN) d.waker.drain();
       // Client traffic first: only the connections present when the pollfd
       // list was built have a valid fds[i + 2] slot, so the accept below
       // must not grow conns before this walk.  Iterate backwards so drops
@@ -1285,13 +1389,17 @@ void NwsServer::serve_poll() {
       // New connections.
       if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
         fresh.clear();
-        accept_ready(fresh);
+        const std::size_t got = accept_ready(d, fresh);
         for (ConnPtr& c : fresh) {
           c->last_activity = now;
           conns.push_back(std::move(c));
         }
-        connections_.store(conns.size());
-        m.connections->set(static_cast<double>(conns.size()));
+        if (got > 0) {
+          const std::size_t live =
+              connections_.fetch_add(got, std::memory_order_acq_rel) + got;
+          m.connections->set(static_cast<double>(live));
+          d.conns_gauge->set(static_cast<double>(conns.size()));
+        }
       }
     }
 
@@ -1299,8 +1407,8 @@ void NwsServer::serve_poll() {
     // write interest and reaps by scanning every iteration, so just clear
     // it (the wakeup write already did its job).
     {
-      const std::scoped_lock lock(attention_mu_);
-      attention_.clear();
+      const std::scoped_lock lock(d.attention_mu);
+      d.attention.clear();
     }
 
     // Reap connections whose last response went out (QUIT, truncate fault)
@@ -1339,11 +1447,11 @@ void NwsServer::serve_poll() {
 
 #ifdef __linux__
 
-void NwsServer::serve_epoll() {
+void NwsServer::serve_epoll(Dispatcher& d) {
   ServerMetrics& m = server_metrics();
   const int ep = ::epoll_create1(EPOLL_CLOEXEC);
   if (ep < 0) {
-    serve_poll();  // cannot happen on a sane kernel; degrade gracefully
+    serve_poll(d);  // cannot happen on a sane kernel; degrade gracefully
     return;
   }
 
@@ -1360,16 +1468,19 @@ void NwsServer::serve_epoll() {
     (void)::epoll_ctl(ep, op, fd, &ev);
   };
   constexpr std::uint32_t kConnEvents = EPOLLIN | EPOLLRDHUP | EPOLLET;
-  // Sentinels: nullptr = listener, this = wakeup fd.
-  ctl(EPOLL_CTL_ADD, listen_fd_, nullptr, EPOLLIN);
-  ctl(EPOLL_CTL_ADD, wake_rx_, this, EPOLLIN);
+  // Sentinels: nullptr = listener, this = wakeup fd.  A shared listener is
+  // registered in every dispatcher's epoll set (level-triggered: whoever
+  // wins accept_mu_ drains it, the rest see EAGAIN).
+  ctl(EPOLL_CTL_ADD, d.listen_fd, nullptr, EPOLLIN);
+  ctl(EPOLL_CTL_ADD, d.waker.rx(), this, EPOLLIN);
 
   const auto drop = [&](Connection* key) {
     const auto it = conns.find(key);
     if (it == conns.end()) return;
     const ConnPtr conn = it->second;  // keep alive past the erase
     conns.erase(it);
-    teardown(conn, conns.size());  // close() deregisters the fd from ep
+    teardown(conn);  // close() deregisters the fd from ep
+    d.conns_gauge->set(static_cast<double>(conns.size()));
   };
 
   std::array<epoll_event, 512> events{};
@@ -1392,9 +1503,7 @@ void NwsServer::serve_epoll() {
         continue;
       }
       if (ptr == this) {
-        char buf[64];
-        while (::read(wake_rx_, buf, sizeof buf) > 0) {
-        }
+        d.waker.drain();
         continue;
       }
       auto* key = static_cast<Connection*>(ptr);
@@ -1432,7 +1541,7 @@ void NwsServer::serve_epoll() {
 
     if (accept_pending) {
       fresh.clear();
-      accept_ready(fresh);
+      const std::size_t got = accept_ready(d, fresh);
       for (ConnPtr& c : fresh) {
         c->last_activity = now;
         Connection* key = c.get();
@@ -1440,16 +1549,20 @@ void NwsServer::serve_epoll() {
         conns.emplace(key, std::move(c));
         ctl(EPOLL_CTL_ADD, fd, key, kConnEvents);
       }
-      connections_.store(conns.size());
-      m.connections->set(static_cast<double>(conns.size()));
+      if (got > 0) {
+        const std::size_t live =
+            connections_.fetch_add(got, std::memory_order_acq_rel) + got;
+        m.connections->set(static_cast<double>(live));
+        d.conns_gauge->set(static_cast<double>(conns.size()));
+      }
     }
 
     // Worker attention: reap finished/dead connections; arm writability
     // for tx a worker could not flush (the eventfd wakeup replaces any
     // periodic scan — O(flagged), not O(connections)).
     {
-      const std::scoped_lock lock(attention_mu_);
-      flagged.swap(attention_);
+      const std::scoped_lock lock(d.attention_mu);
+      flagged.swap(d.attention);
     }
     for (const ConnPtr& conn : flagged) {
       Connection* key = conn.get();
@@ -1495,7 +1608,7 @@ void NwsServer::serve_epoll() {
 
 #else  // !__linux__
 
-void NwsServer::serve_epoll() { serve_poll(); }
+void NwsServer::serve_epoll(Dispatcher& d) { serve_poll(d); }
 
 #endif
 

@@ -6,20 +6,28 @@
 // unit-testable; the optional TCP front end (start/stop) serves it on a
 // loopback-or-LAN socket.
 //
-// Concurrency model (shard-per-core):
+// Concurrency model (shard-per-core, dispatcher-per-core):
 //  * Service state is partitioned into N shards by FNV-1a hash of the
 //    series name (ShardedForecastService).  N defaults to the machine's
 //    hardware concurrency and is overridable via ServerConfig::shards or
 //    the NWSCPU_SHARDS environment variable.
-//  * One dispatcher thread runs an event loop over the listening socket
-//    and every client connection — edge-triggered epoll on Linux, a
-//    poll() fallback elsewhere (ServerConfig::net_backend or
+//  * D dispatcher threads (ServerConfig::dispatchers / NWSCPU_DISPATCHERS,
+//    default 1) each run their own event loop — edge-triggered epoll on
+//    Linux, a poll() fallback elsewhere (ServerConfig::net_backend or
 //    NWSCPU_NET_BACKEND selects; both produce byte-identical behaviour).
-//    Shard workers wake it through an eventfd (self-pipe under poll), so
-//    an idle server parks in the kernel instead of polling on a tick.
-//    The dispatcher only moves bytes: it reads, splits complete requests,
-//    routes each to its shard's queue (a cheap verb+series token scan —
-//    full parsing happens on the worker), and reaps finished connections.
+//    With D > 1 on Linux the accept load is spread by binding one
+//    SO_REUSEPORT listener per dispatcher; elsewhere (or when sharding is
+//    disabled) every dispatcher polls one shared listener behind an accept
+//    lock.  A connection is pinned to its accepting dispatcher for life,
+//    so per-connection slot ordering, pipelining fences and the HELLO BIN
+//    upgrade state machine are dispatcher-count-invariant.  Shard workers
+//    wake the owning dispatcher through its eventfd (self-pipe under
+//    poll), so an idle server parks in the kernel instead of polling on a
+//    tick.  A dispatcher only moves bytes: it accepts (batched accept4
+//    drains), reads, splits complete requests, routes each to its shard's
+//    queue (a cheap verb+series token scan — full parsing happens on the
+//    worker), and reaps finished connections.  Responses queue as whole
+//    wire images and leave through one vectored writev per flush.
 //  * Connections speak the line-oriented text protocol by default; a
 //    client may upgrade to length-prefixed binary framing for the hot
 //    verbs by sending "HELLO BIN" (see protocol.hpp).  Binary responses
@@ -72,6 +80,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nws/event_loop.hpp"  // NetBackend, LoopWaker, TxQueue
 #include "nws/protocol.hpp"
 #include "nws/replication.hpp"
 #include "nws/sharded_service.hpp"
@@ -80,12 +89,6 @@
 namespace nws {
 
 class NwsClient;
-
-/// Event-loop backend for the dispatcher thread.  kAuto resolves the
-/// NWSCPU_NET_BACKEND environment variable ("poll" or "epoll"); unset
-/// defaults to epoll, whose readiness lists are O(ready) instead of the
-/// poll backend's O(connections) pollfd rebuild per iteration.
-enum class NetBackend { kAuto, kPoll, kEpoll };
 
 /// Replication role at construction.  A follower applies the primary's
 /// REPL stream into its standby service and rejects client writes with
@@ -121,6 +124,21 @@ struct ServerConfig {
   /// epoll).  Both backends serve the identical protocol: responses are
   /// byte-identical whichever one is selected.
   NetBackend net_backend = NetBackend::kAuto;
+  /// Dispatcher (event-loop) thread count — the byte-moving plane.  Each
+  /// dispatcher owns its own event loop, wakeup channel and connection
+  /// population; a connection is pinned to its accepting dispatcher, so
+  /// responses are byte-identical at any dispatcher count.  0 = the
+  /// NWSCPU_DISPATCHERS environment variable when set, else 1.
+  std::size_t dispatchers = 0;
+  /// listen() backlog.  0 = the NWSCPU_LISTEN_BACKLOG environment variable
+  /// when set, else SOMAXCONN.  Accept-queue overflow pressure surfaces
+  /// through the nws_server_accept_overflows_total counter (Linux).
+  int listen_backlog = 0;
+  /// With more than one dispatcher on Linux, shard the accept load by
+  /// binding one SO_REUSEPORT listener per dispatcher.  false — or
+  /// NWSCPU_REUSEPORT=0 — forces the portable fallback: one shared
+  /// listener every dispatcher polls behind an accept lock.
+  bool reuseport = true;
 
   // --- Replication & failover (DESIGN.md §11) ---------------------------
   /// Role at construction (a follower can be promoted at runtime).
@@ -188,6 +206,15 @@ class NwsServer {
   /// Number of shards (== worker threads while running).
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return service_.shard_count();
+  }
+
+  /// Dispatcher threads while running (the resolved config otherwise).
+  [[nodiscard]] std::size_t dispatcher_count() const noexcept;
+  /// True when the accept load is spread across per-dispatcher
+  /// SO_REUSEPORT listeners (false: shared listener + accept lock, the
+  /// single-dispatcher / non-Linux / reuseport=false shape).
+  [[nodiscard]] bool accept_sharded() const noexcept {
+    return !shared_listener_;
   }
 
   /// Requests served so far (all transports).
@@ -264,6 +291,9 @@ class NwsServer {
 
   struct Connection {
     int fd = -1;
+    /// Owning dispatcher index: fixed at accept, every attention flag and
+    /// wakeup for this connection targets that dispatcher's loop.
+    std::size_t dispatcher = 0;
     // Dispatcher-owned (never touched by workers):
     std::string rx;  ///< bytes received, not yet split into lines/frames
     std::chrono::steady_clock::time_point last_activity{};
@@ -276,7 +306,7 @@ class NwsServer {
     std::mutex mu;
     std::size_t flush_slot = 0;  ///< next slot to send
     std::map<std::size_t, Pending> pending;  ///< out-of-order completions
-    std::string tx;              ///< bytes formatted, not yet written
+    TxQueue tx;                  ///< wire images formatted, not yet written
     bool closing = false;        ///< sent last response; reap me
     bool dead = false;           ///< fd closed / peer gone
     /// Signals flush_slot advances (and teardown) to cross-shard reads
@@ -319,12 +349,29 @@ class NwsServer {
     std::unique_ptr<std::atomic<std::uint64_t>[]> acked;
   };
 
-  void serve_poll();
-  void serve_epoll();
+  /// One dispatcher thread: its event loop, listener (an SO_REUSEPORT
+  /// shard or the shared fd), wakeup channel and attention list.
+  struct Dispatcher {
+    std::size_t index = 0;
+    int listen_fd = -1;  ///< borrowed from listen_fds_ (owner closes)
+    LoopWaker waker;
+    std::thread thread;
+    /// Connections a worker flagged for this dispatcher: pending tx bytes
+    /// to watch for writability, or a finished/dead connection to reap.
+    std::mutex attention_mu;
+    std::vector<ConnPtr> attention;
+    // Per-dispatcher telemetry (labelled dispatcher="<index>").
+    obs::Counter* accepts = nullptr;
+    obs::Gauge* conns_gauge = nullptr;
+  };
+
+  void serve_poll(Dispatcher& d);
+  void serve_epoll(Dispatcher& d);
   void worker_loop(std::size_t k);
-  /// Accepts until EAGAIN; returns the connections accepted (nonblocking +
-  /// TCP_NODELAY applied, telemetry counted).
-  std::size_t accept_ready(std::vector<ConnPtr>& out);
+  /// Accepts until EAGAIN on d's listener (batched accept4 drain;
+  /// nonblocking + TCP_NODELAY applied, telemetry + accept-queue overflow
+  /// counted).  Takes the shared accept lock when listeners are shared.
+  std::size_t accept_ready(Dispatcher& d, std::vector<ConnPtr>& out);
   /// Drains conn->fd into conn->rx until EAGAIN; false when the peer is
   /// gone (EOF / error / injected reset) and the connection must drop.
   [[nodiscard]] bool read_ready(const ConnPtr& conn);
@@ -358,18 +405,19 @@ class NwsServer {
   /// connection needs reaping or write-readiness watching).
   void complete(const ConnPtr& conn, std::size_t slot, std::string&& text,
                 bool close_after, bool binary);
-  /// Sends as much of conn->tx as the socket takes (caller holds no lock).
-  /// Returns true when tx drained; marks the connection dead on hard
-  /// errors.
+  /// Vector-flushes as much of conn->tx as the socket takes (caller holds
+  /// no lock).  Returns true when tx drained; marks the connection dead on
+  /// hard errors.
   bool flush_tx(const ConnPtr& conn);
-  /// Flags `conn` for the dispatcher (reap, or arm write interest) and
-  /// wakes it.
+  /// The same flush with conn->mu already held by the caller.
+  bool flush_tx_locked(Connection& conn);
+  /// Flags `conn` for its owning dispatcher (reap, or arm write interest)
+  /// and wakes that dispatcher's loop.
   void request_attention(const ConnPtr& conn);
   /// Group-commits shard k's buffered journal records.
   void commit_shard(std::size_t k);
-  void wake_dispatcher() const noexcept;
   /// Closes + marks dead, releases fenced readers, updates gauges.
-  void teardown(const ConnPtr& conn, std::size_t live_after);
+  void teardown(const ConnPtr& conn);
   /// Event-wait timeout honouring idle expiry; -1 = block indefinitely.
   [[nodiscard]] int wait_timeout_ms() const noexcept;
 
@@ -423,20 +471,19 @@ class NwsServer {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> workers_stop_{false};
-  int listen_fd_ = -1;
-  /// Worker -> dispatcher wakeup: an eventfd when available (rx == tx),
-  /// else a self-pipe.  Replaces the old fixed poll timeout — an idle
-  /// server blocks in its event wait indefinitely.
-  int wake_rx_ = -1;
-  int wake_tx_ = -1;
+  /// Owned listener sockets: one per dispatcher under SO_REUSEPORT
+  /// sharding, exactly one otherwise (each Dispatcher::listen_fd borrows
+  /// its entry).
+  std::vector<int> listen_fds_;
+  /// One shared listener (accepts serialized by accept_mu_) instead of
+  /// per-dispatcher SO_REUSEPORT shards.
+  bool shared_listener_ = true;
+  std::mutex accept_mu_;
+  int listen_backlog_ = 0;  ///< resolved at start()
   NetBackend backend_ = NetBackend::kEpoll;
   std::uint16_t port_ = 0;
-  std::thread thread_;
+  std::vector<std::unique_ptr<Dispatcher>> dispatchers_;
   std::vector<std::thread> workers_;
-  /// Connections a worker flagged for the dispatcher: pending tx bytes to
-  /// watch for writability, or a finished/dead connection to reap.
-  std::mutex attention_mu_;
-  std::vector<ConnPtr> attention_;
 
   // --- Replication state (DESIGN.md §11) --------------------------------
   std::atomic<bool> is_primary_{true};

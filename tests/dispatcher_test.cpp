@@ -1,0 +1,474 @@
+// Parity matrix for the multi-dispatcher network plane: {1,2,4}
+// dispatcher threads x poll vs epoll event-loop backends x text vs
+// binary framing, every cell compared byte-for-byte against the
+// single-dispatcher text oracle.  A connection is pinned to its
+// accepting dispatcher, so per-connection slot ordering — and therefore
+// the response byte stream — must not depend on the dispatcher count.
+//
+// Also covers the SO_REUSEPORT fallback (ServerConfig::reuseport=false
+// forces the shared-listener path behind the accept lock), a
+// concurrent-accept storm across dispatchers (the TSan target), the
+// listen-backlog knob, NWSCPU_DISPATCHERS resolution, and the router's
+// dispatcher planes against the same oracle.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nws/protocol.hpp"
+#include "nws/router.hpp"
+#include "nws/server.hpp"
+
+namespace nws {
+namespace {
+
+/// Request script spanning every verb plus pipelined duplicates and a
+/// malformed probe — the same shape as the net-backend matrix, enough
+/// distinct series to spread across shards and pool connections.
+std::vector<std::string> script_lines() {
+  std::vector<std::string> lines;
+  const char* series[] = {"alpha/cpu", "bravo/cpu", "charlie/cpu",
+                          "delta/cpu", "echo/cpu"};
+  for (int round = 0; round < 10; ++round) {
+    for (const char* s : series) {
+      const double t = 10.0 * (round + 1);
+      lines.push_back("PUT " + std::string(s) + " " + std::to_string(t) +
+                      " 0." + std::to_string(20 + (round * 11) % 75));
+    }
+  }
+  for (const char* s : series) {
+    lines.push_back("FORECAST " + std::string(s));
+    lines.push_back("VALUES " + std::string(s) + " 4");
+    lines.push_back("STATS " + std::string(s));
+  }
+  lines.push_back("PUTS alpha/cpu 1 400 0.5");
+  lines.push_back("PUTS alpha/cpu 1 410 0.5");  // seq dup
+  lines.push_back("PUTB echo/cpu 3 1 500 0.5 510 0.625 520 0.75");
+  lines.push_back("FORECAST nobody/cpu");  // unknown series
+  lines.push_back("SERIES");
+  lines.push_back("STATS");
+  lines.push_back("PING");
+  lines.push_back("BOGUS request");  // malformed
+  return lines;
+}
+
+/// Encodes one script line as a binary request frame (malformed lines
+/// ride the TEXT op raw, drawing the oracle's exact error).
+void append_frame_for_line(std::string& wire, const std::string& line) {
+  if (const auto req = parse_request(line)) {
+    append_binary_request(wire, *req);
+    return;
+  }
+  std::string payload;
+  payload += static_cast<char>(kBinOpText);
+  payload += line;
+  append_binary_response(wire, payload);  // same [u32 len][bytes] layout
+}
+
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  bool send_bytes(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (fd_ >= 0 && sent < bytes.size()) {
+      const ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (w <= 0) return false;
+      sent += static_cast<std::size_t>(w);
+    }
+    return sent == bytes.size();
+  }
+
+  [[nodiscard]] std::optional<std::string> read_line() {
+    for (;;) {
+      const std::size_t nl = rx_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = rx_.substr(0, nl);
+        rx_.erase(0, nl + 1);
+        return line;
+      }
+      if (!fill()) return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> read_frame() {
+    for (;;) {
+      std::size_t frame_end = 0;
+      std::string_view payload;
+      const BinFrameStatus status =
+          extract_binary_frame(rx_, 16 * 1024 * 1024, frame_end, payload);
+      if (status == BinFrameStatus::kError) return std::nullopt;
+      if (status == BinFrameStatus::kFrame) {
+        std::string out(payload);
+        rx_.erase(0, frame_end);
+        return out;
+      }
+      if (!fill()) return std::nullopt;
+    }
+  }
+
+ private:
+  bool fill() {
+    char chunk[4096];
+    const ssize_t n = fd_ >= 0 ? ::recv(fd_, chunk, sizeof chunk, 0) : -1;
+    if (n <= 0) return false;
+    rx_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string rx_;
+};
+
+ServerConfig dispatcher_config(std::size_t dispatchers, NetBackend backend,
+                               bool reuseport = true) {
+  ServerConfig cfg;
+  cfg.dispatchers = dispatchers;
+  cfg.net_backend = backend;
+  cfg.reuseport = reuseport;
+  cfg.shards = 4;
+  return cfg;
+}
+
+/// Runs the script pipelined (one buffered write) in text framing.
+std::vector<std::string> run_text(std::uint16_t port,
+                                  const std::vector<std::string>& script) {
+  std::string wire;
+  for (const std::string& line : script) {
+    wire += line;
+    wire += '\n';
+  }
+  RawConn conn(port);
+  EXPECT_TRUE(conn.ok());
+  EXPECT_TRUE(conn.send_bytes(wire));
+  std::vector<std::string> responses;
+  responses.reserve(script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const auto line = conn.read_line();
+    EXPECT_TRUE(line.has_value()) << "response " << i << " missing";
+    if (!line) break;
+    responses.push_back(*line);
+  }
+  return responses;
+}
+
+/// Runs the script pipelined in binary framing (one write: HELLO BIN +
+/// every frame).
+std::vector<std::string> run_binary(std::uint16_t port,
+                                    const std::vector<std::string>& script) {
+  std::string wire(kHelloBinRequest);
+  wire += '\n';
+  for (const std::string& line : script) append_frame_for_line(wire, line);
+  RawConn conn(port);
+  EXPECT_TRUE(conn.ok());
+  EXPECT_TRUE(conn.send_bytes(wire));
+  const auto ack = conn.read_line();
+  EXPECT_EQ(ack.value_or(""), kHelloBinAck);
+  std::vector<std::string> responses;
+  responses.reserve(script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const auto payload = conn.read_frame();
+    EXPECT_TRUE(payload.has_value()) << "frame " << i << " missing";
+    if (!payload) break;
+    responses.push_back(*payload);
+  }
+  return responses;
+}
+
+std::vector<std::string> text_oracle(const std::vector<std::string>& script) {
+  NwsServer server(dispatcher_config(1, NetBackend::kPoll));
+  const std::uint16_t port = server.start(0);
+  EXPECT_NE(port, 0);
+  std::vector<std::string> oracle = run_text(port, script);
+  server.stop();
+  return oracle;
+}
+
+TEST(DispatcherParity, ByteIdenticalAtAnyDispatcherCount) {
+  const std::vector<std::string> script = script_lines();
+  const std::vector<std::string> oracle = text_oracle(script);
+  ASSERT_EQ(oracle.size(), script.size());
+
+  for (const NetBackend backend : {NetBackend::kPoll, NetBackend::kEpoll}) {
+    for (const std::size_t d :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      // A fresh server per framing: the script mutates state (STATS
+      // totals), so both runs must start from the oracle's blank slate.
+      std::vector<std::string> text;
+      std::vector<std::string> binary;
+      {
+        NwsServer server(dispatcher_config(d, backend));
+        const std::uint16_t port = server.start(0);
+        ASSERT_NE(port, 0);
+        EXPECT_EQ(server.dispatcher_count(), d);
+        text = run_text(port, script);
+        server.stop();
+      }
+      {
+        NwsServer server(dispatcher_config(d, backend));
+        const std::uint16_t port = server.start(0);
+        ASSERT_NE(port, 0);
+        binary = run_binary(port, script);
+        server.stop();
+      }
+      const std::string cell =
+          std::string("backend=") +
+          (backend == NetBackend::kPoll ? "poll" : "epoll") +
+          " dispatchers=" + std::to_string(d);
+      ASSERT_EQ(text.size(), oracle.size()) << cell;
+      ASSERT_EQ(binary.size(), oracle.size()) << cell;
+      for (std::size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_EQ(text[i], oracle[i]) << cell << " request: " << script[i];
+        EXPECT_EQ(binary[i], oracle[i]) << cell << " request: " << script[i];
+      }
+    }
+  }
+}
+
+TEST(DispatcherParity, ReuseportFallbackSharesOneListenerBehindTheLock) {
+  const std::vector<std::string> script = script_lines();
+  const std::vector<std::string> oracle = text_oracle(script);
+
+  // reuseport=false forces the fallback: every dispatcher polls the one
+  // listener and accepts behind the lock.  Responses stay byte-identical.
+  NwsServer server(dispatcher_config(4, NetBackend::kEpoll,
+                                     /*reuseport=*/false));
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  EXPECT_EQ(server.dispatcher_count(), 4u);
+  EXPECT_FALSE(server.accept_sharded());
+  const std::vector<std::string> text = run_text(port, script);
+  server.stop();
+  ASSERT_EQ(text.size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(text[i], oracle[i]) << " request: " << script[i];
+  }
+}
+
+TEST(DispatcherParity, SingleDispatcherNeverShards) {
+  NwsServer server(dispatcher_config(1, NetBackend::kEpoll));
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  EXPECT_EQ(server.dispatcher_count(), 1u);
+  EXPECT_FALSE(server.accept_sharded());
+  server.stop();
+}
+
+#ifdef __linux__
+TEST(DispatcherParity, ReuseportShardsAcceptLoadOnLinux) {
+  NwsServer server(dispatcher_config(2, NetBackend::kEpoll));
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  EXPECT_TRUE(server.accept_sharded());
+  // Both listener shards answer on the one bound port.
+  const std::vector<std::string> ping = {"PING"};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(run_text(port, ping), std::vector<std::string>{"OK"});
+  }
+  server.stop();
+}
+#endif
+
+TEST(DispatcherStorm, ConcurrentAcceptsAcrossDispatchers) {
+  // The TSan target: many short-lived connections arriving at once,
+  // spread across dispatcher accept paths, each doing real work.
+  NwsServer server(dispatcher_config(4, NetBackend::kEpoll));
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+
+  constexpr int kThreads = 8;
+  constexpr int kConnsPerThread = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([port, t, &failures] {
+      const std::string series = "storm" + std::to_string(t) + "/cpu";
+      for (int c = 0; c < kConnsPerThread; ++c) {
+        RawConn conn(port);
+        if (!conn.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        std::string wire = "PUT " + series + " " +
+                           std::to_string(10 * (c + 1)) + " 0.5\nFORECAST " +
+                           series + "\nPING\n";
+        if (!conn.send_bytes(wire)) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const auto put = conn.read_line();
+        const auto forecast = conn.read_line();
+        const auto ping = conn.read_line();
+        if (put.value_or("") != "OK" ||
+            forecast.value_or("").rfind("OK ", 0) != 0 ||
+            ping.value_or("") != "OK") {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
+}
+
+TEST(DispatcherConfig, ListenBacklogKnobStillAccepts) {
+  ServerConfig cfg = dispatcher_config(2, NetBackend::kEpoll);
+  cfg.listen_backlog = 1;  // tiny backlog must not break serial accepts
+  NwsServer server(cfg);
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  const std::vector<std::string> ping = {"PING"};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(run_text(port, ping), std::vector<std::string>{"OK"});
+  }
+  server.stop();
+}
+
+TEST(DispatcherConfig, EnvironmentSelectsDispatcherCount) {
+  ::setenv("NWSCPU_DISPATCHERS", "3", 1);
+  {
+    NwsServer server;
+    const std::uint16_t port = server.start(0);
+    ASSERT_NE(port, 0);
+    EXPECT_EQ(server.dispatcher_count(), 3u);
+    server.stop();
+  }
+  // A config override beats the environment.
+  {
+    ServerConfig cfg;
+    cfg.dispatchers = 2;
+    NwsServer server(cfg);
+    const std::uint16_t port = server.start(0);
+    ASSERT_NE(port, 0);
+    EXPECT_EQ(server.dispatcher_count(), 2u);
+    server.stop();
+  }
+  ::unsetenv("NWSCPU_DISPATCHERS");
+}
+
+TEST(DispatcherRouter, PlanesMatchTheSinglePlaneOracle) {
+  const std::vector<std::string> script = script_lines();
+  const std::vector<std::string> oracle = text_oracle(script);
+
+  for (const std::size_t planes : {std::size_t{1}, std::size_t{2}}) {
+    for (const bool binary : {false, true}) {
+      std::vector<std::unique_ptr<NwsServer>> servers;
+      std::string spec;
+      for (std::size_t i = 0; i < 2; ++i) {
+        ServerConfig cfg;
+        cfg.shards = 1;
+        servers.push_back(std::make_unique<NwsServer>(cfg));
+        const std::uint16_t bport = servers.back()->start(0);
+        ASSERT_NE(bport, 0);
+        if (!spec.empty()) spec += ',';
+        spec += std::to_string(bport);
+      }
+      RouterConfig rcfg;
+      rcfg.backends = spec;
+      rcfg.dispatchers = planes;
+      rcfg.pool_size = 2;
+      rcfg.backoff = BackoffConfig{2.0, 50.0, 2.0, 0.0, 0.1};
+      Router router(rcfg);
+      ASSERT_TRUE(router.start(0));
+      EXPECT_EQ(router.dispatcher_count(), planes);
+
+      const std::vector<std::string> got =
+          binary ? run_binary(router.port(), script)
+                 : run_text(router.port(), script);
+      const std::string cell = "planes=" + std::to_string(planes) +
+                               (binary ? " bin" : " text");
+      ASSERT_EQ(got.size(), oracle.size()) << cell;
+      for (std::size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_EQ(got[i], oracle[i]) << cell << " request: " << script[i];
+      }
+      router.stop();
+      for (auto& s : servers) s->stop();
+    }
+  }
+}
+
+TEST(DispatcherRouter, ConcurrentClientsAcrossPlanes) {
+  // Storm variant through the router: clients pinned to different planes
+  // write disjoint series through shared upstream fleets.
+  std::vector<std::unique_ptr<NwsServer>> servers;
+  std::string spec;
+  for (std::size_t i = 0; i < 2; ++i) {
+    servers.push_back(std::make_unique<NwsServer>());
+    const std::uint16_t bport = servers.back()->start(0);
+    ASSERT_NE(bport, 0);
+    if (!spec.empty()) spec += ',';
+    spec += std::to_string(bport);
+  }
+  RouterConfig rcfg;
+  rcfg.backends = spec;
+  rcfg.dispatchers = 2;
+  rcfg.backoff = BackoffConfig{2.0, 50.0, 2.0, 0.0, 0.1};
+  Router router(rcfg);
+  ASSERT_TRUE(router.start(0));
+  const std::uint16_t port = router.port();
+
+  constexpr int kThreads = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([port, t, &failures] {
+      const std::string series = "plane" + std::to_string(t) + "/cpu";
+      RawConn conn(port);
+      if (!conn.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::string wire;
+      for (int i = 0; i < 20; ++i) {
+        wire += "PUT " + series + " " + std::to_string(10 * (i + 1)) +
+                " 0.5\n";
+      }
+      wire += "FORECAST " + series + "\n";
+      if (!conn.send_bytes(wire)) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 20; ++i) {
+        if (conn.read_line().value_or("") != "OK") failures.fetch_add(1);
+      }
+      if (conn.read_line().value_or("").rfind("OK ", 0) != 0) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  router.stop();
+  for (auto& s : servers) s->stop();
+}
+
+}  // namespace
+}  // namespace nws
