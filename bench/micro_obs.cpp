@@ -15,18 +15,21 @@
 // Output: human-readable table on stdout plus BENCH_obs.json in
 // NWSCPU_OUT (default bench_out/).
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/experiment_common.hpp"
 #include "nws/client.hpp"
 #include "nws/server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -110,6 +113,48 @@ double overhead(const Quantiles& on, const Quantiles& off) {
   return off.p50 > 0.0 ? (on.p50 - off.p50) / off.p50 : 0.0;
 }
 
+/// The 1-in-64 latency sampler is a per-thread counter
+/// (obs::latency_sample_tick); the obvious alternative is one shared
+/// atomic.  Quantifies the difference: the shared counter bounces its
+/// cache line across every dispatcher thread on every request.
+struct SamplerCost {
+  double shared_ns = 0.0;  ///< ns/op, shared std::atomic fetch_add
+  double local_ns = 0.0;   ///< ns/op, thread_local tick (as shipped)
+};
+
+SamplerCost run_sampler(std::size_t threads, std::size_t iters) {
+  SamplerCost cost;
+  std::atomic<std::uint64_t> shared{0};
+  std::atomic<std::uint64_t> sink{0};
+  const auto bench = [&](bool use_shared) {
+    std::vector<std::thread> pool;
+    std::vector<std::uint64_t> elapsed(threads, 0);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        std::uint64_t hits = 0;
+        const std::uint64_t t0 = nws::obs::now_ns();
+        for (std::size_t i = 0; i < iters; ++i) {
+          if (use_shared) {
+            hits += shared.fetch_add(1, std::memory_order_relaxed) % 64 == 0;
+          } else {
+            hits += nws::obs::latency_sample_tick();
+          }
+        }
+        elapsed[t] = nws::obs::now_ns() - t0;
+        sink.fetch_add(hits, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    std::uint64_t total = 0;
+    for (const std::uint64_t e : elapsed) total += e;
+    return static_cast<double>(total) /
+           static_cast<double>(threads * iters);
+  };
+  cost.shared_ns = bench(/*use_shared=*/true);
+  cost.local_ns = bench(/*use_shared=*/false);
+  return cost;
+}
+
 void print_pair(const char* path, const Quantiles& on, const Quantiles& off) {
   std::printf("%-8s  on : p50 %8.0f ns  p95 %8.0f ns  p99 %8.0f ns\n", path,
               on.p50, on.p95, on.p99);
@@ -168,6 +213,37 @@ int main() {
     inproc_on.push_back(run_inproc(server, lines));
   }
 
+  // ---- Tracing cost on the same in-process path, metrics on for both
+  // sides.  "on" lines carry a sampled TRC context (parse + scoped
+  // context + span ring write per request); "off" lines are plain — what
+  // the server sees when NWSCPU_TRACE_SAMPLE=0 keeps clients from
+  // minting.  The acceptance bar: the plain side must stay inside the
+  // same 2% budget as the metrics cell (tracing must be free when off).
+  nws::obs::set_trace_ring_capacity(4096);
+  const auto make_traced_lines = [&] {
+    lines.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      t_in += 1.0;
+      lines.push_back("TRC beef77-42-1 PUT obs/inproc/cpu " +
+                      std::to_string(t_in) + " 0.5");
+    }
+  };
+  make_traced_lines();
+  (void)run_inproc(server, lines);  // warm the span ring
+  std::vector<Quantiles> trace_on, trace_off;
+  for (std::size_t r = 0; r < reps; ++r) {
+    make_lines();
+    trace_off.push_back(run_inproc(server, lines));
+    make_traced_lines();
+    trace_on.push_back(run_inproc(server, lines));
+  }
+  nws::obs::clear_spans();
+
+  // ---- Sampler strategy: shared atomic vs per-thread tick.
+  const std::size_t sampler_threads =
+      std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
+  const SamplerCost sampler = run_sampler(sampler_threads, 2'000'000);
+
   // ---- Loopback path: same PUT traffic through the TCP front end.
   const std::uint16_t port = server.start(0);
   if (port == 0) {
@@ -195,12 +271,18 @@ int main() {
 
   const Quantiles in_on = best_of(inproc_on);
   const Quantiles in_off = best_of(inproc_off);
+  const Quantiles tr_on = best_of(trace_on);
+  const Quantiles tr_off = best_of(trace_off);
   const Quantiles lb_on = best_of(loop_on);
   const Quantiles lb_off = best_of(loop_off);
 
   std::printf("micro_obs: %zu requests/rep, best of %zu reps\n", n, reps);
   print_pair("inproc", in_on, in_off);
+  print_pair("trace", tr_on, tr_off);
   print_pair("loopback", lb_on, lb_off);
+  std::printf("sampler   %zu threads: shared atomic %6.2f ns/op  "
+              "thread-local %6.2f ns/op\n",
+              sampler_threads, sampler.shared_ns, sampler.local_ns);
 
   const std::string path = nws::bench::output_dir() + "/BENCH_obs.json";
   std::ofstream json(path, std::ios::trunc);
@@ -208,7 +290,11 @@ int main() {
   json << "  \"n\": " << n << ",\n  \"reps\": " << reps << ",\n";
   json << "  \"target_overhead_p50\": 0.02,\n";
   json_pair(json, "inproc", in_on, in_off, /*trailing_comma=*/true);
-  json_pair(json, "loopback", lb_on, lb_off, /*trailing_comma=*/false);
+  json_pair(json, "trace", tr_on, tr_off, /*trailing_comma=*/true);
+  json_pair(json, "loopback", lb_on, lb_off, /*trailing_comma=*/true);
+  json << "  \"sampler\": {\"threads\": " << sampler_threads
+       << ", \"shared_atomic_ns_per_op\": " << sampler.shared_ns
+       << ", \"thread_local_ns_per_op\": " << sampler.local_ns << "}\n";
   json << "}\n";
   json.close();
   std::cout << "wrote " << path << "\n";

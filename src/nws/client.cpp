@@ -78,6 +78,7 @@ NwsClient::NwsClient(NwsClient&& other) noexcept
       rx_buffer_(std::move(other.rx_buffer_)),
       last_port_(other.last_port_),
       binary_active_(std::exchange(other.binary_active_, false)),
+      trace_active_(std::exchange(other.trace_active_, false)),
       outbox_(std::move(other.outbox_)),
       next_seq_(other.next_seq_),
       overflows_(other.overflows_),
@@ -95,6 +96,7 @@ NwsClient& NwsClient::operator=(NwsClient&& other) noexcept {
     rx_buffer_ = std::move(other.rx_buffer_);
     last_port_ = other.last_port_;
     binary_active_ = std::exchange(other.binary_active_, false);
+    trace_active_ = std::exchange(other.trace_active_, false);
     outbox_ = std::move(other.outbox_);
     next_seq_ = other.next_seq_;
     overflows_ = other.overflows_;
@@ -150,11 +152,20 @@ bool NwsClient::connect(std::uint16_t port) {
   // in the kernel waiting for a delayed ack.
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  if (cfg_.binary) {
-    // Negotiate the binary framing.  The handshake travels as text; only
-    // an explicit "OK BIN" flips the connection — an older server's ERR
-    // (or an "OK TEXT" ack) degrades gracefully to the text protocol.
-    std::string hello(kHelloBinRequest);
+  if (cfg_.binary || cfg_.trace) {
+    // Negotiate the binary framing and/or trace propagation.  The
+    // handshake travels as text; only the exact expected ack flips the
+    // connection.  An old server ERRs the TRC arms and stays text, so the
+    // trace request falls back to the plain handshake on the same
+    // connection — an unknown server costs one extra round trip, never
+    // the connection.
+    const std::string_view want_ack =
+        cfg_.binary ? (cfg_.trace ? kHelloBinTrcAck : kHelloBinAck)
+                    : kHelloTrcAck;
+    std::string hello(cfg_.binary
+                          ? (cfg_.trace ? kHelloBinTrcRequest
+                                        : kHelloBinRequest)
+                          : kHelloTrcRequest);
     hello += '\n';
     if (!send_all(hello)) {
       disconnect();
@@ -162,7 +173,20 @@ bool NwsClient::connect(std::uint16_t port) {
     }
     const auto ack = read_response();
     if (!ack) return false;  // read_response() already disconnected
-    binary_active_ = (*ack == kHelloBinAck);
+    if (*ack == want_ack) {
+      binary_active_ = cfg_.binary;
+      trace_active_ = cfg_.trace;
+    } else if (cfg_.trace && cfg_.binary) {
+      std::string retry(kHelloBinRequest);
+      retry += '\n';
+      if (!send_all(retry)) {
+        disconnect();
+        return false;
+      }
+      const auto retry_ack = read_response();
+      if (!retry_ack) return false;
+      binary_active_ = (*retry_ack == kHelloBinAck);
+    }
   }
   return true;
 }
@@ -174,6 +198,7 @@ void NwsClient::disconnect() {
   }
   rx_buffer_.clear();
   binary_active_ = false;
+  trace_active_ = false;
 }
 
 bool NwsClient::send_all(const std::string& line) {
@@ -250,7 +275,27 @@ std::optional<std::string> NwsClient::read_reply() {
   return binary_active_ ? read_frame() : read_response();
 }
 
-std::optional<std::string> NwsClient::round_trip(const Request& request) {
+void NwsClient::maybe_mint(Request& request) {
+  if (!trace_active_ || request.trace_id != 0) return;
+  const obs::TraceContext ctx = obs::mint_trace_context();
+  if (!ctx.active()) return;
+  request.trace_id = ctx.trace_id;
+  request.span_id = ctx.span_id;
+  request.trace_sampled = true;
+}
+
+std::optional<std::string> NwsClient::round_trip(Request& request) {
+  maybe_mint(request);
+  if (request.trace_id == 0) return send_request(request);
+  // Sampled request: the whole round trip is the trace's root span.
+  const std::uint64_t start = obs::now_ns();
+  auto response = send_request(request);
+  obs::record_span_with("client.request", start, obs::now_ns() - start,
+                        request.trace_id, request.span_id, 0);
+  return response;
+}
+
+std::optional<std::string> NwsClient::send_request(const Request& request) {
   if (fd_ < 0) return std::nullopt;
   std::string wire;
   if (binary_active_) {
@@ -381,6 +426,8 @@ bool NwsClient::flush() {
           req.batch.push_back(outbox_[idx + j].measurement);
         }
       }
+      req.trace_id = 0;  // reused Request: mint each line independently
+      maybe_mint(req);
       if (binary_active_) {
         append_binary_request(wire, req);
       } else {

@@ -58,6 +58,13 @@ struct ClientConfig {
   /// gracefully.  The reliable outbox/replay machinery is framing-
   /// agnostic and unchanged.
   bool binary = false;
+  /// Opt into distributed-trace propagation: connect() negotiates the TRC
+  /// arm ("HELLO TRC", or "HELLO BIN TRC" combined with `binary`) and,
+  /// when the server acks, sampled requests carry a trace context on the
+  /// wire (a TRC line prefix, or a trace-flagged binary frame).  Contexts
+  /// are minted per request at the NWSCPU_TRACE_SAMPLE rate; an old server
+  /// draws the plain handshake retry and the connection runs untraced.
+  bool trace = false;
   /// Failover endpoint list (loopback ports).  When non-empty, a failed
   /// reconnect walks the list until a listener answers; combined with the
   /// "ERR not_primary <host:port>" redirect this makes the reliable path
@@ -86,6 +93,9 @@ class NwsClient {
   /// True when the current connection negotiated binary framing (config
   /// requested it AND the server acked the HELLO BIN upgrade).
   [[nodiscard]] bool binary_active() const noexcept { return binary_active_; }
+
+  /// True when the current connection negotiated trace propagation.
+  [[nodiscard]] bool trace_active() const noexcept { return trace_active_; }
 
   /// Stores a measurement (fire-and-forget PUT).  False on transport
   /// failure or server ERR.
@@ -146,9 +156,12 @@ class NwsClient {
 
   /// Sends one arbitrary request and returns the raw text response (the
   /// binary framing is transparent).  The replication sender uses this to
-  /// speak the REPL verbs; tests use it for protocol probing.
+  /// speak the REPL verbs; tests use it for protocol probing.  The
+  /// request's trace context (if any) is sent verbatim — no minting — so a
+  /// caller stitching its own spans (the repl sender piggybacking the
+  /// primary's trace onto a BATCH) keeps full control.
   [[nodiscard]] std::optional<std::string> request(const Request& req) {
-    return round_trip(req);
+    return send_request(req);
   }
 
   /// "ERR not_primary <host:port>" redirects followed by the reliable
@@ -172,8 +185,17 @@ class NwsClient {
   /// by io_timeout_ms.  nullopt on transport failure or timeout (the
   /// connection is torn down so the next call can reconnect).  Requests
   /// and responses ride the negotiated framing; the returned payload is
-  /// the text response either way.
-  [[nodiscard]] std::optional<std::string> round_trip(const Request& request);
+  /// the text response either way.  Mints a trace context into `request`
+  /// when trace propagation is negotiated (sampling permitting) and
+  /// records the round trip as a "client.request" root span.
+  [[nodiscard]] std::optional<std::string> round_trip(Request& request);
+  /// The serialization half of round_trip: sends `request` exactly as
+  /// given (trace context included when present) and reads one reply.
+  [[nodiscard]] std::optional<std::string> send_request(const Request& request);
+  /// Stamps a freshly minted trace context into `request` when this
+  /// connection negotiated tracing and the sampler fires; otherwise leaves
+  /// it context-free.
+  void maybe_mint(Request& request);
   /// Reads one response line (bounded waits); disconnects on failure.
   [[nodiscard]] std::optional<std::string> read_response();
   /// Reads one binary response frame, returning its payload (the exact
@@ -193,6 +215,7 @@ class NwsClient {
   std::string rx_buffer_;
   std::uint16_t last_port_ = 0;
   bool binary_active_ = false;  ///< this connection negotiated HELLO BIN
+  bool trace_active_ = false;   ///< this connection negotiated the TRC arm
 
   std::deque<Pending> outbox_;
   std::uint64_t next_seq_ = 1;

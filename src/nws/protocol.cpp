@@ -66,9 +66,87 @@ bool parse_u64_token(std::string_view token, std::uint64_t& out) {
   return ec == std::errc{} && ptr == token.data() + token.size();
 }
 
+bool parse_hex_u64(std::string_view token, std::uint64_t& out) {
+  if (token.empty() || token.size() > 16) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out, 16);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+void append_hex_u64(std::string& out, std::uint64_t v) {
+  char buf[17];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v, 16);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
 }  // namespace
 
+TracePrefixStatus parse_trace_prefix(std::string_view line,
+                                     std::string_view& rest,
+                                     std::uint64_t& trace_id,
+                                     std::uint64_t& span_id, bool& sampled) {
+  const auto is_ws = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r';
+  };
+  std::size_t pos = 0;
+  while (pos < line.size() && is_ws(line[pos])) ++pos;
+  // The first token must be exactly "TRC"; anything else (including a verb
+  // that merely starts with those letters) is not a prefix at all.
+  if (line.size() - pos < 3 || line.compare(pos, 3, "TRC") != 0) {
+    return TracePrefixStatus::kNone;
+  }
+  pos += 3;
+  if (pos < line.size() && !is_ws(line[pos])) return TracePrefixStatus::kNone;
+  while (pos < line.size() && is_ws(line[pos])) ++pos;
+  const std::size_t ctx_start = pos;
+  while (pos < line.size() && !is_ws(line[pos])) ++pos;
+  const std::string_view ctx = line.substr(ctx_start, pos - ctx_start);
+  // ctx is "<trace_hex>-<span_hex>-<0|1>".
+  const std::size_t dash1 = ctx.find('-');
+  if (dash1 == std::string_view::npos) return TracePrefixStatus::kBad;
+  const std::size_t dash2 = ctx.find('-', dash1 + 1);
+  if (dash2 == std::string_view::npos) return TracePrefixStatus::kBad;
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  if (!parse_hex_u64(ctx.substr(0, dash1), trace) || trace == 0) {
+    return TracePrefixStatus::kBad;
+  }
+  if (!parse_hex_u64(ctx.substr(dash1 + 1, dash2 - dash1 - 1), span)) {
+    return TracePrefixStatus::kBad;
+  }
+  const std::string_view bit = ctx.substr(dash2 + 1);
+  if (bit.size() != 1 || (bit[0] != '0' && bit[0] != '1')) {
+    return TracePrefixStatus::kBad;
+  }
+  trace_id = trace;
+  span_id = span;
+  sampled = bit[0] == '1';
+  rest = line.substr(pos);
+  return TracePrefixStatus::kOk;
+}
+
+void append_trace_prefix(std::string& out, std::uint64_t trace_id,
+                         std::uint64_t span_id, bool sampled) {
+  out += "TRC ";
+  append_hex_u64(out, trace_id);
+  out += '-';
+  append_hex_u64(out, span_id);
+  out += sampled ? "-1 " : "-0 ";
+}
+
 bool parse_request_into(std::string_view line, Request& out) {
+  // Request objects are reused across lines: clear the trace fields before
+  // anything can early-return, then peel a prefix if one is present.
+  out.trace_id = 0;
+  out.span_id = 0;
+  out.trace_sampled = false;
+  {
+    std::string_view rest;
+    const TracePrefixStatus trc = parse_trace_prefix(
+        line, rest, out.trace_id, out.span_id, out.trace_sampled);
+    if (trc == TracePrefixStatus::kBad) return false;
+    if (trc == TracePrefixStatus::kOk) line = rest;
+  }
   TokenCursor cursor(line);
   const std::string_view verb = cursor.next();
   if (verb.empty()) return false;
@@ -236,7 +314,12 @@ std::optional<Request> parse_request(std::string_view line) {
   return req;
 }
 
-void append_request(std::string& out, const Request& request) {
+namespace {
+
+/// The request line proper, no trace prefix — shared by append_request and
+/// the binary TEXT op (whose frame carries the context itself, so a prefix
+/// inside the body would double-encode it).
+void append_request_body(std::string& out, const Request& request) {
   switch (request.kind) {
     case RequestKind::kPut:
       out += "PUT ";
@@ -335,6 +418,16 @@ void append_request(std::string& out, const Request& request) {
       }
       break;
   }
+}
+
+}  // namespace
+
+void append_request(std::string& out, const Request& request) {
+  if (request.trace_id != 0) {
+    append_trace_prefix(out, request.trace_id, request.span_id,
+                        request.trace_sampled);
+  }
+  append_request_body(out, request);
 }
 
 std::string format_request(const Request& request) {
@@ -819,10 +912,14 @@ bool read_series(BinCursor& cursor, std::string& out) {
 BinFrameStatus extract_binary_frame(std::string_view buffer,
                                     std::size_t max_frame_bytes,
                                     std::size_t& frame_end,
-                                    std::string_view& payload) {
+                                    std::string_view& payload, bool& traced) {
   if (buffer.size() < kBinFrameHeaderBytes) return BinFrameStatus::kNeedMore;
-  const std::uint32_t len = load_u32_le(buffer.data());
+  const std::uint32_t word = load_u32_le(buffer.data());
+  traced = (word & kBinTraceFlag) != 0;
+  const std::uint32_t len = word & ~kBinTraceFlag;
   if (len == 0 || len > max_frame_bytes) return BinFrameStatus::kError;
+  // A flagged frame must at least hold the context block plus an op byte.
+  if (traced && len < kBinTraceCtxBytes + 1) return BinFrameStatus::kError;
   if (buffer.size() < kBinFrameHeaderBytes + len) {
     return BinFrameStatus::kNeedMore;
   }
@@ -831,9 +928,28 @@ BinFrameStatus extract_binary_frame(std::string_view buffer,
   return BinFrameStatus::kFrame;
 }
 
+BinFrameStatus extract_binary_frame(std::string_view buffer,
+                                    std::size_t max_frame_bytes,
+                                    std::size_t& frame_end,
+                                    std::string_view& payload) {
+  bool traced = false;
+  const BinFrameStatus status =
+      extract_binary_frame(buffer, max_frame_bytes, frame_end, payload, traced);
+  // Callers of this overload (response streams, pre-trace request paths)
+  // never expect the flag; a flagged length word there is garbage.
+  if (status == BinFrameStatus::kFrame && traced) return BinFrameStatus::kError;
+  return status;
+}
+
 void append_binary_request(std::string& out, const Request& request) {
   const std::size_t header_at = out.size();
   out.append(kBinFrameHeaderBytes, '\0');  // length prefix, patched below
+  const bool traced = request.trace_id != 0;
+  if (traced) {
+    put_u64_le(out, request.trace_id);
+    put_u64_le(out, request.span_id);
+    out += static_cast<char>(request.trace_sampled ? 1 : 0);
+  }
 
   // A name too long for a u16 length field rides the TEXT op (the text
   // path's own line cap is the real bound).
@@ -911,14 +1027,16 @@ void append_binary_request(std::string& out, const Request& request) {
       break;
     default:
       // Cold verbs (VALUES / SERIES / STATS) and oversized series names:
-      // the body is the text request line.
+      // the body is the text request line (sans trace prefix — the frame
+      // context block already carries it).
       out += static_cast<char>(kBinOpText);
-      append_request(out, request);
+      append_request_body(out, request);
       break;
   }
 
   const std::size_t body = out.size() - header_at - kBinFrameHeaderBytes;
-  const auto len = static_cast<std::uint32_t>(body);
+  auto len = static_cast<std::uint32_t>(body);
+  if (traced) len |= kBinTraceFlag;
   out[header_at + 0] = static_cast<char>(len & 0xFF);
   out[header_at + 1] = static_cast<char>((len >> 8) & 0xFF);
   out[header_at + 2] = static_cast<char>((len >> 16) & 0xFF);
@@ -926,6 +1044,11 @@ void append_binary_request(std::string& out, const Request& request) {
 }
 
 bool parse_binary_request(std::string_view payload, Request& out) {
+  // Reused Request: clear trace context up front (the TEXT op re-parses
+  // through parse_request_into, which clears again — harmless).
+  out.trace_id = 0;
+  out.span_id = 0;
+  out.trace_sampled = false;
   if (payload.empty()) return false;
   const auto op = static_cast<std::uint8_t>(payload[0]);
   BinCursor cursor(payload.substr(1));
@@ -1018,6 +1141,27 @@ bool parse_binary_request(std::string_view payload, Request& out) {
     default:
       return false;
   }
+}
+
+bool parse_binary_request(std::string_view payload, bool traced,
+                          Request& out) {
+  if (!traced) return parse_binary_request(payload, out);
+  if (payload.size() < kBinTraceCtxBytes + 1) return false;
+  BinCursor ctx(payload.substr(0, kBinTraceCtxBytes));
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  if (!ctx.u64(trace) || !ctx.u64(span) || trace == 0) return false;
+  const auto sampled = static_cast<unsigned char>(payload[16]);
+  if (sampled > 1) return false;
+  if (!parse_binary_request(payload.substr(kBinTraceCtxBytes), out)) {
+    return false;
+  }
+  // Assign after the inner parse: it clears the fields (and a TEXT-op body
+  // may carry its own prefix — the frame context is authoritative).
+  out.trace_id = trace;
+  out.span_id = span;
+  out.trace_sampled = sampled == 1;
+  return true;
 }
 
 void append_binary_response(std::string& out, std::string_view payload) {

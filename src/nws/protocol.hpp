@@ -145,6 +145,13 @@ struct Request {
   std::uint64_t repl_remaining = 0; ///< RESET: records left after this chunk
   std::string endpoint;             ///< HELLO: primary's redirect endpoint
   std::vector<ReplSample> repl;     ///< BATCH/RESET records, commit order
+  // Distributed-trace context.  A nonzero trace_id rides the wire — as a
+  // "TRC <trace>-<span>-<s>" prefix on a text line, or a flagged frame in
+  // the binary framing (see kBinTraceFlag) — and the parsers fill these
+  // in.  span_id is the SENDER's span: the receiver's spans parent to it.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool trace_sampled = false;
 };
 
 /// Parses one request line (no trailing newline) into `out`, reusing its
@@ -158,8 +165,43 @@ struct Request {
 /// Serialises a request into its wire form (inverse of parse_request).
 [[nodiscard]] std::string format_request(const Request& request);
 /// Appends the wire form to `out` (no trailing newline, no allocation
-/// beyond `out` growth).
+/// beyond `out` growth).  When request.trace_id is nonzero the line is
+/// prefixed with the trace-context token (see parse_trace_prefix).
 void append_request(std::string& out, const Request& request);
+
+// ---------------------------------------------------------------------------
+// Trace-context carrier, text form.
+//
+// A traced request line is prefixed with one extra token pair:
+//
+//   TRC <trace_hex>-<span_hex>-<0|1> <verb> ...
+//
+// where trace_hex/span_hex are lowercase hex (no 0x) and the final digit is
+// the sampled bit.  The prefix is negotiated via HELLO ("HELLO TRC" /
+// "HELLO BIN TRC" answered by "OK TRC" / "OK BIN TRC") so a new client
+// never sends it at an old server; the server itself parses it
+// unconditionally.  A malformed prefix fails the whole line (the caller
+// answers ERR and resyncs at the next newline, exactly like any other
+// malformed request).
+
+enum class TracePrefixStatus {
+  kNone,  ///< line does not start with the TRC token
+  kOk,    ///< prefix parsed; rest points at the verb
+  kBad    ///< TRC token present but the context is malformed
+};
+
+/// Splits a trace prefix off `line`.  On kOk fills trace/span/sampled and
+/// sets `rest` to the remainder (leading whitespace preserved); on kNone
+/// leaves the outputs untouched.  A zero trace id in the prefix is kBad.
+[[nodiscard]] TracePrefixStatus parse_trace_prefix(std::string_view line,
+                                                   std::string_view& rest,
+                                                   std::uint64_t& trace_id,
+                                                   std::uint64_t& span_id,
+                                                   bool& sampled);
+
+/// Appends "TRC <trace>-<span>-<s> " (with the trailing space) to `out`.
+void append_trace_prefix(std::string& out, std::uint64_t trace_id,
+                         std::uint64_t span_id, bool sampled);
 
 /// Response formatting: the append_* functions write into a caller-owned
 /// buffer (no trailing newline); the string-returning forms wrap them.
@@ -346,6 +388,25 @@ inline constexpr std::string_view kHelloBinRequest = "HELLO BIN";
 inline constexpr std::string_view kHelloBinAck = "OK BIN";
 inline constexpr std::string_view kHelloTextAck = "OK TEXT";
 
+// Trace-context negotiation arms.  "HELLO TRC" keeps the connection text
+// but licenses TRC prefixes; "HELLO BIN TRC" upgrades to binary framing
+// AND licenses trace-flagged frames.  An old server answers either with
+// "ERR unknown framing" and stays text, so a new client retries the plain
+// handshake on the same connection and proceeds untraced.
+inline constexpr std::string_view kHelloTrcRequest = "HELLO TRC";
+inline constexpr std::string_view kHelloTrcAck = "OK TRC";
+inline constexpr std::string_view kHelloBinTrcRequest = "HELLO BIN TRC";
+inline constexpr std::string_view kHelloBinTrcAck = "OK BIN TRC";
+
+/// Trace-context flag on the u32 length word of a request frame.  A
+/// flagged frame's payload begins with a fixed-size context block —
+/// [u64 trace_id LE][u64 span_id LE][u8 sampled] — before the op byte; the
+/// low 31 bits of the length word count the whole payload (context + op +
+/// body) as usual.  Response frames are never flagged.
+inline constexpr std::uint32_t kBinTraceFlag = 0x80000000u;
+/// Bytes of the flagged-frame context block.
+inline constexpr std::size_t kBinTraceCtxBytes = 17;
+
 enum class BinFrameStatus {
   kNeedMore,  ///< buffer holds a prefix of a valid frame; read more bytes
   kFrame,     ///< a complete frame was extracted
@@ -362,9 +423,22 @@ enum class BinFrameStatus {
                                                   std::size_t& frame_end,
                                                   std::string_view& payload);
 
+/// Trace-aware extraction: like the overload above but accepts frames with
+/// kBinTraceFlag set, reporting the flag in `traced`.  The context block is
+/// NOT stripped — `payload` still views the whole frame body; pass `traced`
+/// through to parse_binary_request.  The overload above treats a flagged
+/// frame as kError, which is exactly right for response streams (responses
+/// are never flagged, so a flagged length there is garbage).
+[[nodiscard]] BinFrameStatus extract_binary_frame(std::string_view buffer,
+                                                  std::size_t max_frame_bytes,
+                                                  std::size_t& frame_end,
+                                                  std::string_view& payload,
+                                                  bool& traced);
+
 /// Appends the binary frame encoding of `request` to `out` (header +
 /// op + body).  Hot verbs get native encodings; everything else rides the
-/// TEXT op, so any Request is encodable.
+/// TEXT op, so any Request is encodable.  When request.trace_id is nonzero
+/// the frame is trace-flagged and carries the context block.
 void append_binary_request(std::string& out, const Request& request);
 
 /// Decodes a request frame payload (op + body, as extract_binary_frame
@@ -372,6 +446,13 @@ void append_binary_request(std::string& out, const Request& request);
 /// Returns false on malformed payloads (unknown op, truncated or oversized
 /// body, zero seq/batch, whitespace in a series name).
 [[nodiscard]] bool parse_binary_request(std::string_view payload,
+                                        Request& out);
+
+/// Trace-aware decode: when `traced`, reads and strips the leading context
+/// block (filling out.trace_id/span_id/trace_sampled) before decoding the
+/// op + body.  A traced payload shorter than the context block is
+/// malformed; a zero trace id in the block is malformed.
+[[nodiscard]] bool parse_binary_request(std::string_view payload, bool traced,
                                         Request& out);
 
 /// Appends a response frame: [u32 length][payload].  `payload` is the

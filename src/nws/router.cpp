@@ -27,6 +27,7 @@
 #include "nws/protocol.hpp"
 #include "nws/replication.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace nws {
 
@@ -199,6 +200,35 @@ void append_payload_frame(std::string& out, std::string_view payload) {
     out.push_back(static_cast<char>((len >> (8 * b)) & 0xff));
   }
   out.append(payload);
+}
+
+/// Rewraps a plain upstream frame ([u32 len][payload]) as a trace-flagged
+/// frame carrying the context block ahead of the payload.  Built per
+/// target connection at pump time: the in-flight entry keeps the plain
+/// image, so a replay that lands on a peer which never ack'd the TRC
+/// upgrade just forwards the plain frame (the trace drops that hop).
+std::string traced_frame(const std::string& plain, std::uint64_t trace_id,
+                         std::uint64_t span_id, bool sampled) {
+  std::uint32_t len = 0;
+  for (std::size_t b = 0; b < 4; ++b) {
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(plain[b]))
+           << (8 * b);
+  }
+  len = (len + static_cast<std::uint32_t>(kBinTraceCtxBytes)) | kBinTraceFlag;
+  std::string out;
+  out.reserve(plain.size() + kBinTraceCtxBytes);
+  for (std::size_t b = 0; b < 4; ++b) {
+    out.push_back(static_cast<char>((len >> (8 * b)) & 0xff));
+  }
+  for (std::size_t b = 0; b < 8; ++b) {
+    out.push_back(static_cast<char>((trace_id >> (8 * b)) & 0xff));
+  }
+  for (std::size_t b = 0; b < 8; ++b) {
+    out.push_back(static_cast<char>((span_id >> (8 * b)) & 0xff));
+  }
+  out.push_back(sampled ? '\1' : '\0');
+  out.append(plain, 4, std::string::npos);
+  return out;
 }
 
 /// Formats a metrics sample value the way the obs renderer does: integers
@@ -401,6 +431,15 @@ struct Router::Impl {
       std::shared_ptr<Gather> gather;
       std::size_t part = 0;
       std::uint64_t t0_us = 0;  ///< nonzero -> hop latency sampled
+      /// Distributed-trace context (nonzero trace_id = active): the
+      /// client's span becomes this hop's parent, and the forwarded
+      /// context carries router_span so the backend's server.apply span
+      /// parents to this hop's router.forward span.
+      std::uint64_t trace_id = 0;
+      std::uint64_t parent_span = 0;
+      std::uint64_t router_span = 0;
+      bool trace_sampled = false;
+      std::uint64_t t0_ns = 0;  ///< span clock (obs::now_ns) when sampled
     };
     using Entry = std::unique_ptr<InFlight>;
 
@@ -418,6 +457,8 @@ struct Router::Impl {
       std::size_t slot = 0;
       std::size_t target_idx = 0;  ///< endpoint index this connect used
       bool dirty = false;
+      bool trace_ok = false;   ///< peer ack'd the TRC upgrade
+      bool hello_trc = false;  ///< TRC upgrade sent; may downgrade on ERR
 
       UpstreamConn() : backoff(BackoffConfig{}, 0) {}
     };
@@ -436,7 +477,6 @@ struct Router::Impl {
 
     std::deque<Backend> backends_;
     std::vector<std::pair<std::size_t, std::size_t>> dirty_upstreams_;
-    std::uint64_t latency_tick_ = 0;
 
     // =======================================================================
 
@@ -686,8 +726,9 @@ struct Router::Impl {
         } else {
           std::size_t frame_end = 0;
           std::string_view payload;
+          bool traced = false;
           const BinFrameStatus status = extract_binary_frame(
-              c.rx, cfg_.max_line_bytes, frame_end, payload);
+              c.rx, cfg_.max_line_bytes, frame_end, payload, traced);
           if (status == BinFrameStatus::kNeedMore) return;
           if (status == BinFrameStatus::kError) {
             client_overflow(c, true);
@@ -695,7 +736,7 @@ struct Router::Impl {
           }
           std::string frame(payload);
           c.rx.erase(0, frame_end);
-          classify_frame(c, frame);
+          classify_frame(c, frame, traced);
         }
       }
     }
@@ -730,6 +771,14 @@ struct Router::Impl {
       } else if (arg == "BIN") {
         reply.assign(kHelloBinAck);
         upgrade = true;
+      } else if (arg == "TRC") {
+        // The router forwards trace context unconditionally (like the
+        // server it parses the prefix on every line); the ack only tells
+        // a new client that no pre-TRC tier sits in the way.
+        reply.assign(kHelloTrcAck);
+      } else if (arg == "BIN TRC") {
+        reply.assign(kHelloBinTrcAck);
+        upgrade = true;
       } else {
         reply = format_error("unknown framing");
       }
@@ -743,43 +792,75 @@ struct Router::Impl {
     }
 
     void classify_text_line(ClientConn& c, const std::string& line) {
+      // Peel an optional trace-context prefix first, exactly like the
+      // server dispatcher: QUIT detection, routing, and classification
+      // all look at the line behind it.  The context itself moves into
+      // the forwarded frame's binary block (the inner line travels
+      // stripped), with this hop's own span id substituted — see
+      // route_point.  A malformed prefix fails the whole line, the same
+      // verdict the backend's parser would reach.
+      std::uint64_t trace_id = 0;
+      std::uint64_t parent_span = 0;
+      bool sampled = false;
+      std::string_view eff(line);
+      {
+        std::string_view rest;
+        const TracePrefixStatus trc =
+            parse_trace_prefix(line, rest, trace_id, parent_span, sampled);
+        if (trc == TracePrefixStatus::kBad) {
+          local_response(c, format_error("malformed request"));
+          return;
+        }
+        if (trc == TracePrefixStatus::kOk) {
+          eff = rest;
+          while (!eff.empty() &&
+                 (eff.front() == ' ' || eff.front() == '\t')) {
+            eff.remove_prefix(1);
+          }
+        }
+      }
       // The server dispatcher stops feeding lines past a QUIT-shaped
       // prefix; mirror that before anything else.
       const bool quit_shaped =
-          line.compare(0, 4, "QUIT") == 0 &&
-          (line.size() == 4 || line[4] == ' ' || line[4] == '\t' ||
-           line[4] == '\r');
+          eff.substr(0, 4) == "QUIT" &&
+          (eff.size() == 4 || eff[4] == ' ' || eff[4] == '\t' ||
+           eff[4] == '\r');
       if (quit_shaped) c.stop_input = true;
 
       std::size_t pos = 0;
-      const std::string_view verb = next_token(line, pos);
+      const std::string_view verb = next_token(eff, pos);
       if (verb == "PUT" || verb == "PUTS" || verb == "PUTB" ||
           verb == "FORECAST" || verb == "VALUES") {
-        const std::string_view series = next_token(line, pos);
+        const std::string_view series = next_token(eff, pos);
         if (series.empty()) {
           local_response(c, format_error("malformed request"));
           return;
         }
         std::string frame;
-        frame.reserve(line.size() + 5);
-        append_text_frame(frame, line);
-        route_point(c, series, std::move(frame));
+        frame.reserve(eff.size() + 5);
+        append_text_frame(frame, eff);
+        route_point(c, series, std::move(frame), trace_id, parent_span,
+                    sampled);
         return;
       }
       if (verb == "STATS") {
-        const std::string_view series = next_token(line, pos);
+        const std::string_view series = next_token(eff, pos);
         if (series.empty()) {
           scatter(c, Gather::kStats, "STATS");
           return;
         }
         std::string frame;
-        frame.reserve(line.size() + 5);
-        append_text_frame(frame, line);
-        route_point(c, series, std::move(frame));
+        frame.reserve(eff.size() + 5);
+        append_text_frame(frame, eff);
+        route_point(c, series, std::move(frame), trace_id, parent_span,
+                    sampled);
         return;
       }
       if (verb == "SERIES" || verb == "METRICS") {
-        if (rest_is_ws(line, pos)) {
+        if (rest_is_ws(eff, pos)) {
+          // Scatter verbs drop the context: one client span fanning into
+          // N backend spans needs multi-parent stitching the span ring
+          // does not model (DESIGN.md §9).
           scatter(c, verb == "SERIES" ? Gather::kSeries : Gather::kMetrics,
                   verb);
         } else {
@@ -788,13 +869,13 @@ struct Router::Impl {
         return;
       }
       if (verb == "PING") {
-        local_response(c, rest_is_ws(line, pos)
+        local_response(c, rest_is_ws(eff, pos)
                               ? format_ok()
                               : format_error("malformed request"));
         return;
       }
       if (verb == "QUIT") {
-        if (rest_is_ws(line, pos)) {
+        if (rest_is_ws(eff, pos)) {
           local_response(c, format_ok());
           c.closing = true;
         } else {
@@ -814,24 +895,55 @@ struct Router::Impl {
       local_response(c, format_error("malformed request"));
     }
 
-    void classify_frame(ClientConn& c, const std::string& payload) {
-      const auto op = static_cast<std::uint8_t>(payload[0]);
+    void classify_frame(ClientConn& c, const std::string& payload,
+                        bool traced) {
+      // A trace-flagged frame opens with the fixed context block; strip
+      // it here and classify the op + body behind it.  The forwarded
+      // frame is rebuilt from the plain body — the context (with this
+      // hop's span substituted) goes back on per upstream connection at
+      // pump time, so a pre-TRC backend gets plain bytes.
+      std::uint64_t trace_id = 0;
+      std::uint64_t parent_span = 0;
+      bool sampled = false;
+      std::string_view body(payload);
+      if (traced) {
+        if (payload.size() <= kBinTraceCtxBytes) {
+          local_response(c, format_error("malformed request"));
+          return;
+        }
+        for (std::size_t b = 0; b < 8; ++b) {
+          trace_id |= static_cast<std::uint64_t>(
+                          static_cast<unsigned char>(payload[b]))
+                      << (8 * b);
+          parent_span |= static_cast<std::uint64_t>(
+                             static_cast<unsigned char>(payload[8 + b]))
+                         << (8 * b);
+        }
+        sampled = payload[16] != 0;
+        if (trace_id == 0) {
+          // The backend's decoder rejects a zero trace id; match it.
+          local_response(c, format_error("malformed request"));
+          return;
+        }
+        body.remove_prefix(kBinTraceCtxBytes);
+      }
+      const auto op = static_cast<std::uint8_t>(body[0]);
       switch (op) {
         case kBinOpPut:
         case kBinOpPutSeq:
         case kBinOpPutBatch:
         case kBinOpForecast: {
-          if (payload.size() >= 3) {
-            const auto lo = static_cast<unsigned char>(payload[1]);
-            const auto hi = static_cast<unsigned char>(payload[2]);
+          if (body.size() >= 3) {
+            const auto lo = static_cast<unsigned char>(body[1]);
+            const auto hi = static_cast<unsigned char>(body[2]);
             const std::size_t len = static_cast<std::size_t>(lo) |
                                     (static_cast<std::size_t>(hi) << 8);
-            if (len > 0 && payload.size() >= 3 + len) {
+            if (len > 0 && body.size() >= 3 + len) {
               std::string frame;
-              frame.reserve(payload.size() + 4);
-              append_payload_frame(frame, payload);
-              route_point(c, std::string_view(payload).substr(3, len),
-                          std::move(frame));
+              frame.reserve(body.size() + 4);
+              append_payload_frame(frame, body);
+              route_point(c, body.substr(3, len), std::move(frame),
+                          trace_id, parent_span, sampled);
               return;
             }
           }
@@ -839,21 +951,21 @@ struct Router::Impl {
           return;
         }
         case kBinOpMetrics:
-          if (payload.size() == 1) {
+          if (body.size() == 1) {
             scatter(c, Gather::kMetrics, "METRICS");
           } else {
             local_response(c, format_error("malformed request"));
           }
           return;
         case kBinOpPing:
-          local_response(c, payload.size() == 1
+          local_response(c, body.size() == 1
                                 ? format_ok()
                                 : format_error("malformed request"));
           return;
         case kBinOpQuit:
           // The server dispatcher stops reading past any QUIT-op frame.
           c.stop_input = true;
-          if (payload.size() == 1) {
+          if (body.size() == 1) {
             local_response(c, format_ok());
             c.closing = true;
           } else {
@@ -861,8 +973,8 @@ struct Router::Impl {
           }
           return;
         case kBinOpText: {
-          const std::string_view inner = std::string_view(payload).substr(1);
-          classify_text_in_frame(c, payload, inner);
+          classify_text_in_frame(c, body, body.substr(1), trace_id,
+                                 parent_span, sampled);
           return;
         }
         case kBinOpReplHello:
@@ -880,8 +992,34 @@ struct Router::Impl {
     /// frame bytes untouched.  NOTE: HELLO is NOT special inside a frame —
     /// the server only negotiates framing on raw text lines, and its
     /// parser rejects "HELLO ..." as malformed; match that.
-    void classify_text_in_frame(ClientConn& c, const std::string& payload,
-                                std::string_view inner) {
+    void classify_text_in_frame(ClientConn& c, std::string_view body,
+                                std::string_view inner,
+                                std::uint64_t trace_id,
+                                std::uint64_t parent_span, bool sampled) {
+      // The inner line may itself carry a TRC prefix (a text-era client
+      // behind a framing proxy): peel it for classification, and adopt
+      // its context only when the frame header carried none — the
+      // backend's decoder gives frame context the same precedence.
+      {
+        std::string_view rest;
+        std::uint64_t inner_trace = 0;
+        std::uint64_t inner_span = 0;
+        bool inner_sampled = false;
+        const TracePrefixStatus trc = parse_trace_prefix(
+            inner, rest, inner_trace, inner_span, inner_sampled);
+        if (trc == TracePrefixStatus::kBad) {
+          local_response(c, format_error("malformed request"));
+          return;
+        }
+        if (trc == TracePrefixStatus::kOk) {
+          inner = rest;
+          if (trace_id == 0) {
+            trace_id = inner_trace;
+            parent_span = inner_span;
+            sampled = inner_sampled;
+          }
+        }
+      }
       std::size_t pos = 0;
       const std::string_view verb = next_token(inner, pos);
       if (verb == "PUT" || verb == "PUTS" || verb == "PUTB" ||
@@ -896,9 +1034,10 @@ struct Router::Impl {
           return;
         }
         std::string frame;
-        frame.reserve(payload.size() + 4);
-        append_payload_frame(frame, payload);
-        route_point(c, series, std::move(frame));
+        frame.reserve(body.size() + 4);
+        append_payload_frame(frame, body);
+        route_point(c, series, std::move(frame), trace_id, parent_span,
+                    sampled);
         return;
       }
       if (verb == "SERIES" || verb == "METRICS") {
@@ -988,7 +1127,8 @@ struct Router::Impl {
     // Routing
 
     void route_point(ClientConn& c, std::string_view series,
-                     std::string frame) {
+                     std::string frame, std::uint64_t trace_id = 0,
+                     std::uint64_t parent_span = 0, bool sampled = false) {
       const std::uint64_t h = fnv1a64(series);
       const std::size_t b = ring_.lookup_hash(h);
       auto entry = std::make_unique<InFlight>();
@@ -997,7 +1137,17 @@ struct Router::Impl {
       entry->slot = c.next_slot++;
       entry->client_binary = c.binary;
       entry->attempts = 1;
-      if ((latency_tick_++ & 63) == 0) entry->t0_us = steady_us();
+      if (obs::latency_sample_tick()) entry->t0_us = steady_us();
+      if (trace_id != 0) {
+        // This hop gets its own span: the forwarded context carries
+        // router_span, so the backend's server.apply span parents here
+        // and this span parents to the client's request span.
+        entry->trace_id = trace_id;
+        entry->parent_span = parent_span;
+        entry->router_span = obs::mint_span_id();
+        entry->trace_sampled = sampled;
+        if (sampled) entry->t0_ns = obs::now_ns();
+      }
       ++c.outstanding;
       outer_.requests_routed_.fetch_add(1, std::memory_order_relaxed);
       router_metrics().requests->inc();
@@ -1075,7 +1225,16 @@ struct Router::Impl {
     /// gather part), accounting depth and sampled hop latency.
     void deliver_entry(Entry entry, std::string payload) {
       if (entry->t0_us != 0) {
-        router_metrics().hop_latency->record(steady_us() - entry->t0_us);
+        router_metrics().hop_latency->record(
+            steady_us() - entry->t0_us,
+            entry->trace_sampled ? entry->trace_id : 0);
+      }
+      if (entry->t0_ns != 0) {
+        // Async completion: no RAII scope brackets the upstream round
+        // trip, so the span records with explicit ids at delivery.
+        obs::record_span_with("router.forward", entry->t0_ns,
+                              obs::now_ns() - entry->t0_ns, entry->trace_id,
+                              entry->router_span, entry->parent_span);
       }
       if (entry->gather) {
         Gather& g = *entry->gather;
@@ -1161,7 +1320,9 @@ struct Router::Impl {
     void on_connected(UpstreamConn& c) {
       c.st = UpstreamConn::St::kHello;
       c.rx.clear();
-      std::string hello(kHelloBinRequest);
+      c.trace_ok = false;
+      c.hello_trc = true;
+      std::string hello(kHelloBinTrcRequest);
       hello.push_back('\n');
       c.tx.push(std::move(hello));
       flush_upstream(c);
@@ -1217,12 +1378,28 @@ struct Router::Impl {
         }
         std::string_view ack(c.rx.data(), newline);
         while (!ack.empty() && ack.back() == '\r') ack.remove_suffix(1);
-        if (ack != kHelloBinAck) {
+        if (ack == kHelloBinTrcAck) {
+          c.trace_ok = true;
+        } else if (ack == kHelloBinAck) {
+          c.trace_ok = false;  // plain-BIN peer: forward without context
+        } else if (c.hello_trc) {
+          // A pre-TRC backend rejects the upgraded HELLO with an error
+          // but keeps reading (it negotiates framing per line): retry
+          // the plain binary upgrade on the same connection.
+          c.hello_trc = false;
+          c.rx.erase(0, newline + 1);
+          std::string hello(kHelloBinRequest);
+          hello.push_back('\n');
+          c.tx.push(std::move(hello));
+          flush_upstream(c);
+          return;
+        } else {
           // The backend does not speak the binary upgrade (or answered
           // with an error): this endpoint is unusable as an upstream.
           upstream_fail(b, c);
           return;
         }
+        c.hello_trc = false;
         c.rx.erase(0, newline + 1);
         c.st = UpstreamConn::St::kReady;
         c.backoff.reset();
@@ -1388,9 +1565,16 @@ struct Router::Impl {
       while (!c.sendq.empty() && c.tx.bytes() < kTxHighWater) {
         Entry e = std::move(c.sendq.front());
         c.sendq.pop_front();
-        // The in-flight entry keeps the frame for replay; the tx queue
-        // takes a copy so a partial write can't corrupt the replay image.
-        c.tx.push(std::string(e->frame));
+        // The in-flight entry keeps the PLAIN frame for replay; the tx
+        // queue takes this connection's wire image (a partial write can't
+        // corrupt the replay copy, and a replay landing on a peer that
+        // never ack'd the TRC upgrade forwards the plain bytes).
+        if (e->trace_id != 0 && c.trace_ok) {
+          c.tx.push(traced_frame(e->frame, e->trace_id, e->router_span,
+                                 e->trace_sampled));
+        } else {
+          c.tx.push(std::string(e->frame));
+        }
         c.inflight.push_back(std::move(e));
       }
     }

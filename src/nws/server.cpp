@@ -23,9 +23,20 @@
 #include <vector>
 
 #include "nws/client.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/fmt.hpp"
+
+// Build identity for nws_build_info / statusz: CMake injects the real
+// values; the fallbacks keep non-CMake builds (and IDE parses) compiling.
+#ifndef NWSCPU_VERSION
+#define NWSCPU_VERSION "dev"
+#endif
+#ifndef NWSCPU_GIT_SHA
+#define NWSCPU_GIT_SHA "unknown"
+#endif
 
 namespace nws {
 
@@ -245,6 +256,20 @@ int resolve_listen_backlog(const ServerConfig& cfg) {
     if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
   }
   return SOMAXCONN;
+}
+
+/// HTTP observability side port: config wins, then NWSCPU_OBS_PORT;
+/// negative = disabled (0 is a valid "pick an ephemeral port" request).
+int resolve_obs_port(const ServerConfig& cfg) {
+  if (cfg.obs_port >= 0) return cfg.obs_port;
+  if (const char* env = std::getenv("NWSCPU_OBS_PORT")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 0 && v <= 65535) {
+      return static_cast<int>(v);
+    }
+  }
+  return -1;
 }
 
 bool resolve_reuseport(const ServerConfig& cfg) {
@@ -543,6 +568,15 @@ void NwsServer::execute_request(const Request& req, std::string& out) {
         }
       }
       if (appended) {
+        if (req.trace_sampled && req.trace_id != 0) {
+          // Remember the write's context (the ambient span is our apply
+          // span) so the repl sender can piggyback it onto the next BATCH
+          // for this shard and the follower's apply joins the trace.
+          shards_[k]->last_trace_id.store(req.trace_id,
+                                          std::memory_order_relaxed);
+          shards_[k]->last_trace_span.store(
+              obs::current_trace_context().span_id, std::memory_order_relaxed);
+        }
         {
           const std::scoped_lock rlock(repl_mu_);
           ++repl_gen_;
@@ -627,14 +661,7 @@ void NwsServer::execute_request(const Request& req, std::string& out) {
     case RequestKind::kMetrics: {
       // Registry-only read: no shard locks, no read-your-writes fence — a
       // monitoring scrape must never contend with the measurement path.
-      ServerMetrics& m = server_metrics();
-      m.connections->set(static_cast<double>(connections_.load()));
-      m.series->set(static_cast<double>(
-          total_series_.load(std::memory_order_relaxed)));
-      std::string body;
-      body.reserve(4096);
-      obs::registry().render_prometheus(body);
-      append_metrics_response(out, body);
+      append_metrics_response(out, metrics_body());
       return;
     }
     case RequestKind::kReplHello:
@@ -667,23 +694,29 @@ void NwsServer::process_line(std::string_view line, Request& req,
   // the two clock reads bounding a timing are paid only on sampled
   // requests — on a ~0.5us in-process request the clock alone busts the
   // <2% overhead budget DESIGN.md §9 sets (measured by bench/micro_obs).
-  constexpr std::uint32_t kLatencySampleEvery = 64;
-  thread_local std::uint32_t latency_tick = 0;
+  // The tick lives in obs::latency_sample_tick(): one thread-local counter
+  // per worker, never a shared cache line (bench/micro_obs measures the
+  // shared-atomic alternative for contrast).
   const bool counted = obs::metrics_enabled();
-  const bool timed =
-      counted && (latency_tick++ & (kLatencySampleEvery - 1)) == 0;
-  const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+  const bool timed = counted && obs::latency_sample_tick();
+  // A slow-request threshold also needs the clock: every request is timed
+  // while NWSCPU_SLOW_MS is set, but only offenders emit a line (and only
+  // sampled timings feed the histogram, keeping its cost model intact).
+  const bool slow_watch = obs::slow_log_enabled();
+  const std::uint64_t t0 = (timed || slow_watch) ? obs::now_ns() : 0;
   // A binary task's `line` is a frame payload (op + body); the framing
   // already resynchronized the stream, so a bad payload is answered like
-  // a bad text line and the connection lives on.
+  // a bad text line and the connection lives on.  A traced frame carries
+  // its 17-byte context block ahead of the op byte.
   const bool parsed = (task != nullptr && task->binary)
-                          ? parse_binary_request(line, req)
+                          ? parse_binary_request(line, task->traced, req)
                           : parse_request_into(line, req);
   if (!parsed) {
     m.malformed->inc();
     append_error(out, "malformed request");
     return;
   }
+  const std::uint64_t parse_ns = t0 != 0 ? obs::now_ns() - t0 : 0;
   if (req.kind == RequestKind::kQuit) close_after = true;
   if (task != nullptr &&
       (req.kind == RequestKind::kSeries ||
@@ -703,14 +736,54 @@ void NwsServer::process_line(std::string_view line, Request& req,
     });
   }
   {
+    // A wire trace context becomes the worker's ambient context for the
+    // apply: the server.apply span (and everything nested under it, e.g.
+    // repl.apply on a follower) parents to the sender's span.
+    const obs::TraceContext wire_ctx{req.trace_id, req.span_id,
+                                     req.trace_sampled};
+    const obs::ScopedTraceContext scope(wire_ctx.active()
+                                            ? wire_ctx
+                                            : obs::current_trace_context());
     const obs::TraceSpan span("server.apply");
     execute_request(req, out);
   }
+  const std::uint64_t total_ns = t0 != 0 ? obs::now_ns() - t0 : 0;
   if (counted) {
     const auto v = static_cast<std::size_t>(req.kind);
     m.requests[v]->inc();
-    if (t0 != 0) m.latency[v]->record(obs::now_ns() - t0);
+    if (timed) {
+      m.latency[v]->record(total_ns,
+                           req.trace_sampled ? req.trace_id : 0);
+    }
   }
+  if (slow_watch &&
+      total_ns >= std::uint64_t{obs::slow_log_ms()} * 1'000'000u) {
+    const bool shardable = req.kind == RequestKind::kPut ||
+                           req.kind == RequestKind::kPutSeq ||
+                           req.kind == RequestKind::kPutBatch ||
+                           req.kind == RequestKind::kForecast ||
+                           req.kind == RequestKind::kValues;
+    obs::slow_log(
+        "server",
+        "trace=%016llx verb=%s shard=%lld total_us=%llu parse_us=%llu "
+        "apply_us=%llu",
+        static_cast<unsigned long long>(req.trace_id), verb_label(req.kind),
+        shardable ? static_cast<long long>(service_.shard_of(req.series)) : -1,
+        static_cast<unsigned long long>(total_ns / 1000),
+        static_cast<unsigned long long>(parse_ns / 1000),
+        static_cast<unsigned long long>((total_ns - parse_ns) / 1000));
+  }
+}
+
+std::string NwsServer::metrics_body() const {
+  ServerMetrics& m = server_metrics();
+  m.connections->set(static_cast<double>(connections_.load()));
+  m.series->set(
+      static_cast<double>(total_series_.load(std::memory_order_relaxed)));
+  std::string body;
+  body.reserve(4096);
+  obs::registry().render_prometheus(body);
+  return body;
 }
 
 std::string NwsServer::handle_line(std::string_view line) {
@@ -814,11 +887,123 @@ std::uint16_t NwsServer::start(std::uint16_t port) {
       failover_thread_ = std::thread(&NwsServer::failover_monitor_loop, this);
     }
   }
+
+  // Build/topology identity gauge: the constant-1 Prometheus idiom — the
+  // labels ARE the payload (version, sha, backend, shape).
+  reg.gauge("nws_build_info{version=\"" NWSCPU_VERSION "\",sha=\"" NWSCPU_GIT_SHA
+                "\",net=\"" +
+                std::string(backend_ == NetBackend::kEpoll ? "epoll" : "poll") +
+                "\",dispatchers=\"" + std::to_string(nd) + "\",shards=\"" +
+                std::to_string(shards_.size()) + "\"}",
+            "Build and topology info (value is always 1; labels carry it)")
+      .set(1.0);
+
+  // HTTP observability plane (opt-in): /metrics /healthz /tracez /statusz
+  // on a side port, served by one exporter thread off the EventLoop seam.
+  const int obs_port = resolve_obs_port(cfg_);
+  if (obs_port >= 0) {
+    obs::HttpExporterConfig ec;
+    ec.port = static_cast<std::uint16_t>(obs_port);
+    ec.backend = backend_;
+    ec.metrics = [this] { return metrics_body(); };
+    ec.health = [this](std::string& body) {
+      bool ok = false;
+      body = healthz_body(ok);
+      return ok;
+    };
+    ec.statusz = [this] { return statusz_body(); };
+    exporter_ = std::make_unique<obs::HttpExporter>(std::move(ec));
+    obs_port_ = exporter_->start();
+    if (obs_port_ == 0) {
+      obs::log_error("server", "obs HTTP plane failed to bind port %d",
+                     obs_port);
+      exporter_.reset();
+    } else {
+      obs::log_info("server", "obs HTTP plane on 127.0.0.1:%u",
+                    static_cast<unsigned>(obs_port_));
+    }
+  }
   return port_;
+}
+
+std::string NwsServer::healthz_body(bool& ok) const {
+  const bool primary = is_primary_.load(std::memory_order_acquire);
+  const std::uint64_t lag = repl_lag();
+  std::size_t max_queue = 0;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const std::scoped_lock qlock(shards_[k]->qmu);
+    max_queue = std::max(max_queue, shards_[k]->queue.size());
+  }
+  // Healthy = serving, and (as a follower) we know who the primary is —
+  // a follower that never heard a primary cannot answer redirects, which
+  // a load balancer should treat as not-ready.
+  const std::string hint = primary_hint();
+  ok = running_.load() && (primary || !repl_enabled_ || hint != "-");
+  std::string out;
+  out += "status: ";
+  out += ok ? "ok" : "unavailable";
+  out += "\nrole: ";
+  out += primary ? "primary" : "follower";
+  out += "\nepoch: ";
+  append_unsigned(out, epoch_.load(std::memory_order_acquire));
+  out += "\nrepl_lag_records: ";
+  append_unsigned(out, lag);
+  out += "\nmax_shard_queue_depth: ";
+  append_unsigned(out, max_queue);
+  out += "\nprimary_hint: ";
+  out += hint;
+  out += '\n';
+  return out;
+}
+
+std::string NwsServer::statusz_body() const {
+  std::string out;
+  out += "nwscpu " NWSCPU_VERSION " (" NWSCPU_GIT_SHA ")\n";
+  out += "net_backend: ";
+  out += backend_ == NetBackend::kEpoll ? "epoll" : "poll";
+  out += "\ndispatchers: ";
+  append_unsigned(out, dispatcher_count());
+  out += "\naccept_sharded: ";
+  out += accept_sharded() ? "true" : "false";
+  out += "\nshards: ";
+  append_unsigned(out, shard_count());
+  out += "\nport: ";
+  append_unsigned(out, port_);
+  out += "\nobs_port: ";
+  append_unsigned(out, obs_port_);
+  out += "\nrole: ";
+  out += is_primary_.load(std::memory_order_acquire) ? "primary" : "follower";
+  out += "\nepoch: ";
+  append_unsigned(out, epoch_.load(std::memory_order_acquire));
+  out += "\nrequests_served: ";
+  append_unsigned(out, requests_.load());
+  out += "\nconnections: ";
+  append_unsigned(out, connections_.load());
+  out += "\ntrace_sample_every: ";
+  append_unsigned(out, obs::trace_sample_every());
+  out += "\ntrace_ring_capacity: ";
+  append_unsigned(out, obs::trace_ring_capacity());
+  out += "\nslow_log_ms: ";
+  append_unsigned(out, obs::slow_log_ms());
+  out += "\nmetrics_enabled: ";
+  out += obs::metrics_enabled() ? "true" : "false";
+  out += "\nmax_line_bytes: ";
+  append_unsigned(out, cfg_.max_line_bytes);
+  out += "\nmemory_capacity: ";
+  append_unsigned(out, cfg_.memory_capacity);
+  out += '\n';
+  return out;
 }
 
 void NwsServer::stop() {
   const bool was_running = running_.exchange(false);
+  // The exporter thread first: its callbacks read server state that the
+  // teardown below starts dismantling.
+  if (exporter_) {
+    exporter_->stop();
+    exporter_.reset();
+  }
+  obs_port_ = 0;
   // Replication teardown first: the failover monitor exits on !running_,
   // and sender threads may exist even without a transport (a promote via
   // handle_line starts them).
@@ -1113,6 +1298,15 @@ bool NwsServer::handle_hello(const ConnPtr& conn, std::string_view line) {
     reply.assign(kHelloBinAck);
     upgrade = true;
     server_metrics().bin_upgrades->inc();
+  } else if (arg == "TRC") {
+    // Trace-context arm: the server parses TRC prefixes (and trace-flagged
+    // frames) unconditionally, so the ack only tells a new client an old
+    // server is not on the other end.
+    reply.assign(kHelloTrcAck);
+  } else if (arg == "BIN TRC") {
+    reply.assign(kHelloBinTrcAck);
+    upgrade = true;
+    server_metrics().bin_upgrades->inc();
   } else {
     reply = format_error("unknown framing");
   }
@@ -1146,14 +1340,32 @@ void NwsServer::dispatch_lines(const ConnPtr& conn) {
     conn->rx.erase(0, newline + 1);
     if (handle_hello(conn, task.line)) continue;
     task.slot = conn->next_slot++;
+    // The dispatcher's cheap scans must look past a "TRC <ctx> " prefix:
+    // a traced line routes (and QUIT-stops) on its real verb.  A bad
+    // prefix routes anywhere — the worker's authoritative parse answers.
+    std::string_view eff(task.line);
+    {
+      std::string_view rest;
+      std::uint64_t trace = 0;
+      std::uint64_t span_id = 0;
+      bool sampled = false;
+      if (parse_trace_prefix(eff, rest, trace, span_id, sampled) ==
+          TracePrefixStatus::kOk) {
+        eff = rest;
+        while (!eff.empty() &&
+               (eff.front() == ' ' || eff.front() == '\t')) {
+          eff.remove_prefix(1);
+        }
+      }
+    }
     // Stop feeding lines past a QUIT: the connection closes once its
     // response flushes, matching the old serial loop.
-    if (task.line.compare(0, 4, "QUIT") == 0 &&
-        (task.line.size() == 4 || task.line[4] == ' ' ||
-         task.line[4] == '\t' || task.line[4] == '\r')) {
+    if (eff.compare(0, 4, "QUIT") == 0 &&
+        (eff.size() == 4 || eff[4] == ' ' || eff[4] == '\t' ||
+         eff[4] == '\r')) {
       conn->stop_dispatch = true;
     }
-    const std::size_t k = route_line(task.line);
+    const std::size_t k = route_line(eff);
     conn->inflight.fetch_add(1, std::memory_order_relaxed);
     ShardState& sh = *shards_[k];
     {
@@ -1182,13 +1394,15 @@ void NwsServer::dispatch_frames(const ConnPtr& conn) {
   while (!conn->stop_dispatch) {
     std::size_t frame_end = 0;
     std::string_view payload;
+    bool traced = false;
     const BinFrameStatus status = extract_binary_frame(
-        conn->rx, cfg_.max_line_bytes, frame_end, payload);
+        conn->rx, cfg_.max_line_bytes, frame_end, payload, traced);
     if (status == BinFrameStatus::kNeedMore) return;
     if (status == BinFrameStatus::kError) {
       // Zero or absurd length prefix — including a text verb sent down a
       // binary connection.  Framing cannot resynchronize: answer and
       // close, exactly the text path's line-too-long policy.
+      obs::log_debug("server", "bad binary frame; dropping connection");
       conn->rx.clear();
       conn->stop_dispatch = true;
       ++dropped_;
@@ -1201,14 +1415,19 @@ void NwsServer::dispatch_frames(const ConnPtr& conn) {
     Task task;
     task.conn = conn;
     task.binary = true;
+    task.traced = traced;
     task.line.assign(payload);
     conn->rx.erase(0, frame_end);
     task.slot = conn->next_slot++;
-    if (!task.line.empty() &&
-        static_cast<std::uint8_t>(task.line[0]) == kBinOpQuit) {
+    // The op byte sits after the 17-byte context block on traced frames;
+    // the extractor guaranteed at least one byte beyond it.
+    const std::string_view body =
+        traced ? std::string_view(task.line).substr(kBinTraceCtxBytes)
+               : std::string_view(task.line);
+    if (!body.empty() && static_cast<std::uint8_t>(body[0]) == kBinOpQuit) {
       conn->stop_dispatch = true;
     }
-    const std::size_t k = route_frame(task.line);
+    const std::size_t k = route_frame(body);
     conn->inflight.fetch_add(1, std::memory_order_relaxed);
     ShardState& sh = *shards_[k];
     {
@@ -1662,6 +1881,8 @@ void NwsServer::save_meta() {
   state.synced_epoch = n != 0 ? synced : 0;
   if (!save_repl_meta(meta_path_, state)) {
     server_metrics().repl_meta_failures->inc();
+    obs::log_error("repl", "cursor save failed: %s",
+                   meta_path_.string().c_str());
   }
 }
 
@@ -1670,6 +1891,8 @@ void NwsServer::demote(std::uint64_t seen_epoch) {
   store_max(epoch_, seen_epoch);
   if (is_primary_.exchange(false, std::memory_order_acq_rel)) {
     server_metrics().role->set(0.0);
+    obs::log_info("repl", "demoted after observing epoch %llu",
+                  static_cast<unsigned long long>(seen_epoch));
   }
   // Senders notice !is_primary_ / the epoch change and wind down; they are
   // joined at the next promote()/stop() (demote runs ON a sender thread,
@@ -1706,6 +1929,8 @@ std::uint64_t NwsServer::promote() {
   ++promotions_;
   server_metrics().promotions->inc();
   server_metrics().role->set(1.0);
+  obs::log_info("repl", "promoted to primary at epoch %llu",
+                static_cast<unsigned long long>(e));
   save_meta();
   start_replication();
   return e;
@@ -1968,6 +2193,11 @@ void NwsServer::repl_sender_loop(std::size_t link) {
   FollowerLink& fl = *links_[link];
   ClientConfig cc;
   cc.binary = true;
+  // Trace propagation on the replication hop: a sampled write's context is
+  // piggybacked onto the next BATCH so the follower's apply span joins the
+  // client's trace.  An old follower declines the arm; the stream runs
+  // untraced.
+  cc.trace = true;
   cc.connect_timeout_ms = 1000;
   cc.io_timeout_ms = std::max(cfg_.repl_sync_timeout_ms, 1000);
   int backoff_ms = 10;
@@ -1975,6 +2205,8 @@ void NwsServer::repl_sender_loop(std::size_t link) {
          is_primary_.load(std::memory_order_acquire)) {
     NwsClient client(cc);
     if (!client.connect(fl.endpoint.port)) {
+      obs::log_debug("repl", "follower %u unreachable; retry in %d ms",
+                     static_cast<unsigned>(fl.endpoint.port), backoff_ms);
       std::unique_lock lock(repl_mu_);
       repl_cv_.wait_for(lock, std::chrono::milliseconds(backoff_ms), [&] {
         return repl_stop_.load(std::memory_order_acquire);
@@ -2061,6 +2293,22 @@ bool NwsServer::repl_sender_session(std::size_t link, NwsClient& client) {
         req.shard = static_cast<std::uint32_t>(k);
         req.seq = pos[k];
         req.repl = batch;
+        // Piggyback the shard's last sampled write context (consume-once)
+        // so the follower's apply joins that trace; req is reused, so the
+        // fields are cleared when there is nothing to carry.
+        req.trace_id = 0;
+        req.span_id = 0;
+        req.trace_sampled = false;
+        if (client.trace_active()) {
+          const std::uint64_t trace = shards_[k]->last_trace_id.exchange(
+              0, std::memory_order_acq_rel);
+          if (trace != 0) {
+            req.trace_id = trace;
+            req.span_id =
+                shards_[k]->last_trace_span.load(std::memory_order_acquire);
+            req.trace_sampled = true;
+          }
+        }
         const auto ack = client.request(req);
         if (!ack) return false;
         if (const auto stale = parse_stale_epoch(*ack)) {
@@ -2106,6 +2354,9 @@ bool NwsServer::repl_sender_session(std::size_t link, NwsClient& client) {
       req.shard = 0;
       req.seq = pos[0];
       req.repl.clear();
+      req.trace_id = 0;
+      req.span_id = 0;
+      req.trace_sampled = false;
       const auto ack = client.request(req);
       if (!ack) return false;
       if (const auto stale = parse_stale_epoch(*ack)) {

@@ -90,6 +90,10 @@ namespace nws {
 
 class NwsClient;
 
+namespace obs {
+class HttpExporter;
+}
+
 /// Replication role at construction.  A follower applies the primary's
 /// REPL stream into its standby service and rejects client writes with
 /// "ERR not_primary <endpoint>"; PROMOTE (or the failover timer) turns it
@@ -170,6 +174,13 @@ struct ServerConfig {
   /// Endpoint advertised to followers for the not_primary redirect
   /// ("host:port"); empty = 127.0.0.1:<bound port> once start() binds.
   std::string advertise;
+
+  // --- HTTP observability plane (DESIGN.md §9) --------------------------
+  /// Side port for GET /metrics, /healthz, /tracez and /statusz, served by
+  /// a dedicated exporter thread off the same EventLoop seam the
+  /// dispatchers use.  -1 = the NWSCPU_OBS_PORT environment variable when
+  /// set, else disabled; 0 = ephemeral (obs_port() reports the binding).
+  int obs_port = -1;
 };
 
 class NwsServer {
@@ -202,6 +213,15 @@ class NwsServer {
   /// The resolved event-loop backend (config override, else
   /// NWSCPU_NET_BACKEND, else epoll).
   [[nodiscard]] NetBackend backend() const noexcept { return backend_; }
+
+  /// Bound HTTP observability port (0 when the plane is disabled).
+  [[nodiscard]] std::uint16_t obs_port() const noexcept { return obs_port_; }
+
+  /// The METRICS wire body: the global registry's Prometheus exposition
+  /// (trailing newline included).  The METRICS verb and the HTTP plane's
+  /// GET /metrics both serve exactly this string, so byte parity between
+  /// the two transports holds by construction.
+  [[nodiscard]] std::string metrics_body() const;
 
   /// Number of shards (== worker threads while running).
   [[nodiscard]] std::size_t shard_count() const noexcept {
@@ -320,6 +340,9 @@ class NwsServer {
     std::string line;  ///< text line, or a binary frame payload (op+body)
     std::size_t slot = 0;
     bool binary = false;  ///< frame the response binary
+    /// Binary frame carried a trace-context block (kBinTraceFlag); the
+    /// worker parses the payload with the 17-byte context prefix.
+    bool traced = false;
   };
 
   struct ShardState {
@@ -338,6 +361,12 @@ class NwsServer {
     std::mutex qmu;
     std::condition_variable qcv;
     std::deque<Task> queue;
+    /// Trace context of the last sampled write applied to this shard.
+    /// The repl sender piggybacks it onto the next BATCH for the shard so
+    /// the follower's apply span joins the client's trace (best-effort:
+    /// relaxed, and a batch folding several writes carries the last one).
+    std::atomic<std::uint64_t> last_trace_id{0};
+    std::atomic<std::uint64_t> last_trace_span{0};
   };
 
   /// One follower a primary streams to (sender thread + its ack state).
@@ -421,6 +450,12 @@ class NwsServer {
   /// Event-wait timeout honouring idle expiry; -1 = block indefinitely.
   [[nodiscard]] int wait_timeout_ms() const noexcept;
 
+  /// /healthz body; `ok` reports whether the role/lag/queue checks passed
+  /// (the HTTP plane maps it to 200 vs 503).
+  [[nodiscard]] std::string healthz_body(bool& ok) const;
+  /// /statusz body: build info, resolved knobs, dispatcher/shard shape.
+  [[nodiscard]] std::string statusz_body() const;
+
   // --- Replication (DESIGN.md §11) --------------------------------------
   void execute_repl_hello(const Request& req, std::string& out);
   /// Shared BATCH/RESET admission: epoch fencing + shard bounds.  False
@@ -484,6 +519,9 @@ class NwsServer {
   std::uint16_t port_ = 0;
   std::vector<std::unique_ptr<Dispatcher>> dispatchers_;
   std::vector<std::thread> workers_;
+  /// HTTP observability plane (null while stopped / disabled).
+  std::unique_ptr<obs::HttpExporter> exporter_;
+  std::uint16_t obs_port_ = 0;
 
   // --- Replication state (DESIGN.md §11) --------------------------------
   std::atomic<bool> is_primary_{true};

@@ -1,0 +1,272 @@
+#include "obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+
+namespace nws::obs {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int open_listener(std::uint16_t* port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(*port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  *port = ntohs(addr.sin_port);
+  set_nonblocking(fd);
+  return fd;
+}
+
+/// One client connection: request bytes in, one response out, close.
+struct HttpConn {
+  std::string rx;
+  TxQueue tx;
+  bool responded = false;  ///< response queued; close once tx drains
+};
+
+struct Response {
+  int status = 200;
+  const char* content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+std::string render_http(const Response& r) {
+  std::string out;
+  out.reserve(r.body.size() + 160);
+  out += "HTTP/1.1 ";
+  out += std::to_string(r.status);
+  out += ' ';
+  out += status_text(r.status);
+  out += "\r\nContent-Type: ";
+  out += r.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(r.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(HttpExporterConfig config)
+    : cfg_(std::move(config)) {}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+std::uint16_t HttpExporter::start() {
+  if (thread_.joinable()) return 0;
+  std::uint16_t port = cfg_.port;
+  listen_fd_ = open_listener(&port);
+  if (listen_fd_ < 0) return 0;
+  if (!waker_.open()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return 0;
+  }
+  port_ = port;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread(&HttpExporter::serve, this);
+  return port_;
+}
+
+void HttpExporter::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  waker_.wake();
+  thread_.join();
+  waker_.close_fds();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+}
+
+void HttpExporter::serve() {
+  EventLoop loop(cfg_.backend);
+  loop.add(listen_fd_, static_cast<std::uint64_t>(listen_fd_), false);
+  loop.add(waker_.rx(), static_cast<std::uint64_t>(waker_.rx()), false);
+  std::unordered_map<int, HttpConn> conns;
+  std::vector<LoopEvent> events;
+  std::vector<int> doomed;
+
+  const auto respond = [&](HttpConn& c) {
+    // Head complete: "<METHOD> <path> HTTP/1.x" — the operator plane
+    // ignores every header, so the request line is all that matters.
+    const std::size_t line_end = c.rx.find("\r\n");
+    const std::string_view line =
+        std::string_view(c.rx).substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    std::string_view method, target;
+    if (sp1 != std::string_view::npos && sp2 != std::string_view::npos) {
+      method = line.substr(0, sp1);
+      target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+    const std::size_t query = target.find('?');
+    const std::string_view path =
+        query == std::string_view::npos ? target : target.substr(0, query);
+
+    Response r;
+    if (method != "GET") {
+      r.status = 405;
+      r.body = "GET only\n";
+    } else if (path == "/metrics") {
+      if (cfg_.metrics) {
+        // The exact METRICS wire body: Prometheus exposition format.
+        r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        r.body = cfg_.metrics();
+      } else {
+        r.status = 501;
+        r.body = "no metrics source\n";
+      }
+    } else if (path == "/healthz") {
+      if (cfg_.health) {
+        if (!cfg_.health(r.body)) r.status = 503;
+      } else {
+        r.body = "ok\n";
+      }
+    } else if (path == "/tracez") {
+      r.body.reserve(4096);
+      render_tracez(r.body, cfg_.tracez_max);
+      if (r.body.empty()) r.body = "(no traces retained)\n";
+    } else if (path == "/statusz") {
+      if (cfg_.statusz) {
+        r.body = cfg_.statusz();
+      } else {
+        r.status = 501;
+        r.body = "no status source\n";
+      }
+    } else {
+      r.status = 404;
+      r.body = "not found; try /metrics /healthz /tracez /statusz\n";
+    }
+    c.tx.push(render_http(r));
+    c.responded = true;
+    c.rx.clear();
+  };
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    loop.wait(events, -1);
+    if (stop_.load(std::memory_order_acquire)) break;
+    for (const LoopEvent& ev : events) {
+      if (ev.fd == waker_.rx()) {
+        waker_.drain();
+        continue;
+      }
+      if (ev.fd == listen_fd_) {
+        for (;;) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          set_nonblocking(fd);
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          loop.add(fd, static_cast<std::uint64_t>(fd), false);
+          conns.emplace(fd, HttpConn{});
+        }
+        continue;
+      }
+      const auto it = conns.find(ev.fd);
+      if (it == conns.end()) continue;
+      HttpConn& c = it->second;
+      bool drop = ev.error;
+      if (!drop && ev.readable && !c.responded) {
+        char buf[4096];
+        for (;;) {
+          const ssize_t n = ::recv(ev.fd, buf, sizeof buf, 0);
+          if (n > 0) {
+            c.rx.append(buf, static_cast<std::size_t>(n));
+            if (c.rx.size() > cfg_.max_request_bytes) {
+              drop = true;
+              break;
+            }
+            continue;
+          }
+          if (n == 0) drop = true;  // EOF before a complete request
+          if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+              errno != EINTR) {
+            drop = true;
+          }
+          break;
+        }
+        if (!drop && c.rx.find("\r\n\r\n") != std::string::npos) {
+          respond(c);
+        }
+      }
+      if (!drop && !c.tx.empty()) {
+        const TxQueue::FlushStatus fs = c.tx.flush(ev.fd);
+        if (fs == TxQueue::FlushStatus::kClosed) drop = true;
+        loop.update(ev.fd, static_cast<std::uint64_t>(ev.fd),
+                    fs == TxQueue::FlushStatus::kBlocked);
+      }
+      if (drop || (c.responded && c.tx.empty())) {
+        doomed.push_back(ev.fd);
+      }
+    }
+    for (const int fd : doomed) {
+      const auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      loop.remove(fd);
+      ::close(fd);
+      conns.erase(it);
+    }
+    doomed.clear();
+  }
+  for (auto& [fd, c] : conns) {
+    loop.remove(fd);
+    ::close(fd);
+  }
+  conns.clear();
+  loop.remove(listen_fd_);
+  loop.remove(waker_.rx());
+}
+
+}  // namespace nws::obs

@@ -1,0 +1,80 @@
+// HttpExporter: the HTTP observability side-plane (DESIGN.md §9).
+//
+// One background thread serving plain HTTP/1.x GETs on a loopback side
+// port, off the same EventLoop seam the server dispatchers use:
+//
+//   GET /metrics  — Prometheus text exposition.  The body comes from a
+//                   callback (the server hands over its METRICS wire body),
+//                   so the two transports are byte-identical by
+//                   construction.
+//   GET /healthz  — role / epoch / replication lag / shard queue depths;
+//                   200 when the owner's checks pass, 503 otherwise (what
+//                   a load balancer should key on).
+//   GET /tracez   — recent stitched distributed traces, slowest first
+//                   (obs::render_tracez over the span rings).
+//   GET /statusz  — build info, resolved config knobs, topology.
+//
+// Scope: an operator plane, not a web server.  GET only, no TLS, no
+// keep-alive (every response carries Connection: close), bounded request
+// size.  It is compiled into the nws service library (not the base obs
+// library) because it rides EventLoop/TxQueue from src/nws.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "nws/event_loop.hpp"
+
+namespace nws::obs {
+
+struct HttpExporterConfig {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (start() returns the binding)
+  NetBackend backend = NetBackend::kAuto;  ///< event-loop backend
+  /// GET /metrics body (Prometheus exposition).  Unset: 501.
+  std::function<std::string()> metrics;
+  /// GET /healthz: fills the body, returns ok (200) or not (503).
+  /// Unset: 200 "ok\n".
+  std::function<bool(std::string&)> health;
+  /// GET /statusz body.  Unset: 501.
+  std::function<std::string()> statusz;
+  /// Longest accepted request head; longer peers are dropped.
+  std::size_t max_request_bytes = 8192;
+  /// Stitched traces rendered per /tracez hit.
+  std::size_t tracez_max = 20;
+};
+
+class HttpExporter {
+ public:
+  explicit HttpExporter(HttpExporterConfig config);
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds 127.0.0.1:cfg.port and starts the serving thread.  Returns the
+  /// bound port, 0 on failure.  Idempotent start is an error (returns 0).
+  std::uint16_t start();
+  /// Stops and joins the serving thread; closes every connection.  Safe to
+  /// call when not started.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept {
+    return thread_.joinable() && !stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void serve();
+
+  HttpExporterConfig cfg_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  LoopWaker waker_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace nws::obs

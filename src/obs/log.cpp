@@ -50,6 +50,20 @@ std::mutex& sink_mutex() noexcept {
   return mu;
 }
 
+std::uint32_t env_slow_ms() noexcept {
+  const char* env = std::getenv("NWSCPU_SLOW_MS");
+  if (env == nullptr) return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<std::uint32_t>(v);
+}
+
+std::atomic<std::uint32_t>& slow_ms_flag() noexcept {
+  static std::atomic<std::uint32_t> ms{env_slow_ms()};
+  return ms;
+}
+
 }  // namespace
 
 LogLevel log_level() noexcept {
@@ -94,6 +108,26 @@ void log_debug(const char* component, const char* fmt, ...) {
   va_start(args, fmt);
   vlog(LogLevel::kDebug, component, fmt, args);
   va_end(args);
+}
+
+std::uint32_t slow_log_ms() noexcept {
+  return slow_ms_flag().load(std::memory_order_relaxed);
+}
+
+void set_slow_log_ms(std::uint32_t ms) noexcept {
+  slow_ms_flag().store(ms, std::memory_order_relaxed);
+}
+
+void slow_log(const char* component, const char* fmt, ...) {
+  if (!slow_log_enabled()) return;
+  char message[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof message, fmt, args);
+  va_end(args);
+  const std::scoped_lock lock(sink_mutex());
+  std::fprintf(stderr, "[nwscpu %s +%.3fs %s] %s\n", "slow ",
+               seconds_since_start(), component, message);
 }
 
 }  // namespace nws::obs

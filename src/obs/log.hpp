@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 
 namespace nws::obs {
 
@@ -40,6 +41,21 @@ void log_error(const char* component, const char* fmt, ...)
 void log_info(const char* component, const char* fmt, ...) NWSCPU_PRINTF(2, 3);
 void log_debug(const char* component, const char* fmt, ...)
     NWSCPU_PRINTF(2, 3);
+
+/// Slow-request threshold in milliseconds (0 = slow logging off).  Cached
+/// from NWSCPU_SLOW_MS at first use; set_slow_log_ms() overrides.  The
+/// server times requests whenever this is nonzero and emits one structured
+/// line per request that exceeds it.
+[[nodiscard]] std::uint32_t slow_log_ms() noexcept;
+void set_slow_log_ms(std::uint32_t ms) noexcept;
+[[nodiscard]] inline bool slow_log_enabled() noexcept {
+  return slow_log_ms() != 0;
+}
+
+/// The slow-request sink: same serialized stderr format as the leveled
+/// helpers (tagged "slow "), but gated ONLY by NWSCPU_SLOW_MS — setting
+/// the threshold is the opt-in, independent of NWSCPU_LOG.
+void slow_log(const char* component, const char* fmt, ...) NWSCPU_PRINTF(2, 3);
 
 #undef NWSCPU_PRINTF
 

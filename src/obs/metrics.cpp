@@ -113,6 +113,7 @@ void Histogram::reset() noexcept {
     s.sum.store(0, std::memory_order_relaxed);
     for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
   }
+  for (auto& e : exemplars_) e.store(0, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -265,6 +266,28 @@ void Registry::render_prometheus(std::string& out) const {
       out += ' ';
       append_u64(out, snap.count);
       out += '\n';
+      // Exemplars ride comment lines (Prometheus text format ignores
+      // them; the router's METRICS merge passes '#' lines through), one
+      // per bucket a sampled trace last landed in.
+      for (std::size_t b = 0; b <= top; ++b) {
+        const std::uint64_t trace = entry.histogram->exemplar(b);
+        if (trace == 0) continue;
+        out += "# exemplar ";
+        std::string le = "le=\"";
+        char buf[40];
+        const int n = std::snprintf(
+            buf, sizeof buf, "%g",
+            snap.scale * static_cast<double>(Histogram::bucket_upper(b)));
+        le.append(buf, static_cast<std::size_t>(n));
+        le += '"';
+        append_labelled(out, base, "_bucket", labels, le);
+        char trace_buf[40];
+        const int tn =
+            std::snprintf(trace_buf, sizeof trace_buf, " trace_id=\"%016llx\"",
+                          static_cast<unsigned long long>(trace));
+        out.append(trace_buf, static_cast<std::size_t>(tn));
+        out += '\n';
+      }
     }
   }
 }

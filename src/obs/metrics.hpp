@@ -67,6 +67,19 @@ void set_metrics_enabled(bool enabled) noexcept;
 /// histograms fold it into their slot array.
 [[nodiscard]] std::size_t this_thread_slot() noexcept;
 
+/// Request-latency sampling period shared by the server and router hot
+/// paths: 1-in-64 requests pay the two clock reads.
+inline constexpr std::uint32_t kLatencySampleEvery = 64;
+
+/// The 1-in-kLatencySampleEvery sampling decision, counted per thread — a
+/// process-wide atomic counter here would bounce one cache line between
+/// every dispatcher/worker on every request (micro_obs measures the
+/// difference; see bench/micro_obs.cpp).
+[[nodiscard]] inline bool latency_sample_tick() noexcept {
+  thread_local std::uint32_t tick = 0;
+  return (tick++ & (kLatencySampleEvery - 1)) == 0;
+}
+
 // ---------------------------------------------------------------------------
 // Metric primitives
 
@@ -148,17 +161,30 @@ class Histogram {
   explicit Histogram(double scale = 1.0) noexcept : scale_(scale) {}
 
   /// Records into the calling thread's slot; a no-op while disabled.
-  void record(std::uint64_t value) noexcept {
-    record_in_slot(value, this_thread_slot());
+  /// `exemplar_trace` (nonzero = the recording request's trace id) pins
+  /// the value's bucket to that trace: the exposition renders it as an
+  /// exemplar comment, so a p99 outlier bucket links to a stitched trace.
+  void record(std::uint64_t value, std::uint64_t exemplar_trace = 0) noexcept {
+    record_in_slot(value, this_thread_slot(), exemplar_trace);
   }
   /// Records into an explicit slot (server workers pass their shard index
   /// so a pinned worker never migrates between slots).
-  void record_in_slot(std::uint64_t value, std::size_t slot) noexcept {
+  void record_in_slot(std::uint64_t value, std::size_t slot,
+                      std::uint64_t exemplar_trace = 0) noexcept {
     if (!metrics_enabled()) return;
+    const std::size_t b = bucket_index(value);
     Slot& s = slots_[slot & (kSlots - 1)];
-    s.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    s.buckets[b].fetch_add(1, std::memory_order_relaxed);
     s.count.fetch_add(1, std::memory_order_relaxed);
     s.sum.fetch_add(value, std::memory_order_relaxed);
+    if (exemplar_trace != 0) {
+      exemplars_[b].store(exemplar_trace, std::memory_order_relaxed);
+    }
+  }
+
+  /// Last sampled trace id recorded into bucket `b` (0 = none).
+  [[nodiscard]] std::uint64_t exemplar(std::size_t b) const noexcept {
+    return b < kBuckets ? exemplars_[b].load(std::memory_order_relaxed) : 0;
   }
 
   /// Merges every slot (relaxed reads; exact once writers quiesce).
@@ -175,6 +201,9 @@ class Histogram {
 
   double scale_;
   std::array<Slot, kSlots> slots_{};
+  /// Bucket -> last sampled trace id.  Written only for traced requests
+  /// (rare by sampling), so a plain shared array beats per-slot copies.
+  std::array<std::atomic<std::uint64_t>, kBuckets> exemplars_{};
 };
 
 /// RAII latency probe: captures now_ns() when metrics are enabled and

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 
 namespace nws::obs {
 
@@ -17,6 +19,20 @@ std::size_t env_trace_capacity() noexcept {
   const unsigned long v = std::strtoul(env, &end, 10);
   if (end == env || *end != '\0') return 0;
   return static_cast<std::size_t>(v);
+}
+
+std::uint32_t env_trace_sample() noexcept {
+  const char* env = std::getenv("NWSCPU_TRACE_SAMPLE");
+  if (env == nullptr) return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<std::uint32_t>(v);
+}
+
+std::atomic<std::uint32_t>& sample_flag() noexcept {
+  static std::atomic<std::uint32_t> every{env_trace_sample()};
+  return every;
 }
 
 /// One thread's span ring.  The owning thread writes under the ring mutex
@@ -62,6 +78,38 @@ SpanRing* this_thread_ring() {
   return ring;
 }
 
+void push_record(const SpanRecord& record) noexcept {
+  SpanRing* ring = this_thread_ring();
+  if (ring == nullptr) return;  // ring was created while tracing was off
+  g_spans_recorded.fetch_add(1, std::memory_order_relaxed);
+  const std::scoped_lock lock(ring->mu);
+  SpanRecord stored = record;
+  stored.thread = ring->thread;
+  ring->buf[ring->next] = stored;
+  if (++ring->next == ring->buf.size()) {
+    ring->next = 0;
+    ring->wrapped = true;
+  }
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t& thread_rng_state() noexcept {
+  // Distinct deterministic-per-thread stream; the clock term keeps ids
+  // distinct across processes (client, router and server each mint).
+  thread_local std::uint64_t state =
+      (static_cast<std::uint64_t>(this_thread_slot()) + 1) *
+          0x9e3779b97f4a7c15ull ^
+      now_ns();
+  return state;
+}
+
 }  // namespace
 
 namespace detail {
@@ -73,15 +121,16 @@ std::atomic<std::size_t>& trace_capacity_flag() noexcept {
 
 void record_span(const char* name, std::uint64_t start_ns,
                  std::uint64_t dur_ns) noexcept {
-  SpanRing* ring = this_thread_ring();
-  if (ring == nullptr) return;  // ring was created while tracing was off
-  g_spans_recorded.fetch_add(1, std::memory_order_relaxed);
-  const std::scoped_lock lock(ring->mu);
-  ring->buf[ring->next] = {name, start_ns, dur_ns, ring->thread};
-  if (++ring->next == ring->buf.size()) {
-    ring->next = 0;
-    ring->wrapped = true;
-  }
+  SpanRecord record;
+  record.name = name;
+  record.start_ns = start_ns;
+  record.dur_ns = dur_ns;
+  push_record(record);
+}
+
+TraceContext& ambient_context() noexcept {
+  thread_local TraceContext ctx;
+  return ctx;
 }
 
 }  // namespace detail
@@ -89,6 +138,72 @@ void record_span(const char* name, std::uint64_t start_ns,
 void set_trace_ring_capacity(std::size_t spans_per_thread) noexcept {
   detail::trace_capacity_flag().store(spans_per_thread,
                                       std::memory_order_relaxed);
+}
+
+std::uint32_t trace_sample_every() noexcept {
+  return sample_flag().load(std::memory_order_relaxed);
+}
+
+void set_trace_sample_every(std::uint32_t every) noexcept {
+  sample_flag().store(every, std::memory_order_relaxed);
+}
+
+std::uint64_t mint_span_id() noexcept {
+  std::uint64_t id = splitmix64(thread_rng_state());
+  if (id == 0) id = 1;
+  return id;
+}
+
+TraceContext mint_trace_context() noexcept {
+  const std::uint32_t every = trace_sample_every();
+  if (every == 0) return TraceContext{};
+  thread_local std::uint32_t tick = 0;
+  if (tick++ % every != 0) return TraceContext{};
+  TraceContext ctx;
+  ctx.trace_id = mint_span_id();
+  ctx.span_id = mint_span_id();
+  ctx.sampled = true;
+  return ctx;
+}
+
+void TraceSpan::begin() noexcept {
+  start_ = now_ns();
+  TraceContext& ambient = detail::ambient_context();
+  prev_ = ambient;
+  if (ambient.active()) {
+    trace_id_ = ambient.trace_id;
+    parent_id_ = ambient.span_id;
+    span_id_ = mint_span_id();
+    ambient.span_id = span_id_;  // children parent to this span
+  }
+}
+
+void TraceSpan::end() noexcept {
+  const std::uint64_t dur = now_ns() - start_;
+  detail::ambient_context() = prev_;
+  SpanRecord record;
+  record.name = name_;
+  record.start_ns = start_;
+  record.dur_ns = dur;
+  record.trace_id = trace_id_;
+  record.span_id = span_id_;
+  record.parent_id = parent_id_;
+  push_record(record);
+}
+
+void record_span_with(const char* name, std::uint64_t start_ns,
+                      std::uint64_t dur_ns, std::uint64_t trace_id,
+                      std::uint64_t span_id,
+                      std::uint64_t parent_id) noexcept {
+  if (!tracing_enabled()) return;
+  SpanRecord record;
+  record.name = name;
+  record.start_ns = start_ns;
+  record.dur_ns = dur_ns;
+  record.trace_id = trace_id;
+  record.span_id = span_id;
+  record.parent_id = parent_id;
+  push_record(record);
 }
 
 std::vector<SpanRecord> dump_spans() {
@@ -139,6 +254,71 @@ void clear_spans() {
 
 std::uint64_t spans_recorded() noexcept {
   return g_spans_recorded.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceSummary> dump_traces() {
+  const std::vector<SpanRecord> spans = dump_spans();  // already start-sorted
+  std::map<std::uint64_t, TraceSummary> by_trace;
+  for (const SpanRecord& s : spans) {
+    if (s.trace_id == 0) continue;
+    TraceSummary& t = by_trace[s.trace_id];
+    t.trace_id = s.trace_id;
+    t.spans.push_back(s);
+  }
+  std::vector<TraceSummary> out;
+  out.reserve(by_trace.size());
+  for (auto& [id, t] : by_trace) {
+    std::set<std::uint64_t> ids;
+    for (const SpanRecord& s : t.spans) ids.insert(s.span_id);
+    std::uint64_t end_ns = 0;
+    t.start_ns = t.spans.front().start_ns;
+    for (const SpanRecord& s : t.spans) {
+      end_ns = std::max(end_ns, s.start_ns + s.dur_ns);
+      if (s.parent_id != 0 && ids.count(s.parent_id) != 0) ++t.parent_links;
+    }
+    t.dur_ns = end_ns - t.start_ns;
+    out.push_back(std::move(t));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSummary& a, const TraceSummary& b) {
+              return a.dur_ns > b.dur_ns;
+            });
+  return out;
+}
+
+void render_tracez(std::string& out, std::size_t max_traces) {
+  const std::vector<TraceSummary> traces = dump_traces();
+  if (traces.empty()) {
+    out += "(no traces recorded)\n";
+    return;
+  }
+  char buf[200];
+  std::size_t shown = 0;
+  for (const TraceSummary& t : traces) {
+    if (shown++ == max_traces) break;
+    int n = std::snprintf(
+        buf, sizeof buf,
+        "trace %016llx  %.1fus  spans=%zu parent_links=%zu\n",
+        static_cast<unsigned long long>(t.trace_id),
+        static_cast<double>(t.dur_ns) / 1e3, t.spans.size(), t.parent_links);
+    out.append(buf, static_cast<std::size_t>(n));
+    for (const SpanRecord& s : t.spans) {
+      n = std::snprintf(
+          buf, sizeof buf,
+          "  t+%-10.1fus %-20s %10.1fus  span=%016llx parent=%016llx "
+          "thread=%u\n",
+          static_cast<double>(s.start_ns - t.start_ns) / 1e3, s.name,
+          static_cast<double>(s.dur_ns) / 1e3,
+          static_cast<unsigned long long>(s.span_id),
+          static_cast<unsigned long long>(s.parent_id), s.thread);
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  if (traces.size() > max_traces) {
+    const int n = std::snprintf(buf, sizeof buf, "(%zu more traces)\n",
+                                traces.size() - max_traces);
+    out.append(buf, static_cast<std::size_t>(n));
+  }
 }
 
 }  // namespace nws::obs

@@ -1,11 +1,24 @@
-// Lightweight span tracing into per-thread ring buffers.
+// Lightweight span tracing into per-thread ring buffers, with optional
+// cross-process trace context for distributed stitching.
 //
 // Each instrumented stage of the request path (accept -> parse -> shard
 // dispatch -> apply -> journal group-commit -> respond) and of the client
 // outbox (enqueue -> flush -> ack) opens a TraceSpan; on destruction the
-// span (static name, start, duration, thread) is pushed into the calling
-// thread's fixed-capacity ring, overwriting the oldest entry when full —
-// recent history is what matters when diagnosing a stall.
+// span (static name, start, duration, thread, trace/span/parent ids) is
+// pushed into the calling thread's fixed-capacity ring, overwriting the
+// oldest entry when full — recent history is what matters when diagnosing
+// a stall.
+//
+// Distributed tracing layers a 64-bit trace-id/span-id/sampled-bit context
+// on top.  mint_trace_context() makes the root decision (1-in-N per
+// NWSCPU_TRACE_SAMPLE; 0 = never); the context travels on the wire (see
+// protocol.hpp) and the receiver installs it as the calling thread's
+// *ambient* context (ScopedTraceContext).  Every TraceSpan opened under an
+// ambient context inherits its trace id, records the ambient span id as
+// its parent, and installs itself as the ambient context for its lifetime
+// — so nested spans form a parent chain with zero changes at the
+// instrumentation sites.  dump_traces() stitches the rings back into
+// per-trace span trees, slowest first.
 //
 // Tracing is OFF by default: the ring capacity comes from the
 // NWSCPU_TRACE_RING environment variable (spans per thread, 0 = disabled)
@@ -33,12 +46,28 @@ struct SpanRecord {
   std::uint64_t start_ns = 0;  ///< steady-clock start
   std::uint64_t dur_ns = 0;
   std::uint32_t thread = 0;  ///< this_thread_slot() of the recording thread
+  std::uint64_t trace_id = 0;   ///< 0 = not part of a distributed trace
+  std::uint64_t span_id = 0;    ///< this span's id (0 when untraced)
+  std::uint64_t parent_id = 0;  ///< enclosing span's id (0 = root)
+};
+
+/// The cross-process trace context: what travels on the wire and what a
+/// thread holds ambiently while processing a traced request.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;  ///< the sender's span (the receiver's parent)
+  bool sampled = false;
+
+  [[nodiscard]] bool active() const noexcept {
+    return sampled && trace_id != 0;
+  }
 };
 
 namespace detail {
 std::atomic<std::size_t>& trace_capacity_flag() noexcept;
 void record_span(const char* name, std::uint64_t start_ns,
                  std::uint64_t dur_ns) noexcept;
+TraceContext& ambient_context() noexcept;
 }  // namespace detail
 
 /// Per-thread ring capacity (0 = tracing disabled).
@@ -52,22 +81,76 @@ void record_span(const char* name, std::uint64_t start_ns,
 /// existing rings keep their capacity (tests call this before tracing).
 void set_trace_ring_capacity(std::size_t spans_per_thread) noexcept;
 
+/// Root sampling period: 1-in-N requests mint a sampled context (0 = no
+/// request ever does).  Cached from NWSCPU_TRACE_SAMPLE at first use.
+[[nodiscard]] std::uint32_t trace_sample_every() noexcept;
+void set_trace_sample_every(std::uint32_t every) noexcept;
+
+/// The root sampling decision, made once per request at the edge (the
+/// client).  Returns an active context (fresh random trace id, the
+/// caller's root span id) for 1-in-trace_sample_every() calls on this
+/// thread, an inactive context otherwise.  The tick counter is
+/// thread-local: no shared cache line on the request path.
+[[nodiscard]] TraceContext mint_trace_context() noexcept;
+
+/// Mints a fresh span id (per-thread splitmix64 stream, never 0).
+[[nodiscard]] std::uint64_t mint_span_id() noexcept;
+
+/// The calling thread's ambient context (inactive by default).
+[[nodiscard]] inline TraceContext current_trace_context() noexcept {
+  return detail::ambient_context();
+}
+
+/// Installs `ctx` as the calling thread's ambient context for the scope's
+/// lifetime (restores the previous context on destruction).  The wire
+/// receiver wraps request execution in one of these so every TraceSpan
+/// underneath parents to the sender's span.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx) noexcept
+      : prev_(detail::ambient_context()) {
+    detail::ambient_context() = ctx;
+  }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+  ~ScopedTraceContext() { detail::ambient_context() = prev_; }
+
+ private:
+  TraceContext prev_;
+};
+
 /// RAII span: records on destruction when tracing is enabled.  `name`
-/// must be a string literal (stored by pointer).
+/// must be a string literal (stored by pointer).  Under an active ambient
+/// context the span inherits the trace id, parents to the ambient span,
+/// and becomes the ambient span for its lifetime.
 class TraceSpan {
  public:
-  explicit TraceSpan(const char* name) noexcept
-      : name_(name), start_(tracing_enabled() ? now_ns() : 0) {}
+  explicit TraceSpan(const char* name) noexcept : name_(name), start_(0) {
+    if (tracing_enabled()) begin();
+  }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
   ~TraceSpan() {
-    if (start_ != 0) detail::record_span(name_, start_, now_ns() - start_);
+    if (start_ != 0) end();
   }
 
  private:
+  void begin() noexcept;  // out of line: touches the ambient thread-local
+  void end() noexcept;
+
   const char* name_;
   std::uint64_t start_;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_id_ = 0;
+  TraceContext prev_;
 };
+
+/// Records a completed span with explicit ids — for async completions
+/// (the router's in-flight table) where no RAII scope brackets the work.
+void record_span_with(const char* name, std::uint64_t start_ns,
+                      std::uint64_t dur_ns, std::uint64_t trace_id,
+                      std::uint64_t span_id, std::uint64_t parent_id) noexcept;
 
 /// Every retained span across every thread's ring, sorted by start time.
 [[nodiscard]] std::vector<SpanRecord> dump_spans();
@@ -78,5 +161,21 @@ void dump_spans_text(std::string& out);
 void clear_spans();
 /// Spans recorded since process start (including overwritten ones).
 [[nodiscard]] std::uint64_t spans_recorded() noexcept;
+
+/// One stitched trace: every retained span sharing a nonzero trace id.
+struct TraceSummary {
+  std::uint64_t trace_id = 0;
+  std::uint64_t start_ns = 0;  ///< earliest span start
+  std::uint64_t dur_ns = 0;    ///< latest span end - earliest start
+  std::size_t parent_links = 0;  ///< spans whose parent is also in the trace
+  std::vector<SpanRecord> spans;  ///< sorted by start time
+};
+
+/// Groups the rings' spans by trace id, slowest trace first.
+[[nodiscard]] std::vector<TraceSummary> dump_traces();
+/// Renders up to `max_traces` stitched traces ("/tracez" body), appended
+/// to `out`: one header line per trace, one indented line per span with
+/// its parent link.
+void render_tracez(std::string& out, std::size_t max_traces = 20);
 
 }  // namespace nws::obs

@@ -1,0 +1,644 @@
+// Cross-tier distributed tracing + the HTTP observability plane
+// (DESIGN.md §9).
+//
+// End-to-end stitching: a sampled request traced at the client crosses the
+// router (TRC prefix / trace-flagged frame, span id rewritten per hop),
+// lands at the primary's apply path, rides the replication batch to the
+// follower, and comes back out of the span rings as ONE trace with a
+// parent-linked span chain.  The HTTP plane: /metrics byte parity with the
+// METRICS wire verb, /healthz role gating, /tracez, /statusz.  Fuzz:
+// truncated/garbage TRC prefixes and flagged frames must not desync either
+// the server's dispatcher or the router's demux.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nws/client.hpp"
+#include "nws/protocol.hpp"
+#include "nws/router.hpp"
+#include "nws/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nws {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool wait_for(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+// ---------------------------------------------------------------------------
+// Raw-socket helpers (the router_test idiom)
+
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  bool send_bytes(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (fd_ >= 0 && sent < bytes.size()) {
+      const ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (w <= 0) return false;
+      sent += static_cast<std::size_t>(w);
+    }
+    return sent == bytes.size();
+  }
+
+  [[nodiscard]] std::optional<std::string> read_line() {
+    for (;;) {
+      const std::size_t nl = rx_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = rx_.substr(0, nl);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        rx_.erase(0, nl + 1);
+        return line;
+      }
+      if (!fill()) return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> read_frame() {
+    for (;;) {
+      std::size_t frame_end = 0;
+      std::string_view payload;
+      const BinFrameStatus status =
+          extract_binary_frame(rx_, 16 * 1024 * 1024, frame_end, payload);
+      if (status == BinFrameStatus::kError) return std::nullopt;
+      if (status == BinFrameStatus::kFrame) {
+        std::string out(payload);
+        rx_.erase(0, frame_end);
+        return out;
+      }
+      if (!fill()) return std::nullopt;
+    }
+  }
+
+  /// Drains until EOF (Connection: close responses).
+  [[nodiscard]] std::string read_all() {
+    while (fill()) {
+    }
+    return rx_;
+  }
+
+ private:
+  bool fill() {
+    char chunk[4096];
+    const ssize_t n = fd_ >= 0 ? ::recv(fd_, chunk, sizeof chunk, 0) : -1;
+    if (n <= 0) return false;
+    rx_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string rx_;
+};
+
+struct HttpReply {
+  int status = 0;
+  std::string body;
+};
+
+/// One HTTP/1.1 round trip against the observability plane.
+HttpReply http_get(std::uint16_t port, const std::string& target,
+                   const std::string& method = "GET") {
+  HttpReply r;
+  RawConn conn(port);
+  if (!conn.ok()) return r;
+  if (!conn.send_bytes(method + " " + target + " HTTP/1.1\r\nHost: t\r\n\r\n")) {
+    return r;
+  }
+  const std::string raw = conn.read_all();
+  const std::size_t sp = raw.find(' ');
+  if (sp != std::string::npos) {
+    r.status = std::atoi(raw.c_str() + sp + 1);
+  }
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end != std::string::npos) r.body = raw.substr(head_end + 4);
+  return r;
+}
+
+/// Crafts a trace-flagged binary frame by hand (for malformed-context
+/// fuzzing the library encoder refuses to produce).
+std::string flagged_frame(std::uint64_t trace_id, std::uint64_t span_id,
+                          char sampled, std::string_view body) {
+  std::string out;
+  const std::uint32_t len =
+      (static_cast<std::uint32_t>(body.size() + kBinTraceCtxBytes)) |
+      kBinTraceFlag;
+  for (std::size_t b = 0; b < 4; ++b) {
+    out.push_back(static_cast<char>((len >> (8 * b)) & 0xff));
+  }
+  for (std::size_t b = 0; b < 8; ++b) {
+    out.push_back(static_cast<char>((trace_id >> (8 * b)) & 0xff));
+  }
+  for (std::size_t b = 0; b < 8; ++b) {
+    out.push_back(static_cast<char>((span_id >> (8 * b)) & 0xff));
+  }
+  out.push_back(sampled);
+  out.append(body);
+  return out;
+}
+
+/// Ordered metric keys (comments included) of a Prometheus body — the
+/// merge-order oracle.
+std::vector<std::string> metric_keys(const std::string& body) {
+  std::vector<std::string> keys;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t nl = body.find('\n', pos);
+    if (nl == std::string::npos) nl = body.size();
+    const std::string line = body.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      keys.push_back(line);
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    keys.push_back(sp == std::string::npos ? line : line.substr(0, sp));
+  }
+  return keys;
+}
+
+/// Value of the first sample whose key starts with `prefix` (nullopt when
+/// absent).
+std::optional<double> sample_value(const std::string& body,
+                                   const std::string& prefix) {
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t nl = body.find('\n', pos);
+    if (nl == std::string::npos) nl = body.size();
+    const std::string line = body.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.rfind(prefix, 0) != 0 || line.empty() || line.front() == '#') {
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    return std::atof(line.c_str() + sp + 1);
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end stitching: client -> router -> primary -> follower
+
+TEST(TraceE2E, OneRoutedWriteStitchesAcrossAllFourTiers) {
+  obs::set_metrics_enabled(true);
+  obs::set_trace_ring_capacity(512);
+  obs::set_trace_sample_every(1);  // sample every request at the edge
+  obs::clear_spans();
+
+  NwsServer follower([] {
+    ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.role = ServerRole::kFollower;
+    return cfg;
+  }());
+  const std::uint16_t fport = follower.start(0);
+  ASSERT_NE(fport, 0);
+
+  NwsServer primary([&] {
+    ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.repl_followers = std::to_string(fport);
+    cfg.repl_heartbeat_ms = 10;
+    cfg.obs_port = 0;  // ephemeral HTTP plane
+    return cfg;
+  }());
+  ASSERT_NE(primary.start(0), 0);
+  ASSERT_NE(primary.obs_port(), 0);
+
+  RouterConfig rcfg;
+  rcfg.backends = std::to_string(primary.port());
+  Router router(rcfg);
+  ASSERT_TRUE(router.start(0));
+
+  NwsClient client([] {
+    ClientConfig cc;
+    cc.binary = true;
+    cc.trace = true;
+    return cc;
+  }());
+  ASSERT_TRUE(client.connect(router.port()));
+  EXPECT_TRUE(client.binary_active());
+  EXPECT_TRUE(client.trace_active());
+  ASSERT_TRUE(client.put("alpha/cpu", Measurement{10.0, 0.5}));
+
+  // The replication hop is asynchronous: wait until the follower applied
+  // the write AND its spans reached the (process-global) rings.
+  ASSERT_TRUE(wait_for([&] {
+    const auto stats = parse_stats_response(follower.handle_line("STATS"));
+    return stats && stats->appended == 1;
+  })) << "follower never applied the replicated write";
+
+  std::vector<obs::TraceSummary> traces;
+  ASSERT_TRUE(wait_for([&] {
+    for (obs::TraceSummary& t : (traces = obs::dump_traces())) {
+      bool has_client = false;
+      bool has_router = false;
+      bool has_repl = false;
+      std::size_t applies = 0;
+      for (const obs::SpanRecord& s : t.spans) {
+        const std::string_view name(s.name);
+        has_client = has_client || name == "client.request";
+        has_router = has_router || name == "router.forward";
+        has_repl = has_repl || name == "repl.apply";
+        applies += name == "server.apply" ? 1 : 0;
+      }
+      if (has_client && has_router && has_repl && applies >= 2) return true;
+    }
+    return false;
+  })) << "no stitched trace spanning all four tiers";
+
+  // Pick the stitched trace and verify the parent chain.
+  const obs::TraceSummary* t = nullptr;
+  for (const obs::TraceSummary& cand : traces) {
+    for (const obs::SpanRecord& s : cand.spans) {
+      if (std::string_view(s.name) == "repl.apply") t = &cand;
+    }
+  }
+  ASSERT_NE(t, nullptr);
+  EXPECT_GE(t->spans.size(), 5u);
+  EXPECT_GE(t->parent_links, 4u)
+      << "spans did not form a parent chain across the tiers";
+  auto find = [&](std::string_view name) -> const obs::SpanRecord* {
+    for (const obs::SpanRecord& s : t->spans) {
+      if (std::string_view(s.name) == name) return &s;
+    }
+    return nullptr;
+  };
+  const obs::SpanRecord* client_span = find("client.request");
+  const obs::SpanRecord* router_span = find("router.forward");
+  ASSERT_NE(client_span, nullptr);
+  ASSERT_NE(router_span, nullptr);
+  EXPECT_EQ(client_span->parent_id, 0u) << "client span must be the root";
+  EXPECT_EQ(router_span->parent_id, client_span->span_id)
+      << "router hop must parent to the client's span";
+
+  // The same trace is visible on the HTTP plane.
+  const HttpReply tracez = http_get(primary.obs_port(), "/tracez");
+  EXPECT_EQ(tracez.status, 200);
+  EXPECT_NE(tracez.body.find("repl.apply"), std::string::npos);
+  EXPECT_NE(tracez.body.find("router.forward"), std::string::npos);
+  char trace_hex[32];
+  std::snprintf(trace_hex, sizeof trace_hex, "%016llx",
+                static_cast<unsigned long long>(t->trace_id));
+  EXPECT_NE(tracez.body.find(trace_hex), std::string::npos);
+
+  client.disconnect();
+  router.stop();
+  primary.stop();
+  follower.stop();
+  obs::set_trace_sample_every(0);
+  obs::set_trace_ring_capacity(0);
+  obs::clear_spans();
+}
+
+// ---------------------------------------------------------------------------
+// /metrics parity with the METRICS wire verb
+
+TEST(TraceParity, HttpMetricsByteIdenticalToWireMetrics) {
+  obs::set_metrics_enabled(true);
+  NwsServer server([] {
+    ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.obs_port = 0;
+    return cfg;
+  }());
+  ASSERT_NE(server.start(0), 0);
+  ASSERT_NE(server.obs_port(), 0);
+
+  NwsClient client;
+  ASSERT_TRUE(client.connect(server.port()));
+  ASSERT_TRUE(client.put("alpha/cpu", Measurement{1.0, 0.25}));
+  ASSERT_TRUE(client.put("bravo/cpu", Measurement{2.0, 0.75}));
+  ASSERT_TRUE(client.metrics().has_value());  // populate request counters
+
+  // Both transports serve NwsServer::metrics_body() verbatim; freezing
+  // the registry (the wire request itself increments counters, the HTTP
+  // plane's own socket writes bump the net counters) makes the parity
+  // byte-exact and order-insensitive.
+  obs::set_metrics_enabled(false);
+  const auto wire = client.metrics();
+  ASSERT_TRUE(wire.has_value());
+  const HttpReply http = http_get(server.obs_port(), "/metrics");
+  EXPECT_EQ(http.status, 200);
+  const std::string direct = server.metrics_body();
+  EXPECT_EQ(*wire, http.body);
+  EXPECT_EQ(http.body, direct);
+  obs::set_metrics_enabled(true);
+
+  EXPECT_NE(direct.find("nws_build_info"), std::string::npos);
+  EXPECT_NE(direct.find("nws_server_requests_total"), std::string::npos);
+
+  client.disconnect();
+  server.stop();
+}
+
+TEST(TraceParity, RouterScatterMergeKeepsOrderAndSumsSharedRegistry) {
+  obs::set_metrics_enabled(true);
+  // Two single-shard backends, two router dispatchers: METRICS scatters
+  // to both backends and the gather merges the parts.
+  std::vector<std::unique_ptr<NwsServer>> servers;
+  std::string spec;
+  for (int i = 0; i < 2; ++i) {
+    ServerConfig cfg;
+    cfg.shards = 1;
+    servers.push_back(std::make_unique<NwsServer>(cfg));
+    const std::uint16_t port = servers.back()->start(0);
+    ASSERT_NE(port, 0);
+    if (!spec.empty()) spec += ',';
+    spec += std::to_string(port);
+  }
+  RouterConfig rcfg;
+  rcfg.backends = spec;
+  rcfg.dispatchers = 2;
+  Router router(rcfg);
+  ASSERT_TRUE(router.start(0));
+  ASSERT_GE(router.dispatcher_count(), 2u);
+  ASSERT_GE(router.backend_count(), 2u);
+
+  NwsClient client;
+  ASSERT_TRUE(client.connect(router.port()));
+  ASSERT_TRUE(client.put("alpha/cpu", Measurement{1.0, 0.5}));
+  // Warm-up scatter: per-verb counter children are created lazily when a
+  // verb first executes, and the METRICS increment lands AFTER the body
+  // renders — without this the direct render below would see one more key
+  // (the METRICS verb child) than the merged render did.
+  ASSERT_TRUE(client.metrics().has_value());
+  const auto merged = client.metrics();
+  ASSERT_TRUE(merged.has_value());
+
+  // Ordered-merge correctness: the registry is an ordered map shared by
+  // every in-process server, so the merged exposition must present the
+  // exact key sequence a single backend renders — headers deduped,
+  // samples summed, first-appearance order preserved.
+  const std::string direct = servers[0]->metrics_body();
+  EXPECT_EQ(metric_keys(*merged), metric_keys(direct));
+
+  // Shared-registry sentinel: both in-process backends render the SAME
+  // build-info gauge (value 1), so the routed sum is exactly 2 — proof
+  // the merge summed per-backend parts rather than passing one through.
+  const auto merged_info = sample_value(*merged, "nws_build_info");
+  const auto direct_info = sample_value(direct, "nws_build_info");
+  ASSERT_TRUE(merged_info.has_value());
+  ASSERT_TRUE(direct_info.has_value());
+  EXPECT_EQ(*direct_info, 1.0);
+  EXPECT_EQ(*merged_info, 2.0);
+
+  client.disconnect();
+  router.stop();
+  for (auto& s : servers) s->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Trace-context fuzz: malformed prefixes and frames must not desync
+
+TEST(TraceFuzz, GarbageTrcPrefixesFailTheLineButNotTheConnection) {
+  NwsServer server([] {
+    ServerConfig cfg;
+    cfg.shards = 1;
+    return cfg;
+  }());
+  ASSERT_NE(server.start(0), 0);
+
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.send_bytes("HELLO TRC\n"));
+  EXPECT_EQ(conn.read_line().value_or(""), kHelloTrcAck);
+
+  const char* bad_lines[] = {
+      "TRC PUT a 1 0.5",           // no context token
+      "TRC deadbeef PING",         // missing dashes
+      "TRC --1 PING",              // empty trace id
+      "TRC 0-0-1 PING",            // zero trace id
+      "TRC ff-ff-2 PING",          // bad sampled bit
+      "TRC ff-ff-11 PING",         // overlong sampled bit
+      "TRC zz-ff-1 PING",          // non-hex trace id
+      "TRC ff-ff-1",               // context but no verb
+  };
+  for (const char* line : bad_lines) {
+    ASSERT_TRUE(conn.send_bytes(std::string(line) + "\n"));
+    EXPECT_EQ(conn.read_line().value_or("<eof>"), "ERR malformed request")
+        << "line: " << line;
+  }
+  // The connection is still in sync: valid traced and plain requests work.
+  ASSERT_TRUE(conn.send_bytes("TRC 1f3-9e-1 PUT alpha/cpu 1 0.5\n"));
+  EXPECT_EQ(conn.read_line().value_or(""), "OK");
+  ASSERT_TRUE(conn.send_bytes("PING\n"));
+  EXPECT_EQ(conn.read_line().value_or(""), "OK");
+}
+
+TEST(TraceFuzz, FlaggedFrameGarbageFailsTheRequestButNotTheStream) {
+  NwsServer server([] {
+    ServerConfig cfg;
+    cfg.shards = 1;
+    return cfg;
+  }());
+  ASSERT_NE(server.start(0), 0);
+
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.send_bytes("HELLO BIN TRC\n"));
+  EXPECT_EQ(conn.read_line().value_or(""), kHelloBinTrcAck);
+
+  std::string ping;
+  ping.push_back(static_cast<char>(kBinOpPing));
+
+  // Zero trace id in the context block: the frame is well-framed, so the
+  // request fails but the stream stays in sync.
+  ASSERT_TRUE(conn.send_bytes(flagged_frame(0, 7, 1, ping)));
+  EXPECT_EQ(conn.read_frame().value_or("<eof>"), "ERR malformed request");
+  // A garbage sampled byte is rejected too — and the stream survives.
+  ASSERT_TRUE(conn.send_bytes(flagged_frame(0x1234, 7, 0x5a, ping)));
+  EXPECT_EQ(conn.read_frame().value_or("<eof>"), "ERR malformed request");
+  // A valid traced frame still round-trips.
+  ASSERT_TRUE(conn.send_bytes(flagged_frame(0xabc, 0xdef, 1, ping)));
+  EXPECT_EQ(conn.read_frame().value_or("<eof>"), "OK");
+
+  // A flagged length too short to hold the context block is a framing
+  // error: the dispatcher answers and drops the connection (the text
+  // path's overlong-line policy).
+  std::string truncated;
+  const std::uint32_t len = 5u | kBinTraceFlag;
+  for (std::size_t b = 0; b < 4; ++b) {
+    truncated.push_back(static_cast<char>((len >> (8 * b)) & 0xff));
+  }
+  truncated.append(5, '\x01');
+  ASSERT_TRUE(conn.send_bytes(truncated));
+  EXPECT_EQ(conn.read_frame().value_or("<eof>"), "ERR bad frame");
+  EXPECT_FALSE(conn.read_frame().has_value()) << "connection must close";
+}
+
+TEST(TraceFuzz, RouterSurvivesGarbageContextsFromClients) {
+  NwsServer backend([] {
+    ServerConfig cfg;
+    cfg.shards = 1;
+    return cfg;
+  }());
+  ASSERT_NE(backend.start(0), 0);
+  RouterConfig rcfg;
+  rcfg.backends = std::to_string(backend.port());
+  Router router(rcfg);
+  ASSERT_TRUE(router.start(0));
+
+  {  // text framing
+    RawConn conn(router.port());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.send_bytes("HELLO TRC\n"));
+    EXPECT_EQ(conn.read_line().value_or(""), kHelloTrcAck);
+    ASSERT_TRUE(conn.send_bytes("TRC 0-0-1 PUT alpha/cpu 1 0.5\n"));
+    EXPECT_EQ(conn.read_line().value_or("<eof>"), "ERR malformed request");
+    ASSERT_TRUE(conn.send_bytes("TRC 1f3-9e-1 PUT alpha/cpu 1 0.5\n"));
+    EXPECT_EQ(conn.read_line().value_or(""), "OK");
+    ASSERT_TRUE(conn.send_bytes("PING\n"));
+    EXPECT_EQ(conn.read_line().value_or(""), "OK");
+  }
+  {  // binary framing
+    RawConn conn(router.port());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.send_bytes("HELLO BIN TRC\n"));
+    EXPECT_EQ(conn.read_line().value_or(""), kHelloBinTrcAck);
+    std::string ping;
+    ping.push_back(static_cast<char>(kBinOpPing));
+    ASSERT_TRUE(conn.send_bytes(flagged_frame(0, 7, 1, ping)));
+    EXPECT_EQ(conn.read_frame().value_or("<eof>"), "ERR malformed request");
+    ASSERT_TRUE(conn.send_bytes(flagged_frame(0x77, 0x88, 1, ping)));
+    EXPECT_EQ(conn.read_frame().value_or("<eof>"), "OK");
+  }
+
+  router.stop();
+  backend.stop();
+}
+
+// ---------------------------------------------------------------------------
+// /healthz and /statusz
+
+TEST(TraceHealth, HealthzGatesOnRoleAndPrimaryContact) {
+  obs::set_metrics_enabled(true);
+  {  // a standalone primary is ready
+    NwsServer server([] {
+      ServerConfig cfg;
+      cfg.shards = 1;
+      cfg.obs_port = 0;
+      return cfg;
+    }());
+    ASSERT_NE(server.start(0), 0);
+    ASSERT_NE(server.obs_port(), 0);
+    const HttpReply r = http_get(server.obs_port(), "/healthz");
+    EXPECT_EQ(r.status, 200);
+    EXPECT_NE(r.body.find("role: primary"), std::string::npos);
+    EXPECT_NE(r.body.find("status: ok"), std::string::npos);
+    server.stop();
+  }
+  {  // a follower that never heard a primary is not ready
+    NwsServer follower([] {
+      ServerConfig cfg;
+      cfg.shards = 1;
+      cfg.role = ServerRole::kFollower;
+      cfg.obs_port = 0;
+      return cfg;
+    }());
+    ASSERT_NE(follower.start(0), 0);
+    ASSERT_NE(follower.obs_port(), 0);
+    const HttpReply r = http_get(follower.obs_port(), "/healthz");
+    EXPECT_EQ(r.status, 503);
+    EXPECT_NE(r.body.find("role: follower"), std::string::npos);
+    EXPECT_NE(r.body.find("primary_hint: -"), std::string::npos);
+    follower.stop();
+  }
+}
+
+TEST(TraceHealth, StatuszAndUnknownPaths) {
+  NwsServer server([] {
+    ServerConfig cfg;
+    cfg.shards = 2;
+    cfg.obs_port = 0;
+    return cfg;
+  }());
+  ASSERT_NE(server.start(0), 0);
+  ASSERT_NE(server.obs_port(), 0);
+
+  const HttpReply status = http_get(server.obs_port(), "/statusz");
+  EXPECT_EQ(status.status, 200);
+  EXPECT_NE(status.body.find("nwscpu"), std::string::npos);
+  EXPECT_NE(status.body.find("shards: 2"), std::string::npos);
+  EXPECT_NE(status.body.find("net_backend:"), std::string::npos);
+
+  EXPECT_EQ(http_get(server.obs_port(), "/nope").status, 404);
+  EXPECT_EQ(http_get(server.obs_port(), "/metrics", "POST").status, 405);
+
+  const HttpReply tracez = http_get(server.obs_port(), "/tracez");
+  EXPECT_EQ(tracez.status, 200);
+
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Handshake compatibility: old peers keep working
+
+TEST(TraceHandshake, TracedClientDegradesAgainstPlainAcks) {
+  NwsServer server([] {
+    ServerConfig cfg;
+    cfg.shards = 1;
+    return cfg;
+  }());
+  ASSERT_NE(server.start(0), 0);
+
+  // A client that asks for tracing against a server that speaks it.
+  NwsClient traced([] {
+    ClientConfig cc;
+    cc.trace = true;
+    return cc;
+  }());
+  ASSERT_TRUE(traced.connect(server.port()));
+  EXPECT_TRUE(traced.trace_active());
+  EXPECT_TRUE(traced.ping());
+
+  // A plain client is untouched by the extension.
+  NwsClient plain;
+  ASSERT_TRUE(plain.connect(server.port()));
+  EXPECT_FALSE(plain.trace_active());
+  EXPECT_TRUE(plain.ping());
+
+  server.stop();
+}
+
+}  // namespace
+}  // namespace nws
